@@ -1,0 +1,145 @@
+package carmot_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// BenchmarkAblation* measures the profiling cost of the full CARMOT
+// configuration with exactly one optimization (or runtime design choice)
+// disabled, over a representative benchmark. The x-overhead metric makes
+// the contribution of each choice directly comparable:
+//
+//	go test -bench=Ablation -benchtime 1x
+import (
+	"testing"
+
+	"carmot"
+	"carmot/internal/bench"
+	"carmot/internal/instrument"
+	"carmot/internal/rt"
+)
+
+// ablationOverhead profiles the cg benchmark under the given options and
+// returns the modeled overhead factor.
+func ablationOverhead(b *testing.B, opts instrument.Options, workers, batch int) float64 {
+	b.Helper()
+	bm, err := bench.ByName("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bm.Source(bm.DevScale / 2)
+	base, err := func() (float64, error) {
+		prog, err := carmot.Compile("cg.mc", src, carmot.CompileOptions{ProfileOmpRegions: true})
+		if err != nil {
+			return 0, err
+		}
+		res, err := prog.Execute(nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Cycles), nil
+	}()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := carmot.Compile("cg.mc", src, carmot.CompileOptions{ProfileOmpRegions: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := prog.Profile(carmot.ProfileOptions{
+		Optimizations: &opts, Workers: workers, BatchSize: batch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(res.Run.Cycles+res.Run.ToolCycles) / base
+}
+
+func runAblation(b *testing.B, mutate func(*instrument.Options), workers, batch int) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		opts := instrument.Carmot(rt.ProfileOpenMP)
+		if mutate != nil {
+			mutate(&opts)
+		}
+		overhead = ablationOverhead(b, opts, workers, batch)
+	}
+	b.ReportMetric(overhead, "x-overhead")
+}
+
+func BenchmarkAblationFullCarmot(b *testing.B) {
+	runAblation(b, nil, 0, 0)
+}
+
+func BenchmarkAblationNoSubsequentAccess(b *testing.B) {
+	runAblation(b, func(o *instrument.Options) { o.SubsequentAccess = false }, 0, 0)
+}
+
+func BenchmarkAblationNoAggregation(b *testing.B) {
+	runAblation(b, func(o *instrument.Options) { o.Aggregation = false }, 0, 0)
+}
+
+func BenchmarkAblationNoFixedState(b *testing.B) {
+	runAblation(b, func(o *instrument.Options) { o.FixedState = false }, 0, 0)
+}
+
+func BenchmarkAblationNoMem2Reg(b *testing.B) {
+	runAblation(b, func(o *instrument.Options) { o.Mem2Reg = false }, 0, 0)
+}
+
+func BenchmarkAblationNoCallgraphO3(b *testing.B) {
+	runAblation(b, func(o *instrument.Options) { o.CallgraphO3 = false }, 0, 0)
+}
+
+func BenchmarkAblationNoPinGating(b *testing.B) {
+	runAblation(b, func(o *instrument.Options) { o.PinGating = false }, 0, 0)
+}
+
+func BenchmarkAblationNoClustering(b *testing.B) {
+	runAblation(b, func(o *instrument.Options) { o.CallstackClustering = false }, 0, 0)
+}
+
+// Runtime design-choice ablations: the Figure 5 pipeline's worker count
+// and batch size.
+func BenchmarkAblationSingleWorker(b *testing.B) {
+	runAblation(b, nil, 1, 0)
+}
+
+func BenchmarkAblationTinyBatches(b *testing.B) {
+	runAblation(b, nil, 0, 16)
+}
+
+// TestAblationMonotonic sanity-checks the ablation surface: disabling any
+// single optimization never *reduces* the modeled overhead.
+func TestAblationMonotonic(t *testing.T) {
+	bm, err := bench.ByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bm.Source(bm.DevScale / 4)
+	measure := func(opts instrument.Options) float64 {
+		prog, err := carmot.Compile("cg.mc", src, carmot.CompileOptions{ProfileOmpRegions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prog.Profile(carmot.ProfileOptions{Optimizations: &opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Run.Cycles + res.Run.ToolCycles)
+	}
+	full := measure(instrument.Carmot(rt.ProfileOpenMP))
+	mutations := map[string]func(*instrument.Options){
+		"subsequent":  func(o *instrument.Options) { o.SubsequentAccess = false },
+		"aggregation": func(o *instrument.Options) { o.Aggregation = false },
+		"fixed":       func(o *instrument.Options) { o.FixedState = false },
+		"mem2reg":     func(o *instrument.Options) { o.Mem2Reg = false },
+		"callgraph":   func(o *instrument.Options) { o.CallgraphO3 = false },
+		"pin":         func(o *instrument.Options) { o.PinGating = false },
+		"clustering":  func(o *instrument.Options) { o.CallstackClustering = false },
+	}
+	for name, mutate := range mutations {
+		opts := instrument.Carmot(rt.ProfileOpenMP)
+		mutate(&opts)
+		if got := measure(opts); got < full*0.999 {
+			t.Errorf("disabling %s reduced cost (%.0f < %.0f)", name, got, full)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package carmot
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/recommend"
+)
+
+// TestAnnotateSourceInsertsPragma drives the full recommend→rewrite
+// pipeline: profile a loop, generate the recommendation, and check that
+// the annotated source carries the pragma and the critical advice at the
+// right lines — and still compiles.
+func TestAnnotateSourceInsertsPragma(t *testing.T) {
+	const src = `int N = 16;
+float* a;
+float run = 1.0;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j + 1.0; }
+}
+int main() {
+	init();
+	float t;
+	#pragma carmot roi hot
+	for (int i = 0; i < N; i++) {
+		t = a[i] * 2.0;
+		run = run / (t + 1.0);
+		a[i] = t;
+	}
+	return run * 1000.0;
+}`
+	prog, err := Compile("ann.mc", src, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := prog.ROIs()[0]
+	rec := RecommendParallelFor(res.PSECs[roi.ID], roi)
+	annotated, err := recommend.AnnotateSource(src, roi, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(annotated, "#pragma omp parallel for") {
+		t.Fatalf("pragma not inserted:\n%s", annotated)
+	}
+	if !strings.Contains(annotated, "// CARMOT: wrap in") {
+		t.Fatalf("critical advice not inserted:\n%s", annotated)
+	}
+	// The pragma must sit directly above the for loop.
+	lines := strings.Split(annotated, "\n")
+	for i, line := range lines {
+		if strings.Contains(line, "for (int i = 0; i < N; i++)") {
+			if !strings.Contains(lines[i-1], "#pragma omp parallel for") {
+				t.Errorf("pragma not adjacent to the loop:\n%s", annotated)
+			}
+		}
+	}
+	// The advice comment precedes the run statement.
+	for i, line := range lines {
+		if strings.Contains(line, "run = run /") {
+			if !strings.Contains(lines[i-1], "CARMOT: wrap in") {
+				t.Errorf("advice not adjacent to the dependent statement:\n%s", annotated)
+			}
+		}
+	}
+	// Annotated source is still a valid MiniC program.
+	if _, err := Compile("ann2.mc", annotated, CompileOptions{ProfileOmpRegions: true}); err != nil {
+		t.Errorf("annotated source no longer compiles: %v\n%s", err, annotated)
+	}
+}
+
+// TestAnnotateReplacesExistingPragma: re-annotating a loop that already
+// has an omp pragma replaces it instead of stacking a second one.
+func TestAnnotateReplacesExistingPragma(t *testing.T) {
+	const src = `int N = 8;
+float* a;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	float t;
+	#pragma omp parallel for shared(a)
+	for (int i = 0; i < N; i++) {
+		t = a[i] * 2.0;
+		a[i] = t;
+	}
+	return a[3];
+}`
+	prog, err := Compile("rep.mc", src, CompileOptions{ProfileOmpRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := prog.ROIs()[0]
+	rec := RecommendParallelFor(res.PSECs[roi.ID], roi)
+	annotated, err := recommend.AnnotateSource(src, roi, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(annotated, "#pragma omp parallel for"); n != 1 {
+		t.Errorf("want exactly one pragma after re-annotation, got %d:\n%s", n, annotated)
+	}
+	// The original pragma misses private(t); the replacement has it.
+	privLine := ""
+	for _, line := range strings.Split(annotated, "\n") {
+		if strings.Contains(line, "#pragma omp parallel for") {
+			privLine = line
+		}
+	}
+	if !strings.Contains(privLine, "private(") || !strings.Contains(privLine, "t") {
+		t.Errorf("replacement should privatize t: %q", privLine)
+	}
+}
+
+// TestAnnotateRejectsNonLoopROI: annotation needs a loop-shaped ROI.
+func TestAnnotateRejectsNonLoopROI(t *testing.T) {
+	const src = `int main() {
+	int s = 0;
+	#pragma carmot roi blockroi
+	{
+		s = 1;
+	}
+	return s;
+}`
+	prog, err := Compile("nl.mc", src, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := prog.ROIs()[0]
+	rec := RecommendParallelFor(res.PSECs[roi.ID], roi)
+	if _, err := recommend.AnnotateSource(src, roi, rec); err == nil {
+		t.Error("block ROI outside any loop should not annotate")
+	}
+}

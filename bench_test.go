@@ -1,0 +1,192 @@
+package carmot_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (§5). Each benchmark regenerates its experiment
+// at a reduced input scale and reports the headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` reproduces the evaluation:
+//
+//	BenchmarkTable1            – the abstraction→PSEC-components table
+//	BenchmarkSec23Accesses     – §2.3 access amplification (×, geomean)
+//	BenchmarkFig6Speedups      – Figure 6 speedups (original vs CARMOT)
+//	BenchmarkFig7OpenMPOverhead– Figure 7 overheads (naive vs CARMOT)
+//	BenchmarkFig8Breakdown     – Figure 8 per-optimization attribution
+//	BenchmarkFig9NabCycle      – Figure 9 cycle + leak reduction
+//	BenchmarkFig10SmartPtr     – Figure 10 overheads
+//	BenchmarkFig11STATS        – Figure 11 overheads
+//
+// Plus microbenchmarks of the substrates (front end, interpreter,
+// profiling runtime event path).
+
+import (
+	"math"
+	"testing"
+
+	"carmot"
+	"carmot/internal/bench"
+	"carmot/internal/core"
+	"carmot/internal/harness"
+)
+
+var benchCfg = harness.Config{Threads: 24, ScaleDiv: 8}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkSec23Accesses(b *testing.B) {
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, geo, err = harness.Accesses(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(geo, "x-amplification")
+}
+
+func BenchmarkFig6Speedups(b *testing.B) {
+	var rows []harness.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig6(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(geomean(rows, func(r harness.Fig6Row) float64 { return r.Original }), "x-original")
+	b.ReportMetric(geomean(rows, func(r harness.Fig6Row) float64 { return r.Carmot }), "x-carmot")
+}
+
+func geomean[T any](rows []T, f func(T) float64) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rows {
+		s += math.Log(f(r))
+	}
+	return math.Exp(s / float64(len(rows)))
+}
+
+func overheadBench(b *testing.B, run func(harness.Config) ([]harness.OverheadRow, error)) {
+	var rows []harness.OverheadRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(geomean(rows, func(r harness.OverheadRow) float64 { return r.Naive }), "x-naive")
+	b.ReportMetric(geomean(rows, func(r harness.OverheadRow) float64 { return r.Carmot }), "x-carmot")
+}
+
+func BenchmarkFig7OpenMPOverhead(b *testing.B) { overheadBench(b, harness.Fig7) }
+
+func BenchmarkFig10SmartPtrOverhead(b *testing.B) { overheadBench(b, harness.Fig10) }
+
+func BenchmarkFig11STATSOverhead(b *testing.B) { overheadBench(b, harness.Fig11) }
+
+func BenchmarkFig8Breakdown(b *testing.B) {
+	var rows []harness.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Fig8(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var red float64
+	for _, r := range rows {
+		red += r.Redundant
+	}
+	b.ReportMetric(red/float64(len(rows)), "pct-redundant")
+}
+
+func BenchmarkFig9NabCycle(b *testing.B) {
+	var res *harness.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.Fig9(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ReductionPct, "pct-leak-reduction")
+}
+
+// ---- substrate microbenchmarks ----
+
+// BenchmarkCompile measures the front end + lowering + planning on the
+// largest benchmark source.
+func BenchmarkCompile(b *testing.B) {
+	bm, err := bench.ByName("nab")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bm.Source(bm.DevScale)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := carmot.Compile("nab.mc", src, carmot.CompileOptions{ProfileOmpRegions: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpret measures raw interpreter throughput.
+func BenchmarkInterpret(b *testing.B) {
+	bm, err := bench.ByName("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := carmot.Compile("cg.mc", bm.Source(500), carmot.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		res, err := prog.Execute(nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/op")
+}
+
+// BenchmarkProfiledRun measures the instrumented execution path,
+// including the batched runtime pipeline.
+func BenchmarkProfiledRun(b *testing.B) {
+	bm, err := bench.ByName("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bm.Source(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := carmot.Compile("cg.mc", src, carmot.CompileOptions{ProfileOmpRegions: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFSATransition measures the Figure 3 automaton's hot path.
+func BenchmarkFSATransition(b *testing.B) {
+	s := core.StateNone
+	for i := 0; i < b.N; i++ {
+		s = s.Next(i%3 == 0, i%2 == 0)
+	}
+	if s > 8 {
+		b.Fatal("impossible")
+	}
+}

@@ -1,0 +1,231 @@
+// Package carmot is the public API of CARMOT-Go, a from-scratch Go
+// implementation of "Program State Element Characterization" (CGO 2023).
+//
+// CARMOT characterizes how a region of interest (ROI) of a MiniC program
+// interacts with every Program State Element (PSE) — variables and memory
+// locations — and turns that characterization (the PSEC) into abstraction
+// recommendations: OpenMP parallel for/critical/ordered, OpenMP task,
+// C++-style smart pointers (reference-cycle detection), and the STATS
+// Input-Output-State classification.
+//
+// Typical use:
+//
+//	prog, err := carmot.Compile("prog.mc", source, carmot.CompileOptions{})
+//	res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP})
+//	rec := carmot.RecommendParallelFor(res.PSECs[0], prog.ROIs()[0])
+//	fmt.Println(rec.Pragma())
+package carmot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"carmot/internal/core"
+	"carmot/internal/instrument"
+	"carmot/internal/interp"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/lower"
+	"carmot/internal/rt"
+)
+
+// Re-exported PSEC types: the characterization a Profile run produces.
+type (
+	// PSEC is the Program State Element Characterization of one ROI.
+	PSEC = core.PSEC
+	// Element is one characterized PSE.
+	Element = core.Element
+	// SetMask is a set of PSEC classification Sets.
+	SetMask = core.SetMask
+)
+
+// Classification sets (§3.1).
+const (
+	SetInput     = core.SetInput
+	SetOutput    = core.SetOutput
+	SetCloneable = core.SetCloneable
+	SetTransfer  = core.SetTransfer
+)
+
+// UseCase selects the abstraction being targeted; per Table 1 it decides
+// which PSEC components the runtime tracks.
+type UseCase int
+
+// Use cases.
+const (
+	UseOpenMP        UseCase = iota // omp parallel for + critical/ordered
+	UseTask                         // omp task
+	UseSmartPointers                // reference-cycle detection
+	UseSTATS                        // Input-Output-State classes
+	UseFull                         // track everything (the naive baseline does)
+)
+
+func (u UseCase) trackingProfile() rt.TrackingProfile {
+	switch u {
+	case UseOpenMP:
+		return rt.ProfileOpenMP
+	case UseTask:
+		return rt.ProfileTask
+	case UseSmartPointers:
+		return rt.ProfileSmartPtr
+	case UseSTATS:
+		return rt.ProfileStats
+	}
+	return rt.ProfileFull
+}
+
+// CompileOptions configures front-end and lowering behavior.
+type CompileOptions struct {
+	// ProfileOmpRegions makes each existing `#pragma omp parallel
+	// for`/`task` body an ROI (§5.1's pragma-verification mode).
+	ProfileOmpRegions bool
+	// ProfileStatsRegions makes each `#pragma stats` region an ROI (§5.3).
+	ProfileStatsRegions bool
+	// WholeProgramROI wraps main in one ROI (§5.2's cycle hunting mode).
+	WholeProgramROI bool
+	// IgnoreCarmotPragmas skips `#pragma carmot roi` markers, leaving the
+	// programmatically requested ROIs (e.g. WholeProgramROI) as the only
+	// ones.
+	IgnoreCarmotPragmas bool
+}
+
+// Program is a compiled MiniC translation unit.
+type Program struct {
+	File *lang.File
+	IR   *ir.Program
+}
+
+// Compile parses, checks, and lowers a MiniC source file.
+func Compile(filename, source string, opts CompileOptions) (*Program, error) {
+	f, err := lang.ParseAndCheck(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	p, err := lower.Lower(f, lower.Options{
+		ProfileOmp:          opts.ProfileOmpRegions,
+		ProfileStats:        opts.ProfileStatsRegions,
+		WholeProgramROI:     opts.WholeProgramROI,
+		IgnoreCarmotPragmas: opts.IgnoreCarmotPragmas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{File: f, IR: p}, nil
+}
+
+// ROIs returns the program's regions of interest.
+func (p *Program) ROIs() []*ir.ROI { return p.IR.ROIs }
+
+// ProfileOptions configures a profiling run.
+type ProfileOptions struct {
+	UseCase UseCase
+	// Naive disables every PSEC-specific optimization (the baseline of
+	// Figures 7/10/11) while still producing a correct PSEC.
+	Naive bool
+	// Optimizations overrides the planner toggles when non-nil (for
+	// ablation studies, Figure 8).
+	Optimizations *instrument.Options
+	// Stdin-like knobs for the run.
+	Stdout   io.Writer
+	MaxSteps int64
+	// Workers sizes the runtime's worker pool (default GOMAXPROCS).
+	Workers int
+	// BatchSize sizes event batches (default 4096).
+	BatchSize int
+}
+
+// ProfileResult carries the outcome of a profiling run.
+type ProfileResult struct {
+	// PSECs holds one characterization per ROI, indexed by ROI ID.
+	PSECs []*core.PSEC
+	// Run is the program-execution summary.
+	Run *interp.Result
+	// Plan reports the instrumentation decisions taken.
+	Plan *instrument.Plan
+}
+
+// Profile instruments the program per the options, executes it, and
+// returns the PSEC of every ROI.
+func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
+	var io_ instrument.Options
+	switch {
+	case opts.Optimizations != nil:
+		io_ = *opts.Optimizations
+	case opts.Naive:
+		io_ = instrument.Naive()
+	default:
+		io_ = instrument.Carmot(opts.UseCase.trackingProfile())
+	}
+	plan, err := instrument.Apply(p.IR, io_)
+	if err != nil {
+		return nil, err
+	}
+	runtime := rt.New(rt.Config{
+		BatchSize:     opts.BatchSize,
+		Workers:       opts.Workers,
+		Profile:       io_.Profile,
+		Sites:         plan.Sites,
+		ROIs:          plan.ROIs,
+		StaticVarUses: plan.StaticVarUses,
+		ReducibleVars: plan.ReducibleVars,
+	})
+	it := interp.New(p.IR, interp.Options{
+		Runtime:         runtime,
+		Clustering:      io_.CallstackClustering,
+		NaiveEventCosts: opts.Naive,
+		Stdout:          opts.Stdout,
+		MaxSteps:        opts.MaxSteps,
+	})
+	run, err := it.Run()
+	if err != nil {
+		runtime.Finish() // drain pipeline goroutines
+		return nil, err
+	}
+	psecs := runtime.Finish()
+	return &ProfileResult{PSECs: psecs, Run: run, Plan: plan}, nil
+}
+
+// Execute runs the program without instrumentation and returns the run
+// summary (the overhead baseline).
+func (p *Program) Execute(stdout io.Writer, maxSteps int64) (*interp.Result, error) {
+	if _, err := instrumentOff(p); err != nil {
+		return nil, err
+	}
+	it := interp.New(p.IR, interp.Options{Stdout: stdout, MaxSteps: maxSteps})
+	return it.Run()
+}
+
+// instrumentOff strips all instrumentation from the program's IR.
+func instrumentOff(p *Program) (*instrument.Plan, error) {
+	return instrument.Apply(p.IR, instrument.Options{})
+}
+
+// MergePSECs combines the PSECs of the same ROI from multiple profiling
+// runs per the §4.2 union rule.
+func MergePSECs(runs ...*core.PSEC) *core.PSEC { return core.Merge(runs...) }
+
+// MarshalPSECs encodes profiling results as JSON (one entry per ROI), the
+// storage format for combining PSECs across program inputs.
+func MarshalPSECs(psecs []*core.PSEC) ([]byte, error) {
+	return json.MarshalIndent(psecs, "", "  ")
+}
+
+// UnmarshalPSECs decodes PSECs produced by MarshalPSECs.
+func UnmarshalPSECs(data []byte) ([]*core.PSEC, error) {
+	var out []*core.PSEC
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ROIByName returns the ROI with the given name.
+func (p *Program) ROIByName(name string) (*ir.ROI, error) {
+	for _, roi := range p.IR.ROIs {
+		if roi.Name == name {
+			return roi, nil
+		}
+	}
+	return nil, fmt.Errorf("carmot: no ROI named %q", name)
+}

@@ -1,0 +1,124 @@
+package carmot
+
+import (
+	"testing"
+
+	"carmot/internal/core"
+)
+
+// figure1 is the motivating example of the paper (Figure 1): inside the
+// loop, a and b are only read, x and i are written-before-read / loop
+// bookkeeping, and y carries a RAW dependence across iterations through a
+// non-commutative division.
+const figure1 = `
+int work(int a, int b) {
+	int i;
+	int x;
+	int y;
+	y = 42;
+	for (i = 0; i < 10; i++) {
+		#pragma carmot roi figure1
+		{
+			x = i / (a + b);
+			y = y / (a * x + b);
+		}
+	}
+	return y;
+}
+
+int main() {
+	return work(2, 3);
+}
+`
+
+func compileFigure1(t *testing.T, naive bool) *ProfileResult {
+	t.Helper()
+	prog, err := Compile("figure1.mc", figure1, CompileOptions{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(prog.ROIs()) != 1 {
+		t.Fatalf("want 1 ROI, got %d", len(prog.ROIs()))
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, Naive: naive})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return res
+}
+
+func checkFigure1Sets(t *testing.T, psec *core.PSEC, mode string) {
+	t.Helper()
+	want := map[string]core.SetMask{
+		"a": core.SetInput,
+		"b": core.SetInput,
+		"i": core.SetInput,
+		"x": core.SetCloneable | core.SetOutput,
+		"y": core.SetTransfer | core.SetInput | core.SetOutput,
+	}
+	for name, wantSets := range want {
+		e := psec.ElementByName(name)
+		if e == nil {
+			t.Errorf("%s: PSE %q missing from PSEC", mode, name)
+			continue
+		}
+		if e.Sets != wantSets {
+			t.Errorf("%s: PSE %q classified %s, want %s", mode, name, e.Sets, wantSets)
+		}
+	}
+}
+
+func TestFigure1CarmotClassification(t *testing.T) {
+	res := compileFigure1(t, false)
+	checkFigure1Sets(t, res.PSECs[0], "carmot")
+	if res.PSECs[0].Stats.Invocations != 10 {
+		t.Errorf("want 10 ROI invocations, got %d", res.PSECs[0].Stats.Invocations)
+	}
+}
+
+func TestFigure1NaiveClassification(t *testing.T) {
+	res := compileFigure1(t, true)
+	checkFigure1Sets(t, res.PSECs[0], "naive")
+}
+
+func TestFigure1NaiveAndCarmotAgree(t *testing.T) {
+	carmotRes := compileFigure1(t, false)
+	naiveRes := compileFigure1(t, true)
+	for _, ce := range carmotRes.PSECs[0].Elements {
+		ne := naiveRes.PSECs[0].ElementByName(ce.PSE.Name)
+		if ne == nil {
+			t.Errorf("naive PSEC lacks element %q", ce.PSE.Name)
+			continue
+		}
+		if ne.Sets != ce.Sets {
+			t.Errorf("element %q: carmot=%s naive=%s", ce.PSE.Name, ce.Sets, ne.Sets)
+		}
+	}
+}
+
+func TestFigure1ProgramResult(t *testing.T) {
+	prog, err := Compile("figure1.mc", figure1, CompileOptions{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := prog.Execute(nil, 0)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	// y: 42 -> /3 -> 14 -> /3 -> 4 -> /3 -> 1 -> /3 -> 0, then stays 0
+	// (denominator becomes 5 when x reaches 1).
+	if res.Exit != 0 {
+		t.Errorf("exit = %d, want 0", res.Exit)
+	}
+}
+
+func TestFigure1CarmotEmitsFewerEvents(t *testing.T) {
+	carmotRes := compileFigure1(t, false)
+	naiveRes := compileFigure1(t, true)
+	if c, n := carmotRes.Plan.Stats.Instrumented, naiveRes.Plan.Stats.Instrumented; c >= n {
+		t.Errorf("carmot should instrument fewer sites than naive: %d >= %d", c, n)
+	}
+	if c, n := carmotRes.PSECs[0].Stats.TotalAccesses, naiveRes.PSECs[0].Stats.TotalAccesses; c >= n {
+		t.Errorf("carmot should observe fewer accesses than naive: %d >= %d", c, n)
+	}
+}

@@ -1,0 +1,115 @@
+// Command carmot-bench regenerates the tables and figures of the paper's
+// evaluation (§5) as text, mirroring the artifact's carmot_experiments
+// script.
+//
+// Usage:
+//
+//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats] [-threads N] [-scalediv D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carmot/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, accesses, fig6, fig7, fig8, fig9, fig10, fig11, stats")
+		threads  = flag.Int("threads", 24, "simulated thread count for Figure 6")
+		scaleDiv = flag.Int("scalediv", 1, "divide benchmark input scales by this factor (faster runs)")
+	)
+	flag.Parse()
+	cfg := harness.Config{Threads: *threads, ScaleDiv: *scaleDiv}
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "carmot-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg harness.Config) error {
+	all := exp == "all"
+	ran := false
+	if all || exp == "table1" {
+		ran = true
+		fmt.Println(harness.Table1())
+	}
+	if all || exp == "accesses" {
+		ran = true
+		rows, geo, err := harness.Accesses(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderAccesses(rows, geo))
+	}
+	if all || exp == "fig6" {
+		ran = true
+		rows, err := harness.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFig6(rows, cfg.Threads))
+	}
+	if all || exp == "fig7" {
+		ran = true
+		rows, err := harness.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderOverhead("Figure 7: OpenMP use-case overhead (naive vs CARMOT)", rows))
+	}
+	if all || exp == "fig8" {
+		ran = true
+		rows, err := harness.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFig8(rows))
+	}
+	if all || exp == "fig9" {
+		ran = true
+		res, err := harness.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFig9(res))
+	}
+	if all || exp == "fig10" {
+		ran = true
+		rows, err := harness.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderOverhead("Figure 10: smart-pointer use-case overhead (naive vs CARMOT)", rows))
+	}
+	if all || exp == "fig11" {
+		ran = true
+		rows, err := harness.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderOverhead("Figure 11: STATS use-case overhead (naive vs CARMOT)", rows))
+	}
+	if all || exp == "stats" {
+		ran = true
+		cmps, err := harness.CompareStats(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderStats(cmps))
+	}
+	if all || exp == "verify" {
+		ran = true
+		rows, err := harness.VerifyAll(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderVerify(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

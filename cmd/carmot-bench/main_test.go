@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"carmot/internal/harness"
+)
+
+// quick shrinks inputs so every experiment path runs in CI time.
+var quick = harness.Config{Threads: 8, ScaleDiv: 32}
+
+func TestRunFastExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "fig9", "stats", "verify"} {
+		if err := run(exp, quick); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("frobnicate", quick); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

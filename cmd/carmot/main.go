@@ -1,0 +1,167 @@
+// Command carmot compiles a MiniC source file, profiles its regions of
+// interest, and prints the PSEC of each ROI together with the requested
+// abstraction recommendation — the workflow of §4.3: the programmer
+// invokes CARMOT with the abstraction they want to apply.
+//
+// Usage:
+//
+//	carmot [flags] file.mc
+//
+// Examples:
+//
+//	carmot -use openmp prog.mc          # parallel-for recommendations
+//	carmot -use smartptr -whole prog.mc # reference-cycle hunting
+//	carmot -use stats -stats-rois prog.mc
+//	carmot -naive prog.mc               # profile without optimizations
+//	carmot -dump-ir prog.mc             # print the lowered IR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carmot"
+	"carmot/internal/recommend"
+)
+
+func main() {
+	var (
+		use       = flag.String("use", "openmp", "abstraction to recommend: openmp, task, smartptr, stats")
+		naive     = flag.Bool("naive", false, "profile with the naive baseline (no PSEC-specific optimizations)")
+		ompROIs   = flag.Bool("omp-rois", true, "treat existing '#pragma omp parallel for'/'task' bodies as ROIs")
+		statsROIs = flag.Bool("stats-rois", false, "treat '#pragma stats' regions as ROIs")
+		whole     = flag.Bool("whole", false, "treat the whole program (main) as one ROI")
+		dumpIR    = flag.Bool("dump-ir", false, "print the lowered IR and exit")
+		dumpPSEC  = flag.Bool("psec", true, "print the PSEC of each ROI")
+		run       = flag.Bool("run", false, "only execute the program (uninstrumented) and print its result")
+		verify    = flag.Bool("verify", false, "verify existing omp parallel for pragmas against the PSEC (§5.1)")
+		annotate  = flag.Bool("annotate", false, "print the source with the recommended pragma inserted at each loop ROI")
+		asJSON    = flag.Bool("json", false, "emit the PSEC of each ROI as JSON")
+		maxSteps  = flag.Int64("max-steps", 2_000_000_000, "abort after this many interpreted instructions")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: carmot [flags] file.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := mainErr(flag.Arg(0), *use, *naive, *ompROIs, *statsROIs, *whole, *dumpIR, *dumpPSEC, *run, *verify, *annotate, *asJSON, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "carmot:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(path, use string, naive, ompROIs, statsROIs, whole, dumpIR, dumpPSEC, run, verify, annotate, asJSON bool, maxSteps int64) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var useCase carmot.UseCase
+	switch use {
+	case "openmp":
+		useCase = carmot.UseOpenMP
+	case "task":
+		useCase = carmot.UseTask
+	case "smartptr":
+		useCase = carmot.UseSmartPointers
+	case "stats":
+		useCase = carmot.UseSTATS
+	default:
+		return fmt.Errorf("unknown use case %q", use)
+	}
+	prog, err := carmot.Compile(path, string(src), carmot.CompileOptions{
+		ProfileOmpRegions:   ompROIs,
+		ProfileStatsRegions: statsROIs,
+		WholeProgramROI:     whole,
+	})
+	if err != nil {
+		return err
+	}
+	if dumpIR {
+		for _, fn := range prog.IR.Funcs {
+			fmt.Print(fn.String())
+		}
+		return nil
+	}
+	if run {
+		res, err := prog.Execute(os.Stdout, maxSteps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exit=%d cycles=%d steps=%d heap=%d cells leaked=%d cells\n",
+			res.Exit, res.Cycles, res.Steps, res.HeapCells, res.LeakedCells)
+		return nil
+	}
+	if len(prog.ROIs()) == 0 {
+		return fmt.Errorf("%s has no ROI; add '#pragma carmot roi' or use -whole", path)
+	}
+	res, err := prog.Profile(carmot.ProfileOptions{
+		UseCase: useCase, Naive: naive, Stdout: os.Stdout, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		return err
+	}
+	if verify {
+		results := prog.VerifyOmpPragmas(res)
+		if len(results) == 0 {
+			return fmt.Errorf("no omp parallel for pragmas to verify (compile with -omp-rois)")
+		}
+		ok := true
+		for _, v := range results {
+			fmt.Print(v.Report())
+			ok = ok && v.OK()
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return nil
+	}
+	if annotate {
+		text := string(src)
+		for _, roi := range prog.ROIs() {
+			if roi.Loop == nil {
+				continue
+			}
+			rec := carmot.RecommendParallelFor(res.PSECs[roi.ID], roi)
+			annotated, err := recommend.AnnotateSource(text, roi, rec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "carmot: %s: %v\n", roi.Name, err)
+				continue
+			}
+			text = annotated
+			// Only the first loop ROI can be annotated against the
+			// original text (insertions shift later line numbers).
+			break
+		}
+		fmt.Println(text)
+		return nil
+	}
+	if asJSON {
+		data, err := carmot.MarshalPSECs(res.PSECs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("%s\n", res.Plan)
+	for _, roi := range prog.ROIs() {
+		psec := res.PSECs[roi.ID]
+		if dumpPSEC {
+			fmt.Print(psec.Summary())
+		}
+		switch useCase {
+		case carmot.UseOpenMP:
+			fmt.Print(carmot.RecommendParallelFor(psec, roi).Report())
+		case carmot.UseTask:
+			fmt.Println(carmot.RecommendTask(psec).Pragma())
+		case carmot.UseSmartPointers:
+			fmt.Print(carmot.RecommendSmartPointers(psec).Report())
+		case carmot.UseSTATS:
+			fmt.Println(carmot.RecommendSTATS(psec).Pragma())
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const demoSrc = `int N = 16;
+float* a;
+float total = 0.0;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	float t;
+	#pragma carmot roi hot
+	for (int i = 0; i < N; i++) {
+		t = a[i] * 2.0;
+		total = total + t;
+		a[i] = t;
+	}
+	return total;
+}
+`
+
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "demo.mc")
+	if err := os.WriteFile(path, []byte(demoSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIModes(t *testing.T) {
+	path := writeDemo(t)
+	type mode struct {
+		name                                              string
+		use                                               string
+		naive, omp, stats, whole, ir, psec, run, vfy, ann bool
+		json                                              bool
+		wantErr                                           bool
+	}
+	cases := []mode{
+		{name: "recommend-openmp", use: "openmp", psec: true},
+		{name: "recommend-task", use: "task", psec: true},
+		{name: "recommend-stats", use: "stats", psec: true},
+		{name: "smartptr-whole", use: "smartptr", whole: true, psec: true},
+		{name: "naive", use: "openmp", naive: true},
+		{name: "dump-ir", use: "openmp", ir: true},
+		{name: "run", use: "openmp", run: true},
+		{name: "annotate", use: "openmp", ann: true},
+		{name: "json", use: "openmp", json: true},
+		{name: "bad-use", use: "frob", wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := mainErr(path, c.use, c.naive, c.omp, c.stats, c.whole,
+				c.ir, c.psec, c.run, c.vfy, c.ann, c.json, 100_000_000)
+			if (err != nil) != c.wantErr {
+				t.Errorf("mainErr error = %v, wantErr=%v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestCLIMissingFile(t *testing.T) {
+	if err := mainErr("/does/not/exist.mc", "openmp", false, true, false,
+		false, false, false, false, false, false, false, 1000); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCLINoROI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.mc")
+	if err := os.WriteFile(path, []byte("int main() { return 0; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mainErr(path, "openmp", false, true, false, false,
+		false, true, false, false, false, false, 1000); err == nil {
+		t.Error("program without ROIs should error in recommend mode")
+	}
+}

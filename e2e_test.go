@@ -1,0 +1,413 @@
+package carmot
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/core"
+)
+
+// TestFigure2PerCellClassification reproduces the paper's Figure 2: the
+// loop reads a[i] and writes a[j] with j = {1, 0, 0, 2, 3, ..., N-2}.
+// Dependence-graph/memory-footprint tools must conservatively serialize
+// the whole loop; PSEC sees that only a[1] carries the cross-invocation
+// RAW (Transfer), a[0] is overwritten without reads (Cloneable), and the
+// rest is WAR-only (Input+Output), removable by cloning.
+func TestFigure2PerCellClassification(t *testing.T) {
+	const src = `
+int N = 8;
+int* a;
+
+void init() {
+	a = malloc(N);
+	for (int k = 0; k < N; k++) { a[k] = k * 10; }
+}
+
+int main() {
+	init();
+	int v = 0;
+	for (int i = 0; i < N; i++) {
+		#pragma carmot roi fig2
+		{
+			int j;
+			if (i == 0) {
+				j = 1;
+			} else {
+				if (i <= 2) {
+					j = 0;
+				} else {
+					j = i - 1;
+				}
+			}
+			v = a[i];
+			a[j] = v + 1;
+		}
+	}
+	return v;
+}
+`
+	for _, naive := range []bool{false, true} {
+		prog, err := Compile("fig2.mc", src, CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, Naive: naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var arr *core.Element
+		for _, e := range res.PSECs[0].Elements {
+			if e.PSE.Kind == core.PSEHeap && e.PSE.Name == "a" {
+				arr = e
+			}
+		}
+		if arr == nil {
+			t.Fatal("array a missing from PSEC")
+		}
+		cellSets := make([]core.SetMask, 8)
+		for _, r := range arr.Ranges {
+			for i := r.Lo; i < r.Hi && i < 8; i++ {
+				cellSets[i] = r.Sets
+			}
+		}
+		if cellSets[0] != core.SetCloneable|core.SetInput|core.SetOutput {
+			t.Errorf("a[0] = %s, want Cloneable+Input+Output", cellSets[0])
+		}
+		// a[1] is written in invocation 0 and read in invocation 1: the
+		// only cross-invocation RAW (and not Input — its first-ever
+		// access was the write).
+		if cellSets[1] != core.SetTransfer|core.SetOutput {
+			t.Errorf("a[1] = %s, want Transfer+Output (the only RAW cell)", cellSets[1])
+		}
+		for i := 2; i < 7; i++ {
+			if cellSets[i] != core.SetInput|core.SetOutput {
+				t.Errorf("a[%d] = %s, want Input+Output", i, cellSets[i])
+			}
+		}
+		if cellSets[7] != core.SetInput {
+			t.Errorf("a[7] = %s, want Input (read only)", cellSets[7])
+		}
+		// Exactly one Transfer cell — the recommendation shrinks the
+		// critical section to it.
+		rec := RecommendParallelFor(res.PSECs[0], prog.ROIs()[0])
+		if len(rec.Criticals) != 1 {
+			t.Fatalf("criticals = %+v", rec.Criticals)
+		}
+		transferCells := 0
+		for _, r := range rec.Criticals[0].Ranges {
+			transferCells += r.Hi - r.Lo
+		}
+		if transferCells != 1 {
+			t.Errorf("critical covers %d cells, want exactly a[1]", transferCells)
+		}
+	}
+}
+
+// TestMergeAcrossRuns exercises §4.2: PSECs from different inputs merge by
+// set union with the Cloneable/Transfer exception.
+func TestMergeAcrossRuns(t *testing.T) {
+	const tpl = `
+int mode = MODE;
+int* a;
+int main() {
+	a = malloc(4);
+	a[0] = 1;
+	for (int i = 0; i < 4; i++) {
+		#pragma carmot roi r
+		{
+			if (mode == 1) {
+				a[0] = a[0] + i;
+			} else {
+				a[0] = i;
+			}
+		}
+	}
+	return a[0];
+}
+`
+	profileWith := func(mode string) *core.PSEC {
+		prog, err := Compile("m.mc", strings.Replace(tpl, "MODE", mode, 1), CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PSECs[0]
+	}
+	heapElem := func(p *core.PSEC) *core.Element {
+		for _, e := range p.Elements {
+			if e.PSE.Kind == core.PSEHeap && e.PSE.Name == "a" {
+				return e
+			}
+		}
+		return nil
+	}
+	// mode 1: a[0] read then written every invocation → Transfer.
+	// mode 0: a[0] overwritten every invocation → Cloneable.
+	transferRun := profileWith("1")
+	cloneRun := profileWith("0")
+	et := heapElem(transferRun)
+	ec := heapElem(cloneRun)
+	if et == nil || !et.Sets.Has(core.SetTransfer) {
+		t.Fatalf("mode-1 run: a = %v, want Transfer", et)
+	}
+	if ec == nil || !ec.Sets.Has(core.SetCloneable) {
+		t.Fatalf("mode-0 run: a = %v, want Cloneable", ec)
+	}
+	merged := MergePSECs(transferRun, cloneRun)
+	em := heapElem(merged)
+	if em == nil {
+		t.Fatal("merged element missing")
+	}
+	if !em.Sets.Has(core.SetTransfer) || em.Sets.Has(core.SetCloneable) {
+		t.Errorf("merged a = %s; C∪T must resolve to Transfer", em.Sets)
+	}
+	if merged.Stats.Invocations != transferRun.Stats.Invocations+cloneRun.Stats.Invocations {
+		t.Error("merged stats should accumulate")
+	}
+}
+
+// TestUseCallstackDisambiguation: the same ROI statement invoked from two
+// different callers must report both call stacks (§3.1's use-callstacks).
+func TestUseCallstackDisambiguation(t *testing.T) {
+	const src = `
+int total = 0;
+void bump(int k) {
+	#pragma carmot roi bumploop
+	for (int i = 0; i < 3; i++) {
+		total = total + k;
+	}
+}
+void alpha() { bump(1); }
+void beta() { bump(2); }
+int main() {
+	alpha();
+	beta();
+	return total;
+}
+`
+	prog, err := Compile("cs.mc", src, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psec := res.PSECs[0]
+	e := psec.ElementByName("total")
+	if e == nil {
+		t.Fatal("total missing")
+	}
+	if len(e.UseSites) == 0 {
+		t.Fatal("no use sites recorded")
+	}
+	stacks := map[string]bool{}
+	for _, u := range e.UseSites {
+		for _, cs := range u.Callstacks {
+			stacks[psec.Callstacks.Format(cs)] = true
+		}
+	}
+	var viaAlpha, viaBeta bool
+	for s := range stacks {
+		if strings.Contains(s, "alpha") {
+			viaAlpha = true
+		}
+		if strings.Contains(s, "beta") {
+			viaBeta = true
+		}
+	}
+	if !viaAlpha || !viaBeta {
+		t.Errorf("use-callstacks must distinguish the two callers; got %v", stacks)
+	}
+}
+
+// TestAllocationCallstackContext: the same allocation site (a custom
+// allocator) reached from different call paths yields distinct PSEs
+// (§3.1: "custom allocators are widely used...").
+func TestAllocationCallstackContext(t *testing.T) {
+	const src = `
+int* myalloc(int n) {
+	int* p = malloc(n);
+	return p;
+}
+int useA() {
+	int* a = myalloc(2);
+	a[0] = 1;
+	return a[0];
+}
+int useB() {
+	int* b = myalloc(2);
+	b[0] = 2;
+	return b[0];
+}
+int main() {
+	int r = 0;
+	#pragma carmot roi whole
+	{
+		r = useA() + useB();
+	}
+	return r;
+}
+`
+	prog, err := Compile("alloc.mc", src, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psec := res.PSECs[0]
+	heapElems := map[core.CallstackID]bool{}
+	for _, e := range psec.Elements {
+		if e.PSE.Kind == core.PSEHeap {
+			heapElems[e.PSE.AllocStack] = true
+		}
+	}
+	if len(heapElems) != 2 {
+		t.Errorf("want 2 heap PSEs distinguished by call stack, got %d", len(heapElems))
+	}
+}
+
+// TestPinPathClassification: memory touched only by precompiled code
+// still classifies correctly (the §4.5 completeness requirement).
+func TestPinPathClassification(t *testing.T) {
+	const src = `
+extern int memcpy_cells(int* dst, int* src, int n);
+int* src_;
+int* dst_;
+int N = 8;
+void init() {
+	src_ = malloc(N);
+	dst_ = malloc(N);
+	for (int i = 0; i < N; i++) { src_[i] = i; }
+}
+int main() {
+	init();
+	for (int it = 0; it < 2; it++) {
+		#pragma carmot roi copy
+		{
+			memcpy_cells(dst_, src_, N);
+		}
+	}
+	return dst_[3];
+}
+`
+	for _, naive := range []bool{false, true} {
+		prog, err := Compile("pin.mc", src, CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, Naive: naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		psec := res.PSECs[0]
+		s := psec.ElementByName("src_")
+		var srcHeap, dstHeap *core.Element
+		for _, e := range psec.Elements {
+			if e.PSE.Kind == core.PSEHeap {
+				switch e.PSE.Name {
+				case "src_":
+					srcHeap = e
+				case "dst_":
+					dstHeap = e
+				}
+			}
+		}
+		_ = s
+		if srcHeap == nil || srcHeap.Sets != core.SetInput {
+			t.Errorf("naive=%v: src_ = %v, want Input", naive, srcHeap)
+		}
+		// Written by both ROI invocations, never read in the ROI.
+		if dstHeap == nil || dstHeap.Sets != core.SetCloneable|core.SetOutput {
+			t.Errorf("naive=%v: dst_ = %v, want Cloneable+Output", naive, dstHeap)
+		}
+	}
+}
+
+// TestTaskRecommendationE2E: §3.2's depend(in/out) mapping from the Sets.
+func TestTaskRecommendationE2E(t *testing.T) {
+	const src = `
+int* in_;
+int* out_;
+int scale = 3;
+int main() {
+	in_ = malloc(4);
+	out_ = malloc(4);
+	in_[0] = 5;
+	#pragma carmot roi task
+	{
+		out_[0] = in_[0] * scale;
+	}
+	return out_[0];
+}
+`
+	prog, err := Compile("task.mc", src, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RecommendTask(res.PSECs[0])
+	pragma := rec.Pragma()
+	if !strings.Contains(pragma, "depend(in:") || !strings.Contains(pragma, "in_") {
+		t.Errorf("pragma %q should depend(in: ... in_)", pragma)
+	}
+	if !strings.Contains(pragma, "depend(out:") || !strings.Contains(pragma, "out_") {
+		t.Errorf("pragma %q should depend(out: ... out_)", pragma)
+	}
+}
+
+// TestROIByNameAndErrors covers small API paths.
+func TestROIByNameAndErrors(t *testing.T) {
+	prog, err := Compile("x.mc", `
+int main() {
+	int s = 0;
+	#pragma carmot roi named
+	{
+		s = 1;
+	}
+	return s;
+}`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.ROIByName("named"); err != nil {
+		t.Errorf("ROIByName(named): %v", err)
+	}
+	if _, err := prog.ROIByName("missing"); err == nil {
+		t.Error("missing ROI should error")
+	}
+	if _, err := Compile("bad.mc", "int main() { return }", CompileOptions{}); err == nil {
+		t.Error("syntax error must propagate")
+	}
+	if _, err := Compile("bad.mc", "int f() { return 0; }", CompileOptions{}); err != nil {
+		t.Errorf("missing main is a run-time error, not compile: %v", err)
+	}
+}
+
+// TestProfileErrorPropagation: runtime failures surface from Profile.
+func TestProfileErrorPropagation(t *testing.T) {
+	prog, err := Compile("crash.mc", `
+int main() {
+	int z = 0;
+	#pragma carmot roi r
+	{
+		z = 1 / z;
+	}
+	return z;
+}`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP}); err == nil ||
+		!strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("profile error = %v", err)
+	}
+}

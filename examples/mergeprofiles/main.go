@@ -1,0 +1,83 @@
+// Mergeprofiles: the §4.2 workflow. CARMOT users profile a program under
+// several inputs and combine the PSECs by set union — with the exception
+// that Cloneable from one run plus Transfer from another conservatively
+// yields Transfer. The PSECs travel as JSON (what `carmot -json` emits).
+//
+// Run with: go run ./examples/mergeprofiles
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"carmot"
+	"carmot/internal/core"
+)
+
+// The region either accumulates into acc (mode 1: a cross-invocation RAW,
+// Transfer) or overwrites it (mode 0: Cloneable), depending on the input.
+const template = `
+int mode = %MODE%;
+int* acc;
+int main() {
+	acc = malloc(2);
+	acc[0] = 100;
+	for (int i = 0; i < 6; i++) {
+		#pragma carmot roi step
+		{
+			if (mode == 1) {
+				acc[0] = acc[0] + i;
+			} else {
+				acc[0] = i;
+			}
+		}
+	}
+	return acc[0];
+}
+`
+
+func profileWithInput(mode string) *core.PSEC {
+	src := strings.Replace(template, "%MODE%", mode, 1)
+	prog, err := carmot.Compile("merge.mc", src, carmot.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Round-trip through JSON, as a stored per-input profile would.
+	data, err := carmot.MarshalPSECs(res.PSECs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := carmot.UnmarshalPSECs(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return loaded[0]
+}
+
+func heapSets(p *core.PSEC) core.SetMask {
+	for _, e := range p.Elements {
+		if e.PSE.Kind == core.PSEHeap && e.PSE.Name == "acc" {
+			return e.Sets
+		}
+	}
+	return 0
+}
+
+func main() {
+	runA := profileWithInput("1") // accumulating input
+	runB := profileWithInput("0") // overwriting input
+	fmt.Printf("run A (accumulate): acc classified %s\n", heapSets(runA))
+	fmt.Printf("run B (overwrite):  acc classified %s\n", heapSets(runB))
+
+	merged := carmot.MergePSECs(runA, runB)
+	fmt.Printf("merged (§4.2):      acc classified %s\n", heapSets(merged))
+	fmt.Println()
+	fmt.Println("Cloneable ∪ Transfer resolves to Transfer: across all observed")
+	fmt.Println("inputs the element may carry a cross-invocation RAW, so the")
+	fmt.Println("conservative recommendation protects it.")
+}

@@ -1,0 +1,62 @@
+// Parallelize: the full §5.1 workflow on a PARSEC-style pricing workload.
+// CARMOT profiles the development-size input, generates the parallel-for
+// recommendation, and the multicore simulator compares the serial run,
+// the hand-written pragma, and the CARMOT-induced parallelism on the
+// production-size input.
+//
+// Run with: go run ./examples/parallelize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carmot"
+	"carmot/internal/bench"
+	"carmot/internal/harness"
+)
+
+func main() {
+	b, err := bench.ByName("blackscholes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	copts := carmot.CompileOptions{ProfileOmpRegions: true}
+
+	// 1. Profile at development scale (the paper uses test/class A/
+	//    simsmall inputs for PSEC).
+	dev, err := carmot.Compile("blackscholes.mc", b.Source(b.DevScale), copts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	devRes, err := dev.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Recommendations from the development-input profile ===")
+	recsByID := harness.RecommendAll(dev, devRes)
+	for _, roi := range dev.ROIs() {
+		if rec, ok := recsByID[roi.ID]; ok {
+			fmt.Print(rec.Report())
+		}
+	}
+
+	// 2. Simulate production-scale execution (reference inputs) under the
+	//    original and the CARMOT-induced parallelism.
+	prod, err := carmot.Compile("blackscholes.mc", b.Source(b.ProdScale/4), copts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const threads = 24
+	orig, err := prod.SimulateOriginal(threads, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := prod.SimulateCarmot(threads, harness.MapRecommendations(prod, recsByID), nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== Simulated speedup on %d threads (production input) ===\n", threads)
+	fmt.Printf("original (hand-written pragma): %.2fx\n", orig.Speedup())
+	fmt.Printf("CARMOT-induced parallelism:     %.2fx\n", cm.Speedup())
+}

@@ -1,0 +1,78 @@
+// Refcycle: the §5.2 smart-pointer use case. A program builds a linked
+// structure whose back-pointers form a reference-counting cycle across
+// several functions; with the whole program as the ROI, CARMOT's
+// reachability graph finds the cycle and suggests which reference should
+// become a weak pointer.
+//
+// Run with: go run ./examples/refcycle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carmot"
+)
+
+// A document/paragraph structure: each paragraph keeps a back-pointer to
+// its document — the classic shared_ptr cycle that leaks.
+const source = `
+struct para_t {
+	struct doc_t* p_doc;
+	int p_len;
+};
+
+struct doc_t {
+	struct para_t* d_paras;
+	int d_nparas;
+};
+
+struct doc_t* newdoc(int nparas) {
+	struct doc_t* d = malloc(1);
+	d->d_paras = malloc(nparas);
+	d->d_nparas = nparas;
+	return d;
+}
+
+void link_paras(struct doc_t* d) {
+	for (int i = 0; i < d->d_nparas; i++) {
+		d->d_paras[i].p_doc = d;
+		d->d_paras[i].p_len = 10 * i;
+	}
+}
+
+int total_len(struct doc_t* d) {
+	int t = 0;
+	for (int i = 0; i < d->d_nparas; i++) {
+		t = t + d->d_paras[i].p_len;
+	}
+	return t;
+}
+
+int main() {
+	struct doc_t* d = newdoc(6);
+	link_paras(d);
+	int t = total_len(d);
+	// d is never freed: the cycle d -> d_paras -> d keeps it alive.
+	return t;
+}
+`
+
+func main() {
+	prog, err := carmot.Compile("doc.mc", source, carmot.CompileOptions{WholeProgramROI: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseSmartPointers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	psec := res.PSECs[0]
+	rec := carmot.RecommendSmartPointers(psec)
+	fmt.Print(rec.Report())
+	fmt.Printf("\nleaked heap cells at exit: %d\n", res.Run.LeakedCells)
+	if len(rec.Cycles) > 0 && rec.Cycles[0].WeakSuggestion != nil {
+		w := rec.Cycles[0].WeakSuggestion
+		fmt.Printf("porting advice: declare the %s -> %s reference as weak_ptr\n", w.From, w.To)
+	}
+}

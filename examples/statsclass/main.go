@@ -1,0 +1,85 @@
+// Statsclass: the §5.3 STATS use case. The program's state-dependence
+// region carries a manual Input-Output-State annotation; CARMOT derives
+// the same classes automatically from the PSEC and flags the manual
+// misclassification (a read-only value annotated as state, which would
+// cost an unnecessary copy per invocation).
+//
+// Run with: go run ./examples/statsclass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carmot"
+)
+
+const source = `
+extern int rand_seed(int s);
+extern float rand_float();
+
+int N = 256;
+float* data;
+float threshold = 0.5;
+float level = 1.0;
+int hits = 0;
+
+void init() {
+	data = malloc(N);
+	rand_seed(9);
+	for (int j = 0; j < N; j++) {
+		data[j] = rand_float();
+	}
+}
+
+void step() {
+	// The "authors" annotated threshold as state, but it is only read.
+	#pragma stats input(data) output(hits) state(level, threshold)
+	{
+		int h = 0;
+		for (int i = 0; i < N; i++) {
+			if (data[i] * level > threshold) {
+				h = h + 1;
+			}
+		}
+		hits = h;
+		level = level * 0.97;
+	}
+}
+
+int main() {
+	init();
+	for (int it = 0; it < 5; it++) {
+		step();
+	}
+	return hits;
+}
+`
+
+func main() {
+	prog, err := carmot.Compile("stats.mc", source, carmot.CompileOptions{ProfileStatsRegions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseSTATS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	roi := prog.ROIs()[0]
+	psec := res.PSECs[roi.ID]
+	auto := carmot.RecommendSTATS(psec)
+
+	fmt.Println("manual annotation:", "#pragma stats input(data) output(hits) state(level, threshold)")
+	fmt.Println("CARMOT derives:   ", auto.Pragma())
+	fmt.Println()
+	inState := false
+	for _, n := range auto.State {
+		if n == "threshold" {
+			inState = true
+		}
+	}
+	if !inState {
+		fmt.Println("misclassification found: 'threshold' is only read (Input), not State —")
+		fmt.Println("the manual annotation costs an unnecessary per-invocation copy (§5.3).")
+	}
+}

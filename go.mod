@@ -1,0 +1,3 @@
+module carmot
+
+go 1.22

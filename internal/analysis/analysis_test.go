@@ -1,0 +1,385 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"carmot/internal/analysis"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/lower"
+)
+
+func compile(t *testing.T, src string, opts lower.Options) *ir.Program {
+	t.Helper()
+	f, err := lang.ParseAndCheck("t.mc", src)
+	if err != nil {
+		t.Fatalf("front end: %v", err)
+	}
+	prog, err := lower.Lower(f, opts)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func TestDominators(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		if (i % 2 == 0) {
+			s += i;
+		} else {
+			s -= 1;
+		}
+	}
+	return s;
+}`, lower.Options{})
+	fn := prog.FuncByName("main")
+	ir.ComputeCFG(fn)
+	dom := analysis.ComputeDominators(fn)
+	entry := fn.Entry()
+	for _, b := range fn.Blocks {
+		if len(b.Preds) == 0 && b != entry {
+			continue // unreachable
+		}
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry must dominate %s", b.Label)
+		}
+	}
+	// The loop condition block dominates the body blocks.
+	var cond, then *ir.Block
+	for _, b := range fn.Blocks {
+		switch {
+		case b.Label[:3] == "for" && b.Label[4] == 'c':
+			cond = b
+		case len(b.Label) >= 4 && b.Label[:4] == "then":
+			then = b
+		}
+	}
+	if cond == nil || then == nil {
+		t.Fatalf("blocks not found: %v %v", cond, then)
+	}
+	if !dom.Dominates(cond, then) {
+		t.Error("loop condition should dominate the then branch")
+	}
+	if dom.Dominates(then, cond) {
+		t.Error("then branch must not dominate the loop condition")
+	}
+	if dom.Idom(entry) != nil {
+		t.Error("entry has no immediate dominator")
+	}
+}
+
+const roiSrc = `
+int main() {
+	int s = 0;
+	int t = 0;
+	for (int i = 0; i < 8; i++) {
+		#pragma carmot roi body
+		{
+			s = s + i;
+			if (i > 4) {
+				t = t + 2;
+			}
+		}
+	}
+	return s + t;
+}`
+
+func TestROIRegion(t *testing.T) {
+	prog := compile(t, roiSrc, lower.Options{})
+	if len(prog.ROIs) != 1 {
+		t.Fatalf("want 1 ROI, got %d", len(prog.ROIs))
+	}
+	region := analysis.ComputeROIRegion(prog.ROIs[0])
+	if region.Begin == nil {
+		t.Fatal("no begin marker")
+	}
+	if len(region.Ends) == 0 {
+		t.Fatal("no end markers")
+	}
+	// Every in-region instruction's membership agrees with Contains.
+	count := 0
+	region.Instructions(func(in ir.Instr) bool {
+		if !region.Contains(in) {
+			t.Errorf("iterated instruction %s not Contains()", in.Mnemonic())
+		}
+		count++
+		return true
+	})
+	if count == 0 {
+		t.Fatal("empty region")
+	}
+	// Statements outside the pragma (the loop post i++) are not inside.
+	fn := prog.FuncByName("main")
+	fn.Instructions(func(in ir.Instr) bool {
+		if st, ok := in.(*ir.Store); ok && st.Sym != nil && st.Sym.Name == "i" && region.Contains(in) {
+			t.Error("the loop post-increment is outside the ROI")
+		}
+		return true
+	})
+}
+
+func TestROIRegionWithEarlyExit(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 8; i++) {
+		#pragma carmot roi body
+		{
+			s = s + i;
+			if (s > 6) { break; }
+			s = s + 1;
+		}
+	}
+	return s;
+}`, lower.Options{})
+	region := analysis.ComputeROIRegion(prog.ROIs[0])
+	if len(region.Ends) < 2 {
+		t.Errorf("break path should add a second static ROI end, got %d", len(region.Ends))
+	}
+}
+
+func TestPointsToIndirectCalls(t *testing.T) {
+	prog := compile(t, `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int apply(fnptr f, int v) { return f(v); }
+int main() {
+	fnptr g = inc;
+	int a = apply(g, 1);
+	int b = apply(dec, 2);
+	return a + b;
+}`, lower.Options{})
+	pt := analysis.ComputePointsTo(prog)
+	var indirect *ir.Call
+	prog.FuncByName("apply").Instructions(func(in ir.Instr) bool {
+		if c, ok := in.(*ir.Call); ok && c.DirectTarget() == nil {
+			indirect = c
+		}
+		return true
+	})
+	if indirect == nil {
+		t.Fatal("no indirect call found in apply")
+	}
+	funcs, _ := pt.IndirectCallees(indirect)
+	names := map[string]bool{}
+	for _, f := range funcs {
+		names[f.Name] = true
+	}
+	if !names["inc"] || !names["dec"] {
+		t.Errorf("indirect callees = %v, want inc and dec", names)
+	}
+	if names["apply"] || names["main"] {
+		t.Errorf("over-approximated callees: %v", names)
+	}
+}
+
+func TestPointsToMayAlias(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int* a = malloc(4);
+	int* b = malloc(4);
+	int* c = a;
+	a[0] = 1;
+	b[0] = 2;
+	c[1] = 3;
+	return a[1];
+}`, lower.Options{})
+	pt := analysis.ComputePointsTo(prog)
+	var geps []*ir.GEP
+	prog.FuncByName("main").Instructions(func(in ir.Instr) bool {
+		if g, ok := in.(*ir.GEP); ok {
+			geps = append(geps, g)
+		}
+		return true
+	})
+	if len(geps) < 4 {
+		t.Fatalf("want >=4 GEPs, got %d", len(geps))
+	}
+	aGep, bGep, cGep := geps[0], geps[1], geps[2]
+	if pt.MayAlias(aGep, bGep) {
+		t.Error("distinct mallocs should not alias")
+	}
+	if !pt.MayAlias(aGep, cGep) {
+		t.Error("c copies a: their element addresses may alias")
+	}
+}
+
+const cgSrc = `
+extern int memcpy_cells(int* dst, int* src, int n);
+extern float sqrt(float x);
+int helper(int* p) { memcpy_cells(p, p, 1); return p[0]; }
+float pure(float x) { return sqrt(x) + 1.0; }
+int untouched() { return 3; }
+int main() {
+	int* buf = malloc(4);
+	int s = 0;
+	#pragma carmot roi hot
+	for (int i = 0; i < 4; i++) {
+		s = s + helper(buf);
+	}
+	float unused = pure(2.0);
+	return s + unused + untouched();
+}`
+
+func TestCallGraph(t *testing.T) {
+	prog := compile(t, cgSrc, lower.Options{})
+	pt := analysis.ComputePointsTo(prog)
+	cg := analysis.ComputeCallGraph(prog, pt)
+
+	onStack := cg.OnStackAtROIStart()
+	if !onStack[prog.FuncByName("main")] {
+		t.Error("main is on the stack when the ROI starts")
+	}
+	if onStack[prog.FuncByName("helper")] || onStack[prog.FuncByName("pure")] {
+		t.Error("helper/pure cannot be on the stack at ROI start")
+	}
+
+	reach := cg.ReachableWithinROI(analysis.ComputeROIRegions(prog))
+	if !reach[prog.FuncByName("main")] || !reach[prog.FuncByName("helper")] {
+		t.Error("main and helper execute within the ROI")
+	}
+	if reach[prog.FuncByName("pure")] || reach[prog.FuncByName("untouched")] {
+		t.Error("pure/untouched never run inside the ROI")
+	}
+
+	mayPin := cg.MayReachPrecompiled()
+	if !mayPin[prog.FuncByName("helper")] || !mayPin[prog.FuncByName("main")] {
+		t.Error("helper (and transitively main) reach memcpy_cells")
+	}
+	if mayPin[prog.FuncByName("pure")] {
+		t.Error("sqrt does not access memory; pure needs no Pin")
+	}
+
+	// Per-call gating.
+	prog.FuncByName("main").Instructions(func(in ir.Instr) bool {
+		c, ok := in.(*ir.Call)
+		if !ok {
+			return true
+		}
+		target := c.DirectTarget()
+		if target == nil || target.Func == nil {
+			return true
+		}
+		needs := cg.CallNeedsPin(c, mayPin)
+		switch target.Func.Name {
+		case "helper":
+			if !needs {
+				t.Error("call to helper needs Pin")
+			}
+		case "pure", "untouched":
+			if needs {
+				t.Errorf("call to %s should not need Pin", target.Func.Name)
+			}
+		}
+		return true
+	})
+
+	if callers := cg.Callers(prog.FuncByName("helper")); len(callers) != 1 || callers[0].Name != "main" {
+		t.Errorf("helper callers = %v", callers)
+	}
+}
+
+func TestMustAccessDataflow(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int a = 1;
+	int b = 2;
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		#pragma carmot roi body
+		{
+			s = a + b;     // first loads of a and b; first store of s
+			s = s + a;     // redundant load of a, load of s (first), redundant store of s
+			if (i > 1) {
+				b = b + 1; // load b redundant, store b first (write after read-only)
+			}
+		}
+	}
+	return s;
+}`, lower.Options{})
+	region := analysis.ComputeROIRegion(prog.ROIs[0])
+	ma := analysis.ComputeMustAccess(region)
+
+	type key struct {
+		name  string
+		write bool
+	}
+	redundant := map[key]int{}
+	total := map[key]int{}
+	region.Instructions(func(in ir.Instr) bool {
+		switch x := in.(type) {
+		case *ir.Load:
+			if x.Sym != nil {
+				total[key{x.Sym.Name, false}]++
+				if ma.Redundant[in] {
+					redundant[key{x.Sym.Name, false}]++
+				}
+			}
+		case *ir.Store:
+			if x.Sym != nil {
+				total[key{x.Sym.Name, true}]++
+				if ma.Redundant[in] {
+					redundant[key{x.Sym.Name, true}]++
+				}
+			}
+		}
+		return true
+	})
+	if redundant[key{"a", false}] != 1 {
+		t.Errorf("second load of a should be redundant: %v of %v", redundant[key{"a", false}], total[key{"a", false}])
+	}
+	if redundant[key{"s", true}] != 1 {
+		t.Errorf("second store of s should be redundant: %v", redundant[key{"s", true}])
+	}
+	if redundant[key{"b", true}] != 0 {
+		t.Errorf("store to b after read-only history must stay instrumented (I→IO)")
+	}
+	if redundant[key{"b", false}] != 1 {
+		t.Errorf("conditioned load of b follows a guaranteed earlier load: %v", redundant[key{"b", false}])
+	}
+	if redundant[key{"s", false}] != 1 {
+		t.Errorf("the load of s follows a guaranteed store of s; redundant (reads after the first access never change the FSA)")
+	}
+}
+
+func TestMustAccessBranchIntersection(t *testing.T) {
+	// An access that happened on only one path must not be treated as
+	// already-seen after the join.
+	prog := compile(t, `
+int main() {
+	int a = 1;
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		#pragma carmot roi body
+		{
+			if (i % 2 == 0) {
+				s = a;
+			}
+			s = s + a;
+		}
+	}
+	return s;
+}`, lower.Options{})
+	region := analysis.ComputeROIRegion(prog.ROIs[0])
+	ma := analysis.ComputeMustAccess(region)
+	loads := 0
+	redundantLoads := 0
+	region.Instructions(func(in ir.Instr) bool {
+		if ld, ok := in.(*ir.Load); ok && ld.Sym != nil && ld.Sym.Name == "a" {
+			loads++
+			if ma.Redundant[in] {
+				redundantLoads++
+			}
+		}
+		return true
+	})
+	if loads != 2 {
+		t.Fatalf("want 2 loads of a, got %d", loads)
+	}
+	if redundantLoads != 0 {
+		t.Error("the post-join load of a is only redundant on one path; must-analysis must keep it")
+	}
+}

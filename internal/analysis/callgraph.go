@@ -1,0 +1,209 @@
+package analysis
+
+import "carmot/internal/ir"
+
+// CallGraph is the complete call graph of §4.4: the absence of an edge
+// (f, g) guarantees f cannot invoke g. Indirect calls are resolved with
+// the points-to analysis (the paper uses NOELLE's PDG for this).
+type CallGraph struct {
+	prog *ir.Program
+
+	// CalleeFuncs/CalleeExterns give the possible targets of each call.
+	CalleeFuncs   map[*ir.Call][]*ir.Func
+	CalleeExterns map[*ir.Call][]*ir.Extern
+	callers       map[*ir.Func]map[*ir.Func]bool
+	callees       map[*ir.Func]map[*ir.Func]bool
+	externCallees map[*ir.Func]map[*ir.Extern]bool
+}
+
+// ComputeCallGraph builds the complete call graph.
+func ComputeCallGraph(prog *ir.Program, pt *PointsTo) *CallGraph {
+	cg := &CallGraph{
+		prog:          prog,
+		CalleeFuncs:   map[*ir.Call][]*ir.Func{},
+		CalleeExterns: map[*ir.Call][]*ir.Extern{},
+		callers:       map[*ir.Func]map[*ir.Func]bool{},
+		callees:       map[*ir.Func]map[*ir.Func]bool{},
+		externCallees: map[*ir.Func]map[*ir.Extern]bool{},
+	}
+	addEdge := func(from, to *ir.Func) {
+		if cg.callees[from] == nil {
+			cg.callees[from] = map[*ir.Func]bool{}
+		}
+		cg.callees[from][to] = true
+		if cg.callers[to] == nil {
+			cg.callers[to] = map[*ir.Func]bool{}
+		}
+		cg.callers[to][from] = true
+	}
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			c, ok := in.(*ir.Call)
+			if !ok {
+				return true
+			}
+			if fr := c.DirectTarget(); fr != nil {
+				if fr.Func != nil {
+					cg.CalleeFuncs[c] = []*ir.Func{fr.Func}
+					addEdge(fn, fr.Func)
+				} else {
+					cg.CalleeExterns[c] = []*ir.Extern{fr.Extern}
+					if cg.externCallees[fn] == nil {
+						cg.externCallees[fn] = map[*ir.Extern]bool{}
+					}
+					cg.externCallees[fn][fr.Extern] = true
+				}
+				return true
+			}
+			funcs, externs := pt.IndirectCallees(c)
+			cg.CalleeFuncs[c] = funcs
+			cg.CalleeExterns[c] = externs
+			for _, g := range funcs {
+				addEdge(fn, g)
+			}
+			for _, e := range externs {
+				if cg.externCallees[fn] == nil {
+					cg.externCallees[fn] = map[*ir.Extern]bool{}
+				}
+				cg.externCallees[fn][e] = true
+			}
+			return true
+		})
+	}
+	return cg
+}
+
+// Callers returns the possible direct callers of fn.
+func (cg *CallGraph) Callers(fn *ir.Func) []*ir.Func {
+	out := make([]*ir.Func, 0, len(cg.callers[fn]))
+	for f := range cg.callers[fn] {
+		out = append(out, f)
+	}
+	return out
+}
+
+// OnStackAtROIStart returns the set of functions that may be on the call
+// stack when some ROI starts: the functions containing ROIs and all their
+// transitive callers. Every other function can be compiled with
+// conventional -O3-style optimization (§4.4 opt 5) because its stack PSEs
+// cannot cross any ROI boundary.
+func (cg *CallGraph) OnStackAtROIStart() map[*ir.Func]bool {
+	out := map[*ir.Func]bool{}
+	var work []*ir.Func
+	for _, roi := range cg.prog.ROIs {
+		if !out[roi.Func] {
+			out[roi.Func] = true
+			work = append(work, roi.Func)
+		}
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		for caller := range cg.callers[f] {
+			if !out[caller] {
+				out[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return out
+}
+
+// MayReachPrecompiled returns, per function, whether executing it may
+// reach a precompiled (native) function that accesses program memory —
+// the condition under which a call site needs the Pin-analog hooks
+// (§4.4 opt 6).
+func (cg *CallGraph) MayReachPrecompiled() map[*ir.Func]bool {
+	out := map[*ir.Func]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, fn := range cg.prog.Funcs {
+			if out[fn] {
+				continue
+			}
+			hit := false
+			for e := range cg.externCallees[fn] {
+				if e.AccessesMemory {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				for g := range cg.callees[fn] {
+					if out[g] {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				out[fn] = true
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// CallNeedsPin reports whether a specific call site may transfer control
+// into memory-accessing precompiled code.
+func (cg *CallGraph) CallNeedsPin(c *ir.Call, mayReach map[*ir.Func]bool) bool {
+	for _, e := range cg.CalleeExterns[c] {
+		if e.AccessesMemory {
+			return true
+		}
+	}
+	for _, f := range cg.CalleeFuncs[c] {
+		if mayReach[f] {
+			return true
+		}
+	}
+	// An indirect call with no resolved targets is treated conservatively.
+	if c.DirectTarget() == nil && len(cg.CalleeFuncs[c]) == 0 && len(cg.CalleeExterns[c]) == 0 {
+		return true
+	}
+	return false
+}
+
+// ReachableWithinROI returns every function whose code may execute within
+// some dynamic ROI invocation: the ROI-containing functions plus the
+// forward closure of the calls made lexically inside ROI regions.
+// Instrumentation outside this set can never observe an in-ROI access.
+func (cg *CallGraph) ReachableWithinROI(regions map[*ir.ROI]*ROIRegion) map[*ir.Func]bool {
+	out := map[*ir.Func]bool{}
+	var work []*ir.Func
+	add := func(f *ir.Func) {
+		if f != nil && !out[f] {
+			out[f] = true
+			work = append(work, f)
+		}
+	}
+	for _, roi := range cg.prog.ROIs {
+		// The containing function itself is in scope (its in-region code
+		// needs instrumentation); its out-of-region calls are not.
+		out[roi.Func] = true
+	}
+	for _, roi := range cg.prog.ROIs {
+		region := regions[roi]
+		if region == nil {
+			continue
+		}
+		region.Instructions(func(in ir.Instr) bool {
+			if c, ok := in.(*ir.Call); ok {
+				for _, f := range cg.CalleeFuncs[c] {
+					add(f)
+				}
+			}
+			return true
+		})
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		for g := range cg.callees[f] {
+			add(g)
+		}
+	}
+	return out
+}

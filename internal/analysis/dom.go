@@ -1,0 +1,113 @@
+// Package analysis provides the compiler analyses CARMOT's PSEC-specific
+// optimizations are built on (§4.4): dominators, ROI region membership,
+// Andersen-style points-to, the complete call graph (the NOELLE-provided
+// ingredient of the paper), may-alias queries for PDG memory dependences,
+// and the must-access forward data-flow analysis of optimization 1.
+package analysis
+
+import "carmot/internal/ir"
+
+// Dominators holds the immediate-dominator tree of a function, computed
+// with the Cooper–Harvey–Kennedy iterative algorithm.
+type Dominators struct {
+	fn   *ir.Func
+	idom []int // block index -> immediate dominator block index (-1 for entry)
+	rpo  []int // block index -> reverse-postorder number
+}
+
+// ComputeDominators builds the dominator tree. ir.ComputeCFG must have run.
+func ComputeDominators(fn *ir.Func) *Dominators {
+	n := len(fn.Blocks)
+	d := &Dominators{fn: fn, idom: make([]int, n), rpo: make([]int, n)}
+
+	// Reverse postorder over the CFG.
+	order := make([]*ir.Block, 0, n)
+	seen := make([]bool, n)
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(fn.Entry())
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for i, b := range order {
+		d.rpo[b.Index] = i
+	}
+	for i := range d.idom {
+		d.idom[i] = -1
+	}
+	d.idom[fn.Entry().Index] = fn.Entry().Index
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for d.rpo[a] > d.rpo[b] {
+				a = d.idom[a]
+			}
+			for d.rpo[b] > d.rpo[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == fn.Entry() {
+				continue
+			}
+			newIdom := -1
+			for _, p := range b.Preds {
+				if !seen[p.Index] || d.idom[p.Index] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(p.Index, newIdom)
+				}
+			}
+			if newIdom != -1 && d.idom[b.Index] != newIdom {
+				d.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Idom returns the immediate dominator of b (nil for the entry block or
+// unreachable blocks).
+func (d *Dominators) Idom(b *ir.Block) *ir.Block {
+	i := d.idom[b.Index]
+	if i == -1 || i == b.Index {
+		return nil
+	}
+	return d.fn.Blocks[i]
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *Dominators) Dominates(a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	x := b.Index
+	for {
+		i := d.idom[x]
+		if i == -1 || i == x {
+			return false
+		}
+		if i == a.Index {
+			return true
+		}
+		x = i
+	}
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import "carmot/internal/ir"
+
+// MustAccess implements the intra-procedural forward data-flow analysis of
+// §4.4 optimization 1. For every point inside an ROI it computes the set
+// of PSEs that must already have been accessed (and the subset that must
+// already have been written) since the ROI invocation began, along every
+// path from the ROI entry. An access whose PSE is already in the
+// must-accessed set cannot change the Figure 3 FSA state — except a write
+// upon a read-only history (I → IO), which is why reads and writes are
+// tracked separately:
+//
+//   - a load is redundant if its PSE was already accessed;
+//   - a store is redundant if its PSE was already written.
+//
+// PSEs are identified by location keys: a direct variable (its alloca or
+// global) or a specific computed address (a GEP result — the same virtual
+// register always holds the same address within one execution). GEP-based
+// keys are invalidated at calls and frees, which may recycle memory.
+type MustAccess struct {
+	Region *ROIRegion
+	// Redundant maps each in-ROI load/store to whether its
+	// instrumentation can be removed.
+	Redundant map[ir.Instr]bool
+}
+
+type mustState struct {
+	accessed bitset
+	written  bitset
+}
+
+// ComputeMustAccess runs the analysis for one ROI region.
+func ComputeMustAccess(region *ROIRegion) *MustAccess {
+	ma := &MustAccess{Region: region, Redundant: map[ir.Instr]bool{}}
+
+	// Assign dense IDs to location keys and find GEP-derived keys.
+	keyID := map[interface{}]int{}
+	var gepKeys []int
+	keyOf := func(addr ir.Value) int {
+		var norm interface{}
+		isGEP := false
+		switch x := addr.(type) {
+		case *ir.Alloca:
+			norm = x
+		case *ir.GlobalAddr:
+			norm = x.Global
+		case *ir.GEP:
+			norm = x
+			isGEP = true
+		default:
+			return -1
+		}
+		if id, ok := keyID[norm]; ok {
+			return id
+		}
+		id := len(keyID)
+		keyID[norm] = id
+		if isGEP {
+			gepKeys = append(gepKeys, id)
+		}
+		return id
+	}
+	region.Instructions(func(in ir.Instr) bool {
+		switch x := in.(type) {
+		case *ir.Load:
+			keyOf(x.Addr)
+		case *ir.Store:
+			keyOf(x.Addr)
+		}
+		return true
+	})
+	n := len(keyID)
+	if n == 0 {
+		return ma
+	}
+
+	// Order the region blocks; identify the entry portion.
+	type portion struct {
+		blk    *ir.Block
+		lo, hi int
+	}
+	var portions []portion
+	indexOf := map[*ir.Block]int{}
+	for _, b := range region.ROI.Func.Blocks {
+		if rng, ok := region.Blocks[b]; ok {
+			indexOf[b] = len(portions)
+			portions = append(portions, portion{b, rng[0], rng[1]})
+		}
+	}
+
+	full := newBitset(n)
+	full.setAll(n)
+
+	in := make([]mustState, len(portions))
+	out := make([]mustState, len(portions))
+	for i := range portions {
+		in[i] = mustState{full.clone(), full.clone()}
+		out[i] = mustState{full.clone(), full.clone()}
+	}
+	entryIdx := indexOf[region.Begin.Blk]
+	in[entryIdx] = mustState{newBitset(n), newBitset(n)}
+
+	transfer := func(p portion, st mustState) mustState {
+		acc := st.accessed.clone()
+		wr := st.written.clone()
+		for i := p.lo; i < p.hi; i++ {
+			switch x := p.blk.Instrs[i].(type) {
+			case *ir.Load:
+				if k := keyOf(x.Addr); k >= 0 {
+					acc.set(k)
+				}
+			case *ir.Store:
+				if k := keyOf(x.Addr); k >= 0 {
+					acc.set(k)
+					wr.set(k)
+				}
+			case *ir.Call, *ir.Free:
+				for _, k := range gepKeys {
+					acc.clear(k)
+					wr.clear(k)
+				}
+			}
+		}
+		return mustState{acc, wr}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i, p := range portions {
+			if i != entryIdx {
+				st := mustState{full.clone(), full.clone()}
+				hasPred := false
+				for _, pred := range p.blk.Preds {
+					pi, ok := indexOf[pred]
+					if !ok {
+						continue
+					}
+					// Only predecessors whose in-ROI portion flows through
+					// their terminator stay inside the ROI.
+					if portions[pi].hi != len(pred.Instrs) {
+						continue
+					}
+					hasPred = true
+					st.accessed.intersect(out[pi].accessed)
+					st.written.intersect(out[pi].written)
+				}
+				if !hasPred {
+					st = mustState{newBitset(n), newBitset(n)}
+				}
+				if !st.accessed.equal(in[i].accessed) || !st.written.equal(in[i].written) {
+					in[i] = st
+					changed = true
+				}
+			}
+			no := transfer(p, in[i])
+			if !no.accessed.equal(out[i].accessed) || !no.written.equal(out[i].written) {
+				out[i] = no
+				changed = true
+			}
+		}
+	}
+
+	// Final pass: decide redundancy per instruction.
+	for i, p := range portions {
+		st := mustState{in[i].accessed.clone(), in[i].written.clone()}
+		for idx := p.lo; idx < p.hi; idx++ {
+			switch x := p.blk.Instrs[idx].(type) {
+			case *ir.Load:
+				if k := keyOf(x.Addr); k >= 0 {
+					if st.accessed.has(k) {
+						ma.Redundant[x] = true
+					}
+					st.accessed.set(k)
+				}
+			case *ir.Store:
+				if k := keyOf(x.Addr); k >= 0 {
+					if st.written.has(k) {
+						ma.Redundant[x] = true
+					}
+					st.accessed.set(k)
+					st.written.set(k)
+				}
+			case *ir.Call, *ir.Free:
+				for _, k := range gepKeys {
+					st.accessed.clear(k)
+					st.written.clear(k)
+				}
+			}
+		}
+	}
+	return ma
+}
+
+// bitset is a simple fixed-width bitset.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << uint(i%64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) setAll(n int) {
+	for i := 0; i < n; i++ {
+		b.set(i)
+	}
+}
+
+func (b bitset) intersect(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

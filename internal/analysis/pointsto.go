@@ -1,0 +1,467 @@
+package analysis
+
+import "carmot/internal/ir"
+
+// PointsTo is a flow-insensitive, field-insensitive, inclusion-based
+// (Andersen-style) points-to analysis over the whole program. It resolves
+// the possible callees of indirect calls — what the paper obtains from
+// NOELLE's PDG to build the complete call graph (§4.4 opt 5) — and powers
+// the may-alias queries behind the PDG memory dependences (opt 3).
+type PointsTo struct {
+	prog *ir.Program
+
+	objs   []objInfo
+	objOf  map[interface{}]int
+	nodes  []nodeInfo
+	nodeOf map[interface{}]int
+
+	pts    []map[int]struct{} // node -> object set
+	copies [][]int            // node -> copy-target nodes (dst ⊇ src)
+	loads  [][]int            // node -> dst nodes with dst ⊇ *node
+	stores [][]int            // node -> src nodes with *node ⊇ src
+	calls  []*callCons        // indirect calls, re-examined as pts grow
+}
+
+// ObjKind classifies abstract memory objects.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjAlloca ObjKind = iota
+	ObjGlobal
+	ObjMalloc
+	ObjFunc
+	ObjExtern
+)
+
+type objInfo struct {
+	kind   ObjKind
+	alloca *ir.Alloca
+	global *ir.Global
+	malloc *ir.Malloc
+	fn     *ir.Func
+	ext    *ir.Extern
+}
+
+type nodeInfo struct{ name string }
+
+type contentKey struct{ obj int }
+type returnKey struct{ fn *ir.Func }
+type paramKey struct {
+	fn    *ir.Func
+	index int
+}
+
+type callCons struct {
+	call     *ir.Call
+	caller   *ir.Func
+	callee   int // node of the callee value
+	argNodes []int
+	resNode  int
+	resolved map[int]bool // object ids already wired
+}
+
+// ComputePointsTo builds and solves the constraint system.
+func ComputePointsTo(prog *ir.Program) *PointsTo {
+	pt := &PointsTo{
+		prog:   prog,
+		objOf:  map[interface{}]int{},
+		nodeOf: map[interface{}]int{},
+	}
+	pt.build()
+	pt.solve()
+	return pt
+}
+
+func (pt *PointsTo) object(key interface{}, info objInfo) int {
+	if id, ok := pt.objOf[key]; ok {
+		return id
+	}
+	id := len(pt.objs)
+	pt.objs = append(pt.objs, info)
+	pt.objOf[key] = id
+	return id
+}
+
+func (pt *PointsTo) node(key interface{}, name string) int {
+	if id, ok := pt.nodeOf[key]; ok {
+		return id
+	}
+	id := len(pt.nodes)
+	pt.nodes = append(pt.nodes, nodeInfo{name: name})
+	pt.nodeOf[key] = id
+	pt.pts = append(pt.pts, map[int]struct{}{})
+	pt.copies = append(pt.copies, nil)
+	pt.loads = append(pt.loads, nil)
+	pt.stores = append(pt.stores, nil)
+	return id
+}
+
+// contentNode returns the node holding the pointer contents of an object
+// (field-insensitive: one cell per object).
+func (pt *PointsTo) contentNode(obj int) int {
+	return pt.node(contentKey{obj}, "*"+pt.objName(obj))
+}
+
+func (pt *PointsTo) objName(obj int) string {
+	o := pt.objs[obj]
+	switch o.kind {
+	case ObjAlloca:
+		if o.alloca.Sym != nil {
+			return o.alloca.Sym.Name
+		}
+		return "tmp"
+	case ObjGlobal:
+		return o.global.Sym.Name
+	case ObjMalloc:
+		return "malloc@" + o.malloc.Pos.String()
+	case ObjFunc:
+		return o.fn.Name
+	case ObjExtern:
+		return o.ext.Name
+	}
+	return "?"
+}
+
+// valueNode returns the constraint node for an IR value, creating address
+// constraints for address-yielding values; returns -1 for values that
+// cannot hold pointers.
+func (pt *PointsTo) valueNode(v ir.Value) int {
+	switch x := v.(type) {
+	case *ir.Const:
+		return -1
+	case *ir.Alloca:
+		n := pt.node(x, "&"+pt.objName(pt.object(x, objInfo{kind: ObjAlloca, alloca: x})))
+		pt.addObj(n, pt.objOf[x])
+		return n
+	case *ir.GlobalAddr:
+		obj := pt.object(x.Global, objInfo{kind: ObjGlobal, global: x.Global})
+		n := pt.node(x.Global, "&"+x.Global.Sym.Name)
+		pt.addObj(n, obj)
+		return n
+	case *ir.FuncRef:
+		if x.Func != nil {
+			obj := pt.object(x.Func, objInfo{kind: ObjFunc, fn: x.Func})
+			n := pt.node(x.Func, "&"+x.Func.Name)
+			pt.addObj(n, obj)
+			return n
+		}
+		obj := pt.object(x.Extern, objInfo{kind: ObjExtern, ext: x.Extern})
+		n := pt.node(x.Extern, "&"+x.Extern.Name)
+		pt.addObj(n, obj)
+		return n
+	case *ir.Param:
+		return pt.node(paramKey{fn: pt.fnOfParam(x), index: x.Index}, "param:"+x.Sym.Name)
+	case *ir.Malloc:
+		obj := pt.object(x, objInfo{kind: ObjMalloc, malloc: x})
+		n := pt.node(x, "&malloc")
+		pt.addObj(n, obj)
+		return n
+	case ir.Instr:
+		return pt.node(x, "t")
+	}
+	return -1
+}
+
+// fnOfParam finds the function owning a Param (params are created per
+// function during lowering).
+func (pt *PointsTo) fnOfParam(p *ir.Param) *ir.Func {
+	for _, f := range pt.prog.Funcs {
+		for _, q := range f.Params {
+			if q == p {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func (pt *PointsTo) addObj(node, obj int) { pt.pts[node][obj] = struct{}{} }
+
+func (pt *PointsTo) addCopy(src, dst int) {
+	if src < 0 || dst < 0 || src == dst {
+		return
+	}
+	pt.copies[src] = append(pt.copies[src], dst)
+}
+
+func (pt *PointsTo) build() {
+	for _, fn := range pt.prog.Funcs {
+		for _, p := range fn.Params {
+			pt.node(paramKey{fn: fn, index: p.Index}, "param:"+p.Sym.Name)
+		}
+		pt.node(returnKey{fn: fn}, "ret:"+fn.Name)
+	}
+	for _, fn := range pt.prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			switch x := in.(type) {
+			case *ir.GEP:
+				// Field-insensitive: the GEP result points wherever its
+				// base points.
+				pt.addCopy(pt.valueNode(x.Base), pt.valueNode(x))
+			case *ir.Load:
+				addr := pt.valueNode(x.Addr)
+				dst := pt.valueNode(x)
+				if addr >= 0 && dst >= 0 {
+					pt.loads[addr] = append(pt.loads[addr], dst)
+				}
+			case *ir.Store:
+				addr := pt.valueNode(x.Addr)
+				src := pt.valueNode(x.Val)
+				if addr >= 0 && src >= 0 {
+					pt.stores[addr] = append(pt.stores[addr], src)
+				}
+			case *ir.Call:
+				pt.buildCall(fn, x)
+			case *ir.Ret:
+				if x.Val != nil {
+					pt.addCopy(pt.valueNode(x.Val), pt.node(returnKey{fn: fn}, "ret"))
+				}
+			case *ir.Malloc:
+				pt.valueNode(x) // creates the object
+			case *ir.Alloca:
+				pt.valueNode(x)
+			}
+			return true
+		})
+	}
+}
+
+func (pt *PointsTo) buildCall(caller *ir.Func, c *ir.Call) {
+	res := pt.valueNode(c)
+	if fr := c.DirectTarget(); fr != nil {
+		if fr.Func != nil {
+			pt.wireCall(c, fr.Func, res)
+			return
+		}
+		pt.wireExtern(c, fr.Extern)
+		return
+	}
+	cc := &callCons{call: c, caller: caller, callee: pt.valueNode(c.Callee), resNode: res, resolved: map[int]bool{}}
+	for _, a := range c.Args {
+		cc.argNodes = append(cc.argNodes, pt.valueNode(a))
+	}
+	pt.calls = append(pt.calls, cc)
+}
+
+func (pt *PointsTo) wireCall(c *ir.Call, callee *ir.Func, res int) {
+	for i, a := range c.Args {
+		if i >= len(callee.Params) {
+			break
+		}
+		pt.addCopy(pt.valueNode(a), pt.node(paramKey{fn: callee, index: i}, "param"))
+	}
+	pt.addCopy(pt.node(returnKey{fn: callee}, "ret"), res)
+}
+
+// wireExtern models the pointer flow of native functions: memcpy-style
+// routines can propagate pointers between the pointee objects of their
+// arguments.
+func (pt *PointsTo) wireExtern(c *ir.Call, ext *ir.Extern) {
+	if ext.Name != "memcpy_cells" || len(c.Args) < 2 {
+		return
+	}
+	dst := pt.valueNode(c.Args[0])
+	src := pt.valueNode(c.Args[1])
+	if dst < 0 || src < 0 {
+		return
+	}
+	// *(dst) ⊇ *(src): express with a fresh intermediate node.
+	mid := pt.node(c, "memcpy")
+	pt.loads[src] = append(pt.loads[src], mid)
+	pt.stores[dst] = append(pt.stores[dst], mid)
+}
+
+func (pt *PointsTo) solve() {
+	work := make([]int, 0, len(pt.pts))
+	inWork := make([]bool, len(pt.pts))
+	push := func(n int) {
+		if n < 0 {
+			return
+		}
+		for n >= len(inWork) {
+			inWork = append(inWork, false)
+		}
+		if !inWork[n] {
+			inWork[n] = true
+			work = append(work, n)
+		}
+	}
+	for n := range pt.pts {
+		if len(pt.pts[n]) > 0 {
+			push(n)
+		}
+	}
+	propagate := func(src, dst int) bool {
+		changed := false
+		for o := range pt.pts[src] {
+			if _, ok := pt.pts[dst][o]; !ok {
+				pt.pts[dst][o] = struct{}{}
+				changed = true
+			}
+		}
+		return changed
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n] = false
+
+		// Complex constraints: loads/stores through n.
+		for _, dst := range pt.loads[n] {
+			for o := range pt.pts[n] {
+				cn := pt.contentNode(o)
+				pt.growSlices()
+				pt.addCopy(cn, dst)
+				if propagate(cn, dst) {
+					push(dst)
+				}
+			}
+		}
+		for _, src := range pt.stores[n] {
+			for o := range pt.pts[n] {
+				cn := pt.contentNode(o)
+				pt.growSlices()
+				pt.addCopy(src, cn)
+				if propagate(src, cn) {
+					push(cn)
+				}
+			}
+		}
+		// Indirect calls whose callee node is n.
+		for _, cc := range pt.calls {
+			if cc.callee != n {
+				continue
+			}
+			for o := range pt.pts[n] {
+				if cc.resolved[o] {
+					continue
+				}
+				cc.resolved[o] = true
+				oi := pt.objs[o]
+				if oi.kind != ObjFunc {
+					continue
+				}
+				for i, an := range cc.argNodes {
+					if i >= len(oi.fn.Params) {
+						break
+					}
+					pn := pt.node(paramKey{fn: oi.fn, index: i}, "param")
+					pt.growSlices()
+					pt.addCopy(an, pn)
+					if an >= 0 && propagate(an, pn) {
+						push(pn)
+					}
+				}
+				rn := pt.node(returnKey{fn: oi.fn}, "ret")
+				pt.growSlices()
+				pt.addCopy(rn, cc.resNode)
+				if cc.resNode >= 0 && propagate(rn, cc.resNode) {
+					push(cc.resNode)
+				}
+			}
+		}
+		// Simple copy edges.
+		for _, dst := range pt.copies[n] {
+			if propagate(n, dst) {
+				push(dst)
+			}
+		}
+	}
+}
+
+// growSlices keeps the parallel slices sized after node creation during
+// solving (content nodes are created lazily).
+func (pt *PointsTo) growSlices() {
+	for len(pt.copies) < len(pt.pts) {
+		pt.copies = append(pt.copies, nil)
+	}
+	for len(pt.loads) < len(pt.pts) {
+		pt.loads = append(pt.loads, nil)
+	}
+	for len(pt.stores) < len(pt.pts) {
+		pt.stores = append(pt.stores, nil)
+	}
+}
+
+// PointsToObjects returns the abstract objects a value may point to.
+func (pt *PointsTo) PointsToObjects(v ir.Value) []objInfo {
+	n, ok := pt.lookupNode(v)
+	if !ok {
+		return nil
+	}
+	out := make([]objInfo, 0, len(pt.pts[n]))
+	for o := range pt.pts[n] {
+		out = append(out, pt.objs[o])
+	}
+	return out
+}
+
+func (pt *PointsTo) lookupNode(v ir.Value) (int, bool) {
+	switch x := v.(type) {
+	case *ir.GlobalAddr:
+		n, ok := pt.nodeOf[x.Global]
+		return n, ok
+	case *ir.FuncRef:
+		if x.Func != nil {
+			n, ok := pt.nodeOf[x.Func]
+			return n, ok
+		}
+		n, ok := pt.nodeOf[x.Extern]
+		return n, ok
+	case *ir.Param:
+		n, ok := pt.nodeOf[paramKey{fn: pt.fnOfParam(x), index: x.Index}]
+		return n, ok
+	default:
+		n, ok := pt.nodeOf[v]
+		return n, ok
+	}
+}
+
+// objSet returns the raw object-id set for an address value (empty when
+// unknown).
+func (pt *PointsTo) objSet(v ir.Value) map[int]struct{} {
+	n, ok := pt.lookupNode(v)
+	if !ok {
+		return nil
+	}
+	return pt.pts[n]
+}
+
+// MayAlias reports whether two address values may reference the same
+// object. Unknown (empty) points-to sets answer true conservatively.
+func (pt *PointsTo) MayAlias(a, b ir.Value) bool {
+	sa, sb := pt.objSet(a), pt.objSet(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		return true
+	}
+	for o := range sa {
+		if _, ok := sb[o]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// IndirectCallees returns the functions an indirect call may invoke.
+func (pt *PointsTo) IndirectCallees(c *ir.Call) (funcs []*ir.Func, externs []*ir.Extern) {
+	n, ok := pt.lookupNode(c.Callee)
+	if !ok {
+		return nil, nil
+	}
+	for o := range pt.pts[n] {
+		switch pt.objs[o].kind {
+		case ObjFunc:
+			funcs = append(funcs, pt.objs[o].fn)
+		case ObjExtern:
+			externs = append(externs, pt.objs[o].ext)
+		}
+	}
+	return funcs, externs
+}
+
+// ObjAllocaOf returns the alloca of an object when it is one, else nil.
+func (o objInfo) Alloca() *ir.Alloca { return o.alloca }
+
+// Kind returns the object kind.
+func (o objInfo) Kind() ObjKind { return o.kind }

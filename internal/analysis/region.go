@@ -1,0 +1,121 @@
+package analysis
+
+import "carmot/internal/ir"
+
+// ROIRegion is the static extent of an ROI within its function: the set
+// of instructions executed between the ROIBegin marker and any matching
+// ROIEnd (ROIs are single-entry single-exit source regions, §3.1, but
+// early exits lowered from break/return introduce multiple static end
+// markers).
+type ROIRegion struct {
+	ROI   *ir.ROI
+	Begin *ir.ROIBegin
+	Ends  []*ir.ROIEnd
+	// Blocks maps each block that contains ROI instructions to the
+	// half-open instruction index range that is inside the ROI.
+	Blocks map[*ir.Block][2]int
+	inROI  map[ir.Instr]bool
+}
+
+// Contains reports whether the instruction executes inside the ROI.
+func (r *ROIRegion) Contains(in ir.Instr) bool { return r.inROI[in] }
+
+// Instructions calls fn for every instruction inside the ROI, in block
+// order.
+func (r *ROIRegion) Instructions(fn func(ir.Instr) bool) {
+	for _, b := range r.ROI.Func.Blocks {
+		rng, ok := r.Blocks[b]
+		if !ok {
+			continue
+		}
+		for i := rng[0]; i < rng[1]; i++ {
+			if !fn(b.Instrs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// ComputeROIRegion determines the instructions belonging to roi inside
+// its function by walking the CFG from the ROIBegin marker and stopping
+// at ROIEnd markers of the same ROI.
+func ComputeROIRegion(roi *ir.ROI) *ROIRegion {
+	fn := roi.Func
+	r := &ROIRegion{ROI: roi, Blocks: map[*ir.Block][2]int{}, inROI: map[ir.Instr]bool{}}
+
+	// Locate the unique static begin marker.
+	var beginBlk *ir.Block
+	beginIdx := -1
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			if rb, ok := in.(*ir.ROIBegin); ok && rb.ROI == roi {
+				r.Begin = rb
+				beginBlk = b
+				beginIdx = i
+			}
+		}
+	}
+	if beginBlk == nil {
+		return r
+	}
+
+	// scan marks instructions of block b starting at index from until an
+	// ROIEnd for this roi or the block end; returns whether successors
+	// continue the region.
+	type workItem struct {
+		b    *ir.Block
+		from int
+	}
+	visited := map[*ir.Block]bool{}
+	work := []workItem{{beginBlk, beginIdx + 1}}
+	if beginIdx+1 <= len(beginBlk.Instrs) {
+		visited[beginBlk] = true
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		end := len(it.b.Instrs)
+		continues := true
+		for i := it.from; i < len(it.b.Instrs); i++ {
+			if re, ok := it.b.Instrs[i].(*ir.ROIEnd); ok && re.ROI == roi {
+				r.Ends = append(r.Ends, re)
+				end = i
+				continues = false
+				break
+			}
+		}
+		for i := it.from; i < end; i++ {
+			r.inROI[it.b.Instrs[i]] = true
+		}
+		if rng, ok := r.Blocks[it.b]; ok {
+			if it.from < rng[0] {
+				rng[0] = it.from
+			}
+			if end > rng[1] {
+				rng[1] = end
+			}
+			r.Blocks[it.b] = rng
+		} else {
+			r.Blocks[it.b] = [2]int{it.from, end}
+		}
+		if !continues {
+			continue
+		}
+		for _, s := range it.b.Succs {
+			if !visited[s] {
+				visited[s] = true
+				work = append(work, workItem{s, 0})
+			}
+		}
+	}
+	return r
+}
+
+// ComputeROIRegions computes every ROI's region for a program.
+func ComputeROIRegions(prog *ir.Program) map[*ir.ROI]*ROIRegion {
+	out := map[*ir.ROI]*ROIRegion{}
+	for _, roi := range prog.ROIs {
+		out[roi] = ComputeROIRegion(roi)
+	}
+	return out
+}

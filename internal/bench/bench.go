@@ -1,0 +1,64 @@
+// Package bench contains the MiniC analogs of the paper's evaluation
+// programs (§5): eight NAS kernels, four PARSEC applications, and three
+// SPEC CPU 2017 programs, plus the STATS workloads of §5.3. Each analog
+// reproduces the access-pattern structure that drives the paper's result
+// for that benchmark: reductions, privatizable temporaries,
+// cross-iteration RAW dependences, pthread-style sections, barrier/master
+// SPMD phases (ep, nab), and nab's multi-file reference cycle.
+package bench
+
+import "fmt"
+
+// Suite names.
+const (
+	SuiteNAS    = "NAS"
+	SuitePARSEC = "PARSEC"
+	SuiteSPEC   = "SPEC CPU 2017"
+)
+
+// Benchmark is one evaluation program.
+type Benchmark struct {
+	Name  string
+	Suite string
+	// Source renders the program at a given problem scale.
+	Source func(scale int) string
+	// DevScale is the small "test/class A/simsmall" input used for
+	// overhead measurements; ProdScale the "reference/class C/native"
+	// input used for speedup measurements (§5).
+	DevScale  int
+	ProdScale int
+	// PthreadStyle marks benchmarks whose original parallelism is
+	// explicit threads, modeled as parallel sections (§5.1: canneal,
+	// swaptions).
+	PthreadStyle bool
+	// SectionsOnly marks benchmarks whose main parallelism comes from
+	// parallel sections with barrier/master synchronization, which
+	// CARMOT does not generate (§5.1: ep, nab underperform).
+	SectionsOnly bool
+	Notes        string
+}
+
+// All returns the fifteen Figure 6/7 benchmarks in display order.
+func All() []Benchmark {
+	return []Benchmark{
+		btBench(), cgBench(), epBench(), ftBench(), isBench(),
+		luBench(), mgBench(), spBench(),
+		blackscholesBench(), cannealBench(), streamclusterBench(), swaptionsBench(),
+		lbmBench(), nabBench(), xzBench(),
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range StatsWorkloads() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}

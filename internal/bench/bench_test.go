@@ -1,0 +1,120 @@
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"carmot"
+	"carmot/internal/bench"
+	"carmot/internal/core"
+)
+
+// aggregateSets folds a PSEC's elements by source identity (kind, name,
+// declaration/allocation site), merging the Sets of dynamic instances
+// that differ only by allocation call stack. Comparisons between naive
+// and optimized runs must use this view: call-stack interning order is an
+// implementation detail.
+func aggregateSets(p *core.PSEC) map[string]core.SetMask {
+	out := map[string]core.SetMask{}
+	for _, e := range p.Elements {
+		if e.Sets == 0 {
+			continue
+		}
+		key := fmt.Sprintf("%s|%s|%s", e.PSE.Kind, e.PSE.Name, e.PSE.AllocPos)
+		out[key] = core.MergeSets(out[key], e.Sets)
+	}
+	return out
+}
+
+// TestAllBenchmarksCompile lowers every benchmark at dev scale and checks
+// basic IR sanity.
+func TestAllBenchmarksCompile(t *testing.T) {
+	for _, b := range append(bench.All(), bench.StatsWorkloads()...) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := carmot.Compile(b.Name+".mc", b.Source(b.DevScale), carmot.CompileOptions{
+				ProfileOmpRegions: true, ProfileStatsRegions: true,
+			})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if prog.IR.FuncByName("main") == nil {
+				t.Fatal("no main function")
+			}
+		})
+	}
+}
+
+// TestAllBenchmarksExecute runs every benchmark uninstrumented and checks
+// the run is deterministic.
+func TestAllBenchmarksExecute(t *testing.T) {
+	for _, b := range append(bench.All(), bench.StatsWorkloads()...) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := carmot.Compile(b.Name+".mc", b.Source(b.DevScale), carmot.CompileOptions{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			r1, err := prog.Execute(nil, 500_000_000)
+			if err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			r2, err := prog.Execute(nil, 500_000_000)
+			if err != nil {
+				t.Fatalf("re-execute: %v", err)
+			}
+			if r1.Exit != r2.Exit {
+				t.Errorf("nondeterministic exit: %d vs %d", r1.Exit, r2.Exit)
+			}
+			if r1.Steps == 0 {
+				t.Error("no instructions executed")
+			}
+		})
+	}
+}
+
+// TestAllBenchmarksProfileAgreement profiles every benchmark under both
+// the naive baseline and the optimized CARMOT configuration and checks
+// that shared PSEC elements classify identically (the optimizations must
+// not change the characterization).
+func TestAllBenchmarksProfileAgreement(t *testing.T) {
+	for _, b := range append(bench.All(), bench.StatsWorkloads()...) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opts := carmot.CompileOptions{ProfileOmpRegions: true, ProfileStatsRegions: true}
+			progC, err := carmot.Compile(b.Name+".mc", b.Source(b.DevScale), opts)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			progN, err := carmot.Compile(b.Name+".mc", b.Source(b.DevScale), opts)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if len(progC.ROIs()) == 0 {
+				t.Fatal("benchmark has no ROI")
+			}
+			resC, err := progC.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP, MaxSteps: 500_000_000})
+			if err != nil {
+				t.Fatalf("carmot profile: %v", err)
+			}
+			resN, err := progN.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP, Naive: true, MaxSteps: 500_000_000})
+			if err != nil {
+				t.Fatalf("naive profile: %v", err)
+			}
+			for roiID := range resC.PSECs {
+				cAgg := aggregateSets(resC.PSECs[roiID])
+				nAgg := aggregateSets(resN.PSECs[roiID])
+				for key, cSets := range cAgg {
+					nSets, ok := nAgg[key]
+					if !ok {
+						t.Errorf("roi %d: element %q missing from naive PSEC", roiID, key)
+						continue
+					}
+					if nSets != cSets {
+						t.Errorf("roi %d: element %q carmot=%s naive=%s", roiID, key, cSets, nSets)
+					}
+				}
+			}
+		})
+	}
+}

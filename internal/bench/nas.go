@@ -1,0 +1,547 @@
+package bench
+
+import "fmt"
+
+// btBench is the NAS BT analog: block-tridiagonal row solves with
+// privatizable scalar temporaries and write-once output rows.
+func btBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+
+int N = %d;
+float* lhs;
+float* rhs;
+float* u;
+
+void init() {
+	lhs = malloc(N * 8);
+	rhs = malloc(N);
+	u = malloc(N);
+	rand_seed(42);
+	for (int j = 0; j < N * 8; j++) {
+		lhs[j] = rand_float() + 0.5;
+	}
+	for (int j = 0; j < N; j++) {
+		rhs[j] = rand_float();
+	}
+}
+
+void solve() {
+	float t1;
+	float t2;
+	#pragma omp parallel for private(t1, t2)
+	for (int i = 0; i < N; i++) {
+		t1 = rhs[i];
+		t2 = 0.0;
+		for (int rep = 0; rep < 6; rep++) {
+			for (int k = 0; k < 8; k++) {
+				t2 = t2 + lhs[i * 8 + k] * t1;
+				t1 = t1 * 0.99 + 0.01;
+			}
+		}
+		u[i] = t2 / (lhs[i * 8] + 1.0);
+	}
+}
+
+int main() {
+	init();
+	solve();
+	float acc = 0.0;
+	for (int i = 0; i < N; i++) {
+		acc = acc + u[i];
+	}
+	return acc;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "bt", Suite: SuiteNAS, Source: src,
+		DevScale: 2000, ProdScale: 60000,
+		Notes: "private scalar temporaries, disjoint row writes",
+	}
+}
+
+// cgBench is the NAS CG analog: banded mat-vec with private row sums and
+// a dot-product reduction.
+func cgBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+
+int N = %d;
+float* a;
+float* x;
+float* y;
+
+void init() {
+	a = malloc(N * 16);
+	x = malloc(N);
+	y = malloc(N);
+	rand_seed(7);
+	for (int j = 0; j < N * 16; j++) {
+		a[j] = rand_float();
+	}
+	for (int j = 0; j < N; j++) {
+		x[j] = rand_float() - 0.5;
+	}
+}
+
+void matvec() {
+	float sum;
+	#pragma omp parallel for private(sum)
+	for (int i = 0; i < N; i++) {
+		sum = 0.0;
+		for (int rep = 0; rep < 4; rep++) {
+			for (int k = 0; k < 16; k++) {
+				sum = sum + a[i * 16 + k] * x[(i + k) %% N];
+			}
+		}
+		y[i] = sum / 4.0;
+	}
+}
+
+float dot() {
+	float d = 0.0;
+	#pragma omp parallel for reduction(+: d)
+	for (int i = 0; i < N; i++) {
+		d = d + x[i] * y[i];
+	}
+	return d;
+}
+
+int main() {
+	init();
+	matvec();
+	float d = dot();
+	return d * 100.0;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "cg", Suite: SuiteNAS, Source: src,
+		DevScale: 2000, ProdScale: 50000,
+		Notes: "reduction(+:d) recognized from load-add-store pattern",
+	}
+}
+
+// epBench is the NAS EP analog. Its original parallelism is SPMD-style:
+// parallel sections with a barrier and a master combine — abstractions
+// CARMOT does not generate (§5.1). The per-worker loop carries the PRNG
+// state across iterations (a non-reducible Transfer), so CARMOT cannot
+// recover the main parallelism; the Figure 6 ep bar stays low.
+func epBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+int N = %d;
+float p0;
+float p1;
+float p2;
+float p3;
+float total;
+
+float worker(int seed, int n) {
+	int s = seed;
+	float sum = 0.0;
+	float x = 0.0;
+	float y = 0.0;
+	float t = 0.0;
+	#pragma carmot roi epkernel
+	for (int i = 0; i < n; i++) {
+		s = (s * 1103515 + 12345) %% 2147483647;
+		x = s;
+		x = x / 2147483647.0;
+		s = (s * 1103515 + 12345) %% 2147483647;
+		y = s;
+		y = y / 2147483647.0;
+		t = x * x + y * y;
+		if (t <= 1.0) {
+			sum = sum + t;
+		}
+	}
+	return sum;
+}
+
+int main() {
+	#pragma omp parallel sections
+	{
+		#pragma omp section
+		{
+			p0 = worker(1, N);
+			#pragma omp barrier
+			#pragma omp master
+			{
+				total = p0 + p1 + p2 + p3;
+			}
+		}
+		#pragma omp section
+		{
+			p1 = worker(2, N);
+			#pragma omp barrier
+		}
+		#pragma omp section
+		{
+			p2 = worker(3, N);
+			#pragma omp barrier
+		}
+		#pragma omp section
+		{
+			p3 = worker(4, N);
+			#pragma omp barrier
+		}
+	}
+	return total;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "ep", Suite: SuiteNAS, Source: src,
+		DevScale: 4000, ProdScale: 150000,
+		SectionsOnly: true,
+		Notes:        "sequential PRNG chain defeats loop parallelization; sections+barrier+master unsupported",
+	}
+}
+
+// ftBench is the NAS FT analog: a direct short-window transform, a pure
+// gather (inputs Input, outputs Output, scratch private).
+func ftBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+extern float sin(float x);
+extern float cos(float x);
+
+int N = %d;
+float* re;
+float* im;
+float* outRe;
+float* outIm;
+float* wRe;
+float* wIm;
+
+void init() {
+	re = malloc(N);
+	im = malloc(N);
+	outRe = malloc(N);
+	outIm = malloc(N);
+	wRe = malloc(32);
+	wIm = malloc(32);
+	rand_seed(11);
+	for (int j = 0; j < N; j++) {
+		re[j] = rand_float() - 0.5;
+		im[j] = rand_float() - 0.5;
+	}
+	for (int k = 0; k < 32; k++) {
+		wRe[k] = cos(0.19634954 * k);
+		wIm[k] = sin(0.19634954 * k);
+	}
+}
+
+void transform() {
+	float sr;
+	float si;
+	#pragma omp parallel for private(sr, si)
+	for (int i = 0; i < N; i++) {
+		sr = 0.0;
+		si = 0.0;
+		for (int k = 0; k < 32; k++) {
+			int idx = (i + k) %% N;
+			sr = sr + re[idx] * wRe[k] - im[idx] * wIm[k];
+			si = si + re[idx] * wIm[k] + im[idx] * wRe[k];
+		}
+		outRe[i] = sr;
+		outIm[i] = si;
+	}
+}
+
+int main() {
+	init();
+	transform();
+	float acc = 0.0;
+	for (int i = 0; i < N; i++) {
+		acc = acc + outRe[i] * outRe[i] + outIm[i] * outIm[i];
+	}
+	return acc;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "ft", Suite: SuiteNAS, Source: src,
+		DevScale: 600, ProdScale: 20000,
+		Notes: "pure gather transform; inputs shared, outputs disjoint",
+	}
+}
+
+// isBench is the NAS IS analog: histogram ranking. The bucket counters
+// are Transfer PSEs whose updates match the + reduction pattern, so
+// CARMOT recommends an array reduction rather than a critical section.
+func isBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern int rand_int(int bound);
+
+int N = %d;
+int NB = 512;
+int* key;
+int* cnt;
+int* rank_;
+
+void init() {
+	key = malloc(N);
+	cnt = malloc(NB);
+	rank_ = malloc(N);
+	rand_seed(3);
+	for (int j = 0; j < N; j++) {
+		key[j] = rand_int(512);
+	}
+}
+
+void count() {
+	int k;
+	#pragma omp parallel for private(k) reduction(+: cnt)
+	for (int i = 0; i < N; i++) {
+		k = key[i];
+		cnt[k] = cnt[k] + 1;
+	}
+}
+
+void prefix() {
+	int run = 0;
+	int c;
+	#pragma carmot roi prefix
+	for (int b = 0; b < NB; b++) {
+		c = cnt[b];
+		cnt[b] = run;
+		run = run + c;
+	}
+}
+
+void rankKeys() {
+	#pragma omp parallel for
+	for (int i = 0; i < N; i++) {
+		rank_[i] = cnt[key[i]] + i %% 3;
+	}
+}
+
+int main() {
+	init();
+	count();
+	prefix();
+	rankKeys();
+	int acc = 0;
+	for (int i = 0; i < N; i = i + 97) {
+		acc = acc + rank_[i];
+	}
+	return acc;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "is", Suite: SuiteNAS, Source: src,
+		DevScale: 20000, ProdScale: 800000,
+		Notes: "array reduction on bucket counters; sequential prefix scan correctly left serial",
+	}
+}
+
+// luBench is the NAS LU analog: a Jacobi-style SSOR sweep (read old,
+// write new) plus an L2-norm reduction.
+func luBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+extern float fabs(float x);
+
+int N = %d;
+float* uo;
+float* un;
+
+void init() {
+	uo = malloc(N + 2);
+	un = malloc(N + 2);
+	rand_seed(17);
+	for (int j = 0; j < N + 2; j++) {
+		uo[j] = rand_float();
+	}
+}
+
+void sweep() {
+	float c;
+	#pragma omp parallel for private(c)
+	for (int i = 1; i <= N; i++) {
+		c = 0.25 * uo[i - 1] + 0.5 * uo[i] + 0.25 * uo[i + 1];
+		for (int r = 0; r < 40; r++) {
+			c = c * 0.98 + uo[i] * 0.02;
+		}
+		un[i] = c;
+	}
+}
+
+float norm() {
+	float s = 0.0;
+	#pragma omp parallel for reduction(+: s)
+	for (int i = 1; i <= N; i++) {
+		s = s + fabs(un[i] - uo[i]);
+	}
+	return s;
+}
+
+int main() {
+	init();
+	sweep();
+	float r = norm();
+	return r * 10.0;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "lu", Suite: SuiteNAS, Source: src,
+		DevScale: 4000, ProdScale: 150000,
+		Notes: "stencil sweep with neighbor reads; inclusive loop bounds exercise <=",
+	}
+}
+
+// mgBench is the NAS MG analog: grid smoothing loops plus the extra task
+// parallelism the paper adds to mg (§5.1), expressed as omp tasks with
+// depend clauses forming a small DAG.
+func mgBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+
+int N = %d;
+float* fine;
+float* coarse;
+float q0;
+float q1;
+float q2;
+float q3;
+float r0;
+
+void init() {
+	fine = malloc(N);
+	coarse = malloc(N / 2 + 1);
+	rand_seed(23);
+	for (int j = 0; j < N; j++) {
+		fine[j] = rand_float();
+	}
+}
+
+void smooth() {
+	float v;
+	#pragma omp parallel for private(v)
+	for (int i = 1; i < N - 1; i++) {
+		v = 0.3 * fine[i - 1] + 0.4 * fine[i] + 0.3 * fine[i + 1];
+		for (int r = 0; r < 24; r++) {
+			v = v * 0.97 + 0.01;
+		}
+		coarse[i / 2] = v;
+	}
+}
+
+float chunkSum(int lo, int hi) {
+	float s = 0.0;
+	for (int i = lo; i < hi; i++) {
+		s = s + fine[i] * fine[i];
+		fine[i] = fine[i] * 0.999;
+	}
+	return s;
+}
+
+int main() {
+	init();
+	smooth();
+	int q = N / 4;
+	#pragma omp task depend(out: q0)
+	{
+		q0 = chunkSum(0, q);
+	}
+	#pragma omp task depend(out: q1)
+	{
+		q1 = chunkSum(q, 2 * q);
+	}
+	#pragma omp task depend(out: q2)
+	{
+		q2 = chunkSum(2 * q, 3 * q);
+	}
+	#pragma omp task depend(out: q3)
+	{
+		q3 = chunkSum(3 * q, N);
+	}
+	#pragma omp task depend(in: q0, q1, q2, q3) depend(out: r0)
+	{
+		r0 = q0 + q1 + q2 + q3;
+	}
+	#pragma omp taskwait
+	return r0;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "mg", Suite: SuiteNAS, Source: src,
+		DevScale: 4000, ProdScale: 200000,
+		Notes: "smoothing loop + added omp task DAG (the §5.1 mg extension)",
+	}
+}
+
+// spBench is the NAS SP analog: row updates plus a non-commutative
+// running normalization that needs an ordered section.
+func spBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+extern float fabs(float x);
+
+int N = %d;
+float* v;
+float* w;
+float norm = 1.0;
+
+void init() {
+	v = malloc(N);
+	w = malloc(N);
+	rand_seed(31);
+	for (int j = 0; j < N; j++) {
+		v[j] = rand_float() + 0.1;
+	}
+}
+
+void relax() {
+	float t;
+	#pragma omp parallel for private(t) ordered
+	for (int i = 0; i < N; i++) {
+		t = v[i];
+		for (int r = 0; r < 48; r++) {
+			t = t * 0.96 + 0.02;
+		}
+		w[i] = t;
+		#pragma omp ordered
+		{
+			norm = (norm + fabs(t)) / 2.0;
+		}
+	}
+}
+
+int main() {
+	init();
+	relax();
+	float acc = norm * 1000.0;
+	for (int i = 0; i < N; i = i + 31) {
+		acc = acc + w[i];
+	}
+	return acc;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "sp", Suite: SuiteNAS, Source: src,
+		DevScale: 3000, ProdScale: 120000,
+		Notes: "non-commutative running average forces an ordered section",
+	}
+}

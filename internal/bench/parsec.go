@@ -1,0 +1,295 @@
+package bench
+
+import "fmt"
+
+// blackscholesBench is the PARSEC blackscholes analog: option pricing
+// over independent entries with native math calls, all inputs shared, the
+// price vector written disjointly.
+func blackscholesBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+extern float exp(float x);
+extern float log(float x);
+extern float sqrt(float x);
+
+int N = %d;
+float* sptprice;
+float* strike;
+float* rate;
+float* volatility;
+float* otime;
+float* prices;
+
+void init() {
+	sptprice = malloc(N);
+	strike = malloc(N);
+	rate = malloc(N);
+	volatility = malloc(N);
+	otime = malloc(N);
+	prices = malloc(N);
+	rand_seed(101);
+	for (int j = 0; j < N; j++) {
+		sptprice[j] = 90.0 + rand_float() * 20.0;
+		strike[j] = 95.0 + rand_float() * 10.0;
+		rate[j] = 0.01 + rand_float() * 0.05;
+		volatility[j] = 0.1 + rand_float() * 0.4;
+		otime[j] = 0.25 + rand_float();
+	}
+}
+
+float cndf(float x) {
+	float k = 1.0 / (1.0 + 0.2316419 * x);
+	float w = 0.31938153 * k - 0.356563782 * k * k + 1.781477937 * k * k * k;
+	float d = 0.3989423 * exp(0.0 - x * x / 2.0);
+	return 1.0 - d * w;
+}
+
+void priceAll() {
+	float d1;
+	float d2;
+	float den;
+	#pragma omp parallel for private(d1, d2, den)
+	for (int i = 0; i < N; i++) {
+		den = volatility[i] * sqrt(otime[i]);
+		d1 = (log(sptprice[i] / strike[i]) + (rate[i] + volatility[i] * volatility[i] / 2.0) * otime[i]) / den;
+		d2 = d1 - den;
+		prices[i] = 0.0;
+		for (int rep = 0; rep < 4; rep++) {
+			prices[i] = prices[i] + sptprice[i] * cndf(d1 + rep * 0.001) - strike[i] * exp(0.0 - rate[i] * otime[i]) * cndf(d2 + rep * 0.001);
+		}
+		prices[i] = prices[i] / 4.0;
+	}
+}
+
+int main() {
+	init();
+	priceAll();
+	float acc = 0.0;
+	for (int i = 0; i < N; i++) {
+		acc = acc + prices[i];
+	}
+	return acc / N;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "blackscholes", Suite: SuitePARSEC, Source: src,
+		DevScale: 800, ProdScale: 30000,
+		Notes: "embarrassingly parallel pricing; private temporaries inside called helpers",
+	}
+}
+
+// cannealBench is the PARSEC canneal analog. Its original parallelism is
+// pthread workers, modeled as parallel sections over disjoint element
+// ranges; CARMOT's ROI is the worker's swap loop (§5.1: "we use as ROI
+// the entry point function of such threads").
+func cannealBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+int N = %d;
+int* loc;
+int* gain;
+int accepted = 0;
+
+void init() {
+	loc = malloc(N);
+	gain = malloc(N);
+	for (int j = 0; j < N; j++) {
+		loc[j] = j;
+		gain[j] = (j * 2654435761) %% 1000;
+	}
+}
+
+int cost(int a, int b) {
+	int c = 0;
+	for (int r = 0; r < 24; r++) {
+		c = c + (gain[a] - gain[b] + r) %% 17;
+	}
+	return c;
+}
+
+void worker(int lo, int hi, int seed) {
+	int s = seed;
+	int a = 0;
+	int b = 0;
+	int delta = 0;
+	#pragma carmot roi swaps
+	for (int i = lo; i < hi; i++) {
+		a = lo + (i * 48271) %% (hi - lo);
+		b = lo + (i * 16807 + 7) %% (hi - lo);
+		delta = cost(a, b);
+		if (delta %% 2 == 0) {
+			accepted = accepted + 1;
+		}
+	}
+}
+
+int main() {
+	init();
+	int q = N / 4;
+	#pragma omp parallel sections
+	{
+		#pragma omp section
+		{
+			worker(0, q, 1);
+		}
+		#pragma omp section
+		{
+			worker(q, 2 * q, 2);
+		}
+		#pragma omp section
+		{
+			worker(2 * q, 3 * q, 3);
+		}
+		#pragma omp section
+		{
+			worker(3 * q, N, 4);
+		}
+	}
+	return accepted;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "canneal", Suite: SuitePARSEC, Source: src,
+		DevScale: 1200, ProdScale: 40000,
+		PthreadStyle: true,
+		Notes:        "pthread-style sections; CARMOT recommends parallel for + reduction on the accept counter",
+	}
+}
+
+// streamclusterBench is the PARSEC streamcluster analog: nearest-center
+// assignment with a cost reduction.
+func streamclusterBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+
+int N = %d;
+int K = 24;
+int D = 8;
+float* pts;
+float* ctr;
+float totalCost = 0.0;
+
+void init() {
+	pts = malloc(N * 8);
+	ctr = malloc(24 * 8);
+	rand_seed(55);
+	for (int j = 0; j < N * 8; j++) {
+		pts[j] = rand_float();
+	}
+	for (int j = 0; j < 24 * 8; j++) {
+		ctr[j] = rand_float();
+	}
+}
+
+void assign() {
+	float best;
+	float d;
+	float diff;
+	#pragma omp parallel for private(best, d, diff) reduction(+: totalCost)
+	for (int i = 0; i < N; i++) {
+		best = 1000000.0;
+		for (int k = 0; k < K; k++) {
+			d = 0.0;
+			for (int j = 0; j < D; j++) {
+				diff = pts[i * D + j] - ctr[k * D + j];
+				d = d + diff * diff;
+			}
+			if (d < best) {
+				best = d;
+			}
+		}
+		totalCost = totalCost + best;
+	}
+}
+
+int main() {
+	init();
+	assign();
+	return totalCost;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "streamcluster", Suite: SuitePARSEC, Source: src,
+		DevScale: 400, ProdScale: 12000,
+		Notes: "nested distance loops; global cost reduction",
+	}
+}
+
+// swaptionsBench is the PARSEC swaptions analog: pthread-style sections,
+// each pricing a range of swaptions by Monte Carlo with per-trial hashed
+// seeds (independent iterations — unlike ep, CARMOT recovers all the
+// parallelism here and matches the hand-written threads, §5.1).
+func swaptionsBench() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern float sqrt(float x);
+extern float exp(float x);
+
+int N = %d;
+float* price;
+
+float simTrial(int t) {
+	int h = (t * 2654435761) %% 1000003;
+	float x = h;
+	x = x / 1000003.0;
+	float v = 0.0;
+	for (int s = 0; s < 16; s++) {
+		v = v + exp(0.0 - x * s / 16.0);
+		x = x * 0.9 + 0.05;
+	}
+	return v / 16.0;
+}
+
+void priceRange(int lo, int hi) {
+	float sum;
+	#pragma carmot roi trials
+	for (int i = lo; i < hi; i++) {
+		sum = simTrial(i) * sqrt(1.0 + i %% 7);
+		price[i] = sum;
+	}
+}
+
+int main() {
+	price = malloc(N);
+	int q = N / 4;
+	#pragma omp parallel sections
+	{
+		#pragma omp section
+		{
+			priceRange(0, q);
+		}
+		#pragma omp section
+		{
+			priceRange(q, 2 * q);
+		}
+		#pragma omp section
+		{
+			priceRange(2 * q, 3 * q);
+		}
+		#pragma omp section
+		{
+			priceRange(3 * q, N);
+		}
+	}
+	float acc = 0.0;
+	for (int i = 0; i < N; i++) {
+		acc = acc + price[i];
+	}
+	return acc;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "swaptions", Suite: SuitePARSEC, Source: src,
+		DevScale: 1000, ProdScale: 30000,
+		PthreadStyle: true,
+		Notes:        "independent Monte-Carlo trials; CARMOT matches the labor-intensive pthread parallelism",
+	}
+}

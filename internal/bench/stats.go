@@ -1,0 +1,303 @@
+package bench
+
+import "fmt"
+
+// StatsWorkloads returns the §5.3 programs: nondeterministic-app analogs
+// whose state-dependence region carries a manual STATS classification
+// (the authors' labor-intensive annotation) that CARMOT re-derives
+// automatically. The kmeans workload includes a deliberate
+// misclassification of the kind the paper reports CARMOT catching: a
+// read-only value annotated as state, which costs an unnecessary copy.
+func StatsWorkloads() []Benchmark {
+	return []Benchmark{
+		statsKmeans(), statsAnneal(), statsMonteCarlo(), statsPagerank(), statsSGD(),
+	}
+}
+
+func statsKmeans() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+
+int N = %d;
+int K = 8;
+float* points;
+float* centers;
+int* assign_;
+float scale_ = 1.0;
+
+void init() {
+	points = malloc(N);
+	centers = malloc(8);
+	assign_ = malloc(N);
+	rand_seed(5);
+	for (int j = 0; j < N; j++) {
+		points[j] = rand_float() * 8.0;
+	}
+	for (int k = 0; k < K; k++) {
+		centers[k] = k;
+	}
+}
+
+void step() {
+	// Authors' manual classification; scale_ is misclassified as state
+	// (it is only read), costing an unnecessary per-invocation copy.
+	#pragma stats input(points) output(assign_) state(centers, scale_)
+	{
+		float d;
+		float best;
+		int bi;
+		for (int i = 0; i < N; i++) {
+			best = 1000000.0;
+			bi = 0;
+			for (int k = 0; k < K; k++) {
+				d = (points[i] - centers[k]) * (points[i] - centers[k]) * scale_;
+				if (d < best) {
+					best = d;
+					bi = k;
+				}
+			}
+			assign_[i] = bi;
+		}
+		for (int k = 0; k < K; k++) {
+			centers[k] = centers[k] * 0.9 + 0.05 * k;
+		}
+	}
+}
+
+int main() {
+	init();
+	for (int it = 0; it < 6; it++) {
+		step();
+	}
+	int acc = 0;
+	for (int i = 0; i < N; i = i + 13) {
+		acc = acc + assign_[i];
+	}
+	return acc;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "kmeans", Suite: "STATS", Source: src,
+		DevScale: 1500, ProdScale: 20000,
+		Notes: "state(centers); scale_ deliberately misclassified by the 'authors'",
+	}
+}
+
+func statsAnneal() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+extern float exp(float x);
+
+int N = %d;
+float* weights;
+float temp = 10.0;
+float best = 1000000.0;
+
+void init() {
+	weights = malloc(N);
+	rand_seed(29);
+	for (int j = 0; j < N; j++) {
+		weights[j] = rand_float();
+	}
+}
+
+void sweep() {
+	#pragma stats input(weights) output(best) state(temp)
+	{
+		float cur = 0.0;
+		for (int i = 0; i < N; i++) {
+			cur = cur + weights[i] * exp(0.0 - temp / 10.0);
+		}
+		if (cur < best) {
+			best = cur;
+		}
+		temp = temp * 0.95;
+	}
+}
+
+int main() {
+	init();
+	for (int it = 0; it < 8; it++) {
+		sweep();
+	}
+	return best;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "sa", Suite: "STATS", Source: src,
+		DevScale: 2000, ProdScale: 30000,
+		Notes: "temperature schedule is the state dependence",
+	}
+}
+
+func statsMonteCarlo() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+int N = %d;
+int seed = 12345;
+float estimate = 0.0;
+int rounds = 0;
+
+void round_() {
+	#pragma stats output(estimate) state(seed, rounds)
+	{
+		int s = seed;
+		float hit = 0.0;
+		float x;
+		float y;
+		for (int i = 0; i < N; i++) {
+			s = (s * 1103515 + 12345) %% 2147483647;
+			x = s;
+			x = x / 2147483647.0;
+			s = (s * 1103515 + 12345) %% 2147483647;
+			y = s;
+			y = y / 2147483647.0;
+			if (x * x + y * y <= 1.0) {
+				hit = hit + 1.0;
+			}
+		}
+		seed = s;
+		rounds = rounds + 1;
+		estimate = 4.0 * hit / N;
+	}
+}
+
+int main() {
+	for (int it = 0; it < 6; it++) {
+		round_();
+	}
+	return estimate * 1000.0 + rounds;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "montecarlo", Suite: "STATS", Source: src,
+		DevScale: 3000, ProdScale: 50000,
+		Notes: "PRNG seed chain is the state dependence",
+	}
+}
+
+func statsPagerank() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern int rand_int(int bound);
+
+int N = %d;
+int* links;
+float* rank_;
+float delta = 0.0;
+
+void init() {
+	links = malloc(N * 4);
+	rank_ = malloc(N);
+	rand_seed(41);
+	for (int j = 0; j < N * 4; j++) {
+		links[j] = rand_int(N);
+	}
+	for (int j = 0; j < N; j++) {
+		rank_[j] = 1.0 / N;
+	}
+}
+
+void iterate() {
+	#pragma stats input(links) output(delta) state(rank_)
+	{
+		float d = 0.0;
+		float nr;
+		for (int i = 0; i < N; i++) {
+			nr = 0.15 / N;
+			for (int l = 0; l < 4; l++) {
+				nr = nr + 0.2125 * rank_[links[i * 4 + l]];
+			}
+			d = d + nr - rank_[i];
+			rank_[i] = nr;
+		}
+		delta = d;
+	}
+}
+
+int main() {
+	init();
+	for (int it = 0; it < 5; it++) {
+		iterate();
+	}
+	return delta * 100000.0;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "pagerank", Suite: "STATS", Source: src,
+		DevScale: 1500, ProdScale: 20000,
+		Notes: "rank vector carries the state dependence across iterations",
+	}
+}
+
+func statsSGD() Benchmark {
+	src := func(scale int) string {
+		return fmt.Sprintf(`
+extern int rand_seed(int s);
+extern float rand_float();
+
+int N = %d;
+int D = 6;
+float* samples;
+float* labels;
+float* w;
+float loss = 0.0;
+
+void init() {
+	samples = malloc(N * 6);
+	labels = malloc(N);
+	w = malloc(6);
+	rand_seed(61);
+	for (int j = 0; j < N * 6; j++) {
+		samples[j] = rand_float() - 0.5;
+	}
+	for (int j = 0; j < N; j++) {
+		labels[j] = rand_float();
+	}
+}
+
+void epoch() {
+	#pragma stats input(samples, labels) output(loss) state(w)
+	{
+		float acc = 0.0;
+		float pred;
+		float err;
+		for (int i = 0; i < N; i++) {
+			pred = 0.0;
+			for (int j = 0; j < D; j++) {
+				pred = pred + w[j] * samples[i * D + j];
+			}
+			err = pred - labels[i];
+			acc = acc + err * err;
+			for (int j = 0; j < D; j++) {
+				w[j] = w[j] - 0.01 * err * samples[i * D + j];
+			}
+		}
+		loss = acc / N;
+	}
+}
+
+int main() {
+	init();
+	for (int it = 0; it < 4; it++) {
+		epoch();
+	}
+	return loss * 1000.0;
+}
+`, scale)
+	}
+	return Benchmark{
+		Name: "sgd", Suite: "STATS", Source: src,
+		DevScale: 1200, ProdScale: 15000,
+		Notes: "weight vector updated every sample is the state dependence",
+	}
+}

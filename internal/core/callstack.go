@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Frame is one call-stack entry: the function and the call-site position.
+type Frame struct {
+	Func string
+	Pos  string
+}
+
+// CallstackID identifies an interned call stack. ID 0 is the empty stack.
+type CallstackID int32
+
+// CallstackTable interns call stacks so that each distinct stack is stored
+// once and referenced by ID. Allocations made within the same function
+// invocation share one interned stack — this is what makes the callstack
+// clustering optimization (§4.4 opt 7) effective: the stack is computed
+// and interned once per function entry, and every PSE allocated in that
+// invocation reuses the ID.
+type CallstackTable struct {
+	stacks   [][]Frame
+	interner map[string]CallstackID
+}
+
+// NewCallstackTable returns an empty table with the empty stack at ID 0.
+func NewCallstackTable() *CallstackTable {
+	t := &CallstackTable{interner: map[string]CallstackID{}}
+	t.stacks = append(t.stacks, nil) // ID 0: empty
+	t.interner[""] = 0
+	return t
+}
+
+// Intern returns the ID for the given stack, adding it if new.
+func (t *CallstackTable) Intern(frames []Frame) CallstackID {
+	var b strings.Builder
+	for _, f := range frames {
+		b.WriteString(f.Func)
+		b.WriteByte('@')
+		b.WriteString(f.Pos)
+		b.WriteByte('|')
+	}
+	key := b.String()
+	if id, ok := t.interner[key]; ok {
+		return id
+	}
+	id := CallstackID(len(t.stacks))
+	cp := make([]Frame, len(frames))
+	copy(cp, frames)
+	t.stacks = append(t.stacks, cp)
+	t.interner[key] = id
+	return id
+}
+
+// Frames returns the interned stack for id (outermost first).
+func (t *CallstackTable) Frames(id CallstackID) []Frame {
+	if int(id) >= len(t.stacks) {
+		return nil
+	}
+	return t.stacks[id]
+}
+
+// Len returns the number of distinct interned stacks.
+func (t *CallstackTable) Len() int { return len(t.stacks) }
+
+// Format renders a stack as "main (a.mc:3:1) > work (a.mc:9:5)".
+func (t *CallstackTable) Format(id CallstackID) string {
+	frames := t.Frames(id)
+	if len(frames) == 0 {
+		return "<top>"
+	}
+	parts := make([]string, len(frames))
+	for i, f := range frames {
+		parts[i] = fmt.Sprintf("%s (%s)", f.Func, f.Pos)
+	}
+	return strings.Join(parts, " > ")
+}

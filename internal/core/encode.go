@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file gives PSECs a stable JSON form so profiles can be stored,
+// diffed, and merged across runs (§4.2 envisions combining the PSECs of
+// multiple program inputs; serializing them is the natural workflow).
+
+type jsonPSEC struct {
+	ROI      ROIInfo       `json:"roi"`
+	Stats    Stats         `json:"stats"`
+	Elements []jsonElement `json:"elements"`
+	Edges    []jsonEdge    `json:"reachability,omitempty"`
+}
+
+type jsonElement struct {
+	Kind        string        `json:"kind"`
+	Name        string        `json:"name"`
+	AllocPos    string        `json:"allocPos"`
+	AllocStack  []Frame       `json:"allocStack,omitempty"`
+	Cells       int           `json:"cells"`
+	Sets        []string      `json:"sets"`
+	Ranges      []jsonRange   `json:"ranges,omitempty"`
+	UseSites    []jsonUseSite `json:"useSites,omitempty"`
+	FirstAccess uint64        `json:"firstAccess"`
+	LastAccess  uint64        `json:"lastAccess"`
+	Reduction   string        `json:"reduction,omitempty"`
+}
+
+type jsonRange struct {
+	Lo   int      `json:"lo"`
+	Hi   int      `json:"hi"`
+	Sets []string `json:"sets"`
+}
+
+type jsonUseSite struct {
+	Pos        string    `json:"pos"`
+	Write      bool      `json:"write"`
+	Callstacks [][]Frame `json:"callstacks,omitempty"`
+}
+
+type jsonEdge struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	FirstTime uint64 `json:"firstTime"`
+	LastTime  uint64 `json:"lastTime"`
+}
+
+var setNames = []struct {
+	bit  SetMask
+	name string
+}{
+	{SetInput, "input"},
+	{SetOutput, "output"},
+	{SetCloneable, "cloneable"},
+	{SetTransfer, "transfer"},
+}
+
+func setsToJSON(m SetMask) []string {
+	var out []string
+	for _, s := range setNames {
+		if m.Has(s.bit) {
+			out = append(out, s.name)
+		}
+	}
+	return out
+}
+
+func setsFromJSON(names []string) (SetMask, error) {
+	var m SetMask
+	for _, n := range names {
+		found := false
+		for _, s := range setNames {
+			if s.name == n {
+				m |= s.bit
+				found = true
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("core: unknown set %q", n)
+		}
+	}
+	return m, nil
+}
+
+var pseKindJSON = map[PSEKind]string{
+	PSEVariable: "variable", PSEGlobal: "global",
+	PSEStackMem: "stack-memory", PSEHeap: "heap",
+}
+
+func kindFromJSON(s string) (PSEKind, error) {
+	for k, n := range pseKindJSON {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown PSE kind %q", s)
+}
+
+// MarshalJSON encodes the PSEC with call stacks expanded inline (the
+// interning table is an implementation detail).
+func (p *PSEC) MarshalJSON() ([]byte, error) {
+	frames := func(id CallstackID) []Frame {
+		if p.Callstacks == nil {
+			return nil
+		}
+		return p.Callstacks.Frames(id)
+	}
+	out := jsonPSEC{ROI: p.ROI, Stats: p.Stats}
+	for _, e := range p.Elements {
+		je := jsonElement{
+			Kind:        pseKindJSON[e.PSE.Kind],
+			Name:        e.PSE.Name,
+			AllocPos:    e.PSE.AllocPos,
+			AllocStack:  frames(e.PSE.AllocStack),
+			Cells:       e.PSE.Cells,
+			Sets:        setsToJSON(e.Sets),
+			FirstAccess: e.FirstAccess,
+			LastAccess:  e.LastAccess,
+		}
+		if e.Reducible {
+			je.Reduction = e.Reduction
+		}
+		for _, r := range e.Ranges {
+			je.Ranges = append(je.Ranges, jsonRange{Lo: r.Lo, Hi: r.Hi, Sets: setsToJSON(r.Sets)})
+		}
+		for _, u := range e.UseSites {
+			ju := jsonUseSite{Pos: u.Pos, Write: u.IsWrite}
+			for _, cs := range u.Callstacks {
+				ju.Callstacks = append(ju.Callstacks, frames(cs))
+			}
+			je.UseSites = append(je.UseSites, ju)
+		}
+		out.Elements = append(out.Elements, je)
+	}
+	if p.Reach != nil {
+		for _, e := range p.Reach.Edges() {
+			out.Edges = append(out.Edges, jsonEdge{
+				From: e.From.Key(), To: e.To.Key(),
+				FirstTime: e.FirstTime, LastTime: e.LastTime,
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a PSEC previously produced by MarshalJSON. Call
+// stacks are re-interned into a fresh table; reachability edges are
+// restored with their node identity keys' name/pos portions.
+func (p *PSEC) UnmarshalJSON(data []byte) error {
+	var in jsonPSEC
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	p.ROI = in.ROI
+	p.Stats = in.Stats
+	p.Callstacks = NewCallstackTable()
+	p.Reach = NewReachGraph()
+	p.Elements = nil
+	descByKey := map[string]PSEDesc{}
+	for _, je := range in.Elements {
+		kind, err := kindFromJSON(je.Kind)
+		if err != nil {
+			return err
+		}
+		sets, err := setsFromJSON(je.Sets)
+		if err != nil {
+			return err
+		}
+		e := &Element{
+			PSE: PSEDesc{
+				Kind: kind, Name: je.Name, AllocPos: je.AllocPos,
+				AllocStack: p.Callstacks.Intern(je.AllocStack), Cells: je.Cells,
+			},
+			Sets:        sets,
+			FirstAccess: je.FirstAccess,
+			LastAccess:  je.LastAccess,
+			Reducible:   je.Reduction != "",
+			Reduction:   je.Reduction,
+		}
+		for _, r := range je.Ranges {
+			rs, err := setsFromJSON(r.Sets)
+			if err != nil {
+				return err
+			}
+			e.Ranges = append(e.Ranges, CellRange{Lo: r.Lo, Hi: r.Hi, Sets: rs})
+		}
+		for _, u := range je.UseSites {
+			us := UseSite{Pos: u.Pos, IsWrite: u.Write}
+			for _, frames := range u.Callstacks {
+				us.Callstacks = append(us.Callstacks, p.Callstacks.Intern(frames))
+			}
+			e.UseSites = append(e.UseSites, us)
+		}
+		p.Elements = append(p.Elements, e)
+		descByKey[e.PSE.Key()] = e.PSE
+	}
+	for _, edge := range in.Edges {
+		from, okF := descByKey[edge.From]
+		to, okT := descByKey[edge.To]
+		if !okF || !okT {
+			// Edges between PSEs that did not classify into the element
+			// list (possible for nodes touched but never accessed) are
+			// reconstructed from the key's raw form.
+			if !okF {
+				from = PSEDesc{Name: edge.From}
+			}
+			if !okT {
+				to = PSEDesc{Name: edge.To}
+			}
+		}
+		e := p.Reach.AddEdge(from, to, edge.FirstTime)
+		e.LastTime = edge.LastTime
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func samplePSEC() *PSEC {
+	cs := NewCallstackTable()
+	main := cs.Intern([]Frame{{Func: "main", Pos: "t.mc:1:1"}})
+	deep := cs.Intern([]Frame{{Func: "main", Pos: "t.mc:1:1"}, {Func: "f", Pos: "t.mc:8:2"}})
+	p := &PSEC{
+		ROI:        ROIInfo{ID: 2, Name: "hot", Kind: "carmot", Pos: "t.mc:5:1"},
+		Callstacks: cs,
+		Reach:      NewReachGraph(),
+		Stats:      Stats{TotalAccesses: 12, VarAccesses: 8, MemAccesses: 4, Invocations: 3, Events: 9},
+	}
+	p.Elements = []*Element{
+		{
+			PSE:    PSEDesc{Kind: PSEVariable, Name: "sum", AllocPos: "t.mc:2:2", AllocStack: main, Cells: 1},
+			Sets:   SetTransfer | SetInput | SetOutput,
+			Ranges: []CellRange{{Lo: 0, Hi: 1, Sets: SetTransfer | SetInput | SetOutput}},
+			UseSites: []UseSite{
+				{Pos: "t.mc:6:3", IsWrite: true, Callstacks: []CallstackID{main, deep}},
+			},
+			FirstAccess: 5, LastAccess: 40,
+			Reducible: true, Reduction: "+",
+		},
+		{
+			PSE:  PSEDesc{Kind: PSEHeap, Name: "buf", AllocPos: "t.mc:3:3", AllocStack: deep, Cells: 4},
+			Sets: SetInput | SetOutput,
+			Ranges: []CellRange{
+				{Lo: 0, Hi: 2, Sets: SetInput},
+				{Lo: 2, Hi: 4, Sets: SetOutput},
+			},
+		},
+	}
+	p.Reach.AddEdge(p.Elements[0].PSE, p.Elements[1].PSE, 7)
+	return p
+}
+
+func TestPSECJSONRoundTrip(t *testing.T) {
+	orig := samplePSEC()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, want := range []string{`"transfer"`, `"reduction":"+"`, `"hot"`, `"buf"`, `"callstacks"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoded JSON missing %s:\n%s", want, data)
+		}
+	}
+	var back PSEC
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.ROI != orig.ROI || back.Stats != orig.Stats {
+		t.Errorf("roi/stats changed: %+v %+v", back.ROI, back.Stats)
+	}
+	if len(back.Elements) != 2 {
+		t.Fatalf("elements = %d", len(back.Elements))
+	}
+	sum := back.ElementByName("sum")
+	if sum == nil || sum.Sets != orig.Elements[0].Sets || !sum.Reducible || sum.Reduction != "+" {
+		t.Errorf("sum round-trip = %+v", sum)
+	}
+	if len(sum.UseSites) != 1 || len(sum.UseSites[0].Callstacks) != 2 {
+		t.Errorf("use sites = %+v", sum.UseSites)
+	}
+	if got := back.Callstacks.Format(sum.UseSites[0].Callstacks[1]); !strings.Contains(got, "f (t.mc:8:2)") {
+		t.Errorf("deep stack lost: %q", got)
+	}
+	buf := back.ElementByName("buf")
+	if buf == nil || len(buf.Ranges) != 2 || buf.Ranges[1].Sets != SetOutput {
+		t.Errorf("buf ranges = %+v", buf)
+	}
+	if len(back.Reach.Edges()) != 1 {
+		t.Fatalf("edges = %d", len(back.Reach.Edges()))
+	}
+	if e := back.Reach.Edges()[0]; e.From.Name != "sum" || e.To.Name != "buf" || e.FirstTime != 7 {
+		t.Errorf("edge = %+v", e)
+	}
+	// A second round trip is stable.
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back2 PSEC
+	if err := json.Unmarshal(data2, &back2); err != nil {
+		t.Fatal(err)
+	}
+	if back2.Summary() != back.Summary() {
+		t.Errorf("round trip unstable:\n%s\nvs\n%s", back2.Summary(), back.Summary())
+	}
+}
+
+func TestPSECJSONRejectsGarbage(t *testing.T) {
+	var p PSEC
+	if err := json.Unmarshal([]byte(`{"elements":[{"kind":"alien","sets":[]}]}`), &p); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"elements":[{"kind":"heap","sets":["sideways"]}]}`), &p); err == nil {
+		t.Error("unknown set should fail")
+	}
+	if err := json.Unmarshal([]byte(`{nonsense`), &p); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+// TestMergeAfterRoundTrip: the §4.2 merge workflow over serialized runs.
+func TestMergeAfterRoundTrip(t *testing.T) {
+	a := samplePSEC()
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b PSEC
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(a, &b)
+	if len(m.Elements) != 2 {
+		t.Errorf("merging a PSEC with its round-tripped copy should be idempotent, got %d elements", len(m.Elements))
+	}
+}

@@ -1,0 +1,135 @@
+// Package core implements Program State Element Characterization (PSEC),
+// the paper's primary contribution (§3): the per-PSE finite state
+// automaton of Figure 3, the four classification Sets, Use-callstacks, the
+// Reachability Graph, and the cross-run merge rule of §4.2.
+package core
+
+// FSAState is a state of the Figure 3 automaton. One instance exists per
+// (ROI, PSE cell). Rf/Wf denote the first read/write of the cell in a new
+// dynamic ROI invocation; Rn/Wn subsequent accesses in the same invocation.
+//
+//	ε   --R--> I           ε  --W--> O
+//	I   : R → I            W → IO
+//	O   : Rn,Wn → O        Wf → CO     Rf → TO
+//	IO  : Rn,Wn → IO       Wf → CIO    Rf → TIO
+//	CO  : Rn,Wn,Wf → CO    Rf → TO     (C and T are exclusive)
+//	CIO : Rn,Wn,Wf → CIO   Rf → TIO
+//	TO, TIO: sinks
+type FSAState uint8
+
+// FSA states. The letters name the Sets the state maps to.
+const (
+	StateNone FSAState = iota // ε: never accessed in the ROI
+	StateI
+	StateO
+	StateIO
+	StateCO
+	StateCIO
+	StateTO
+	StateTIO
+	numStates
+)
+
+var fsaStateNames = [...]string{"ε", "I", "O", "IO", "CO", "CIO", "TO", "TIO"}
+
+// String returns the state name.
+func (s FSAState) String() string { return fsaStateNames[s] }
+
+// transitionTable[state][first?1:0][write?1:0] — precomputed so the hot
+// profiling path is a single indexed load.
+var transitionTable [numStates][2][2]FSAState
+
+func init() {
+	set := func(s FSAState, first, write bool, next FSAState) {
+		fi, wi := 0, 0
+		if first {
+			fi = 1
+		}
+		if write {
+			wi = 1
+		}
+		transitionTable[s][fi][wi] = next
+	}
+	for _, first := range []bool{false, true} {
+		// ε: any first access classifies (a PSE joins the PSEC on its
+		// first access, which is by definition an Rf/Wf).
+		set(StateNone, first, false, StateI)
+		set(StateNone, first, true, StateO)
+		// I: reads keep it Input-only; any write adds Output.
+		set(StateI, first, false, StateI)
+		set(StateI, first, true, StateIO)
+		// Sinks.
+		set(StateTO, first, false, StateTO)
+		set(StateTO, first, true, StateTO)
+		set(StateTIO, first, false, StateTIO)
+		set(StateTIO, first, true, StateTIO)
+	}
+	// O: written by some invocation; a fresh-invocation read consumes the
+	// previous invocation's value (Transfer); a fresh-invocation write
+	// overwrites without reading (Cloneable).
+	set(StateO, false, false, StateO)
+	set(StateO, false, true, StateO)
+	set(StateO, true, false, StateTO)
+	set(StateO, true, true, StateCO)
+	// IO: as O, but the very first access ever was a read (Input).
+	set(StateIO, false, false, StateIO)
+	set(StateIO, false, true, StateIO)
+	set(StateIO, true, false, StateTIO)
+	set(StateIO, true, true, StateCIO)
+	// CO: a fresh-invocation read creates a cross-invocation RAW, so the
+	// element moves from Cloneable to Transfer (C ∩ T = ∅).
+	set(StateCO, false, false, StateCO)
+	set(StateCO, false, true, StateCO)
+	set(StateCO, true, false, StateTO)
+	set(StateCO, true, true, StateCO)
+	set(StateCIO, false, false, StateCIO)
+	set(StateCIO, false, true, StateCIO)
+	set(StateCIO, true, false, StateTIO)
+	set(StateCIO, true, true, StateCIO)
+}
+
+// Next returns the successor state for an access. first reports whether
+// this is the cell's first access in the current dynamic ROI invocation.
+func (s FSAState) Next(first, write bool) FSAState {
+	fi, wi := 0, 0
+	if first {
+		fi = 1
+	}
+	if write {
+		wi = 1
+	}
+	return transitionTable[s][fi][wi]
+}
+
+// Sets returns the classification Sets the terminal state maps to.
+func (s FSAState) Sets() SetMask {
+	switch s {
+	case StateI:
+		return SetInput
+	case StateO:
+		return SetOutput
+	case StateIO:
+		return SetInput | SetOutput
+	case StateCO:
+		return SetCloneable | SetOutput
+	case StateCIO:
+		return SetCloneable | SetInput | SetOutput
+	case StateTO:
+		return SetTransfer | SetOutput
+	case StateTIO:
+		return SetTransfer | SetInput | SetOutput
+	}
+	return 0
+}
+
+// StateForSets returns a state whose Sets() equal m, used when the
+// compiler pre-classifies a PSE (fixed FSA setting, §4.4 opt 3) and when
+// reconstructing merged PSECs.
+func StateForSets(m SetMask) FSAState {
+	for s := StateI; s < numStates; s++ {
+		if s.Sets() == m {
+			return s
+		}
+	}
+	return StateNone
+}

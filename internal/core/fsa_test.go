@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// access is one step of a reference execution of an ROI over a single
+// PSE: which invocation it happens in and whether it writes.
+type access struct {
+	inv   int
+	write bool
+}
+
+// referenceSets classifies an access trace directly from the §3.1 set
+// definitions, independent of the FSA — the oracle for property tests.
+func referenceSets(trace []access) SetMask {
+	if len(trace) == 0 {
+		return 0
+	}
+	var m SetMask
+	// Input: read before being written by any invocation.
+	if !trace[0].write {
+		m |= SetInput
+	}
+	// Output: written by some invocation (conservatively read outside).
+	written := false
+	for _, a := range trace {
+		if a.write {
+			written = true
+		}
+	}
+	if written {
+		m |= SetOutput
+	}
+	// Transfer: written by an invocation, then read by a LATER invocation
+	// before any overwrite.
+	transfer := false
+	lastWriteInv := -1
+	for _, a := range trace {
+		if a.write {
+			lastWriteInv = a.inv
+		} else if lastWriteInv >= 0 && a.inv > lastWriteInv {
+			transfer = true
+		}
+	}
+	if transfer {
+		m |= SetTransfer
+	}
+	// Cloneable: written by more than one invocation, no cross-invocation
+	// read-before-overwrite (i.e., not Transfer).
+	writeInvs := map[int]bool{}
+	for _, a := range trace {
+		if a.write {
+			writeInvs[a.inv] = true
+		}
+	}
+	if len(writeInvs) > 1 && !transfer {
+		m |= SetCloneable
+	}
+	return m
+}
+
+// runFSA drives the automaton over a trace the way the runtime does.
+func runFSA(trace []access) SetMask {
+	st := StateNone
+	lastInv := -1
+	for _, a := range trace {
+		first := a.inv != lastInv
+		st = st.Next(first, a.write)
+		lastInv = a.inv
+	}
+	return st.Sets()
+}
+
+// genTrace produces a random access trace with non-decreasing invocation
+// numbers.
+func genTrace(r *rand.Rand) []access {
+	n := 1 + r.Intn(12)
+	trace := make([]access, 0, n)
+	inv := 0
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			inv++ // next dynamic invocation
+		}
+		trace = append(trace, access{inv: inv, write: r.Intn(2) == 0})
+	}
+	return trace
+}
+
+// TestFSAMatchesDefinitions checks, for random traces, that the Figure 3
+// automaton computes exactly the §3.1 set definitions.
+func TestFSAMatchesDefinitions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		trace := genTrace(r)
+		got, want := runFSA(trace), referenceSets(trace)
+		if got != want {
+			t.Fatalf("trace %v: FSA says %s, definitions say %s", trace, got, want)
+		}
+	}
+}
+
+// TestFSAExclusivity: a PSE can never be both Cloneable and Transfer.
+func TestFSAExclusivity(t *testing.T) {
+	if err := quick.Check(func(steps []bool, invBumps []bool) bool {
+		st := StateNone
+		inv, lastInv := 0, -1
+		for i, w := range steps {
+			if i < len(invBumps) && invBumps[i] {
+				inv++
+			}
+			st = st.Next(inv != lastInv, w)
+			lastInv = inv
+		}
+		m := st.Sets()
+		return !(m.Has(SetCloneable) && m.Has(SetTransfer)) && m.Valid()
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSASinks: TO and TIO are sinks.
+func TestFSASinks(t *testing.T) {
+	for _, s := range []FSAState{StateTO, StateTIO} {
+		for _, first := range []bool{false, true} {
+			for _, write := range []bool{false, true} {
+				if next := s.Next(first, write); next != s {
+					t.Errorf("%s is not a sink: Next(%v,%v)=%s", s, first, write, next)
+				}
+			}
+		}
+	}
+}
+
+// TestFSAKnownTransitions spot-checks the Figure 3 edges described in the
+// paper's §4.1 walkthrough of the Figure 1 variable y.
+func TestFSAKnownTransitions(t *testing.T) {
+	// y: first invocation reads then writes; second invocation reads.
+	s := StateNone
+	s = s.Next(true, false) // Rf
+	if s != StateI {
+		t.Fatalf("ε --R--> %s, want I", s)
+	}
+	s = s.Next(false, true) // Wn
+	if s != StateIO {
+		t.Fatalf("I --Wn--> %s, want IO", s)
+	}
+	s = s.Next(true, false) // Rf of next invocation
+	if s != StateTIO {
+		t.Fatalf("IO --Rf--> %s, want TIO", s)
+	}
+	// x: written first every invocation.
+	s = StateNone
+	s = s.Next(true, true)
+	if s != StateO {
+		t.Fatalf("ε --W--> %s, want O", s)
+	}
+	s = s.Next(true, true)
+	if s != StateCO {
+		t.Fatalf("O --Wf--> %s, want CO", s)
+	}
+	// CO degrades to TO on a fresh-invocation read.
+	if got := StateCO.Next(true, false); got != StateTO {
+		t.Fatalf("CO --Rf--> %s, want TO", got)
+	}
+}
+
+// TestStateForSets is the inverse mapping used by FixedClass events.
+func TestStateForSets(t *testing.T) {
+	for s := StateI; s < numStates; s++ {
+		if got := StateForSets(s.Sets()); got.Sets() != s.Sets() {
+			t.Errorf("StateForSets(%s.Sets()) = %s with different sets", s, got)
+		}
+	}
+	if StateForSets(0) != StateNone {
+		t.Error("empty mask should map to ε")
+	}
+}
+
+// TestFSAStateNames keeps the debug output stable.
+func TestFSAStateNames(t *testing.T) {
+	want := map[FSAState]string{
+		StateNone: "ε", StateI: "I", StateO: "O", StateIO: "IO",
+		StateCO: "CO", StateCIO: "CIO", StateTO: "TO", StateTIO: "TIO",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("state %d named %q, want %q", s, s.String(), name)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PSEKind says what kind of Program State Element an element is.
+type PSEKind int
+
+// PSE kinds. Variables are the function-scope scalars whose accesses
+// memory-only tools ignore (§2.3); Globals, StackMem, and Heap cover the
+// memory locations (per cell) of globals, stack aggregates, and heap
+// allocations respectively.
+const (
+	PSEVariable PSEKind = iota
+	PSEGlobal
+	PSEStackMem
+	PSEHeap
+)
+
+var pseKindNames = [...]string{"variable", "global", "stack-memory", "heap"}
+
+// String returns the kind name.
+func (k PSEKind) String() string { return pseKindNames[k] }
+
+// PSEDesc identifies a Program State Element at the source level: where
+// it was allocated and under which call stack (custom allocators make the
+// stack essential, §3.1).
+type PSEDesc struct {
+	Kind       PSEKind
+	Name       string // variable name, or a description of the allocation
+	AllocPos   string // source position of the declaration/allocation site
+	AllocStack CallstackID
+	Cells      int
+}
+
+// Key returns the cross-run identity of the PSE, used when merging PSECs.
+func (d PSEDesc) Key() string {
+	return fmt.Sprintf("%d|%s|%s|%d", d.Kind, d.Name, d.AllocPos, d.AllocStack)
+}
+
+// CellRange classifies a contiguous run of cells of a memory PSE. A heap
+// array can have a[1] in Transfer while the rest is Cloneable (Figure 2);
+// ranges express exactly that.
+type CellRange struct {
+	Lo, Hi int // half-open cell interval [Lo, Hi) within the allocation
+	Sets   SetMask
+}
+
+// UseSite is one static program statement in the ROI that accessed the
+// element, together with every call stack under which it executed — the
+// Use-callstacks component of PSEC (§3.1).
+type UseSite struct {
+	Pos        string
+	IsWrite    bool
+	Callstacks []CallstackID
+}
+
+// Element is the characterization of one PSE with respect to one ROI.
+type Element struct {
+	PSE  PSEDesc
+	Sets SetMask
+	// Ranges is non-empty for memory PSEs whose cells classify
+	// differently; Sets is then the union over ranges.
+	Ranges []CellRange
+	// UseSites lists the ROI statements that touched this element.
+	UseSites []UseSite
+	// FirstAccess/LastAccess are event sequence numbers, used by the
+	// weak-pointer suggestion (§3.2: the node with the oldest access).
+	FirstAccess uint64
+	LastAccess  uint64
+	// Reducible is set when every in-ROI computation on the element uses
+	// a single commutative OpenMP-supported reduction operator; Reduction
+	// then names it ("+" or "*").
+	Reducible bool
+	Reduction string
+}
+
+// Stats aggregates profiling volume, including the variable-access
+// amplification the paper measures in §2.3.
+type Stats struct {
+	TotalAccesses uint64 // all PSE accesses observed in ROIs
+	VarAccesses   uint64 // accesses to function variables
+	MemAccesses   uint64 // accesses to memory locations
+	Invocations   uint64 // dynamic ROI invocations
+	Events        uint64 // runtime events actually processed
+}
+
+// ROIInfo describes the characterized region.
+type ROIInfo struct {
+	ID   int
+	Name string
+	Kind string
+	Pos  string
+}
+
+// PSEC is the Program State Element Characterization of one ROI: the
+// classified elements, their use-callstacks, and the reachability graph.
+type PSEC struct {
+	ROI        ROIInfo
+	Elements   []*Element
+	Reach      *ReachGraph
+	Callstacks *CallstackTable
+	Stats      Stats
+}
+
+// ElementsIn returns the elements whose Sets include all bits of q,
+// ordered by name for stable output.
+func (p *PSEC) ElementsIn(q SetMask) []*Element {
+	var out []*Element
+	for _, e := range p.Elements {
+		if e.Sets.Has(q) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PSE.Name < out[j].PSE.Name })
+	return out
+}
+
+// ElementByName returns the first element with the given source name.
+func (p *PSEC) ElementByName(name string) *Element {
+	for _, e := range p.Elements {
+		if e.PSE.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Merge combines PSECs of the same ROI from different profiling runs into
+// a new PSEC, per §4.2: Sets union with the Cloneable/Transfer exception,
+// use-callstacks and reachability edges accumulated. (The paper leaves
+// this to users "for engineering reasons"; we implement it.)
+func Merge(runs ...*PSEC) *PSEC {
+	if len(runs) == 0 {
+		return nil
+	}
+	out := &PSEC{
+		ROI:        runs[0].ROI,
+		Reach:      NewReachGraph(),
+		Callstacks: runs[0].Callstacks,
+	}
+	byKey := map[string]*Element{}
+	edgeSeen := map[[2]string]*ReachEdge{}
+	for _, run := range runs {
+		out.Stats.TotalAccesses += run.Stats.TotalAccesses
+		out.Stats.VarAccesses += run.Stats.VarAccesses
+		out.Stats.MemAccesses += run.Stats.MemAccesses
+		out.Stats.Invocations += run.Stats.Invocations
+		out.Stats.Events += run.Stats.Events
+		for _, e := range run.Elements {
+			key := e.PSE.Key()
+			got, ok := byKey[key]
+			if !ok {
+				cp := *e
+				cp.Ranges = append([]CellRange(nil), e.Ranges...)
+				cp.UseSites = append([]UseSite(nil), e.UseSites...)
+				byKey[key] = &cp
+				out.Elements = append(out.Elements, &cp)
+				continue
+			}
+			got.Sets = MergeSets(got.Sets, e.Sets)
+			got.Ranges = mergeRanges(got.Ranges, e.Ranges)
+			got.UseSites = mergeUseSites(got.UseSites, e.UseSites)
+			if e.FirstAccess < got.FirstAccess {
+				got.FirstAccess = e.FirstAccess
+			}
+			if e.LastAccess > got.LastAccess {
+				got.LastAccess = e.LastAccess
+			}
+			got.Reducible = got.Reducible && e.Reducible && got.Reduction == e.Reduction
+			if !got.Reducible {
+				got.Reduction = ""
+			}
+		}
+		if run.Reach != nil {
+			for _, edge := range run.Reach.Edges() {
+				k := [2]string{edge.From.Key(), edge.To.Key()}
+				if prev, ok := edgeSeen[k]; ok {
+					if edge.FirstTime < prev.FirstTime {
+						prev.FirstTime = edge.FirstTime
+					}
+					if edge.LastTime > prev.LastTime {
+						prev.LastTime = edge.LastTime
+					}
+					continue
+				}
+				ne := out.Reach.AddEdge(edge.From, edge.To, edge.FirstTime)
+				ne.LastTime = edge.LastTime
+				edgeSeen[k] = ne
+			}
+		}
+	}
+	sort.Slice(out.Elements, func(i, j int) bool { return out.Elements[i].PSE.Key() < out.Elements[j].PSE.Key() })
+	return out
+}
+
+func mergeRanges(a, b []CellRange) []CellRange {
+	if len(a) == 0 {
+		return append([]CellRange(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	// Merge per cell, then re-aggregate; ranges are small in practice.
+	hi := 0
+	for _, r := range a {
+		if r.Hi > hi {
+			hi = r.Hi
+		}
+	}
+	for _, r := range b {
+		if r.Hi > hi {
+			hi = r.Hi
+		}
+	}
+	cells := make([]SetMask, hi)
+	for _, r := range a {
+		for i := r.Lo; i < r.Hi; i++ {
+			cells[i] = MergeSets(cells[i], r.Sets)
+		}
+	}
+	for _, r := range b {
+		for i := r.Lo; i < r.Hi; i++ {
+			cells[i] = MergeSets(cells[i], r.Sets)
+		}
+	}
+	return AggregateRanges(cells)
+}
+
+// AggregateRanges compresses a per-cell classification array into maximal
+// contiguous runs, skipping unaccessed (zero) cells.
+func AggregateRanges(cells []SetMask) []CellRange {
+	var out []CellRange
+	i := 0
+	for i < len(cells) {
+		if cells[i] == 0 {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cells) && cells[j] == cells[i] {
+			j++
+		}
+		out = append(out, CellRange{Lo: i, Hi: j, Sets: cells[i]})
+		i = j
+	}
+	return out
+}
+
+func mergeUseSites(a, b []UseSite) []UseSite {
+	type key struct {
+		pos   string
+		write bool
+	}
+	idx := map[key]int{}
+	for i, u := range a {
+		idx[key{u.Pos, u.IsWrite}] = i
+	}
+	for _, u := range b {
+		k := key{u.Pos, u.IsWrite}
+		if i, ok := idx[k]; ok {
+			seen := map[CallstackID]bool{}
+			for _, cs := range a[i].Callstacks {
+				seen[cs] = true
+			}
+			for _, cs := range u.Callstacks {
+				if !seen[cs] {
+					a[i].Callstacks = append(a[i].Callstacks, cs)
+				}
+			}
+			continue
+		}
+		idx[k] = len(a)
+		a = append(a, u)
+	}
+	return a
+}
+
+// Summary renders a human-readable report of the PSEC.
+func (p *PSEC) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PSEC of ROI %q (%s) at %s\n", p.ROI.Name, p.ROI.Kind, p.ROI.Pos)
+	fmt.Fprintf(&b, "  invocations: %d, accesses: %d (variables %d, memory %d)\n",
+		p.Stats.Invocations, p.Stats.TotalAccesses, p.Stats.VarAccesses, p.Stats.MemAccesses)
+	for _, e := range p.Elements {
+		fmt.Fprintf(&b, "  %-10s %-20s %-24s %s\n", e.PSE.Kind, e.PSE.Name, e.Sets, e.PSE.AllocPos)
+		for _, r := range e.Ranges {
+			if len(e.Ranges) > 1 || r.Sets != e.Sets {
+				fmt.Fprintf(&b, "             cells [%d,%d): %s\n", r.Lo, r.Hi, r.Sets)
+			}
+		}
+	}
+	if p.Reach != nil && len(p.Reach.Edges()) > 0 {
+		fmt.Fprintf(&b, "  reachability: %d edges, %d cycles\n", len(p.Reach.Edges()), len(p.Reach.Cycles()))
+	}
+	return b.String()
+}

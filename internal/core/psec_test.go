@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeSetsUnion(t *testing.T) {
+	cases := []struct {
+		a, b, want SetMask
+	}{
+		{SetInput, SetOutput, SetInput | SetOutput},
+		{0, SetInput, SetInput},
+		{SetInput | SetOutput, SetCloneable | SetOutput, SetInput | SetOutput | SetCloneable},
+		// §4.2: Cloneable in one run + Transfer in another ⇒ Transfer.
+		{SetCloneable | SetOutput, SetTransfer | SetOutput, SetTransfer | SetOutput},
+		{SetTransfer | SetOutput, SetCloneable | SetOutput, SetTransfer | SetOutput},
+	}
+	for _, c := range cases {
+		if got := MergeSets(c.a, c.b); got != c.want {
+			t.Errorf("MergeSets(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestMergeSetsProperties: commutative, idempotent, never yields C∧T.
+func TestMergeSetsProperties(t *testing.T) {
+	err := quick.Check(func(a, b uint8) bool {
+		x, y := SetMask(a&0xF), SetMask(b&0xF)
+		m := MergeSets(x, y)
+		if m != MergeSets(y, x) {
+			return false
+		}
+		if MergeSets(m, m) != m {
+			return false
+		}
+		return !(m.Has(SetCloneable) && m.Has(SetTransfer))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetMaskString(t *testing.T) {
+	if s := (SetInput | SetOutput).String(); s != "{Input, Output}" {
+		t.Errorf("got %q", s)
+	}
+	if s := SetMask(0).String(); s != "{}" {
+		t.Errorf("got %q", s)
+	}
+	if s := (SetTransfer | SetOutput | SetInput).String(); !strings.Contains(s, "Transfer") {
+		t.Errorf("got %q", s)
+	}
+}
+
+func TestAggregateRanges(t *testing.T) {
+	cells := []SetMask{
+		SetInput, SetInput, 0, SetOutput, SetOutput, SetOutput,
+		SetTransfer | SetOutput, SetInput,
+	}
+	got := AggregateRanges(cells)
+	want := []CellRange{
+		{Lo: 0, Hi: 2, Sets: SetInput},
+		{Lo: 3, Hi: 6, Sets: SetOutput},
+		{Lo: 6, Hi: 7, Sets: SetTransfer | SetOutput},
+		{Lo: 7, Hi: 8, Sets: SetInput},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if rs := AggregateRanges(nil); len(rs) != 0 {
+		t.Errorf("empty input should give no ranges, got %v", rs)
+	}
+}
+
+// TestAggregateRangesCoversAllCells: every non-zero cell appears in
+// exactly one range carrying its classification.
+func TestAggregateRangesCoversAllCells(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(40)
+		cells := make([]SetMask, n)
+		for i := range cells {
+			cells[i] = SetMask(r.Intn(16)) &^ 0 // any 4-bit mask
+		}
+		ranges := AggregateRanges(cells)
+		covered := make([]SetMask, n)
+		prevHi := 0
+		for _, rg := range ranges {
+			if rg.Lo < prevHi || rg.Hi <= rg.Lo || rg.Hi > n {
+				t.Fatalf("bad range %v for %v", rg, cells)
+			}
+			prevHi = rg.Hi
+			for i := rg.Lo; i < rg.Hi; i++ {
+				covered[i] = rg.Sets
+			}
+		}
+		for i, c := range cells {
+			if c != 0 && covered[i] != c {
+				t.Fatalf("cell %d (%s) covered as %s", i, c, covered[i])
+			}
+			if c == 0 && covered[i] != 0 {
+				t.Fatalf("cell %d unaccessed but covered", i)
+			}
+		}
+	}
+}
+
+func elem(name string, kind PSEKind, sets SetMask) *Element {
+	return &Element{
+		PSE:    PSEDesc{Kind: kind, Name: name, AllocPos: "f.mc:1:1", Cells: 1},
+		Sets:   sets,
+		Ranges: []CellRange{{Lo: 0, Hi: 1, Sets: sets}},
+	}
+}
+
+func TestPSECMergeAcrossRuns(t *testing.T) {
+	cs := NewCallstackTable()
+	run1 := &PSEC{
+		ROI:        ROIInfo{ID: 0, Name: "r"},
+		Callstacks: cs,
+		Elements: []*Element{
+			elem("e", PSEHeap, SetInput|SetOutput),
+			elem("only1", PSEVariable, SetInput),
+		},
+		Stats: Stats{TotalAccesses: 10, Invocations: 2},
+	}
+	run2 := &PSEC{
+		ROI:        ROIInfo{ID: 0, Name: "r"},
+		Callstacks: cs,
+		Elements: []*Element{
+			elem("e", PSEHeap, SetCloneable|SetOutput),
+			elem("only2", PSEVariable, SetOutput),
+		},
+		Stats: Stats{TotalAccesses: 5, Invocations: 1},
+	}
+	m := Merge(run1, run2)
+	if m.Stats.TotalAccesses != 15 || m.Stats.Invocations != 3 {
+		t.Errorf("stats not accumulated: %+v", m.Stats)
+	}
+	if len(m.Elements) != 3 {
+		t.Fatalf("want 3 merged elements, got %d", len(m.Elements))
+	}
+	e := m.ElementByName("e")
+	if e == nil || e.Sets != SetInput|SetOutput|SetCloneable {
+		t.Errorf("merged e = %v", e)
+	}
+	if m.ElementByName("only1") == nil || m.ElementByName("only2") == nil {
+		t.Error("union should keep run-unique elements")
+	}
+
+	// The §4.2 exception: Cloneable in one run, Transfer in the other.
+	run3 := &PSEC{ROI: run1.ROI, Callstacks: cs,
+		Elements: []*Element{elem("e", PSEHeap, SetTransfer|SetOutput)}}
+	m2 := Merge(run2, run3)
+	if got := m2.ElementByName("e").Sets; got != SetTransfer|SetOutput {
+		t.Errorf("C ∪ T should be T, got %s", got)
+	}
+}
+
+func TestPSECElementsIn(t *testing.T) {
+	p := &PSEC{Elements: []*Element{
+		elem("b", PSEVariable, SetInput),
+		elem("a", PSEVariable, SetInput|SetOutput),
+		elem("c", PSEHeap, SetTransfer|SetOutput),
+	}}
+	in := p.ElementsIn(SetInput)
+	if len(in) != 2 || in[0].PSE.Name != "a" || in[1].PSE.Name != "b" {
+		t.Errorf("ElementsIn(Input) = %v", in)
+	}
+	if n := len(p.ElementsIn(SetTransfer)); n != 1 {
+		t.Errorf("ElementsIn(Transfer) = %d elements", n)
+	}
+}
+
+func TestCallstackInterning(t *testing.T) {
+	tbl := NewCallstackTable()
+	a := tbl.Intern([]Frame{{Func: "main", Pos: "m.mc:1:1"}, {Func: "f", Pos: "m.mc:5:2"}})
+	b := tbl.Intern([]Frame{{Func: "main", Pos: "m.mc:1:1"}, {Func: "f", Pos: "m.mc:5:2"}})
+	c := tbl.Intern([]Frame{{Func: "main", Pos: "m.mc:1:1"}})
+	if a != b {
+		t.Error("identical stacks should intern to one ID")
+	}
+	if a == c {
+		t.Error("distinct stacks should get distinct IDs")
+	}
+	if tbl.Intern(nil) != 0 {
+		t.Error("empty stack must be ID 0")
+	}
+	if got := tbl.Format(a); got != "main (m.mc:1:1) > f (m.mc:5:2)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := tbl.Format(0); got != "<top>" {
+		t.Errorf("Format(0) = %q", got)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tbl.Len())
+	}
+	if fr := tbl.Frames(a); len(fr) != 2 || fr[1].Func != "f" {
+		t.Errorf("Frames = %v", fr)
+	}
+	if fr := tbl.Frames(999); fr != nil {
+		t.Error("out-of-range ID should give nil")
+	}
+}
+
+func TestReachGraphCycles(t *testing.T) {
+	g := NewReachGraph()
+	a := PSEDesc{Kind: PSEHeap, Name: "a", AllocPos: "1"}
+	b := PSEDesc{Kind: PSEHeap, Name: "b", AllocPos: "2"}
+	c := PSEDesc{Kind: PSEHeap, Name: "c", AllocPos: "3"}
+	d := PSEDesc{Kind: PSEHeap, Name: "d", AllocPos: "4"}
+	g.Touch(a, 10)
+	g.Touch(b, 5)
+	g.Touch(c, 20)
+	g.AddEdge(a, b, 11)
+	g.AddEdge(b, c, 12)
+	g.AddEdge(c, a, 13)
+	g.AddEdge(a, d, 14) // acyclic appendage
+
+	cycles := g.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("want 1 cycle, got %d", len(cycles))
+	}
+	if len(cycles[0].Nodes) != 3 {
+		t.Errorf("cycle has %d nodes, want 3", len(cycles[0].Nodes))
+	}
+	if len(cycles[0].Edges) != 3 {
+		t.Errorf("cycle has %d edges, want 3", len(cycles[0].Edges))
+	}
+	// b has the oldest access (5): the weak pointer should target b.
+	weak := g.WeakPointerSuggestion(cycles[0])
+	if weak == nil || weak.To.Name != "b" {
+		t.Errorf("weak suggestion = %+v, want edge into b", weak)
+	}
+}
+
+func TestReachGraphSelfLoopAndDedup(t *testing.T) {
+	g := NewReachGraph()
+	a := PSEDesc{Kind: PSEHeap, Name: "self", AllocPos: "1"}
+	g.AddEdge(a, a, 1)
+	g.AddEdge(a, a, 9) // same edge, refreshes LastTime
+	if len(g.Edges()) != 1 {
+		t.Fatalf("duplicate edges should merge, got %d", len(g.Edges()))
+	}
+	if e := g.Edges()[0]; e.FirstTime != 1 || e.LastTime != 9 {
+		t.Errorf("edge times = %d..%d", e.FirstTime, e.LastTime)
+	}
+	cycles := g.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("self loop is a cycle, got %d", len(cycles))
+	}
+}
+
+func TestReachGraphNoCycles(t *testing.T) {
+	g := NewReachGraph()
+	a := PSEDesc{Kind: PSEHeap, Name: "a", AllocPos: "1"}
+	b := PSEDesc{Kind: PSEHeap, Name: "b", AllocPos: "2"}
+	g.AddEdge(a, b, 1)
+	if len(g.Cycles()) != 0 {
+		t.Error("a→b is acyclic")
+	}
+}
+
+// TestReachGraphRandomSCC cross-checks Tarjan against a reachability
+// oracle: u and v share a cycle iff u reaches v and v reaches u.
+func TestReachGraphRandomSCC(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(8)
+		descs := make([]PSEDesc, n)
+		for i := range descs {
+			descs[i] = PSEDesc{Kind: PSEHeap, Name: string(rune('a' + i)), AllocPos: string(rune('0' + i))}
+		}
+		adj := make([][]bool, n)
+		g := NewReachGraph()
+		for i := range adj {
+			adj[i] = make([]bool, n)
+			g.Node(descs[i])
+		}
+		for e := 0; e < n+r.Intn(n*2); e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			adj[u][v] = true
+			g.AddEdge(descs[u], descs[v], uint64(e))
+		}
+		reach := func(from, to int) bool {
+			seen := make([]bool, n)
+			var dfs func(int) bool
+			dfs = func(u int) bool {
+				if adj[u][to] {
+					return true
+				}
+				for v := 0; v < n; v++ {
+					if adj[u][v] && !seen[v] {
+						seen[v] = true
+						if dfs(v) {
+							return true
+						}
+					}
+				}
+				return false
+			}
+			return dfs(from)
+		}
+		inCycle := map[string]bool{}
+		for _, cyc := range g.Cycles() {
+			for _, nd := range cyc.Nodes {
+				inCycle[nd.Name] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			want := reach(i, i)
+			if got := inCycle[descs[i].Name]; got != want {
+				t.Fatalf("trial %d node %d: in-cycle=%v, oracle=%v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPSECSummary(t *testing.T) {
+	p := &PSEC{
+		ROI:        ROIInfo{Name: "loop", Kind: "carmot", Pos: "x.mc:3:1"},
+		Callstacks: NewCallstackTable(),
+		Elements:   []*Element{elem("v", PSEVariable, SetInput)},
+		Stats:      Stats{Invocations: 4, TotalAccesses: 8, VarAccesses: 8},
+	}
+	s := p.Summary()
+	for _, want := range []string{"loop", "invocations: 4", "v", "{Input}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

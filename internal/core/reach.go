@@ -1,0 +1,206 @@
+package core
+
+import "sort"
+
+// ReachGraph is the PSEC Reachability Graph (§3.1): nodes are PSEs
+// allocated within the ROI, and a directed edge A→B records that a
+// pointer to B escaped into A's storage (A references B). Cycles in this
+// graph are exactly the reference-counting cycles that leak under C++
+// smart pointers (§5.2).
+type ReachGraph struct {
+	nodes   []PSEDesc
+	nodeIdx map[string]int
+	edges   []*ReachEdge
+	adj     map[int][]int
+	// access[i] is the oldest (first) access time of node i, for the
+	// weak-pointer suggestion.
+	access []uint64
+}
+
+// ReachEdge is a reference from one PSE's storage to another PSE.
+type ReachEdge struct {
+	From, To  PSEDesc
+	fromIdx   int
+	toIdx     int
+	FirstTime uint64
+	LastTime  uint64
+}
+
+// NewReachGraph returns an empty graph.
+func NewReachGraph() *ReachGraph {
+	return &ReachGraph{nodeIdx: map[string]int{}, adj: map[int][]int{}}
+}
+
+// Node interns a PSE as a graph node and returns its index.
+func (g *ReachGraph) Node(d PSEDesc) int {
+	if i, ok := g.nodeIdx[d.Key()]; ok {
+		return i
+	}
+	i := len(g.nodes)
+	g.nodes = append(g.nodes, d)
+	g.nodeIdx[d.Key()] = i
+	g.access = append(g.access, ^uint64(0))
+	return i
+}
+
+// Touch records an access to the node at time t (kept as the oldest).
+func (g *ReachGraph) Touch(d PSEDesc, t uint64) {
+	i := g.Node(d)
+	if t < g.access[i] {
+		g.access[i] = t
+	}
+}
+
+// AddEdge records a reference from→to first observed at time t and
+// returns the edge (existing edges get their LastTime refreshed).
+func (g *ReachGraph) AddEdge(from, to PSEDesc, t uint64) *ReachEdge {
+	fi, ti := g.Node(from), g.Node(to)
+	for _, e := range g.edges {
+		if e.fromIdx == fi && e.toIdx == ti {
+			if t > e.LastTime {
+				e.LastTime = t
+			}
+			if t < e.FirstTime {
+				e.FirstTime = t
+			}
+			return e
+		}
+	}
+	e := &ReachEdge{From: from, To: to, fromIdx: fi, toIdx: ti, FirstTime: t, LastTime: t}
+	g.edges = append(g.edges, e)
+	g.adj[fi] = append(g.adj[fi], ti)
+	return e
+}
+
+// Nodes returns the interned PSE nodes.
+func (g *ReachGraph) Nodes() []PSEDesc { return g.nodes }
+
+// Edges returns all reference edges.
+func (g *ReachGraph) Edges() []*ReachEdge { return g.edges }
+
+// Cycle is one reference cycle: the node indices of a strongly connected
+// component with at least one internal edge.
+type Cycle struct {
+	Nodes []PSEDesc
+	Edges []*ReachEdge
+}
+
+// Cycles finds all reference cycles (Tarjan SCCs of size > 1 plus
+// self-loops), ordered deterministically.
+func (g *ReachGraph) Cycles() []Cycle {
+	n := len(g.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var next int
+	var sccs [][]int
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.adj[v] {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+
+	var out []Cycle
+	for _, scc := range sccs {
+		if len(scc) == 1 {
+			v := scc[0]
+			selfLoop := false
+			for _, w := range g.adj[v] {
+				if w == v {
+					selfLoop = true
+				}
+			}
+			if !selfLoop {
+				continue
+			}
+		}
+		inSCC := map[int]bool{}
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		var cyc Cycle
+		sort.Ints(scc)
+		for _, v := range scc {
+			cyc.Nodes = append(cyc.Nodes, g.nodes[v])
+		}
+		for _, e := range g.edges {
+			if inSCC[e.fromIdx] && inSCC[e.toIdx] {
+				cyc.Edges = append(cyc.Edges, e)
+			}
+		}
+		out = append(out, cyc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Nodes[0].Key() < out[j].Nodes[0].Key()
+	})
+	return out
+}
+
+// WeakPointerSuggestion picks the reference in the cycle that should
+// become a weak pointer (§3.2): the edge pointing to the node with the
+// oldest access time, so the least recently relevant object stops keeping
+// the cycle alive.
+func (g *ReachGraph) WeakPointerSuggestion(c Cycle) *ReachEdge {
+	if len(c.Edges) == 0 {
+		return nil
+	}
+	oldest := -1
+	var oldestTime uint64 = ^uint64(0)
+	for _, d := range c.Nodes {
+		i := g.nodeIdx[d.Key()]
+		if g.access[i] <= oldestTime {
+			if oldest == -1 || g.access[i] < oldestTime {
+				oldestTime = g.access[i]
+				oldest = i
+			}
+		}
+	}
+	var best *ReachEdge
+	for _, e := range c.Edges {
+		if e.toIdx == oldest {
+			if best == nil || e.FirstTime < best.FirstTime {
+				best = e
+			}
+		}
+	}
+	if best == nil {
+		best = c.Edges[0]
+	}
+	return best
+}

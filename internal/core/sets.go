@@ -1,0 +1,73 @@
+package core
+
+import "strings"
+
+// SetMask is a bitset over the four PSEC classification Sets (§3.1).
+type SetMask uint8
+
+// The four Sets. For a dynamically invoked ROI Z:
+//
+//	Input:     read by an invocation of Z before being written by any
+//	           invocation of Z.
+//	Output:    written by an invocation of Z (conservatively assumed read
+//	           outside Z, §4.1).
+//	Cloneable: written by more than one invocation with no intervening
+//	           cross-invocation read — reusing storage without a RAW.
+//	Transfer:  written by one invocation and read by a later one before
+//	           any overwrite — a cross-invocation RAW dependence.
+const (
+	SetInput SetMask = 1 << iota
+	SetOutput
+	SetCloneable
+	SetTransfer
+)
+
+// Has reports whether all bits of q are present.
+func (m SetMask) Has(q SetMask) bool { return m&q == q }
+
+// String renders like "{Input, Output}".
+func (m SetMask) String() string {
+	if m == 0 {
+		return "{}"
+	}
+	var parts []string
+	if m.Has(SetInput) {
+		parts = append(parts, "Input")
+	}
+	if m.Has(SetOutput) {
+		parts = append(parts, "Output")
+	}
+	if m.Has(SetCloneable) {
+		parts = append(parts, "Cloneable")
+	}
+	if m.Has(SetTransfer) {
+		parts = append(parts, "Transfer")
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// MergeSets combines classifications of the same PSE from different runs
+// (§4.2): set union, except that Cloneable from one run combined with
+// Transfer from another conservatively yields Transfer (C ∩ T = ∅).
+func MergeSets(a, b SetMask) SetMask {
+	m := a | b
+	if m.Has(SetCloneable) && m.Has(SetTransfer) {
+		m &^= SetCloneable
+	}
+	return m
+}
+
+// Valid reports whether the mask is a possible terminal classification:
+// Cloneable and Transfer are mutually exclusive, and both imply Output.
+func (m SetMask) Valid() bool {
+	if m.Has(SetCloneable) && m.Has(SetTransfer) {
+		return false
+	}
+	if m.Has(SetCloneable) && !m.Has(SetOutput) {
+		return false
+	}
+	if m.Has(SetTransfer) && !m.Has(SetOutput) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/bench"
+)
+
+// quick is a reduced-scale config so the full experiment surface runs in
+// CI time.
+var quick = Config{Threads: 24, ScaleDiv: 8}
+
+func TestTable1(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"OMP parallel for", "OMP task", "Smart Pointers", "STATS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAccessAmplification(t *testing.T) {
+	rows, geomean, err := Accesses(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("want 15 rows, got %d", len(rows))
+	}
+	// §2.3: PSEC tracks substantially more accesses than memory-only
+	// tools; the paper reports 8x on average. Require at least 2x so the
+	// qualitative claim holds on our analogs.
+	if geomean < 2 {
+		t.Errorf("access amplification geomean %.2f, want >= 2", geomean)
+	}
+	t.Log("\n" + RenderAccesses(rows, geomean))
+}
+
+func TestFig6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 takes a while")
+	}
+	rows, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig6(rows, quick.Threads))
+	byName := map[string]Fig6Row{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+	}
+	// Shape checks from the paper: CARMOT matches the original
+	// parallelism on most benchmarks; ep and nab are the exceptions
+	// (sections/barrier/master parallelism CARMOT does not generate).
+	for _, name := range []string{"bt", "cg", "ft", "lu", "blackscholes", "streamcluster", "swaptions", "lbm"} {
+		r := byName[name]
+		if r.Carmot < 2 {
+			t.Errorf("%s: CARMOT-induced speedup %.2f, want >= 2", name, r.Carmot)
+		}
+		// "as good as or better than pragmas implemented manually" (§5.1).
+		if r.Carmot < 0.7*r.Original {
+			t.Errorf("%s: CARMOT %.2fx should match original %.2fx", name, r.Carmot, r.Original)
+		}
+	}
+	for _, name := range []string{"ep", "nab"} {
+		r := byName[name]
+		if r.Carmot >= r.Original {
+			t.Errorf("%s: CARMOT %.2fx should trail original %.2fx (unsupported sections parallelism)", name, r.Carmot, r.Original)
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 takes a while")
+	}
+	rows, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderOverhead("Figure 7: OpenMP use-case overhead", rows))
+	for _, r := range rows {
+		if r.Naive <= r.Carmot {
+			t.Errorf("%s: naive overhead %.1fx should exceed CARMOT %.1fx", r.Bench, r.Naive, r.Carmot)
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 takes a while")
+	}
+	rows, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig8(rows))
+	for _, r := range rows {
+		total := r.Pin + r.Clustering + r.Callgraph + r.Redundant
+		if total < 99 || total > 101 {
+			t.Errorf("%s: contributions sum to %.1f%%, want ~100%%", r.Bench, total)
+		}
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 takes a while")
+	}
+	rows, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderOverhead("Figure 10: smart-pointer use-case overhead", rows))
+	for _, r := range rows {
+		// §5.2: CARMOT only tracks allocations and reachability, so its
+		// overhead sits two orders of magnitude under the naive one.
+		if r.Naive/r.Carmot < 10 {
+			t.Errorf("%s: naive/carmot ratio %.1f, want >= 10", r.Bench, r.Naive/r.Carmot)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 takes a while")
+	}
+	rows, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderOverhead("Figure 11: STATS use-case overhead", rows))
+	for _, r := range rows {
+		if r.Naive <= r.Carmot {
+			t.Errorf("%s: naive %.1fx should exceed CARMOT %.1fx", r.Bench, r.Naive, r.Carmot)
+		}
+	}
+}
+
+func TestVerifySweep(t *testing.T) {
+	rows, err := VerifyAll(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderVerify(rows))
+	totalPragmas := 0
+	for _, r := range rows {
+		totalPragmas += r.Pragmas
+		if r.Errors != 0 {
+			t.Errorf("%s: %d verification errors:\n%s", r.Bench, r.Errors, strings.Join(r.Reports, ""))
+		}
+		if r.OK != r.Pragmas {
+			t.Errorf("%s: %d/%d pragmas verified", r.Bench, r.OK, r.Pragmas)
+		}
+	}
+	if totalPragmas < 10 {
+		t.Errorf("suite should contain >=10 hand pragmas, found %d", totalPragmas)
+	}
+}
+
+func TestFig9NabCycle(t *testing.T) {
+	res, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig9(res))
+	if res.Cycles == 0 {
+		t.Fatal("no reference cycle found in nab")
+	}
+	if res.RecoveredCells == 0 || res.ReductionPct <= 0 {
+		t.Errorf("breaking the cycle should recover leaked cells (got %d, %.1f%%)", res.RecoveredCells, res.ReductionPct)
+	}
+}
+
+func TestCompareStats(t *testing.T) {
+	cmps, err := CompareStats(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderStats(cmps))
+	if len(cmps) != len(bench.StatsWorkloads()) {
+		t.Fatalf("want %d comparisons, got %d", len(bench.StatsWorkloads()), len(cmps))
+	}
+	found := false
+	for _, c := range cmps {
+		if c.Bench == "kmeans" {
+			for _, m := range c.Mismatches {
+				if strings.Contains(m, "scale_") {
+					found = true
+				}
+			}
+			continue
+		}
+		if len(c.Mismatches) != 0 {
+			t.Errorf("%s: unexpected mismatches %v", c.Bench, c.Mismatches)
+		}
+	}
+	if !found {
+		t.Error("kmeans: CARMOT should catch the deliberate scale_ misclassification")
+	}
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"testing"
+
+	"carmot"
+	"carmot/internal/bench"
+)
+
+// TestDumpRecommendations logs the parallel-for recommendations of two
+// representative benchmarks (one with an array reduction, one with the
+// Newton's-third-law critical pattern); run with -v to inspect them.
+func TestDumpRecommendations(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, name := range []string{"is", "nab"} {
+		b, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quick.norm()
+		prog, err := carmot.Compile(b.Name+".mc", b.Source(cfg.dev(b)), carmot.CompileOptions{ProfileOmpRegions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP, MaxSteps: cfg.MaxSteps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, roi := range prog.ROIs() {
+			if roi.Loop == nil {
+				continue
+			}
+			rec := carmot.RecommendParallelFor(res.PSECs[roi.ID], roi)
+			t.Logf("%s %s:\n%s", name, roi.Name, rec.Report())
+		}
+	}
+}

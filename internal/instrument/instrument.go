@@ -1,0 +1,622 @@
+// Package instrument decides, instruction by instruction, how the lowered
+// program is observed by the profiling runtime. It implements the seven
+// PSEC-specific optimizations of §4.4 as independent toggles so that the
+// naive baseline (all off) and the per-optimization ablation of Figure 8
+// come from the same planner.
+package instrument
+
+import (
+	"fmt"
+
+	"carmot/internal/analysis"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/rt"
+)
+
+// Options selects the optimizations and the tracking profile.
+type Options struct {
+	SubsequentAccess    bool // §4.4 opt 1: must-access data-flow removal
+	Aggregation         bool // §4.4 opt 2: ranged events for indexed arrays
+	FixedState          bool // §4.4 opt 3: compile-time FSA classification
+	Mem2Reg             bool // §4.4 opt 4: selective promotion of locals
+	CallgraphO3         bool // §4.4 opt 5: complete-call-graph -O3 scoping
+	PinGating           bool // §4.4 opt 6: Pin hooks only where needed
+	CallstackClustering bool // §4.4 opt 7: one stack capture per fn entry
+
+	Profile rt.TrackingProfile
+}
+
+// Naive returns the baseline configuration of Figures 7/10/11: no
+// PSEC-specific optimization, full tracking, still a correct PSEC.
+func Naive() Options {
+	return Options{Profile: rt.ProfileFull}
+}
+
+// Carmot returns the full CARMOT configuration for a use-case profile.
+func Carmot(profile rt.TrackingProfile) Options {
+	return Options{
+		SubsequentAccess: true, Aggregation: true, FixedState: true,
+		Mem2Reg: true, CallgraphO3: true, PinGating: true,
+		CallstackClustering: true, Profile: profile,
+	}
+}
+
+// Stats reports what the planner did; tests and the Figure 8 ablation
+// read these.
+type Stats struct {
+	AccessSites        int // loads+stores in instrumentation scope
+	Instrumented       int // sites left with TrackOn
+	RemovedByDataflow  int // opt 1
+	RemovedByAggregate int // opt 2
+	RemovedByFixed     int // opt 3
+	PromotedAllocas    int // opt 4 (+ synthetic slots)
+	O3Functions        int // opt 5
+	PinGatedCalls      int
+	TotalCalls         int
+	RangedEvents       int
+	FixedEvents        int
+}
+
+// Plan is the result of instrumentation planning. Per-instruction
+// decisions live on the IR itself (InstrBase.Track / Site, Call.PinGated,
+// Alloca.Promoted); the plan carries the tables the runtime needs.
+type Plan struct {
+	Options Options
+	Sites   []rt.SiteInfo
+	ROIs    []rt.ROIMeta
+	Stats   Stats
+	// StaticVarUses maps a variable's declaration position to the site
+	// IDs of accesses whose instrumentation was removed by the
+	// must-access data flow (§4.4 opt 1) but whose target variable is
+	// statically known: the compiler contributes these use sites to the
+	// PSEC directly, keeping Use-callstack reports complete.
+	StaticVarUses map[string][]int32
+	// ReducibleVars maps a variable's declaration position to the
+	// reduction operator when every in-ROI access is part of one
+	// reduction pattern — decided statically so that instrumentation
+	// removal cannot change the §3.2 reducibility answer.
+	ReducibleVars map[string]string
+}
+
+// Apply plans instrumentation for the program, mutating IR flags and
+// inserting RangedEvent/FixedClass instructions. It is idempotent: a
+// previous plan's flags and inserted instructions are stripped first.
+func Apply(prog *ir.Program, opts Options) (*Plan, error) {
+	strip(prog)
+	plan := &Plan{Options: opts}
+	for _, roi := range prog.ROIs {
+		plan.ROIs = append(plan.ROIs, rt.ROIMeta{
+			ID: roi.ID, Name: roi.Name, Kind: roi.Kind.String(), Pos: roi.Pos.String(),
+		})
+	}
+
+	pt := analysis.ComputePointsTo(prog)
+	cg := analysis.ComputeCallGraph(prog, pt)
+	regions := analysis.ComputeROIRegions(prog)
+
+	onStack := cg.OnStackAtROIStart()
+	reachable := cg.ReachableWithinROI(regions)
+	mayReachPin := cg.MayReachPrecompiled()
+	calledWithinROI := computeCalledWithinROI(prog, cg, regions)
+
+	for _, fn := range prog.Funcs {
+		accessScope := !opts.CallgraphO3 || reachable[fn]
+		o3 := opts.CallgraphO3 && !onStack[fn]
+		if o3 {
+			plan.Stats.O3Functions++
+		}
+		plan.planAllocas(fn, o3, regions, calledWithinROI)
+		plan.planAccesses(fn, accessScope, o3, cg, mayReachPin)
+	}
+
+	// Loop-shaped ROI optimizations need the region begin markers.
+	for _, roi := range prog.ROIs {
+		if roi.Loop == nil {
+			continue
+		}
+		region := regions[roi]
+		if region.Begin == nil {
+			continue
+		}
+		pre := findPreheader(prog, roi)
+		if pre.blk == nil {
+			continue
+		}
+		if opts.FixedState {
+			plan.applyFixedState(prog, roi, region, &pre)
+		}
+		if opts.Aggregation {
+			plan.applyAggregation(prog, roi, region, &pre, pt)
+		}
+	}
+
+	var removedVarAccesses []ir.Instr
+	if opts.SubsequentAccess {
+		for _, roi := range prog.ROIs {
+			region := regions[roi]
+			if region.Begin == nil {
+				continue
+			}
+			ma := analysis.ComputeMustAccess(region)
+			region.Instructions(func(in ir.Instr) bool {
+				if !ma.Redundant[in] || ir.Base(in).Track != ir.TrackOn {
+					return true
+				}
+				ir.Base(in).Track = ir.TrackOff
+				plan.Stats.RemovedByDataflow++
+				if symOfAccess(in) != nil {
+					removedVarAccesses = append(removedVarAccesses, in)
+				}
+				return true
+			})
+		}
+	}
+
+	reduceOps := recognizeReductions(prog)
+	plan.assignSites(prog, reduceOps)
+	plan.recordStaticUses(removedVarAccesses, reduceOps)
+	plan.recordReducibleVars(prog, regions, reduceOps)
+	return plan, nil
+}
+
+func symOfAccess(in ir.Instr) *lang.Symbol {
+	switch x := in.(type) {
+	case *ir.Load:
+		return x.Sym
+	case *ir.Store:
+		return x.Sym
+	}
+	return nil
+}
+
+// recordStaticUses registers compiler-known use sites for accesses whose
+// instrumentation was removed.
+func (p *Plan) recordStaticUses(removed []ir.Instr, reduceOps map[ir.Instr]string) {
+	if len(removed) == 0 {
+		return
+	}
+	p.StaticVarUses = map[string][]int32{}
+	for _, in := range removed {
+		sym := symOfAccess(in)
+		base := ir.Base(in)
+		_, write := in.(*ir.Store)
+		site := int32(len(p.Sites))
+		p.Sites = append(p.Sites, rt.SiteInfo{
+			Pos: base.Pos.String(), Func: base.Blk.Func.Name, Write: write,
+			ReduceOp: reduceOps[in],
+		})
+		key := sym.Pos.String()
+		p.StaticVarUses[key] = append(p.StaticVarUses[key], site)
+	}
+}
+
+// recordReducibleVars decides reducibility statically per (ROI, variable):
+// the variable is written in the region and every in-region access is
+// part of the same reduction pattern.
+func (p *Plan) recordReducibleVars(prog *ir.Program, regions map[*ir.ROI]*analysis.ROIRegion, reduceOps map[ir.Instr]string) {
+	p.ReducibleVars = map[string]string{}
+	blocked := map[string]bool{}
+	for _, roi := range prog.ROIs {
+		region := regions[roi]
+		if region == nil || region.Begin == nil {
+			continue
+		}
+		type info struct {
+			op       string
+			mixed    bool
+			hasWrite bool
+		}
+		vars := map[*lang.Symbol]*info{}
+		region.Instructions(func(in ir.Instr) bool {
+			sym := symOfAccess(in)
+			if sym == nil {
+				return true
+			}
+			inf := vars[sym]
+			if inf == nil {
+				inf = &info{op: reduceOps[in]}
+				vars[sym] = inf
+			}
+			op := reduceOps[in]
+			if op == "" || (inf.op != "" && op != inf.op) {
+				inf.mixed = true
+			}
+			if inf.op == "" {
+				inf.op = op
+			}
+			if _, w := in.(*ir.Store); w {
+				inf.hasWrite = true
+			}
+			return true
+		})
+		for sym, inf := range vars {
+			key := sym.Pos.String()
+			if inf.mixed || !inf.hasWrite || inf.op == "" || sym.AddressTaken {
+				blocked[key] = true
+				delete(p.ReducibleVars, key)
+				continue
+			}
+			if blocked[key] {
+				continue
+			}
+			if prev, ok := p.ReducibleVars[key]; ok && prev != inf.op {
+				blocked[key] = true
+				delete(p.ReducibleVars, key)
+				continue
+			}
+			p.ReducibleVars[key] = inf.op
+		}
+	}
+}
+
+// strip removes artifacts of a previous plan.
+func strip(prog *ir.Program) {
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				if ir.Base(b.Instrs[i]).Planner {
+					b.RemoveAt(i)
+				}
+			}
+		}
+		fn.Instructions(func(in ir.Instr) bool {
+			base := ir.Base(in)
+			base.Track = ir.TrackOff
+			base.Site = -1
+			if a, ok := in.(*ir.Alloca); ok {
+				a.Promoted = false
+			}
+			if c, ok := in.(*ir.Call); ok {
+				c.PinGated = false
+			}
+			return true
+		})
+	}
+}
+
+func (p *Plan) planAllocas(fn *ir.Func, o3 bool, regions map[*ir.ROI]*analysis.ROIRegion, calledWithinROI map[*ir.Func]bool) {
+	for _, a := range fn.Allocas {
+		switch {
+		case a.Synthetic:
+			// Compiler temporaries are not source PSEs in any mode.
+			a.Promoted = true
+		case o3:
+			// §4.4 opt 5: this function cannot be on the call stack when
+			// any ROI starts, so its stack PSEs cannot be part of a PSEC.
+			a.Promoted = true
+			p.Stats.PromotedAllocas++
+		case p.Options.Mem2Reg && promotable(a, fn, regions, calledWithinROI):
+			a.Promoted = true
+			p.Stats.PromotedAllocas++
+		default:
+			a.Track = ir.TrackOn
+		}
+	}
+}
+
+// promotable implements §4.4 opt 4: a local can be promoted when no ROI
+// can ever observe it — it is never accessed inside a lexical ROI region
+// of its function, its address is never taken, and its function is not
+// called from within any ROI.
+func promotable(a *ir.Alloca, fn *ir.Func, regions map[*ir.ROI]*analysis.ROIRegion, calledWithinROI map[*ir.Func]bool) bool {
+	if a.Sym == nil || a.Sym.AddressTaken || calledWithinROI[fn] {
+		return false
+	}
+	for _, region := range regions {
+		if region.ROI.Func != fn {
+			continue
+		}
+		used := false
+		region.Instructions(func(in ir.Instr) bool {
+			switch x := in.(type) {
+			case *ir.Load:
+				if x.Sym == a.Sym {
+					used = true
+					return false
+				}
+			case *ir.Store:
+				if x.Sym == a.Sym {
+					used = true
+					return false
+				}
+			}
+			return true
+		})
+		if used {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Plan) planAccesses(fn *ir.Func, accessScope, o3 bool, cg *analysis.CallGraph, mayReachPin map[*ir.Func]bool) {
+	fn.Instructions(func(in ir.Instr) bool {
+		switch x := in.(type) {
+		case *ir.Malloc:
+			// Heap PSEs are tracked in every configuration (§4.4 opt 5:
+			// -O3 preserves heap allocations).
+			x.Track = ir.TrackOn
+		case *ir.Free:
+			x.Track = ir.TrackOn
+		case *ir.Load:
+			if !accessScope || !p.Options.Profile.Sets {
+				return true
+			}
+			if suppressedAddr(x.Addr, o3, x.Sym) {
+				return true
+			}
+			p.Stats.AccessSites++
+			x.Track = ir.TrackOn
+		case *ir.Store:
+			if !accessScope {
+				return true
+			}
+			needSets := p.Options.Profile.Sets
+			needEscape := p.Options.Profile.Reach && x.PtrStore
+			if !needSets && !needEscape {
+				return true
+			}
+			if suppressedAddr(x.Addr, o3, x.Sym) {
+				return true
+			}
+			p.Stats.AccessSites++
+			x.Track = ir.TrackOn
+		case *ir.Call:
+			p.Stats.TotalCalls++
+			if !p.Options.PinGating {
+				// Naive: the Pintool shadows every call site.
+				x.PinGated = true
+				p.Stats.PinGatedCalls++
+				return true
+			}
+			if accessScope && cg.CallNeedsPin(x, mayReachPin) {
+				x.PinGated = true
+				p.Stats.PinGatedCalls++
+			}
+		}
+		return true
+	})
+}
+
+// suppressedAddr reports whether an access needs no instrumentation
+// because its target is a promoted/synthetic slot, or — under the -O3
+// treatment — a direct access to the function's own (untracked) locals.
+func suppressedAddr(addr ir.Value, o3 bool, sym *lang.Symbol) bool {
+	if a, ok := addr.(*ir.Alloca); ok && a.Promoted {
+		return true
+	}
+	if o3 && sym != nil && sym.Storage != lang.StorageGlobal {
+		return true
+	}
+	return false
+}
+
+// computeCalledWithinROI returns the functions that may be invoked from
+// inside some ROI region (the forward closure of in-region call targets).
+func computeCalledWithinROI(prog *ir.Program, cg *analysis.CallGraph, regions map[*ir.ROI]*analysis.ROIRegion) map[*ir.Func]bool {
+	out := map[*ir.Func]bool{}
+	var work []*ir.Func
+	add := func(f *ir.Func) {
+		if f != nil && !out[f] {
+			out[f] = true
+			work = append(work, f)
+		}
+	}
+	for _, region := range regions {
+		region.Instructions(func(in ir.Instr) bool {
+			if c, ok := in.(*ir.Call); ok {
+				for _, f := range cg.CalleeFuncs[c] {
+					add(f)
+				}
+			}
+			return true
+		})
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		f.Instructions(func(in ir.Instr) bool {
+			if c, ok := in.(*ir.Call); ok {
+				for _, g := range cg.CalleeFuncs[c] {
+					add(g)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// assignSites numbers every remaining TrackOn access and builds the
+// use-site table, including reduction-pattern recognition (§3.2).
+func (p *Plan) assignSites(prog *ir.Program, reduceOps map[ir.Instr]string) {
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			base := ir.Base(in)
+			var write bool
+			switch in.(type) {
+			case *ir.Load:
+				write = false
+			case *ir.Store:
+				write = true
+			default:
+				return true
+			}
+			if base.Track != ir.TrackOn {
+				return true
+			}
+			base.Site = int32(len(p.Sites))
+			p.Sites = append(p.Sites, rt.SiteInfo{
+				Pos: base.Pos.String(), Func: fn.Name, Write: write,
+				ReduceOp: reduceOps[in],
+			})
+			p.Stats.Instrumented++
+			return true
+		})
+	}
+}
+
+// recognizeReductions finds load-op-store reduction patterns: a store
+// whose value is a commutative binary operation with exactly one operand
+// being a load of the same location, where that load has no other use.
+func recognizeReductions(prog *ir.Program) map[ir.Instr]string {
+	out := map[ir.Instr]string{}
+	useCount := map[ir.Value]int{}
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			for _, op := range in.Operands() {
+				useCount[op]++
+			}
+			return true
+		})
+	}
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			st, ok := in.(*ir.Store)
+			if !ok {
+				return true
+			}
+			bin, ok := st.Val.(*ir.Bin)
+			if !ok || !bin.Op.IsCommutative() {
+				return true
+			}
+			opName := "+"
+			if bin.Op == ir.OpMul {
+				opName = "*"
+			}
+			for _, cand := range []ir.Value{bin.L, bin.R} {
+				ld, ok := cand.(*ir.Load)
+				if !ok || !sameLocation(ld.Addr, st.Addr) {
+					continue
+				}
+				// The load must feed only this reduction; the bin result
+				// must feed only the store.
+				if useCount[ld] != 1 || useCount[bin] != 1 {
+					continue
+				}
+				out[st] = opName
+				out[ld] = opName
+				break
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sameLocation reports whether two address operands statically denote the
+// same storage: the same alloca, the same global, the same GEP result, or
+// two structurally equal GEPs over the same base and provably equal index
+// (e.g. the two `cnt[k]` of `cnt[k] = cnt[k] + 1`, which lower to two
+// separate GEPs).
+func sameLocation(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	if ga, ok := a.(*ir.GlobalAddr); ok {
+		gb, ok2 := b.(*ir.GlobalAddr)
+		return ok2 && ga.Global == gb.Global
+	}
+	gpa, ok1 := a.(*ir.GEP)
+	gpb, ok2 := b.(*ir.GEP)
+	if !ok1 || !ok2 {
+		return false
+	}
+	if gpa.Scale != gpb.Scale || gpa.Offset != gpb.Offset {
+		return false
+	}
+	if !sameLocation(gpa.Base, gpb.Base) && !sameValue(gpa.Base, gpb.Base) {
+		return false
+	}
+	if gpa.Index == gpb.Index {
+		return true
+	}
+	return sameValue(gpa.Index, gpb.Index)
+}
+
+// sameValue reports whether two values provably evaluate to the same
+// result at their respective uses: identical values, equal constants, or
+// two loads of the same non-address-taken variable within one basic block
+// with no intervening store to it or call.
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return a != nil
+	}
+	ca, ok1 := a.(*ir.Const)
+	cb, ok2 := b.(*ir.Const)
+	if ok1 && ok2 {
+		return ca.IsFloat == cb.IsFloat && ca.Int == cb.Int && ca.Float == cb.Float
+	}
+	la, ok1 := a.(*ir.Load)
+	lb, ok2 := b.(*ir.Load)
+	if !ok1 || !ok2 || la.Sym == nil || la.Sym != lb.Sym || la.Sym.AddressTaken {
+		return false
+	}
+	if la.Blk != lb.Blk {
+		return false
+	}
+	// Scan between the two loads for writes to the variable or calls.
+	lo, hi := la, lb
+	if ir.Base(lb).ID < ir.Base(la).ID {
+		lo, hi = lb, la
+	}
+	started := false
+	for _, in := range la.Blk.Instrs {
+		if in == ir.Instr(lo) {
+			started = true
+			continue
+		}
+		if !started {
+			continue
+		}
+		if in == ir.Instr(hi) {
+			return true
+		}
+		switch x := in.(type) {
+		case *ir.Store:
+			if x.Sym == la.Sym {
+				return false
+			}
+		case *ir.Call:
+			return false
+		}
+	}
+	return false
+}
+
+// preheader is an insertion cursor just after an ROI's region-begin mark.
+type preheader struct {
+	blk *ir.Block
+	idx int
+}
+
+func (ph *preheader) insert(in ir.Instr, pos lang.Pos) {
+	ir.Base(in).Pos = pos
+	ir.Base(in).Planner = true
+	ph.blk.InsertAt(in, ph.idx)
+	ph.idx++
+}
+
+// findPreheader locates the MarkRegionBegin of the parallel region that
+// carries the ROI (lowering creates one for every loop-shaped ROI).
+func findPreheader(prog *ir.Program, roi *ir.ROI) preheader {
+	for _, b := range roi.Func.Blocks {
+		for i, in := range b.Instrs {
+			if m, ok := in.(*ir.Mark); ok && m.Kind == ir.MarkRegionBegin && m.Region != nil && m.Region.ROI == roi {
+				return preheader{blk: b, idx: i + 1}
+			}
+		}
+	}
+	return preheader{}
+}
+
+// debugString summarizes the plan (used by tests and the CLI -v mode).
+func (p *Plan) String() string {
+	s := p.Stats
+	return fmt.Sprintf(
+		"plan: %d/%d access sites instrumented (dataflow -%d, aggregated -%d, fixed -%d), %d allocas promoted, %d -O3 functions, %d/%d pin-gated calls, %d ranged, %d fixed events",
+		s.Instrumented, s.AccessSites, s.RemovedByDataflow, s.RemovedByAggregate,
+		s.RemovedByFixed, s.PromotedAllocas, s.O3Functions, s.PinGatedCalls,
+		s.TotalCalls, s.RangedEvents, s.FixedEvents)
+}

@@ -1,0 +1,281 @@
+package instrument_test
+
+import (
+	"testing"
+
+	"carmot/internal/instrument"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/lower"
+	"carmot/internal/rt"
+)
+
+func compile(t *testing.T, src string, opts lower.Options) *ir.Program {
+	t.Helper()
+	f, err := lang.ParseAndCheck("t.mc", src)
+	if err != nil {
+		t.Fatalf("front end: %v", err)
+	}
+	prog, err := lower.Lower(f, opts)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+const loopSrc = `
+extern int rand_seed(int s);
+extern float rand_float();
+extern int memcpy_cells(int* dst, int* src, int n);
+
+int N = 64;
+float* in;
+float* out;
+float alpha = 0.5;
+
+void init() {
+	in = malloc(N);
+	out = malloc(N);
+	rand_seed(1);
+	for (int j = 0; j < N; j++) { in[j] = rand_float(); }
+}
+
+int* stage(int* buf) {
+	memcpy_cells(buf, buf, 1);
+	return buf;
+}
+
+float unusedHelper(float x) { return x * 2.0; }
+
+void kernel() {
+	float t;
+	int dead = 7;
+	#pragma carmot roi hot
+	for (int i = 0; i < N; i++) {
+		t = in[i] * alpha;
+		out[i] = t;
+	}
+}
+
+int main() {
+	init();
+	kernel();
+	float u = unusedHelper(1.0);
+	return out[0] + u;
+}
+`
+
+func apply(t *testing.T, prog *ir.Program, opts instrument.Options) *instrument.Plan {
+	t.Helper()
+	plan, err := instrument.Apply(prog, opts)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	return plan
+}
+
+func TestNaiveInstrumentsEverything(t *testing.T) {
+	prog := compile(t, loopSrc, lower.Options{})
+	plan := apply(t, prog, instrument.Naive())
+	if plan.Stats.Instrumented != plan.Stats.AccessSites {
+		t.Errorf("naive should keep all %d sites, kept %d", plan.Stats.AccessSites, plan.Stats.Instrumented)
+	}
+	if plan.Stats.O3Functions != 0 || plan.Stats.RangedEvents != 0 || plan.Stats.FixedEvents != 0 {
+		t.Errorf("naive must not optimize: %+v", plan.Stats)
+	}
+	if plan.Stats.PinGatedCalls != plan.Stats.TotalCalls {
+		t.Errorf("naive gates every call: %d/%d", plan.Stats.PinGatedCalls, plan.Stats.TotalCalls)
+	}
+}
+
+func TestCarmotOptimizes(t *testing.T) {
+	prog := compile(t, loopSrc, lower.Options{})
+	naive := apply(t, prog, instrument.Naive())
+	naiveSites := naive.Stats.Instrumented
+	plan := apply(t, prog, instrument.Carmot(rt.ProfileOpenMP))
+	if plan.Stats.Instrumented >= naiveSites {
+		t.Errorf("carmot %d sites, naive %d", plan.Stats.Instrumented, naiveSites)
+	}
+	// in[i] is a read-only induction-indexed array, out[i] write-only:
+	// both aggregate; alpha is loop-invariant: fixed Input.
+	if plan.Stats.RangedEvents < 2 {
+		t.Errorf("expected ranged events for in/out, got %d", plan.Stats.RangedEvents)
+	}
+	if plan.Stats.FixedEvents < 1 {
+		t.Errorf("expected a fixed Input event for alpha, got %d", plan.Stats.FixedEvents)
+	}
+	if plan.Stats.O3Functions == 0 {
+		t.Error("init/stage/unusedHelper can be -O3 compiled")
+	}
+	if plan.Stats.PinGatedCalls >= plan.Stats.TotalCalls {
+		t.Errorf("pin gating should spare math-only calls: %d/%d", plan.Stats.PinGatedCalls, plan.Stats.TotalCalls)
+	}
+}
+
+func TestApplyIsIdempotent(t *testing.T) {
+	prog := compile(t, loopSrc, lower.Options{})
+	p1 := apply(t, prog, instrument.Carmot(rt.ProfileOpenMP))
+	p2 := apply(t, prog, instrument.Carmot(rt.ProfileOpenMP))
+	if p1.Stats != p2.Stats {
+		t.Errorf("re-planning changed stats:\n%+v\n%+v", p1.Stats, p2.Stats)
+	}
+	// And switching back to naive fully strips loop instrumentation.
+	p3 := apply(t, prog, instrument.Naive())
+	if p3.Stats.RangedEvents != 0 {
+		t.Error("strip failed: ranged events survive")
+	}
+	count := 0
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			switch in.(type) {
+			case *ir.RangedEvent, *ir.FixedClass:
+				count++
+			}
+			return true
+		})
+	}
+	if count != 0 {
+		t.Errorf("%d stale planner instructions in IR", count)
+	}
+}
+
+func TestSyntheticAllocasNeverTracked(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int a = 1;
+	int b = 0;
+	int c = a && b;
+	return c;
+}`, lower.Options{})
+	apply(t, prog, instrument.Naive())
+	for _, fn := range prog.Funcs {
+		for _, a := range fn.Allocas {
+			if a.Synthetic && !a.Promoted {
+				t.Error("synthetic slot must be promoted in every mode")
+			}
+		}
+	}
+}
+
+func TestMem2RegPromotion(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int used = 0;
+	int untouchedByROI = 42;
+	#pragma carmot roi r
+	{
+		used = used + 1;
+	}
+	return used + untouchedByROI;
+}`, lower.Options{})
+	apply(t, prog, instrument.Carmot(rt.ProfileOpenMP))
+	for _, a := range prog.FuncByName("main").Allocas {
+		if a.Sym == nil {
+			continue
+		}
+		switch a.Sym.Name {
+		case "used":
+			if a.Promoted {
+				t.Error("used is accessed in the ROI; must stay tracked")
+			}
+		case "untouchedByROI":
+			if !a.Promoted {
+				t.Error("untouchedByROI is invisible to the ROI; should promote")
+			}
+		}
+	}
+}
+
+func TestReductionRecognition(t *testing.T) {
+	prog := compile(t, `
+int N = 16;
+float* data;
+void init() { data = malloc(N); }
+float kernel() {
+	float sum = 0.0;
+	float prod = 1.0;
+	float odd = 0.0;
+	int* cnt = malloc(8);
+	#pragma carmot roi r
+	for (int i = 0; i < N; i++) {
+		sum = sum + data[i];
+		prod = prod * (data[i] + 1.0);
+		odd = (odd + data[i]) * 0.5;
+		cnt[i % 8] = cnt[i % 8] + 1;
+	}
+	return sum + prod + odd + cnt[0];
+}
+int main() { init(); return kernel(); }
+`, lower.Options{})
+	plan := apply(t, prog, instrument.Carmot(rt.ProfileOpenMP))
+	declPos := map[string]string{}
+	for _, fn := range prog.Funcs {
+		for _, a := range fn.Allocas {
+			if a.Sym != nil {
+				declPos[a.Sym.Name] = a.Sym.Pos.String()
+			}
+		}
+	}
+	if op := plan.ReducibleVars[declPos["sum"]]; op != "+" {
+		t.Errorf("sum reduce op = %q, want +", op)
+	}
+	if op := plan.ReducibleVars[declPos["prod"]]; op != "*" {
+		t.Errorf("prod reduce op = %q, want *", op)
+	}
+	if op, ok := plan.ReducibleVars[declPos["odd"]]; ok {
+		t.Errorf("odd is not a pure reduction, got %q", op)
+	}
+	// cnt[k] = cnt[k] + 1 through two structurally equal GEPs.
+	foundCntReduction := false
+	for _, s := range plan.Sites {
+		if s.Write && s.ReduceOp == "+" && s.Func == "kernel" {
+			foundCntReduction = true
+		}
+	}
+	if !foundCntReduction {
+		t.Error("cnt[k] = cnt[k] + 1 should be recognized as a + reduction site")
+	}
+}
+
+func TestStaticVarUsesRecorded(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int y = 1;
+	int s = 0;
+	#pragma carmot roi r
+	{
+		s = y + 1;
+		s = s * 2;
+		s = s * 3;
+	}
+	return s;
+}`, lower.Options{})
+	plan := apply(t, prog, instrument.Carmot(rt.ProfileOpenMP))
+	if plan.Stats.RemovedByDataflow == 0 {
+		t.Fatal("dataflow should remove something here")
+	}
+	if len(plan.StaticVarUses) == 0 {
+		t.Error("removed variable accesses should contribute static use sites")
+	}
+}
+
+func TestProfileDrivenTracking(t *testing.T) {
+	src := `
+struct n_t { struct n_t* next; int v; };
+int main() {
+	struct n_t* a = malloc(1);
+	a->next = a;
+	#pragma carmot roi r
+	{
+		a->v = a->v + 1;
+	}
+	return a->v;
+}`
+	prog := compile(t, src, lower.Options{})
+	full := apply(t, prog, instrument.Carmot(rt.ProfileOpenMP))
+	smart := apply(t, prog, instrument.Carmot(rt.ProfileSmartPtr))
+	if smart.Stats.Instrumented >= full.Stats.Instrumented {
+		t.Errorf("smart-pointer profile should track less: %d vs %d",
+			smart.Stats.Instrumented, full.Stats.Instrumented)
+	}
+}

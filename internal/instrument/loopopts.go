@@ -1,0 +1,383 @@
+package instrument
+
+import (
+	"sort"
+
+	"carmot/internal/analysis"
+	"carmot/internal/core"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+)
+
+// applyFixedState implements §4.4 optimization 3 for a loop-body ROI:
+// scalar variables that are provably only read inside the ROI are
+// pre-classified Input, and scalars that are provably only written are
+// pre-classified Cloneable+Output (the loop-governing induction variable
+// re-executes the store every invocation). One FixedClass event per loop
+// execution replaces their per-access instrumentation.
+func (p *Plan) applyFixedState(prog *ir.Program, roi *ir.ROI, region *analysis.ROIRegion, pre *preheader) {
+	type accInfo struct {
+		loads  []*ir.Load
+		stores []*ir.Store
+	}
+	acc := map[*lang.Symbol]*accInfo{}
+	var order []*lang.Symbol
+	get := func(sym *lang.Symbol) *accInfo {
+		if acc[sym] == nil {
+			acc[sym] = &accInfo{}
+			order = append(order, sym)
+		}
+		return acc[sym]
+	}
+	hasCall := false
+	region.Instructions(func(in ir.Instr) bool {
+		switch x := in.(type) {
+		case *ir.Load:
+			if x.Sym != nil {
+				g := get(x.Sym)
+				g.loads = append(g.loads, x)
+			}
+		case *ir.Store:
+			if x.Sym != nil {
+				g := get(x.Sym)
+				g.stores = append(g.stores, x)
+			}
+		case *ir.Call:
+			hasCall = true
+		}
+		return true
+	})
+	sortSymsByID(order)
+
+	for _, sym := range order {
+		info := acc[sym]
+		if sym.AddressTaken || !sym.Type.IsScalar() {
+			continue
+		}
+		// A callee can write a global directly; locals are safe because
+		// their address is never taken.
+		if sym.Storage == lang.StorageGlobal && hasCall {
+			continue
+		}
+		base := addrOfSym(prog, roi.Func, sym)
+		if base == nil {
+			continue
+		}
+		switch {
+		case len(info.stores) == 0 && len(info.loads) > 0:
+			pre.insert(&ir.FixedClass{ROI: roi, Base: base, Cells: 1,
+				Sets: uint8(core.SetInput)}, roi.Pos)
+			p.Stats.FixedEvents++
+			for _, ld := range info.loads {
+				if ld.Track == ir.TrackOn {
+					ld.Track = ir.TrackFixed
+					p.Stats.RemovedByFixed++
+				}
+			}
+		case len(info.loads) == 0 && len(info.stores) > 0:
+			pre.insert(&ir.FixedClass{ROI: roi, Base: base, Cells: 1,
+				Sets: uint8(core.SetCloneable | core.SetOutput)}, roi.Pos)
+			p.Stats.FixedEvents++
+			for _, st := range info.stores {
+				if st.Track == ir.TrackOn {
+					st.Track = ir.TrackFixed
+					p.Stats.RemovedByFixed++
+				}
+			}
+		}
+	}
+}
+
+func sortSymsByID(syms []*lang.Symbol) {
+	sort.Slice(syms, func(i, j int) bool { return syms[i].ID < syms[j].ID })
+}
+
+// applyAggregation implements §4.4 optimization 2: contiguous PSEs indexed
+// by the loop-governing induction variable, uniformly read or uniformly
+// written, are instrumented with a single ranged event per loop execution.
+func (p *Plan) applyAggregation(prog *ir.Program, roi *ir.ROI, region *analysis.ROIRegion, pre *preheader, pt *analysis.PointsTo) {
+	loop := roi.Loop
+	if loop.Step != 1 {
+		return
+	}
+	startVal, boundVal, inclusive, ok := loopBounds(loop, region)
+	if !ok {
+		return
+	}
+
+	type group struct {
+		geps   []*ir.GEP
+		loads  []*ir.Load
+		stores []*ir.Store
+		scale  int64
+		bad    bool
+	}
+	groups := map[*lang.Symbol]*group{}
+	var groupOrder []*lang.Symbol
+	var otherAddrs []ir.Value
+
+	qualifies := func(g *ir.GEP) bool {
+		if g.BaseSym == nil || g.Offset != 0 || g.Scale <= 0 {
+			return false
+		}
+		il, ok := g.Index.(*ir.Load)
+		return ok && il.Sym == loop.IndVar
+	}
+
+	region.Instructions(func(in ir.Instr) bool {
+		var addr ir.Value
+		switch x := in.(type) {
+		case *ir.Load:
+			if x.Sym != nil {
+				return true // direct variable access; not an array element
+			}
+			addr = x.Addr
+		case *ir.Store:
+			if x.Sym != nil {
+				return true
+			}
+			addr = x.Addr
+		default:
+			return true
+		}
+		g, isGEP := addr.(*ir.GEP)
+		if isGEP && qualifies(g) {
+			grp := groups[g.BaseSym]
+			if grp == nil {
+				grp = &group{scale: g.Scale}
+				groups[g.BaseSym] = grp
+				groupOrder = append(groupOrder, g.BaseSym)
+			}
+			if g.Scale != grp.scale {
+				grp.bad = true
+			}
+			grp.geps = append(grp.geps, g)
+			switch x := in.(type) {
+			case *ir.Load:
+				grp.loads = append(grp.loads, x)
+			case *ir.Store:
+				grp.stores = append(grp.stores, x)
+			}
+			return true
+		}
+		if isGEP && g.BaseSym != nil {
+			// Non-induction access to a known array disqualifies it.
+			if grp := groups[g.BaseSym]; grp != nil {
+				grp.bad = true
+			} else {
+				groups[g.BaseSym] = &group{bad: true}
+				groupOrder = append(groupOrder, g.BaseSym)
+			}
+		}
+		otherAddrs = append(otherAddrs, addr)
+		return true
+	})
+
+	sortSymsByID(groupOrder)
+	for _, sym := range groupOrder {
+		grp := groups[sym]
+		if grp.bad || len(grp.geps) == 0 {
+			continue
+		}
+		isWrite := len(grp.stores) > 0
+		if isWrite && len(grp.loads) > 0 {
+			continue // mixed access kinds: not uniform
+		}
+		rep := grp.geps[0]
+		aliased := false
+		for _, oa := range otherAddrs {
+			if pt.MayAlias(rep, oa) {
+				aliased = true
+				break
+			}
+		}
+		// Other aggregated arrays may alias this one (e.g. two pointer
+		// params to the same buffer); check across groups too.
+		for other, og := range groups {
+			if other == sym || len(og.geps) == 0 {
+				continue
+			}
+			if pt.MayAlias(rep, og.geps[0]) {
+				aliased = true
+				break
+			}
+		}
+		if aliased {
+			continue
+		}
+
+		baseVal := p.materializeBase(prog, roi.Func, sym, pre, roi.Pos)
+		if baseVal == nil {
+			continue
+		}
+		start := p.materializeOperand(prog, roi.Func, startVal, pre, roi.Pos)
+		bound := p.materializeOperand(prog, roi.Func, boundVal, pre, roi.Pos)
+		if start == nil || bound == nil {
+			continue
+		}
+		count := p.materializeCount(start, bound, inclusive, pre, roi.Pos)
+		elemBase := baseVal
+		if c, isConst := start.(*ir.Const); !isConst || c.Int != 0 {
+			gep := &ir.GEP{Base: baseVal, Index: start, Scale: grp.scale}
+			pre.insert(gep, roi.Pos)
+			elemBase = gep
+		}
+		pre.insert(&ir.RangedEvent{
+			ROI: roi, Base: elemBase, Count: count, Stride: grp.scale, IsWrite: isWrite,
+		}, roi.Pos)
+		p.Stats.RangedEvents++
+		for _, ld := range grp.loads {
+			if ld.Track == ir.TrackOn {
+				ld.Track = ir.TrackAggregated
+				p.Stats.RemovedByAggregate++
+			}
+		}
+		for _, st := range grp.stores {
+			if st.Track == ir.TrackOn {
+				st.Track = ir.TrackAggregated
+				p.Stats.RemovedByAggregate++
+			}
+		}
+	}
+}
+
+// boundOperand is a compile-time constant or a loop-invariant variable.
+type boundOperand struct {
+	konst int64
+	sym   *lang.Symbol
+}
+
+// loopBounds extracts (start, bound, inclusive) from the canonical loop
+// shape; ok is false when the loop is not analyzable.
+func loopBounds(loop *ir.LoopInfo, region *analysis.ROIRegion) (start, bound boundOperand, inclusive, ok bool) {
+	toOperand := func(e lang.Expr) (boundOperand, bool) {
+		switch x := e.(type) {
+		case *lang.IntLit:
+			return boundOperand{konst: x.Value}, true
+		case *lang.Ident:
+			if x.Sym == nil || x.Sym.AddressTaken || x.Sym.Type.Kind != lang.KindInt {
+				return boundOperand{}, false
+			}
+			if x.Sym == loop.IndVar || symWrittenInRegion(x.Sym, region) {
+				return boundOperand{}, false
+			}
+			return boundOperand{sym: x.Sym}, true
+		}
+		return boundOperand{}, false
+	}
+	switch init := loop.For.Init.(type) {
+	case *lang.DeclStmt:
+		start, ok = toOperand(init.Init)
+	case *lang.ExprStmt:
+		if as, isAssign := init.X.(*lang.Assign); isAssign && as.Op == lang.AssignSet {
+			start, ok = toOperand(as.RHS)
+		}
+	}
+	if !ok {
+		return start, bound, false, false
+	}
+	cond, isBin := loop.For.Cond.(*lang.Binary)
+	if !isBin {
+		return start, bound, false, false
+	}
+	l, isIdent := cond.L.(*lang.Ident)
+	if !isIdent || l.Sym != loop.IndVar {
+		return start, bound, false, false
+	}
+	switch cond.Op {
+	case lang.BinLt:
+		inclusive = false
+	case lang.BinLe:
+		inclusive = true
+	default:
+		return start, bound, false, false
+	}
+	bound, ok = toOperand(cond.R)
+	return start, bound, inclusive, ok
+}
+
+func symWrittenInRegion(sym *lang.Symbol, region *analysis.ROIRegion) bool {
+	written := false
+	region.Instructions(func(in ir.Instr) bool {
+		if st, isStore := in.(*ir.Store); isStore && st.Sym == sym {
+			written = true
+			return false
+		}
+		return true
+	})
+	return written
+}
+
+// materializeBase yields the array's element-0 address at the preheader.
+func (p *Plan) materializeBase(prog *ir.Program, fn *ir.Func, sym *lang.Symbol, pre *preheader, pos lang.Pos) ir.Value {
+	addr := addrOfSym(prog, fn, sym)
+	if addr == nil {
+		return nil
+	}
+	if sym.Type.Kind == lang.KindArray {
+		return addr
+	}
+	// Pointer variable: read its current value.
+	ld := &ir.Load{Addr: addr, Cls: ir.ClassPtr}
+	pre.insert(ld, pos)
+	return ld
+}
+
+func (p *Plan) materializeOperand(prog *ir.Program, fn *ir.Func, op boundOperand, pre *preheader, pos lang.Pos) ir.Value {
+	if op.sym == nil {
+		return ir.ConstInt(op.konst)
+	}
+	addr := addrOfSym(prog, fn, op.sym)
+	if addr == nil {
+		return nil
+	}
+	ld := &ir.Load{Addr: addr, Cls: ir.ClassInt}
+	pre.insert(ld, pos)
+	return ld
+}
+
+func (p *Plan) materializeCount(start, bound ir.Value, inclusive bool, pre *preheader, pos lang.Pos) ir.Value {
+	extra := int64(0)
+	if inclusive {
+		extra = 1
+	}
+	cs, sOK := start.(*ir.Const)
+	cb, bOK := bound.(*ir.Const)
+	if sOK && bOK {
+		n := cb.Int - cs.Int + extra
+		if n < 0 {
+			n = 0
+		}
+		return ir.ConstInt(n)
+	}
+	sub := &ir.Bin{Op: ir.OpSub, L: bound, R: start}
+	pre.insert(sub, pos)
+	if !inclusive {
+		return sub
+	}
+	add := &ir.Bin{Op: ir.OpAdd, L: sub, R: ir.ConstInt(1)}
+	pre.insert(add, pos)
+	return add
+}
+
+// addrOfSym returns the address value of a variable: its alloca within fn
+// or its global.
+func addrOfSym(prog *ir.Program, fn *ir.Func, sym *lang.Symbol) ir.Value {
+	if sym.Storage == lang.StorageGlobal {
+		for _, g := range prog.Globals {
+			if g.Sym == sym {
+				return &ir.GlobalAddr{Global: g}
+			}
+		}
+		return nil
+	}
+	for _, a := range fn.Allocas {
+		if a.Sym == sym {
+			if a.Promoted {
+				return nil
+			}
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package interp executes CARMOT-Go IR. It stands in for the compiled
+// binary of the paper: the instrumentation the planner left on the IR
+// fires exactly where the compiler placed it, feeding the profiling
+// runtime; an instruction-cycle counter provides the deterministic time
+// base the multicore simulator (internal/parexec) schedules with.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"carmot/internal/core"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/rt"
+)
+
+// Options configures a run.
+type Options struct {
+	// Runtime receives profiling events; nil runs uninstrumented.
+	Runtime *rt.Runtime
+	// Clustering enables callstack clustering (§4.4 opt 7): the call
+	// stack is captured once per function entry instead of once per
+	// allocation event.
+	Clustering bool
+	// NaiveEventCosts prices events at the naive baseline's cost: inline
+	// processing on the program thread without the batched parallel
+	// runtime, under whole-binary Pin shadowing.
+	NaiveEventCosts bool
+	// Sink receives timeline marks for the multicore simulator.
+	Sink TimelineSink
+	// Stdout receives program output (io.Discard by default).
+	Stdout io.Writer
+	// MaxSteps aborts runaway programs (0 = no limit).
+	MaxSteps int64
+	// StackCells sizes the stack region (default 1<<20 cells).
+	StackCells uint64
+}
+
+// TimelineSink observes execution markers with the current cycle counts;
+// the multicore simulator reconstructs parallel makespans from them.
+type TimelineSink interface {
+	Mark(kind ir.MarkKind, region *ir.ParRegion, task *lang.Pragma, cycles, serialCycles int64)
+	ROIBoundary(begin bool, roi *ir.ROI, cycles, serialCycles int64)
+}
+
+// RuntimeError is an execution failure with a source position.
+type RuntimeError struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg) }
+
+// Result summarizes a completed run.
+type Result struct {
+	Exit         int64
+	Cycles       int64
+	SerialCycles int64
+	// ToolCycles is the simulated cost of the instrumentation and
+	// profiling work performed during the run (zero when
+	// uninstrumented); overhead = (Cycles+ToolCycles)/Cycles.
+	ToolCycles int64
+	Steps      int64
+	HeapCells  uint64
+	// Accesses counts every executed load/store (instrumented or not);
+	// the §2.3 amplification study reads these.
+	VarAccesses int64
+	MemAccesses int64
+	LeakedCells uint64 // heap cells never freed
+	// LeakedAllocs details the never-freed heap allocations by site.
+	LeakedAllocs []LeakedAlloc
+	Output       string
+}
+
+// LeakedAlloc is one never-freed heap allocation.
+type LeakedAlloc struct {
+	Pos   string
+	Cells int64
+}
+
+type heapRec struct {
+	cells int64
+	pos   string
+}
+
+type frame struct {
+	fn     *ir.Func
+	args   []uint64
+	temps  []uint64
+	base   uint64 // first cell of the frame's alloca area
+	cs     core.CallstackID
+	csDone bool
+	// callPos is the source position of the call that created the frame.
+	callPos lang.Pos
+}
+
+type funcLayout struct {
+	offsets []uint64
+	cells   uint64
+	tracked []*ir.Alloca // allocas needing free events on return
+}
+
+// Interp executes one program.
+type Interp struct {
+	prog *ir.Program
+	opts Options
+
+	mem        []uint64
+	globalBase uint64
+	globalOff  map[*ir.Global]uint64
+	stackBase  uint64
+	stackTop   uint64
+	stackLimit uint64
+	heapTop    uint64
+
+	layouts   map[*ir.Func]*funcLayout
+	funcIDs   []*ir.Func
+	externIDs []*ir.Extern
+
+	frames []*frame
+	rng    uint64
+
+	cycles       int64
+	serialCycles int64
+	toolCycles   int64
+	eventCost    int64
+	steps        int64
+	liveHeap     map[uint64]heapRec
+	leaked       uint64
+	varAccesses  int64
+	memAccesses  int64
+
+	out io.Writer
+	buf []byte
+}
+
+// New prepares an interpreter for the program.
+func New(prog *ir.Program, opts Options) *Interp {
+	if opts.StackCells == 0 {
+		opts.StackCells = 1 << 20
+	}
+	if opts.Stdout == nil {
+		opts.Stdout = io.Discard
+	}
+	it := &Interp{
+		prog:      prog,
+		opts:      opts,
+		globalOff: map[*ir.Global]uint64{},
+		layouts:   map[*ir.Func]*funcLayout{},
+		liveHeap:  map[uint64]heapRec{},
+		out:       opts.Stdout,
+		rng:       0x9E3779B97F4A7C15,
+		eventCost: costEventEmit,
+	}
+	if opts.NaiveEventCosts {
+		it.eventCost = costEventNaive
+	}
+	// Memory layout: cell 0 is the null cell; globals; stack; heap.
+	it.globalBase = 1
+	off := it.globalBase
+	for _, g := range prog.Globals {
+		it.globalOff[g] = off
+		off += uint64(g.Cells)
+	}
+	it.stackBase = off
+	it.stackTop = off
+	it.stackLimit = off + opts.StackCells
+	it.heapTop = it.stackLimit
+	it.mem = make([]uint64, it.heapTop+1024)
+
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			it.mem[it.globalOff[g]] = constBits(g.Init)
+		}
+	}
+	for _, f := range prog.Funcs {
+		lay := &funcLayout{offsets: make([]uint64, len(f.Allocas))}
+		for i, a := range f.Allocas {
+			lay.offsets[i] = lay.cells
+			lay.cells += uint64(a.Cells)
+			if a.Track == ir.TrackOn {
+				lay.tracked = append(lay.tracked, a)
+			}
+		}
+		it.layouts[f] = lay
+		it.funcIDs = append(it.funcIDs, f)
+	}
+	it.externIDs = append(it.externIDs, prog.Externs...)
+	return it
+}
+
+func constBits(c *ir.Const) uint64 {
+	if c.IsFloat {
+		return math.Float64bits(c.Float)
+	}
+	return uint64(c.Int)
+}
+
+// fnptrOf encodes a function reference as a callable value.
+func (it *Interp) fnptrOf(fr *ir.FuncRef) uint64 {
+	if fr.Func != nil {
+		for i, f := range it.funcIDs {
+			if f == fr.Func {
+				return uint64(i + 1)
+			}
+		}
+	}
+	if fr.Extern != nil {
+		for i, e := range it.externIDs {
+			if e == fr.Extern {
+				return uint64(len(it.funcIDs) + i + 1)
+			}
+		}
+	}
+	return 0
+}
+
+// Run registers globals with the runtime and executes main.
+func (it *Interp) Run() (*Result, error) {
+	main := it.prog.FuncByName("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: program has no main function")
+	}
+	if r := it.opts.Runtime; r != nil {
+		for _, g := range it.prog.Globals {
+			kind := core.PSEGlobal
+			if g.Sym.Type.IsScalar() {
+				kind = core.PSEVariable
+			}
+			r.Emit(rt.Event{
+				Kind: rt.EvAlloc, Addr: it.globalOff[g], N: int64(g.Cells),
+				Meta: &rt.AllocMeta{Kind: kind, Name: g.Sym.Name, Pos: g.Sym.Pos.String()},
+			})
+		}
+	}
+	exit, err := it.call(main, nil, lang.Pos{Line: 0})
+	if err != nil {
+		return nil, err
+	}
+	var leaks []LeakedAlloc
+	for _, rec := range it.liveHeap {
+		it.leaked += uint64(rec.cells)
+		leaks = append(leaks, LeakedAlloc{Pos: rec.pos, Cells: rec.cells})
+	}
+	sort.Slice(leaks, func(i, j int) bool {
+		if leaks[i].Pos != leaks[j].Pos {
+			return leaks[i].Pos < leaks[j].Pos
+		}
+		return leaks[i].Cells < leaks[j].Cells
+	})
+	res := &Result{
+		Exit: int64(exit), Cycles: it.cycles, SerialCycles: it.serialCycles,
+		ToolCycles: it.toolCycles,
+		Steps:      it.steps, HeapCells: it.heapTop - it.stackLimit,
+		VarAccesses: it.varAccesses, MemAccesses: it.memAccesses,
+		LeakedCells: it.leaked, LeakedAllocs: leaks, Output: string(it.buf),
+	}
+	return res, nil
+}
+
+// Print implements native.Env.
+func (it *Interp) Print(s string) {
+	it.buf = append(it.buf, s...)
+	if it.out != io.Discard {
+		io.WriteString(it.out, s)
+	}
+}
+
+// RandState implements native.Env.
+func (it *Interp) RandState() *uint64 { return &it.rng }
+
+// LoadCell implements native.Env (untraced native memory access).
+func (it *Interp) LoadCell(addr uint64) uint64 {
+	if addr == 0 || addr >= uint64(len(it.mem)) {
+		return 0
+	}
+	return it.mem[addr]
+}
+
+// StoreCell implements native.Env.
+func (it *Interp) StoreCell(addr uint64, val uint64) {
+	if addr == 0 {
+		return
+	}
+	it.ensure(addr + 1)
+	it.mem[addr] = val
+}
+
+func (it *Interp) ensure(n uint64) {
+	for uint64(len(it.mem)) < n {
+		it.mem = append(it.mem, make([]uint64, n-uint64(len(it.mem))+4096)...)
+	}
+}
+
+// callstack builds the current call stack (outermost first) and interns
+// it. With clustering it is invoked once per frame; without, once per
+// allocation event — the §4.4 opt 7 cost difference.
+func (it *Interp) callstack() core.CallstackID {
+	if it.opts.Runtime == nil {
+		return 0
+	}
+	frames := make([]core.Frame, 0, len(it.frames))
+	for _, f := range it.frames {
+		frames = append(frames, core.Frame{Func: f.fn.Name, Pos: f.callPos.String()})
+	}
+	return it.opts.Runtime.Callstacks().Intern(frames)
+}
+
+// curCS returns the callstack ID for an allocation event, honoring the
+// clustering option (§4.4 opt 7): with clustering the stack is captured
+// once per frame; without it every allocation recomputes it.
+func (it *Interp) curCS() core.CallstackID {
+	fr := it.frames[len(it.frames)-1]
+	if it.opts.Clustering {
+		if !fr.csDone {
+			fr.cs = it.callstack()
+			fr.csDone = true
+			it.toolCycles += costClusterEntry
+		}
+		return fr.cs
+	}
+	it.toolCycles += costStackBase + costStackFrame*int64(len(it.frames))
+	return it.callstack()
+}
+
+// useCS returns the callstack for use events; captured lazily per frame
+// in every mode (the clustering optimization concerns allocations).
+func (it *Interp) useCS() core.CallstackID {
+	fr := it.frames[len(it.frames)-1]
+	if !fr.csDone {
+		fr.cs = it.callstack()
+		fr.csDone = true
+		it.toolCycles += costStackBase + costStackFrame*int64(len(it.frames))
+	}
+	return fr.cs
+}
+
+func (it *Interp) errf(pos lang.Pos, format string, args ...interface{}) error {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

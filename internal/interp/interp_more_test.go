@@ -1,0 +1,211 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWhileLoopWithROI(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int n = 1;
+	int steps = 0;
+	while (n < 50) {
+		#pragma carmot roi collatzish
+		{
+			if (n % 2 == 0) {
+				n = n / 2;
+			} else {
+				n = 3 * n + 1;
+			}
+			steps = steps + 1;
+			if (steps > 40) { break; }
+		}
+	}
+	return n;
+}`, 2) // 1→4→2→1→... the cycle breaks at steps=41, where n=2 (see TestCollatzOracle)
+}
+
+func TestFnPtrInStruct(t *testing.T) {
+	expectExit(t, `
+struct op_t {
+	fnptr apply;
+	int bias;
+};
+int dbl(int x) { return 2 * x; }
+int neg(int x) { return -x; }
+int main() {
+	struct op_t ops[2];
+	ops[0].apply = dbl;
+	ops[0].bias = 1;
+	ops[1].apply = neg;
+	ops[1].bias = 10;
+	int acc = 0;
+	for (int i = 0; i < 2; i++) {
+		fnptr f = ops[i].apply;
+		acc = acc + f(5) + ops[i].bias;
+	}
+	return acc;
+}`, 10+1+(-5)+10)
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	expectExit(t, `
+struct pt_t { int x; int y; };
+int main() {
+	struct pt_t* pts = malloc(4);
+	for (int i = 0; i < 4; i++) {
+		pts[i].x = i;
+		pts[i].y = i * i;
+	}
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		s = s + pts[i].x + pts[i].y;
+	}
+	free(pts);
+	return s;
+}`, (0+1+2+3)+(0+1+4+9))
+}
+
+func TestNestedStructArrays(t *testing.T) {
+	expectExit(t, `
+struct row_t { int cells[3]; };
+struct grid_t { struct row_t rows[2]; };
+int main() {
+	struct grid_t g;
+	for (int r = 0; r < 2; r++) {
+		for (int c = 0; c < 3; c++) {
+			g.rows[r].cells[c] = r * 10 + c;
+		}
+	}
+	return g.rows[1].cells[2] + g.rows[0].cells[1];
+}`, 12+1)
+}
+
+func TestSizeofInExpressions(t *testing.T) {
+	expectExit(t, `
+struct big_t { int a[5]; float b; };
+int main() {
+	return sizeof(struct big_t) * 10 + sizeof(int) + sizeof(float*);
+}`, 62)
+}
+
+func TestGlobalStructAndPointers(t *testing.T) {
+	expectExit(t, `
+struct cfg_t { int depth; int width; };
+struct cfg_t gcfg;
+struct cfg_t* pick() { return &gcfg; }
+int main() {
+	gcfg.depth = 3;
+	pick()->width = 7;
+	return gcfg.depth * 10 + gcfg.width;
+}`, 37)
+}
+
+// TestRandomStraightLinePrograms is a differential test: random
+// straight-line integer programs are executed by the interpreter and by a
+// direct Go oracle; results must agree.
+func TestRandomStraightLinePrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	const nVars = 6
+	for trial := 0; trial < 150; trial++ {
+		vals := make([]int64, nVars)
+		var body strings.Builder
+		for v := 0; v < nVars; v++ {
+			init := int64(r.Intn(21) - 10)
+			vals[v] = init
+			fmt.Fprintf(&body, "\tint v%d = %d;\n", v, init)
+		}
+		nStmts := 5 + r.Intn(25)
+		for s := 0; s < nStmts; s++ {
+			dst := r.Intn(nVars)
+			a, b := r.Intn(nVars), r.Intn(nVars)
+			switch r.Intn(4) {
+			case 0:
+				fmt.Fprintf(&body, "\tv%d = v%d + v%d;\n", dst, a, b)
+				vals[dst] = vals[a] + vals[b]
+			case 1:
+				fmt.Fprintf(&body, "\tv%d = v%d - v%d;\n", dst, a, b)
+				vals[dst] = vals[a] - vals[b]
+			case 2:
+				// Keep magnitudes bounded: scale down after multiply.
+				fmt.Fprintf(&body, "\tv%d = v%d * v%d %% 1000003;\n", dst, a, b)
+				vals[dst] = vals[a] * vals[b] % 1000003
+			case 3:
+				c := int64(r.Intn(9) + 1)
+				fmt.Fprintf(&body, "\tv%d = v%d / %d;\n", dst, a, c)
+				vals[dst] = vals[a] / c
+			}
+		}
+		var want int64
+		var retExpr []string
+		for v := 0; v < nVars; v++ {
+			want += vals[v]
+			retExpr = append(retExpr, fmt.Sprintf("v%d", v))
+		}
+		src := fmt.Sprintf("int main() {\n%s\treturn %s;\n}\n",
+			body.String(), strings.Join(retExpr, " + "))
+		res, err := tryRun(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if res.Exit != want {
+			t.Fatalf("trial %d: interpreter %d, oracle %d\n%s", trial, res.Exit, want, src)
+		}
+	}
+}
+
+// TestRandomFloatPrograms: the same differential idea on float chains.
+func TestRandomFloatPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		x := 1.0 + r.Float64()
+		var body strings.Builder
+		fmt.Fprintf(&body, "\tfloat x = %v;\n", x)
+		n := 3 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			c := 0.5 + r.Float64()
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&body, "\tx = x * %v;\n", c)
+				x = x * c
+			case 1:
+				fmt.Fprintf(&body, "\tx = x + %v;\n", c)
+				x = x + c
+			case 2:
+				fmt.Fprintf(&body, "\tx = x / %v;\n", c)
+				x = x / c
+			}
+		}
+		want := int64(x * 1000)
+		src := fmt.Sprintf("int main() {\n%s\treturn x * 1000.0;\n}\n", body.String())
+		res, err := tryRun(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if res.Exit != want {
+			t.Fatalf("trial %d: interpreter %d, oracle %d\n%s", trial, res.Exit, want, src)
+		}
+	}
+}
+
+// TestCollatzOracle pins the expected value used by TestWhileLoopWithROI.
+func TestCollatzOracle(t *testing.T) {
+	n, steps := 1, 0
+	for n < 50 {
+		if n%2 == 0 {
+			n = n / 2
+		} else {
+			n = 3*n + 1
+		}
+		steps++
+		if steps > 40 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("oracle says %d; update TestWhileLoopWithROI", n)
+	}
+}

@@ -1,0 +1,304 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/instrument"
+	"carmot/internal/interp"
+	"carmot/internal/lang"
+	"carmot/internal/lower"
+)
+
+// run compiles and executes src uninstrumented, returning the result.
+func run(t *testing.T, src string) *interp.Result {
+	t.Helper()
+	res, err := tryRun(src)
+	if err != nil {
+		t.Fatalf("run failed: %v\nsource:\n%s", err, src)
+	}
+	return res
+}
+
+func tryRun(src string) (*interp.Result, error) {
+	f, err := lang.ParseAndCheck("t.mc", src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.Lower(f, lower.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := instrument.Apply(prog, instrument.Options{}); err != nil {
+		return nil, err
+	}
+	it := interp.New(prog, interp.Options{MaxSteps: 50_000_000})
+	return it.Run()
+}
+
+func expectExit(t *testing.T, src string, want int64) {
+	t.Helper()
+	if res := run(t, src); res.Exit != want {
+		t.Errorf("exit = %d, want %d\nsource:\n%s", res.Exit, want, src)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectExit(t, `int main() { return 2 + 3 * 4; }`, 14)
+	expectExit(t, `int main() { return (2 + 3) * 4; }`, 20)
+	expectExit(t, `int main() { return 17 / 5; }`, 3)
+	expectExit(t, `int main() { return 17 % 5; }`, 2)
+	expectExit(t, `int main() { return -7 + 3; }`, -4)
+	expectExit(t, `int main() { float f = 7.5; return f * 2.0; }`, 15)
+	expectExit(t, `int main() { return 2.9; }`, 2) // float->int truncates
+	expectExit(t, `int main() { float f = 3; return f / 2.0 * 10.0; }`, 15)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	expectExit(t, `int main() { return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) + (1 == 1) + (1 != 1); }`, 4)
+	expectExit(t, `int main() { return (1 && 0) + (1 && 2) + (0 || 0) + (0 || 3); }`, 2)
+	expectExit(t, `int main() { return !0 + !5; }`, 1)
+	expectExit(t, `int main() { float a = 1.5; return (a > 1.0) && (a < 2.0); }`, 1)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	// The right side of && must not run when the left is false.
+	expectExit(t, `
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+	int a = 0 && bump();
+	int b = 1 || bump();
+	a = 1 && bump();
+	b = 0 || bump();
+	return calls;
+}`, 2)
+}
+
+func TestControlFlow(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		if (i == 3) { continue; }
+		if (i == 7) { break; }
+		s += i;
+	}
+	return s;
+}`, 0+1+2+4+5+6)
+	expectExit(t, `
+int main() {
+	int n = 0;
+	while (n < 100) { n = n * 2 + 1; }
+	return n;
+}`, 127)
+}
+
+func TestRecursion(t *testing.T) {
+	expectExit(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(15); }`, 610)
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int* a = malloc(5);
+	for (int i = 0; i < 5; i++) { a[i] = i * i; }
+	int* p = a + 2;
+	int v = *p + p[1];
+	free(a);
+	return v;
+}`, 4+9)
+	expectExit(t, `
+int swap(int* x, int* y) {
+	int t = *x;
+	*x = *y;
+	*y = t;
+	return 0;
+}
+int main() {
+	int a = 3;
+	int b = 9;
+	swap(&a, &b);
+	return a * 10 + b;
+}`, 93)
+}
+
+func TestPointerDifference(t *testing.T) {
+	expectExit(t, `
+int main() {
+	float* a = malloc(10);
+	float* p = a + 7;
+	return p - a;
+}`, 7)
+}
+
+func TestStructsAndNesting(t *testing.T) {
+	expectExit(t, `
+struct inner_t { int v; int w; };
+struct outer_t { struct inner_t in; struct inner_t* ptr; };
+int main() {
+	struct outer_t o;
+	o.in.v = 5;
+	o.in.w = 6;
+	o.ptr = &o.in;
+	o.ptr->v = o.ptr->v + 100;
+	return o.in.v + o.in.w;
+}`, 111)
+}
+
+func TestGlobalsInitAndArrays(t *testing.T) {
+	expectExit(t, `
+int base = 40;
+float ratio = 0.5;
+int grid[4];
+int main() {
+	grid[0] = base;
+	grid[3] = grid[0] + 2;
+	return grid[3] * ratio * 2.0;
+}`, 42)
+}
+
+func TestFunctionPointerDispatch(t *testing.T) {
+	expectExit(t, `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+fnptr pick(int which) {
+	if (which) { return inc; }
+	return dec;
+}
+int main() {
+	fnptr f = pick(1);
+	fnptr g = pick(0);
+	return f(10) * 100 + g(10);
+}`, 1109)
+}
+
+func TestNativeCalls(t *testing.T) {
+	expectExit(t, `
+extern float sqrt(float x);
+extern int memcpy_cells(int* dst, int* src, int n);
+extern int sum_cells(int* src, int n);
+int main() {
+	int* a = malloc(4);
+	int* b = malloc(4);
+	for (int i = 0; i < 4; i++) { a[i] = i + 1; }
+	memcpy_cells(b, a, 4);
+	float r = sqrt(16.0);
+	return sum_cells(b, 4) * 10 + r;
+}`, 104)
+}
+
+func TestDeterministicRand(t *testing.T) {
+	src := `
+extern int rand_seed(int s);
+extern int rand_int(int bound);
+int main() {
+	rand_seed(7);
+	int s = 0;
+	for (int i = 0; i < 10; i++) { s = s + rand_int(100); }
+	return s;
+}`
+	a := run(t, src)
+	b := run(t, src)
+	if a.Exit != b.Exit {
+		t.Errorf("PRNG not deterministic: %d vs %d", a.Exit, b.Exit)
+	}
+}
+
+func TestProgramOutput(t *testing.T) {
+	res := run(t, `
+extern int print_int(int x);
+int main() {
+	print_int(42);
+	print_int(-1);
+	return 0;
+}`)
+	if res.Output != "42\n-1\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestLeakAccounting(t *testing.T) {
+	res := run(t, `
+int main() {
+	int* kept = malloc(10);
+	int* dropped = malloc(7);
+	free(kept);
+	return 0;
+}`)
+	if res.LeakedCells != 7 {
+		t.Errorf("leaked = %d cells, want 7", res.LeakedCells)
+	}
+	if len(res.LeakedAllocs) != 1 || res.LeakedAllocs[0].Cells != 7 {
+		t.Errorf("leak detail = %+v", res.LeakedAllocs)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { int z = 0; return 5 / z; }`, "division by zero"},
+		{`int main() { int z = 0; return 5 % z; }`, "remainder by zero"},
+		{`int main() { int* p = 0; return *p; }`, "invalid load"},
+		{`int main() { int* p = 0; *p = 1; return 0; }`, "invalid store"},
+		{`int main() { int a = 1; free(&a); return 0; }`, "free of invalid pointer"},
+		{`int main() { int* p = malloc(2); free(p); free(p); return 0; }`, "free of invalid pointer"},
+		{`int boom(int n) { return boom(n + 1); } int main() { return boom(0); }`, "limit"},
+		{`int main() { fnptr f = 0; return f(1); }`, "null function pointer"},
+		{`int main() { int n = -1; int* p = malloc(n); return 0; }`, "negative count"},
+		{`int main() { while (1) { } return 0; }`, "step limit"},
+	}
+	for _, c := range cases {
+		_, err := tryRun(c.src)
+		if err == nil {
+			t.Errorf("%q should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not contain %q", err.Error(), c.want)
+		}
+	}
+}
+
+func TestStackFramesAreZeroed(t *testing.T) {
+	// A fresh frame must not see the previous call's locals.
+	expectExit(t, `
+int leave(int mark) {
+	int slot;
+	if (mark) { slot = 99; }
+	return slot;
+}
+int main() {
+	leave(1);
+	return leave(0);
+}`, 0)
+}
+
+func TestCyclesMonotonic(t *testing.T) {
+	small := run(t, `int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }`)
+	big := run(t, `int main() { int s = 0; for (int i = 0; i < 1000; i++) { s += i; } return s %256; }`)
+	if big.Cycles <= small.Cycles || big.Steps <= small.Steps {
+		t.Errorf("more work should cost more: %d vs %d cycles", big.Cycles, small.Cycles)
+	}
+	if small.ToolCycles != 0 {
+		t.Errorf("uninstrumented run charged %d tool cycles", small.ToolCycles)
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	res := run(t, `
+int main() {
+	int x = 1;
+	int* a = malloc(3);
+	a[0] = x;
+	a[1] = a[0] + 1;
+	return a[1];
+}`)
+	if res.VarAccesses == 0 || res.MemAccesses == 0 {
+		t.Errorf("access counters: var=%d mem=%d", res.VarAccesses, res.MemAccesses)
+	}
+}

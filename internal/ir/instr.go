@@ -1,0 +1,460 @@
+package ir
+
+import (
+	"fmt"
+
+	"carmot/internal/lang"
+)
+
+// Instr is an IR instruction. Value-producing instructions also implement
+// Value; their result is referenced directly (def-use, LLVM-style).
+type Instr interface {
+	instrBase() *InstrBase
+	IsTerminator() bool
+	// Operands returns the instruction's value operands (for printing and
+	// generic traversal).
+	Operands() []Value
+	Mnemonic() string
+}
+
+// InstrBase carries bookkeeping common to all instructions, including the
+// source mapping (position + accessed symbol) PSEC depends on.
+type InstrBase struct {
+	Blk  *Block
+	ID   int // dense per-function instruction ID
+	Temp int // virtual register number if value-producing
+	Pos  lang.Pos
+
+	// Track reflects the instrumentation planner's decision for this
+	// instruction (see internal/instrument). The interpreter consults it.
+	Track TrackMode
+	// Site is the instruction's index in the plan's use-site table, or -1
+	// when the instruction is not an instrumented access.
+	Site int32
+	// Serial marks instructions that the multicore simulator must account
+	// as serialized (inside a recommended critical/ordered section); set
+	// by internal/parexec before a cost-model run.
+	Serial bool
+	// Planner marks instructions inserted by the instrumentation planner
+	// (ranged/fixed events and the preheader arithmetic feeding them);
+	// they are stripped before re-planning.
+	Planner bool
+}
+
+// TrackMode says how the runtime observes an instruction.
+type TrackMode uint8
+
+// Track modes.
+const (
+	// TrackOff: not instrumented (outside ROIs, or proven redundant).
+	TrackOff TrackMode = iota
+	// TrackOn: the access is reported to the runtime.
+	TrackOn
+	// TrackFixed: the access was pre-classified at compile time (§4.4
+	// opt 3); the runtime receives one fixed-state event per ROI
+	// execution rather than per-access events.
+	TrackFixed
+	// TrackAggregated: covered by a ranged event at loop entry (§4.4
+	// opt 2); the per-access event is suppressed.
+	TrackAggregated
+)
+
+var trackNames = [...]string{"off", "on", "fixed", "agg"}
+
+// String returns the mode name.
+func (m TrackMode) String() string { return trackNames[m] }
+
+func (ib *InstrBase) instrBase() *InstrBase { return ib }
+
+// Base returns the instruction's shared bookkeeping record.
+func Base(in Instr) *InstrBase { return in.instrBase() }
+
+// Name renders the instruction's result register.
+func (ib *InstrBase) Name() string { return fmt.Sprintf("%%t%d", ib.Temp) }
+
+// Position returns the source position.
+func (ib *InstrBase) Position() lang.Pos { return ib.Pos }
+
+// Alloca reserves Cells cells of stack storage and yields its address.
+// Each dynamic execution of the enclosing function creates a fresh PSE.
+type Alloca struct {
+	InstrBase
+	Sym   *lang.Symbol // source variable; nil for synthetic slots
+	Cells int
+	// Synthetic allocas are compiler temporaries (e.g. short-circuit
+	// results); they are not source PSEs and are never instrumented.
+	Synthetic bool
+	// Promoted is set by selective mem2reg (§4.4 opt 4): the variable is
+	// proven unobservable by any ROI, so its PSE bookkeeping is elided.
+	Promoted bool
+	// Index is the alloca's position in Func.Allocas.
+	Index int
+}
+
+// IsTerminator reports false.
+func (*Alloca) IsTerminator() bool { return false }
+
+// Operands returns no operands.
+func (*Alloca) Operands() []Value { return nil }
+
+// Mnemonic returns "alloca".
+func (*Alloca) Mnemonic() string { return "alloca" }
+
+// Class returns ClassPtr.
+func (*Alloca) Class() Class { return ClassPtr }
+
+// Load reads one cell from Addr.
+type Load struct {
+	InstrBase
+	Addr Value
+	Cls  Class
+	// Sym is the source variable when Addr is a direct alloca/global
+	// reference (a variable PSE access, the accesses §2.3 says memory
+	// tools ignore); nil for computed addresses.
+	Sym *lang.Symbol
+}
+
+// IsTerminator reports false.
+func (*Load) IsTerminator() bool { return false }
+
+// Operands returns the address.
+func (l *Load) Operands() []Value { return []Value{l.Addr} }
+
+// Mnemonic returns "load".
+func (*Load) Mnemonic() string { return "load" }
+
+// Class returns the loaded class.
+func (l *Load) Class() Class { return l.Cls }
+
+// Store writes Val (one cell) to Addr.
+type Store struct {
+	InstrBase
+	Addr Value
+	Val  Value
+	Sym  *lang.Symbol // as in Load
+	// PtrStore marks stores of pointer values; the runtime records them
+	// as reachability-graph escapes (§3.1).
+	PtrStore bool
+}
+
+// IsTerminator reports false.
+func (*Store) IsTerminator() bool { return false }
+
+// Operands returns address and value.
+func (s *Store) Operands() []Value { return []Value{s.Addr, s.Val} }
+
+// Mnemonic returns "store".
+func (*Store) Mnemonic() string { return "store" }
+
+// BinOp enumerates arithmetic/comparison operations.
+type BinOp int
+
+// Binary operations. Comparisons yield int 0/1.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var binOpNames = [...]string{"add", "sub", "mul", "div", "rem", "eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the op mnemonic.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsCommutative reports whether the operation commutes — the property the
+// reduction-recommendation check needs (§3.2).
+func (op BinOp) IsCommutative() bool { return op == OpAdd || op == OpMul }
+
+// Bin computes L op R.
+type Bin struct {
+	InstrBase
+	Op    BinOp
+	Float bool // operate on floats
+	L, R  Value
+}
+
+// IsTerminator reports false.
+func (*Bin) IsTerminator() bool { return false }
+
+// Operands returns both operands.
+func (b *Bin) Operands() []Value { return []Value{b.L, b.R} }
+
+// Mnemonic returns the op name.
+func (b *Bin) Mnemonic() string {
+	if b.Float {
+		return "f" + b.Op.String()
+	}
+	return b.Op.String()
+}
+
+// Class returns the result class.
+func (b *Bin) Class() Class {
+	if b.Op >= OpEq {
+		return ClassInt
+	}
+	if b.Float {
+		return ClassFloat
+	}
+	return ClassInt
+}
+
+// Convert changes int<->float.
+type Convert struct {
+	InstrBase
+	X       Value
+	ToFloat bool
+}
+
+// IsTerminator reports false.
+func (*Convert) IsTerminator() bool { return false }
+
+// Operands returns the operand.
+func (c *Convert) Operands() []Value { return []Value{c.X} }
+
+// Mnemonic returns the conversion direction.
+func (c *Convert) Mnemonic() string {
+	if c.ToFloat {
+		return "itof"
+	}
+	return "ftoi"
+}
+
+// Class returns the result class.
+func (c *Convert) Class() Class {
+	if c.ToFloat {
+		return ClassFloat
+	}
+	return ClassInt
+}
+
+// GEP computes Base + Index*Scale + Offset (all in cells): array indexing,
+// struct field access, and pointer arithmetic.
+type GEP struct {
+	InstrBase
+	Base   Value
+	Index  Value // nil when only Offset applies
+	Scale  int64
+	Offset int64
+	// BaseSym is the source variable when Base directly names an
+	// alloca/global (used by the aggregation optimization).
+	BaseSym *lang.Symbol
+}
+
+// IsTerminator reports false.
+func (*GEP) IsTerminator() bool { return false }
+
+// Operands returns base (and index when present).
+func (g *GEP) Operands() []Value {
+	if g.Index == nil {
+		return []Value{g.Base}
+	}
+	return []Value{g.Base, g.Index}
+}
+
+// Mnemonic returns "gep".
+func (*GEP) Mnemonic() string { return "gep" }
+
+// Class returns ClassPtr.
+func (*GEP) Class() Class { return ClassPtr }
+
+// Malloc allocates Count*ElemCells heap cells and yields the base address.
+type Malloc struct {
+	InstrBase
+	Count     Value
+	ElemCells int64
+	// TypeName is the source element type (e.g. "struct strand_t"), kept
+	// so heap PSEs report readably (the Figure 9 cycle report).
+	TypeName string
+	// Hint is the destination variable name when the allocation is
+	// directly assigned (`cnt = malloc(n)` reports as "cnt").
+	Hint string
+}
+
+// IsTerminator reports false.
+func (*Malloc) IsTerminator() bool { return false }
+
+// Operands returns the count.
+func (m *Malloc) Operands() []Value { return []Value{m.Count} }
+
+// Mnemonic returns "malloc".
+func (*Malloc) Mnemonic() string { return "malloc" }
+
+// Class returns ClassPtr.
+func (*Malloc) Class() Class { return ClassPtr }
+
+// Free releases a heap allocation.
+type Free struct {
+	InstrBase
+	Ptr Value
+}
+
+// IsTerminator reports false.
+func (*Free) IsTerminator() bool { return false }
+
+// Operands returns the pointer.
+func (f *Free) Operands() []Value { return []Value{f.Ptr} }
+
+// Mnemonic returns "free".
+func (*Free) Mnemonic() string { return "free" }
+
+// Call invokes Callee with Args. Direct calls have a FuncRef callee.
+type Call struct {
+	InstrBase
+	Callee Value
+	Args   []Value
+	Cls    Class
+	// PinGated marks call sites that may reach precompiled code inside an
+	// ROI; the Pin-analog hooks fire only for these (§4.4 opt 6).
+	PinGated bool
+}
+
+// IsTerminator reports false.
+func (*Call) IsTerminator() bool { return false }
+
+// Operands returns callee and arguments.
+func (c *Call) Operands() []Value { return append([]Value{c.Callee}, c.Args...) }
+
+// Mnemonic returns "call".
+func (*Call) Mnemonic() string { return "call" }
+
+// Class returns the return class.
+func (c *Call) Class() Class { return c.Cls }
+
+// DirectTarget returns the statically known callee, or nil for indirect
+// calls.
+func (c *Call) DirectTarget() *FuncRef {
+	if fr, ok := c.Callee.(*FuncRef); ok {
+		return fr
+	}
+	return nil
+}
+
+// Ret returns from the function.
+type Ret struct {
+	InstrBase
+	Val Value // nil for void
+}
+
+// IsTerminator reports true.
+func (*Ret) IsTerminator() bool { return true }
+
+// Operands returns the value when present.
+func (r *Ret) Operands() []Value {
+	if r.Val == nil {
+		return nil
+	}
+	return []Value{r.Val}
+}
+
+// Mnemonic returns "ret".
+func (*Ret) Mnemonic() string { return "ret" }
+
+// Br jumps unconditionally.
+type Br struct {
+	InstrBase
+	Target *Block
+}
+
+// IsTerminator reports true.
+func (*Br) IsTerminator() bool { return true }
+
+// Operands returns nothing.
+func (*Br) Operands() []Value { return nil }
+
+// Mnemonic returns "br".
+func (*Br) Mnemonic() string { return "br" }
+
+// CondBr branches on Cond != 0.
+type CondBr struct {
+	InstrBase
+	Cond        Value
+	True, False *Block
+}
+
+// IsTerminator reports true.
+func (*CondBr) IsTerminator() bool { return true }
+
+// Operands returns the condition.
+func (c *CondBr) Operands() []Value { return []Value{c.Cond} }
+
+// Mnemonic returns "condbr".
+func (*CondBr) Mnemonic() string { return "condbr" }
+
+// ROIBegin marks the start of a dynamic invocation of an ROI.
+type ROIBegin struct {
+	InstrBase
+	ROI *ROI
+}
+
+// IsTerminator reports false.
+func (*ROIBegin) IsTerminator() bool { return false }
+
+// Operands returns nothing.
+func (*ROIBegin) Operands() []Value { return nil }
+
+// Mnemonic returns "roi.begin".
+func (*ROIBegin) Mnemonic() string { return "roi.begin" }
+
+// ROIEnd marks the end of a dynamic invocation of an ROI.
+type ROIEnd struct {
+	InstrBase
+	ROI *ROI
+}
+
+// IsTerminator reports false.
+func (*ROIEnd) IsTerminator() bool { return false }
+
+// Operands returns nothing.
+func (*ROIEnd) Operands() []Value { return nil }
+
+// Mnemonic returns "roi.end".
+func (*ROIEnd) Mnemonic() string { return "roi.end" }
+
+// FixedClass is the fixed FSA setting of §4.4 opt 3: the compiler proved
+// the classification of [Base, Base+Cells) for ROI at compile time, so one
+// event per loop execution replaces per-access instrumentation. Sets holds
+// a core.SetMask value (kept as uint8 to avoid an import cycle).
+type FixedClass struct {
+	InstrBase
+	ROI   *ROI
+	Base  Value
+	Cells int64
+	Sets  uint8
+}
+
+// IsTerminator reports false.
+func (*FixedClass) IsTerminator() bool { return false }
+
+// Operands returns the base address.
+func (f *FixedClass) Operands() []Value { return []Value{f.Base} }
+
+// Mnemonic returns "fixed.class".
+func (*FixedClass) Mnemonic() string { return "fixed.class" }
+
+// RangedEvent is the aggregated instrumentation of §4.4 opt 2: at each ROI
+// invocation it reports a uniform access over [Base, Base+Count*Stride).
+type RangedEvent struct {
+	InstrBase
+	ROI     *ROI
+	Base    Value // address of the first element
+	Count   Value // element count
+	Stride  int64 // cells between elements
+	IsWrite bool
+}
+
+// IsTerminator reports false.
+func (*RangedEvent) IsTerminator() bool { return false }
+
+// Operands returns base and count.
+func (r *RangedEvent) Operands() []Value { return []Value{r.Base, r.Count} }
+
+// Mnemonic returns "range.event".
+func (*RangedEvent) Mnemonic() string { return "range.event" }

@@ -1,0 +1,312 @@
+// Package ir defines CARMOT-Go's intermediate representation. It mirrors
+// the shape of clang -O0 LLVM IR that the paper's compiler operates on:
+// every source variable is an Alloca, every access an explicit Load or
+// Store, and each instruction keeps a reversible mapping to the source
+// (position and, for direct variable accesses, the source symbol). This
+// mapping is what lets PSEC report results at the source level (§4.4).
+package ir
+
+import (
+	"fmt"
+
+	"carmot/internal/lang"
+)
+
+// Class is the value class of an IR value. The profiler needs to know when
+// a store writes a pointer (reachability-graph edges, §3.1); everything
+// else is bookkeeping for the interpreter.
+type Class int
+
+// Value classes.
+const (
+	ClassInt Class = iota
+	ClassFloat
+	ClassPtr
+	ClassFn
+	ClassVoid
+)
+
+var classNames = [...]string{"int", "float", "ptr", "fn", "void"}
+
+// String returns the class name.
+func (c Class) String() string { return classNames[c] }
+
+// Value is an IR operand: a constant, a parameter, or the result of a
+// value-producing instruction.
+type Value interface {
+	Class() Class
+	Name() string
+}
+
+// Const is an integer or floating constant.
+type Const struct {
+	IsFloat bool
+	Int     int64
+	Float   float64
+}
+
+// ConstInt returns an integer constant value.
+func ConstInt(v int64) *Const { return &Const{Int: v} }
+
+// ConstFloat returns a floating constant value.
+func ConstFloat(v float64) *Const { return &Const{IsFloat: true, Float: v} }
+
+// Class returns the constant's class.
+func (c *Const) Class() Class {
+	if c.IsFloat {
+		return ClassFloat
+	}
+	return ClassInt
+}
+
+// Name renders the constant.
+func (c *Const) Name() string {
+	if c.IsFloat {
+		return fmt.Sprintf("%g", c.Float)
+	}
+	return fmt.Sprintf("%d", c.Int)
+}
+
+// FuncRef is a constant reference to a function or extern, used for
+// function-pointer values and direct call targets.
+type FuncRef struct {
+	Func   *Func
+	Extern *Extern
+}
+
+// Class returns ClassFn.
+func (f *FuncRef) Class() Class { return ClassFn }
+
+// Name renders the reference.
+func (f *FuncRef) Name() string {
+	if f.Func != nil {
+		return "@" + f.Func.Name
+	}
+	return "@" + f.Extern.Name
+}
+
+// TargetName returns the referenced function's name.
+func (f *FuncRef) TargetName() string {
+	if f.Func != nil {
+		return f.Func.Name
+	}
+	return f.Extern.Name
+}
+
+// Param is an incoming function argument value.
+type Param struct {
+	Index int
+	Sym   *lang.Symbol
+	Cls   Class
+}
+
+// Class returns the parameter's class.
+func (p *Param) Class() Class { return p.Cls }
+
+// Name renders the parameter.
+func (p *Param) Name() string { return "%arg." + p.Sym.Name }
+
+// GlobalAddr is the address of a global variable (a constant at run time).
+type GlobalAddr struct{ Global *Global }
+
+// Class returns ClassPtr.
+func (g *GlobalAddr) Class() Class { return ClassPtr }
+
+// Name renders the address.
+func (g *GlobalAddr) Name() string { return "@" + g.Global.Sym.Name }
+
+// Global is a file-scope variable: a Program State Element with static
+// storage.
+type Global struct {
+	ID    int
+	Sym   *lang.Symbol
+	Cells int
+	// Init is the constant scalar initializer (nil when zero-initialized).
+	Init *Const
+}
+
+// Extern declares a precompiled native function — code without sources
+// that the Pin-analog tracer must cover (§4.5).
+type Extern struct {
+	ID     int
+	Name   string
+	Ret    Class
+	Params []*lang.Symbol
+	// Accesses reports whether the native implementation reads or writes
+	// program memory through pointer arguments; such calls need the Pin
+	// tracer when they occur inside an ROI.
+	AccessesMemory bool
+}
+
+// Program is a lowered translation unit.
+type Program struct {
+	Source  *lang.File
+	Funcs   []*Func
+	Globals []*Global
+	Externs []*Extern
+	ROIs    []*ROI
+	Regions []*ParRegion
+
+	funcsByName map[string]*Func
+	// TotalCells is the number of cells of static (global) storage.
+	TotalCells int
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	if p.funcsByName == nil {
+		p.funcsByName = make(map[string]*Func, len(p.Funcs))
+		for _, f := range p.Funcs {
+			p.funcsByName[f.Name] = f
+		}
+	}
+	return p.funcsByName[name]
+}
+
+// ROIKind says which abstraction the ROI was declared for.
+type ROIKind int
+
+// ROI kinds.
+const (
+	ROICarmot  ROIKind = iota // #pragma carmot roi
+	ROIOmpFor                 // profiling an existing omp parallel for body
+	ROIOmpTask                // profiling an existing omp task body
+	ROIStats                  // profiling a STATS state-dependence region
+)
+
+var roiKindNames = [...]string{"carmot", "omp-for", "omp-task", "stats"}
+
+// String returns the ROI kind name.
+func (k ROIKind) String() string { return roiKindNames[k] }
+
+// ROI is a static region of interest: a single-entry single-exit source
+// region whose PSEC will be built. Dynamic invocations are delimited by
+// the ROIBegin/ROIEnd instructions lowered at its boundaries.
+type ROI struct {
+	ID     int
+	Name   string
+	Kind   ROIKind
+	Func   *Func
+	Pragma *lang.Pragma // the originating pragma (may be nil for ROIStats helpers)
+	Pos    lang.Pos
+
+	// Loop is set when the ROI wraps exactly the body of a for loop; the
+	// aggregation and fixed-FSA-state optimizations (§4.4, opts 2–3)
+	// require this along with the loop-governing induction variable.
+	Loop *LoopInfo
+}
+
+// LoopInfo describes the source loop whose body an ROI wraps.
+type LoopInfo struct {
+	IndVar *lang.Symbol // loop-governing induction variable
+	// Step is the constant induction step (0 when unknown).
+	Step int64
+	For  *lang.ForStmt
+}
+
+// Func is a lowered function.
+type Func struct {
+	Name   string
+	Source *lang.FuncDecl
+	Ret    Class
+	Params []*Param
+	Blocks []*Block
+	// Allocas lists all stack allocations (hoisted to entry, clang-style).
+	Allocas []*Alloca
+
+	nextTemp  int
+	nextInstr int
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NumInstrs returns the number of instruction IDs allocated in the
+// function (dense, usable as bitset width).
+func (f *Func) NumInstrs() int { return f.nextInstr }
+
+// NumTemps returns the number of virtual registers in the function.
+func (f *Func) NumTemps() int { return f.nextTemp }
+
+// NewBlock appends a new basic block.
+func (f *Func) NewBlock(label string) *Block {
+	b := &Block{Func: f, Label: fmt.Sprintf("%s%d", label, len(f.Blocks))}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// InsertAlloca places a at position pos in the entry block (allocas are
+// kept together at the head of the entry block, clang -O0 style, so they
+// execute before any use even when created mid-lowering).
+func (f *Func) InsertAlloca(a *Alloca, pos int) {
+	entry := f.Blocks[0]
+	a.Blk = entry
+	a.ID = f.nextInstr
+	f.nextInstr++
+	a.Temp = f.nextTemp
+	f.nextTemp++
+	entry.Instrs = append(entry.Instrs, nil)
+	copy(entry.Instrs[pos+1:], entry.Instrs[pos:])
+	entry.Instrs[pos] = a
+}
+
+// Block is a basic block: straight-line instructions ending in a
+// terminator (Br, CondBr, or Ret).
+type Block struct {
+	Func   *Func
+	Label  string
+	Instrs []Instr
+
+	// Preds/Succs are filled by ComputeCFG.
+	Preds []*Block
+	Succs []*Block
+	// Index is the block's position in Func.Blocks (set by ComputeCFG).
+	Index int
+}
+
+// Terminator returns the block's final instruction, or nil when the block
+// is still open.
+func (b *Block) Terminator() Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// InsertAt places an instruction at position pos, assigning its dense ID.
+func (b *Block) InsertAt(in Instr, pos int) {
+	base := in.instrBase()
+	base.Blk = b
+	base.ID = b.Func.nextInstr
+	b.Func.nextInstr++
+	if v, ok := in.(Value); ok && v.Class() != ClassVoid {
+		base.Temp = b.Func.nextTemp
+		b.Func.nextTemp++
+	}
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[pos+1:], b.Instrs[pos:])
+	b.Instrs[pos] = in
+}
+
+// RemoveAt deletes the instruction at position pos.
+func (b *Block) RemoveAt(pos int) {
+	copy(b.Instrs[pos:], b.Instrs[pos+1:])
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+}
+
+// Append adds an instruction, assigning its dense ID.
+func (b *Block) Append(in Instr) {
+	base := in.instrBase()
+	base.Blk = b
+	base.ID = b.Func.nextInstr
+	b.Func.nextInstr++
+	if v, ok := in.(Value); ok && v.Class() != ClassVoid {
+		base.Temp = b.Func.nextTemp
+		b.Func.nextTemp++
+	}
+	b.Instrs = append(b.Instrs, in)
+}

@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs entry → (then | else) → exit.
+func buildDiamond() *Func {
+	f := &Func{Name: "diamond", Ret: ClassInt}
+	entry := f.NewBlock("entry")
+	thenB := f.NewBlock("then")
+	elseB := f.NewBlock("else")
+	exit := f.NewBlock("exit")
+
+	cond := &Bin{Op: OpLt, L: ConstInt(1), R: ConstInt(2)}
+	entry.Append(cond)
+	entry.Append(&CondBr{Cond: cond, True: thenB, False: elseB})
+	thenB.Append(&Br{Target: exit})
+	elseB.Append(&Br{Target: exit})
+	exit.Append(&Ret{Val: ConstInt(0)})
+	ComputeCFG(f)
+	return f
+}
+
+func TestComputeCFG(t *testing.T) {
+	f := buildDiamond()
+	entry, thenB, elseB, exit := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if len(entry.Succs) != 2 || len(exit.Preds) != 2 {
+		t.Errorf("diamond CFG wrong: succs=%d preds=%d", len(entry.Succs), len(exit.Preds))
+	}
+	if len(thenB.Preds) != 1 || thenB.Preds[0] != entry {
+		t.Error("then pred wrong")
+	}
+	if len(elseB.Succs) != 1 || elseB.Succs[0] != exit {
+		t.Error("else succ wrong")
+	}
+	// Recomputing is idempotent.
+	ComputeCFG(f)
+	if len(exit.Preds) != 2 {
+		t.Error("recompute duplicated edges")
+	}
+}
+
+func TestVerifyCatchesBrokenBlocks(t *testing.T) {
+	f := &Func{Name: "bad"}
+	if err := Verify(f); err == nil {
+		t.Error("empty function must not verify")
+	}
+	b := f.NewBlock("entry")
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty block: %v", err)
+	}
+	b.Append(&Bin{Op: OpAdd, L: ConstInt(1), R: ConstInt(2)})
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("unterminated block: %v", err)
+	}
+	b.Append(&Ret{})
+	if err := Verify(f); err != nil {
+		t.Errorf("valid function rejected: %v", err)
+	}
+	// Terminator mid-block.
+	b.Instrs = append([]Instr{&Ret{}}, b.Instrs...)
+	if err := Verify(f); err == nil {
+		t.Error("terminator before end must not verify")
+	}
+}
+
+func TestInsertAndRemove(t *testing.T) {
+	f := &Func{Name: "f"}
+	b := f.NewBlock("entry")
+	add := &Bin{Op: OpAdd, L: ConstInt(1), R: ConstInt(2)}
+	b.Append(add)
+	b.Append(&Ret{Val: add})
+	mul := &Bin{Op: OpMul, L: ConstInt(3), R: ConstInt(4)}
+	b.InsertAt(mul, 1)
+	if b.Instrs[1] != Instr(mul) {
+		t.Error("InsertAt position wrong")
+	}
+	if Base(mul).Temp == Base(add).Temp {
+		t.Error("temps must be distinct")
+	}
+	b.RemoveAt(1)
+	if len(b.Instrs) != 2 || b.Instrs[1].Mnemonic() != "ret" {
+		t.Error("RemoveAt broke the block")
+	}
+}
+
+func TestValueClasses(t *testing.T) {
+	if ConstInt(3).Class() != ClassInt || ConstFloat(1.5).Class() != ClassFloat {
+		t.Error("const classes")
+	}
+	if (&Bin{Op: OpLt, Float: true}).Class() != ClassInt {
+		t.Error("comparisons are int even on floats")
+	}
+	if (&Bin{Op: OpAdd, Float: true}).Class() != ClassFloat {
+		t.Error("float add is float")
+	}
+	if (&GEP{}).Class() != ClassPtr || (&Malloc{}).Class() != ClassPtr {
+		t.Error("address producers are pointers")
+	}
+	if (&Convert{ToFloat: true}).Class() != ClassFloat || (&Convert{}).Class() != ClassInt {
+		t.Error("convert classes")
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	if !OpAdd.IsCommutative() || !OpMul.IsCommutative() {
+		t.Error("+ and * commute")
+	}
+	for _, op := range []BinOp{OpSub, OpDiv, OpRem, OpLt} {
+		if op.IsCommutative() {
+			t.Errorf("%s must not be commutative", op)
+		}
+	}
+}
+
+func TestFormatInstr(t *testing.T) {
+	f := &Func{Name: "f"}
+	b := f.NewBlock("entry")
+	a := &Alloca{Cells: 4}
+	b.Append(a)
+	ld := &Load{Addr: a, Cls: ClassInt}
+	ld.Track = TrackOn
+	b.Append(ld)
+	b.Append(&Ret{Val: ld})
+	text := f.String()
+	for _, want := range []string{"alloca", "load", "[track=on]", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestDirectTarget(t *testing.T) {
+	callee := &Func{Name: "g"}
+	direct := &Call{Callee: &FuncRef{Func: callee}}
+	if direct.DirectTarget() == nil || direct.DirectTarget().Func != callee {
+		t.Error("direct target lost")
+	}
+	indirect := &Call{Callee: &Param{Index: 0, Cls: ClassFn, Sym: nil}}
+	_ = indirect
+}

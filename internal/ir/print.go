@@ -1,0 +1,151 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ComputeCFG (re)computes predecessor/successor lists and block indices
+// for a function. Analyses call it after construction or mutation.
+func ComputeCFG(f *Func) {
+	for i, b := range f.Blocks {
+		b.Index = i
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		switch t := b.Terminator().(type) {
+		case *Br:
+			b.Succs = append(b.Succs, t.Target)
+		case *CondBr:
+			b.Succs = append(b.Succs, t.True)
+			if t.False != t.True {
+				b.Succs = append(b.Succs, t.False)
+			}
+		}
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// Verify checks structural invariants of a function: every block ends with
+// exactly one terminator and non-terminators do not appear after it.
+func Verify(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s: block %s is empty", f.Name, b.Label)
+		}
+		for i, in := range b.Instrs {
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("ir: %s: block %s has terminator %s before end", f.Name, b.Label, in.Mnemonic())
+			}
+		}
+		if b.Terminator() == nil {
+			return fmt.Errorf("ir: %s: block %s lacks a terminator", f.Name, b.Label)
+		}
+	}
+	return nil
+}
+
+// VerifyProgram verifies all functions.
+func VerifyProgram(p *Program) error {
+	for _, f := range p.Funcs {
+		if err := Verify(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the function as human-readable IR text.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Cls, p.Name())
+	}
+	fmt.Fprintf(&b, ") %s {\n", f.Ret)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Label)
+		for _, in := range blk.Instrs {
+			b.WriteString("  ")
+			b.WriteString(FormatInstr(in))
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FormatInstr renders one instruction.
+func FormatInstr(in Instr) string {
+	base := in.instrBase()
+	var sb strings.Builder
+	if v, ok := in.(Value); ok && v.Class() != ClassVoid {
+		fmt.Fprintf(&sb, "%%t%d = ", base.Temp)
+	}
+	sb.WriteString(in.Mnemonic())
+	switch x := in.(type) {
+	case *Alloca:
+		name := "<tmp>"
+		if x.Sym != nil {
+			name = x.Sym.Name
+		}
+		fmt.Fprintf(&sb, " %s x%d", name, x.Cells)
+		if x.Promoted {
+			sb.WriteString(" [promoted]")
+		}
+	case *Br:
+		fmt.Fprintf(&sb, " %s", x.Target.Label)
+	case *CondBr:
+		fmt.Fprintf(&sb, " %s, %s, %s", x.Cond.Name(), x.True.Label, x.False.Label)
+	case *ROIBegin:
+		fmt.Fprintf(&sb, " roi%d(%s)", x.ROI.ID, x.ROI.Name)
+	case *ROIEnd:
+		fmt.Fprintf(&sb, " roi%d(%s)", x.ROI.ID, x.ROI.Name)
+	case *GEP:
+		fmt.Fprintf(&sb, " %s", x.Base.Name())
+		if x.Index != nil {
+			fmt.Fprintf(&sb, " + %s*%d", x.Index.Name(), x.Scale)
+		}
+		if x.Offset != 0 {
+			fmt.Fprintf(&sb, " + %d", x.Offset)
+		}
+	default:
+		for i, op := range in.Operands() {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", op.Name())
+		}
+	}
+	if ls, ok := in.(*Load); ok && ls.Sym != nil {
+		fmt.Fprintf(&sb, " ; var %s", ls.Sym.Name)
+	}
+	if ss, ok := in.(*Store); ok && ss.Sym != nil {
+		fmt.Fprintf(&sb, " ; var %s", ss.Sym.Name)
+	}
+	if base.Track != TrackOff {
+		fmt.Fprintf(&sb, " [track=%s]", base.Track)
+	}
+	return sb.String()
+}
+
+// Instructions iterates over every instruction in the function in block
+// order, calling fn; returning false stops the iteration.
+func (f *Func) Instructions(fn func(Instr) bool) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !fn(in) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package ir
+
+import "carmot/internal/lang"
+
+// ParRegionKind classifies a parallel region.
+type ParRegionKind int
+
+// Parallel region kinds. RegionSections models both OpenMP parallel
+// sections and the pthread-style parallelism of benchmarks whose original
+// parallelism comes from explicit threads (§5.1: the ROI is then the
+// thread entry function).
+const (
+	RegionFor ParRegionKind = iota
+	RegionSections
+	RegionTaskGroup // a loop spawning omp tasks
+	RegionCandidate // a carmot-roi loop: a candidate for CARMOT parallelism
+)
+
+var parRegionKindNames = [...]string{"for", "sections", "taskgroup", "candidate"}
+
+// String returns the kind name.
+func (k ParRegionKind) String() string { return parRegionKindNames[k] }
+
+// ParRegion is a statically identified parallel (or parallelizable)
+// region. The multicore simulator replays the serial execution and uses
+// the region's markers to compute the parallel makespan.
+type ParRegion struct {
+	ID     int
+	Kind   ParRegionKind
+	Func   *Func
+	Pragma *lang.Pragma // originating pragma (nil for candidates from carmot roi)
+	ROI    *ROI         // the ROI profiling this region, when one exists
+	Loop   *LoopInfo    // for RegionFor/RegionCandidate
+	Pos    lang.Pos
+}
+
+// MarkKind enumerates execution-timeline markers.
+type MarkKind int
+
+// Marker kinds.
+const (
+	MarkRegionBegin MarkKind = iota
+	MarkRegionEnd
+	MarkIterBegin
+	MarkIterEnd
+	MarkCriticalBegin
+	MarkCriticalEnd
+	MarkOrderedBegin
+	MarkOrderedEnd
+	MarkSectionBegin
+	MarkSectionEnd
+	MarkTaskBegin
+	MarkTaskEnd
+	MarkBarrier
+	MarkMasterBegin
+	MarkMasterEnd
+)
+
+var markKindNames = [...]string{
+	"region.begin", "region.end", "iter.begin", "iter.end",
+	"critical.begin", "critical.end", "ordered.begin", "ordered.end",
+	"section.begin", "section.end", "task.begin", "task.end",
+	"barrier", "master.begin", "master.end",
+}
+
+// String returns the marker name.
+func (k MarkKind) String() string { return markKindNames[k] }
+
+// Mark is a zero-cost timeline marker consumed by the multicore simulator
+// (internal/parexec). It has no effect on program semantics.
+type Mark struct {
+	InstrBase
+	Kind   MarkKind
+	Region *ParRegion
+	// Task carries the task's pragma for MarkTaskBegin (depend clauses).
+	Task *lang.Pragma
+}
+
+// IsTerminator reports false.
+func (*Mark) IsTerminator() bool { return false }
+
+// Operands returns nothing.
+func (*Mark) Operands() []Value { return nil }
+
+// Mnemonic returns the marker name.
+func (m *Mark) Mnemonic() string { return "mark." + m.Kind.String() }

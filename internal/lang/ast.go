@@ -1,0 +1,344 @@
+package lang
+
+// This file defines the MiniC abstract syntax tree. Every node carries its
+// source position so that the compiler can maintain the reversible
+// source-to-IR mapping that PSEC requires (§4.4 of the paper).
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// Expr is implemented by expression nodes. After semantic checking every
+// expression carries its resolved type.
+type Expr interface {
+	Node
+	ExprType() *Type
+	setType(*Type)
+}
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type exprBase struct {
+	Pos  Pos
+	Type *Type
+}
+
+func (e *exprBase) NodePos() Pos    { return e.Pos }
+func (e *exprBase) ExprType() *Type { return e.Type }
+func (e *exprBase) setType(t *Type) { e.Type = t }
+
+type stmtBase struct{ Pos Pos }
+
+func (s *stmtBase) NodePos() Pos { return s.Pos }
+func (s *stmtBase) stmtNode()    {}
+
+// StorageClass describes where a variable lives.
+type StorageClass int
+
+// Storage classes.
+const (
+	StorageLocal StorageClass = iota
+	StorageParam
+	StorageGlobal
+)
+
+// Symbol is a resolved variable: a named Program State Element at the
+// source level. Each distinct declaration gets a unique ID.
+type Symbol struct {
+	ID      int
+	Name    string
+	Type    *Type
+	Storage StorageClass
+	Pos     Pos
+	Func    *FuncDecl // enclosing function for locals/params, nil for globals
+
+	// AddressTaken is set during checking when &sym occurs or when the
+	// symbol is an array/struct used in a context that materializes its
+	// address. Used by selective mem2reg.
+	AddressTaken bool
+}
+
+// File is a parsed and checked MiniC translation unit.
+type File struct {
+	Name    string
+	Structs []*StructType
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	Externs []*ExternDecl
+
+	structsByName map[string]*StructType
+	funcsByName   map[string]*FuncDecl
+	externsByName map[string]*ExternDecl
+	NextSymID     int
+}
+
+// StructByName returns the named struct type, or nil.
+func (f *File) StructByName(name string) *StructType { return f.structsByName[name] }
+
+// FuncByName returns the named function, or nil.
+func (f *File) FuncByName(name string) *FuncDecl { return f.funcsByName[name] }
+
+// ExternByName returns the named extern declaration, or nil.
+func (f *File) ExternByName(name string) *ExternDecl { return f.externsByName[name] }
+
+// GlobalDecl is a file-scope variable declaration.
+type GlobalDecl struct {
+	Sym  *Symbol
+	Init Expr // optional constant initializer (nil when absent)
+	Pos  Pos
+}
+
+// NodePos returns the declaration position.
+func (g *GlobalDecl) NodePos() Pos { return g.Pos }
+
+// ExternDecl declares a precompiled native function (the code Pin must
+// trace in the paper: code for which no sources are available).
+type ExternDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*Symbol
+	Pos    Pos
+}
+
+// NodePos returns the declaration position.
+func (e *ExternDecl) NodePos() Pos { return e.Pos }
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*Symbol
+	Body   *BlockStmt
+	Pos    Pos
+
+	// Locals collects every local variable declared anywhere in the body,
+	// filled in during checking.
+	Locals []*Symbol
+}
+
+// NodePos returns the definition position.
+func (f *FuncDecl) NodePos() Pos { return f.Pos }
+
+// ---- Statements ----
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// DeclStmt declares (and optionally initializes) a local variable.
+type DeclStmt struct {
+	stmtBase
+	Sym  *Symbol
+	Init Expr // nil when absent
+}
+
+// IfStmt is `if (Cond) Then else Else`.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// WhileStmt is `while (Cond) Body`.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is `for (Init; Cond; Post) Body`. Init may be a DeclStmt or
+// ExprStmt; all three clauses may be nil.
+type ForStmt struct {
+	stmtBase
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	stmtBase
+	Value Expr // nil for bare return
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ stmtBase }
+
+// ExprStmt is an expression evaluated for side effects.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// FreeStmt is `free(p);`.
+type FreeStmt struct {
+	stmtBase
+	Ptr Expr
+}
+
+// PragmaStmt attaches a parsed pragma to the statement it precedes.
+type PragmaStmt struct {
+	stmtBase
+	Pragma *Pragma
+	Body   Stmt
+}
+
+// ---- Expressions ----
+
+// Ident is a reference to a variable or function name. After checking,
+// exactly one of Sym/FuncRef/ExternRef is set.
+type Ident struct {
+	exprBase
+	Name      string
+	Sym       *Symbol
+	FuncRef   *FuncDecl
+	ExternRef *ExternDecl
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UnaryNeg   UnaryOp = iota // -x
+	UnaryNot                  // !x
+	UnaryDeref                // *p
+	UnaryAddr                 // &x
+)
+
+// Unary is a unary expression.
+type Unary struct {
+	exprBase
+	Op UnaryOp
+	X  Expr
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	BinAdd BinaryOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinAnd // && (short-circuit)
+	BinOr  // || (short-circuit)
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+// String returns the operator spelling.
+func (op BinaryOp) String() string { return binOpNames[op] }
+
+// Binary is a binary expression.
+type Binary struct {
+	exprBase
+	Op   BinaryOp
+	L, R Expr
+}
+
+// AssignOp enumerates assignment operators.
+type AssignOp int
+
+// Assignment operators.
+const (
+	AssignSet AssignOp = iota // =
+	AssignAdd                 // +=
+	AssignSub                 // -=
+	AssignMul                 // *=
+	AssignDiv                 // /=
+)
+
+var assignOpNames = [...]string{"=", "+=", "-=", "*=", "/="}
+
+// String returns the operator spelling.
+func (op AssignOp) String() string { return assignOpNames[op] }
+
+// Assign is an assignment expression; LHS must be an lvalue.
+type Assign struct {
+	exprBase
+	Op  AssignOp
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is the postfix ++/-- statement-expression.
+type IncDec struct {
+	exprBase
+	X   Expr
+	Dec bool
+}
+
+// Call invokes a named function, an extern, or a function pointer.
+// After checking exactly one of Func/Extern is set for direct calls;
+// both are nil for indirect calls (Callee is then an fnptr expression).
+type Call struct {
+	exprBase
+	Callee Expr // Ident for direct calls, fnptr-typed expr for indirect
+	Args   []Expr
+	Func   *FuncDecl
+	Extern *ExternDecl
+}
+
+// Index is `Base[Idx]`; Base is an array lvalue or a pointer.
+type Index struct {
+	exprBase
+	Base Expr
+	Idx  Expr
+}
+
+// Member is `Base.Name` or `Base->Name`.
+type Member struct {
+	exprBase
+	Base  Expr
+	Name  string
+	Arrow bool
+	Field *Field // resolved during checking
+}
+
+// MallocExpr is `malloc(n)` where n is the element count; the result type
+// is inferred from the assignment context during checking and defaults to
+// int*. MallocExpr allocates n * sizeof(elem) cells on the heap.
+type MallocExpr struct {
+	exprBase
+	Count Expr
+	Elem  *Type // element type; set during checking
+}
+
+// SizeofExpr is `sizeof(type)`, yielding the size in cells.
+type SizeofExpr struct {
+	exprBase
+	Of *Type
+}

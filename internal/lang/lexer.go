@@ -1,0 +1,302 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer converts MiniC source text into a token stream. `#pragma` lines are
+// emitted as single TokPragma tokens whose Text holds the directive payload
+// (everything after "#pragma"); `//` and `/* */` comments are skipped.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src; file is used in positions/diagnostics.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Tokenize lexes the whole input, returning the tokens terminated by an EOF
+// token, or the first lexical error.
+func (l *Lexer) Tokenize() ([]Token, error) {
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *Lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.peek()
+
+	if c == '#' {
+		// A preprocessor-style line; only #pragma is recognized.
+		lineStart := l.off
+		for l.off < len(l.src) && l.peek() != '\n' {
+			l.advance()
+		}
+		line := strings.TrimSpace(l.src[lineStart:l.off])
+		const prefix = "#pragma"
+		if !strings.HasPrefix(line, prefix) {
+			return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unsupported directive %q", line)}
+		}
+		payload := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+		return Token{Kind: TokPragma, Text: payload, Pos: start}, nil
+	}
+
+	if isDigit(c) || (c == '.' && isDigit(l.peek2())) {
+		return l.lexNumber(start)
+	}
+	if isAlpha(c) {
+		startOff := l.off
+		for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[startOff:l.off]
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Text: word, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+	}
+	if c == '"' {
+		l.advance()
+		startOff := l.off
+		for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+			l.advance()
+		}
+		if l.peek() != '"' {
+			return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
+		}
+		text := l.src[startOff:l.off]
+		l.advance()
+		return Token{Kind: TokStringLit, Text: text, Pos: start}, nil
+	}
+
+	two := func(kind TokenKind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: kind, Pos: start}, nil
+	}
+	one := func(kind TokenKind) (Token, error) {
+		l.advance()
+		return Token{Kind: kind, Pos: start}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '.':
+		return one(TokDot)
+	case '%':
+		return one(TokPercent)
+	case '+':
+		if l.peek2() == '=' {
+			return two(TokPlusAssign)
+		}
+		if l.peek2() == '+' {
+			return two(TokPlusPlus)
+		}
+		return one(TokPlus)
+	case '-':
+		switch l.peek2() {
+		case '=':
+			return two(TokMinusAssign)
+		case '-':
+			return two(TokMinusMinus)
+		case '>':
+			return two(TokArrow)
+		}
+		return one(TokMinus)
+	case '*':
+		if l.peek2() == '=' {
+			return two(TokStarAssign)
+		}
+		return one(TokStar)
+	case '/':
+		if l.peek2() == '=' {
+			return two(TokSlashAssign)
+		}
+		return one(TokSlash)
+	case '&':
+		if l.peek2() == '&' {
+			return two(TokAndAnd)
+		}
+		return one(TokAmp)
+	case '|':
+		if l.peek2() == '|' {
+			return two(TokOrOr)
+		}
+	case '!':
+		if l.peek2() == '=' {
+			return two(TokNe)
+		}
+		return one(TokNot)
+	case '=':
+		if l.peek2() == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '<':
+		if l.peek2() == '=' {
+			return two(TokLe)
+		}
+		return one(TokLt)
+	case '>':
+		if l.peek2() == '=' {
+			return two(TokGe)
+		}
+		return one(TokGt)
+	}
+	return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+func (l *Lexer) lexNumber(start Pos) (Token, error) {
+	startOff := l.off
+	isFloat := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := *l
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			*l = save
+		}
+	}
+	text := l.src[startOff:l.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("bad float literal %q", text)}
+		}
+		return Token{Kind: TokFloatLit, Text: text, Float: v, Pos: start}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("bad integer literal %q", text)}
+	}
+	return Token{Kind: TokIntLit, Text: text, Int: v, Pos: start}, nil
+}

@@ -1,0 +1,144 @@
+package lang
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	ks := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := NewLexer("t.mc", src).Tokenize()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lex(t, "int x = 42; float y = 3.5;")
+	want := []TokenKind{
+		TokKwInt, TokIdent, TokAssign, TokIntLit, TokSemi,
+		TokKwFloat, TokIdent, TokAssign, TokFloatLit, TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Int != 42 {
+		t.Errorf("int literal = %d", toks[3].Int)
+	}
+	if toks[8].Float != 3.5 {
+		t.Errorf("float literal = %g", toks[8].Float)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lex(t, "+ += ++ - -= -- -> * *= / /= % & && == != < <= > >= ! = . || ( ) { } [ ] , ;")
+	want := []TokenKind{
+		TokPlus, TokPlusAssign, TokPlusPlus, TokMinus, TokMinusAssign,
+		TokMinusMinus, TokArrow, TokStar, TokStarAssign, TokSlash,
+		TokSlashAssign, TokPercent, TokAmp, TokAndAnd, TokEq, TokNe,
+		TokLt, TokLe, TokGt, TokGe, TokNot, TokAssign, TokDot, TokOrOr,
+		TokLParen, TokRParen, TokLBrace, TokRBrace, TokLBracket,
+		TokRBracket, TokComma, TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	toks := lex(t, "int float void fnptr struct if else while for return break continue extern sizeof notakeyword")
+	want := []TokenKind{
+		TokKwInt, TokKwFloat, TokKwVoid, TokKwFnPtr, TokKwStruct, TokKwIf,
+		TokKwElse, TokKwWhile, TokKwFor, TokKwReturn, TokKwBreak,
+		TokKwContinue, TokKwExtern, TokKwSizeof, TokIdent, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, "a // line comment\nb /* block\ncomment */ c")
+	got := kinds(toks)
+	want := []TokenKind{TokIdent, TokIdent, TokIdent, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	if toks[1].Pos.Line != 2 || toks[2].Pos.Line != 3 {
+		t.Errorf("line tracking wrong: %v %v", toks[1].Pos, toks[2].Pos)
+	}
+}
+
+func TestLexPragmaLine(t *testing.T) {
+	toks := lex(t, "x;\n#pragma omp parallel for private(a, b)\ny;")
+	if toks[2].Kind != TokPragma {
+		t.Fatalf("expected pragma token, got %v", toks[2])
+	}
+	if toks[2].Text != "omp parallel for private(a, b)" {
+		t.Errorf("pragma payload = %q", toks[2].Text)
+	}
+}
+
+func TestLexFloatForms(t *testing.T) {
+	toks := lex(t, "1.5 0.25 2e3 1.5e-2 7")
+	if toks[0].Kind != TokFloatLit || toks[0].Float != 1.5 {
+		t.Error("1.5")
+	}
+	if toks[2].Kind != TokFloatLit || toks[2].Float != 2000 {
+		t.Errorf("2e3 lexed as %v", toks[2])
+	}
+	if toks[3].Kind != TokFloatLit || toks[3].Float != 0.015 {
+		t.Errorf("1.5e-2 lexed as %v", toks[3])
+	}
+	if toks[4].Kind != TokIntLit || toks[4].Int != 7 {
+		t.Error("7 should stay integral")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"@",
+		"/* unterminated",
+		"#include <stdio.h>",
+		"\"unterminated string",
+	}
+	for _, src := range cases {
+		if _, err := NewLexer("t.mc", src).Tokenize(); err == nil {
+			t.Errorf("lexing %q should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "ab\n  cd")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token at %v", toks[1].Pos)
+	}
+	if got := toks[0].Pos.String(); got != "t.mc:1:1" {
+		t.Errorf("pos string %q", got)
+	}
+}

@@ -1,0 +1,853 @@
+package lang
+
+import "fmt"
+
+// Parser builds a MiniC AST from a token stream. Parse does not resolve
+// names or types; Check (check.go) performs semantic analysis.
+type Parser struct {
+	toks []Token
+	pos  int
+	file *File
+}
+
+// Parse lexes and parses src into an unchecked File.
+func Parse(filename, src string) (*File, error) {
+	toks, err := NewLexer(filename, src).Tokenize()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: &File{
+		Name:          filename,
+		structsByName: map[string]*StructType{},
+		funcsByName:   map[string]*FuncDecl{},
+		externsByName: map[string]*ExternDecl{},
+	}}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+// ParseAndCheck parses src and runs semantic checking.
+func ParseAndCheck(filename, src string) (*File, error) {
+	f, err := Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *Parser) cur() Token          { return p.toks[p.pos] }
+func (p *Parser) curPos() Pos         { return p.toks[p.pos].Pos }
+func (p *Parser) at(k TokenKind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &Error{Pos: p.curPos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) parseFile() error {
+	for !p.at(TokEOF) {
+		if err := p.parseTopDecl(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Parser) atTypeStart() bool {
+	switch p.cur().Kind {
+	case TokKwInt, TokKwFloat, TokKwVoid, TokKwFnPtr, TokKwStruct:
+		return true
+	}
+	return false
+}
+
+// parseBaseType parses a type prefix: base type plus any '*' suffixes.
+func (p *Parser) parseBaseType() (*Type, error) {
+	var t *Type
+	switch p.cur().Kind {
+	case TokKwInt:
+		p.next()
+		t = TypeInt
+	case TokKwFloat:
+		p.next()
+		t = TypeFloat
+	case TokKwVoid:
+		p.next()
+		t = TypeVoid
+	case TokKwFnPtr:
+		p.next()
+		t = TypeFnPtr
+	case TokKwStruct:
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		st := p.file.structsByName[name.Text]
+		if st == nil {
+			// Forward reference: create the shell; fields filled at defn.
+			st = &StructType{Name: name.Text, Pos: name.Pos}
+			p.file.structsByName[name.Text] = st
+		}
+		t = &Type{Kind: KindStruct, Struct: st}
+	default:
+		return nil, p.errf("expected type, found %s", p.cur())
+	}
+	for p.accept(TokStar) {
+		t = PointerTo(t)
+	}
+	return t, nil
+}
+
+// parseArraySuffix wraps t with [N] suffixes (outermost first in source).
+func (p *Parser) parseArraySuffix(t *Type) (*Type, error) {
+	var dims []int
+	for p.accept(TokLBracket) {
+		n, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		if n.Int <= 0 {
+			return nil, &Error{Pos: n.Pos, Msg: "array length must be positive"}
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		dims = append(dims, int(n.Int))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = ArrayOf(t, dims[i])
+	}
+	return t, nil
+}
+
+func (p *Parser) parseTopDecl() error {
+	if p.at(TokKwExtern) {
+		return p.parseExtern()
+	}
+	if p.at(TokKwStruct) && p.toks[p.pos+2].Kind == TokLBrace {
+		return p.parseStructDef()
+	}
+	startPos := p.curPos()
+	t, err := p.parseBaseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if p.at(TokLParen) {
+		return p.parseFuncRest(t, name, startPos)
+	}
+	// Global variable.
+	vt, err := p.parseArraySuffix(t)
+	if err != nil {
+		return err
+	}
+	g := &GlobalDecl{
+		Sym: &Symbol{Name: name.Text, Type: vt, Storage: StorageGlobal, Pos: name.Pos},
+		Pos: startPos,
+	}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	p.file.Globals = append(p.file.Globals, g)
+	return nil
+}
+
+func (p *Parser) parseStructDef() error {
+	start := p.curPos()
+	p.next() // struct
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	st := p.file.structsByName[name.Text]
+	if st == nil {
+		st = &StructType{Name: name.Text, Pos: start}
+		p.file.structsByName[name.Text] = st
+	} else if len(st.Fields) > 0 {
+		return &Error{Pos: start, Msg: fmt.Sprintf("struct %s redefined", name.Text)}
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for !p.at(TokRBrace) {
+		ft, err := p.parseBaseType()
+		if err != nil {
+			return err
+		}
+		fname, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		ft, err = p.parseArraySuffix(ft)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return err
+		}
+		st.Fields = append(st.Fields, Field{Name: fname.Text, Type: ft, Pos: fname.Pos})
+	}
+	p.next() // }
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	st.layout()
+	p.file.Structs = append(p.file.Structs, st)
+	return nil
+}
+
+func (p *Parser) parseParams() ([]*Symbol, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []*Symbol
+	if p.accept(TokKwVoid) && p.at(TokRParen) {
+		p.next()
+		return params, nil
+	}
+	for !p.at(TokRParen) {
+		t, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		// Array parameters decay to pointers, as in C.
+		if p.accept(TokLBracket) {
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			t = PointerTo(t)
+		}
+		params = append(params, &Symbol{Name: name.Text, Type: t, Storage: StorageParam, Pos: name.Pos})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+func (p *Parser) parseFuncRest(ret *Type, name Token, startPos Pos) error {
+	// Rewind: parseParams expects '('; we are at it already.
+	params, err := p.parseParams()
+	if err != nil {
+		return err
+	}
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Params: params, Pos: startPos}
+	for _, prm := range params {
+		prm.Func = fn
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fn.Body = body
+	if p.file.funcsByName[fn.Name] != nil {
+		return &Error{Pos: startPos, Msg: fmt.Sprintf("function %s redefined", fn.Name)}
+	}
+	p.file.Funcs = append(p.file.Funcs, fn)
+	p.file.funcsByName[fn.Name] = fn
+	return nil
+}
+
+func (p *Parser) parseExtern() error {
+	start := p.curPos()
+	p.next() // extern
+	ret, err := p.parseBaseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	ext := &ExternDecl{Name: name.Text, Ret: ret, Params: params, Pos: start}
+	if p.file.externsByName[ext.Name] != nil {
+		return &Error{Pos: start, Msg: fmt.Sprintf("extern %s redeclared", ext.Name)}
+	}
+	p.file.Externs = append(p.file.Externs, ext)
+	p.file.externsByName[ext.Name] = ext
+	return nil
+}
+
+// ---- Statements ----
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	tok, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{stmtBase: stmtBase{Pos: tok.Pos}}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokPragma:
+		tok := p.next()
+		prag, err := ParsePragma(tok.Text, tok.Pos)
+		if err != nil {
+			return nil, err
+		}
+		// Barrier/taskwait pragmas are standalone statements.
+		if prag.Kind == PragmaOmpBarrier || prag.Kind == PragmaOmpTaskWait {
+			return &PragmaStmt{stmtBase: stmtBase{Pos: tok.Pos}, Pragma: prag}, nil
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &PragmaStmt{stmtBase: stmtBase{Pos: tok.Pos}, Pragma: prag, Body: body}, nil
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		tok := p.next()
+		ret := &ReturnStmt{stmtBase: stmtBase{Pos: tok.Pos}}
+		if !p.at(TokSemi) {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ret.Value = v
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return ret, nil
+	case TokKwBreak:
+		tok := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{stmtBase{Pos: tok.Pos}}, nil
+	case TokKwContinue:
+		tok := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{stmtBase{Pos: tok.Pos}}, nil
+	case TokIdent:
+		if p.cur().Text == "free" && p.toks[p.pos+1].Kind == TokLParen {
+			tok := p.next()
+			p.next() // (
+			ptr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			return &FreeStmt{stmtBase: stmtBase{Pos: tok.Pos}, Ptr: ptr}, nil
+		}
+	}
+	if p.atTypeStart() {
+		return p.parseDeclStmt()
+	}
+	// Expression statement.
+	pos := p.curPos()
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{stmtBase: stmtBase{Pos: pos}, X: x}, nil
+}
+
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	pos := p.curPos()
+	t, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := p.parseArraySuffix(t)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{
+		stmtBase: stmtBase{Pos: pos},
+		Sym:      &Symbol{Name: name.Text, Type: vt, Storage: StorageLocal, Pos: name.Pos},
+	}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	tok := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{stmtBase: stmtBase{Pos: tok.Pos}, Cond: cond, Then: then}
+	if p.accept(TokKwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	tok := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{stmtBase: stmtBase{Pos: tok.Pos}, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	tok := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{stmtBase: stmtBase{Pos: tok.Pos}}
+	if !p.at(TokSemi) {
+		if p.atTypeStart() {
+			init, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		} else {
+			pos := p.curPos()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{stmtBase: stmtBase{Pos: pos}, X: x}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		pos := p.curPos()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = &ExprStmt{stmtBase: stmtBase{Pos: pos}, X: x}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	var op AssignOp
+	switch p.cur().Kind {
+	case TokAssign:
+		op = AssignSet
+	case TokPlusAssign:
+		op = AssignAdd
+	case TokMinusAssign:
+		op = AssignSub
+	case TokStarAssign:
+		op = AssignMul
+	case TokSlashAssign:
+		op = AssignDiv
+	default:
+		return lhs, nil
+	}
+	tok := p.next()
+	rhs, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{exprBase: exprBase{Pos: tok.Pos}, Op: op, LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOrOr) {
+		tok := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: tok.Pos}, Op: BinOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAndAnd) {
+		tok := p.next()
+		r, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: tok.Pos}, Op: BinAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseEquality() (Expr, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokEq) || p.at(TokNe) {
+		op := BinEq
+		if p.at(TokNe) {
+			op = BinNe
+		}
+		tok := p.next()
+		r, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: tok.Pos}, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseRelational() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch p.cur().Kind {
+		case TokLt:
+			op = BinLt
+		case TokLe:
+			op = BinLe
+		case TokGt:
+			op = BinGt
+		case TokGe:
+			op = BinGe
+		default:
+			return l, nil
+		}
+		tok := p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: tok.Pos}, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := BinAdd
+		if p.at(TokMinus) {
+			op = BinSub
+		}
+		tok := p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: tok.Pos}, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch p.cur().Kind {
+		case TokStar:
+			op = BinMul
+		case TokSlash:
+			op = BinDiv
+		case TokPercent:
+			op = BinRem
+		default:
+			return l, nil
+		}
+		tok := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: tok.Pos}, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Pos: tok.Pos}, Op: UnaryNeg, X: x}, nil
+	case TokNot:
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Pos: tok.Pos}, Op: UnaryNot, X: x}, nil
+	case TokStar:
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Pos: tok.Pos}, Op: UnaryDeref, X: x}, nil
+	case TokAmp:
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Pos: tok.Pos}, Op: UnaryAddr, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			tok := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Pos: tok.Pos}, Base: x, Idx: idx}
+		case TokDot, TokArrow:
+			arrow := p.at(TokArrow)
+			tok := p.next()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{exprBase: exprBase{Pos: tok.Pos}, Base: x, Name: name.Text, Arrow: arrow}
+		case TokLParen:
+			tok := p.next()
+			var args []Expr
+			for !p.at(TokRParen) {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x = &Call{exprBase: exprBase{Pos: tok.Pos}, Callee: x, Args: args}
+		case TokPlusPlus, TokMinusMinus:
+			dec := p.at(TokMinusMinus)
+			tok := p.next()
+			x = &IncDec{exprBase: exprBase{Pos: tok.Pos}, X: x, Dec: dec}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokIntLit:
+		tok := p.next()
+		return &IntLit{exprBase: exprBase{Pos: tok.Pos}, Value: tok.Int}, nil
+	case TokFloatLit:
+		tok := p.next()
+		return &FloatLit{exprBase: exprBase{Pos: tok.Pos}, Value: tok.Float}, nil
+	case TokKwSizeof:
+		tok := p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		t, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{exprBase: exprBase{Pos: tok.Pos}, Of: t}, nil
+	case TokIdent:
+		if p.cur().Text == "malloc" && p.toks[p.pos+1].Kind == TokLParen {
+			tok := p.next()
+			p.next() // (
+			count, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &MallocExpr{exprBase: exprBase{Pos: tok.Pos}, Count: count}, nil
+		}
+		tok := p.next()
+		return &Ident{exprBase: exprBase{Pos: tok.Pos}, Name: tok.Text}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.cur())
+}

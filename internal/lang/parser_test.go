@@ -1,0 +1,361 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseAndCheck("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse+check failed: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := ParseAndCheck("t.mc", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none\nsource:\n%s", wantSub, src)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSub)
+	}
+}
+
+func TestParseGlobalsAndFunctions(t *testing.T) {
+	f := parse(t, `
+int g = 5;
+float rate = 0.25;
+int table[16];
+int add(int a, int b) { return a + b; }
+void nothing() { return; }
+int main() { return add(g, 2); }
+`)
+	if len(f.Globals) != 3 {
+		t.Fatalf("want 3 globals, got %d", len(f.Globals))
+	}
+	if f.Globals[2].Sym.Type.Kind != KindArray || f.Globals[2].Sym.Type.Len != 16 {
+		t.Errorf("table type = %s", f.Globals[2].Sym.Type)
+	}
+	if len(f.Funcs) != 3 {
+		t.Fatalf("want 3 functions, got %d", len(f.Funcs))
+	}
+	if f.FuncByName("add") == nil || f.FuncByName("missing") != nil {
+		t.Error("FuncByName misbehaves")
+	}
+}
+
+func TestParseStructs(t *testing.T) {
+	f := parse(t, `
+struct point_t {
+	int x;
+	int y;
+	float w[3];
+};
+struct point_t gp;
+int main() {
+	struct point_t p;
+	p.x = 1;
+	p.y = 2;
+	p.w[0] = 0.5;
+	gp.x = p.x + p.y;
+	return gp.x;
+}
+`)
+	st := f.StructByName("point_t")
+	if st == nil {
+		t.Fatal("struct not registered")
+	}
+	if st.Cells() != 5 {
+		t.Errorf("struct size = %d cells, want 5", st.Cells())
+	}
+	if fld := st.FieldByName("w"); fld == nil || fld.Offset != 2 {
+		t.Errorf("field w offset wrong: %+v", fld)
+	}
+	if st.FieldByName("nope") != nil {
+		t.Error("unknown field should be nil")
+	}
+}
+
+func TestParsePointersAndMalloc(t *testing.T) {
+	f := parse(t, `
+int main() {
+	int* p = malloc(10);
+	float* q = malloc(4);
+	p[3] = 7;
+	*q = 1.5;
+	q[1] = *q + 1.0;
+	int v = *(p + 3);
+	free(p);
+	free(q);
+	return v;
+}
+`)
+	fn := f.FuncByName("main")
+	if len(fn.Locals) != 3 {
+		t.Fatalf("want 3 locals, got %d", len(fn.Locals))
+	}
+	if fn.Locals[0].Type.String() != "int*" {
+		t.Errorf("p type = %s", fn.Locals[0].Type)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	parse(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		if (i % 2 == 0) {
+			s += i;
+		} else {
+			s -= 1;
+		}
+		if (s > 100) { break; }
+		if (s < 0) { continue; }
+	}
+	int j = 0;
+	while (j < 5) {
+		j++;
+	}
+	return s + j;
+}
+`)
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parse(t, `int main() { return 2 + 3 * 4 - 10 / 2; }`)
+	ret := f.FuncByName("main").Body.Stmts[0].(*ReturnStmt)
+	// ((2 + (3*4)) - (10/2))
+	top, ok := ret.Value.(*Binary)
+	if !ok || top.Op != BinSub {
+		t.Fatalf("top op = %v", ret.Value)
+	}
+	l, ok := top.L.(*Binary)
+	if !ok || l.Op != BinAdd {
+		t.Fatalf("left of - is %v", top.L)
+	}
+	if inner, ok := l.R.(*Binary); !ok || inner.Op != BinMul {
+		t.Fatalf("right of + is %v", l.R)
+	}
+	if r, ok := top.R.(*Binary); !ok || r.Op != BinDiv {
+		t.Fatalf("right of - is %v", top.R)
+	}
+}
+
+func TestParseLogicalAndComparisons(t *testing.T) {
+	parse(t, `
+int main() {
+	int a = 1;
+	int b = 0;
+	if (a && !b || a == 1 && b != 2) {
+		return 1;
+	}
+	return 0;
+}
+`)
+}
+
+func TestParseFunctionPointers(t *testing.T) {
+	f := parse(t, `
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int main() {
+	fnptr f = twice;
+	int a = f(5);
+	f = thrice;
+	return a + f(5);
+}
+`)
+	fn := f.FuncByName("main")
+	decl := fn.Body.Stmts[0].(*DeclStmt)
+	if decl.Sym.Type.Kind != KindFnPtr {
+		t.Errorf("f type = %s", decl.Sym.Type)
+	}
+}
+
+func TestParseExtern(t *testing.T) {
+	f := parse(t, `
+extern float sqrt(float x);
+int main() {
+	float r = sqrt(2.0);
+	return r * 100.0;
+}
+`)
+	if f.ExternByName("sqrt") == nil {
+		t.Fatal("extern not registered")
+	}
+}
+
+func TestParsePragmaAttachment(t *testing.T) {
+	f := parse(t, `
+int main() {
+	int s = 0;
+	#pragma omp parallel for reduction(+: s)
+	for (int i = 0; i < 4; i++) {
+		s = s + i;
+	}
+	return s;
+}
+`)
+	fn := f.FuncByName("main")
+	ps, ok := fn.Body.Stmts[1].(*PragmaStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", fn.Body.Stmts[1])
+	}
+	if ps.Pragma.Kind != PragmaOmpParallelFor {
+		t.Errorf("pragma kind = %v", ps.Pragma.Kind)
+	}
+	if len(ps.Pragma.Reductions) != 1 || ps.Pragma.Reductions[0].Var != "s" {
+		t.Errorf("reductions = %v", ps.Pragma.Reductions)
+	}
+	if _, ok := ps.Body.(*ForStmt); !ok {
+		t.Errorf("pragma body is %T", ps.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { return 1 }`, "expected ;"},
+		{`int main() { int x[0]; return 0; }`, "array length must be positive"},
+		{`int f() { return 1; } int f() { return 2; }`, "redefined"},
+		{`struct s { int a; }; struct s { int b; };`, "redefined"},
+		{`int main() { return (1 + ; }`, "expected expression"},
+		{`int main() {`, "unexpected EOF"},
+	}
+	for _, c := range cases {
+		parseErr(t, c.src, c.want)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { return x; }`, "undefined name"},
+		{`int main() { y(); return 0; }`, "undefined function"},
+		{`int main() { int a; int a; return 0; }`, "redeclared"},
+		{`int main() { break; }`, "break outside loop"},
+		{`int main() { continue; }`, "continue outside loop"},
+		{`void f() { return 1; }`, "void function"},
+		{`int f() { return; } int main() { return 0; }`, "must return"},
+		{`int main() { 3 = 4; return 0; }`, "not an lvalue"},
+		{`int main() { int a; return a.x; }`, "requires a struct"},
+		{`int main() { int* p = 0; return p.x; }`, "requires a struct"},
+		{`struct s { int a; }; int main() { struct s v; return v.b; }`, "no field"},
+		{`int f(int a) { return a; } int main() { return f(1, 2); }`, "2 arguments, want 1"},
+		{`int main() { int a = 1.5 % 2; return a; }`, "requires int operands"},
+		{`int main() { float* p = 0; int* q = p; return 0; }`, "cannot assign"},
+		{`int main() { void v; return 0; }`, "void type"},
+		{`struct s; int main() { return 0; }`, "expected"},
+		{`int main() { free(3); return 0; }`, "requires a pointer"},
+		{`struct s { int a; }; struct s f() { struct s v; return v; }`, "scalar or void"},
+		{`struct s { int a; }; int f(struct s v) { return 0; }`, "passed by pointer"},
+		{`int main() { int a[3]; int b[3]; a = b; return 0; }`, "aggregate assignment"},
+	}
+	for _, c := range cases {
+		parseErr(t, c.src, c.want)
+	}
+}
+
+func TestCheckImplicitConversions(t *testing.T) {
+	parse(t, `
+int main() {
+	float f = 3;       // int -> float
+	int i = 2.75;      // float -> int
+	f = f + i;         // mixed arithmetic
+	i = f * 2;
+	int* p = 0;        // null pointer constant
+	return i;
+}
+`)
+}
+
+func TestCheckArrayDecay(t *testing.T) {
+	parse(t, `
+int sum(int* a, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s += a[i];
+	}
+	return s;
+}
+int main() {
+	int data[8];
+	data[0] = 5;
+	int* p = data;
+	return sum(data, 8) + sum(p, 8);
+}
+`)
+}
+
+func TestCheckAddressTaken(t *testing.T) {
+	f := parse(t, `
+int main() {
+	int x = 1;
+	int y = 2;
+	int* p = &x;
+	*p = 3;
+	return x + y;
+}
+`)
+	fn := f.FuncByName("main")
+	var x, y *Symbol
+	for _, l := range fn.Locals {
+		switch l.Name {
+		case "x":
+			x = l
+		case "y":
+			y = l
+		}
+	}
+	if !x.AddressTaken {
+		t.Error("&x should mark x address-taken")
+	}
+	if y.AddressTaken {
+		t.Error("y is never address-taken")
+	}
+}
+
+func TestCheckShadowing(t *testing.T) {
+	f := parse(t, `
+int g = 10;
+int main() {
+	int g = 1;
+	{
+		int g = 2;
+		g = g + 1;
+	}
+	return g;
+}
+`)
+	if len(f.FuncByName("main").Locals) != 2 {
+		t.Errorf("want 2 locals (both g), got %d", len(f.FuncByName("main").Locals))
+	}
+}
+
+func TestSymbolIDsUnique(t *testing.T) {
+	f := parse(t, `
+int a = 1;
+int f(int a) { int b = a; return b; }
+int main() { int b = 3; return f(b); }
+`)
+	seen := map[int]bool{}
+	check := func(sym *Symbol) {
+		if seen[sym.ID] {
+			t.Errorf("duplicate symbol ID %d (%s)", sym.ID, sym.Name)
+		}
+		seen[sym.ID] = true
+	}
+	for _, g := range f.Globals {
+		check(g.Sym)
+	}
+	for _, fn := range f.Funcs {
+		for _, p := range fn.Params {
+			check(p)
+		}
+		for _, l := range fn.Locals {
+			check(l)
+		}
+	}
+}

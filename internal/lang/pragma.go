@@ -1,0 +1,269 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PragmaKind enumerates the directives CARMOT-Go understands.
+type PragmaKind int
+
+// Pragma kinds. CarmotROI marks a region of interest for PSEC. The omp
+// pragmas serve two roles: they express the benchmark's original (manual)
+// parallelism, and — when profiling existing pragmas (§5.1) — their code
+// regions are used as ROIs so CARMOT can verify them. OmpParallelSections,
+// OmpSection, OmpBarrier, and OmpMaster are parsed and executed but are
+// abstractions CARMOT does not generate (the ep/nab cases of Figure 6).
+const (
+	PragmaCarmotROI PragmaKind = iota
+	PragmaOmpParallelFor
+	PragmaOmpCritical
+	PragmaOmpOrdered
+	PragmaOmpTask
+	PragmaOmpTaskWait
+	PragmaOmpParallelSections
+	PragmaOmpSection
+	PragmaOmpBarrier
+	PragmaOmpMaster
+	PragmaStats // manual STATS Input-Output-State classification
+)
+
+var pragmaKindNames = map[PragmaKind]string{
+	PragmaCarmotROI: "carmot roi", PragmaOmpParallelFor: "omp parallel for",
+	PragmaOmpCritical: "omp critical", PragmaOmpOrdered: "omp ordered",
+	PragmaOmpTask: "omp task", PragmaOmpTaskWait: "omp taskwait",
+	PragmaOmpParallelSections: "omp parallel sections",
+	PragmaOmpSection:          "omp section", PragmaOmpBarrier: "omp barrier",
+	PragmaOmpMaster: "omp master", PragmaStats: "stats",
+}
+
+// String returns the directive spelling.
+func (k PragmaKind) String() string { return pragmaKindNames[k] }
+
+// Reduction is one reduction(op:var) clause entry.
+type Reduction struct {
+	Op  string // one of + * - (the OpenMP-supported operators we model)
+	Var string
+}
+
+// Pragma is a parsed #pragma directive.
+type Pragma struct {
+	Kind Pragma0Kind
+	Pos  Pos
+
+	Name string // ROI name for carmot roi (optional)
+
+	// omp parallel for clauses.
+	Private      []string
+	FirstPrivate []string
+	LastPrivate  []string
+	Shared       []string
+	Reductions   []Reduction
+	Ordered      bool // the loop contains an ordered region
+
+	// omp task clauses.
+	DependIn  []string
+	DependOut []string
+
+	// stats clauses (manual classification for the STATS use case).
+	StatsInput  []string
+	StatsOutput []string
+	StatsState  []string
+}
+
+// Pragma0Kind aliases PragmaKind; kept distinct in the struct definition to
+// make accidental integer mixing a compile error in client code.
+type Pragma0Kind = PragmaKind
+
+// ParsePragma parses the payload of a "#pragma" line (the text after the
+// "#pragma" keyword).
+func ParsePragma(payload string, pos Pos) (*Pragma, error) {
+	s := &clauseScanner{text: payload}
+	word := s.word()
+	switch word {
+	case "carmot":
+		if s.word() != "roi" {
+			return nil, &Error{Pos: pos, Msg: "expected 'roi' after '#pragma carmot'"}
+		}
+		p := &Pragma{Kind: PragmaCarmotROI, Pos: pos}
+		p.Name = s.word() // optional
+		return p, nil
+	case "stats":
+		p := &Pragma{Kind: PragmaStats, Pos: pos}
+		for {
+			clause := s.word()
+			if clause == "" {
+				return p, nil
+			}
+			args, err := s.parenList(pos, clause)
+			if err != nil {
+				return nil, err
+			}
+			switch clause {
+			case "input":
+				p.StatsInput = append(p.StatsInput, args...)
+			case "output":
+				p.StatsOutput = append(p.StatsOutput, args...)
+			case "state":
+				p.StatsState = append(p.StatsState, args...)
+			default:
+				return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unknown stats clause %q", clause)}
+			}
+		}
+	case "omp":
+		return parseOmpPragma(s, pos)
+	}
+	return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unknown pragma %q", payload)}
+}
+
+func parseOmpPragma(s *clauseScanner, pos Pos) (*Pragma, error) {
+	directive := s.word()
+	switch directive {
+	case "critical":
+		return &Pragma{Kind: PragmaOmpCritical, Pos: pos}, nil
+	case "ordered":
+		return &Pragma{Kind: PragmaOmpOrdered, Pos: pos}, nil
+	case "barrier":
+		return &Pragma{Kind: PragmaOmpBarrier, Pos: pos}, nil
+	case "master":
+		return &Pragma{Kind: PragmaOmpMaster, Pos: pos}, nil
+	case "section":
+		return &Pragma{Kind: PragmaOmpSection, Pos: pos}, nil
+	case "taskwait":
+		return &Pragma{Kind: PragmaOmpTaskWait, Pos: pos}, nil
+	case "task":
+		p := &Pragma{Kind: PragmaOmpTask, Pos: pos}
+		for {
+			clause := s.word()
+			if clause == "" {
+				return p, nil
+			}
+			if clause != "depend" {
+				return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unknown task clause %q", clause)}
+			}
+			args, err := s.parenList(pos, clause)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) < 2 || (args[0] != "in" && args[0] != "out") {
+				return nil, &Error{Pos: pos, Msg: "depend clause requires (in: ...) or (out: ...)"}
+			}
+			if args[0] == "in" {
+				p.DependIn = append(p.DependIn, args[1:]...)
+			} else {
+				p.DependOut = append(p.DependOut, args[1:]...)
+			}
+		}
+	case "parallel":
+		next := s.word()
+		switch next {
+		case "for":
+			return parseParallelForClauses(s, pos)
+		case "sections":
+			return &Pragma{Kind: PragmaOmpParallelSections, Pos: pos}, nil
+		}
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unsupported '#pragma omp parallel %s'", next)}
+	}
+	return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unsupported '#pragma omp %s'", directive)}
+}
+
+func parseParallelForClauses(s *clauseScanner, pos Pos) (*Pragma, error) {
+	p := &Pragma{Kind: PragmaOmpParallelFor, Pos: pos}
+	for {
+		clause := s.word()
+		if clause == "" {
+			return p, nil
+		}
+		if clause == "ordered" {
+			p.Ordered = true
+			continue
+		}
+		args, err := s.parenList(pos, clause)
+		if err != nil {
+			return nil, err
+		}
+		switch clause {
+		case "private":
+			p.Private = append(p.Private, args...)
+		case "firstprivate":
+			p.FirstPrivate = append(p.FirstPrivate, args...)
+		case "lastprivate":
+			p.LastPrivate = append(p.LastPrivate, args...)
+		case "shared":
+			p.Shared = append(p.Shared, args...)
+		case "reduction":
+			if len(args) < 2 {
+				return nil, &Error{Pos: pos, Msg: "reduction clause requires (op: var, ...)"}
+			}
+			op := args[0]
+			if op != "+" && op != "*" && op != "-" {
+				return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unsupported reduction operator %q", op)}
+			}
+			for _, v := range args[1:] {
+				p.Reductions = append(p.Reductions, Reduction{Op: op, Var: v})
+			}
+		default:
+			return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unknown parallel for clause %q", clause)}
+		}
+	}
+}
+
+// clauseScanner tokenizes pragma payloads: words, and parenthesized
+// comma/colon-separated lists such as reduction(+:sum) or depend(in: a, b).
+type clauseScanner struct {
+	text string
+	off  int
+}
+
+func (s *clauseScanner) skipSpace() {
+	for s.off < len(s.text) && (s.text[s.off] == ' ' || s.text[s.off] == '\t') {
+		s.off++
+	}
+}
+
+// word returns the next bare word, or "" at end of input or before a paren.
+func (s *clauseScanner) word() string {
+	s.skipSpace()
+	start := s.off
+	for s.off < len(s.text) {
+		c := s.text[s.off]
+		if c == ' ' || c == '\t' || c == '(' {
+			break
+		}
+		s.off++
+	}
+	return s.text[start:s.off]
+}
+
+// parenList parses "(a, b: c)" returning the items; ':' and ',' both
+// separate items, so reduction(+:sum) yields ["+", "sum"].
+func (s *clauseScanner) parenList(pos Pos, clause string) ([]string, error) {
+	s.skipSpace()
+	if s.off >= len(s.text) || s.text[s.off] != '(' {
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf("clause %q requires a parenthesized list", clause)}
+	}
+	s.off++
+	start := s.off
+	depth := 1
+	for s.off < len(s.text) && depth > 0 {
+		switch s.text[s.off] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		s.off++
+	}
+	if depth != 0 {
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf("unterminated %q clause", clause)}
+	}
+	inner := s.text[start : s.off-1]
+	var items []string
+	for _, part := range strings.FieldsFunc(inner, func(r rune) bool { return r == ',' || r == ':' }) {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			items = append(items, part)
+		}
+	}
+	return items, nil
+}

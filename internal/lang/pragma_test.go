@@ -1,0 +1,156 @@
+package lang
+
+import (
+	"reflect"
+	"testing"
+)
+
+func parsePragma(t *testing.T, payload string) *Pragma {
+	t.Helper()
+	p, err := ParsePragma(payload, Pos{File: "t.mc", Line: 1, Col: 1})
+	if err != nil {
+		t.Fatalf("ParsePragma(%q): %v", payload, err)
+	}
+	return p
+}
+
+func TestParsePragmaCarmotROI(t *testing.T) {
+	p := parsePragma(t, "carmot roi hotloop")
+	if p.Kind != PragmaCarmotROI || p.Name != "hotloop" {
+		t.Errorf("got %+v", p)
+	}
+	p = parsePragma(t, "carmot roi")
+	if p.Kind != PragmaCarmotROI || p.Name != "" {
+		t.Errorf("unnamed roi: %+v", p)
+	}
+}
+
+func TestParsePragmaParallelFor(t *testing.T) {
+	p := parsePragma(t, "omp parallel for private(a, b) firstprivate(c) lastprivate(d) shared(e) reduction(+: s1, s2) reduction(*: prod) ordered")
+	if p.Kind != PragmaOmpParallelFor {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if !reflect.DeepEqual(p.Private, []string{"a", "b"}) {
+		t.Errorf("private = %v", p.Private)
+	}
+	if !reflect.DeepEqual(p.FirstPrivate, []string{"c"}) || !reflect.DeepEqual(p.LastPrivate, []string{"d"}) {
+		t.Errorf("first/last = %v %v", p.FirstPrivate, p.LastPrivate)
+	}
+	if !reflect.DeepEqual(p.Shared, []string{"e"}) {
+		t.Errorf("shared = %v", p.Shared)
+	}
+	want := []Reduction{{Op: "+", Var: "s1"}, {Op: "+", Var: "s2"}, {Op: "*", Var: "prod"}}
+	if !reflect.DeepEqual(p.Reductions, want) {
+		t.Errorf("reductions = %v", p.Reductions)
+	}
+	if !p.Ordered {
+		t.Error("ordered flag lost")
+	}
+}
+
+func TestParsePragmaTask(t *testing.T) {
+	p := parsePragma(t, "omp task depend(in: a, b) depend(out: c)")
+	if p.Kind != PragmaOmpTask {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if !reflect.DeepEqual(p.DependIn, []string{"a", "b"}) || !reflect.DeepEqual(p.DependOut, []string{"c"}) {
+		t.Errorf("depend = in%v out%v", p.DependIn, p.DependOut)
+	}
+}
+
+func TestParsePragmaSimpleDirectives(t *testing.T) {
+	cases := map[string]PragmaKind{
+		"omp critical":          PragmaOmpCritical,
+		"omp ordered":           PragmaOmpOrdered,
+		"omp barrier":           PragmaOmpBarrier,
+		"omp master":            PragmaOmpMaster,
+		"omp section":           PragmaOmpSection,
+		"omp taskwait":          PragmaOmpTaskWait,
+		"omp parallel sections": PragmaOmpParallelSections,
+	}
+	for payload, kind := range cases {
+		if p := parsePragma(t, payload); p.Kind != kind {
+			t.Errorf("%q -> %v, want %v", payload, p.Kind, kind)
+		}
+	}
+}
+
+func TestParsePragmaStats(t *testing.T) {
+	p := parsePragma(t, "stats input(a, b) output(c) state(d, e)")
+	if p.Kind != PragmaStats {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if !reflect.DeepEqual(p.StatsInput, []string{"a", "b"}) ||
+		!reflect.DeepEqual(p.StatsOutput, []string{"c"}) ||
+		!reflect.DeepEqual(p.StatsState, []string{"d", "e"}) {
+		t.Errorf("classes = %v %v %v", p.StatsInput, p.StatsOutput, p.StatsState)
+	}
+}
+
+func TestParsePragmaErrors(t *testing.T) {
+	cases := []string{
+		"carmot",
+		"omp parallel while",
+		"omp frobnicate",
+		"omp parallel for reduction(^: s)",
+		"omp parallel for private",
+		"omp parallel for bogus(a)",
+		"omp task depend(sideways: a)",
+		"omp task nonsense(a)",
+		"stats wrongclass(a)",
+		"wholly unknown",
+		"omp parallel for private(a",
+	}
+	for _, payload := range cases {
+		if _, err := ParsePragma(payload, Pos{}); err == nil {
+			t.Errorf("ParsePragma(%q) should fail", payload)
+		}
+	}
+}
+
+func TestPragmaKindString(t *testing.T) {
+	if PragmaOmpParallelFor.String() != "omp parallel for" {
+		t.Errorf("got %q", PragmaOmpParallelFor.String())
+	}
+	if PragmaCarmotROI.String() != "carmot roi" {
+		t.Errorf("got %q", PragmaCarmotROI.String())
+	}
+}
+
+func TestTypeCells(t *testing.T) {
+	st := &StructType{Name: "s", Fields: []Field{
+		{Name: "a", Type: TypeInt},
+		{Name: "b", Type: ArrayOf(TypeFloat, 4)},
+		{Name: "c", Type: PointerTo(TypeInt)},
+	}}
+	st.layout()
+	if st.Cells() != 6 {
+		t.Errorf("struct cells = %d, want 6", st.Cells())
+	}
+	if st.Fields[2].Offset != 5 {
+		t.Errorf("field c offset = %d, want 5", st.Fields[2].Offset)
+	}
+	if ArrayOf(TypeInt, 3).Cells() != 3 || TypeVoid.Cells() != 0 {
+		t.Error("scalar/array cells wrong")
+	}
+	if !PointerTo(TypeInt).IsScalar() || ArrayOf(TypeInt, 2).IsScalar() {
+		t.Error("IsScalar wrong")
+	}
+}
+
+func TestTypeEqualAndString(t *testing.T) {
+	a := PointerTo(ArrayOf(TypeFloat, 2))
+	b := PointerTo(ArrayOf(TypeFloat, 2))
+	if !a.Equal(b) {
+		t.Error("structurally equal types should be Equal")
+	}
+	if a.Equal(PointerTo(ArrayOf(TypeFloat, 3))) {
+		t.Error("different lengths should differ")
+	}
+	if a.String() != "float[2]*" {
+		t.Errorf("String = %q", a.String())
+	}
+	if TypeFnPtr.Equal(TypeInt) {
+		t.Error("fnptr != int")
+	}
+}

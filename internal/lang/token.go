@@ -1,0 +1,141 @@
+// Package lang implements the MiniC front end: lexer, parser, AST, pragma
+// parsing, and semantic checking. MiniC is the C-like source language that
+// CARMOT-Go characterizes; it provides the full Program State Element
+// surface of the paper (globals, stack variables, heap objects, pointers,
+// arrays, structs, and function pointers) plus the #pragma directives that
+// mark regions of interest and express OpenMP-style parallelism.
+package lang
+
+import "fmt"
+
+// TokenKind enumerates MiniC token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokStringLit
+	TokPragma // a full "#pragma ..." line; Text holds the payload
+
+	// Keywords.
+	TokKwInt
+	TokKwFloat
+	TokKwVoid
+	TokKwFnPtr
+	TokKwStruct
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwExtern
+	TokKwSizeof
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokArrow // ->
+	TokAssign
+	TokPlusAssign
+	TokMinusAssign
+	TokStarAssign
+	TokSlashAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokNot
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokPlusPlus
+	TokMinusMinus
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokIntLit: "integer literal",
+	TokFloatLit: "float literal", TokStringLit: "string literal", TokPragma: "#pragma",
+	TokKwInt: "int", TokKwFloat: "float", TokKwVoid: "void", TokKwFnPtr: "fnptr",
+	TokKwStruct: "struct", TokKwIf: "if", TokKwElse: "else", TokKwWhile: "while",
+	TokKwFor: "for", TokKwReturn: "return", TokKwBreak: "break",
+	TokKwContinue: "continue", TokKwExtern: "extern", TokKwSizeof: "sizeof",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokDot: ".", TokArrow: "->", TokAssign: "=", TokPlusAssign: "+=",
+	TokMinusAssign: "-=", TokStarAssign: "*=", TokSlashAssign: "/=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokNot: "!", TokEq: "==", TokNe: "!=", TokLt: "<",
+	TokLe: "<=", TokGt: ">", TokGe: ">=", TokAndAnd: "&&", TokOrOr: "||",
+	TokPlusPlus: "++", TokMinusMinus: "--",
+}
+
+// String returns a human-readable token-kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"int": TokKwInt, "float": TokKwFloat, "void": TokKwVoid,
+	"fnptr": TokKwFnPtr, "struct": TokKwStruct, "if": TokKwIf,
+	"else": TokKwElse, "while": TokKwWhile, "for": TokKwFor,
+	"return": TokKwReturn, "break": TokKwBreak, "continue": TokKwContinue,
+	"extern": TokKwExtern, "sizeof": TokKwSizeof,
+}
+
+// Pos is a source position (1-based line and column) within a named file.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind  TokenKind
+	Text  string // identifier name, literal text, or pragma payload
+	Int   int64  // value for TokIntLit
+	Float float64
+	Pos   Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokIntLit, TokFloatLit, TokPragma:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

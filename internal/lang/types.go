@@ -1,0 +1,163 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind enumerates MiniC type kinds.
+type TypeKind int
+
+// Type kinds. All scalars (int, float, fnptr, pointers) occupy exactly one
+// memory cell (the interpreter's 8-byte word); arrays and structs occupy
+// the sum of their element/field cells.
+const (
+	KindVoid TypeKind = iota
+	KindInt
+	KindFloat
+	KindFnPtr
+	KindPointer
+	KindArray
+	KindStruct
+)
+
+// Type describes a MiniC type.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type       // pointee for KindPointer, element for KindArray
+	Len    int         // array length for KindArray
+	Struct *StructType // for KindStruct
+}
+
+// Canonical scalar types, shared across the front end.
+var (
+	TypeVoid  = &Type{Kind: KindVoid}
+	TypeInt   = &Type{Kind: KindInt}
+	TypeFloat = &Type{Kind: KindFloat}
+	TypeFnPtr = &Type{Kind: KindFnPtr}
+)
+
+// PointerTo returns the pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: KindPointer, Elem: elem} }
+
+// ArrayOf returns the array type [n]elem.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: KindArray, Elem: elem, Len: n} }
+
+// Cells returns the size of the type in memory cells.
+func (t *Type) Cells() int {
+	switch t.Kind {
+	case KindVoid:
+		return 0
+	case KindInt, KindFloat, KindFnPtr, KindPointer:
+		return 1
+	case KindArray:
+		return t.Len * t.Elem.Cells()
+	case KindStruct:
+		return t.Struct.Cells()
+	}
+	panic("lang: unknown type kind")
+}
+
+// IsScalar reports whether the type is a one-cell value type.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case KindInt, KindFloat, KindFnPtr, KindPointer:
+		return true
+	}
+	return false
+}
+
+// IsNumeric reports whether arithmetic is defined on the type.
+func (t *Type) IsNumeric() bool { return t.Kind == KindInt || t.Kind == KindFloat }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindPointer:
+		return t.Elem.Equal(o.Elem)
+	case KindArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	case KindStruct:
+		return t.Struct == o.Struct
+	}
+	return true
+}
+
+// String renders the type in C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindFnPtr:
+		return "fnptr"
+	case KindPointer:
+		return t.Elem.String() + "*"
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case KindStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "<bad type>"
+}
+
+// Field is a struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int // cell offset within the struct
+	Pos    Pos
+}
+
+// StructType is a named aggregate. Field offsets are assigned in
+// declaration order with no padding (every scalar is one cell).
+type StructType struct {
+	Name   string
+	Fields []Field
+	size   int
+	Pos    Pos
+}
+
+// Cells returns the struct size in cells.
+func (s *StructType) Cells() int { return s.size }
+
+// FieldByName returns the field with the given name, or nil.
+func (s *StructType) FieldByName(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+func (s *StructType) layout() {
+	off := 0
+	for i := range s.Fields {
+		s.Fields[i].Offset = off
+		off += s.Fields[i].Type.Cells()
+	}
+	s.size = off
+}
+
+func (s *StructType) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s { ", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(&b, "%s %s; ", f.Type, f.Name)
+	}
+	b.WriteString("}")
+	return b.String()
+}

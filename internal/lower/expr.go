@@ -1,0 +1,558 @@
+package lower
+
+import (
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+)
+
+// lvalue lowers an expression that designates storage, returning the
+// address value and, when the address directly names a source variable,
+// that variable's symbol (the source mapping PSEC reports come from).
+func (lo *lowerer) lvalue(e lang.Expr) (ir.Value, *lang.Symbol, error) {
+	switch x := e.(type) {
+	case *lang.Ident:
+		if x.Sym == nil {
+			return nil, nil, lo.errf(x.Pos, "%s is not assignable", x.Name)
+		}
+		if a, ok := lo.allocaOf[x.Sym]; ok {
+			return a, x.Sym, nil
+		}
+		if g, ok := lo.globalOf[x.Sym]; ok {
+			return &ir.GlobalAddr{Global: g}, x.Sym, nil
+		}
+		return nil, nil, lo.errf(x.Pos, "lower: no storage for %s", x.Name)
+	case *lang.Unary:
+		if x.Op != lang.UnaryDeref {
+			return nil, nil, lo.errf(x.Pos, "expression is not an lvalue")
+		}
+		p, err := lo.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, nil, nil
+	case *lang.Index:
+		bt := x.Base.ExprType()
+		var base ir.Value
+		var baseSym *lang.Symbol
+		var err error
+		if bt.Kind == lang.KindArray {
+			base, baseSym, err = lo.lvalue(x.Base)
+		} else { // pointer
+			base, err = lo.rvalue(x.Base)
+			if id, ok := x.Base.(*lang.Ident); ok {
+				baseSym = id.Sym
+			}
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, err := lo.rvalue(x.Idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo.pos = x.Pos
+		gep := &ir.GEP{Base: base, Index: idx, Scale: int64(bt.Elem.Cells()), BaseSym: baseSym}
+		lo.emit(gep)
+		return gep, nil, nil
+	case *lang.Member:
+		var base ir.Value
+		var baseSym *lang.Symbol
+		var err error
+		if x.Arrow {
+			base, err = lo.rvalue(x.Base)
+			if id, ok := x.Base.(*lang.Ident); ok {
+				baseSym = id.Sym
+			}
+		} else {
+			base, baseSym, err = lo.lvalue(x.Base)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		lo.pos = x.Pos
+		if x.Field.Offset == 0 {
+			// Zero-offset fields alias the base address; reuse it, which
+			// also keeps the direct-variable symbol for non-arrow access.
+			if !x.Arrow {
+				return base, baseSym, nil
+			}
+			return base, nil, nil
+		}
+		gep := &ir.GEP{Base: base, Offset: int64(x.Field.Offset), BaseSym: baseSym}
+		lo.emit(gep)
+		return gep, nil, nil
+	}
+	return nil, nil, lo.errf(e.NodePos(), "expression is not an lvalue")
+}
+
+// loadFrom emits a load of a scalar lvalue.
+func (lo *lowerer) loadFrom(addr ir.Value, sym *lang.Symbol, t *lang.Type, pos lang.Pos) ir.Value {
+	lo.pos = pos
+	ld := &ir.Load{Addr: addr, Cls: classOf(t), Sym: directScalarSym(addr, sym)}
+	lo.emit(ld)
+	return ld
+}
+
+// directScalarSym keeps the symbol only for direct scalar-variable
+// accesses (an alloca or global address used as-is). Accesses through
+// GEPs are memory PSE accesses, attributed to memory locations instead.
+func directScalarSym(addr ir.Value, sym *lang.Symbol) *lang.Symbol {
+	switch addr.(type) {
+	case *ir.Alloca, *ir.GlobalAddr:
+		return sym
+	}
+	return nil
+}
+
+// storeTo emits a store of val to a scalar lvalue.
+func (lo *lowerer) storeTo(addr ir.Value, sym *lang.Symbol, val ir.Value, pos lang.Pos) {
+	lo.pos = pos
+	lo.emit(&ir.Store{
+		Addr: addr, Val: val, Sym: directScalarSym(addr, sym),
+		PtrStore: val.Class() == ir.ClassPtr,
+	})
+}
+
+// coerce converts v (produced by expr) to the class of dst.
+func (lo *lowerer) coerce(v ir.Value, expr lang.Expr, dst *lang.Type) (ir.Value, error) {
+	want := classOf(dst)
+	have := v.Class()
+	if have == want {
+		return v, nil
+	}
+	switch {
+	case want == ir.ClassFloat && have == ir.ClassInt:
+		cv := &ir.Convert{X: v, ToFloat: true}
+		lo.emit(cv)
+		return cv, nil
+	case want == ir.ClassInt && have == ir.ClassFloat:
+		cv := &ir.Convert{X: v, ToFloat: false}
+		lo.emit(cv)
+		return cv, nil
+	case want == ir.ClassPtr && have == ir.ClassInt:
+		// Null pointer constant (checker admits only literal 0).
+		return v, nil
+	case want == ir.ClassFn && have == ir.ClassInt:
+		return v, nil
+	case want == ir.ClassInt && have == ir.ClassPtr, want == ir.ClassInt && have == ir.ClassFn:
+		return v, nil
+	}
+	return nil, lo.errf(expr.NodePos(), "lower: cannot coerce %s to %s", have, want)
+}
+
+// condValue lowers a branch condition; the result is branch-ready (any
+// non-zero scalar is true).
+func (lo *lowerer) condValue(e lang.Expr) (ir.Value, error) {
+	v, err := lo.rvalue(e)
+	if err != nil {
+		return nil, err
+	}
+	if v.Class() == ir.ClassFloat {
+		cmp := &ir.Bin{Op: ir.OpNe, Float: true, L: v, R: ir.ConstFloat(0)}
+		lo.emit(cmp)
+		return cmp, nil
+	}
+	return v, nil
+}
+
+// normalize01 converts a scalar to int 0/1.
+func (lo *lowerer) normalize01(v ir.Value) ir.Value {
+	cmp := &ir.Bin{Op: ir.OpNe, Float: v.Class() == ir.ClassFloat, L: v, R: zeroOf(v.Class())}
+	lo.emit(cmp)
+	return cmp
+}
+
+func zeroOf(c ir.Class) ir.Value {
+	if c == ir.ClassFloat {
+		return ir.ConstFloat(0)
+	}
+	return ir.ConstInt(0)
+}
+
+func (lo *lowerer) rvalue(e lang.Expr) (ir.Value, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return ir.ConstInt(x.Value), nil
+	case *lang.FloatLit:
+		return ir.ConstFloat(x.Value), nil
+	case *lang.SizeofExpr:
+		return ir.ConstInt(int64(x.Of.Cells())), nil
+	case *lang.Ident:
+		if x.FuncRef != nil {
+			return &ir.FuncRef{Func: lo.funcIR[x.FuncRef]}, nil
+		}
+		if x.ExternRef != nil {
+			return &ir.FuncRef{Extern: lo.externByName(x.ExternRef.Name)}, nil
+		}
+		addr, sym, err := lo.lvalue(x)
+		if err != nil {
+			return nil, err
+		}
+		if x.Sym.Type.Kind == lang.KindArray || x.Sym.Type.Kind == lang.KindStruct {
+			// Aggregates decay to their address.
+			return addr, nil
+		}
+		return lo.loadFrom(addr, sym, x.Sym.Type, x.Pos), nil
+	case *lang.Unary:
+		return lo.rvalueUnary(x)
+	case *lang.Binary:
+		return lo.rvalueBinary(x)
+	case *lang.Assign:
+		return lo.rvalueAssign(x)
+	case *lang.IncDec:
+		return lo.rvalueIncDec(x)
+	case *lang.Call:
+		return lo.rvalueCall(x)
+	case *lang.Index, *lang.Member:
+		addr, sym, err := lo.lvalue(x.(lang.Expr))
+		if err != nil {
+			return nil, err
+		}
+		t := x.(lang.Expr).ExprType()
+		if t.Kind == lang.KindArray || t.Kind == lang.KindStruct {
+			return addr, nil
+		}
+		return lo.loadFrom(addr, sym, t, x.NodePos()), nil
+	case *lang.MallocExpr:
+		count, err := lo.rvalue(x.Count)
+		if err != nil {
+			return nil, err
+		}
+		if count.Class() == ir.ClassFloat {
+			cv := &ir.Convert{X: count}
+			lo.emit(cv)
+			count = cv
+		}
+		lo.pos = x.Pos
+		m := &ir.Malloc{Count: count, ElemCells: int64(x.Elem.Cells()), TypeName: x.Elem.String()}
+		lo.emit(m)
+		return m, nil
+	}
+	return nil, lo.errf(e.NodePos(), "lower: unhandled expression %T", e)
+}
+
+func (lo *lowerer) externByName(name string) *ir.Extern {
+	for _, e := range lo.prog.Externs {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) rvalueUnary(x *lang.Unary) (ir.Value, error) {
+	switch x.Op {
+	case lang.UnaryAddr:
+		addr, _, err := lo.lvalue(x.X)
+		return addr, err
+	case lang.UnaryDeref:
+		p, err := lo.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		t := x.ExprType()
+		if t.Kind == lang.KindArray || t.Kind == lang.KindStruct {
+			return p, nil
+		}
+		return lo.loadFrom(p, nil, t, x.Pos), nil
+	case lang.UnaryNeg:
+		v, err := lo.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		lo.pos = x.Pos
+		b := &ir.Bin{Op: ir.OpSub, Float: v.Class() == ir.ClassFloat, L: zeroOf(v.Class()), R: v}
+		lo.emit(b)
+		return b, nil
+	case lang.UnaryNot:
+		v, err := lo.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		lo.pos = x.Pos
+		b := &ir.Bin{Op: ir.OpEq, Float: v.Class() == ir.ClassFloat, L: v, R: zeroOf(v.Class())}
+		lo.emit(b)
+		return b, nil
+	}
+	return nil, lo.errf(x.Pos, "lower: unhandled unary op")
+}
+
+func (lo *lowerer) rvalueBinary(x *lang.Binary) (ir.Value, error) {
+	if x.Op == lang.BinAnd || x.Op == lang.BinOr {
+		return lo.rvalueShortCircuit(x)
+	}
+	l, err := lo.rvalue(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := lo.rvalue(x.R)
+	if err != nil {
+		return nil, err
+	}
+	lo.pos = x.Pos
+
+	lt, rt := x.L.ExprType(), x.R.ExprType()
+	// Pointer arithmetic lowers to GEPs so element scaling is explicit.
+	if lt.Kind == lang.KindPointer && rt.Kind == lang.KindInt &&
+		(x.Op == lang.BinAdd || x.Op == lang.BinSub) {
+		scale := int64(lt.Elem.Cells())
+		if x.Op == lang.BinSub {
+			scale = -scale
+		}
+		g := &ir.GEP{Base: l, Index: r, Scale: scale}
+		lo.emit(g)
+		return g, nil
+	}
+	if rt.Kind == lang.KindPointer && lt.Kind == lang.KindInt && x.Op == lang.BinAdd {
+		g := &ir.GEP{Base: r, Index: l, Scale: int64(rt.Elem.Cells())}
+		lo.emit(g)
+		return g, nil
+	}
+	if lt.Kind == lang.KindPointer && rt.Kind == lang.KindPointer && x.Op == lang.BinSub {
+		diff := &ir.Bin{Op: ir.OpSub, L: l, R: r}
+		lo.emit(diff)
+		res := &ir.Bin{Op: ir.OpDiv, L: diff, R: ir.ConstInt(int64(lt.Elem.Cells()))}
+		lo.emit(res)
+		return res, nil
+	}
+
+	var op ir.BinOp
+	switch x.Op {
+	case lang.BinAdd:
+		op = ir.OpAdd
+	case lang.BinSub:
+		op = ir.OpSub
+	case lang.BinMul:
+		op = ir.OpMul
+	case lang.BinDiv:
+		op = ir.OpDiv
+	case lang.BinRem:
+		op = ir.OpRem
+	case lang.BinEq:
+		op = ir.OpEq
+	case lang.BinNe:
+		op = ir.OpNe
+	case lang.BinLt:
+		op = ir.OpLt
+	case lang.BinLe:
+		op = ir.OpLe
+	case lang.BinGt:
+		op = ir.OpGt
+	case lang.BinGe:
+		op = ir.OpGe
+	default:
+		return nil, lo.errf(x.Pos, "lower: unhandled binary op %s", x.Op)
+	}
+
+	float := l.Class() == ir.ClassFloat || r.Class() == ir.ClassFloat
+	if float {
+		l = lo.toFloat(l)
+		r = lo.toFloat(r)
+	}
+	b := &ir.Bin{Op: op, Float: float, L: l, R: r}
+	lo.emit(b)
+	return b, nil
+}
+
+func (lo *lowerer) toFloat(v ir.Value) ir.Value {
+	if v.Class() == ir.ClassFloat {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok && !c.IsFloat {
+		return ir.ConstFloat(float64(c.Int))
+	}
+	cv := &ir.Convert{X: v, ToFloat: true}
+	lo.emit(cv)
+	return cv
+}
+
+func (lo *lowerer) rvalueShortCircuit(x *lang.Binary) (ir.Value, error) {
+	tmp := lo.newAlloca(nil, 1, true)
+	l, err := lo.rvalue(x.L)
+	if err != nil {
+		return nil, err
+	}
+	lo.pos = x.Pos
+	if l.Class() == ir.ClassFloat {
+		l = lo.normalize01(l)
+	}
+	rhsBlk := lo.fn.NewBlock("sc.rhs")
+	shortBlk := lo.fn.NewBlock("sc.short")
+	doneBlk := lo.fn.NewBlock("sc.done")
+	if x.Op == lang.BinAnd {
+		lo.emit(&ir.CondBr{Cond: l, True: rhsBlk, False: shortBlk})
+	} else {
+		lo.emit(&ir.CondBr{Cond: l, True: shortBlk, False: rhsBlk})
+	}
+	lo.setBlock(rhsBlk)
+	r, err := lo.rvalue(x.R)
+	if err != nil {
+		return nil, err
+	}
+	lo.pos = x.Pos
+	r = lo.normalize01(r)
+	lo.emit(&ir.Store{Addr: tmp, Val: r})
+	lo.branchTo(doneBlk)
+
+	lo.setBlock(shortBlk)
+	shortVal := ir.ConstInt(0)
+	if x.Op == lang.BinOr {
+		shortVal = ir.ConstInt(1)
+	}
+	lo.emit(&ir.Store{Addr: tmp, Val: shortVal})
+	lo.branchTo(doneBlk)
+
+	lo.setBlock(doneBlk)
+	ld := &ir.Load{Addr: tmp, Cls: ir.ClassInt}
+	lo.emit(ld)
+	return ld, nil
+}
+
+func (lo *lowerer) rvalueAssign(x *lang.Assign) (ir.Value, error) {
+	addr, sym, err := lo.lvalue(x.LHS)
+	if err != nil {
+		return nil, err
+	}
+	lt := x.LHS.ExprType()
+	rhs, err := lo.rvalue(x.RHS)
+	if err != nil {
+		return nil, err
+	}
+	lo.pos = x.Pos
+
+	if x.Op == lang.AssignSet {
+		rhs, err = lo.coerce(rhs, x.RHS, lt)
+		if err != nil {
+			return nil, err
+		}
+		if m, ok := rhs.(*ir.Malloc); ok && sym != nil {
+			m.Hint = sym.Name
+		}
+		lo.storeTo(addr, sym, rhs, x.Pos)
+		return rhs, nil
+	}
+
+	old := lo.loadFrom(addr, sym, lt, x.Pos)
+	var res ir.Value
+	if lt.Kind == lang.KindPointer {
+		scale := int64(lt.Elem.Cells())
+		if x.Op == lang.AssignSub {
+			scale = -scale
+		}
+		g := &ir.GEP{Base: old, Index: rhs, Scale: scale}
+		lo.emit(g)
+		res = g
+	} else {
+		var op ir.BinOp
+		switch x.Op {
+		case lang.AssignAdd:
+			op = ir.OpAdd
+		case lang.AssignSub:
+			op = ir.OpSub
+		case lang.AssignMul:
+			op = ir.OpMul
+		case lang.AssignDiv:
+			op = ir.OpDiv
+		}
+		float := lt.Kind == lang.KindFloat
+		r := rhs
+		if float {
+			r = lo.toFloat(r)
+		} else if r.Class() == ir.ClassFloat {
+			cv := &ir.Convert{X: r}
+			lo.emit(cv)
+			r = cv
+		}
+		b := &ir.Bin{Op: op, Float: float, L: old, R: r}
+		lo.emit(b)
+		res = b
+	}
+	lo.storeTo(addr, sym, res, x.Pos)
+	return res, nil
+}
+
+func (lo *lowerer) rvalueIncDec(x *lang.IncDec) (ir.Value, error) {
+	addr, sym, err := lo.lvalue(x.X)
+	if err != nil {
+		return nil, err
+	}
+	t := x.X.ExprType()
+	old := lo.loadFrom(addr, sym, t, x.Pos)
+	lo.pos = x.Pos
+	var res ir.Value
+	if t.Kind == lang.KindPointer {
+		off := int64(t.Elem.Cells())
+		if x.Dec {
+			off = -off
+		}
+		g := &ir.GEP{Base: old, Offset: off}
+		lo.emit(g)
+		res = g
+	} else {
+		op := ir.OpAdd
+		if x.Dec {
+			op = ir.OpSub
+		}
+		b := &ir.Bin{Op: op, L: old, R: ir.ConstInt(1)}
+		lo.emit(b)
+		res = b
+	}
+	lo.storeTo(addr, sym, res, x.Pos)
+	// Post-fix semantics: the expression value is the original value.
+	return old, nil
+}
+
+func (lo *lowerer) rvalueCall(x *lang.Call) (ir.Value, error) {
+	// Direct call to a function or extern.
+	if x.Func != nil || x.Extern != nil {
+		var callee ir.Value
+		var paramSyms []*lang.Symbol
+		var cls ir.Class
+		if x.Func != nil {
+			callee = &ir.FuncRef{Func: lo.funcIR[x.Func]}
+			paramSyms = x.Func.Params
+			cls = classOf(x.Func.Ret)
+		} else {
+			ext := lo.externByName(x.Extern.Name)
+			if ext == nil {
+				return nil, lo.errf(x.Pos, "lower: extern %s not declared", x.Extern.Name)
+			}
+			callee = &ir.FuncRef{Extern: ext}
+			paramSyms = x.Extern.Params
+			cls = classOf(x.Extern.Ret)
+		}
+		args := make([]ir.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := lo.rvalue(a)
+			if err != nil {
+				return nil, err
+			}
+			v, err = lo.coerce(v, a, paramSyms[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		lo.pos = x.Pos
+		c := &ir.Call{Callee: callee, Args: args, Cls: cls}
+		lo.emit(c)
+		return c, nil
+	}
+	// Indirect call through an fnptr value.
+	callee, err := lo.rvalue(x.Callee)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := lo.rvalue(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	lo.pos = x.Pos
+	c := &ir.Call{Callee: callee, Args: args, Cls: ir.ClassInt}
+	lo.emit(c)
+	return c, nil
+}

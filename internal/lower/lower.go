@@ -1,0 +1,707 @@
+// Package lower translates a checked MiniC AST into CARMOT-Go IR. The
+// translation mirrors clang -O0 as the paper requires (§4.4): every source
+// variable becomes an alloca, every access an explicit load/store, and
+// each instruction carries its source position and (for direct variable
+// accesses) the source symbol, giving the reversible source↔IR mapping
+// PSEC depends on.
+package lower
+
+import (
+	"fmt"
+
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/native"
+)
+
+// Options selects which source regions become ROIs.
+type Options struct {
+	// ProfileOmp makes the body of every `#pragma omp parallel for` and
+	// `#pragma omp task` an ROI, the mode §5.1 uses to verify existing
+	// pragmas.
+	ProfileOmp bool
+	// ProfileStats makes every `#pragma stats` region an ROI (§5.3).
+	ProfileStats bool
+	// WholeProgramROI wraps the body of main in a single ROI, the mode
+	// §5.2 uses to find reference cycles anywhere in the program.
+	WholeProgramROI bool
+	// IgnoreCarmotPragmas skips `#pragma carmot roi` markers so a run can
+	// target exactly one ROI (e.g. WholeProgramROI alone).
+	IgnoreCarmotPragmas bool
+}
+
+// Lower translates the file.
+func Lower(file *lang.File, opts Options) (*ir.Program, error) {
+	lo := &lowerer{
+		file: file,
+		opts: opts,
+		prog: &ir.Program{Source: file},
+	}
+	if err := lo.run(); err != nil {
+		return nil, err
+	}
+	return lo.prog, nil
+}
+
+type cleanupKind int
+
+const (
+	cleanupROIEnd cleanupKind = iota
+	cleanupIterEnd
+	cleanupCriticalEnd
+	cleanupOrderedEnd
+	cleanupMasterEnd
+	cleanupTaskEnd
+	cleanupSectionEnd
+)
+
+// cleanup records a closing instruction that must be emitted when control
+// leaves its region early (break, continue, return).
+type cleanup struct {
+	kind   cleanupKind
+	roi    *ir.ROI
+	region *ir.ParRegion
+}
+
+type loopCtx struct {
+	breakBlk    *ir.Block
+	continueBlk *ir.Block
+	cleanupMark int // cleanup-stack depth at loop body entry
+}
+
+type lowerer struct {
+	file *lang.File
+	opts Options
+	prog *ir.Program
+
+	fn       *ir.Func
+	cur      *ir.Block
+	funcIR   map[*lang.FuncDecl]*ir.Func
+	allocaOf map[*lang.Symbol]*ir.Alloca
+	globalOf map[*lang.Symbol]*ir.Global
+	paramOf  map[*lang.Symbol]*ir.Param
+	loops    []loopCtx
+	cleanups []cleanup
+	// loopInfos tracks the enclosing for-loops' induction information so
+	// a carmot ROI placed on a block inside a loop (the Figure 1 shape)
+	// still knows its governing induction variable.
+	loopInfos []*ir.LoopInfo
+	pos       lang.Pos
+}
+
+func (lo *lowerer) errf(pos lang.Pos, format string, args ...interface{}) error {
+	return &lang.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lo *lowerer) run() error {
+	lo.globalOf = map[*lang.Symbol]*ir.Global{}
+	for _, g := range lo.file.Globals {
+		irg := &ir.Global{ID: len(lo.prog.Globals), Sym: g.Sym, Cells: g.Sym.Type.Cells()}
+		if g.Init != nil {
+			c, err := constEval(g.Init)
+			if err != nil {
+				return err
+			}
+			irg.Init = c
+		}
+		lo.prog.Globals = append(lo.prog.Globals, irg)
+		lo.globalOf[g.Sym] = irg
+		lo.prog.TotalCells += irg.Cells
+	}
+	for _, ext := range lo.file.Externs {
+		spec := native.Lookup(ext.Name)
+		if spec == nil {
+			return lo.errf(ext.Pos, "extern %q has no native implementation", ext.Name)
+		}
+		lo.prog.Externs = append(lo.prog.Externs, &ir.Extern{
+			ID: len(lo.prog.Externs), Name: ext.Name, Ret: classOf(ext.Ret),
+			Params: ext.Params, AccessesMemory: spec.AccessesMemory,
+		})
+	}
+	// Pre-create every function shell so direct calls and function
+	// pointers can reference forward-declared functions.
+	lo.funcIR = map[*lang.FuncDecl]*ir.Func{}
+	for _, fn := range lo.file.Funcs {
+		f := &ir.Func{Name: fn.Name, Source: fn, Ret: classOf(fn.Ret)}
+		lo.funcIR[fn] = f
+		lo.prog.Funcs = append(lo.prog.Funcs, f)
+	}
+	for _, fn := range lo.file.Funcs {
+		if err := lo.lowerFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constEval folds a constant initializer expression.
+func constEval(e lang.Expr) (*ir.Const, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return ir.ConstInt(x.Value), nil
+	case *lang.FloatLit:
+		return ir.ConstFloat(x.Value), nil
+	case *lang.SizeofExpr:
+		return ir.ConstInt(int64(x.Of.Cells())), nil
+	case *lang.Unary:
+		if x.Op == lang.UnaryNeg {
+			c, err := constEval(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if c.IsFloat {
+				return ir.ConstFloat(-c.Float), nil
+			}
+			return ir.ConstInt(-c.Int), nil
+		}
+	}
+	return nil, &lang.Error{Pos: e.NodePos(), Msg: "global initializer must be a constant literal"}
+}
+
+func classOf(t *lang.Type) ir.Class {
+	switch t.Kind {
+	case lang.KindInt:
+		return ir.ClassInt
+	case lang.KindFloat:
+		return ir.ClassFloat
+	case lang.KindPointer, lang.KindArray:
+		return ir.ClassPtr
+	case lang.KindFnPtr:
+		return ir.ClassFn
+	case lang.KindVoid:
+		return ir.ClassVoid
+	}
+	return ir.ClassInt
+}
+
+func (lo *lowerer) emit(in ir.Instr) {
+	ir.Base(in).Pos = lo.pos
+	if lo.cur.Terminator() != nil {
+		// Dead code after return/break; emit into a fresh unreachable
+		// block to keep blocks well formed.
+		lo.cur = lo.fn.NewBlock("dead")
+	}
+	lo.cur.Append(in)
+}
+
+func (lo *lowerer) setBlock(b *ir.Block) { lo.cur = b }
+
+// branchTo terminates the current block with a jump if it is still open.
+func (lo *lowerer) branchTo(target *ir.Block) {
+	if lo.cur.Terminator() == nil {
+		lo.cur.Append(&ir.Br{Target: target})
+	}
+}
+
+func (lo *lowerer) lowerFunc(src *lang.FuncDecl) error {
+	fn := lo.funcIR[src]
+	lo.fn = fn
+	lo.allocaOf = map[*lang.Symbol]*ir.Alloca{}
+	lo.paramOf = map[*lang.Symbol]*ir.Param{}
+	lo.loops = nil
+	lo.cleanups = nil
+	lo.pos = src.Pos
+
+	entry := fn.NewBlock("entry")
+	lo.cur = entry
+
+	for i, psym := range src.Params {
+		p := &ir.Param{Index: i, Sym: psym, Cls: classOf(psym.Type)}
+		fn.Params = append(fn.Params, p)
+		lo.paramOf[psym] = p
+	}
+	// clang -O0 shape: allocas for params and all locals at the head of
+	// the entry block, params stored into their slots.
+	for _, psym := range src.Params {
+		lo.newAlloca(psym, psym.Type.Cells(), false)
+	}
+	for _, lsym := range src.Locals {
+		lo.newAlloca(lsym, lsym.Type.Cells(), false)
+	}
+	for _, psym := range src.Params {
+		lo.emit(&ir.Store{Addr: lo.allocaOf[psym], Val: lo.paramOf[psym], Sym: psym,
+			PtrStore: classOf(psym.Type) == ir.ClassPtr})
+	}
+
+	roiAll := lo.opts.WholeProgramROI && src.Name == "main"
+	var mainROI *ir.ROI
+	if roiAll {
+		mainROI = lo.newROI("main", ir.ROICarmot, nil, src.Pos)
+		lo.emit(&ir.ROIBegin{ROI: mainROI})
+		lo.cleanups = append(lo.cleanups, cleanup{kind: cleanupROIEnd, roi: mainROI})
+	}
+
+	if err := lo.lowerStmt(src.Body); err != nil {
+		return err
+	}
+
+	if lo.cur.Terminator() == nil {
+		if roiAll {
+			lo.emit(&ir.ROIEnd{ROI: mainROI})
+		}
+		var ret ir.Value
+		switch fn.Ret {
+		case ir.ClassVoid:
+		case ir.ClassFloat:
+			ret = ir.ConstFloat(0)
+		default:
+			ret = ir.ConstInt(0)
+		}
+		lo.emit(&ir.Ret{Val: ret})
+	}
+
+	ir.ComputeCFG(fn)
+	return ir.Verify(fn)
+}
+
+func (lo *lowerer) newAlloca(sym *lang.Symbol, cells int, synthetic bool) *ir.Alloca {
+	a := &ir.Alloca{Sym: sym, Cells: cells, Synthetic: synthetic, Index: len(lo.fn.Allocas)}
+	a.Pos = lo.pos
+	if sym != nil {
+		a.Pos = sym.Pos
+	}
+	lo.fn.InsertAlloca(a, len(lo.fn.Allocas))
+	lo.fn.Allocas = append(lo.fn.Allocas, a)
+	if sym != nil {
+		lo.allocaOf[sym] = a
+	}
+	return a
+}
+
+func (lo *lowerer) newROI(name string, kind ir.ROIKind, prag *lang.Pragma, pos lang.Pos) *ir.ROI {
+	roi := &ir.ROI{ID: len(lo.prog.ROIs), Name: name, Kind: kind, Func: lo.fn, Pragma: prag, Pos: pos}
+	if roi.Name == "" {
+		roi.Name = fmt.Sprintf("roi%d@%s", roi.ID, pos)
+	}
+	lo.prog.ROIs = append(lo.prog.ROIs, roi)
+	return roi
+}
+
+func (lo *lowerer) newRegion(kind ir.ParRegionKind, prag *lang.Pragma, pos lang.Pos) *ir.ParRegion {
+	r := &ir.ParRegion{ID: len(lo.prog.Regions), Kind: kind, Func: lo.fn, Pragma: prag, Pos: pos}
+	lo.prog.Regions = append(lo.prog.Regions, r)
+	return r
+}
+
+// unwindTo emits the closing instructions for cleanups above mark without
+// popping them (the normal path still closes them).
+func (lo *lowerer) unwindTo(mark int) {
+	for i := len(lo.cleanups) - 1; i >= mark; i-- {
+		lo.emitCleanup(lo.cleanups[i])
+	}
+}
+
+func (lo *lowerer) emitCleanup(c cleanup) {
+	switch c.kind {
+	case cleanupROIEnd:
+		lo.emit(&ir.ROIEnd{ROI: c.roi})
+	case cleanupIterEnd:
+		lo.emit(&ir.Mark{Kind: ir.MarkIterEnd, Region: c.region})
+	case cleanupCriticalEnd:
+		lo.emit(&ir.Mark{Kind: ir.MarkCriticalEnd})
+	case cleanupOrderedEnd:
+		lo.emit(&ir.Mark{Kind: ir.MarkOrderedEnd})
+	case cleanupMasterEnd:
+		lo.emit(&ir.Mark{Kind: ir.MarkMasterEnd})
+	case cleanupTaskEnd:
+		lo.emit(&ir.Mark{Kind: ir.MarkTaskEnd})
+	case cleanupSectionEnd:
+		lo.emit(&ir.Mark{Kind: ir.MarkSectionEnd, Region: c.region})
+	}
+}
+
+func (lo *lowerer) pushCleanup(c cleanup) int {
+	lo.cleanups = append(lo.cleanups, c)
+	return len(lo.cleanups) - 1
+}
+
+// popCleanup emits the closing instruction on the normal path and pops.
+func (lo *lowerer) popCleanup() {
+	c := lo.cleanups[len(lo.cleanups)-1]
+	lo.cleanups = lo.cleanups[:len(lo.cleanups)-1]
+	lo.emitCleanup(c)
+}
+
+func (lo *lowerer) lowerStmt(s lang.Stmt) error {
+	lo.pos = s.NodePos()
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		for _, sub := range st.Stmts {
+			if err := lo.lowerStmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *lang.DeclStmt:
+		if st.Init == nil {
+			return nil
+		}
+		v, err := lo.rvalue(st.Init)
+		if err != nil {
+			return err
+		}
+		if m, ok := v.(*ir.Malloc); ok {
+			m.Hint = st.Sym.Name
+		}
+		v, err = lo.coerce(v, st.Init, st.Sym.Type)
+		if err != nil {
+			return err
+		}
+		a := lo.allocaOf[st.Sym]
+		lo.pos = st.Pos
+		lo.emit(&ir.Store{Addr: a, Val: v, Sym: st.Sym, PtrStore: classOf(st.Sym.Type) == ir.ClassPtr})
+		return nil
+	case *lang.ExprStmt:
+		_, err := lo.rvalue(st.X)
+		return err
+	case *lang.IfStmt:
+		return lo.lowerIf(st)
+	case *lang.WhileStmt:
+		return lo.lowerWhile(st)
+	case *lang.ForStmt:
+		return lo.lowerFor(st, nil, nil)
+	case *lang.ReturnStmt:
+		var v ir.Value
+		if st.Value != nil {
+			var err error
+			v, err = lo.rvalue(st.Value)
+			if err != nil {
+				return err
+			}
+			v, err = lo.coerce(v, st.Value, lo.fn.Source.Ret)
+			if err != nil {
+				return err
+			}
+		}
+		lo.pos = st.Pos
+		lo.unwindTo(0)
+		lo.emit(&ir.Ret{Val: v})
+		return nil
+	case *lang.BreakStmt:
+		lc := lo.loops[len(lo.loops)-1]
+		lo.unwindTo(lc.cleanupMark)
+		lo.emit(&ir.Br{Target: lc.breakBlk})
+		return nil
+	case *lang.ContinueStmt:
+		lc := lo.loops[len(lo.loops)-1]
+		lo.unwindTo(lc.cleanupMark)
+		lo.emit(&ir.Br{Target: lc.continueBlk})
+		return nil
+	case *lang.FreeStmt:
+		p, err := lo.rvalue(st.Ptr)
+		if err != nil {
+			return err
+		}
+		lo.pos = st.Pos
+		lo.emit(&ir.Free{Ptr: p})
+		return nil
+	case *lang.PragmaStmt:
+		return lo.lowerPragma(st)
+	}
+	return lo.errf(s.NodePos(), "lower: unhandled statement %T", s)
+}
+
+func (lo *lowerer) lowerIf(st *lang.IfStmt) error {
+	cond, err := lo.condValue(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenBlk := lo.fn.NewBlock("then")
+	doneBlk := lo.fn.NewBlock("endif")
+	elseBlk := doneBlk
+	if st.Else != nil {
+		elseBlk = lo.fn.NewBlock("else")
+	}
+	lo.emit(&ir.CondBr{Cond: cond, True: thenBlk, False: elseBlk})
+	lo.setBlock(thenBlk)
+	if err := lo.lowerStmt(st.Then); err != nil {
+		return err
+	}
+	lo.branchTo(doneBlk)
+	if st.Else != nil {
+		lo.setBlock(elseBlk)
+		if err := lo.lowerStmt(st.Else); err != nil {
+			return err
+		}
+		lo.branchTo(doneBlk)
+	}
+	lo.setBlock(doneBlk)
+	return nil
+}
+
+func (lo *lowerer) lowerWhile(st *lang.WhileStmt) error {
+	condBlk := lo.fn.NewBlock("while.cond")
+	bodyBlk := lo.fn.NewBlock("while.body")
+	exitBlk := lo.fn.NewBlock("while.exit")
+	lo.branchTo(condBlk)
+	lo.setBlock(condBlk)
+	cond, err := lo.condValue(st.Cond)
+	if err != nil {
+		return err
+	}
+	lo.emit(&ir.CondBr{Cond: cond, True: bodyBlk, False: exitBlk})
+	lo.setBlock(bodyBlk)
+	lo.loops = append(lo.loops, loopCtx{breakBlk: exitBlk, continueBlk: condBlk, cleanupMark: len(lo.cleanups)})
+	if err := lo.lowerStmt(st.Body); err != nil {
+		return err
+	}
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	lo.branchTo(condBlk)
+	lo.setBlock(exitBlk)
+	return nil
+}
+
+// lowerFor lowers a for loop. When roi is non-nil it wraps the loop body
+// (each iteration is one dynamic ROI invocation); when region is non-nil
+// iteration markers for the multicore simulator are emitted as well.
+func (lo *lowerer) lowerFor(st *lang.ForStmt, roi *ir.ROI, region *ir.ParRegion) error {
+	if st.Init != nil {
+		if err := lo.lowerStmt(st.Init); err != nil {
+			return err
+		}
+	}
+	condBlk := lo.fn.NewBlock("for.cond")
+	bodyBlk := lo.fn.NewBlock("for.body")
+	postBlk := lo.fn.NewBlock("for.post")
+	exitBlk := lo.fn.NewBlock("for.exit")
+
+	if region != nil {
+		lo.emit(&ir.Mark{Kind: ir.MarkRegionBegin, Region: region})
+	}
+	lo.branchTo(condBlk)
+	lo.setBlock(condBlk)
+	if st.Cond != nil {
+		cond, err := lo.condValue(st.Cond)
+		if err != nil {
+			return err
+		}
+		lo.emit(&ir.CondBr{Cond: cond, True: bodyBlk, False: exitBlk})
+	} else {
+		lo.branchTo(bodyBlk)
+	}
+	lo.setBlock(bodyBlk)
+
+	mark := len(lo.cleanups)
+	if region != nil {
+		lo.emit(&ir.Mark{Kind: ir.MarkIterBegin, Region: region})
+		lo.pushCleanup(cleanup{kind: cleanupIterEnd, region: region})
+	}
+	if roi != nil {
+		lo.emit(&ir.ROIBegin{ROI: roi})
+		lo.pushCleanup(cleanup{kind: cleanupROIEnd, roi: roi})
+	}
+	lo.loops = append(lo.loops, loopCtx{breakBlk: exitBlk, continueBlk: postBlk, cleanupMark: mark})
+	lo.loopInfos = append(lo.loopInfos, detectLoopInfo(st))
+	if err := lo.lowerStmt(st.Body); err != nil {
+		return err
+	}
+	lo.loopInfos = lo.loopInfos[:len(lo.loopInfos)-1]
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	if roi != nil {
+		lo.popCleanup()
+	}
+	if region != nil {
+		lo.popCleanup()
+	}
+	lo.branchTo(postBlk)
+
+	lo.setBlock(postBlk)
+	if st.Post != nil {
+		if err := lo.lowerStmt(st.Post); err != nil {
+			return err
+		}
+	}
+	lo.branchTo(condBlk)
+	lo.setBlock(exitBlk)
+	if region != nil {
+		lo.emit(&ir.Mark{Kind: ir.MarkRegionEnd, Region: region})
+	}
+	return nil
+}
+
+// detectLoopInfo recognizes the canonical loop shape (i = start; i cmp
+// bound; i += step) and returns the governing induction variable.
+func detectLoopInfo(st *lang.ForStmt) *ir.LoopInfo {
+	var ind *lang.Symbol
+	switch init := st.Init.(type) {
+	case *lang.DeclStmt:
+		ind = init.Sym
+	case *lang.ExprStmt:
+		if as, ok := init.X.(*lang.Assign); ok && as.Op == lang.AssignSet {
+			if id, ok := as.LHS.(*lang.Ident); ok {
+				ind = id.Sym
+			}
+		}
+	}
+	if ind == nil || ind.Type.Kind != lang.KindInt {
+		return nil
+	}
+	cond, ok := st.Cond.(*lang.Binary)
+	if !ok {
+		return nil
+	}
+	condUsesInd := false
+	if id, ok := cond.L.(*lang.Ident); ok && id.Sym == ind {
+		condUsesInd = true
+	}
+	if id, ok := cond.R.(*lang.Ident); ok && id.Sym == ind {
+		condUsesInd = true
+	}
+	if !condUsesInd {
+		return nil
+	}
+	step := int64(0)
+	if post, ok := st.Post.(*lang.ExprStmt); ok {
+		switch px := post.X.(type) {
+		case *lang.IncDec:
+			if id, ok := px.X.(*lang.Ident); ok && id.Sym == ind {
+				step = 1
+				if px.Dec {
+					step = -1
+				}
+			}
+		case *lang.Assign:
+			if id, ok := px.LHS.(*lang.Ident); ok && id.Sym == ind {
+				if lit, ok := px.RHS.(*lang.IntLit); ok {
+					switch px.Op {
+					case lang.AssignAdd:
+						step = lit.Value
+					case lang.AssignSub:
+						step = -lit.Value
+					}
+				}
+			}
+		}
+	}
+	if step == 0 {
+		return nil
+	}
+	return &ir.LoopInfo{IndVar: ind, Step: step, For: st}
+}
+
+func (lo *lowerer) lowerPragma(st *lang.PragmaStmt) error {
+	p := st.Pragma
+	lo.pos = st.Pos
+	switch p.Kind {
+	case lang.PragmaCarmotROI:
+		if lo.opts.IgnoreCarmotPragmas {
+			return lo.lowerStmt(st.Body)
+		}
+		if forStmt, ok := st.Body.(*lang.ForStmt); ok {
+			// A carmot roi on a for loop characterizes the loop body:
+			// each iteration is one dynamic invocation (Figure 1), and
+			// the loop is a candidate parallel region for Figure 6.
+			roi := lo.newROI(p.Name, ir.ROICarmot, p, st.Pos)
+			roi.Loop = detectLoopInfo(forStmt)
+			region := lo.newRegion(ir.RegionCandidate, p, st.Pos)
+			region.ROI = roi
+			region.Loop = roi.Loop
+			return lo.lowerFor(forStmt, roi, region)
+		}
+		roi := lo.newROI(p.Name, ir.ROICarmot, p, st.Pos)
+		// A block ROI inside a loop inherits the innermost enclosing
+		// loop's induction variable (Figure 1 places the pragma on the
+		// loop-body block).
+		for i := len(lo.loopInfos) - 1; i >= 0; i-- {
+			if lo.loopInfos[i] != nil {
+				roi.Loop = lo.loopInfos[i]
+				break
+			}
+		}
+		lo.emit(&ir.ROIBegin{ROI: roi})
+		lo.pushCleanup(cleanup{kind: cleanupROIEnd, roi: roi})
+		if err := lo.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		lo.popCleanup()
+		return nil
+	case lang.PragmaOmpParallelFor:
+		forStmt, _ := st.Body.(*lang.ForStmt)
+		region := lo.newRegion(ir.RegionFor, p, st.Pos)
+		region.Loop = detectLoopInfo(forStmt)
+		var roi *ir.ROI
+		if lo.opts.ProfileOmp {
+			roi = lo.newROI("omp.for@"+st.Pos.String(), ir.ROIOmpFor, p, st.Pos)
+			roi.Loop = region.Loop
+			region.ROI = roi
+		}
+		return lo.lowerFor(forStmt, roi, region)
+	case lang.PragmaOmpTask:
+		lo.emit(&ir.Mark{Kind: ir.MarkTaskBegin, Task: p})
+		lo.pushCleanup(cleanup{kind: cleanupTaskEnd})
+		var roiCleanup bool
+		if lo.opts.ProfileOmp {
+			roi := lo.newROI("omp.task@"+st.Pos.String(), ir.ROIOmpTask, p, st.Pos)
+			lo.emit(&ir.ROIBegin{ROI: roi})
+			lo.pushCleanup(cleanup{kind: cleanupROIEnd, roi: roi})
+			roiCleanup = true
+		}
+		if err := lo.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		if roiCleanup {
+			lo.popCleanup()
+		}
+		lo.popCleanup()
+		return nil
+	case lang.PragmaOmpCritical:
+		lo.emit(&ir.Mark{Kind: ir.MarkCriticalBegin})
+		lo.pushCleanup(cleanup{kind: cleanupCriticalEnd})
+		if err := lo.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		lo.popCleanup()
+		return nil
+	case lang.PragmaOmpOrdered:
+		lo.emit(&ir.Mark{Kind: ir.MarkOrderedBegin})
+		lo.pushCleanup(cleanup{kind: cleanupOrderedEnd})
+		if err := lo.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		lo.popCleanup()
+		return nil
+	case lang.PragmaOmpMaster:
+		lo.emit(&ir.Mark{Kind: ir.MarkMasterBegin})
+		lo.pushCleanup(cleanup{kind: cleanupMasterEnd})
+		if err := lo.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		lo.popCleanup()
+		return nil
+	case lang.PragmaOmpBarrier, lang.PragmaOmpTaskWait:
+		lo.emit(&ir.Mark{Kind: ir.MarkBarrier})
+		return nil
+	case lang.PragmaOmpParallelSections:
+		region := lo.newRegion(ir.RegionSections, p, st.Pos)
+		lo.emit(&ir.Mark{Kind: ir.MarkRegionBegin, Region: region})
+		blk := st.Body.(*lang.BlockStmt)
+		for _, sub := range blk.Stmts {
+			sec := sub.(*lang.PragmaStmt)
+			lo.pos = sec.Pos
+			lo.emit(&ir.Mark{Kind: ir.MarkSectionBegin, Region: region})
+			lo.pushCleanup(cleanup{kind: cleanupSectionEnd, region: region})
+			if err := lo.lowerStmt(sec.Body); err != nil {
+				return err
+			}
+			lo.popCleanup()
+		}
+		lo.emit(&ir.Mark{Kind: ir.MarkRegionEnd, Region: region})
+		return nil
+	case lang.PragmaOmpSection:
+		// Handled by the sections case; a stray section is just its body.
+		return lo.lowerStmt(st.Body)
+	case lang.PragmaStats:
+		if lo.opts.ProfileStats {
+			roi := lo.newROI("stats@"+st.Pos.String(), ir.ROIStats, p, st.Pos)
+			lo.emit(&ir.ROIBegin{ROI: roi})
+			lo.pushCleanup(cleanup{kind: cleanupROIEnd, roi: roi})
+			if err := lo.lowerStmt(st.Body); err != nil {
+				return err
+			}
+			lo.popCleanup()
+			return nil
+		}
+		return lo.lowerStmt(st.Body)
+	}
+	return lo.errf(st.Pos, "lower: unhandled pragma %s", p.Kind)
+}

@@ -1,0 +1,360 @@
+package lower_test
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/lower"
+)
+
+func compile(t *testing.T, src string, opts lower.Options) *ir.Program {
+	t.Helper()
+	f, err := lang.ParseAndCheck("t.mc", src)
+	if err != nil {
+		t.Fatalf("front end: %v", err)
+	}
+	prog, err := lower.Lower(f, opts)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return prog
+}
+
+func TestAllocasAtEntryHead(t *testing.T) {
+	prog := compile(t, `
+int f(int a, float b) {
+	int x = 1;
+	float y[4];
+	if (a) {
+		int z = 2;
+		return z;
+	}
+	return x + y[0] + b;
+}
+int main() { return f(1, 2.0); }
+`, lower.Options{})
+	fn := prog.FuncByName("f")
+	// Params a,b + locals x,y,z = 5 allocas, all at the head of entry.
+	if len(fn.Allocas) != 5 {
+		t.Fatalf("want 5 allocas, got %d", len(fn.Allocas))
+	}
+	entry := fn.Entry()
+	for i := 0; i < 5; i++ {
+		if _, ok := entry.Instrs[i].(*ir.Alloca); !ok {
+			t.Errorf("entry instr %d is %s, want alloca", i, entry.Instrs[i].Mnemonic())
+		}
+	}
+	// The array alloca spans 4 cells.
+	for _, a := range fn.Allocas {
+		if a.Sym != nil && a.Sym.Name == "y" && a.Cells != 4 {
+			t.Errorf("y cells = %d", a.Cells)
+		}
+	}
+}
+
+func TestSourceMapping(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int v = 3;
+	v = v + 1;
+	return v;
+}`, lower.Options{})
+	fn := prog.FuncByName("main")
+	found := false
+	fn.Instructions(func(in ir.Instr) bool {
+		base := ir.Base(in)
+		if st, ok := in.(*ir.Store); ok && st.Sym != nil && st.Sym.Name == "v" {
+			found = true
+			if !base.Pos.IsValid() {
+				t.Error("store to v lacks a source position")
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no direct store to v — source mapping lost")
+	}
+}
+
+func countInstrs[T ir.Instr](prog *ir.Program) int {
+	n := 0
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			if _, ok := in.(T); ok {
+				n++
+			}
+			return true
+		})
+	}
+	return n
+}
+
+func TestROIMarkersBalancedOnEarlyExits(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 8; i++) {
+		#pragma carmot roi body
+		{
+			s = s + i;
+			if (s > 5) { break; }
+			if (s == 2) { continue; }
+			if (s == 3) { return s; }
+			s = s + 1;
+		}
+	}
+	return s;
+}`, lower.Options{})
+	begins := countInstrs[*ir.ROIBegin](prog)
+	ends := countInstrs[*ir.ROIEnd](prog)
+	if begins != 1 {
+		t.Errorf("static ROI begins = %d, want 1", begins)
+	}
+	// Normal fallthrough + break + continue + return = 4 static ends.
+	if ends != 4 {
+		t.Errorf("static ROI ends = %d, want 4 (each early exit closes the invocation)", ends)
+	}
+}
+
+func TestPragmaOnForWrapsLoopBody(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int s = 0;
+	#pragma carmot roi loop
+	for (int i = 0; i < 4; i++) {
+		s += i;
+	}
+	return s;
+}`, lower.Options{})
+	if len(prog.ROIs) != 1 {
+		t.Fatalf("want 1 ROI, got %d", len(prog.ROIs))
+	}
+	roi := prog.ROIs[0]
+	if roi.Loop == nil || roi.Loop.IndVar.Name != "i" || roi.Loop.Step != 1 {
+		t.Errorf("loop info = %+v", roi.Loop)
+	}
+	if len(prog.Regions) != 1 || prog.Regions[0].Kind != ir.RegionCandidate {
+		t.Errorf("regions = %v", prog.Regions)
+	}
+}
+
+func TestOmpRegionsAndProfileOption(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	#pragma omp parallel for reduction(+: s)
+	for (int i = 0; i < 4; i++) {
+		s = s + i;
+	}
+	return s;
+}`
+	without := compile(t, src, lower.Options{})
+	if len(without.ROIs) != 0 {
+		t.Errorf("no ROI expected without ProfileOmp, got %d", len(without.ROIs))
+	}
+	if len(without.Regions) != 1 || without.Regions[0].Kind != ir.RegionFor {
+		t.Errorf("regions = %v", without.Regions)
+	}
+	with := compile(t, src, lower.Options{ProfileOmp: true})
+	if len(with.ROIs) != 1 || with.ROIs[0].Kind != ir.ROIOmpFor {
+		t.Errorf("ProfileOmp should create an omp-for ROI, got %v", with.ROIs)
+	}
+	if with.Regions[0].ROI != with.ROIs[0] {
+		t.Error("region not linked to its ROI")
+	}
+}
+
+func TestWholeProgramROI(t *testing.T) {
+	prog := compile(t, `
+int helper() { return 1; }
+int main() { return helper(); }
+`, lower.Options{WholeProgramROI: true})
+	if len(prog.ROIs) != 1 || prog.ROIs[0].Name != "main" {
+		t.Fatalf("ROIs = %v", prog.ROIs)
+	}
+	if countInstrs[*ir.ROIBegin](prog) != 1 || countInstrs[*ir.ROIEnd](prog) != 1 {
+		t.Error("whole-program ROI markers missing")
+	}
+}
+
+func TestIgnoreCarmotPragmas(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int s = 0;
+	#pragma carmot roi x
+	for (int i = 0; i < 3; i++) { s += i; }
+	return s;
+}`, lower.Options{IgnoreCarmotPragmas: true})
+	if len(prog.ROIs) != 0 {
+		t.Errorf("carmot pragmas should be ignored, got %d ROIs", len(prog.ROIs))
+	}
+}
+
+func TestMarksForSectionsAndTasks(t *testing.T) {
+	prog := compile(t, `
+int a;
+int b;
+int work(int x) { return x * 2; }
+int main() {
+	#pragma omp parallel sections
+	{
+		#pragma omp section
+		{
+			a = work(1);
+			#pragma omp barrier
+		}
+		#pragma omp section
+		{
+			b = work(2);
+			#pragma omp barrier
+		}
+	}
+	#pragma omp task depend(out: a)
+	{
+		a = a + 1;
+	}
+	#pragma omp taskwait
+	return a + b;
+}`, lower.Options{})
+	counts := map[ir.MarkKind]int{}
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			if m, ok := in.(*ir.Mark); ok {
+				counts[m.Kind]++
+			}
+			return true
+		})
+	}
+	if counts[ir.MarkRegionBegin] != 1 || counts[ir.MarkRegionEnd] != 1 {
+		t.Errorf("region marks = %v", counts)
+	}
+	if counts[ir.MarkSectionBegin] != 2 || counts[ir.MarkSectionEnd] != 2 {
+		t.Errorf("section marks = %v", counts)
+	}
+	if counts[ir.MarkTaskBegin] != 1 || counts[ir.MarkTaskEnd] != 1 {
+		t.Errorf("task marks = %v", counts)
+	}
+	if counts[ir.MarkBarrier] != 3 {
+		t.Errorf("barrier marks = %d, want 3 (2 barriers + taskwait)", counts[ir.MarkBarrier])
+	}
+	// Section end marks must carry their region (the simulator matches
+	// on it).
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			if m, ok := in.(*ir.Mark); ok && m.Kind == ir.MarkSectionEnd && m.Region == nil {
+				t.Error("section end mark lost its region")
+			}
+			return true
+		})
+	}
+}
+
+func TestPtrStoreFlag(t *testing.T) {
+	prog := compile(t, `
+struct node_t { struct node_t* next; int v; };
+int main() {
+	struct node_t* n = malloc(1);
+	n->next = n;
+	n->v = 5;
+	return n->v;
+}`, lower.Options{})
+	ptrStores, plainStores := 0, 0
+	prog.FuncByName("main").Instructions(func(in ir.Instr) bool {
+		if st, ok := in.(*ir.Store); ok {
+			if st.PtrStore {
+				ptrStores++
+			} else {
+				plainStores++
+			}
+		}
+		return true
+	})
+	// n = malloc (ptr), n->next = n (ptr); n->v = 5 is plain.
+	if ptrStores != 2 {
+		t.Errorf("ptr stores = %d, want 2", ptrStores)
+	}
+	if plainStores == 0 {
+		t.Error("plain stores missing")
+	}
+}
+
+func TestGlobalInitConstFolding(t *testing.T) {
+	prog := compile(t, `
+int a = 5;
+float b = -2.5;
+int c = sizeof(float);
+int main() { return a; }
+`, lower.Options{})
+	if prog.Globals[0].Init == nil || prog.Globals[0].Init.Int != 5 {
+		t.Errorf("a init = %v", prog.Globals[0].Init)
+	}
+	if prog.Globals[1].Init == nil || prog.Globals[1].Init.Float != -2.5 {
+		t.Errorf("b init = %v", prog.Globals[1].Init)
+	}
+	if prog.Globals[2].Init == nil || prog.Globals[2].Init.Int != 1 {
+		t.Errorf("c init = %v", prog.Globals[2].Init)
+	}
+}
+
+func TestGlobalInitMustBeConstant(t *testing.T) {
+	f, err := lang.ParseAndCheck("t.mc", `
+int g = 1;
+int h = g + 1;
+int main() { return h; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lower.Lower(f, lower.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "constant") {
+		t.Errorf("non-constant global init should fail, got %v", err)
+	}
+}
+
+func TestMallocHints(t *testing.T) {
+	prog := compile(t, `
+struct s_t { int x; };
+int* gp;
+int main() {
+	int* local = malloc(4);
+	gp = malloc(2);
+	struct s_t* anon = malloc(1);
+	return local[0];
+}`, lower.Options{})
+	var hints []string
+	var types []string
+	prog.FuncByName("main").Instructions(func(in ir.Instr) bool {
+		if m, ok := in.(*ir.Malloc); ok {
+			hints = append(hints, m.Hint)
+			types = append(types, m.TypeName)
+		}
+		return true
+	})
+	if len(hints) != 3 || hints[0] != "local" || hints[1] != "gp" || hints[2] != "anon" {
+		t.Errorf("hints = %v", hints)
+	}
+	if types[2] != "struct s_t" {
+		t.Errorf("type names = %v", types)
+	}
+}
+
+func TestIRPrinterRoundTrip(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int s = 0;
+	#pragma carmot roi r
+	for (int i = 0; i < 2; i++) { s += i; }
+	return s;
+}`, lower.Options{})
+	text := prog.FuncByName("main").String()
+	for _, want := range []string{"func main", "alloca", "roi.begin", "roi.end", "mark.region.begin", "condbr", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed IR missing %q:\n%s", want, text)
+		}
+	}
+}

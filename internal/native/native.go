@@ -1,0 +1,152 @@
+// Package native implements the "precompiled" functions MiniC programs
+// declare with extern. In the paper these are the binary-only libraries
+// whose PSE activity the compiler cannot see and the Pintool must trace
+// (§4.5). Implementations operate directly on interpreter memory through
+// the Env interface; when a call site is Pin-gated and executes inside an
+// ROI, the interpreter hands the implementation a tracing Env so every
+// cell access is reported to the runtime at binary-instrumentation cost.
+package native
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env is the execution environment a native function runs against. Cell
+// values are raw 64-bit words; floats are IEEE-754 bit patterns.
+type Env interface {
+	LoadCell(addr uint64) uint64
+	StoreCell(addr uint64, val uint64)
+	// Print receives program output (print_* functions).
+	Print(s string)
+	// RandState returns the program's deterministic PRNG state.
+	RandState() *uint64
+}
+
+// Spec describes one native function.
+type Spec struct {
+	Name string
+	// AccessesMemory is true when the implementation dereferences pointer
+	// arguments; such calls need Pin tracing inside ROIs.
+	AccessesMemory bool
+	// ArgCount is the expected argument count (-1 for unchecked).
+	ArgCount int
+	Impl     func(env Env, args []uint64) uint64
+	// Cost is the simulated cycle cost per call (plus per-cell work for
+	// memory functions), used by the multicore cost model.
+	Cost int64
+}
+
+var registry = map[string]*Spec{}
+
+// Lookup returns the named spec, or nil.
+func Lookup(name string) *Spec { return registry[name] }
+
+// Names returns all registered native function names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+func register(s *Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("native: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+func f2b(f float64) uint64 { return math.Float64bits(f) }
+func b2f(b uint64) float64 { return math.Float64frombits(b) }
+
+// lcg advances a 64-bit linear congruential generator (MMIX constants);
+// deterministic so profile runs are reproducible.
+func lcg(state *uint64) uint64 {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return *state
+}
+
+func init() {
+	register(&Spec{Name: "print_int", ArgCount: 1, Cost: 20,
+		Impl: func(env Env, a []uint64) uint64 {
+			env.Print(fmt.Sprintf("%d\n", int64(a[0])))
+			return 0
+		}})
+	register(&Spec{Name: "print_float", ArgCount: 1, Cost: 20,
+		Impl: func(env Env, a []uint64) uint64 {
+			env.Print(fmt.Sprintf("%g\n", b2f(a[0])))
+			return 0
+		}})
+	register(&Spec{Name: "sqrt", ArgCount: 1, Cost: 8,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Sqrt(b2f(a[0]))) }})
+	register(&Spec{Name: "exp", ArgCount: 1, Cost: 12,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Exp(b2f(a[0]))) }})
+	register(&Spec{Name: "log", ArgCount: 1, Cost: 12,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Log(b2f(a[0]))) }})
+	register(&Spec{Name: "pow", ArgCount: 2, Cost: 16,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Pow(b2f(a[0]), b2f(a[1]))) }})
+	register(&Spec{Name: "sin", ArgCount: 1, Cost: 12,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Sin(b2f(a[0]))) }})
+	register(&Spec{Name: "cos", ArgCount: 1, Cost: 12,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Cos(b2f(a[0]))) }})
+	register(&Spec{Name: "fabs", ArgCount: 1, Cost: 4,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Abs(b2f(a[0]))) }})
+	register(&Spec{Name: "floor", ArgCount: 1, Cost: 4,
+		Impl: func(env Env, a []uint64) uint64 { return f2b(math.Floor(b2f(a[0]))) }})
+	register(&Spec{Name: "rand_seed", ArgCount: 1, Cost: 4,
+		Impl: func(env Env, a []uint64) uint64 {
+			*env.RandState() = a[0]
+			return 0
+		}})
+	register(&Spec{Name: "rand_int", ArgCount: 1, Cost: 6,
+		Impl: func(env Env, a []uint64) uint64 {
+			r := lcg(env.RandState()) >> 11
+			if a[0] == 0 {
+				return r
+			}
+			return r % a[0]
+		}})
+	register(&Spec{Name: "rand_float", ArgCount: 0, Cost: 6,
+		Impl: func(env Env, a []uint64) uint64 {
+			r := lcg(env.RandState()) >> 11
+			return f2b(float64(r) / float64(1<<53))
+		}})
+
+	// Memory functions: the precompiled code Pin exists for.
+	register(&Spec{Name: "memcpy_cells", ArgCount: 3, AccessesMemory: true, Cost: 10,
+		Impl: func(env Env, a []uint64) uint64 {
+			dst, src, n := a[0], a[1], int64(a[2])
+			for i := int64(0); i < n; i++ {
+				env.StoreCell(dst+uint64(i), env.LoadCell(src+uint64(i)))
+			}
+			return dst
+		}})
+	register(&Spec{Name: "memset_cells", ArgCount: 3, AccessesMemory: true, Cost: 10,
+		Impl: func(env Env, a []uint64) uint64 {
+			dst, val, n := a[0], a[1], int64(a[2])
+			for i := int64(0); i < n; i++ {
+				env.StoreCell(dst+uint64(i), val)
+			}
+			return dst
+		}})
+	register(&Spec{Name: "sum_cells", ArgCount: 2, AccessesMemory: true, Cost: 10,
+		Impl: func(env Env, a []uint64) uint64 {
+			src, n := a[0], int64(a[1])
+			var sum int64
+			for i := int64(0); i < n; i++ {
+				sum += int64(env.LoadCell(src + uint64(i)))
+			}
+			return uint64(sum)
+		}})
+	register(&Spec{Name: "fsum_cells", ArgCount: 2, AccessesMemory: true, Cost: 10,
+		Impl: func(env Env, a []uint64) uint64 {
+			src, n := a[0], int64(a[1])
+			var sum float64
+			for i := int64(0); i < n; i++ {
+				sum += b2f(env.LoadCell(src + uint64(i)))
+			}
+			return f2b(sum)
+		}})
+}

@@ -1,0 +1,130 @@
+package native
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fakeEnv is a minimal in-memory environment for exercising natives.
+type fakeEnv struct {
+	mem  map[uint64]uint64
+	out  strings.Builder
+	rand uint64
+}
+
+func newFakeEnv() *fakeEnv { return &fakeEnv{mem: map[uint64]uint64{}, rand: 42} }
+
+func (f *fakeEnv) LoadCell(addr uint64) uint64       { return f.mem[addr] }
+func (f *fakeEnv) StoreCell(addr uint64, val uint64) { f.mem[addr] = val }
+func (f *fakeEnv) Print(s string)                    { f.out.WriteString(s) }
+func (f *fakeEnv) RandState() *uint64                { return &f.rand }
+
+func TestRegistryCompleteness(t *testing.T) {
+	for _, name := range []string{
+		"print_int", "print_float", "sqrt", "exp", "log", "pow", "sin",
+		"cos", "fabs", "floor", "rand_seed", "rand_int", "rand_float",
+		"memcpy_cells", "memset_cells", "sum_cells", "fsum_cells",
+	} {
+		spec := Lookup(name)
+		if spec == nil {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if spec.Impl == nil || spec.Cost <= 0 {
+			t.Errorf("%s has incomplete spec", name)
+		}
+	}
+	if Lookup("no_such_fn") != nil {
+		t.Error("unknown names must return nil")
+	}
+	if len(Names()) < 17 {
+		t.Errorf("registry has %d entries", len(Names()))
+	}
+}
+
+func TestMemoryFlagsMatchBehavior(t *testing.T) {
+	memoryFns := map[string]bool{
+		"memcpy_cells": true, "memset_cells": true, "sum_cells": true, "fsum_cells": true,
+	}
+	for _, name := range Names() {
+		if spec := Lookup(name); spec.AccessesMemory != memoryFns[name] {
+			t.Errorf("%s AccessesMemory = %v", name, spec.AccessesMemory)
+		}
+	}
+}
+
+func TestMathNatives(t *testing.T) {
+	env := newFakeEnv()
+	call := func(name string, args ...uint64) uint64 {
+		return Lookup(name).Impl(env, args)
+	}
+	f := math.Float64bits
+	if got := call("sqrt", f(16)); math.Float64frombits(got) != 4 {
+		t.Errorf("sqrt(16) = %v", math.Float64frombits(got))
+	}
+	if got := call("pow", f(2), f(10)); math.Float64frombits(got) != 1024 {
+		t.Errorf("pow(2,10) = %v", math.Float64frombits(got))
+	}
+	if got := call("fabs", f(-3.5)); math.Float64frombits(got) != 3.5 {
+		t.Errorf("fabs(-3.5) = %v", math.Float64frombits(got))
+	}
+	if got := call("floor", f(2.9)); math.Float64frombits(got) != 2 {
+		t.Errorf("floor(2.9) = %v", math.Float64frombits(got))
+	}
+}
+
+func TestMemoryNatives(t *testing.T) {
+	env := newFakeEnv()
+	for i := uint64(0); i < 4; i++ {
+		env.mem[100+i] = i + 1
+	}
+	Lookup("memcpy_cells").Impl(env, []uint64{200, 100, 4})
+	for i := uint64(0); i < 4; i++ {
+		if env.mem[200+i] != i+1 {
+			t.Errorf("memcpy cell %d = %d", i, env.mem[200+i])
+		}
+	}
+	Lookup("memset_cells").Impl(env, []uint64{300, 9, 3})
+	if env.mem[300] != 9 || env.mem[302] != 9 || env.mem[303] != 0 {
+		t.Error("memset wrong extent")
+	}
+	if got := Lookup("sum_cells").Impl(env, []uint64{100, 4}); got != 10 {
+		t.Errorf("sum_cells = %d", got)
+	}
+	env.mem[400] = math.Float64bits(1.5)
+	env.mem[401] = math.Float64bits(2.5)
+	if got := Lookup("fsum_cells").Impl(env, []uint64{400, 2}); math.Float64frombits(got) != 4 {
+		t.Errorf("fsum_cells = %v", math.Float64frombits(got))
+	}
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := newFakeEnv(), newFakeEnv()
+	Lookup("rand_seed").Impl(a, []uint64{7})
+	Lookup("rand_seed").Impl(b, []uint64{7})
+	for i := 0; i < 20; i++ {
+		x := Lookup("rand_int").Impl(a, []uint64{1000})
+		y := Lookup("rand_int").Impl(b, []uint64{1000})
+		if x != y {
+			t.Fatalf("draw %d differs: %d vs %d", i, x, y)
+		}
+		if x >= 1000 {
+			t.Fatalf("rand_int out of bound: %d", x)
+		}
+	}
+	v := Lookup("rand_float").Impl(a, nil)
+	fv := math.Float64frombits(v)
+	if fv < 0 || fv >= 1 {
+		t.Errorf("rand_float = %v, want [0,1)", fv)
+	}
+}
+
+func TestPrintNatives(t *testing.T) {
+	env := newFakeEnv()
+	Lookup("print_int").Impl(env, []uint64{uint64(^uint64(0))}) // -1
+	Lookup("print_float").Impl(env, []uint64{math.Float64bits(2.5)})
+	if got := env.out.String(); got != "-1\n2.5\n" {
+		t.Errorf("output = %q", got)
+	}
+}

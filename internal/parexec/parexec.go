@@ -1,0 +1,485 @@
+// Package parexec simulates multicore execution of MiniC programs. The
+// host this reproduction targets has a single CPU, so Figure 6's
+// wall-clock speedups cannot materialize directly; instead the program
+// runs serially under the interpreter (which preserves exact semantics)
+// while a scheduler model computes the parallel makespan over N simulated
+// threads from the interpreter's cycle counts:
+//
+//   - parallel-for regions: static chunking over iteration costs, bounded
+//     below by the total time spent in critical/ordered sections (which
+//     serialize) and the longest single iteration;
+//   - parallel sections: per-section costs split into phases at barriers,
+//     makespan = Σ_phase max_section (the SPMD pattern ep/nab use);
+//   - omp tasks: list scheduling honoring depend(in/out) conflicts.
+//
+// Two plans replay the same program: the original parallelism (the
+// benchmark's own pragmas / pthread-style sections) and the
+// CARMOT-induced parallelism (the loops CARMOT recommends, with the
+// recommended critical statements serialized). Comparing their simulated
+// times against the serial run reproduces the shape of Figure 6.
+package parexec
+
+import (
+	"sort"
+	"strings"
+
+	"carmot/internal/interp"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/recommend"
+)
+
+// Costs of the simulated OpenMP machinery, in interpreter cycles.
+const (
+	forkJoinCost  = 4000
+	taskSpawnCost = 200
+)
+
+// Plan says which regions execute in parallel during a simulation.
+type Plan struct {
+	// Parallel marks the regions the plan parallelizes.
+	Parallel map[*ir.ParRegion]bool
+	// SerialLines are "file:line" prefixes whose instructions must be
+	// accounted as serialized (CARMOT-recommended critical statements).
+	SerialLines []string
+	Threads     int
+}
+
+// OriginalPlan parallelizes every region expressed by the program's own
+// omp pragmas (parallel for, parallel sections); carmot-roi candidate
+// loops stay serial unless they carry an omp pragma themselves.
+func OriginalPlan(prog *ir.Program, threads int) *Plan {
+	p := &Plan{Parallel: map[*ir.ParRegion]bool{}, Threads: threads}
+	for _, r := range prog.Regions {
+		if r.Kind == ir.RegionFor || r.Kind == ir.RegionSections {
+			p.Parallel[r] = true
+		}
+	}
+	return p
+}
+
+// CarmotPlan parallelizes the loops CARMOT recommends: every candidate or
+// omp-for region whose ROI has a parallel-for recommendation. The
+// recommendation's critical statements become the serialized set.
+// Sections-based parallelism is an abstraction CARMOT does not generate
+// (§5.1: the ep/nab limitation), so those regions run serially.
+func CarmotPlan(prog *ir.Program, threads int, recs map[*ir.ROI]*recommend.ParallelFor) *Plan {
+	p := &Plan{Parallel: map[*ir.ParRegion]bool{}, Threads: threads}
+	for _, r := range prog.Regions {
+		if r.ROI == nil {
+			continue
+		}
+		rec, ok := recs[r.ROI]
+		if !ok || !rec.Parallel {
+			continue
+		}
+		p.Parallel[r] = true
+		for _, crit := range rec.Criticals {
+			for _, st := range crit.Statements {
+				p.SerialLines = append(p.SerialLines, lineOf(st.Pos))
+			}
+		}
+	}
+	sort.Strings(p.SerialLines)
+	return p
+}
+
+// lineOf trims the column from "file:line:col".
+func lineOf(pos string) string {
+	if i := strings.LastIndex(pos, ":"); i >= 0 {
+		return pos[:i]
+	}
+	return pos
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	// SerialCycles is the plain serial execution time of the run.
+	SerialCycles int64
+	// SimCycles is the modeled multicore execution time.
+	SimCycles int64
+	// Run is the interpreter summary.
+	Run *interp.Result
+}
+
+// Speedup returns serial time over simulated parallel time.
+func (r *Result) Speedup() float64 {
+	if r.SimCycles <= 0 {
+		return 1
+	}
+	return float64(r.SerialCycles) / float64(r.SimCycles)
+}
+
+// Simulate executes the program serially and computes the plan's
+// simulated multicore time.
+func Simulate(prog *ir.Program, plan *Plan, opts interp.Options) (*Result, error) {
+	if plan.Threads <= 0 {
+		plan.Threads = 24
+	}
+	markSerialLines(prog, plan.SerialLines)
+	defer clearSerialMarks(prog)
+
+	sink := newSink(plan)
+	opts.Sink = sink
+	it := interp.New(prog, opts)
+	run, err := it.Run()
+	if err != nil {
+		return nil, err
+	}
+	sim := sink.finish(run.Cycles)
+	return &Result{SerialCycles: run.Cycles, SimCycles: sim, Run: run}, nil
+}
+
+func markSerialLines(prog *ir.Program, lines []string) {
+	if len(lines) == 0 {
+		return
+	}
+	set := map[string]bool{}
+	for _, l := range lines {
+		set[l] = true
+	}
+	forEachInstr(prog, func(in ir.Instr) {
+		base := ir.Base(in)
+		if base.Pos.IsValid() && set[lineOf(base.Pos.String())] {
+			base.Serial = true
+		}
+	})
+}
+
+func clearSerialMarks(prog *ir.Program) {
+	forEachInstr(prog, func(in ir.Instr) { ir.Base(in).Serial = false })
+}
+
+func forEachInstr(prog *ir.Program, f func(ir.Instr)) {
+	for _, fn := range prog.Funcs {
+		fn.Instructions(func(in ir.Instr) bool {
+			f(in)
+			return true
+		})
+	}
+}
+
+// task is one spawned omp task.
+type task struct {
+	cost      int64
+	dependIn  []string
+	dependOut []string
+}
+
+// sink consumes the interpreter's timeline and accumulates simulated
+// time. It implements interp.TimelineSink.
+type sink struct {
+	plan *Plan
+
+	simTime    int64 // simulated time accumulated so far
+	lastSerial int64 // cycle count at the last accounting boundary
+
+	// Parallel-for state (one active region at a time; regions whose
+	// plan is serial are passed through).
+	region       *ir.ParRegion
+	regionStack  []*ir.ParRegion
+	iterStart    int64
+	iterSerStart int64
+	critStart    int64
+	critDepth    int
+	iterCrit     int64
+	iters        []int64
+	iterSerial   []int64
+	regionSerial int64 // in-region cycles outside iterations
+
+	// Sections state.
+	inSection  bool
+	secPhases  [][]int64
+	curSec     []int64
+	segStart   int64
+	sectionGap int64
+
+	// Task state (top-level task pool).
+	tasks     []task
+	inTask    bool
+	taskStart int64
+}
+
+func newSink(plan *Plan) *sink { return &sink{plan: plan} }
+
+// account moves serial time forward to the given cycle count.
+func (s *sink) account(cycles int64) {
+	if cycles > s.lastSerial {
+		s.simTime += cycles - s.lastSerial
+		s.lastSerial = cycles
+	}
+}
+
+// skip advances the boundary without accounting (cycles spent inside a
+// parallel construct are accounted by its makespan instead).
+func (s *sink) skip(cycles int64) {
+	if cycles > s.lastSerial {
+		s.lastSerial = cycles
+	}
+}
+
+// ROIBoundary is part of interp.TimelineSink; ROI events carry no
+// scheduling information (region marks delimit parallel constructs).
+func (s *sink) ROIBoundary(begin bool, roi *ir.ROI, cycles, serialCycles int64) {}
+
+// Mark consumes one timeline marker.
+func (s *sink) Mark(kind ir.MarkKind, region *ir.ParRegion, taskPrag *lang.Pragma, cycles, serialCycles int64) {
+	switch kind {
+	case ir.MarkRegionBegin:
+		if s.region != nil || region == nil || !s.plan.Parallel[region] {
+			// Nested or serial region: pass through.
+			s.regionStack = append(s.regionStack, nil)
+			return
+		}
+		s.account(cycles)
+		s.regionStack = append(s.regionStack, region)
+		s.region = region
+		s.iters = s.iters[:0]
+		s.iterSerial = s.iterSerial[:0]
+		s.regionSerial = 0
+		s.secPhases = nil
+		s.inSection = false
+		s.sectionGap = 0
+		s.segStart = cycles
+
+	case ir.MarkRegionEnd:
+		if len(s.regionStack) == 0 {
+			return
+		}
+		top := s.regionStack[len(s.regionStack)-1]
+		s.regionStack = s.regionStack[:len(s.regionStack)-1]
+		if top == nil || top != s.region {
+			return
+		}
+		s.skip(cycles)
+		if s.region.Kind == ir.RegionSections {
+			s.simTime += s.sectionsMakespan()
+		} else {
+			s.simTime += s.forMakespan()
+		}
+		s.region = nil
+
+	case ir.MarkIterBegin:
+		if s.region == nil || region != s.region {
+			return
+		}
+		s.skip(cycles)
+		s.iterStart = cycles
+		s.iterSerStart = serialCycles
+		s.iterCrit = 0
+
+	case ir.MarkIterEnd:
+		if s.region == nil || region != s.region {
+			return
+		}
+		s.skip(cycles)
+		s.iters = append(s.iters, cycles-s.iterStart)
+		ser := (serialCycles - s.iterSerStart) + s.iterCrit
+		if ser > cycles-s.iterStart {
+			ser = cycles - s.iterStart
+		}
+		s.iterSerial = append(s.iterSerial, ser)
+
+	case ir.MarkCriticalBegin, ir.MarkOrderedBegin:
+		if s.critDepth == 0 {
+			s.critStart = cycles
+		}
+		s.critDepth++
+
+	case ir.MarkCriticalEnd, ir.MarkOrderedEnd:
+		s.critDepth--
+		if s.critDepth == 0 && s.region != nil {
+			s.iterCrit += cycles - s.critStart
+		}
+
+	case ir.MarkSectionBegin:
+		if s.region == nil || region != s.region {
+			return
+		}
+		s.skip(cycles)
+		s.sectionGap += cycles - s.segStart
+		s.inSection = true
+		s.curSec = nil
+		s.segStart = cycles
+
+	case ir.MarkSectionEnd:
+		if s.region == nil || region != s.region || !s.inSection {
+			return
+		}
+		s.skip(cycles)
+		s.curSec = append(s.curSec, cycles-s.segStart)
+		s.secPhases = append(s.secPhases, s.curSec)
+		s.inSection = false
+		s.segStart = cycles
+
+	case ir.MarkBarrier:
+		if s.inSection {
+			// Phase boundary within a section.
+			s.curSec = append(s.curSec, cycles-s.segStart)
+			s.segStart = cycles
+			return
+		}
+		// Top-level taskwait: schedule the pending task pool.
+		s.account(cycles)
+		s.flushTasks()
+
+	case ir.MarkTaskBegin:
+		if s.inTask {
+			return
+		}
+		s.account(cycles)
+		s.inTask = true
+		s.taskStart = cycles
+		t := task{}
+		if taskPrag != nil {
+			t.dependIn = taskPrag.DependIn
+			t.dependOut = taskPrag.DependOut
+		}
+		s.tasks = append(s.tasks, t)
+
+	case ir.MarkTaskEnd:
+		if !s.inTask {
+			return
+		}
+		s.skip(cycles)
+		s.inTask = false
+		s.tasks[len(s.tasks)-1].cost = cycles - s.taskStart
+		s.simTime += taskSpawnCost
+
+	case ir.MarkMasterBegin, ir.MarkMasterEnd:
+		// Master blocks are modeled as ordinary code of their section.
+	}
+}
+
+// forMakespan models a parallel-for execution: static chunking over the
+// recorded iteration costs, bounded below by the serialized cycles (the
+// critical/ordered content must execute one-at-a-time) and by the longest
+// iteration.
+func (s *sink) forMakespan() int64 {
+	n := len(s.iters)
+	if n == 0 {
+		return forkJoinCost
+	}
+	t := s.plan.Threads
+	chunk := (n + t - 1) / t
+	var maxChunk, totalSerial, maxIter int64
+	for i := 0; i < n; i += chunk {
+		var sum int64
+		for j := i; j < n && j < i+chunk; j++ {
+			sum += s.iters[j]
+		}
+		if sum > maxChunk {
+			maxChunk = sum
+		}
+	}
+	for i, c := range s.iters {
+		totalSerial += s.iterSerial[i]
+		if c > maxIter {
+			maxIter = c
+		}
+	}
+	m := maxChunk
+	if totalSerial > m {
+		m = totalSerial
+	}
+	if maxIter > m {
+		m = maxIter
+	}
+	m += forkJoinCost
+	// A programmer applies a parallel-for only when profitable; when the
+	// serialized content (critical/ordered) or the fork/join overhead
+	// erases the gain, the loop stays serial.
+	var serialSum int64
+	for _, c := range s.iters {
+		serialSum += c
+	}
+	if m >= serialSum {
+		return serialSum
+	}
+	return m
+}
+
+// sectionsMakespan models SPMD sections: phases delimited by barriers,
+// each phase as slow as its slowest section.
+func (s *sink) sectionsMakespan() int64 {
+	var phases int
+	for _, sec := range s.secPhases {
+		if len(sec) > phases {
+			phases = len(sec)
+		}
+	}
+	var m int64
+	for p := 0; p < phases; p++ {
+		var worst int64
+		for _, sec := range s.secPhases {
+			if p < len(sec) && sec[p] > worst {
+				worst = sec[p]
+			}
+		}
+		m += worst
+	}
+	// Section spawn gaps execute serially on the master.
+	return m + s.sectionGap + forkJoinCost
+}
+
+// flushTasks list-schedules the pending task pool over the simulated
+// threads, honoring depend(in/out) conflicts, and charges the makespan.
+func (s *sink) flushTasks() {
+	if len(s.tasks) == 0 {
+		return
+	}
+	t := s.plan.Threads
+	threadFree := make([]int64, t)
+	done := make([]int64, len(s.tasks))
+	for i, tk := range s.tasks {
+		ready := int64(0)
+		for j := 0; j < i; j++ {
+			if conflicts(s.tasks[j], tk) && done[j] > ready {
+				ready = done[j]
+			}
+		}
+		// Earliest-available thread.
+		best := 0
+		for k := 1; k < t; k++ {
+			if threadFree[k] < threadFree[best] {
+				best = k
+			}
+		}
+		start := threadFree[best]
+		if ready > start {
+			start = ready
+		}
+		done[i] = start + tk.cost
+		threadFree[best] = done[i]
+	}
+	var makespan int64
+	for _, d := range done {
+		if d > makespan {
+			makespan = d
+		}
+	}
+	s.simTime += makespan + forkJoinCost
+	s.tasks = s.tasks[:0]
+}
+
+func conflicts(a, b task) bool {
+	inter := func(x, y []string) bool {
+		for _, u := range x {
+			for _, v := range y {
+				if u == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return inter(a.dependOut, b.dependIn) || inter(a.dependOut, b.dependOut) || inter(a.dependIn, b.dependOut)
+}
+
+// finish accounts the trailing serial time and returns the simulated
+// total.
+func (s *sink) finish(totalCycles int64) int64 {
+	s.account(totalCycles)
+	s.flushTasks()
+	return s.simTime
+}

@@ -1,0 +1,286 @@
+package parexec_test
+
+import (
+	"testing"
+
+	"carmot/internal/instrument"
+	"carmot/internal/interp"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/lower"
+	"carmot/internal/parexec"
+	"carmot/internal/recommend"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := lang.ParseAndCheck("t.mc", src)
+	if err != nil {
+		t.Fatalf("front end: %v", err)
+	}
+	prog, err := lower.Lower(f, lower.Options{ProfileOmp: true})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if _, err := instrument.Apply(prog, instrument.Options{}); err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	return prog
+}
+
+func simulate(t *testing.T, prog *ir.Program, plan *parexec.Plan) *parexec.Result {
+	t.Helper()
+	res, err := parexec.Simulate(prog, plan, interp.Options{MaxSteps: 100_000_000})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return res
+}
+
+const balancedLoop = `
+float* a;
+int N = 2000;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	float t;
+	#pragma omp parallel for private(t)
+	for (int i = 0; i < N; i++) {
+		t = a[i];
+		for (int r = 0; r < 40; r++) { t = t * 0.99 + 1.0; }
+		a[i] = t;
+	}
+	return a[7];
+}`
+
+func TestParallelForSpeedupScalesWithThreads(t *testing.T) {
+	prog := compile(t, balancedLoop)
+	s4 := simulate(t, prog, parexec.OriginalPlan(prog, 4))
+	s16 := simulate(t, prog, parexec.OriginalPlan(prog, 16))
+	if s4.Speedup() < 2.5 || s4.Speedup() > 4.2 {
+		t.Errorf("4 threads: speedup %.2f, want ~4", s4.Speedup())
+	}
+	if s16.Speedup() <= s4.Speedup() {
+		t.Errorf("16 threads (%.2f) should beat 4 threads (%.2f)", s16.Speedup(), s4.Speedup())
+	}
+	if s4.SerialCycles != s16.SerialCycles {
+		t.Error("serial time must not depend on the plan")
+	}
+}
+
+func TestSerialPlanHasNoSpeedup(t *testing.T) {
+	prog := compile(t, balancedLoop)
+	res := simulate(t, prog, &parexec.Plan{Threads: 8})
+	if res.Speedup() > 1.01 || res.Speedup() < 0.99 {
+		t.Errorf("empty plan speedup = %.3f, want 1.0", res.Speedup())
+	}
+}
+
+func TestCriticalSectionBoundsSpeedup(t *testing.T) {
+	prog := compile(t, `
+float* a;
+int N = 1200;
+float acc = 0.0;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	float t;
+	#pragma omp parallel for private(t)
+	for (int i = 0; i < N; i++) {
+		t = a[i];
+		for (int r = 0; r < 10; r++) { t = t * 0.99 + 1.0; }
+		#pragma omp critical
+		{
+			acc = (acc + t) / 2.0;
+		}
+	}
+	return acc;
+}`)
+	free := simulate(t, prog, parexec.OriginalPlan(prog, 16))
+	// The critical body is a visible fraction of the iteration; speedup
+	// must stay clearly below the thread count.
+	if free.Speedup() > 12 {
+		t.Errorf("critical-bound loop sped up %.2fx on 16 threads", free.Speedup())
+	}
+	if free.Speedup() < 1.0 {
+		t.Errorf("speedup %.2f below serial", free.Speedup())
+	}
+}
+
+func TestSectionsWithBarrierPhases(t *testing.T) {
+	prog := compile(t, `
+int a;
+int b;
+int work(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s = s + i % 7; }
+	return s;
+}
+int main() {
+	#pragma omp parallel sections
+	{
+		#pragma omp section
+		{
+			a = work(20000);
+			#pragma omp barrier
+			#pragma omp master
+			{
+				a = a + b;
+			}
+		}
+		#pragma omp section
+		{
+			b = work(20000);
+			#pragma omp barrier
+		}
+	}
+	return a;
+}`)
+	res := simulate(t, prog, parexec.OriginalPlan(prog, 8))
+	// Two equal sections: speedup ≈ 2 regardless of thread count.
+	if res.Speedup() < 1.6 || res.Speedup() > 2.2 {
+		t.Errorf("two-section SPMD speedup = %.2f, want ~2", res.Speedup())
+	}
+}
+
+func TestTaskDAGScheduling(t *testing.T) {
+	prog := compile(t, `
+int q0;
+int q1;
+int q2;
+int r;
+int work(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s = s + i % 5; }
+	return s;
+}
+int main() {
+	#pragma omp task depend(out: q0)
+	{
+		q0 = work(30000);
+	}
+	#pragma omp task depend(out: q1)
+	{
+		q1 = work(30000);
+	}
+	#pragma omp task depend(out: q2)
+	{
+		q2 = work(30000);
+	}
+	#pragma omp task depend(in: q0, q1, q2) depend(out: r)
+	{
+		r = q0 + q1 + q2;
+	}
+	#pragma omp taskwait
+	return r;
+}`)
+	res := simulate(t, prog, parexec.OriginalPlan(prog, 8))
+	// Three independent tasks run concurrently; the reducer waits.
+	if res.Speedup() < 2.0 || res.Speedup() > 3.5 {
+		t.Errorf("task DAG speedup = %.2f, want ~3", res.Speedup())
+	}
+}
+
+func TestTaskDependenceSerializes(t *testing.T) {
+	prog := compile(t, `
+int q0;
+int work(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s = s + i % 5; }
+	return s;
+}
+int main() {
+	#pragma omp task depend(out: q0)
+	{
+		q0 = work(30000);
+	}
+	#pragma omp task depend(in: q0) depend(out: q0)
+	{
+		q0 = q0 + work(30000);
+	}
+	#pragma omp taskwait
+	return q0;
+}`)
+	res := simulate(t, prog, parexec.OriginalPlan(prog, 8))
+	if res.Speedup() > 1.1 {
+		t.Errorf("chained tasks must serialize, got %.2fx", res.Speedup())
+	}
+}
+
+func TestCarmotPlanSerializesCriticalLines(t *testing.T) {
+	prog := compile(t, `
+float* a;
+int N = 1500;
+float carry = 0.0;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	float t;
+	#pragma carmot roi chain
+	for (int i = 0; i < N; i++) {
+		t = a[i];
+		for (int r = 0; r < 12; r++) { t = t * 0.98 + 0.5; }
+		carry = (carry + t) / 2.0;
+	}
+	return carry;
+}`)
+	var roi *ir.ROI
+	for _, r := range prog.ROIs {
+		roi = r
+	}
+	if roi == nil {
+		t.Fatal("no ROI")
+	}
+	// A recommendation whose critical covers the carry statement.
+	rec := &recommend.ParallelFor{Parallel: true}
+	var carryLine string
+	prog.FuncByName("main").Instructions(func(in ir.Instr) bool {
+		if st, ok := in.(*ir.Store); ok && st.Sym != nil && st.Sym.Name == "carry" {
+			carryLine = ir.Base(in).Pos.String()
+		}
+		return true
+	})
+	if carryLine == "" {
+		t.Fatal("carry store not found")
+	}
+	rec.Criticals = []recommend.CriticalAdvice{{
+		PSE:        "carry",
+		Statements: []recommend.StatementRef{{Pos: carryLine, IsWrite: true}},
+	}}
+	withCrit := simulate(t, prog, parexec.CarmotPlan(prog, 16, map[*ir.ROI]*recommend.ParallelFor{roi: rec}))
+	noCrit := simulate(t, prog, parexec.CarmotPlan(prog, 16, map[*ir.ROI]*recommend.ParallelFor{roi: {Parallel: true}}))
+	if withCrit.Speedup() >= noCrit.Speedup() {
+		t.Errorf("serializing the carry line must cost speedup: %.2f vs %.2f",
+			withCrit.Speedup(), noCrit.Speedup())
+	}
+	if withCrit.Speedup() < 1.0 {
+		t.Errorf("still parallel outside the critical, got %.2f", withCrit.Speedup())
+	}
+}
+
+func TestUnprofitableLoopStaysSerial(t *testing.T) {
+	// Tiny iterations: fork/join overhead would dominate; the simulator
+	// must fall back to serial execution rather than slow down.
+	prog := compile(t, `
+int main() {
+	int s = 0;
+	#pragma omp parallel for
+	for (int i = 0; i < 4; i++) {
+		s = s + i;
+	}
+	return s;
+}`)
+	res := simulate(t, prog, parexec.OriginalPlan(prog, 16))
+	if res.Speedup() < 0.95 {
+		t.Errorf("unprofitable loop should clamp to serial, got %.3f", res.Speedup())
+	}
+}

@@ -1,0 +1,58 @@
+// Package pinsim is CARMOT-Go's Pin analog (§4.5). Precompiled native
+// functions (internal/native) have no IR the compiler could instrument,
+// yet their PSE activity must reach the runtime for the PSEC to be
+// complete. When a call site may transfer control into memory-accessing
+// precompiled code, the interpreter wraps the native environment in a
+// Tracer: every cell the native code touches is reported to the runtime,
+// at a much higher per-access cost than compiler instrumentation — the
+// "costly but necessary" path the paper describes, and the reason the
+// Pin-gating optimization (§4.4 opt 6) pays off.
+package pinsim
+
+import (
+	"carmot/internal/core"
+	"carmot/internal/native"
+	"carmot/internal/rt"
+)
+
+// Tracer is a native.Env that shadows another Env, reporting every memory
+// access to the profiling runtime the way the paper's Pintool (built on
+// Pinatrace) communicates with the CARMOT runtime.
+type Tracer struct {
+	inner native.Env
+	rt    *rt.Runtime
+	cs    core.CallstackID
+
+	reads  uint64
+	writes uint64
+}
+
+// NewTracer wraps inner so accesses flow to the runtime under the given
+// call stack.
+func NewTracer(inner native.Env, r *rt.Runtime, cs core.CallstackID) *Tracer {
+	return &Tracer{inner: inner, rt: r, cs: cs}
+}
+
+// LoadCell traces and forwards a read. Binary-level tracing has no source
+// mapping, so the site is -1 ("precompiled code").
+func (t *Tracer) LoadCell(addr uint64) uint64 {
+	t.reads++
+	t.rt.EmitAccess(addr, false, -1, t.cs)
+	return t.inner.LoadCell(addr)
+}
+
+// StoreCell traces and forwards a write.
+func (t *Tracer) StoreCell(addr uint64, val uint64) {
+	t.writes++
+	t.rt.EmitAccess(addr, true, -1, t.cs)
+	t.inner.StoreCell(addr, val)
+}
+
+// Print forwards program output.
+func (t *Tracer) Print(s string) { t.inner.Print(s) }
+
+// RandState forwards the PRNG state.
+func (t *Tracer) RandState() *uint64 { return t.inner.RandState() }
+
+// Counts returns the number of traced reads and writes.
+func (t *Tracer) Counts() (reads, writes uint64) { return t.reads, t.writes }

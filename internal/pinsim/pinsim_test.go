@@ -1,0 +1,66 @@
+package pinsim_test
+
+import (
+	"testing"
+
+	"carmot/internal/core"
+	"carmot/internal/native"
+	"carmot/internal/pinsim"
+	"carmot/internal/rt"
+)
+
+type memEnv struct {
+	mem  map[uint64]uint64
+	rand uint64
+}
+
+func (m *memEnv) LoadCell(addr uint64) uint64       { return m.mem[addr] }
+func (m *memEnv) StoreCell(addr uint64, val uint64) { m.mem[addr] = val }
+func (m *memEnv) Print(string)                      {}
+func (m *memEnv) RandState() *uint64                { return &m.rand }
+
+// TestTracerReportsAccesses checks that precompiled-code accesses reach
+// the runtime with binary-level attribution (site -1) and classify PSEs.
+func TestTracerReportsAccesses(t *testing.T) {
+	r := rt.New(rt.Config{
+		Profile: rt.ProfileFull,
+		ROIs:    []rt.ROIMeta{{ID: 0, Name: "z"}},
+	})
+	inner := &memEnv{mem: map[uint64]uint64{100: 7, 101: 8}}
+	r.Emit(rt.Event{Kind: rt.EvAlloc, Addr: 100, N: 2,
+		Meta: &rt.AllocMeta{Kind: core.PSEHeap, Name: "src", Pos: "lib"}})
+	r.Emit(rt.Event{Kind: rt.EvAlloc, Addr: 200, N: 2,
+		Meta: &rt.AllocMeta{Kind: core.PSEHeap, Name: "dst", Pos: "lib"}})
+	r.BeginROI(0)
+	tr := pinsim.NewTracer(inner, r, 0)
+	native.Lookup("memcpy_cells").Impl(tr, []uint64{200, 100, 2})
+	r.EndROI(0)
+	reads, writes := tr.Counts()
+	if reads != 2 || writes != 2 {
+		t.Errorf("counts = %d reads, %d writes", reads, writes)
+	}
+	if inner.mem[200] != 7 || inner.mem[201] != 8 {
+		t.Error("tracer must forward the copy")
+	}
+	psec := r.Finish()[0]
+	src := psec.ElementByName("src")
+	dst := psec.ElementByName("dst")
+	if src == nil || src.Sets != core.SetInput {
+		t.Errorf("src = %v, want Input", src)
+	}
+	if dst == nil || dst.Sets != core.SetOutput {
+		t.Errorf("dst = %v, want Output", dst)
+	}
+}
+
+// TestTracerForwardsEnvServices: print and PRNG state pass through.
+func TestTracerForwardsEnvServices(t *testing.T) {
+	r := rt.New(rt.Config{ROIs: []rt.ROIMeta{{ID: 0}}})
+	inner := &memEnv{mem: map[uint64]uint64{}, rand: 5}
+	tr := pinsim.NewTracer(inner, r, 0)
+	if tr.RandState() != &inner.rand {
+		t.Error("RandState must forward to the inner env")
+	}
+	tr.Print("x")
+	r.Finish()
+}

@@ -1,0 +1,113 @@
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carmot/internal/ir"
+)
+
+// AnnotateSource rewrites a MiniC source file with the recommended
+// abstraction inserted at its ROI (§3.2: CARMOT "automatically generates
+// new source code with the requested abstraction in it"). For a
+// parallel-for recommendation the pragma line is inserted (or replaces an
+// existing `#pragma omp parallel for`) above the ROI's loop, and advisory
+// comments are attached to the statements that must move into a
+// critical/ordered section and to the allocations that should be cloned
+// per thread. The result is a recommendation starting point, exactly as
+// the paper argues (§4.2): the programmer reviews and tunes it.
+func AnnotateSource(src string, roi *ir.ROI, rec *ParallelFor) (string, error) {
+	if roi == nil || roi.Loop == nil || roi.Loop.For == nil {
+		return "", fmt.Errorf("recommend: ROI %q does not wrap a loop", rec.ROI)
+	}
+	lines := strings.Split(src, "\n")
+	forLine := roi.Loop.For.NodePos().Line
+	if forLine < 1 || forLine > len(lines) {
+		return "", fmt.Errorf("recommend: loop line %d out of range", forLine)
+	}
+
+	type insertion struct {
+		line int // 1-based source line the text goes above
+		text []string
+	}
+	var inserts []insertion
+	indentOf := func(line int) string {
+		if line < 1 || line > len(lines) {
+			return ""
+		}
+		s := lines[line-1]
+		return s[:len(s)-len(strings.TrimLeft(s, " \t"))]
+	}
+
+	// The pragma goes above the for statement.
+	pragmaText := []string{indentOf(forLine) + rec.Pragma()}
+	inserts = append(inserts, insertion{line: forLine, text: pragmaText})
+
+	// Advisory comments at critical statements and clone allocations.
+	seen := map[int]bool{}
+	for _, c := range rec.Criticals {
+		for _, st := range c.Statements {
+			line := lineNumber(st.Pos)
+			if line <= 0 || seen[line] {
+				continue
+			}
+			seen[line] = true
+			inserts = append(inserts, insertion{line: line, text: []string{
+				indentOf(line) + fmt.Sprintf("// CARMOT: wrap in '#pragma omp critical' or 'ordered' (%s carries a cross-iteration RAW)", c.PSE),
+			}})
+		}
+	}
+	for _, cl := range rec.Clones {
+		line := lineNumber(cl.AllocPos)
+		if line <= 0 || seen[line] {
+			continue
+		}
+		seen[line] = true
+		inserts = append(inserts, insertion{line: line, text: []string{
+			indentOf(line) + fmt.Sprintf("// CARMOT: clone %s per thread (%d cells) and index clones with omp_get_thread_num()", cl.Name, cl.Cells),
+		}})
+	}
+
+	// Apply from the bottom up so earlier line numbers stay valid; if a
+	// pragma already sits above the loop, replace it.
+	sort.Slice(inserts, func(i, j int) bool { return inserts[i].line > inserts[j].line })
+	for _, ins := range inserts {
+		at := ins.line - 1
+		if ins.line == forLine && at > 0 && strings.Contains(lines[at-1], "#pragma omp parallel for") {
+			lines[at-1] = ins.text[0]
+			continue
+		}
+		if ins.line == forLine && at > 0 && strings.Contains(lines[at-1], "#pragma carmot roi") {
+			// Keep the ROI marker; insert the pragma between it and the loop.
+			lines = spliceLines(lines, at, ins.text)
+			continue
+		}
+		lines = spliceLines(lines, at, ins.text)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+func spliceLines(lines []string, at int, text []string) []string {
+	out := make([]string, 0, len(lines)+len(text))
+	out = append(out, lines[:at]...)
+	out = append(out, text...)
+	out = append(out, lines[at:]...)
+	return out
+}
+
+// lineNumber extracts the line from "file:line:col".
+func lineNumber(pos string) int {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return 0
+	}
+	n := 0
+	for _, ch := range parts[len(parts)-2] {
+		if ch < '0' || ch > '9' {
+			return 0
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n
+}

@@ -1,0 +1,345 @@
+// Package recommend turns the PSEC of an ROI into programming-language
+// abstraction recommendations (§3.2): OpenMP parallel for with the right
+// attribute clauses plus critical/ordered advice, OpenMP task depend
+// clauses, smart-pointer reference-cycle reports with weak-pointer
+// suggestions, and the STATS Input-Output-State classification.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carmot/internal/analysis"
+	"carmot/internal/core"
+	"carmot/internal/ir"
+)
+
+// Needs reports which PSEC components an abstraction requires — Table 1
+// of the paper.
+type Needs struct {
+	Sets          bool
+	UseCallstacks bool
+	Reachability  bool
+}
+
+// Table1 maps each supported abstraction to its PSEC needs.
+func Table1() map[string]Needs {
+	return map[string]Needs{
+		"OMP parallel for (and critical/ordered)": {Sets: true, UseCallstacks: true},
+		"OMP task":       {Sets: true},
+		"Smart Pointers": {Sets: true, Reachability: true},
+		"STATS":          {Sets: true},
+	}
+}
+
+// VarClause is one variable attribute in a parallel-for recommendation.
+type VarClause struct {
+	Name string
+	Pos  string
+}
+
+// ReductionClause is one reduction(op:var) entry.
+type ReductionClause struct {
+	Op   string
+	Name string
+}
+
+// CloneAdvice tells the programmer to clone a memory PSE per thread and
+// index the clones with omp_get_thread_num() (§3.2).
+type CloneAdvice struct {
+	Name      string
+	AllocPos  string
+	Callstack string
+	Cells     int
+	Ranges    []core.CellRange // the Cloneable portion
+}
+
+// CriticalAdvice wraps the statements that access a non-reducible
+// Transfer PSE in a critical or ordered section; the choice between the
+// two is left to the programmer (§3.2).
+type CriticalAdvice struct {
+	PSE    string
+	Ranges []core.CellRange // the Transfer cells (Figure 2: often tiny)
+	// Statements lists the use sites (with their call stacks) that must
+	// be inside the critical/ordered section.
+	Statements []StatementRef
+}
+
+// StatementRef is a source statement plus the call stacks it ran under.
+type StatementRef struct {
+	Pos        string
+	IsWrite    bool
+	Callstacks []string
+}
+
+// ParallelFor is the recommendation for #pragma omp parallel for.
+type ParallelFor struct {
+	ROI          string
+	Shared       []VarClause
+	Private      []VarClause
+	FirstPrivate []VarClause
+	LastPrivate  []VarClause
+	Reductions   []ReductionClause
+	Clones       []CloneAdvice
+	Criticals    []CriticalAdvice
+	InductionVar string
+	// Parallel is false when the recommendation cannot restore any
+	// parallelism (everything is one big critical section).
+	Parallel bool
+}
+
+// RecommendParallelFor builds the §3.2 parallel-for recommendation.
+func RecommendParallelFor(psec *core.PSEC, roi *ir.ROI) *ParallelFor {
+	rec := &ParallelFor{ROI: psec.ROI.Name, Parallel: true}
+	var indVar string
+	if roi != nil && roi.Loop != nil && roi.Loop.IndVar != nil {
+		indVar = roi.Loop.IndVar.Name
+		rec.InductionVar = indVar
+	}
+	var region *analysis.ROIRegion
+	if roi != nil && roi.Func != nil {
+		region = analysis.ComputeROIRegion(roi)
+	}
+	for _, e := range psec.Elements {
+		name := e.PSE.Name
+		if e.PSE.Kind == core.PSEVariable {
+			cl := VarClause{Name: name, Pos: e.PSE.AllocPos}
+			switch {
+			case name == indVar:
+				// The loop-governing induction variable is private by
+				// construction of the pragma.
+				rec.Private = append(rec.Private, cl)
+			case e.Sets.Has(core.SetTransfer):
+				if e.Reducible {
+					rec.Reductions = append(rec.Reductions, ReductionClause{Op: e.Reduction, Name: name})
+				} else {
+					rec.Criticals = append(rec.Criticals, criticalFor(psec, e))
+				}
+			case e.Sets.Has(core.SetCloneable):
+				priv := true
+				if e.Sets.Has(core.SetInput) {
+					rec.FirstPrivate = append(rec.FirstPrivate, cl)
+					priv = false
+				}
+				if e.Sets.Has(core.SetOutput) && readAfterROI(region, name) {
+					// §4.1's conservative assumption puts every written
+					// PSE in Output; the clause only needs lastprivate
+					// when the variable may actually be read after the
+					// ROI (x and i in §2.2 are plain private).
+					rec.LastPrivate = append(rec.LastPrivate, cl)
+					priv = false
+				}
+				if priv {
+					rec.Private = append(rec.Private, cl)
+				}
+			case e.Sets.Has(core.SetOutput):
+				// Written by a single invocation: keep the final value
+				// when it is live after the loop.
+				if readAfterROI(region, name) {
+					rec.LastPrivate = append(rec.LastPrivate, cl)
+				} else {
+					rec.Private = append(rec.Private, cl)
+				}
+			case e.Sets.Has(core.SetInput):
+				rec.Shared = append(rec.Shared, cl)
+			}
+			continue
+		}
+		// Memory PSEs: per-range treatment (Figure 2).
+		var cloneRanges, transferRanges []core.CellRange
+		for _, r := range e.Ranges {
+			if r.Sets.Has(core.SetCloneable) {
+				cloneRanges = append(cloneRanges, r)
+			}
+			if r.Sets.Has(core.SetTransfer) {
+				transferRanges = append(transferRanges, r)
+			}
+		}
+		if len(cloneRanges) > 0 {
+			rec.Clones = append(rec.Clones, CloneAdvice{
+				Name: name, AllocPos: e.PSE.AllocPos,
+				Callstack: psec.Callstacks.Format(e.PSE.AllocStack),
+				Cells:     e.PSE.Cells, Ranges: cloneRanges,
+			})
+		}
+		if len(transferRanges) > 0 {
+			if e.Reducible {
+				rec.Reductions = append(rec.Reductions, ReductionClause{Op: e.Reduction, Name: name})
+			} else {
+				adv := criticalFor(psec, e)
+				adv.Ranges = transferRanges
+				rec.Criticals = append(rec.Criticals, adv)
+			}
+		}
+		if len(cloneRanges) == 0 && len(transferRanges) == 0 && e.Sets.Has(core.SetInput) {
+			rec.Shared = append(rec.Shared, VarClause{Name: name, Pos: e.PSE.AllocPos})
+		}
+	}
+	sortClauses(rec)
+	return rec
+}
+
+// readAfterROI reports whether the named local variable may be read
+// outside the ROI region (within the ROI's function). Unknown ROIs answer
+// true conservatively.
+func readAfterROI(region *analysis.ROIRegion, name string) bool {
+	if region == nil {
+		return true
+	}
+	readOutside := false
+	region.ROI.Func.Instructions(func(in ir.Instr) bool {
+		ld, ok := in.(*ir.Load)
+		if !ok || ld.Sym == nil || ld.Sym.Name != name {
+			return true
+		}
+		if !region.Contains(in) {
+			readOutside = true
+			return false
+		}
+		return true
+	})
+	return readOutside
+}
+
+func criticalFor(psec *core.PSEC, e *core.Element) CriticalAdvice {
+	adv := CriticalAdvice{PSE: e.PSE.Name, Ranges: e.Ranges}
+	for _, u := range e.UseSites {
+		ref := StatementRef{Pos: u.Pos, IsWrite: u.IsWrite}
+		for _, cs := range u.Callstacks {
+			ref.Callstacks = append(ref.Callstacks, psec.Callstacks.Format(cs))
+		}
+		adv.Statements = append(adv.Statements, ref)
+	}
+	return adv
+}
+
+func sortClauses(rec *ParallelFor) {
+	dedupe := func(s []VarClause) []VarClause {
+		sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+		out := s[:0]
+		for i, v := range s {
+			if i == 0 || v.Name != s[i-1].Name {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	rec.Shared = dedupe(rec.Shared)
+	rec.Private = dedupe(rec.Private)
+	rec.FirstPrivate = dedupe(rec.FirstPrivate)
+	rec.LastPrivate = dedupe(rec.LastPrivate)
+	sort.Slice(rec.Reductions, func(i, j int) bool { return rec.Reductions[i].Name < rec.Reductions[j].Name })
+	reds := rec.Reductions[:0]
+	for i, r := range rec.Reductions {
+		if i == 0 || r.Name != rec.Reductions[i-1].Name {
+			reds = append(reds, r)
+		}
+	}
+	rec.Reductions = reds
+	sort.Slice(rec.Clones, func(i, j int) bool { return rec.Clones[i].Name < rec.Clones[j].Name })
+	sort.Slice(rec.Criticals, func(i, j int) bool { return rec.Criticals[i].PSE < rec.Criticals[j].PSE })
+	// A variable can appear once per allocation call stack; a single
+	// critical advice per PSE name suffices.
+	crits := rec.Criticals[:0]
+	for i, c := range rec.Criticals {
+		if i == 0 || c.PSE != rec.Criticals[i-1].PSE {
+			crits = append(crits, c)
+		}
+	}
+	rec.Criticals = crits
+}
+
+// Pragma renders the recommended #pragma omp parallel for line.
+func (rec *ParallelFor) Pragma() string {
+	var b strings.Builder
+	b.WriteString("#pragma omp parallel for")
+	clause := func(kw string, vars []VarClause) {
+		if len(vars) == 0 {
+			return
+		}
+		names := make([]string, len(vars))
+		for i, v := range vars {
+			names[i] = v.Name
+		}
+		fmt.Fprintf(&b, " %s(%s)", kw, strings.Join(names, ", "))
+	}
+	clause("private", rec.Private)
+	clause("firstprivate", rec.FirstPrivate)
+	clause("lastprivate", rec.LastPrivate)
+	clause("shared", rec.Shared)
+	for _, r := range rec.Reductions {
+		fmt.Fprintf(&b, " reduction(%s:%s)", r.Op, r.Name)
+	}
+	return b.String()
+}
+
+// Report renders the full human-readable recommendation.
+func (rec *ParallelFor) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recommendation for ROI %q:\n  %s\n", rec.ROI, rec.Pragma())
+	for _, c := range rec.Clones {
+		fmt.Fprintf(&b, "  clone per thread: %s (%d cells, allocated at %s via %s); index clones with omp_get_thread_num()\n",
+			c.Name, c.Cells, c.AllocPos, c.Callstack)
+		for _, r := range c.Ranges {
+			fmt.Fprintf(&b, "    cloneable cells [%d,%d)\n", r.Lo, r.Hi)
+		}
+	}
+	for _, c := range rec.Criticals {
+		fmt.Fprintf(&b, "  wrap in '#pragma omp critical' or '#pragma omp ordered' (your choice): statements using %s\n", c.PSE)
+		for _, r := range c.Ranges {
+			if r.Sets.Has(core.SetTransfer) {
+				fmt.Fprintf(&b, "    RAW-carried cells [%d,%d)\n", r.Lo, r.Hi)
+			}
+		}
+		for _, s := range c.Statements {
+			kind := "read"
+			if s.IsWrite {
+				kind = "write"
+			}
+			fmt.Fprintf(&b, "    %s at %s", kind, s.Pos)
+			if len(s.Callstacks) > 0 {
+				fmt.Fprintf(&b, " [via %s]", strings.Join(s.Callstacks, "; "))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Task is the recommendation for #pragma omp task (§3.2: Input→depend(in),
+// Output→depend(out)).
+type Task struct {
+	ROI       string
+	DependIn  []string
+	DependOut []string
+}
+
+// RecommendTask builds the task recommendation.
+func RecommendTask(psec *core.PSEC) *Task {
+	rec := &Task{ROI: psec.ROI.Name}
+	for _, e := range psec.Elements {
+		if e.Sets.Has(core.SetInput) {
+			rec.DependIn = append(rec.DependIn, e.PSE.Name)
+		}
+		if e.Sets.Has(core.SetOutput) {
+			rec.DependOut = append(rec.DependOut, e.PSE.Name)
+		}
+	}
+	sort.Strings(rec.DependIn)
+	sort.Strings(rec.DependOut)
+	return rec
+}
+
+// Pragma renders the recommended #pragma omp task line.
+func (rec *Task) Pragma() string {
+	var b strings.Builder
+	b.WriteString("#pragma omp task")
+	if len(rec.DependIn) > 0 {
+		fmt.Fprintf(&b, " depend(in: %s)", strings.Join(rec.DependIn, ", "))
+	}
+	if len(rec.DependOut) > 0 {
+		fmt.Fprintf(&b, " depend(out: %s)", strings.Join(rec.DependOut, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/core"
+)
+
+func mkPSEC(elems ...*core.Element) *core.PSEC {
+	return &core.PSEC{
+		ROI:        core.ROIInfo{Name: "r", Kind: "carmot", Pos: "t.mc:1:1"},
+		Elements:   elems,
+		Reach:      core.NewReachGraph(),
+		Callstacks: core.NewCallstackTable(),
+	}
+}
+
+func variable(name string, sets core.SetMask) *core.Element {
+	return &core.Element{
+		PSE:    core.PSEDesc{Kind: core.PSEVariable, Name: name, AllocPos: "t.mc:2:2", Cells: 1},
+		Sets:   sets,
+		Ranges: []core.CellRange{{Lo: 0, Hi: 1, Sets: sets}},
+	}
+}
+
+func heap(name string, ranges ...core.CellRange) *core.Element {
+	e := &core.Element{
+		PSE:    core.PSEDesc{Kind: core.PSEHeap, Name: name, AllocPos: "t.mc:3:3", Cells: 8},
+		Ranges: ranges,
+	}
+	for _, r := range ranges {
+		e.Sets = core.MergeSets(e.Sets, r.Sets)
+	}
+	return e
+}
+
+func TestParallelForClauseMapping(t *testing.T) {
+	psec := mkPSEC(
+		variable("ro", core.SetInput),
+		variable("scratch", core.SetCloneable|core.SetOutput),
+		variable("seed", core.SetCloneable|core.SetInput|core.SetOutput),
+		variable("sum", core.SetTransfer|core.SetInput|core.SetOutput),
+		variable("dep", core.SetTransfer|core.SetOutput),
+	)
+	psec.ElementByName("sum").Reducible = true
+	psec.ElementByName("sum").Reduction = "+"
+	psec.ElementByName("dep").UseSites = []core.UseSite{
+		{Pos: "t.mc:9:3", IsWrite: true, Callstacks: []core.CallstackID{0}},
+	}
+	rec := RecommendParallelFor(psec, nil)
+	pragma := rec.Pragma()
+	for _, want := range []string{"shared(ro)", "reduction(+:sum)"} {
+		if !strings.Contains(pragma, want) {
+			t.Errorf("pragma %q missing %q", pragma, want)
+		}
+	}
+	// With no ROI context the liveness question is answered
+	// conservatively: Cloneable+Output becomes lastprivate.
+	if len(rec.LastPrivate) == 0 {
+		t.Errorf("scratch should be lastprivate without liveness proof: %+v", rec)
+	}
+	if len(rec.FirstPrivate) != 1 || rec.FirstPrivate[0].Name != "seed" {
+		t.Errorf("firstprivate = %v", rec.FirstPrivate)
+	}
+	if len(rec.Criticals) != 1 || rec.Criticals[0].PSE != "dep" {
+		t.Fatalf("criticals = %+v", rec.Criticals)
+	}
+	if len(rec.Criticals[0].Statements) != 1 || rec.Criticals[0].Statements[0].Pos != "t.mc:9:3" {
+		t.Errorf("critical statements = %+v", rec.Criticals[0].Statements)
+	}
+}
+
+func TestParallelForMemoryRanges(t *testing.T) {
+	// Figure 2: one cell of the array carries the RAW; most of it is
+	// cloneable.
+	psec := mkPSEC(heap("a",
+		core.CellRange{Lo: 0, Hi: 1, Sets: core.SetCloneable | core.SetOutput},
+		core.CellRange{Lo: 1, Hi: 2, Sets: core.SetTransfer | core.SetInput | core.SetOutput},
+		core.CellRange{Lo: 2, Hi: 8, Sets: core.SetInput | core.SetOutput},
+	))
+	rec := RecommendParallelFor(psec, nil)
+	if len(rec.Clones) != 1 || rec.Clones[0].Name != "a" {
+		t.Fatalf("clone advice = %+v", rec.Clones)
+	}
+	if len(rec.Clones[0].Ranges) != 1 || rec.Clones[0].Ranges[0].Lo != 0 {
+		t.Errorf("clone ranges = %v", rec.Clones[0].Ranges)
+	}
+	if len(rec.Criticals) != 1 {
+		t.Fatalf("criticals = %+v", rec.Criticals)
+	}
+	if rg := rec.Criticals[0].Ranges; len(rg) != 1 || rg[0].Lo != 1 || rg[0].Hi != 2 {
+		t.Errorf("transfer ranges = %v", rg)
+	}
+	report := rec.Report()
+	if !strings.Contains(report, "omp_get_thread_num") {
+		t.Errorf("clone advice should mention omp_get_thread_num:\n%s", report)
+	}
+}
+
+func TestParallelForInputOnlyMemoryShared(t *testing.T) {
+	psec := mkPSEC(heap("ro", core.CellRange{Lo: 0, Hi: 8, Sets: core.SetInput}))
+	rec := RecommendParallelFor(psec, nil)
+	if len(rec.Shared) != 1 || rec.Shared[0].Name != "ro" {
+		t.Errorf("shared = %v", rec.Shared)
+	}
+	if len(rec.Clones)+len(rec.Criticals) != 0 {
+		t.Error("input-only memory needs no clone/critical")
+	}
+}
+
+func TestTaskRecommendation(t *testing.T) {
+	psec := mkPSEC(
+		variable("in1", core.SetInput),
+		variable("out1", core.SetOutput),
+		variable("both", core.SetInput|core.SetOutput),
+	)
+	rec := RecommendTask(psec)
+	if got := rec.Pragma(); got != "#pragma omp task depend(in: both, in1) depend(out: both, out1)" {
+		t.Errorf("task pragma = %q", got)
+	}
+}
+
+func TestSmartPointerReport(t *testing.T) {
+	psec := mkPSEC()
+	a := core.PSEDesc{Kind: core.PSEHeap, Name: "doc", AllocPos: "t.mc:4:4"}
+	b := core.PSEDesc{Kind: core.PSEHeap, Name: "para", AllocPos: "t.mc:5:5"}
+	psec.Reach.Touch(a, 1)
+	psec.Reach.Touch(b, 2)
+	psec.Reach.AddEdge(a, b, 3)
+	psec.Reach.AddEdge(b, a, 4)
+	rec := RecommendSmartPointers(psec)
+	if len(rec.Cycles) != 1 {
+		t.Fatalf("cycles = %d", len(rec.Cycles))
+	}
+	if rec.Cycles[0].WeakSuggestion == nil || rec.Cycles[0].WeakSuggestion.To != "doc" {
+		t.Errorf("weak suggestion = %+v (doc has the oldest access)", rec.Cycles[0].WeakSuggestion)
+	}
+	report := rec.Report()
+	for _, want := range []string{"doc", "para", "weak pointer"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	empty := RecommendSmartPointers(mkPSEC())
+	if !strings.Contains(empty.Report(), "no reference cycles") {
+		t.Error("cycle-free report should say so")
+	}
+}
+
+func TestSTATSClassification(t *testing.T) {
+	psec := mkPSEC(
+		variable("in", core.SetInput),
+		variable("out", core.SetOutput),
+		variable("state1", core.SetTransfer|core.SetInput|core.SetOutput),
+		variable("state2", core.SetInput|core.SetOutput),
+		variable("scratch", core.SetCloneable|core.SetOutput),
+		heap("buf", core.CellRange{Lo: 0, Hi: 8, Sets: core.SetCloneable | core.SetOutput}),
+	)
+	rec := RecommendSTATS(psec)
+	check := func(list []string, want ...string) {
+		if len(list) != len(want) {
+			t.Errorf("class = %v, want %v", list, want)
+			return
+		}
+		for i := range want {
+			if list[i] != want[i] {
+				t.Errorf("class = %v, want %v", list, want)
+			}
+		}
+	}
+	check(rec.Input, "in")
+	check(rec.Output, "buf", "out")
+	check(rec.State, "state1", "state2")
+	check(rec.Local, "scratch")
+	if p := rec.Pragma(); !strings.Contains(p, "state(state1, state2)") {
+		t.Errorf("pragma = %q", p)
+	}
+}
+
+func TestSTATSNameFolding(t *testing.T) {
+	// A pointer variable (Input) and its pointee (Transfer) share a name;
+	// the strongest class wins.
+	psec := mkPSEC(
+		variable("w", core.SetInput),
+		heap("w", core.CellRange{Lo: 0, Hi: 8, Sets: core.SetTransfer | core.SetInput | core.SetOutput}),
+	)
+	rec := RecommendSTATS(psec)
+	if len(rec.State) != 1 || rec.State[0] != "w" || len(rec.Input) != 0 {
+		t.Errorf("classes = %+v", rec)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	t1 := Table1()
+	if len(t1) != 4 {
+		t.Fatalf("Table 1 has %d rows", len(t1))
+	}
+	omp := t1["OMP parallel for (and critical/ordered)"]
+	if !omp.Sets || !omp.UseCallstacks || omp.Reachability {
+		t.Errorf("parallel for needs = %+v", omp)
+	}
+	sp := t1["Smart Pointers"]
+	if !sp.Sets || sp.UseCallstacks || !sp.Reachability {
+		t.Errorf("smart pointers needs = %+v", sp)
+	}
+	task := t1["OMP task"]
+	if !task.Sets || task.UseCallstacks || task.Reachability {
+		t.Errorf("task needs = %+v", task)
+	}
+}
+
+func TestClauseDeduplication(t *testing.T) {
+	// Two dynamic instances of the same variable (different call stacks)
+	// must yield one clause.
+	e1 := variable("t", core.SetCloneable|core.SetOutput)
+	e2 := variable("t", core.SetCloneable|core.SetOutput)
+	e2.PSE.AllocStack = 5
+	rec := RecommendParallelFor(mkPSEC(e1, e2), nil)
+	if n := len(rec.LastPrivate) + len(rec.Private); n != 1 {
+		t.Errorf("duplicate clauses: %+v", rec)
+	}
+}

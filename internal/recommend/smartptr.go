@@ -1,0 +1,187 @@
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carmot/internal/core"
+)
+
+// CycleReport describes one reference-counting cycle found in the PSEC
+// Reachability Graph, with the weak-pointer suggestion that breaks it
+// (§3.2, §5.2; Figure 9 is one of these rendered for nab).
+type CycleReport struct {
+	Nodes []CycleNode
+	Edges []CycleEdge
+	// WeakSuggestion is the reference that should become a weak pointer.
+	WeakSuggestion *CycleEdge
+}
+
+// CycleNode is one PSE participating in the cycle.
+type CycleNode struct {
+	Name      string
+	AllocPos  string
+	Callstack string
+	Cells     int
+}
+
+// CycleEdge is one reference within the cycle.
+type CycleEdge struct {
+	From, To  string
+	FromPos   string
+	ToPos     string
+	FirstTime uint64
+}
+
+// SmartPointers is the smart-pointer use-case recommendation.
+type SmartPointers struct {
+	ROI    string
+	Cycles []CycleReport
+}
+
+// RecommendSmartPointers analyzes the reachability graph for reference
+// cycles and picks the weak-pointer break for each.
+func RecommendSmartPointers(psec *core.PSEC) *SmartPointers {
+	rec := &SmartPointers{ROI: psec.ROI.Name}
+	if psec.Reach == nil {
+		return rec
+	}
+	for _, cyc := range psec.Reach.Cycles() {
+		report := CycleReport{}
+		for _, n := range cyc.Nodes {
+			report.Nodes = append(report.Nodes, CycleNode{
+				Name: n.Name, AllocPos: n.AllocPos,
+				Callstack: psec.Callstacks.Format(n.AllocStack),
+				Cells:     n.Cells,
+			})
+		}
+		for _, e := range cyc.Edges {
+			report.Edges = append(report.Edges, CycleEdge{
+				From: e.From.Name, To: e.To.Name,
+				FromPos: e.From.AllocPos, ToPos: e.To.AllocPos,
+				FirstTime: e.FirstTime,
+			})
+		}
+		if weak := psec.Reach.WeakPointerSuggestion(cyc); weak != nil {
+			report.WeakSuggestion = &CycleEdge{
+				From: weak.From.Name, To: weak.To.Name,
+				FromPos: weak.From.AllocPos, ToPos: weak.To.AllocPos,
+				FirstTime: weak.FirstTime,
+			}
+		}
+		rec.Cycles = append(rec.Cycles, report)
+	}
+	return rec
+}
+
+// Report renders the cycle findings like the paper's Figure 9 discussion.
+func (rec *SmartPointers) Report() string {
+	var b strings.Builder
+	if len(rec.Cycles) == 0 {
+		fmt.Fprintf(&b, "ROI %q: no reference cycles; smart pointers are safe here.\n", rec.ROI)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "ROI %q: %d reference cycle(s) detected:\n", rec.ROI, len(rec.Cycles))
+	for i, c := range rec.Cycles {
+		fmt.Fprintf(&b, "cycle %d:\n", i+1)
+		for _, n := range c.Nodes {
+			fmt.Fprintf(&b, "  node %s allocated at %s via %s (%d cells)\n", n.Name, n.AllocPos, n.Callstack, n.Cells)
+		}
+		for _, e := range c.Edges {
+			fmt.Fprintf(&b, "  reference %s (%s) -> %s (%s)\n", e.From, e.FromPos, e.To, e.ToPos)
+		}
+		if c.WeakSuggestion != nil {
+			fmt.Fprintf(&b, "  suggestion: make the reference %s -> %s a weak pointer (its target has the oldest access)\n",
+				c.WeakSuggestion.From, c.WeakSuggestion.To)
+		}
+	}
+	return b.String()
+}
+
+// STATSClasses is the STATS Input-Output-State recommendation (§3.2):
+// Input/Output/Transfer sets map to the Input/Output/State classes, and
+// Cloneable PSEs are declared locally in the extracted function.
+type STATSClasses struct {
+	ROI    string
+	Input  []string
+	Output []string
+	State  []string
+	Local  []string // Cloneable: localize in the extracted function
+}
+
+// RecommendSTATS classifies the PSEC elements into STATS classes. A
+// source name may cover several PSEs (a pointer variable and its pointee
+// allocation); the strongest class wins per name (State > Local > Output
+// > Input).
+func RecommendSTATS(psec *core.PSEC) *STATSClasses {
+	rec := &STATSClasses{ROI: psec.ROI.Name}
+	rank := map[string]int{}
+	classOf := func(e *core.Element) int {
+		s := e.Sets
+		switch {
+		case s.Has(core.SetTransfer):
+			return 4
+		case s.Has(core.SetInput) && s.Has(core.SetOutput):
+			// Read first, then written within an invocation: a state
+			// dependence in STATS terms.
+			return 4
+		case s.Has(core.SetCloneable):
+			// Cloneable scratch variables are declared locally in the
+			// extracted STATS function (§3.2); cloneable memory is
+			// reported as Output (the §4.1 conservative assumption keeps
+			// it written-and-possibly-consumed).
+			if e.PSE.Kind == core.PSEVariable {
+				return 3
+			}
+			return 2
+		case s.Has(core.SetOutput):
+			return 2
+		case s.Has(core.SetInput):
+			return 1
+		}
+		return 0
+	}
+	for _, e := range psec.Elements {
+		c := classOf(e)
+		if c > rank[e.PSE.Name] {
+			rank[e.PSE.Name] = c
+		}
+	}
+	for name, c := range rank {
+		switch c {
+		case 4:
+			rec.State = append(rec.State, name)
+		case 3:
+			rec.Local = append(rec.Local, name)
+		case 2:
+			rec.Output = append(rec.Output, name)
+		case 1:
+			rec.Input = append(rec.Input, name)
+		}
+	}
+	sortStrings(rec.Input, rec.Output, rec.State, rec.Local)
+	return rec
+}
+
+func sortStrings(lists ...[]string) {
+	for _, l := range lists {
+		sort.Strings(l)
+	}
+}
+
+// Pragma renders the STATS classification as the annotation the STATS
+// compiler consumes.
+func (rec *STATSClasses) Pragma() string {
+	var b strings.Builder
+	b.WriteString("#pragma stats")
+	part := func(kw string, names []string) {
+		if len(names) > 0 {
+			fmt.Fprintf(&b, " %s(%s)", kw, strings.Join(names, ", "))
+		}
+	}
+	part("input", rec.Input)
+	part("output", rec.Output)
+	part("state", rec.State)
+	return b.String()
+}

@@ -1,0 +1,256 @@
+package recommend
+
+import (
+	"fmt"
+	"strings"
+
+	"carmot/internal/lang"
+)
+
+// VerifySeverity grades a verification finding.
+type VerifySeverity int
+
+// Severities. Errors mean the pragma is wrong for the profiled execution
+// (a race or a lost reduction); warnings mean the pragma is safe but
+// imprecise (an unnecessary clause, or clone advice the programmer must
+// weigh).
+const (
+	VerifyError VerifySeverity = iota
+	VerifyWarning
+)
+
+func (s VerifySeverity) String() string {
+	if s == VerifyError {
+		return "error"
+	}
+	return "warning"
+}
+
+// VerifyFinding is one discrepancy between a hand-written pragma and the
+// PSEC-derived recommendation.
+type VerifyFinding struct {
+	Severity VerifySeverity
+	Var      string
+	Detail   string
+}
+
+// VerifyResult is the outcome of checking one pragma (§5.1: CARMOT "can
+// be used by developers to verify the correctness ... of existing pragmas
+// for a specific program execution").
+type VerifyResult struct {
+	ROI      string
+	Findings []VerifyFinding
+}
+
+// OK reports whether the pragma is correct for the profiled execution
+// (warnings allowed).
+func (v *VerifyResult) OK() bool {
+	for _, f := range v.Findings {
+		if f.Severity == VerifyError {
+			return false
+		}
+	}
+	return true
+}
+
+// Report renders the verification outcome.
+func (v *VerifyResult) Report() string {
+	var b strings.Builder
+	if len(v.Findings) == 0 {
+		fmt.Fprintf(&b, "ROI %q: pragma matches the PSEC-derived recommendation\n", v.ROI)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "ROI %q:\n", v.ROI)
+	for _, f := range v.Findings {
+		fmt.Fprintf(&b, "  %s: %s: %s\n", f.Severity, f.Var, f.Detail)
+	}
+	return b.String()
+}
+
+// VerifyContext carries the static facts verification needs beyond the
+// PSEC: which variables are declared inside the loop (implicitly private
+// in OpenMP) and whether the loop body already contains a critical or
+// ordered construct.
+type VerifyContext struct {
+	DeclaredInLoop    map[string]bool
+	HasCriticalInside bool
+}
+
+// VerifyParallelFor diffs a hand-written `#pragma omp parallel for`
+// against the recommendation derived from the PSEC of its loop body.
+func VerifyParallelFor(rec *ParallelFor, pragma *lang.Pragma, ctx VerifyContext) *VerifyResult {
+	out := &VerifyResult{ROI: rec.ROI}
+	if pragma == nil || pragma.Kind != lang.PragmaOmpParallelFor {
+		out.Findings = append(out.Findings, VerifyFinding{
+			Severity: VerifyError, Var: "<pragma>", Detail: "not an omp parallel for pragma",
+		})
+		return out
+	}
+	add := func(sev VerifySeverity, v, detail string) {
+		out.Findings = append(out.Findings, VerifyFinding{Severity: sev, Var: v, Detail: detail})
+	}
+	inList := func(list []string, name string) bool {
+		for _, n := range list {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	privatized := func(name string) bool {
+		return inList(pragma.Private, name) || inList(pragma.FirstPrivate, name) ||
+			inList(pragma.LastPrivate, name) || ctx.DeclaredInLoop[name] ||
+			name == rec.InductionVar
+	}
+	clauseVars := func(rec []VarClause) []string {
+		names := make([]string, len(rec))
+		for i, v := range rec {
+			names[i] = v.Name
+		}
+		return names
+	}
+
+	// 1. Variables the recommendation privatizes must not run shared.
+	for _, name := range clauseVars(rec.Private) {
+		if privatized(name) {
+			continue
+		}
+		if inList(pragma.Shared, name) {
+			add(VerifyError, name, "declared shared but written before read by every iteration (privatize it)")
+		} else {
+			add(VerifyError, name, "defaults to shared but must be private")
+		}
+	}
+	for _, name := range clauseVars(rec.FirstPrivate) {
+		if !inList(pragma.FirstPrivate, name) && !privatized(name) {
+			add(VerifyError, name, "carries its pre-loop value into iterations; needs firstprivate")
+		}
+	}
+	for _, name := range clauseVars(rec.LastPrivate) {
+		switch {
+		case inList(pragma.LastPrivate, name):
+		case inList(pragma.Private, name) || ctx.DeclaredInLoop[name]:
+			add(VerifyWarning, name, "private in the pragma, but its final value is read after the loop (lastprivate keeps it)")
+		default:
+			add(VerifyError, name, "written by iterations and read after the loop; needs lastprivate")
+		}
+	}
+
+	// 2. Reductions must match operator and variable.
+	pragmaReds := map[string]string{}
+	for _, r := range pragma.Reductions {
+		pragmaReds[r.Var] = r.Op
+	}
+	for _, r := range rec.Reductions {
+		op, ok := pragmaReds[r.Name]
+		switch {
+		case !ok && ctx.HasCriticalInside:
+			add(VerifyWarning, r.Name, fmt.Sprintf("updated under a critical/ordered section, but the computation is a %s reduction (a reduction clause is faster)", r.Op))
+		case !ok:
+			add(VerifyError, r.Name, fmt.Sprintf("cross-iteration %s reduction not declared (reduction(%s:%s)) — data race", r.Op, r.Op, r.Name))
+		case op != r.Op:
+			add(VerifyError, r.Name, fmt.Sprintf("reduction operator mismatch: pragma says %s, accesses use %s", op, r.Op))
+		}
+		delete(pragmaReds, r.Name)
+	}
+	for v, op := range pragmaReds {
+		add(VerifyWarning, v, fmt.Sprintf("declared reduction(%s:%s) but the profile shows no cross-iteration dependence on it", op, v))
+	}
+
+	// 3. Non-reducible Transfer PSEs need a critical/ordered section.
+	for _, c := range rec.Criticals {
+		if !ctx.HasCriticalInside && !pragma.Ordered {
+			add(VerifyError, c.PSE, "carries a cross-iteration RAW dependence; its statements need '#pragma omp critical' or 'ordered'")
+		}
+	}
+
+	// 4. Cloneable memory is advice the pragma cannot express; surface it.
+	for _, cl := range rec.Clones {
+		add(VerifyWarning, cl.Name, fmt.Sprintf("memory PSE is overwritten by iterations (allocated at %s); clone it per thread and index clones with omp_get_thread_num()", cl.AllocPos))
+	}
+
+	// 5. Shared-only PSEs listed in privatization clauses cost copies.
+	for _, name := range clauseVars(rec.Shared) {
+		if inList(pragma.Private, name) || inList(pragma.FirstPrivate, name) {
+			add(VerifyWarning, name, "only read by the loop; privatizing it costs an unnecessary copy per thread")
+		}
+	}
+	return out
+}
+
+// DeclaredInLoop walks a for statement's init and body collecting the
+// names declared inside it (implicitly private in OpenMP).
+func DeclaredInLoop(loop *lang.ForStmt) map[string]bool {
+	out := map[string]bool{}
+	if loop == nil {
+		return out
+	}
+	if d, ok := loop.Init.(*lang.DeclStmt); ok {
+		out[d.Sym.Name] = true
+	}
+	var walk func(lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.DeclStmt:
+			out[st.Sym.Name] = true
+		case *lang.BlockStmt:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *lang.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *lang.WhileStmt:
+			walk(st.Body)
+		case *lang.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			walk(st.Body)
+		case *lang.PragmaStmt:
+			if st.Body != nil {
+				walk(st.Body)
+			}
+		}
+	}
+	walk(loop.Body)
+	return out
+}
+
+// HasCriticalInside reports whether the loop body lexically contains an
+// omp critical or ordered construct.
+func HasCriticalInside(loop *lang.ForStmt) bool {
+	if loop == nil {
+		return false
+	}
+	found := false
+	var walk func(lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.BlockStmt:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *lang.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *lang.WhileStmt:
+			walk(st.Body)
+		case *lang.ForStmt:
+			walk(st.Body)
+		case *lang.PragmaStmt:
+			if st.Pragma.Kind == lang.PragmaOmpCritical || st.Pragma.Kind == lang.PragmaOmpOrdered {
+				found = true
+			}
+			if st.Body != nil {
+				walk(st.Body)
+			}
+		}
+	}
+	walk(loop.Body)
+	return found
+}

@@ -1,0 +1,172 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/lang"
+)
+
+func pfPragma(t *testing.T, payload string) *lang.Pragma {
+	t.Helper()
+	p, err := lang.ParsePragma(payload, lang.Pos{File: "t.mc", Line: 1, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func findingVars(v *VerifyResult, sev VerifySeverity) []string {
+	var out []string
+	for _, f := range v.Findings {
+		if f.Severity == sev {
+			out = append(out, f.Var)
+		}
+	}
+	return out
+}
+
+func TestVerifyNilPragma(t *testing.T) {
+	v := VerifyParallelFor(&ParallelFor{ROI: "r"}, nil, VerifyContext{})
+	if v.OK() {
+		t.Error("nil pragma cannot verify")
+	}
+}
+
+func TestVerifyWrongPragmaKind(t *testing.T) {
+	v := VerifyParallelFor(&ParallelFor{ROI: "r"}, pfPragma(t, "omp critical"), VerifyContext{})
+	if v.OK() {
+		t.Error("a critical pragma is not a parallel for")
+	}
+}
+
+func TestVerifyPrivateCoveredByDeclaration(t *testing.T) {
+	rec := &ParallelFor{ROI: "r", Parallel: true,
+		Private: []VarClause{{Name: "tmp"}, {Name: "i"}},
+	}
+	rec.InductionVar = "i"
+	ctx := VerifyContext{DeclaredInLoop: map[string]bool{"tmp": true}}
+	v := VerifyParallelFor(rec, pfPragma(t, "omp parallel for"), ctx)
+	if !v.OK() || len(v.Findings) != 0 {
+		t.Errorf("loop-declared and induction variables are implicitly private: %s", v.Report())
+	}
+}
+
+func TestVerifyPrivateListedShared(t *testing.T) {
+	rec := &ParallelFor{ROI: "r", Private: []VarClause{{Name: "t"}}}
+	v := VerifyParallelFor(rec, pfPragma(t, "omp parallel for shared(t)"), VerifyContext{})
+	if v.OK() {
+		t.Fatal("shared(t) against a private recommendation must fail")
+	}
+	if vars := findingVars(v, VerifyError); len(vars) != 1 || vars[0] != "t" {
+		t.Errorf("errors = %v", vars)
+	}
+}
+
+func TestVerifyReductionOperatorMismatch(t *testing.T) {
+	rec := &ParallelFor{ROI: "r", Reductions: []ReductionClause{{Op: "*", Name: "p"}}}
+	v := VerifyParallelFor(rec, pfPragma(t, "omp parallel for reduction(+: p)"), VerifyContext{})
+	if v.OK() {
+		t.Fatal("operator mismatch must fail")
+	}
+	if !strings.Contains(v.Report(), "mismatch") {
+		t.Errorf("report: %s", v.Report())
+	}
+}
+
+func TestVerifyReductionUnderCriticalIsWarning(t *testing.T) {
+	rec := &ParallelFor{ROI: "r", Reductions: []ReductionClause{{Op: "+", Name: "s"}}}
+	v := VerifyParallelFor(rec, pfPragma(t, "omp parallel for"),
+		VerifyContext{HasCriticalInside: true})
+	if !v.OK() {
+		t.Errorf("reduction protected by critical is safe (if slow): %s", v.Report())
+	}
+	if len(findingVars(v, VerifyWarning)) != 1 {
+		t.Errorf("want one warning: %s", v.Report())
+	}
+}
+
+func TestVerifyLastPrivateDowngrade(t *testing.T) {
+	rec := &ParallelFor{ROI: "r", LastPrivate: []VarClause{{Name: "v"}}}
+	// private(v) is safe but drops the final value: warning.
+	v := VerifyParallelFor(rec, pfPragma(t, "omp parallel for private(v)"), VerifyContext{})
+	if !v.OK() {
+		t.Errorf("private against lastprivate is a warning: %s", v.Report())
+	}
+	// Nothing at all: error.
+	v2 := VerifyParallelFor(rec, pfPragma(t, "omp parallel for"), VerifyContext{})
+	if v2.OK() {
+		t.Error("defaulted-shared against lastprivate must fail")
+	}
+}
+
+func TestVerifyCleanPragmaReportsMatch(t *testing.T) {
+	rec := &ParallelFor{ROI: "r", Shared: []VarClause{{Name: "a"}}}
+	v := VerifyParallelFor(rec, pfPragma(t, "omp parallel for shared(a)"), VerifyContext{})
+	if !v.OK() || !strings.Contains(v.Report(), "matches") {
+		t.Errorf("clean verification should say so: %s", v.Report())
+	}
+}
+
+func TestDeclaredInLoopWalker(t *testing.T) {
+	f, err := lang.ParseAndCheck("t.mc", `
+int main() {
+	int outer = 0;
+	for (int i = 0; i < 4; i++) {
+		int a = i;
+		if (a > 1) {
+			int b = a;
+			outer += b;
+		}
+		while (a > 0) {
+			int c = a;
+			a = a - c;
+		}
+	}
+	return outer;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forStmt := f.FuncByName("main").Body.Stmts[1].(*lang.ForStmt)
+	decls := DeclaredInLoop(forStmt)
+	for _, want := range []string{"i", "a", "b", "c"} {
+		if !decls[want] {
+			t.Errorf("%s should be declared-in-loop: %v", want, decls)
+		}
+	}
+	if decls["outer"] {
+		t.Error("outer is declared before the loop")
+	}
+}
+
+func TestHasCriticalInsideWalker(t *testing.T) {
+	f, err := lang.ParseAndCheck("t.mc", `
+int g = 0;
+int main() {
+	for (int i = 0; i < 4; i++) {
+		if (i > 0) {
+			#pragma omp critical
+			{
+				g = g + i;
+			}
+		}
+	}
+	for (int j = 0; j < 4; j++) {
+		g = g + j;
+	}
+	return g;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.FuncByName("main").Body.Stmts
+	withCrit := body[0].(*lang.ForStmt)
+	without := body[1].(*lang.ForStmt)
+	if !HasCriticalInside(withCrit) {
+		t.Error("nested critical not found")
+	}
+	if HasCriticalInside(without) {
+		t.Error("false positive on plain loop")
+	}
+}

@@ -1,0 +1,107 @@
+// Package rt implements CARMOT-Go's profiling runtime (§4.6, Figure 5).
+// The instrumented program (the interpreter's main thread) pushes events
+// into fixed-size batches; filled batches flow through a parallel pipeline
+// of worker goroutines that condense them into per-cell access summaries;
+// an ordered post-processing stage then maintains the Active State Member
+// Table (ASMT), drives the Figure 3 FSA per (ROI, cell), collects
+// use-callstacks, and builds the reachability graph — producing one PSEC
+// per ROI.
+package rt
+
+import "carmot/internal/core"
+
+// EventKind enumerates runtime events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvAccess is a single-cell read or write at Addr.
+	EvAccess EventKind = iota
+	// EvRange reports a uniform access over [Addr, Addr+N*Stride), one
+	// per covered ROI execution (aggregation optimization, §4.4 opt 2);
+	// every covered cell behaves as first-accessed in its own invocation.
+	EvRange
+	// EvFixed reports a compile-time classification (§4.4 opt 3) of
+	// [Addr, Addr+N) as Sets for ROI.
+	EvFixed
+	// EvROIBegin / EvROIEnd delimit a dynamic ROI invocation.
+	EvROIBegin
+	EvROIEnd
+	// EvAlloc announces a new PSE allocation at [Addr, Addr+N) with Meta.
+	EvAlloc
+	// EvFree retires the allocation based at Addr.
+	EvFree
+	// EvEscape records that a pointer to cell Aux was stored into cell
+	// Addr (a reachability-graph reference, §3.1).
+	EvEscape
+)
+
+var eventKindNames = [...]string{
+	"access", "range", "fixed", "roi.begin", "roi.end", "alloc", "free", "escape",
+}
+
+// String returns the event kind name.
+func (k EventKind) String() string { return eventKindNames[k] }
+
+// AllocMeta carries the source identity of an allocation. It is attached
+// to EvAlloc events only, so the hot access path stays pointer-free.
+type AllocMeta struct {
+	Kind core.PSEKind
+	Name string
+	Pos  string
+}
+
+// Event is one runtime event. The main thread fills these into batches;
+// size matters more than elegance here.
+type Event struct {
+	Kind  EventKind
+	Write bool
+	ROI   int32 // EvROIBegin/End, EvRange, EvFixed
+	Phase uint32
+	Addr  uint64
+	N     int64 // cells (EvAlloc, EvRange, EvFixed)
+	Aux   uint64
+	Site  int32
+	CS    core.CallstackID
+	Sets  core.SetMask
+	Seq   uint64
+	Meta  *AllocMeta
+}
+
+// SiteInfo describes one static instrumented access site (an ROI use).
+type SiteInfo struct {
+	Pos   string
+	Func  string
+	Write bool
+	// ReduceOp is "+" or "*" when the site is part of a recognized
+	// reduction pattern on a single PSE (load e; op; store e); empty
+	// otherwise. The recommendation engine uses it for reduction clauses.
+	ReduceOp string
+}
+
+// ROIMeta mirrors the static ROI table for report building.
+type ROIMeta struct {
+	ID   int
+	Name string
+	Kind string
+	Pos  string
+}
+
+// TrackingProfile selects which PSEC components the runtime must build,
+// per Table 1: the OpenMP use case needs Sets and Use-callstacks, omp task
+// and STATS only Sets, smart pointers Sets and the Reachability Graph
+// (and §5.2's CARMOT configuration tracks only allocations + reachability).
+type TrackingProfile struct {
+	Sets          bool
+	UseCallstacks bool
+	Reach         bool
+}
+
+// Profiles for the paper's use cases.
+var (
+	ProfileOpenMP   = TrackingProfile{Sets: true, UseCallstacks: true}
+	ProfileTask     = TrackingProfile{Sets: true}
+	ProfileSmartPtr = TrackingProfile{Reach: true}
+	ProfileStats    = TrackingProfile{Sets: true}
+	ProfileFull     = TrackingProfile{Sets: true, UseCallstacks: true, Reach: true}
+)

@@ -1,0 +1,484 @@
+package rt
+
+import (
+	"fmt"
+	"sort"
+
+	"carmot/internal/core"
+)
+
+// cellTrack is the per-(ROI, cell) FSA instance. lastInv==0 means the
+// cell has not been accessed in the ROI yet (invocations start at 1).
+type cellTrack struct {
+	state    core.FSAState
+	lastInv  uint64
+	firstSeq uint64
+	lastSeq  uint64
+}
+
+// allocRec is one Active State Member Table entry: a live PSE allocation
+// with its source identity, extent, and per-ROI cell tracking.
+type allocRec struct {
+	id      int32
+	desc    core.PSEDesc
+	base    uint64
+	cells   int64
+	roiMask uint64 // ROIs active when allocated ("allocated within")
+	live    bool
+	track   [][]cellTrack // indexed by ROI ID, allocated lazily
+}
+
+func (a *allocRec) trackFor(roi int, numROIs int) []cellTrack {
+	if a.track == nil {
+		a.track = make([][]cellTrack, numROIs)
+	}
+	if a.track[roi] == nil {
+		a.track[roi] = make([]cellTrack, a.cells)
+	}
+	return a.track[roi]
+}
+
+// elemAcc accumulates the report for one source-identified PSE within one
+// ROI (dynamic instances of the same static PSE fold together here).
+type elemAcc struct {
+	desc     core.PSEDesc
+	cellSets []core.SetMask
+	firstSeq uint64
+	lastSeq  uint64
+	seen     bool
+	useSites map[int32]map[core.CallstackID]struct{}
+}
+
+func (e *elemAcc) fold(off int, sets core.SetMask, firstSeq, lastSeq uint64) {
+	for off >= len(e.cellSets) {
+		e.cellSets = append(e.cellSets, 0)
+	}
+	e.cellSets[off] = core.MergeSets(e.cellSets[off], sets)
+	if !e.seen || firstSeq < e.firstSeq {
+		e.firstSeq = firstSeq
+	}
+	if lastSeq > e.lastSeq {
+		e.lastSeq = lastSeq
+	}
+	e.seen = true
+}
+
+// postState is the ordered post-processing stage (Figure 5): it owns the
+// ASMT, the per-ROI FSA cells, use-callstacks, and reachability graphs.
+type postState struct {
+	cfg *Config
+	cs  *core.CallstackTable
+
+	cellOwner []int32 // addr -> allocID+1 (0 = untracked)
+	allocs    []*allocRec
+	baseIndex map[uint64]int32 // base addr -> allocID for EvFree
+
+	active []bool
+	roiInv []uint64
+	acc    []map[string]*elemAcc
+	reach  []*core.ReachGraph
+	stats  []core.Stats
+}
+
+func newPostState(cfg *Config, cs *core.CallstackTable) *postState {
+	n := len(cfg.ROIs)
+	p := &postState{
+		cfg:       cfg,
+		cs:        cs,
+		baseIndex: map[uint64]int32{},
+		active:    make([]bool, n),
+		roiInv:    make([]uint64, n),
+		acc:       make([]map[string]*elemAcc, n),
+		reach:     make([]*core.ReachGraph, n),
+		stats:     make([]core.Stats, n),
+	}
+	for i := range p.acc {
+		p.acc[i] = map[string]*elemAcc{}
+		p.reach[i] = core.NewReachGraph()
+	}
+	return p
+}
+
+func (p *postState) owner(addr uint64) *allocRec {
+	if addr >= uint64(len(p.cellOwner)) {
+		return nil
+	}
+	id := p.cellOwner[addr]
+	if id == 0 {
+		return nil
+	}
+	return p.allocs[id-1]
+}
+
+func (p *postState) ensureOwnerLen(hi uint64) {
+	for uint64(len(p.cellOwner)) < hi {
+		p.cellOwner = append(p.cellOwner, make([]int32, hi-uint64(len(p.cellOwner)))...)
+	}
+}
+
+func (p *postState) elemFor(roi int, desc core.PSEDesc) *elemAcc {
+	key := desc.Key()
+	e := p.acc[roi][key]
+	if e == nil {
+		e = &elemAcc{desc: desc, useSites: map[int32]map[core.CallstackID]struct{}{}}
+		p.acc[roi][key] = e
+	}
+	return e
+}
+
+func (p *postState) apply(item *postItem) {
+	if item.ev == nil {
+		p.applySummaries(item)
+		return
+	}
+	ev := item.ev
+	switch ev.Kind {
+	case EvROIBegin:
+		roi := int(ev.ROI)
+		p.roiInv[roi]++
+		p.active[roi] = true
+		p.stats[roi].Invocations++
+	case EvROIEnd:
+		p.active[int(ev.ROI)] = false
+	case EvAlloc:
+		p.applyAlloc(ev)
+	case EvFree:
+		if id, ok := p.baseIndex[ev.Addr]; ok {
+			p.finalizeAlloc(p.allocs[id])
+		}
+	case EvEscape:
+		p.applyEscape(ev)
+	case EvFixed:
+		p.applyFixed(ev)
+	case EvRange:
+		p.applyRange(ev)
+	}
+}
+
+func (p *postState) applyAlloc(ev *Event) {
+	rec := &allocRec{
+		id:    int32(len(p.allocs)),
+		base:  ev.Addr,
+		cells: ev.N,
+		live:  true,
+	}
+	rec.desc = core.PSEDesc{
+		Kind: ev.Meta.Kind, Name: ev.Meta.Name, AllocPos: ev.Meta.Pos,
+		AllocStack: ev.CS, Cells: int(ev.N),
+	}
+	for roi := range p.active {
+		if p.active[roi] {
+			rec.roiMask |= 1 << uint(roi)
+			if p.cfg.Profile.Reach {
+				p.reach[roi].Touch(rec.desc, ev.Seq)
+			}
+		}
+	}
+	// Reuse of an address range (stack frames, freed heap) retires the
+	// previous owner implicitly.
+	p.ensureOwnerLen(ev.Addr + uint64(ev.N))
+	for i := uint64(0); i < uint64(ev.N); i++ {
+		if prev := p.cellOwner[ev.Addr+i]; prev != 0 && p.allocs[prev-1].live {
+			p.finalizeAlloc(p.allocs[prev-1])
+		}
+		p.cellOwner[ev.Addr+i] = rec.id + 1
+	}
+	p.allocs = append(p.allocs, rec)
+	p.baseIndex[ev.Addr] = rec.id
+}
+
+// finalizeAlloc folds a dying allocation's per-ROI FSA states into the
+// per-source-PSE accumulators and releases its tracking storage.
+func (p *postState) finalizeAlloc(rec *allocRec) {
+	if !rec.live {
+		return
+	}
+	rec.live = false
+	delete(p.baseIndex, rec.base)
+	for i := uint64(0); i < uint64(rec.cells); i++ {
+		if p.cellOwner[rec.base+i] == rec.id+1 {
+			p.cellOwner[rec.base+i] = 0
+		}
+	}
+	if rec.track == nil {
+		return
+	}
+	for roi, cells := range rec.track {
+		if cells == nil {
+			continue
+		}
+		var e *elemAcc
+		for off := range cells {
+			ct := &cells[off]
+			if ct.state == core.StateNone {
+				continue
+			}
+			if e == nil {
+				e = p.elemFor(roi, rec.desc)
+			}
+			e.fold(off, ct.state.Sets(), ct.firstSeq, ct.lastSeq)
+		}
+	}
+	rec.track = nil
+}
+
+func (p *postState) applySummaries(item *postItem) {
+	numROIs := len(p.cfg.ROIs)
+	for si := range item.sums {
+		s := &item.sums[si]
+		rec := p.owner(s.addr)
+		if rec == nil {
+			continue
+		}
+		off := int(s.addr - rec.base)
+		for roi := 0; roi < numROIs; roi++ {
+			if !p.active[roi] {
+				continue
+			}
+			st := &p.stats[roi]
+			st.TotalAccesses += s.count
+			st.Events++
+			if rec.desc.Kind == core.PSEVariable {
+				st.VarAccesses += s.count
+			} else {
+				st.MemAccesses += s.count
+			}
+			if !p.cfg.Profile.Sets && !p.cfg.Profile.Reach {
+				continue
+			}
+			cells := rec.trackFor(roi, numROIs)
+			ct := &cells[off]
+			inv := p.roiInv[roi]
+			if ct.lastInv == 0 {
+				ct.firstSeq = s.firstSeq
+				if p.cfg.Profile.Reach && rec.roiMask&(1<<uint(roi)) != 0 {
+					p.reach[roi].Touch(rec.desc, s.firstSeq)
+				}
+			}
+			ct.lastSeq = s.lastSeq
+			if ct.lastInv != inv {
+				ct.state = ct.state.Next(true, s.firstIsWrite)
+				if s.hasWrite {
+					ct.state = ct.state.Next(false, true)
+				}
+				ct.lastInv = inv
+			} else if s.hasWrite {
+				ct.state = ct.state.Next(false, true)
+			}
+		}
+	}
+	if p.cfg.Profile.UseCallstacks {
+		for ui := range item.uses {
+			u := &item.uses[ui]
+			for _, addr := range u.samples {
+				rec := p.owner(addr)
+				if rec == nil {
+					continue
+				}
+				for roi := 0; roi < numROIs; roi++ {
+					if !p.active[roi] {
+						continue
+					}
+					e := p.elemFor(roi, rec.desc)
+					set := e.useSites[u.site]
+					if set == nil {
+						set = map[core.CallstackID]struct{}{}
+						e.useSites[u.site] = set
+					}
+					set[u.cs] = struct{}{}
+				}
+			}
+		}
+	}
+}
+
+func (p *postState) applyEscape(ev *Event) {
+	if !p.cfg.Profile.Reach {
+		return
+	}
+	from := p.owner(ev.Addr)
+	to := p.owner(ev.Aux)
+	if from == nil || to == nil {
+		return
+	}
+	for roi := range p.active {
+		if !p.active[roi] {
+			continue
+		}
+		bit := uint64(1) << uint(roi)
+		if from.roiMask&bit == 0 || to.roiMask&bit == 0 {
+			continue
+		}
+		p.reach[roi].AddEdge(from.desc, to.desc, ev.Seq)
+	}
+}
+
+// applyFixed applies a compile-time classification (§4.4 opt 3).
+func (p *postState) applyFixed(ev *Event) {
+	roi := int(ev.ROI)
+	if !p.cfg.Profile.Sets {
+		return
+	}
+	for i := uint64(0); i < uint64(ev.N); i++ {
+		rec := p.owner(ev.Addr + i)
+		if rec == nil {
+			continue
+		}
+		e := p.elemFor(roi, rec.desc)
+		e.fold(int(ev.Addr+i-rec.base), ev.Sets, ev.Seq, ev.Seq)
+	}
+}
+
+// applyRange applies an aggregated access event (§4.4 opt 2): each
+// covered cell behaves as first-accessed in its own ROI invocation.
+func (p *postState) applyRange(ev *Event) {
+	roi := int(ev.ROI)
+	stride := int64(ev.Aux)
+	if stride == 0 {
+		stride = 1
+	}
+	st := &p.stats[roi]
+	st.Events++
+	for i := int64(0); i < ev.N; i++ {
+		addr := ev.Addr + uint64(i*stride)
+		rec := p.owner(addr)
+		if rec == nil {
+			continue
+		}
+		st.TotalAccesses++
+		if rec.desc.Kind == core.PSEVariable {
+			st.VarAccesses++
+		} else {
+			st.MemAccesses++
+		}
+		if !p.cfg.Profile.Sets {
+			continue
+		}
+		cells := rec.trackFor(roi, len(p.cfg.ROIs))
+		ct := &cells[addr-rec.base]
+		if ct.lastInv == 0 {
+			ct.firstSeq = ev.Seq
+		}
+		ct.lastSeq = ev.Seq
+		ct.state = ct.state.Next(true, ev.Write)
+	}
+}
+
+// finish finalizes live allocations and builds the per-ROI PSECs.
+func (p *postState) finish() []*core.PSEC {
+	for _, rec := range p.allocs {
+		if rec.live {
+			p.finalizeAlloc(rec)
+		}
+	}
+	out := make([]*core.PSEC, len(p.cfg.ROIs))
+	for roi := range p.cfg.ROIs {
+		meta := p.cfg.ROIs[roi]
+		psec := &core.PSEC{
+			ROI:        core.ROIInfo{ID: meta.ID, Name: meta.Name, Kind: meta.Kind, Pos: meta.Pos},
+			Reach:      p.reach[roi],
+			Callstacks: p.cs,
+			Stats:      p.stats[roi],
+		}
+		keys := make([]string, 0, len(p.acc[roi]))
+		for k := range p.acc[roi] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := p.acc[roi][k]
+			elem := &core.Element{
+				PSE:         e.desc,
+				Ranges:      core.AggregateRanges(e.cellSets),
+				FirstAccess: e.firstSeq,
+				LastAccess:  e.lastSeq,
+			}
+			for _, r := range elem.Ranges {
+				elem.Sets = core.MergeSets(elem.Sets, r.Sets)
+			}
+			if e.desc.Kind == core.PSEVariable {
+				p.mergeStaticUses(e)
+			}
+			elem.UseSites = p.buildUseSites(e)
+			elem.Reducible, elem.Reduction = p.reduction(e)
+			if e.desc.Kind == core.PSEVariable {
+				// Reducibility of variables is decided statically (§4.4
+				// opt 1 may have removed some instrumentation).
+				op, ok := p.cfg.ReducibleVars[e.desc.AllocPos]
+				elem.Reducible, elem.Reduction = ok, op
+			}
+			if elem.Sets == 0 && len(elem.UseSites) == 0 {
+				continue
+			}
+			psec.Elements = append(psec.Elements, elem)
+		}
+		out[roi] = psec
+	}
+	return out
+}
+
+// mergeStaticUses adds compiler-contributed use sites for a variable.
+func (p *postState) mergeStaticUses(e *elemAcc) {
+	for _, site := range p.cfg.StaticVarUses[e.desc.AllocPos] {
+		if _, ok := e.useSites[site]; !ok {
+			e.useSites[site] = map[core.CallstackID]struct{}{}
+		}
+	}
+}
+
+func (p *postState) buildUseSites(e *elemAcc) []core.UseSite {
+	if len(e.useSites) == 0 {
+		return nil
+	}
+	sites := make([]int32, 0, len(e.useSites))
+	for s := range e.useSites {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := make([]core.UseSite, 0, len(sites))
+	for _, s := range sites {
+		info := p.cfg.Sites[s]
+		u := core.UseSite{Pos: info.Pos, IsWrite: info.Write}
+		css := make([]core.CallstackID, 0, len(e.useSites[s]))
+		for cs := range e.useSites[s] {
+			css = append(css, cs)
+		}
+		sort.Slice(css, func(i, j int) bool { return css[i] < css[j] })
+		u.Callstacks = css
+		out = append(out, u)
+	}
+	return out
+}
+
+// reduction decides whether every in-ROI computation on the element is a
+// single commutative reduction (load e; op; store e), the §3.2 check that
+// admits a reduction(op:var) clause.
+func (p *postState) reduction(e *elemAcc) (bool, string) {
+	if len(e.useSites) == 0 {
+		return false, ""
+	}
+	op := ""
+	for s := range e.useSites {
+		info := p.cfg.Sites[s]
+		if info.ReduceOp == "" {
+			return false, ""
+		}
+		if op == "" {
+			op = info.ReduceOp
+		} else if op != info.ReduceOp {
+			return false, ""
+		}
+	}
+	return true, op
+}
+
+// DumpASMT renders the live-allocation table; useful in tests/debugging.
+func (p *postState) DumpASMT() string {
+	s := ""
+	for _, a := range p.allocs {
+		if a.live {
+			s += fmt.Sprintf("alloc %d %s base=%d cells=%d\n", a.id, a.desc.Key(), a.base, a.cells)
+		}
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+
+	"carmot/internal/core"
+)
+
+// randomStream generates a reproducible event stream over a handful of
+// allocations and invocations.
+type streamOp struct {
+	kind  EventKind
+	addr  uint64
+	write bool
+}
+
+func randomStream(r *rand.Rand, nOps int) []streamOp {
+	ops := []streamOp{
+		{kind: EvAlloc, addr: 100},
+		{kind: EvAlloc, addr: 200},
+		{kind: EvROIBegin},
+	}
+	open := true
+	for i := 0; i < nOps; i++ {
+		switch r.Intn(10) {
+		case 0:
+			if open {
+				ops = append(ops, streamOp{kind: EvROIEnd})
+			} else {
+				ops = append(ops, streamOp{kind: EvROIBegin})
+			}
+			open = !open
+		default:
+			base := uint64(100)
+			if r.Intn(2) == 0 {
+				base = 200
+			}
+			ops = append(ops, streamOp{
+				kind:  EvAccess,
+				addr:  base + uint64(r.Intn(8)),
+				write: r.Intn(2) == 0,
+			})
+		}
+	}
+	if open {
+		ops = append(ops, streamOp{kind: EvROIEnd})
+	}
+	return ops
+}
+
+func replay(ops []streamOp, batchSize, workers int) string {
+	r := New(Config{
+		BatchSize: batchSize, Workers: workers, Profile: ProfileFull,
+		ROIs: []ROIMeta{{ID: 0, Name: "z"}},
+	})
+	for _, op := range ops {
+		switch op.kind {
+		case EvAlloc:
+			r.Emit(Event{Kind: EvAlloc, Addr: op.addr, N: 8,
+				Meta: &AllocMeta{Kind: core.PSEHeap, Name: "arr", Pos: "p"}})
+		case EvROIBegin:
+			r.BeginROI(0)
+		case EvROIEnd:
+			r.EndROI(0)
+		case EvAccess:
+			r.EmitAccess(op.addr, op.write, -1, 0)
+		}
+	}
+	return r.Finish()[0].Summary()
+}
+
+// TestPipelinePropertyBatchInvariance: for random event streams, the PSEC
+// must not depend on batch size or worker count — the Figure 5 pipeline
+// is an implementation detail of throughput, never of semantics.
+func TestPipelinePropertyBatchInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		ops := randomStream(r, 30+r.Intn(120))
+		ref := replay(ops, 1, 1)
+		for _, cfg := range [][2]int{{2, 1}, {7, 3}, {64, 4}, {4096, 8}} {
+			if got := replay(ops, cfg[0], cfg[1]); got != ref {
+				t.Fatalf("trial %d: batch=%d workers=%d changes the PSEC:\n%s\nvs reference\n%s",
+					trial, cfg[0], cfg[1], got, ref)
+			}
+		}
+	}
+}
+
+// TestPipelinePropertyAgainstOracle replays random single-cell streams
+// against a direct FSA oracle.
+func TestPipelinePropertyAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		nInv := 1 + r.Intn(5)
+		type acc struct {
+			inv   int
+			write bool
+		}
+		var trace []acc
+		for inv := 0; inv < nInv; inv++ {
+			for k := 0; k < r.Intn(4); k++ {
+				trace = append(trace, acc{inv: inv, write: r.Intn(2) == 0})
+			}
+		}
+		// Oracle.
+		st := core.StateNone
+		last := -1
+		for _, a := range trace {
+			st = st.Next(a.inv != last, a.write)
+			last = a.inv
+		}
+		want := st.Sets()
+
+		// Pipeline.
+		rt0 := New(Config{BatchSize: 3, Workers: 2, Profile: ProfileFull,
+			ROIs: []ROIMeta{{ID: 0, Name: "z"}}})
+		rt0.Emit(Event{Kind: EvAlloc, Addr: 50, N: 1,
+			Meta: &AllocMeta{Kind: core.PSEVariable, Name: "x", Pos: "p"}})
+		cur := -1
+		for _, a := range trace {
+			for cur < a.inv {
+				if cur >= 0 {
+					rt0.EndROI(0)
+				}
+				rt0.BeginROI(0)
+				cur++
+			}
+			rt0.EmitAccess(50, a.write, -1, 0)
+		}
+		if cur >= 0 {
+			rt0.EndROI(0)
+		}
+		p := rt0.Finish()[0]
+		var got core.SetMask
+		if e := p.ElementByName("x"); e != nil {
+			got = e.Sets
+		}
+		if got != want {
+			t.Fatalf("trial %d trace %v: pipeline says %s, oracle %s", trial, trace, got, want)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+
+	"carmot/internal/core"
+)
+
+// feeder drives the runtime with synthetic events the way the
+// interpreter's instrumentation would.
+type feeder struct {
+	r *Runtime
+}
+
+func newFeeder(cfg Config) *feeder {
+	if len(cfg.ROIs) == 0 {
+		cfg.ROIs = []ROIMeta{{ID: 0, Name: "z", Kind: "carmot", Pos: "t.mc:1:1"}}
+	}
+	return &feeder{r: New(cfg)}
+}
+
+func (f *feeder) alloc(addr uint64, n int64, kind core.PSEKind, name string) {
+	f.r.Emit(Event{Kind: EvAlloc, Addr: addr, N: n,
+		Meta: &AllocMeta{Kind: kind, Name: name, Pos: "t.mc:9:9"}})
+}
+
+func (f *feeder) access(addr uint64, write bool) {
+	f.r.EmitAccess(addr, write, -1, 0)
+}
+
+func TestPipelineBasicClassification(t *testing.T) {
+	for _, batch := range []int{1, 2, 3, 4096} {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			f := newFeeder(Config{BatchSize: batch, Workers: 2, Profile: ProfileFull})
+			f.alloc(100, 4, core.PSEHeap, "arr")
+			// inv 1: cell 100 read, cell 101 written, cell 102 read+written.
+			f.r.BeginROI(0)
+			f.access(100, false)
+			f.access(101, true)
+			f.access(102, false)
+			f.access(102, true)
+			f.r.EndROI(0)
+			// inv 2: cell 100 read again (still Input), 101 overwritten
+			// (Cloneable), 102 read first (Transfer).
+			f.r.BeginROI(0)
+			f.access(100, false)
+			f.access(101, true)
+			f.access(102, false)
+			f.r.EndROI(0)
+			psecs := f.r.Finish()
+			p := psecs[0]
+			e := p.ElementByName("arr")
+			if e == nil {
+				t.Fatal("arr missing from PSEC")
+			}
+			wantRanges := []core.CellRange{
+				{Lo: 0, Hi: 1, Sets: core.SetInput},
+				{Lo: 1, Hi: 2, Sets: core.SetCloneable | core.SetOutput},
+				{Lo: 2, Hi: 3, Sets: core.SetTransfer | core.SetInput | core.SetOutput},
+			}
+			if len(e.Ranges) != len(wantRanges) {
+				t.Fatalf("ranges = %v", e.Ranges)
+			}
+			for i, w := range wantRanges {
+				if e.Ranges[i] != w {
+					t.Errorf("range %d = %v, want %v", i, e.Ranges[i], w)
+				}
+			}
+			if p.Stats.Invocations != 2 {
+				t.Errorf("invocations = %d", p.Stats.Invocations)
+			}
+			if p.Stats.TotalAccesses != 7 {
+				t.Errorf("accesses = %d", p.Stats.TotalAccesses)
+			}
+		})
+	}
+}
+
+func TestAccessesOutsideROIDropped(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileFull})
+	f.alloc(50, 1, core.PSEVariable, "x")
+	f.access(50, true) // outside any invocation
+	f.r.BeginROI(0)
+	f.access(50, false)
+	f.r.EndROI(0)
+	f.access(50, true) // outside again
+	p := f.r.Finish()[0]
+	e := p.ElementByName("x")
+	if e == nil || e.Sets != core.SetInput {
+		t.Errorf("x = %v; outside-ROI writes must not classify", e)
+	}
+}
+
+func TestFreeSplitsPSEInstances(t *testing.T) {
+	// The same address reused by two allocations is two distinct PSEs;
+	// the report folds them by source identity.
+	f := newFeeder(Config{Profile: ProfileFull})
+	f.r.BeginROI(0)
+	f.alloc(200, 1, core.PSEHeap, "buf")
+	f.access(200, true)
+	f.r.Emit(Event{Kind: EvFree, Addr: 200})
+	f.alloc(200, 1, core.PSEHeap, "buf")
+	f.access(200, true)
+	f.r.EndROI(0)
+	p := f.r.Finish()[0]
+	e := p.ElementByName("buf")
+	if e == nil {
+		t.Fatal("buf missing")
+	}
+	// Each instance was written once in one invocation: Output only —
+	// NOT Cloneable (that would need one PSE written by two invocations).
+	if e.Sets != core.SetOutput {
+		t.Errorf("buf = %s, want {Output}", e.Sets)
+	}
+}
+
+func TestImplicitRetireOnAddressReuse(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileFull})
+	f.r.BeginROI(0)
+	f.alloc(300, 2, core.PSEStackMem, "frameA")
+	f.access(300, true)
+	// A new allocation over the same cells (stack frame reuse) retires
+	// the old one even without an explicit free event.
+	f.alloc(300, 2, core.PSEStackMem, "frameB")
+	f.access(300, false)
+	f.r.EndROI(0)
+	p := f.r.Finish()[0]
+	a, b := p.ElementByName("frameA"), p.ElementByName("frameB")
+	if a == nil || a.Sets != core.SetOutput {
+		t.Errorf("frameA = %v", a)
+	}
+	if b == nil || b.Sets != core.SetInput {
+		t.Errorf("frameB = %v", b)
+	}
+}
+
+func TestRangedEvents(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileOpenMP})
+	f.alloc(1000, 10, core.PSEHeap, "vec")
+	// Two loop executions, each reporting a uniform write over the
+	// vector: cells become Cloneable+Output (overwritten, never read).
+	f.r.Emit(Event{Kind: EvRange, Write: true, ROI: 0, Addr: 1000, N: 10, Aux: 1})
+	f.r.Emit(Event{Kind: EvRange, Write: true, ROI: 0, Addr: 1000, N: 10, Aux: 1})
+	p := f.r.Finish()[0]
+	e := p.ElementByName("vec")
+	if e == nil || e.Sets != core.SetCloneable|core.SetOutput {
+		t.Errorf("vec = %v, want Cloneable|Output", e)
+	}
+	// A single read-ranged event yields Input.
+	f2 := newFeeder(Config{Profile: ProfileOpenMP})
+	f2.alloc(1000, 10, core.PSEHeap, "vec")
+	f2.r.Emit(Event{Kind: EvRange, ROI: 0, Addr: 1000, N: 10, Aux: 1})
+	if e := f2.r.Finish()[0].ElementByName("vec"); e == nil || e.Sets != core.SetInput {
+		t.Errorf("read-ranged vec = %v", e)
+	}
+}
+
+func TestRangedEventStride(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileOpenMP})
+	f.alloc(0x800, 8, core.PSEHeap, "mat")
+	// Stride 2: only even cells accessed.
+	f.r.Emit(Event{Kind: EvRange, ROI: 0, Addr: 0x800, N: 4, Aux: 2})
+	p := f.r.Finish()[0]
+	e := p.ElementByName("mat")
+	if e == nil || len(e.Ranges) != 4 {
+		t.Fatalf("strided ranges = %+v", e)
+	}
+	for _, r := range e.Ranges {
+		if r.Hi-r.Lo != 1 || r.Lo%2 != 0 {
+			t.Errorf("bad strided range %v", r)
+		}
+	}
+}
+
+func TestFixedClassification(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileOpenMP})
+	f.alloc(77, 1, core.PSEVariable, "alpha")
+	f.r.Emit(Event{Kind: EvFixed, ROI: 0, Addr: 77, N: 1, Sets: core.SetInput})
+	p := f.r.Finish()[0]
+	if e := p.ElementByName("alpha"); e == nil || e.Sets != core.SetInput {
+		t.Errorf("alpha = %v", e)
+	}
+}
+
+func TestEscapesBuildReachGraph(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileSmartPtr})
+	f.r.BeginROI(0)
+	f.alloc(10, 2, core.PSEHeap, "a")
+	f.alloc(20, 2, core.PSEHeap, "b")
+	f.r.Emit(Event{Kind: EvEscape, Addr: 10, Aux: 20}) // a -> b
+	f.r.Emit(Event{Kind: EvEscape, Addr: 21, Aux: 10}) // b -> a
+	f.r.EndROI(0)
+	p := f.r.Finish()[0]
+	cycles := p.Reach.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("want 1 cycle, got %d", len(cycles))
+	}
+	if len(cycles[0].Nodes) != 2 {
+		t.Errorf("cycle nodes = %v", cycles[0].Nodes)
+	}
+}
+
+func TestEscapeOutsideROINotRecorded(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileSmartPtr})
+	// Allocations before the ROI begins are not "allocated within".
+	f.alloc(10, 1, core.PSEHeap, "pre")
+	f.r.BeginROI(0)
+	f.alloc(20, 1, core.PSEHeap, "in")
+	f.r.Emit(Event{Kind: EvEscape, Addr: 10, Aux: 20})
+	f.r.EndROI(0)
+	p := f.r.Finish()[0]
+	if n := len(p.Reach.Edges()); n != 0 {
+		t.Errorf("edge involving a pre-ROI allocation recorded (%d)", n)
+	}
+}
+
+func TestUseCallstacksCollected(t *testing.T) {
+	cfg := Config{
+		Profile: ProfileOpenMP,
+		Sites: []SiteInfo{
+			{Pos: "t.mc:5:3", Func: "f", Write: false},
+			{Pos: "t.mc:6:3", Func: "f", Write: true},
+		},
+	}
+	f := newFeeder(cfg)
+	cs1 := f.r.Callstacks().Intern([]core.Frame{{Func: "main", Pos: "t.mc:10:1"}})
+	cs2 := f.r.Callstacks().Intern([]core.Frame{{Func: "other", Pos: "t.mc:20:1"}})
+	f.alloc(40, 1, core.PSEVariable, "v")
+	f.r.BeginROI(0)
+	f.r.EmitAccess(40, false, 0, cs1)
+	f.r.EmitAccess(40, false, 0, cs2)
+	f.r.EmitAccess(40, true, 1, cs1)
+	f.r.EndROI(0)
+	p := f.r.Finish()[0]
+	e := p.ElementByName("v")
+	if e == nil || len(e.UseSites) != 2 {
+		t.Fatalf("use sites = %+v", e)
+	}
+	if e.UseSites[0].IsWrite || len(e.UseSites[0].Callstacks) != 2 {
+		t.Errorf("read site = %+v", e.UseSites[0])
+	}
+	if !e.UseSites[1].IsWrite || len(e.UseSites[1].Callstacks) != 1 {
+		t.Errorf("write site = %+v", e.UseSites[1])
+	}
+}
+
+func TestStaticUsesAndReducibleVars(t *testing.T) {
+	cfg := Config{
+		Profile: ProfileOpenMP,
+		Sites: []SiteInfo{
+			{Pos: "t.mc:5:3", Func: "f", Write: true, ReduceOp: "+"},
+		},
+		StaticVarUses: map[string][]int32{"t.mc:2:2": {0}},
+		ReducibleVars: map[string]string{"t.mc:2:2": "+"},
+	}
+	f := newFeeder(cfg)
+	f.r.Emit(Event{Kind: EvAlloc, Addr: 60, N: 1,
+		Meta: &AllocMeta{Kind: core.PSEVariable, Name: "sum", Pos: "t.mc:2:2"}})
+	f.r.BeginROI(0)
+	f.r.EmitAccess(60, true, 0, 0)
+	f.r.EndROI(0)
+	p := f.r.Finish()[0]
+	e := p.ElementByName("sum")
+	if e == nil {
+		t.Fatal("sum missing")
+	}
+	if !e.Reducible || e.Reduction != "+" {
+		t.Errorf("sum should be statically reducible: %+v", e)
+	}
+	if len(e.UseSites) != 1 {
+		t.Errorf("static use sites merged wrong: %+v", e.UseSites)
+	}
+}
+
+func TestMultipleROIs(t *testing.T) {
+	cfg := Config{Profile: ProfileFull, ROIs: []ROIMeta{
+		{ID: 0, Name: "first"}, {ID: 1, Name: "second"},
+	}}
+	f := newFeeder(cfg)
+	f.alloc(500, 1, core.PSEVariable, "x")
+	f.r.BeginROI(0)
+	f.access(500, true)
+	f.r.EndROI(0)
+	f.r.BeginROI(1)
+	f.access(500, false)
+	f.r.EndROI(1)
+	psecs := f.r.Finish()
+	if e := psecs[0].ElementByName("x"); e == nil || e.Sets != core.SetOutput {
+		t.Errorf("roi0 x = %v", e)
+	}
+	if e := psecs[1].ElementByName("x"); e == nil || e.Sets != core.SetInput {
+		t.Errorf("roi1 x = %v", e)
+	}
+}
+
+func TestNestedROIs(t *testing.T) {
+	cfg := Config{Profile: ProfileFull, ROIs: []ROIMeta{
+		{ID: 0, Name: "outer"}, {ID: 1, Name: "inner"},
+	}}
+	f := newFeeder(cfg)
+	f.alloc(600, 1, core.PSEVariable, "y")
+	f.r.BeginROI(0)
+	f.access(600, true)
+	f.r.BeginROI(1)
+	f.access(600, false) // read inside both
+	f.r.EndROI(1)
+	f.r.EndROI(0)
+	psecs := f.r.Finish()
+	// Outer saw write-then-read within ONE invocation: the read is a
+	// subsequent access (Rn) and does not add Input — y stays Output.
+	// The inner ROI saw only the read: Input.
+	if e := psecs[0].ElementByName("y"); e == nil || e.Sets != core.SetOutput {
+		t.Errorf("outer y = %v", e)
+	}
+	if e := psecs[1].ElementByName("y"); e == nil || e.Sets != core.SetInput {
+		t.Errorf("inner y = %v", e)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	build := func() string {
+		f := newFeeder(Config{BatchSize: 3, Workers: 4, Profile: ProfileFull})
+		f.alloc(100, 8, core.PSEHeap, "arr")
+		for inv := 0; inv < 5; inv++ {
+			f.r.BeginROI(0)
+			for c := uint64(0); c < 8; c++ {
+				f.access(100+c, (int(c)+inv)%3 == 0)
+				f.access(100+c, false)
+			}
+			f.r.EndROI(0)
+		}
+		return f.r.Finish()[0].Summary()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Errorf("pipeline output not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSummaryInvariantToBatchBoundaries(t *testing.T) {
+	// The same event stream must classify identically whatever the batch
+	// size (an invocation may span batches).
+	results := map[int]string{}
+	for _, batch := range []int{1, 2, 5, 1000} {
+		f := newFeeder(Config{BatchSize: batch, Workers: 3, Profile: ProfileFull})
+		f.alloc(100, 2, core.PSEHeap, "arr")
+		for inv := 0; inv < 4; inv++ {
+			f.r.BeginROI(0)
+			f.access(100, inv%2 == 0)
+			f.access(101, false)
+			f.access(100, false)
+			f.r.EndROI(0)
+		}
+		results[batch] = f.r.Finish()[0].Summary()
+	}
+	base := results[1]
+	for batch, got := range results {
+		if got != base {
+			t.Errorf("batch size %d changes the PSEC:\n%s\nvs\n%s", batch, got, base)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package rt
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"carmot/internal/core"
+)
+
+// Config configures the runtime.
+type Config struct {
+	BatchSize int // events per batch (default 4096)
+	Workers   int // worker goroutines (default GOMAXPROCS)
+	Profile   TrackingProfile
+	Sites     []SiteInfo
+	ROIs      []ROIMeta
+	// StaticVarUses supplies compiler-known use sites (accesses whose
+	// instrumentation optimization 1 removed), keyed by the variable's
+	// declaration position.
+	StaticVarUses map[string][]int32
+	// ReducibleVars supplies the statically decided reduction operators,
+	// keyed by the variable's declaration position.
+	ReducibleVars map[string]string
+}
+
+// Runtime is the profiling runtime. The program thread calls the Emit*
+// methods and Finish; everything else runs on the pipeline goroutines.
+type Runtime struct {
+	cfg Config
+	cs  *core.CallstackTable
+
+	cur   []Event
+	seq   uint64
+	phase uint32
+
+	nextBatch int
+	filled    chan batchMsg
+	done      chan []*core.PSEC
+	workerWG  sync.WaitGroup
+	toPost    chan processedMsg
+	post      *postState
+}
+
+type batchMsg struct {
+	idx int
+	evs []Event
+}
+
+type processedMsg struct {
+	idx   int
+	items []postItem
+}
+
+// postItem is either a passthrough event or a block of condensed access
+// summaries; items preserve intra-batch ordering across the two forms.
+type postItem struct {
+	ev   *Event
+	sums []accSummary
+	uses []useRec
+}
+
+// accSummary condenses every access to one cell within one phase of one
+// batch; the FSA needs only the kind of the first access and whether any
+// write followed (§4.1).
+type accSummary struct {
+	addr         uint64
+	firstIsWrite bool
+	hasWrite     bool
+	count        uint64
+	firstSeq     uint64
+	lastSeq      uint64
+}
+
+// useRec aggregates use-callstack samples per (site, callstack).
+type useRec struct {
+	site    int32
+	cs      core.CallstackID
+	count   uint64
+	samples []uint64 // representative accessed addresses (capped)
+}
+
+const maxUseSamples = 8
+
+// New creates and starts a runtime.
+func New(cfg Config) *Runtime {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4096
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		cs:     core.NewCallstackTable(),
+		cur:    make([]Event, 0, cfg.BatchSize),
+		filled: make(chan batchMsg, 4*cfg.Workers),
+		toPost: make(chan processedMsg, 4*cfg.Workers),
+		done:   make(chan []*core.PSEC, 1),
+	}
+	r.post = newPostState(&cfg, r.cs)
+	// Worker threads: condense batches (the "Process Batch" stage).
+	for i := 0; i < cfg.Workers; i++ {
+		r.workerWG.Add(1)
+		go r.worker()
+	}
+	// Post-processing stage: reorder and apply (the "Postprocess Batch"
+	// stage; ordering preserves FSA and ASMT semantics).
+	go r.postprocessor()
+	go func() {
+		r.workerWG.Wait()
+		close(r.toPost)
+	}()
+	return r
+}
+
+// Callstacks exposes the interning table; the interpreter interns one
+// stack per function entry (callstack clustering, §4.4 opt 7).
+func (r *Runtime) Callstacks() *core.CallstackTable { return r.cs }
+
+// Profile returns the tracking profile the runtime was configured with.
+func (r *Runtime) Profile() TrackingProfile { return r.cfg.Profile }
+
+// Emit queues an event. The caller is the single program thread.
+func (r *Runtime) Emit(ev Event) {
+	ev.Phase = r.phase
+	ev.Seq = r.seq
+	r.seq++
+	r.cur = append(r.cur, ev)
+	if len(r.cur) == cap(r.cur) {
+		r.flush()
+	}
+}
+
+// EmitAccess is the hot-path helper for single-cell accesses.
+func (r *Runtime) EmitAccess(addr uint64, write bool, site int32, cs core.CallstackID) {
+	r.Emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
+}
+
+// BeginROI marks the start of a dynamic ROI invocation.
+func (r *Runtime) BeginROI(roi int) {
+	r.Emit(Event{Kind: EvROIBegin, ROI: int32(roi)})
+	r.phase++
+}
+
+// EndROI marks the end of a dynamic ROI invocation.
+func (r *Runtime) EndROI(roi int) {
+	r.Emit(Event{Kind: EvROIEnd, ROI: int32(roi)})
+	r.phase++
+}
+
+func (r *Runtime) flush() {
+	if len(r.cur) == 0 {
+		return
+	}
+	r.filled <- batchMsg{idx: r.nextBatch, evs: r.cur}
+	r.nextBatch++
+	r.cur = make([]Event, 0, r.cfg.BatchSize)
+}
+
+// Finish flushes pending events, drains the pipeline, and returns the
+// PSEC of every ROI (indexed by ROI ID).
+func (r *Runtime) Finish() []*core.PSEC {
+	r.flush()
+	close(r.filled)
+	return <-r.done
+}
+
+func (r *Runtime) worker() {
+	defer r.workerWG.Done()
+	for b := range r.filled {
+		r.toPost <- processedMsg{idx: b.idx, items: condense(b.evs)}
+	}
+}
+
+// condense is the worker stage: it folds runs of access events into
+// per-cell summaries while passing structural events through in order.
+func condense(evs []Event) []postItem {
+	var items []postItem
+	type key struct {
+		phase uint32
+		addr  uint64
+	}
+	var sums map[key]*accSummary
+	type useKey struct {
+		site int32
+		cs   core.CallstackID
+	}
+	var uses map[useKey]*useRec
+	var order []key
+	var useOrder []useKey
+
+	flushBlock := func() {
+		if len(sums) == 0 && len(uses) == 0 {
+			return
+		}
+		it := postItem{}
+		it.sums = make([]accSummary, 0, len(sums))
+		for _, k := range order {
+			it.sums = append(it.sums, *sums[k])
+		}
+		it.uses = make([]useRec, 0, len(uses))
+		for _, k := range useOrder {
+			it.uses = append(it.uses, *uses[k])
+		}
+		items = append(items, it)
+		sums, uses, order, useOrder = nil, nil, nil, nil
+	}
+
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Kind == EvAccess {
+			if sums == nil {
+				sums = map[key]*accSummary{}
+				uses = map[useKey]*useRec{}
+			}
+			k := key{ev.Phase, ev.Addr}
+			s := sums[k]
+			if s == nil {
+				s = &accSummary{addr: ev.Addr, firstIsWrite: ev.Write, firstSeq: ev.Seq}
+				sums[k] = s
+				order = append(order, k)
+			}
+			s.count++
+			s.lastSeq = ev.Seq
+			if ev.Write {
+				s.hasWrite = true
+			}
+			if ev.Site >= 0 {
+				uk := useKey{ev.Site, ev.CS}
+				u := uses[uk]
+				if u == nil {
+					u = &useRec{site: ev.Site, cs: ev.CS}
+					uses[uk] = u
+					useOrder = append(useOrder, uk)
+				}
+				u.count++
+				if len(u.samples) < maxUseSamples && !containsU64(u.samples, ev.Addr) {
+					u.samples = append(u.samples, ev.Addr)
+				}
+			}
+			continue
+		}
+		// Structural event: close the open summary block first so that
+		// alloc/free/ROI boundaries interleave correctly.
+		flushBlock()
+		items = append(items, postItem{ev: ev})
+	}
+	flushBlock()
+	return items
+}
+
+func containsU64(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Runtime) postprocessor() {
+	pending := map[int]processedMsg{}
+	next := 0
+	for msg := range r.toPost {
+		pending[msg.idx] = msg
+		for {
+			m, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			for i := range m.items {
+				r.post.apply(&m.items[i])
+			}
+			next++
+		}
+	}
+	// Drain any stragglers deterministically (should be empty).
+	if len(pending) > 0 {
+		idxs := make([]int, 0, len(pending))
+		for i := range pending {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			m := pending[i]
+			for j := range m.items {
+				r.post.apply(&m.items[j])
+			}
+		}
+	}
+	r.done <- r.post.finish()
+}

@@ -1,0 +1,98 @@
+package carmot
+
+import (
+	"io"
+
+	"carmot/internal/core"
+	"carmot/internal/interp"
+	"carmot/internal/ir"
+	"carmot/internal/parexec"
+	"carmot/internal/recommend"
+)
+
+// Re-exported recommendation types (§3.2).
+type (
+	// ParallelForRec recommends an OpenMP parallel for with attributes,
+	// clone advice, and critical/ordered statements.
+	ParallelForRec = recommend.ParallelFor
+	// TaskRec recommends depend(in/out) clauses for an OpenMP task.
+	TaskRec = recommend.Task
+	// SmartPointersRec reports reference cycles and weak-pointer breaks.
+	SmartPointersRec = recommend.SmartPointers
+	// STATSRec classifies PSEs into the STATS Input-Output-State classes.
+	STATSRec = recommend.STATSClasses
+)
+
+// RecommendParallelFor generates the parallel-for recommendation for the
+// ROI the PSEC characterizes.
+func RecommendParallelFor(psec *core.PSEC, roi *ir.ROI) *ParallelForRec {
+	return recommend.RecommendParallelFor(psec, roi)
+}
+
+// RecommendTask generates the omp task depend clauses.
+func RecommendTask(psec *core.PSEC) *TaskRec { return recommend.RecommendTask(psec) }
+
+// RecommendSmartPointers reports reference cycles with weak-pointer
+// suggestions.
+func RecommendSmartPointers(psec *core.PSEC) *SmartPointersRec {
+	return recommend.RecommendSmartPointers(psec)
+}
+
+// RecommendSTATS classifies PSEs into STATS classes.
+func RecommendSTATS(psec *core.PSEC) *STATSRec { return recommend.RecommendSTATS(psec) }
+
+// VerifyResult reports discrepancies between a hand-written pragma and
+// the PSEC-derived recommendation (§5.1's verification mode).
+type VerifyResult = recommend.VerifyResult
+
+// VerifyOmpPragmas checks every profiled `#pragma omp parallel for`
+// against its PSEC-derived recommendation. The program must have been
+// compiled with ProfileOmpRegions and profiled with UseOpenMP.
+func (p *Program) VerifyOmpPragmas(res *ProfileResult) map[*ir.ROI]*VerifyResult {
+	out := map[*ir.ROI]*VerifyResult{}
+	for _, roi := range p.IR.ROIs {
+		if roi.Kind != ir.ROIOmpFor || roi.Pragma == nil {
+			continue
+		}
+		rec := recommend.RecommendParallelFor(res.PSECs[roi.ID], roi)
+		ctx := recommend.VerifyContext{}
+		if roi.Loop != nil {
+			ctx.DeclaredInLoop = recommend.DeclaredInLoop(roi.Loop.For)
+			ctx.HasCriticalInside = recommend.HasCriticalInside(roi.Loop.For)
+		}
+		out[roi] = recommend.VerifyParallelFor(rec, roi.Pragma, ctx)
+	}
+	return out
+}
+
+// SimResult is a simulated multicore execution.
+type SimResult = parexec.Result
+
+// SimulateSerial measures the uninstrumented serial execution (the
+// Figure 6 baseline).
+func (p *Program) SimulateSerial(stdout io.Writer, maxSteps int64) (*SimResult, error) {
+	plan := &parexec.Plan{Threads: 1}
+	return p.simulate(plan, stdout, maxSteps)
+}
+
+// SimulateOriginal models the benchmark's own parallelism (its omp
+// pragmas, or the pthread-style sections) on the given thread count.
+func (p *Program) SimulateOriginal(threads int, stdout io.Writer, maxSteps int64) (*SimResult, error) {
+	return p.simulate(parexec.OriginalPlan(p.IR, threads), stdout, maxSteps)
+}
+
+// SimulateCarmot models the parallelism CARMOT's recommendations induce:
+// each recommended loop runs parallel with its recommended critical
+// statements serialized; abstractions CARMOT does not generate (parallel
+// sections with barriers/master) stay serial.
+func (p *Program) SimulateCarmot(threads int, recs map[*ir.ROI]*ParallelForRec, stdout io.Writer, maxSteps int64) (*SimResult, error) {
+	return p.simulate(parexec.CarmotPlan(p.IR, threads, recs), stdout, maxSteps)
+}
+
+func (p *Program) simulate(plan *parexec.Plan, stdout io.Writer, maxSteps int64) (*SimResult, error) {
+	// Simulation runs uninstrumented: production inputs, no profiling.
+	if _, err := instrumentOff(p); err != nil {
+		return nil, err
+	}
+	return parexec.Simulate(p.IR, plan, interp.Options{Stdout: stdout, MaxSteps: maxSteps})
+}

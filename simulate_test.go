@@ -1,0 +1,97 @@
+package carmot_test
+
+import (
+	"testing"
+
+	"carmot"
+	"carmot/internal/bench"
+	"carmot/internal/harness"
+)
+
+// TestSimulateAPIs exercises the three simulation entry points on one
+// benchmark end to end.
+func TestSimulateAPIs(t *testing.T) {
+	b, err := bench.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copts := carmot.CompileOptions{ProfileOmpRegions: true}
+	scale := b.DevScale
+
+	dev, err := carmot.Compile("lu.mc", b.Source(scale), copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := harness.RecommendAll(dev, res)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+
+	prod, err := carmot.Compile("lu.mc", b.Source(scale*2), copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := prod.SimulateSerial(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := serial.Speedup(); s < 0.95 || s > 1.05 {
+		t.Errorf("serial 'speedup' = %.3f, want ~1", s)
+	}
+	orig, err := prod.SimulateOriginal(24, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Speedup() < 2 {
+		t.Errorf("original parallelism speedup = %.2f, want > 2", orig.Speedup())
+	}
+	cm, err := prod.SimulateCarmot(24, harness.MapRecommendations(prod, recs), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Speedup() < 0.7*orig.Speedup() {
+		t.Errorf("carmot %.2f should track original %.2f on lu", cm.Speedup(), orig.Speedup())
+	}
+	// All three replay the same serial execution.
+	if serial.SerialCycles != orig.SerialCycles || orig.SerialCycles != cm.SerialCycles {
+		t.Error("serial cycle counts must agree across plans")
+	}
+	// Deterministic across repetition.
+	cm2, err := prod.SimulateCarmot(24, harness.MapRecommendations(prod, recs), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm2.SimCycles != cm.SimCycles {
+		t.Errorf("simulation not deterministic: %d vs %d", cm2.SimCycles, cm.SimCycles)
+	}
+}
+
+// TestPostfixSemantics pins i++ evaluating to the old value.
+func TestPostfixSemantics(t *testing.T) {
+	prog, err := carmot.Compile("p.mc", `
+int main() {
+	int i = 5;
+	int a = i++;
+	int* p = malloc(4);
+	p[0] = 10;
+	p[1] = 20;
+	int* q = p;
+	int b = *q++;       // *(q++): reads through the old q, then advances q
+	return a * 100 + i * 10 + b;
+}`, carmot.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Execute(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a = 5 (old), i = 6; *q++ = *(q++) = old q target = p[0] = 10.
+	if res.Exit != 5*100+6*10+10 {
+		t.Errorf("exit = %d", res.Exit)
+	}
+}

@@ -1,0 +1,195 @@
+package carmot
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/bench"
+)
+
+// TestVerifyAllBenchmarkPragmas reproduces the §5.1 verification result:
+// every hand-written `#pragma omp parallel for` in the benchmark suite is
+// confirmed correct against its PSEC-derived recommendation.
+func TestVerifyAllBenchmarkPragmas(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := Compile(b.Name+".mc", b.Source(b.DevScale/4+8), CompileOptions{ProfileOmpRegions: true})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, MaxSteps: 500_000_000})
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			for roi, v := range prog.VerifyOmpPragmas(res) {
+				if !v.OK() {
+					t.Errorf("pragma at %s fails verification:\n%s", roi.Pos, v.Report())
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyCatchesMissingReduction: dropping a required reduction clause
+// is a data race the verifier must flag.
+func TestVerifyCatchesMissingReduction(t *testing.T) {
+	const src = `
+float* a;
+int N = 32;
+float total = 0.0;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	#pragma omp parallel for
+	for (int i = 0; i < N; i++) {
+		total = total + a[i];
+	}
+	return total;
+}`
+	v := verifyOne(t, src)
+	if v.OK() {
+		t.Fatalf("missing reduction must fail verification:\n%s", v.Report())
+	}
+	if !strings.Contains(v.Report(), "reduction") || !strings.Contains(v.Report(), "total") {
+		t.Errorf("report should call out the reduction on total:\n%s", v.Report())
+	}
+}
+
+// TestVerifyCatchesSharedScratch: a written-before-read scratch variable
+// declared outside the loop and not privatized is a race.
+func TestVerifyCatchesSharedScratch(t *testing.T) {
+	const src = `
+float* a;
+int N = 32;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	float t;
+	#pragma omp parallel for
+	for (int i = 0; i < N; i++) {
+		t = a[i] * 2.0;
+		a[i] = t;
+	}
+	return a[3];
+}`
+	v := verifyOne(t, src)
+	if v.OK() {
+		t.Fatalf("shared scratch must fail verification:\n%s", v.Report())
+	}
+	if !strings.Contains(v.Report(), "t") || !strings.Contains(v.Report(), "private") {
+		t.Errorf("report should privatize t:\n%s", v.Report())
+	}
+}
+
+// TestVerifyCatchesUnprotectedDependence: a non-reducible cross-iteration
+// dependence without critical/ordered is flagged.
+func TestVerifyCatchesUnprotectedDependence(t *testing.T) {
+	const src = `
+float* a;
+int N = 32;
+float run = 1.0;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j + 1.0; }
+}
+int main() {
+	init();
+	#pragma omp parallel for
+	for (int i = 0; i < N; i++) {
+		run = run / (a[i] + 1.0);
+	}
+	return run * 1000000.0;
+}`
+	v := verifyOne(t, src)
+	if v.OK() {
+		t.Fatalf("unprotected RAW must fail verification:\n%s", v.Report())
+	}
+	if !strings.Contains(v.Report(), "critical") {
+		t.Errorf("report should demand a critical/ordered section:\n%s", v.Report())
+	}
+}
+
+// TestVerifyAcceptsProtectedDependence: the same dependence under an
+// ordered section passes (with at most warnings).
+func TestVerifyAcceptsProtectedDependence(t *testing.T) {
+	const src = `
+float* a;
+int N = 32;
+float run = 1.0;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j + 1.0; }
+}
+int main() {
+	init();
+	#pragma omp parallel for ordered
+	for (int i = 0; i < N; i++) {
+		#pragma omp ordered
+		{
+			run = run / (a[i] + 1.0);
+		}
+	}
+	return run * 1000000.0;
+}`
+	v := verifyOne(t, src)
+	if !v.OK() {
+		t.Errorf("ordered-protected dependence should verify:\n%s", v.Report())
+	}
+}
+
+// TestVerifyWarnsUnnecessaryReduction: a declared reduction with no
+// actual dependence is wasteful but not wrong.
+func TestVerifyWarnsUnnecessaryReduction(t *testing.T) {
+	const src = `
+float* a;
+float* out;
+int N = 32;
+float ghost = 0.0;
+void init() {
+	a = malloc(N);
+	out = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	#pragma omp parallel for reduction(+: ghost)
+	for (int i = 0; i < N; i++) {
+		out[i] = a[i] * 2.0;
+	}
+	return out[3];
+}`
+	v := verifyOne(t, src)
+	if !v.OK() {
+		t.Fatalf("unused reduction is a warning, not an error:\n%s", v.Report())
+	}
+	if !strings.Contains(v.Report(), "ghost") {
+		t.Errorf("report should mention the spurious reduction:\n%s", v.Report())
+	}
+}
+
+func verifyOne(t *testing.T, src string) *VerifyResult {
+	t.Helper()
+	prog, err := Compile("v.mc", src, CompileOptions{ProfileOmpRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := prog.VerifyOmpPragmas(res)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 verified pragma, got %d", len(vs))
+	}
+	for _, v := range vs {
+		return v
+	}
+	return nil
+}
