@@ -17,9 +17,12 @@
 package carmot
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"carmot/internal/core"
 	"carmot/internal/instrument"
@@ -117,6 +120,14 @@ func Compile(filename, source string, opts CompileOptions) (*Program, error) {
 // ROIs returns the program's regions of interest.
 func (p *Program) ROIs() []*ir.ROI { return p.IR.ROIs }
 
+// Diagnostics re-exports the runtime's run summary: event volume, peak
+// shadow state, degradation-ladder downgrades, contained faults, and
+// truncation status.
+type Diagnostics = rt.Diagnostics
+
+// Downgrade is one recorded degradation-ladder step.
+type Downgrade = rt.Downgrade
+
 // ProfileOptions configures a profiling run.
 type ProfileOptions struct {
 	UseCase UseCase
@@ -133,6 +144,19 @@ type ProfileOptions struct {
 	Workers int
 	// BatchSize sizes event batches (default 4096).
 	BatchSize int
+
+	// Context cancels the run early; a cancelled run returns a partial,
+	// truncation-marked result instead of an error.
+	Context context.Context
+	// Timeout bounds the run's wall-clock time (0 = none); like MaxSteps
+	// and Context it truncates rather than fails.
+	Timeout time.Duration
+	// MaxEvents / MaxCells / MaxCallstacks bound the runtime's shadow
+	// state (0 = unlimited); breaches degrade the profile per the
+	// documented ladder and are recorded in Diagnostics.Downgrades.
+	MaxEvents     uint64
+	MaxCells      int64
+	MaxCallstacks int
 }
 
 // ProfileResult carries the outcome of a profiling run.
@@ -143,10 +167,18 @@ type ProfileResult struct {
 	Run *interp.Result
 	// Plan reports the instrumentation decisions taken.
 	Plan *instrument.Plan
+	// Diagnostics reports the runtime's resource/fault summary; check
+	// Truncated to see whether a budget cut the run short.
+	Diagnostics Diagnostics
 }
 
 // Profile instruments the program per the options, executes it, and
 // returns the PSEC of every ROI.
+//
+// Failure model: a budget stop (MaxSteps, Timeout, or Context) is not an
+// error — the partial PSECs come back marked Truncated, with the reason
+// in Diagnostics. A program fault or a contained pipeline fault returns
+// a non-nil error together with whatever partial result was salvaged.
 func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 	var io_ instrument.Options
 	switch {
@@ -169,21 +201,50 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 		ROIs:          plan.ROIs,
 		StaticVarUses: plan.StaticVarUses,
 		ReducibleVars: plan.ReducibleVars,
+		Limits: rt.Limits{
+			MaxEvents:     opts.MaxEvents,
+			MaxLiveCells:  opts.MaxCells,
+			MaxCallstacks: opts.MaxCallstacks,
+		},
 	})
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
 	it := interp.New(p.IR, interp.Options{
 		Runtime:         runtime,
 		Clustering:      io_.CallstackClustering,
 		NaiveEventCosts: opts.Naive,
 		Stdout:          opts.Stdout,
 		MaxSteps:        opts.MaxSteps,
+		Ctx:             opts.Context,
+		Deadline:        deadline,
 	})
-	run, err := it.Run()
-	if err != nil {
-		runtime.Finish() // drain pipeline goroutines
-		return nil, err
-	}
+	run, rerr := it.Run()
+	// Always drain the pipeline, whatever the run's outcome: Finish is
+	// the only way to stop the worker/postprocessor goroutines, and it
+	// also salvages the partial PSECs of a truncated or faulted run.
 	psecs := runtime.Finish()
-	return &ProfileResult{PSECs: psecs, Run: run, Plan: plan}, nil
+	diag := runtime.Diagnostics()
+	var berr *interp.BudgetError
+	if errors.As(rerr, &berr) {
+		diag.Truncated = true
+		diag.TruncatedReason = berr.Reason
+		rerr = nil
+		for _, psec := range psecs {
+			if psec != nil {
+				psec.Truncated = true
+			}
+		}
+	}
+	res := &ProfileResult{PSECs: psecs, Run: run, Plan: plan, Diagnostics: diag}
+	if rerr != nil {
+		return res, rerr
+	}
+	if perr := runtime.Err(); perr != nil {
+		return res, fmt.Errorf("carmot: profile degraded: %w", perr)
+	}
+	return res, nil
 }
 
 // Execute runs the program without instrumentation and returns the run

@@ -14,51 +14,99 @@
 //	carmot -use stats -stats-rois prog.mc
 //	carmot -naive prog.mc               # profile without optimizations
 //	carmot -dump-ir prog.mc             # print the lowered IR
+//	carmot -timeout 30s -max-events 50000000 prog.mc  # budgeted run
+//
+// Exit codes: 0 success, 1 analysis/runtime error, 2 usage error,
+// 3 budget/deadline exceeded (partial PSECs and diagnostics are still
+// printed).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"carmot"
 	"carmot/internal/recommend"
 )
 
+// Exit codes.
+const (
+	exitOK     = 0
+	exitError  = 1
+	exitUsage  = 2
+	exitBudget = 3
+)
+
+// cliOptions collects every flag so the run function stays testable.
+type cliOptions struct {
+	use       string
+	naive     bool
+	ompROIs   bool
+	statsROIs bool
+	whole     bool
+	dumpIR    bool
+	dumpPSEC  bool
+	run       bool
+	verify    bool
+	annotate  bool
+	asJSON    bool
+	maxSteps  int64
+	timeout   time.Duration
+	maxEvents uint64
+	maxCells  int64
+	maxCS     int
+	diag      bool
+}
+
 func main() {
-	var (
-		use       = flag.String("use", "openmp", "abstraction to recommend: openmp, task, smartptr, stats")
-		naive     = flag.Bool("naive", false, "profile with the naive baseline (no PSEC-specific optimizations)")
-		ompROIs   = flag.Bool("omp-rois", true, "treat existing '#pragma omp parallel for'/'task' bodies as ROIs")
-		statsROIs = flag.Bool("stats-rois", false, "treat '#pragma stats' regions as ROIs")
-		whole     = flag.Bool("whole", false, "treat the whole program (main) as one ROI")
-		dumpIR    = flag.Bool("dump-ir", false, "print the lowered IR and exit")
-		dumpPSEC  = flag.Bool("psec", true, "print the PSEC of each ROI")
-		run       = flag.Bool("run", false, "only execute the program (uninstrumented) and print its result")
-		verify    = flag.Bool("verify", false, "verify existing omp parallel for pragmas against the PSEC (§5.1)")
-		annotate  = flag.Bool("annotate", false, "print the source with the recommended pragma inserted at each loop ROI")
-		asJSON    = flag.Bool("json", false, "emit the PSEC of each ROI as JSON")
-		maxSteps  = flag.Int64("max-steps", 2_000_000_000, "abort after this many interpreted instructions")
-	)
+	var o cliOptions
+	flag.StringVar(&o.use, "use", "openmp", "abstraction to recommend: openmp, task, smartptr, stats")
+	flag.BoolVar(&o.naive, "naive", false, "profile with the naive baseline (no PSEC-specific optimizations)")
+	flag.BoolVar(&o.ompROIs, "omp-rois", true, "treat existing '#pragma omp parallel for'/'task' bodies as ROIs")
+	flag.BoolVar(&o.statsROIs, "stats-rois", false, "treat '#pragma stats' regions as ROIs")
+	flag.BoolVar(&o.whole, "whole", false, "treat the whole program (main) as one ROI")
+	flag.BoolVar(&o.dumpIR, "dump-ir", false, "print the lowered IR and exit")
+	flag.BoolVar(&o.dumpPSEC, "psec", true, "print the PSEC of each ROI")
+	flag.BoolVar(&o.run, "run", false, "only execute the program (uninstrumented) and print its result")
+	flag.BoolVar(&o.verify, "verify", false, "verify existing omp parallel for pragmas against the PSEC (§5.1)")
+	flag.BoolVar(&o.annotate, "annotate", false, "print the source with the recommended pragma inserted at each loop ROI")
+	flag.BoolVar(&o.asJSON, "json", false, "emit the PSEC of each ROI as JSON")
+	flag.Int64Var(&o.maxSteps, "max-steps", 2_000_000_000, "abort after this many interpreted instructions")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock budget for the profiling run (0 = none); on breach the partial PSEC is printed and the exit code is 3")
+	flag.Uint64Var(&o.maxEvents, "max-events", 0, "cap on profiled access events (0 = unlimited); breaches degrade the profile")
+	flag.Int64Var(&o.maxCells, "max-cells", 0, "cap on live shadow cells (0 = unlimited); breaches climb the degradation ladder")
+	flag.IntVar(&o.maxCS, "max-callstacks", 0, "cap on interned callstacks (0 = unlimited)")
+	flag.BoolVar(&o.diag, "diag", false, "print run diagnostics (events, peak cells, downgrades) as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: carmot [flags] file.mc")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
-	if err := mainErr(flag.Arg(0), *use, *naive, *ompROIs, *statsROIs, *whole, *dumpIR, *dumpPSEC, *run, *verify, *annotate, *asJSON, *maxSteps); err != nil {
+	code, err := runCLI(os.Stdout, flag.Arg(0), o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "carmot:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func mainErr(path, use string, naive, ompROIs, statsROIs, whole, dumpIR, dumpPSEC, run, verify, annotate, asJSON bool, maxSteps int64) error {
+// runCLI executes one CLI invocation and returns the process exit code.
+// Budget/deadline breaches return exitBudget with the partial PSECs and
+// diagnostics already printed to out.
+func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
+	if o.timeout < 0 {
+		return exitUsage, fmt.Errorf("negative -timeout %v", o.timeout)
+	}
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	var useCase carmot.UseCase
-	switch use {
+	switch o.use {
 	case "openmp":
 		useCase = carmot.UseOpenMP
 	case "task":
@@ -68,56 +116,69 @@ func mainErr(path, use string, naive, ompROIs, statsROIs, whole, dumpIR, dumpPSE
 	case "stats":
 		useCase = carmot.UseSTATS
 	default:
-		return fmt.Errorf("unknown use case %q", use)
+		return exitUsage, fmt.Errorf("unknown use case %q", o.use)
 	}
 	prog, err := carmot.Compile(path, string(src), carmot.CompileOptions{
-		ProfileOmpRegions:   ompROIs,
-		ProfileStatsRegions: statsROIs,
-		WholeProgramROI:     whole,
+		ProfileOmpRegions:   o.ompROIs,
+		ProfileStatsRegions: o.statsROIs,
+		WholeProgramROI:     o.whole,
 	})
 	if err != nil {
-		return err
+		return exitError, err
 	}
-	if dumpIR {
+	if o.dumpIR {
 		for _, fn := range prog.IR.Funcs {
-			fmt.Print(fn.String())
+			fmt.Fprint(out, fn.String())
 		}
-		return nil
+		return exitOK, nil
 	}
-	if run {
-		res, err := prog.Execute(os.Stdout, maxSteps)
+	if o.run {
+		res, err := prog.Execute(out, o.maxSteps)
 		if err != nil {
-			return err
+			return exitError, err
 		}
-		fmt.Printf("exit=%d cycles=%d steps=%d heap=%d cells leaked=%d cells\n",
+		fmt.Fprintf(out, "exit=%d cycles=%d steps=%d heap=%d cells leaked=%d cells\n",
 			res.Exit, res.Cycles, res.Steps, res.HeapCells, res.LeakedCells)
-		return nil
+		return exitOK, nil
 	}
 	if len(prog.ROIs()) == 0 {
-		return fmt.Errorf("%s has no ROI; add '#pragma carmot roi' or use -whole", path)
+		return exitError, fmt.Errorf("%s has no ROI; add '#pragma carmot roi' or use -whole", path)
 	}
 	res, err := prog.Profile(carmot.ProfileOptions{
-		UseCase: useCase, Naive: naive, Stdout: os.Stdout, MaxSteps: maxSteps,
+		UseCase: useCase, Naive: o.naive, Stdout: out,
+		MaxSteps: o.maxSteps, Timeout: o.timeout,
+		MaxEvents: o.maxEvents, MaxCells: o.maxCells, MaxCallstacks: o.maxCS,
 	})
 	if err != nil {
-		return err
+		if res != nil {
+			printDiagnostics(out, res)
+		}
+		return exitError, err
 	}
-	if verify {
+	if res.Diagnostics.Truncated {
+		// Budget exceeded: print the partial PSECs with diagnostics so
+		// the run is still useful, then exit 3.
+		fmt.Fprintf(out, "carmot: run truncated: %s\n", res.Diagnostics.TruncatedReason)
+		printPSECs(out, prog, res, useCase, o)
+		printDiagnostics(out, res)
+		return exitBudget, nil
+	}
+	if o.verify {
 		results := prog.VerifyOmpPragmas(res)
 		if len(results) == 0 {
-			return fmt.Errorf("no omp parallel for pragmas to verify (compile with -omp-rois)")
+			return exitError, fmt.Errorf("no omp parallel for pragmas to verify (compile with -omp-rois)")
 		}
 		ok := true
 		for _, v := range results {
-			fmt.Print(v.Report())
+			fmt.Fprint(out, v.Report())
 			ok = ok && v.OK()
 		}
 		if !ok {
-			os.Exit(1)
+			return exitError, nil
 		}
-		return nil
+		return exitOK, nil
 	}
-	if annotate {
+	if o.annotate {
 		text := string(src)
 		for _, roi := range prog.ROIs() {
 			if roi.Loop == nil {
@@ -134,34 +195,58 @@ func mainErr(path, use string, naive, ompROIs, statsROIs, whole, dumpIR, dumpPSE
 			// original text (insertions shift later line numbers).
 			break
 		}
-		fmt.Println(text)
-		return nil
+		fmt.Fprintln(out, text)
+		return exitOK, nil
 	}
-	if asJSON {
+	if o.asJSON {
 		data, err := carmot.MarshalPSECs(res.PSECs)
 		if err != nil {
-			return err
+			return exitError, err
 		}
-		fmt.Println(string(data))
-		return nil
+		fmt.Fprintln(out, string(data))
+		if o.diag {
+			printDiagnostics(out, res)
+		}
+		return exitOK, nil
 	}
-	fmt.Printf("%s\n", res.Plan)
+	fmt.Fprintf(out, "%s\n", res.Plan)
+	printPSECs(out, prog, res, useCase, o)
+	if o.diag {
+		printDiagnostics(out, res)
+	}
+	return exitOK, nil
+}
+
+// printPSECs renders each ROI's PSEC and recommendation.
+func printPSECs(out io.Writer, prog *carmot.Program, res *carmot.ProfileResult, useCase carmot.UseCase, o cliOptions) {
 	for _, roi := range prog.ROIs() {
 		psec := res.PSECs[roi.ID]
-		if dumpPSEC {
-			fmt.Print(psec.Summary())
+		if psec == nil {
+			continue
+		}
+		if o.dumpPSEC {
+			fmt.Fprint(out, psec.Summary())
 		}
 		switch useCase {
 		case carmot.UseOpenMP:
-			fmt.Print(carmot.RecommendParallelFor(psec, roi).Report())
+			fmt.Fprint(out, carmot.RecommendParallelFor(psec, roi).Report())
 		case carmot.UseTask:
-			fmt.Println(carmot.RecommendTask(psec).Pragma())
+			fmt.Fprintln(out, carmot.RecommendTask(psec).Pragma())
 		case carmot.UseSmartPointers:
-			fmt.Print(carmot.RecommendSmartPointers(psec).Report())
+			fmt.Fprint(out, carmot.RecommendSmartPointers(psec).Report())
 		case carmot.UseSTATS:
-			fmt.Println(carmot.RecommendSTATS(psec).Pragma())
+			fmt.Fprintln(out, carmot.RecommendSTATS(psec).Pragma())
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-	return nil
+}
+
+// printDiagnostics emits the run diagnostics as one JSON object.
+func printDiagnostics(out io.Writer, res *carmot.ProfileResult) {
+	data, err := json.MarshalIndent(res.Diagnostics, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carmot: diagnostics: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "diagnostics: %s\n", data)
 }

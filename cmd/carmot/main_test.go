@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 const demoSrc = `int N = 16;
@@ -26,61 +29,127 @@ int main() {
 }
 `
 
-func writeDemo(t *testing.T) string {
+const spinSrc = `int main() {
+	int x = 0;
+	#pragma carmot roi spin
+	while (1) { x = x + 1; }
+	return x;
+}
+`
+
+func writeSrc(t *testing.T, name, src string) string {
 	t.Helper()
-	path := filepath.Join(t.TempDir(), "demo.mc")
-	if err := os.WriteFile(path, []byte(demoSrc), 0o644); err != nil {
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
+func writeDemo(t *testing.T) string { return writeSrc(t, "demo.mc", demoSrc) }
+
+func defaultOpts() cliOptions {
+	return cliOptions{use: "openmp", ompROIs: true, dumpPSEC: true, maxSteps: 100_000_000}
+}
+
 func TestCLIModes(t *testing.T) {
 	path := writeDemo(t)
-	type mode struct {
-		name                                              string
-		use                                               string
-		naive, omp, stats, whole, ir, psec, run, vfy, ann bool
-		json                                              bool
-		wantErr                                           bool
-	}
-	cases := []mode{
-		{name: "recommend-openmp", use: "openmp", psec: true},
-		{name: "recommend-task", use: "task", psec: true},
-		{name: "recommend-stats", use: "stats", psec: true},
-		{name: "smartptr-whole", use: "smartptr", whole: true, psec: true},
-		{name: "naive", use: "openmp", naive: true},
-		{name: "dump-ir", use: "openmp", ir: true},
-		{name: "run", use: "openmp", run: true},
-		{name: "annotate", use: "openmp", ann: true},
-		{name: "json", use: "openmp", json: true},
-		{name: "bad-use", use: "frob", wantErr: true},
+	cases := []struct {
+		name     string
+		mutate   func(*cliOptions)
+		wantCode int
+	}{
+		{"recommend-openmp", func(o *cliOptions) {}, exitOK},
+		{"recommend-task", func(o *cliOptions) { o.use = "task" }, exitOK},
+		{"recommend-stats", func(o *cliOptions) { o.use = "stats" }, exitOK},
+		{"smartptr-whole", func(o *cliOptions) { o.use = "smartptr"; o.whole = true }, exitOK},
+		{"naive", func(o *cliOptions) { o.naive = true; o.dumpPSEC = false }, exitOK},
+		{"dump-ir", func(o *cliOptions) { o.dumpIR = true }, exitOK},
+		{"run", func(o *cliOptions) { o.run = true; o.dumpPSEC = false }, exitOK},
+		{"annotate", func(o *cliOptions) { o.annotate = true }, exitOK},
+		{"json", func(o *cliOptions) { o.asJSON = true }, exitOK},
+		{"diag", func(o *cliOptions) { o.diag = true }, exitOK},
+		{"budgeted-ok", func(o *cliOptions) { o.timeout = time.Minute; o.maxEvents = 1 << 40 }, exitOK},
+		{"bad-use", func(o *cliOptions) { o.use = "frob" }, exitUsage},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := mainErr(path, c.use, c.naive, c.omp, c.stats, c.whole,
-				c.ir, c.psec, c.run, c.vfy, c.ann, c.json, 100_000_000)
-			if (err != nil) != c.wantErr {
-				t.Errorf("mainErr error = %v, wantErr=%v", err, c.wantErr)
+			o := defaultOpts()
+			c.mutate(&o)
+			var out bytes.Buffer
+			code, err := runCLI(&out, path, o)
+			if code != c.wantCode {
+				t.Errorf("exit code = %d (err=%v), want %d", code, err, c.wantCode)
+			}
+			if (err != nil) != (c.wantCode == exitUsage) {
+				t.Errorf("err = %v with code %d", err, code)
 			}
 		})
 	}
 }
 
+func TestCLIDiagnosticsPrinted(t *testing.T) {
+	path := writeDemo(t)
+	o := defaultOpts()
+	o.diag = true
+	var out bytes.Buffer
+	if code, err := runCLI(&out, path, o); code != exitOK || err != nil {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "diagnostics: {") ||
+		!strings.Contains(out.String(), `"Events"`) {
+		t.Errorf("diagnostics JSON missing from output:\n%s", out.String())
+	}
+}
+
+// TestCLIBudgetExitCode: an infinite-loop program under -timeout exits 3
+// and still prints the partial PSEC plus diagnostics.
+func TestCLIBudgetExitCode(t *testing.T) {
+	path := writeSrc(t, "spin.mc", spinSrc)
+	o := defaultOpts()
+	o.maxSteps = 0
+	o.timeout = 150 * time.Millisecond
+	var out bytes.Buffer
+	start := time.Now()
+	code, err := runCLI(&out, path, o)
+	if code != exitBudget || err != nil {
+		t.Fatalf("code=%d err=%v, want %d", code, err, exitBudget)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("budgeted run took %v; deadline not enforced", el)
+	}
+	got := out.String()
+	if !strings.Contains(got, "truncated") || !strings.Contains(got, "diagnostics: {") {
+		t.Errorf("partial diagnostics missing on exit 3:\n%s", got)
+	}
+}
+
+// Step budgets take the same partial-output path as wall deadlines.
+func TestCLIStepBudgetExitCode(t *testing.T) {
+	path := writeSrc(t, "spin.mc", spinSrc)
+	o := defaultOpts()
+	o.maxSteps = 50_000
+	var out bytes.Buffer
+	code, err := runCLI(&out, path, o)
+	if code != exitBudget || err != nil {
+		t.Fatalf("code=%d err=%v, want %d", code, err, exitBudget)
+	}
+	if !strings.Contains(out.String(), "step limit") {
+		t.Errorf("truncation reason missing:\n%s", out.String())
+	}
+}
+
 func TestCLIMissingFile(t *testing.T) {
-	if err := mainErr("/does/not/exist.mc", "openmp", false, true, false,
-		false, false, false, false, false, false, false, 1000); err == nil {
-		t.Error("missing file should error")
+	var out bytes.Buffer
+	if code, err := runCLI(&out, "/does/not/exist.mc", defaultOpts()); code != exitError || err == nil {
+		t.Errorf("missing file: code=%d err=%v", code, err)
 	}
 }
 
 func TestCLINoROI(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "plain.mc")
-	if err := os.WriteFile(path, []byte("int main() { return 0; }\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := mainErr(path, "openmp", false, true, false, false,
-		false, true, false, false, false, false, 1000); err == nil {
-		t.Error("program without ROIs should error in recommend mode")
+	path := writeSrc(t, "plain.mc", "int main() { return 0; }\n")
+	var out bytes.Buffer
+	if code, err := runCLI(&out, path, defaultOpts()); code != exitError || err == nil {
+		t.Errorf("program without ROIs: code=%d err=%v", code, err)
 	}
 }

@@ -23,6 +23,8 @@ type CallstackID int32
 type CallstackTable struct {
 	stacks   [][]Frame
 	interner map[string]CallstackID
+	cap      int  // max distinct stacks (0 = unlimited)
+	capped   bool // a new stack was collapsed to ID 0 by the cap
 }
 
 // NewCallstackTable returns an empty table with the empty stack at ID 0.
@@ -46,6 +48,12 @@ func (t *CallstackTable) Intern(frames []Frame) CallstackID {
 	if id, ok := t.interner[key]; ok {
 		return id
 	}
+	if t.cap > 0 && len(t.stacks) >= t.cap {
+		// Table full: collapse new stacks to the empty stack instead of
+		// growing without bound. The owner reports this via Capped.
+		t.capped = true
+		return 0
+	}
 	id := CallstackID(len(t.stacks))
 	cp := make([]Frame, len(frames))
 	copy(cp, frames)
@@ -64,6 +72,13 @@ func (t *CallstackTable) Frames(id CallstackID) []Frame {
 
 // Len returns the number of distinct interned stacks.
 func (t *CallstackTable) Len() int { return len(t.stacks) }
+
+// SetCap bounds the number of distinct stacks the table will intern;
+// new stacks beyond the cap collapse to ID 0. Zero removes the bound.
+func (t *CallstackTable) SetCap(n int) { t.cap = n }
+
+// Capped reports whether the cap ever collapsed a new stack.
+func (t *CallstackTable) Capped() bool { return t.capped }
 
 // Format renders a stack as "main (a.mc:3:1) > work (a.mc:9:5)".
 func (t *CallstackTable) Format(id CallstackID) string {

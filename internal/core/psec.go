@@ -104,6 +104,10 @@ type PSEC struct {
 	Reach      *ReachGraph
 	Callstacks *CallstackTable
 	Stats      Stats
+	// Truncated marks a characterization cut short by an execution
+	// budget (step limit, wall deadline, or cancellation): the sets are
+	// a sound under-approximation of the full run, not the full PSEC.
+	Truncated bool `json:",omitempty"`
 }
 
 // ElementsIn returns the elements whose Sets include all bits of q,
@@ -145,6 +149,7 @@ func Merge(runs ...*PSEC) *PSEC {
 	byKey := map[string]*Element{}
 	edgeSeen := map[[2]string]*ReachEdge{}
 	for _, run := range runs {
+		out.Truncated = out.Truncated || run.Truncated
 		out.Stats.TotalAccesses += run.Stats.TotalAccesses
 		out.Stats.VarAccesses += run.Stats.VarAccesses
 		out.Stats.MemAccesses += run.Stats.MemAccesses

@@ -1,0 +1,86 @@
+// Package faultinject provides deterministic fault-injection hooks for
+// robustness tests. Production code marks interesting points with
+// Fire("name"); tests install hooks at those points to force worker
+// panics, slow batches, or cap exhaustion at exactly reproducible
+// moments. With no hooks installed, Fire is a single atomic load, so the
+// hooks cost nothing on hot paths in normal operation.
+//
+// Points currently wired:
+//
+//	rt.worker.batch  — before a worker condenses one batch
+//	rt.post.apply    — before the postprocessor applies one item
+//	rt.post.finish   — before the postprocessor builds the PSECs
+//	interp.step      — on the interpreter's periodic budget check
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	installed atomic.Int32
+	mu        sync.Mutex
+	hooks     = map[string]func(){}
+)
+
+// Fire invokes the hook installed at point, if any. A hook that panics
+// does so on the caller's goroutine — exactly what the containment tests
+// need.
+func Fire(point string) {
+	if installed.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	fn := hooks[point]
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Set installs fn as the hook at point; a nil fn removes the hook.
+func Set(point string, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	_, had := hooks[point]
+	if fn == nil {
+		if had {
+			delete(hooks, point)
+			installed.Add(-1)
+		}
+		return
+	}
+	hooks[point] = fn
+	if !had {
+		installed.Add(1)
+	}
+}
+
+// Reset removes every installed hook. Tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for k := range hooks {
+		delete(hooks, k)
+	}
+	installed.Store(0)
+}
+
+// CountdownPanic returns a hook that panics with msg on its nth
+// invocation (1-based) and is a no-op on every other call.
+func CountdownPanic(n int64, msg string) func() {
+	var calls atomic.Int64
+	return func() {
+		if calls.Add(1) == n {
+			panic(msg)
+		}
+	}
+}
+
+// Sleep returns a hook that sleeps d on every invocation (slow-stage
+// injection).
+func Sleep(d time.Duration) func() {
+	return func() { time.Sleep(d) }
+}

@@ -32,6 +32,27 @@ type Config struct {
 	ScaleDiv int
 	// MaxSteps bounds each program execution.
 	MaxSteps int64
+	// Timeout bounds each profiling run's wall-clock time (0 = none).
+	// Experiments need complete data, so a truncated run is reported as
+	// an error rather than silently plotted.
+	Timeout time.Duration
+}
+
+// profile runs prog.Profile with the harness budget applied and rejects
+// truncated runs: every figure assumes complete executions.
+func (c Config) profile(prog *carmot.Program, opts carmot.ProfileOptions) (*carmot.ProfileResult, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = c.MaxSteps
+	}
+	opts.Timeout = c.Timeout
+	res, err := prog.Profile(opts)
+	if err != nil {
+		return res, err
+	}
+	if res.Diagnostics.Truncated {
+		return res, fmt.Errorf("harness: run truncated (%s); raise MaxSteps/Timeout", res.Diagnostics.TruncatedReason)
+	}
+	return res, nil
 }
 
 func (c Config) norm() Config {
@@ -104,7 +125,7 @@ func Accesses(cfg Config) ([]AccessRow, float64, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("%s: %w", b.Name, err)
 		}
-		res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseFull, Naive: true, MaxSteps: cfg.MaxSteps})
+		res, err := cfg.profile(prog, carmot.ProfileOptions{UseCase: carmot.UseFull, Naive: true})
 		if err != nil {
 			return nil, 0, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -174,7 +195,7 @@ func Fig6One(cfg Config, b bench.Benchmark) (Fig6Row, error) {
 	if err != nil {
 		return Fig6Row{}, err
 	}
-	devRes, err := devProg.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP, MaxSteps: cfg.MaxSteps})
+	devRes, err := cfg.profile(devProg, carmot.ProfileOptions{UseCase: carmot.UseOpenMP})
 	if err != nil {
 		return Fig6Row{}, err
 	}
@@ -276,7 +297,7 @@ func overheadOne(cfg Config, b bench.Benchmark, copts carmot.CompileOptions, use
 			return 0, 0, err
 		}
 		t := time.Now()
-		res, err := prog.Profile(carmot.ProfileOptions{UseCase: use, Naive: naive, MaxSteps: cfg.MaxSteps})
+		res, err := cfg.profile(prog, carmot.ProfileOptions{UseCase: use, Naive: naive})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -404,7 +425,7 @@ func fig8One(cfg Config, b bench.Benchmark) (Fig8Row, error) {
 		if err != nil {
 			return 0, err
 		}
-		res, err := prog.Profile(carmot.ProfileOptions{Optimizations: &o, MaxSteps: cfg.MaxSteps})
+		res, err := cfg.profile(prog, carmot.ProfileOptions{Optimizations: &o})
 		if err != nil {
 			return 0, err
 		}
@@ -495,7 +516,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseSmartPointers, MaxSteps: cfg.MaxSteps})
+	res, err := cfg.profile(prog, carmot.ProfileOptions{UseCase: carmot.UseSmartPointers})
 	if err != nil {
 		return nil, err
 	}
@@ -580,7 +601,7 @@ func CompareStats(cfg Config) ([]StatsComparison, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
-		res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseSTATS, MaxSteps: cfg.MaxSteps})
+		res, err := cfg.profile(prog, carmot.ProfileOptions{UseCase: carmot.UseSTATS})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -663,7 +684,7 @@ func VerifyAll(cfg Config) ([]VerifyRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
-		res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP, MaxSteps: cfg.MaxSteps})
+		res, err := cfg.profile(prog, carmot.ProfileOptions{UseCase: carmot.UseOpenMP})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}

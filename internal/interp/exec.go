@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 
 	"carmot/internal/core"
@@ -97,7 +98,12 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 		base := ir.Base(in)
 		it.steps++
 		if it.opts.MaxSteps > 0 && it.steps > it.opts.MaxSteps {
-			return 0, it.errf(base.Pos, "step limit exceeded (%d)", it.opts.MaxSteps)
+			return 0, &BudgetError{Reason: fmt.Sprintf("step limit exceeded (%d)", it.opts.MaxSteps)}
+		}
+		if it.steps&budgetCheckMask == 0 {
+			if berr := it.checkBudget(); berr != nil {
+				return 0, berr
+			}
 		}
 
 		switch x := in.(type) {

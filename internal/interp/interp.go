@@ -6,12 +6,15 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"time"
 
 	"carmot/internal/core"
+	"carmot/internal/faultinject"
 	"carmot/internal/ir"
 	"carmot/internal/lang"
 	"carmot/internal/rt"
@@ -21,6 +24,10 @@ import (
 type Options struct {
 	// Runtime receives profiling events; nil runs uninstrumented.
 	Runtime *rt.Runtime
+	// Ctx cancels the run when done; nil means never.
+	Ctx context.Context
+	// Deadline aborts the run at the given wall-clock time (zero = none).
+	Deadline time.Time
 	// Clustering enables callstack clustering (§4.4 opt 7): the call
 	// stack is captured once per function entry instead of once per
 	// allocation event.
@@ -53,6 +60,16 @@ type RuntimeError struct {
 }
 
 func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg) }
+
+// BudgetError reports a run stopped by an execution budget — step limit,
+// wall deadline, or context cancellation — rather than a program fault.
+// Run returns it together with a partial Result, so callers can keep the
+// truncated profile instead of hanging on runaway programs.
+type BudgetError struct {
+	Reason string
+}
+
+func (e *BudgetError) Error() string { return "interp: " + e.Reason }
 
 // Result summarizes a completed run.
 type Result struct {
@@ -218,8 +235,17 @@ func (it *Interp) fnptrOf(fr *ir.FuncRef) uint64 {
 	return 0
 }
 
-// Run registers globals with the runtime and executes main.
-func (it *Interp) Run() (*Result, error) {
+// Run registers globals with the runtime and executes main. On failure —
+// program fault, budget exhaustion (*BudgetError), or a contained
+// internal panic — the returned Result still summarizes the partial
+// execution, so callers can salvage a truncated profile.
+func (it *Interp) Run() (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &RuntimeError{Msg: fmt.Sprintf("interpreter internal fault: %v", p)}
+			res = it.summary(0)
+		}
+	}()
 	main := it.prog.FuncByName("main")
 	if main == nil {
 		return nil, fmt.Errorf("interp: program has no main function")
@@ -238,7 +264,7 @@ func (it *Interp) Run() (*Result, error) {
 	}
 	exit, err := it.call(main, nil, lang.Pos{Line: 0})
 	if err != nil {
-		return nil, err
+		return it.summary(0), err
 	}
 	var leaks []LeakedAlloc
 	for _, rec := range it.liveHeap {
@@ -251,14 +277,22 @@ func (it *Interp) Run() (*Result, error) {
 		}
 		return leaks[i].Cells < leaks[j].Cells
 	})
-	res := &Result{
-		Exit: int64(exit), Cycles: it.cycles, SerialCycles: it.serialCycles,
+	res = it.summary(int64(exit))
+	res.LeakedCells = it.leaked
+	res.LeakedAllocs = leaks
+	return res, nil
+}
+
+// summary snapshots the execution counters into a Result (leak census
+// excluded; only a completed run reports leaks).
+func (it *Interp) summary(exit int64) *Result {
+	return &Result{
+		Exit: exit, Cycles: it.cycles, SerialCycles: it.serialCycles,
 		ToolCycles: it.toolCycles,
 		Steps:      it.steps, HeapCells: it.heapTop - it.stackLimit,
 		VarAccesses: it.varAccesses, MemAccesses: it.memAccesses,
-		LeakedCells: it.leaked, LeakedAllocs: leaks, Output: string(it.buf),
+		Output: string(it.buf),
 	}
-	return res, nil
 }
 
 // Print implements native.Env.
@@ -340,4 +374,26 @@ func (it *Interp) useCS() core.CallstackID {
 
 func (it *Interp) errf(pos lang.Pos, format string, args ...interface{}) error {
 	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// budgetCheckMask throttles the wall-clock/cancellation probe: the check
+// runs once every 8192 interpreted instructions, keeping hot-loop cost
+// negligible while bounding reaction latency.
+const budgetCheckMask = 1<<13 - 1
+
+// checkBudget enforces the wall deadline and context cancellation; it is
+// also the interpreter's fault-injection point.
+func (it *Interp) checkBudget() error {
+	faultinject.Fire("interp.step")
+	if !it.opts.Deadline.IsZero() && time.Now().After(it.opts.Deadline) {
+		return &BudgetError{Reason: "wall deadline exceeded"}
+	}
+	if ctx := it.opts.Ctx; ctx != nil {
+		select {
+		case <-ctx.Done():
+			return &BudgetError{Reason: "cancelled: " + ctx.Err().Error()}
+		default:
+		}
+	}
+	return nil
 }

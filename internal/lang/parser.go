@@ -5,10 +5,26 @@ import "fmt"
 // Parser builds a MiniC AST from a token stream. Parse does not resolve
 // names or types; Check (check.go) performs semantic analysis.
 type Parser struct {
-	toks []Token
-	pos  int
-	file *File
+	toks  []Token
+	pos   int
+	file  *File
+	depth int
 }
+
+// maxParseDepth bounds statement/expression nesting so pathological
+// inputs (e.g. thousands of nested parentheses) are rejected with a
+// diagnostic instead of overflowing the stack.
+const maxParseDepth = 256
+
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("nesting too deep (limit %d)", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse lexes and parses src into an unchecked File.
 func Parse(filename, src string) (*File, error) {
@@ -40,7 +56,17 @@ func ParseAndCheck(filename, src string) (*File, error) {
 	return f, nil
 }
 
-func (p *Parser) cur() Token          { return p.toks[p.pos] }
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+// peekKind looks n tokens ahead, reading TokEOF past the end of the
+// stream (the stream's final token is EOF, but lookahead may step past
+// it on truncated inputs).
+func (p *Parser) peekKind(n int) TokenKind {
+	if p.pos+n >= len(p.toks) {
+		return TokEOF
+	}
+	return p.toks[p.pos+n].Kind
+}
 func (p *Parser) curPos() Pos         { return p.toks[p.pos].Pos }
 func (p *Parser) at(k TokenKind) bool { return p.toks[p.pos].Kind == k }
 
@@ -152,7 +178,7 @@ func (p *Parser) parseTopDecl() error {
 	if p.at(TokKwExtern) {
 		return p.parseExtern()
 	}
-	if p.at(TokKwStruct) && p.toks[p.pos+2].Kind == TokLBrace {
+	if p.at(TokKwStruct) && p.peekKind(2) == TokLBrace {
 		return p.parseStructDef()
 	}
 	startPos := p.curPos()
@@ -343,6 +369,10 @@ func (p *Parser) parseBlock() (*BlockStmt, error) {
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.cur().Kind {
 	case TokPragma:
 		tok := p.next()
@@ -560,7 +590,13 @@ func (p *Parser) parseFor() (Stmt, error) {
 
 // ---- Expressions (precedence climbing) ----
 
-func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseAssign()
+}
 
 func (p *Parser) parseAssign() (Expr, error) {
 	lhs, err := p.parseOr()
@@ -717,6 +753,10 @@ func (p *Parser) parseMultiplicative() (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.cur().Kind {
 	case TokMinus:
 		tok := p.next()

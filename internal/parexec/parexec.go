@@ -20,6 +20,7 @@
 package parexec
 
 import (
+	"errors"
 	"sort"
 	"strings"
 
@@ -100,6 +101,10 @@ type Result struct {
 	SimCycles int64
 	// Run is the interpreter summary.
 	Run *interp.Result
+	// Truncated marks a simulation stopped by an execution budget
+	// (interp.Options Ctx/Deadline/MaxSteps); the makespan covers only
+	// the executed prefix.
+	Truncated bool
 }
 
 // Speedup returns serial time over simulated parallel time.
@@ -124,6 +129,13 @@ func Simulate(prog *ir.Program, plan *Plan, opts interp.Options) (*Result, error
 	it := interp.New(prog, opts)
 	run, err := it.Run()
 	if err != nil {
+		// A budget stop still yields a usable makespan for the executed
+		// prefix; the caller gets the partial result alongside the error.
+		var be *interp.BudgetError
+		if errors.As(err, &be) && run != nil {
+			sim := sink.finish(run.Cycles)
+			return &Result{SerialCycles: run.Cycles, SimCycles: sim, Run: run, Truncated: true}, err
+		}
 		return nil, err
 	}
 	sim := sink.finish(run.Cycles)

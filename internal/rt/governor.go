@@ -1,0 +1,92 @@
+package rt
+
+import "fmt"
+
+// Limits bounds the runtime's shadow state. A zero value means
+// "unlimited" for that resource, which preserves the historical
+// behaviour; production runs set them so a runaway ROI degrades the
+// profile instead of exhausting memory.
+type Limits struct {
+	// MaxEvents caps the droppable events (accesses, ranges, escapes,
+	// fixed classifications) accepted from the program thread; structural
+	// events (alloc/free/ROI boundaries) always pass so the ASMT stays
+	// consistent.
+	MaxEvents uint64
+	// MaxLiveCells caps the live per-(ROI, cell) FSA tracking slots. On
+	// breach the governor climbs the degradation ladder (see Diagnostics).
+	MaxLiveCells int64
+	// MaxCallstacks caps the interned callstack-table entries; new stacks
+	// beyond the cap collapse to the empty stack.
+	MaxCallstacks int
+	// MaxBatchQueue caps the filled-batch queue depth (backpressure on
+	// the program thread). Zero keeps the default of 4×Workers.
+	MaxBatchQueue int
+}
+
+// Degradation-ladder levels, in escalation order. Each rung gives up a
+// cheaper-to-lose PSEC component so profiling can continue under the
+// configured caps instead of aborting.
+const (
+	degradeNone        int32 = iota
+	degradeNoUseCS           // stop collecting per-site use-callstack samples
+	degradeCoarseCells       // track new allocations as one coarse cell
+	degradeCountsOnly        // stop per-cell FSA tracking; keep access counts
+)
+
+func degradeName(level int32) string {
+	switch level {
+	case degradeNoUseCS:
+		return "drop-use-callstacks"
+	case degradeCoarseCells:
+		return "coarse-cell-tracking"
+	case degradeCountsOnly:
+		return "counts-only"
+	}
+	return "none"
+}
+
+// Downgrade records one degradation-ladder step taken during a run.
+type Downgrade struct {
+	// Reason names the breached cap (e.g. "max-live-cells=4096").
+	Reason string
+	// Action names the ladder rung ("drop-use-callstacks", ...).
+	Action string
+	// AtEvent is the accepted-event count when the downgrade happened.
+	AtEvent uint64
+}
+
+func (d Downgrade) String() string {
+	return fmt.Sprintf("%s: %s (at event %d)", d.Reason, d.Action, d.AtEvent)
+}
+
+// Diagnostics summarizes a profiling run's runtime behaviour: volume,
+// peak shadow state, every degradation taken, and every contained fault.
+// It is valid after Finish returns.
+type Diagnostics struct {
+	// Events is the number of events accepted from the program thread.
+	Events uint64
+	// DroppedEvents counts events rejected by the MaxEvents cap or
+	// emitted after Finish.
+	DroppedEvents uint64
+	// Batches is the number of batches pushed through the pipeline.
+	Batches int
+	// PeakLiveCells is the high-water mark of live FSA tracking slots.
+	PeakLiveCells int64
+	// Callstacks is the size of the interned callstack table.
+	Callstacks int
+	// Downgrades lists every degradation-ladder step, in order.
+	Downgrades []Downgrade
+	// WorkerPanics / PostprocessorPanics count contained pipeline panics.
+	WorkerPanics        int
+	PostprocessorPanics int
+	// Errors carries the messages of every contained fault.
+	Errors []string
+	// Truncated marks a run stopped by a step budget, wall deadline, or
+	// cancellation; TruncatedReason says which. Set by the caller that
+	// owns the execution budget (carmot.Profile), not by the runtime.
+	Truncated       bool
+	TruncatedReason string
+}
+
+// Degraded reports whether any cap forced a downgrade.
+func (d *Diagnostics) Degraded() bool { return len(d.Downgrades) > 0 }

@@ -26,16 +26,9 @@ type allocRec struct {
 	roiMask uint64 // ROIs active when allocated ("allocated within")
 	live    bool
 	track   [][]cellTrack // indexed by ROI ID, allocated lazily
-}
-
-func (a *allocRec) trackFor(roi int, numROIs int) []cellTrack {
-	if a.track == nil {
-		a.track = make([][]cellTrack, numROIs)
-	}
-	if a.track[roi] == nil {
-		a.track[roi] = make([]cellTrack, a.cells)
-	}
-	return a.track[roi]
+	// trackCells is the per-ROI tracking granularity decided at the first
+	// allocation: cells normally, 1 when the governor coarsened this PSE.
+	trackCells int64
 }
 
 // elemAcc accumulates the report for one source-identified PSE within one
@@ -66,6 +59,7 @@ func (e *elemAcc) fold(off int, sets core.SetMask, firstSeq, lastSeq uint64) {
 // postState is the ordered post-processing stage (Figure 5): it owns the
 // ASMT, the per-ROI FSA cells, use-callstacks, and reachability graphs.
 type postState struct {
+	rt  *Runtime
 	cfg *Config
 	cs  *core.CallstackTable
 
@@ -78,13 +72,19 @@ type postState struct {
 	acc    []map[string]*elemAcc
 	reach  []*core.ReachGraph
 	stats  []core.Stats
+
+	// Cell budget accounting for the resource governor.
+	liveCells int64
+	peakCells int64
 }
 
-func newPostState(cfg *Config, cs *core.CallstackTable) *postState {
+func newPostState(r *Runtime) *postState {
+	cfg := &r.cfg
 	n := len(cfg.ROIs)
 	p := &postState{
+		rt:        r,
 		cfg:       cfg,
-		cs:        cs,
+		cs:        r.cs,
 		baseIndex: map[uint64]int32{},
 		active:    make([]bool, n),
 		roiInv:    make([]uint64, n),
@@ -114,6 +114,64 @@ func (p *postState) ensureOwnerLen(hi uint64) {
 	for uint64(len(p.cellOwner)) < hi {
 		p.cellOwner = append(p.cellOwner, make([]int32, hi-uint64(len(p.cellOwner)))...)
 	}
+}
+
+// trackFor returns the per-cell FSA slots for rec in roi, allocating
+// them under the governor's cell budget. On a cap breach it climbs the
+// degradation ladder: first use-callstack collection is dropped, then
+// new allocations are tracked as one coarse cell, and finally per-cell
+// tracking stops entirely (nil return; access counts still accumulate).
+func (p *postState) trackFor(rec *allocRec, roi int) []cellTrack {
+	if rec.track != nil && rec.track[roi] != nil {
+		return rec.track[roi]
+	}
+	if p.rt.gLevel.Load() >= degradeCountsOnly {
+		return nil
+	}
+	if rec.trackCells == 0 {
+		rec.trackCells = rec.cells
+		if p.rt.gLevel.Load() >= degradeCoarseCells {
+			rec.trackCells = 1
+		}
+	}
+	limit := p.cfg.Limits.MaxLiveCells
+	for limit > 0 && p.liveCells+rec.trackCells > limit {
+		if !p.rt.escalate(fmt.Sprintf("max-live-cells=%d", limit)) {
+			break
+		}
+		lvl := p.rt.gLevel.Load()
+		if lvl >= degradeCountsOnly {
+			return nil
+		}
+		if lvl >= degradeCoarseCells && rec.track == nil {
+			// This PSE is not yet tracked in any ROI: coarsen it.
+			rec.trackCells = 1
+		}
+	}
+	if limit > 0 && p.liveCells+rec.trackCells > limit {
+		// Still over budget below the counts-only rung (a grandfathered
+		// fine-grained PSE under a tiny cap): skip this ROI's tracking.
+		return nil
+	}
+	if rec.track == nil {
+		rec.track = make([][]cellTrack, len(p.cfg.ROIs))
+	}
+	rec.track[roi] = make([]cellTrack, rec.trackCells)
+	p.liveCells += rec.trackCells
+	if p.liveCells > p.peakCells {
+		p.peakCells = p.liveCells
+	}
+	return rec.track[roi]
+}
+
+// trackOff maps a cell address to its slot in a (possibly coarse)
+// tracking slice: coarse PSEs fold every cell into slot 0.
+func trackOff(cells []cellTrack, rec *allocRec, addr uint64) int {
+	off := int(addr - rec.base)
+	if off >= len(cells) {
+		return 0
+	}
+	return off
 }
 
 func (p *postState) elemFor(roi int, desc core.PSEDesc) *elemAcc {
@@ -207,6 +265,7 @@ func (p *postState) finalizeAlloc(rec *allocRec) {
 		if cells == nil {
 			continue
 		}
+		p.liveCells -= int64(len(cells))
 		var e *elemAcc
 		for off := range cells {
 			ct := &cells[off]
@@ -230,7 +289,6 @@ func (p *postState) applySummaries(item *postItem) {
 		if rec == nil {
 			continue
 		}
-		off := int(s.addr - rec.base)
 		for roi := 0; roi < numROIs; roi++ {
 			if !p.active[roi] {
 				continue
@@ -246,8 +304,11 @@ func (p *postState) applySummaries(item *postItem) {
 			if !p.cfg.Profile.Sets && !p.cfg.Profile.Reach {
 				continue
 			}
-			cells := rec.trackFor(roi, numROIs)
-			ct := &cells[off]
+			cells := p.trackFor(rec, roi)
+			if cells == nil {
+				continue // governor: counts-only mode
+			}
+			ct := &cells[trackOff(cells, rec, s.addr)]
 			inv := p.roiInv[roi]
 			if ct.lastInv == 0 {
 				ct.firstSeq = s.firstSeq
@@ -267,7 +328,7 @@ func (p *postState) applySummaries(item *postItem) {
 			}
 		}
 	}
-	if p.cfg.Profile.UseCallstacks {
+	if p.cfg.Profile.UseCallstacks && p.rt.gLevel.Load() < degradeNoUseCS {
 		for ui := range item.uses {
 			u := &item.uses[ui]
 			for _, addr := range u.samples {
@@ -354,8 +415,11 @@ func (p *postState) applyRange(ev *Event) {
 		if !p.cfg.Profile.Sets {
 			continue
 		}
-		cells := rec.trackFor(roi, len(p.cfg.ROIs))
-		ct := &cells[addr-rec.base]
+		cells := p.trackFor(rec, roi)
+		if cells == nil {
+			continue // governor: counts-only mode
+		}
+		ct := &cells[trackOff(cells, rec, addr)]
 		if ct.lastInv == 0 {
 			ct.firstSeq = ev.Seq
 		}

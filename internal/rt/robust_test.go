@@ -1,0 +1,287 @@
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"carmot/internal/core"
+	"carmot/internal/faultinject"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// baseline (pipeline goroutines shut down asynchronously after Finish).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileFull})
+	f.alloc(100, 2, core.PSEHeap, "a")
+	f.r.BeginROI(0)
+	f.access(100, true)
+	f.r.EndROI(0)
+	first := f.r.Finish()
+	second := f.r.Finish()
+	if len(first) != 1 || first[0] == nil {
+		t.Fatalf("first Finish = %v", first)
+	}
+	if &first[0] != &second[0] {
+		t.Error("repeated Finish did not return the cached result")
+	}
+	if f.r.Emit(Event{Kind: EvAccess, Addr: 100, Write: true}) {
+		t.Error("Emit after Finish reported accepted")
+	}
+	if d := f.r.Diagnostics(); d.DroppedEvents != 1 {
+		t.Errorf("post-Finish emit not counted as dropped: %+v", d)
+	}
+}
+
+func TestWorkerPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(1, "injected worker fault"))
+	baseline := runtime.NumGoroutine()
+	f := newFeeder(Config{BatchSize: 4, Workers: 2, Profile: ProfileFull})
+	f.alloc(100, 4, core.PSEHeap, "arr")
+	f.r.BeginROI(0)
+	for i := 0; i < 64; i++ {
+		f.access(100+uint64(i%4), i%2 == 0)
+	}
+	f.r.EndROI(0)
+	psecs := f.r.Finish()
+	if len(psecs) != 1 || psecs[0] == nil {
+		t.Fatalf("no usable PSEC after worker panic: %v", psecs)
+	}
+	d := f.r.Diagnostics()
+	if d.WorkerPanics != 1 {
+		t.Errorf("WorkerPanics = %d, want 1 (%+v)", d.WorkerPanics, d)
+	}
+	if err := f.r.Err(); err == nil {
+		t.Error("Err() nil after contained worker panic")
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestPostprocessorPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set("rt.post.apply", faultinject.CountdownPanic(2, "injected post fault"))
+	baseline := runtime.NumGoroutine()
+	f := newFeeder(Config{BatchSize: 4, Workers: 2, Profile: ProfileFull})
+	f.alloc(100, 4, core.PSEHeap, "arr")
+	f.r.BeginROI(0)
+	for i := 0; i < 64; i++ {
+		f.access(100+uint64(i%4), true)
+	}
+	f.r.EndROI(0)
+	psecs := f.r.Finish()
+	if len(psecs) != 1 || psecs[0] == nil {
+		t.Fatalf("no usable PSEC after postprocessor panic: %v", psecs)
+	}
+	d := f.r.Diagnostics()
+	if d.PostprocessorPanics != 1 {
+		t.Errorf("PostprocessorPanics = %d, want 1 (%+v)", d.PostprocessorPanics, d)
+	}
+	if err := f.r.Err(); err == nil {
+		t.Error("Err() nil after contained postprocessor panic")
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestFinishStagePanicYieldsEmptyPSECs(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set("rt.post.finish", faultinject.CountdownPanic(1, "injected finish fault"))
+	f := newFeeder(Config{Profile: ProfileFull})
+	f.alloc(100, 1, core.PSEHeap, "a")
+	f.r.BeginROI(0)
+	f.access(100, true)
+	f.r.EndROI(0)
+	psecs := f.r.Finish()
+	if len(psecs) != 1 || psecs[0] == nil {
+		t.Fatalf("finishSafe fallback did not produce per-ROI PSECs: %v", psecs)
+	}
+	if psecs[0].ROI.Name != "z" {
+		t.Errorf("fallback PSEC lost ROI metadata: %+v", psecs[0].ROI)
+	}
+	if f.r.Err() == nil {
+		t.Error("Err() nil after finish-stage panic")
+	}
+}
+
+// TestEveryInjectionPointUnderRace drives all pipeline injection points
+// in one run; under -race this doubles as the deadlock/race check.
+func TestEveryInjectionPointUnderRace(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(2, "worker"))
+	faultinject.Set("rt.post.apply", faultinject.CountdownPanic(3, "post"))
+	baseline := runtime.NumGoroutine()
+	f := newFeeder(Config{BatchSize: 2, Workers: 4, Profile: ProfileFull})
+	f.alloc(100, 8, core.PSEHeap, "arr")
+	for inv := 0; inv < 8; inv++ {
+		f.r.BeginROI(0)
+		for i := 0; i < 32; i++ {
+			f.access(100+uint64(i%8), i%3 == 0)
+		}
+		f.r.EndROI(0)
+	}
+	done := make(chan []*core.PSEC, 1)
+	go func() { done <- f.r.Finish() }()
+	select {
+	case psecs := <-done:
+		if len(psecs) != 1 || psecs[0] == nil {
+			t.Fatalf("psecs = %v", psecs)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Finish deadlocked with injected panics")
+	}
+	d := f.r.Diagnostics()
+	if d.WorkerPanics != 1 || d.PostprocessorPanics != 1 {
+		t.Errorf("panic counts = %d/%d, want 1/1", d.WorkerPanics, d.PostprocessorPanics)
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestEventCapDegradation(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileFull, Limits: Limits{MaxEvents: 16}})
+	f.alloc(100, 4, core.PSEHeap, "arr")
+	f.r.BeginROI(0)
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if f.access(100+uint64(i%4), true); true {
+			accepted++
+		}
+	}
+	f.r.EndROI(0) // structural: must pass despite the cap
+	psecs := f.r.Finish()
+	if psecs[0] == nil {
+		t.Fatal("nil PSEC")
+	}
+	d := f.r.Diagnostics()
+	if d.DroppedEvents == 0 {
+		t.Errorf("event cap shed nothing: %+v", d)
+	}
+	if d.Events > 16+3 { // alloc + ROI begin/end are structural
+		t.Errorf("accepted %d events past cap 16", d.Events)
+	}
+	if !d.Degraded() {
+		t.Fatal("no downgrade recorded for event cap")
+	}
+	found := false
+	for _, dg := range d.Downgrades {
+		if dg.Action == "drop-access-events" && dg.Reason == "max-events=16" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("drop-access-events downgrade missing: %v", d.Downgrades)
+	}
+	// The ROI-end structural event was accepted, so invocation accounting
+	// survived the cap.
+	if psecs[0].Stats.Invocations != 1 {
+		t.Errorf("invocations = %d after cap", psecs[0].Stats.Invocations)
+	}
+}
+
+func TestCellCapClimbsLadder(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileFull, Limits: Limits{MaxLiveCells: 8}})
+	f.r.BeginROI(0)
+	// Each allocation wants 6 tracked cells; the second breaches the
+	// 8-cell cap and forces the governor up the ladder.
+	for i := 0; i < 4; i++ {
+		f.alloc(uint64(1000*(i+1)), 6, core.PSEHeap, fmt.Sprintf("a%d", i))
+		for c := 0; c < 6; c++ {
+			f.access(uint64(1000*(i+1)+c), true)
+		}
+	}
+	f.r.EndROI(0)
+	f.r.Finish()
+	d := f.r.Diagnostics()
+	if d.PeakLiveCells > 8 {
+		t.Errorf("PeakLiveCells = %d, cap 8", d.PeakLiveCells)
+	}
+	if len(d.Downgrades) == 0 {
+		t.Fatal("cell cap produced no downgrades")
+	}
+	// Ladder order: each recorded action must be a strictly later rung.
+	rank := map[string]int{
+		"drop-use-callstacks":  1,
+		"coarse-cell-tracking": 2,
+		"counts-only":          3,
+	}
+	last := 0
+	for _, dg := range d.Downgrades {
+		rk, ok := rank[dg.Action]
+		if !ok {
+			t.Errorf("unknown ladder action %q", dg.Action)
+			continue
+		}
+		if rk <= last {
+			t.Errorf("ladder out of order: %v", d.Downgrades)
+		}
+		last = rk
+	}
+	// Counts survive even at counts-only.
+	p := f.r.Finish()[0]
+	if p.Stats.TotalAccesses == 0 {
+		t.Error("access counts lost under degradation")
+	}
+}
+
+func TestCallstackCapCollapses(t *testing.T) {
+	f := newFeeder(Config{Profile: ProfileOpenMP,
+		Sites:  []SiteInfo{{Pos: "t.mc:5:3", Func: "f", Write: true}},
+		Limits: Limits{MaxCallstacks: 2}})
+	var ids []core.CallstackID
+	for i := 0; i < 6; i++ {
+		ids = append(ids, f.r.Callstacks().Intern([]core.Frame{
+			{Func: fmt.Sprintf("fn%d", i), Pos: fmt.Sprintf("t.mc:%d:1", i+1)},
+		}))
+	}
+	for _, id := range ids[2:] {
+		if id != 0 {
+			t.Errorf("stack beyond cap interned as %d, want collapse to 0", id)
+		}
+	}
+	f.alloc(40, 1, core.PSEVariable, "v")
+	f.r.BeginROI(0)
+	f.r.EmitAccess(40, true, 0, ids[0])
+	f.r.EndROI(0)
+	f.r.Finish()
+	d := f.r.Diagnostics()
+	if d.Callstacks > 3 { // empty stack + 2 interned
+		t.Errorf("callstack table grew past cap: %d", d.Callstacks)
+	}
+	found := false
+	for _, dg := range d.Downgrades {
+		if dg.Action == "collapse-new-callstacks" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("callstack-cap downgrade missing: %v", d.Downgrades)
+	}
+}
+
+func TestBatchQueueCapApplied(t *testing.T) {
+	f := newFeeder(Config{Workers: 8, Profile: ProfileFull, Limits: Limits{MaxBatchQueue: 2}})
+	if c := cap(f.r.filled); c != 2 {
+		t.Errorf("filled queue cap = %d, want 2", c)
+	}
+	f.alloc(100, 1, core.PSEHeap, "a")
+	f.r.BeginROI(0)
+	for i := 0; i < 100; i++ {
+		f.access(100, true)
+	}
+	f.r.EndROI(0)
+	if p := f.r.Finish()[0]; p.Stats.TotalAccesses != 100 {
+		t.Errorf("accesses = %d, want 100", p.Stats.TotalAccesses)
+	}
+}

@@ -1,11 +1,16 @@
 package rt
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"carmot/internal/core"
+	"carmot/internal/faultinject"
 )
 
 // Config configures the runtime.
@@ -22,6 +27,8 @@ type Config struct {
 	// ReducibleVars supplies the statically decided reduction operators,
 	// keyed by the variable's declaration position.
 	ReducibleVars map[string]string
+	// Limits bounds shadow state; zero values are unlimited.
+	Limits Limits
 }
 
 // Runtime is the profiling runtime. The program thread calls the Emit*
@@ -40,6 +47,22 @@ type Runtime struct {
 	workerWG  sync.WaitGroup
 	toPost    chan processedMsg
 	post      *postState
+
+	// Lifecycle guard: Finish is idempotent; Emit after Finish is a
+	// counted no-op instead of a send on a closed channel.
+	finished   atomic.Bool
+	finishOnce sync.Once
+	result     []*core.PSEC
+
+	// Governor state. gLevel is the degradation-ladder level, escalated
+	// by the postprocessor and read by every stage.
+	gLevel      atomic.Int32
+	accepted    atomic.Uint64
+	dropped     atomic.Uint64
+	eventCapHit bool // program thread only
+
+	diagMu sync.Mutex
+	diag   Diagnostics
 }
 
 type batchMsg struct {
@@ -90,15 +113,22 @@ func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	queue := 4 * cfg.Workers
+	if cfg.Limits.MaxBatchQueue > 0 && cfg.Limits.MaxBatchQueue < queue {
+		queue = cfg.Limits.MaxBatchQueue
+	}
 	r := &Runtime{
 		cfg:    cfg,
 		cs:     core.NewCallstackTable(),
 		cur:    make([]Event, 0, cfg.BatchSize),
-		filled: make(chan batchMsg, 4*cfg.Workers),
-		toPost: make(chan processedMsg, 4*cfg.Workers),
+		filled: make(chan batchMsg, queue),
+		toPost: make(chan processedMsg, queue),
 		done:   make(chan []*core.PSEC, 1),
 	}
-	r.post = newPostState(&cfg, r.cs)
+	if cfg.Limits.MaxCallstacks > 0 {
+		r.cs.SetCap(cfg.Limits.MaxCallstacks)
+	}
+	r.post = newPostState(r)
 	// Worker threads: condense batches (the "Process Batch" stage).
 	for i := 0; i < cfg.Workers; i++ {
 		r.workerWG.Add(1)
@@ -121,8 +151,34 @@ func (r *Runtime) Callstacks() *core.CallstackTable { return r.cs }
 // Profile returns the tracking profile the runtime was configured with.
 func (r *Runtime) Profile() TrackingProfile { return r.cfg.Profile }
 
-// Emit queues an event. The caller is the single program thread.
-func (r *Runtime) Emit(ev Event) {
+// droppable reports whether the governor may shed the event under the
+// MaxEvents cap. Structural events must pass: dropping an alloc/free or
+// ROI boundary would corrupt the ASMT and phase accounting.
+func droppable(k EventKind) bool {
+	switch k {
+	case EvAccess, EvRange, EvEscape, EvFixed:
+		return true
+	}
+	return false
+}
+
+// Emit queues an event. The caller is the single program thread. It
+// reports whether the event was accepted: false after Finish, or when
+// the MaxEvents cap sheds it.
+func (r *Runtime) Emit(ev Event) bool {
+	if r.finished.Load() {
+		r.dropped.Add(1)
+		return false
+	}
+	if limit := r.cfg.Limits.MaxEvents; limit > 0 && r.accepted.Load() >= limit && droppable(ev.Kind) {
+		if !r.eventCapHit {
+			r.eventCapHit = true
+			r.recordDowngrade(fmt.Sprintf("max-events=%d", limit), "drop-access-events")
+		}
+		r.dropped.Add(1)
+		return false
+	}
+	r.accepted.Add(1)
 	ev.Phase = r.phase
 	ev.Seq = r.seq
 	r.seq++
@@ -130,11 +186,12 @@ func (r *Runtime) Emit(ev Event) {
 	if len(r.cur) == cap(r.cur) {
 		r.flush()
 	}
+	return true
 }
 
 // EmitAccess is the hot-path helper for single-cell accesses.
-func (r *Runtime) EmitAccess(addr uint64, write bool, site int32, cs core.CallstackID) {
-	r.Emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
+func (r *Runtime) EmitAccess(addr uint64, write bool, site int32, cs core.CallstackID) bool {
+	return r.Emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
 }
 
 // BeginROI marks the start of a dynamic ROI invocation.
@@ -159,23 +216,123 @@ func (r *Runtime) flush() {
 }
 
 // Finish flushes pending events, drains the pipeline, and returns the
-// PSEC of every ROI (indexed by ROI ID).
+// PSEC of every ROI (indexed by ROI ID). It is idempotent: repeated
+// calls return the cached result instead of re-closing channels.
 func (r *Runtime) Finish() []*core.PSEC {
-	r.flush()
-	close(r.filled)
-	return <-r.done
+	r.finishOnce.Do(func() {
+		r.finished.Store(true)
+		r.flush()
+		close(r.filled)
+		r.result = <-r.done
+		r.assembleDiagnostics()
+	})
+	return r.result
+}
+
+// Diagnostics returns the run's resource/fault summary; valid after
+// Finish has returned.
+func (r *Runtime) Diagnostics() Diagnostics {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
+	d := r.diag
+	d.Downgrades = append([]Downgrade(nil), r.diag.Downgrades...)
+	d.Errors = append([]string(nil), r.diag.Errors...)
+	// The drop counter keeps moving after Finish (post-Finish Emits are
+	// counted no-ops), so read it live rather than from the snapshot.
+	d.DroppedEvents = r.dropped.Load()
+	return d
+}
+
+// Err summarizes contained pipeline faults as one error (nil when the
+// pipeline ran clean). Valid after Finish.
+func (r *Runtime) Err() error {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
+	if len(r.diag.Errors) == 0 {
+		return nil
+	}
+	return errors.New("rt: pipeline faults contained: " + strings.Join(r.diag.Errors, "; "))
+}
+
+// assembleDiagnostics snapshots counters once the pipeline has fully
+// drained (the postprocessor goroutine exited before done delivered, so
+// reading postState here is race-free).
+func (r *Runtime) assembleDiagnostics() {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
+	r.diag.Events = r.accepted.Load()
+	r.diag.DroppedEvents = r.dropped.Load()
+	r.diag.Batches = r.nextBatch
+	r.diag.PeakLiveCells = r.post.peakCells
+	r.diag.Callstacks = r.cs.Len()
+	if r.cs.Capped() {
+		r.diag.Downgrades = append(r.diag.Downgrades, Downgrade{
+			Reason:  fmt.Sprintf("max-callstacks=%d", r.cfg.Limits.MaxCallstacks),
+			Action:  "collapse-new-callstacks",
+			AtEvent: r.diag.Events,
+		})
+	}
+}
+
+func (r *Runtime) recordDowngrade(reason, action string) {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
+	r.diag.Downgrades = append(r.diag.Downgrades, Downgrade{
+		Reason: reason, Action: action, AtEvent: r.accepted.Load(),
+	})
+}
+
+// escalate climbs one degradation-ladder rung. Only the postprocessor
+// goroutine escalates, so a plain store after Load is safe; other stages
+// read gLevel atomically.
+func (r *Runtime) escalate(reason string) bool {
+	lvl := r.gLevel.Load()
+	if lvl >= degradeCountsOnly {
+		return false
+	}
+	lvl++
+	r.gLevel.Store(lvl)
+	r.recordDowngrade(reason, degradeName(lvl))
+	return true
+}
+
+func (r *Runtime) recordPanic(stage string, v interface{}) {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
+	switch stage {
+	case "worker":
+		r.diag.WorkerPanics++
+	default:
+		r.diag.PostprocessorPanics++
+	}
+	r.diag.Errors = append(r.diag.Errors, fmt.Sprintf("%s panic: %v", stage, v))
 }
 
 func (r *Runtime) worker() {
 	defer r.workerWG.Done()
 	for b := range r.filled {
-		r.toPost <- processedMsg{idx: b.idx, items: condense(b.evs)}
+		// A panicking batch is contained and forwarded empty so the
+		// ordered postprocessor never stalls waiting for its index.
+		r.toPost <- processedMsg{idx: b.idx, items: r.condenseSafe(b)}
 	}
+}
+
+func (r *Runtime) condenseSafe(b batchMsg) (items []postItem) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.recordPanic("worker", p)
+			items = nil
+		}
+	}()
+	faultinject.Fire("rt.worker.batch")
+	return condense(b.evs, r.gLevel.Load() >= degradeNoUseCS)
 }
 
 // condense is the worker stage: it folds runs of access events into
 // per-cell summaries while passing structural events through in order.
-func condense(evs []Event) []postItem {
+// With dropUses the per-site use-callstack aggregation is skipped (the
+// governor's first ladder rung).
+func condense(evs []Event, dropUses bool) []postItem {
 	var items []postItem
 	type key struct {
 		phase uint32
@@ -226,7 +383,7 @@ func condense(evs []Event) []postItem {
 			if ev.Write {
 				s.hasWrite = true
 			}
-			if ev.Site >= 0 {
+			if ev.Site >= 0 && !dropUses {
 				uk := useKey{ev.Site, ev.CS}
 				u := uses[uk]
 				if u == nil {
@@ -271,7 +428,7 @@ func (r *Runtime) postprocessor() {
 			}
 			delete(pending, next)
 			for i := range m.items {
-				r.post.apply(&m.items[i])
+				r.applySafe(&m.items[i])
 			}
 			next++
 		}
@@ -286,9 +443,47 @@ func (r *Runtime) postprocessor() {
 		for _, i := range idxs {
 			m := pending[i]
 			for j := range m.items {
-				r.post.apply(&m.items[j])
+				r.applySafe(&m.items[j])
 			}
 		}
 	}
-	r.done <- r.post.finish()
+	r.done <- r.finishSafe()
+}
+
+// applySafe contains a panic in one item's application: the item is
+// lost and recorded, the pipeline keeps draining (so Emit never blocks
+// on a full queue behind a dead postprocessor).
+func (r *Runtime) applySafe(item *postItem) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.recordPanic("postprocessor", p)
+		}
+	}()
+	faultinject.Fire("rt.post.apply")
+	r.post.apply(item)
+}
+
+// finishSafe builds the PSECs, substituting empty (but non-nil) PSECs if
+// report building itself faults, so Finish always returns len(ROIs)
+// usable entries.
+func (r *Runtime) finishSafe() (out []*core.PSEC) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.recordPanic("postprocessor.finish", p)
+			out = r.emptyPSECs()
+		}
+	}()
+	faultinject.Fire("rt.post.finish")
+	return r.post.finish()
+}
+
+func (r *Runtime) emptyPSECs() []*core.PSEC {
+	out := make([]*core.PSEC, len(r.cfg.ROIs))
+	for i, meta := range r.cfg.ROIs {
+		out[i] = &core.PSEC{
+			ROI:        core.ROIInfo{ID: meta.ID, Name: meta.Name, Kind: meta.Kind, Pos: meta.Pos},
+			Callstacks: r.cs,
+		}
+	}
+	return out
 }

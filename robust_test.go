@@ -1,0 +1,198 @@
+package carmot
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"carmot/internal/faultinject"
+)
+
+// spinSrc loops forever inside its ROI; only a budget can stop it.
+const spinSrc = `int main() {
+	int x = 0;
+	int y = 0;
+	#pragma carmot roi spin
+	while (1) {
+		x = x + 1;
+		y = x * 2;
+	}
+	return y;
+}
+`
+
+func compileSpin(t *testing.T) *Program {
+	t.Helper()
+	prog, err := Compile("spin.mc", spinSrc, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func waitGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestInfiniteLoopStepBudget: the headline robustness guarantee — an
+// unbounded program under a step budget terminates and yields a partial,
+// truncation-marked PSEC with nil error.
+func TestInfiniteLoopStepBudget(t *testing.T) {
+	prog := compileSpin(t)
+	baseline := runtime.NumGoroutine()
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, MaxSteps: 200_000})
+	if err != nil {
+		t.Fatalf("budget stop surfaced as error: %v", err)
+	}
+	if !res.Diagnostics.Truncated {
+		t.Fatal("Diagnostics.Truncated not set")
+	}
+	if !strings.Contains(res.Diagnostics.TruncatedReason, "step limit") {
+		t.Errorf("reason = %q", res.Diagnostics.TruncatedReason)
+	}
+	psec := res.PSECs[0]
+	if psec == nil || !psec.Truncated {
+		t.Fatalf("partial PSEC not truncation-marked: %+v", psec)
+	}
+	// The loop body ran, so the partial profile has real content: the
+	// loop counters were written inside the ROI.
+	if psec.Stats.TotalAccesses == 0 {
+		t.Error("partial PSEC is empty — run produced no profile data")
+	}
+	waitGoroutineBaseline(t, baseline)
+}
+
+func TestInfiniteLoopWallDeadline(t *testing.T) {
+	prog := compileSpin(t)
+	start := time.Now()
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("deadline stop surfaced as error: %v", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("run took %v; deadline not enforced", el)
+	}
+	if !res.Diagnostics.Truncated || !strings.Contains(res.Diagnostics.TruncatedReason, "deadline") {
+		t.Errorf("diagnostics = %+v", res.Diagnostics)
+	}
+	if res.PSECs[0] == nil || !res.PSECs[0].Truncated {
+		t.Error("partial PSEC not truncation-marked")
+	}
+}
+
+func TestInfiniteLoopContextCancel(t *testing.T) {
+	prog := compileSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, Context: ctx})
+	if err != nil {
+		t.Fatalf("cancellation surfaced as error: %v", err)
+	}
+	if !res.Diagnostics.Truncated || !strings.Contains(res.Diagnostics.TruncatedReason, "cancelled") {
+		t.Errorf("diagnostics = %+v", res.Diagnostics)
+	}
+}
+
+// TestTruncatedMergePropagates: merging a truncated partial PSEC with a
+// complete one keeps the truncation mark (the union is still partial).
+func TestTruncatedMergePropagates(t *testing.T) {
+	prog := compileSpin(t)
+	partial, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, MaxSteps: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergePSECs(partial.PSECs[0], partial.PSECs[0])
+	if merged == nil || !merged.Truncated {
+		t.Error("merge dropped the truncation mark")
+	}
+}
+
+// TestWorkerPanicSurfacesAsError: a contained pipeline fault comes back
+// as a Profile error with the partial result still attached.
+func TestWorkerPanicSurfacesAsError(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(1, "injected fault"))
+	baseline := runtime.NumGoroutine()
+	prog, err := Compile("demo.mc", figure1, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP, MaxSteps: 10_000_000})
+	if err == nil {
+		t.Fatal("contained pipeline fault did not surface as error")
+	}
+	if !strings.Contains(err.Error(), "profile degraded") ||
+		!strings.Contains(err.Error(), "injected fault") {
+		t.Errorf("err = %v", err)
+	}
+	if res == nil || len(res.PSECs) == 0 || res.PSECs[0] == nil {
+		t.Fatal("partial result missing alongside the error")
+	}
+	if res.Diagnostics.WorkerPanics != 1 {
+		t.Errorf("WorkerPanics = %d", res.Diagnostics.WorkerPanics)
+	}
+	waitGoroutineBaseline(t, baseline)
+}
+
+// TestInterpreterPanicContained: a fault on the interpreter's own
+// goroutine is recovered and reported as a runtime error with a partial
+// result, not a process crash.
+func TestInterpreterPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	// The interp.step point fires on the periodic budget check
+	// (every 8192 steps), squarely inside the dispatch loop.
+	faultinject.Set("interp.step", faultinject.CountdownPanic(2, "injected interp fault"))
+	baseline := runtime.NumGoroutine()
+	prog := compileSpin(t)
+	res, err := prog.Profile(ProfileOptions{UseCase: UseOpenMP})
+	if err == nil {
+		t.Fatal("interpreter fault did not surface as error")
+	}
+	if !strings.Contains(err.Error(), "interpreter internal fault") {
+		t.Errorf("err = %v", err)
+	}
+	if res == nil || res.Run == nil {
+		t.Fatal("no partial run summary")
+	}
+	waitGoroutineBaseline(t, baseline)
+}
+
+// TestResourceCapsEndToEnd: caps set through ProfileOptions reach the
+// runtime and the resulting downgrades reach Diagnostics.
+func TestResourceCapsEndToEnd(t *testing.T) {
+	prog, err := Compile("demo.mc", figure1, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Profile(ProfileOptions{
+		UseCase:  UseOpenMP,
+		MaxSteps: 10_000_000,
+		MaxCells: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Diagnostics
+	if d.PeakLiveCells > 2 {
+		t.Errorf("PeakLiveCells = %d, cap 2", d.PeakLiveCells)
+	}
+	if !d.Degraded() {
+		t.Errorf("2-cell cap produced no downgrades: %+v", d)
+	}
+	if d.Events == 0 {
+		t.Error("diagnostics missing event volume")
+	}
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# verify.sh — the checks a change must pass before it lands:
+# vet, full build, full test suite, and a race-detector pass over the
+# concurrent packages (the profiling pipeline and the simulator).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race -count=1 ./internal/rt/ ./internal/parexec/
+go test -race -count=1 -run 'Infinite|Panic|Budget|Deadline|Cancel' .
+
+echo "verify: OK"
