@@ -142,6 +142,9 @@ type ProfileOptions struct {
 	MaxSteps int64
 	// Workers sizes the runtime's worker pool (default GOMAXPROCS).
 	Workers int
+	// Shards sizes the runtime's address-sharded postprocessing pool
+	// (default min(Workers, 8), capped at 64).
+	Shards int
 	// BatchSize sizes event batches (default 4096).
 	BatchSize int
 
@@ -196,6 +199,7 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 	runtime := rt.New(rt.Config{
 		BatchSize:     opts.BatchSize,
 		Workers:       opts.Workers,
+		Shards:        opts.Shards,
 		Profile:       io_.Profile,
 		Sites:         plan.Sites,
 		ROIs:          plan.ROIs,

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats] [-threads N] [-scalediv D]
+//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats|rt] [-threads N] [-scalediv D]
+//
+// The rt experiment benchmarks the event pipeline itself across
+// (workers, shards) geometries and, with -rt-out, writes the
+// machine-readable BENCH_rt.json regression report.
 package main
 
 import (
@@ -17,21 +21,41 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table1, accesses, fig6, fig7, fig8, fig9, fig10, fig11, stats")
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, accesses, fig6, fig7, fig8, fig9, fig10, fig11, stats, rt")
 		threads  = flag.Int("threads", 24, "simulated thread count for Figure 6")
 		scaleDiv = flag.Int("scalediv", 1, "divide benchmark input scales by this factor (faster runs)")
+		rtIters  = flag.Int("rt-iters", 20, "timed pipeline runs per geometry for -exp rt")
+		rtOut    = flag.String("rt-out", "", "write the -exp rt report as JSON to this file (e.g. BENCH_rt.json)")
 	)
 	flag.Parse()
 	cfg := harness.Config{Threads: *threads, ScaleDiv: *scaleDiv}
-	if err := run(*exp, cfg); err != nil {
+	if err := run(*exp, cfg, *rtIters, *rtOut); err != nil {
 		fmt.Fprintln(os.Stderr, "carmot-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg harness.Config) error {
+func run(exp string, cfg harness.Config, rtIters int, rtOut string) error {
 	all := exp == "all"
 	ran := false
+	if exp == "rt" { // pipeline microbenchmark; deliberately not part of "all"
+		rep, err := harness.RTBench(rtIters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderRTBench(rep))
+		if rtOut != "" {
+			data, err := harness.MarshalRTBench(rep)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(rtOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", rtOut)
+		}
+		return nil
+	}
 	if all || exp == "table1" {
 		ran = true
 		fmt.Println(harness.Table1())

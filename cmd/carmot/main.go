@@ -60,6 +60,8 @@ type cliOptions struct {
 	maxCells  int64
 	maxCS     int
 	diag      bool
+	workers   int
+	shards    int
 }
 
 func main() {
@@ -81,6 +83,8 @@ func main() {
 	flag.Int64Var(&o.maxCells, "max-cells", 0, "cap on live shadow cells (0 = unlimited); breaches climb the degradation ladder")
 	flag.IntVar(&o.maxCS, "max-callstacks", 0, "cap on interned callstacks (0 = unlimited)")
 	flag.BoolVar(&o.diag, "diag", false, "print run diagnostics (events, peak cells, downgrades) as JSON")
+	flag.IntVar(&o.workers, "workers", 0, "worker goroutines condensing event batches (0 = GOMAXPROCS)")
+	flag.IntVar(&o.shards, "shards", 0, "address-sharded postprocessing goroutines (0 = min(workers, 8))")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: carmot [flags] file.mc")
@@ -148,6 +152,7 @@ func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
 		UseCase: useCase, Naive: o.naive, Stdout: out,
 		MaxSteps: o.maxSteps, Timeout: o.timeout,
 		MaxEvents: o.maxEvents, MaxCells: o.maxCells, MaxCallstacks: o.maxCS,
+		Workers: o.workers, Shards: o.shards,
 	})
 	if err != nil {
 		if res != nil {

@@ -8,7 +8,8 @@
 // Points currently wired:
 //
 //	rt.worker.batch  — before a worker condenses one batch
-//	rt.post.apply    — before the postprocessor applies one item
+//	rt.post.apply    — before the sequencer applies one ordered item
+//	rt.shard.apply   — before a shard goroutine applies one op
 //	rt.post.finish   — before the postprocessor builds the PSECs
 //	interp.step      — on the interpreter's periodic budget check
 package faultinject

@@ -1,0 +1,163 @@
+// Runtime-pipeline microbenchmark (the BENCH_rt.json experiment): drives
+// the §4.6 event pipeline directly — no interpreter — with the same
+// deterministic workload as BenchmarkPipeline, across several
+// (workers, shards) geometries, and reports machine-readable throughput,
+// allocation, and shadow-state numbers for regression tracking.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"carmot/internal/core"
+	"carmot/internal/rt"
+)
+
+// RTBenchRow is one measured pipeline geometry.
+type RTBenchRow struct {
+	Workers        int     `json:"workers"`
+	Shards         int     `json:"shards"`
+	Iterations     int     `json:"iterations"`
+	EventsPerRun   int     `json:"events_per_run"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	PeakLiveCells  int64   `json:"peak_live_cells"`
+}
+
+// RTBenchReport is the full machine-readable experiment output.
+type RTBenchReport struct {
+	Workload   string       `json:"workload"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Rows       []RTBenchRow `json:"rows"`
+}
+
+// rtWorkload mirrors the BenchmarkPipeline schedule: nAllocs arrays of
+// cells cells each, accessed in passes full sweeps per ROI invocation,
+// with two access sites and two interned callstacks. Bases sit 1 MiB
+// apart so the run also exercises sparse-address ownership.
+type rtWorkload struct {
+	nAllocs int
+	cells   uint64
+	invs    int
+	passes  int
+}
+
+func (w rtWorkload) events() int {
+	perInv := w.nAllocs * int(w.cells) * w.passes
+	return w.nAllocs + w.invs*(perInv+2)
+}
+
+func (w rtWorkload) run(workers, shards int) (*core.PSEC, rt.Diagnostics) {
+	r := rt.New(rt.Config{
+		BatchSize: 4096,
+		Workers:   workers,
+		Shards:    shards,
+		Profile:   rt.ProfileFull,
+		Sites: []rt.SiteInfo{
+			{Pos: "b.mc:5:3", Func: "f", Write: false},
+			{Pos: "b.mc:6:3", Func: "f", Write: true},
+		},
+		ROIs: []rt.ROIMeta{{ID: 0, Name: "bench", Kind: "carmot", Pos: "b.mc:1:1"}},
+	})
+	cs1 := r.Callstacks().Intern([]core.Frame{{Func: "main", Pos: "b.mc:10:1"}})
+	cs2 := r.Callstacks().Intern([]core.Frame{{Func: "kern", Pos: "b.mc:20:1"}})
+	base := func(i int) uint64 { return 1 << 20 * uint64(i+1) }
+	for i := 0; i < w.nAllocs; i++ {
+		r.EmitAlloc(base(i), int64(w.cells), 0,
+			&rt.AllocMeta{Kind: core.PSEHeap, Name: fmt.Sprintf("a%d", i), Pos: "b.mc:1:1"})
+	}
+	for inv := 0; inv < w.invs; inv++ {
+		r.BeginROI(0)
+		for pass := 0; pass < w.passes; pass++ {
+			for i := 0; i < w.nAllocs; i++ {
+				b := base(i)
+				for c := uint64(0); c < w.cells; c++ {
+					cs := cs1
+					if c%2 == 0 {
+						cs = cs2
+					}
+					r.EmitAccess(b+c, (int(c)+pass+inv)%3 == 0, int32(int(c)%2), cs)
+				}
+			}
+		}
+		r.EndROI(0)
+	}
+	psec := r.Finish()[0]
+	return psec, r.Diagnostics()
+}
+
+// RTBench measures the pipeline across worker/shard geometries. iters
+// runs are timed per geometry (after one warm-up run).
+func RTBench(iters int) (RTBenchReport, error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	w := rtWorkload{nAllocs: 16, cells: 64, invs: 8, passes: 4}
+	rep := RTBenchReport{
+		Workload: fmt.Sprintf("%d allocs x %d cells, %d invocations x %d passes (%d events/run), bases 1MiB apart",
+			w.nAllocs, w.cells, w.invs, w.passes, w.events()),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, g := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 8}} {
+		if _, diag := w.run(g[0], g[1]); diag.WorkerPanics+diag.PostprocessorPanics != 0 {
+			return rep, fmt.Errorf("w%ds%d warm-up run recorded contained faults: %+v", g[0], g[1], diag)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		var peak int64
+		for it := 0; it < iters; it++ {
+			psec, diag := w.run(g[0], g[1])
+			if psec == nil {
+				return rep, fmt.Errorf("w%ds%d: nil PSEC", g[0], g[1])
+			}
+			if diag.PeakLiveCells > peak {
+				peak = diag.PeakLiveCells
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ev := float64(w.events()) * float64(iters)
+		rep.Rows = append(rep.Rows, RTBenchRow{
+			Workers:        g[0],
+			Shards:         g[1],
+			Iterations:     iters,
+			EventsPerRun:   w.events(),
+			NsPerEvent:     float64(elapsed.Nanoseconds()) / ev,
+			EventsPerSec:   ev / elapsed.Seconds(),
+			AllocsPerEvent: float64(after.Mallocs-before.Mallocs) / ev,
+			BytesPerEvent:  float64(after.TotalAlloc-before.TotalAlloc) / ev,
+			PeakLiveCells:  peak,
+		})
+	}
+	return rep, nil
+}
+
+// RenderRTBench formats the report as a text table.
+func RenderRTBench(rep RTBenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Runtime pipeline throughput (%s)\n", rep.Workload)
+	fmt.Fprintf(&sb, "%-10s %12s %12s %14s %14s %10s\n",
+		"geometry", "ns/event", "events/sec", "allocs/event", "bytes/event", "peakcells")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&sb, "w%d s%d%4s %12.1f %12.0f %14.4f %14.1f %10d\n",
+			r.Workers, r.Shards, "", r.NsPerEvent, r.EventsPerSec,
+			r.AllocsPerEvent, r.BytesPerEvent, r.PeakLiveCells)
+	}
+	return sb.String()
+}
+
+// MarshalRTBench encodes the report as indented JSON (BENCH_rt.json).
+func MarshalRTBench(rep RTBenchReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

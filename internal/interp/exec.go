@@ -79,7 +79,7 @@ func (it *Interp) call(fn *ir.Func, args []uint64, callPos lang.Pos) (uint64, er
 	// Retire this frame's tracked stack PSEs.
 	if r := it.opts.Runtime; r != nil && err == nil {
 		for _, a := range lay.tracked {
-			r.Emit(rt.Event{Kind: rt.EvFree, Addr: fr.base + lay.offsets[a.Index]})
+			r.EmitFree(fr.base + lay.offsets[a.Index])
 			it.toolCycles += costAllocEvent
 		}
 	}
@@ -122,9 +122,8 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 					name = x.Sym.Name
 					pos = x.Sym.Pos
 				}
-				r.Emit(rt.Event{Kind: rt.EvAlloc, Addr: addr, N: int64(x.Cells),
-					CS:   it.curCS(),
-					Meta: &rt.AllocMeta{Kind: kind, Name: name, Pos: pos.String()}})
+				r.EmitAlloc(addr, int64(x.Cells), it.curCS(),
+					&rt.AllocMeta{Kind: kind, Name: name, Pos: pos.String()})
 				it.toolCycles += costAllocEvent
 			}
 
@@ -165,7 +164,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 					it.toolCycles += it.eventCost
 				}
 				if prof.Reach && x.PtrStore && val != 0 && val < uint64(len(it.mem)) {
-					r.Emit(rt.Event{Kind: rt.EvEscape, Addr: addr, Aux: val})
+					r.EmitEscape(addr, val)
 					it.toolCycles += costEscapeEvent
 				}
 			}
@@ -220,9 +219,8 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				if name == "" {
 					name = "heap<" + x.TypeName + ">"
 				}
-				r.Emit(rt.Event{Kind: rt.EvAlloc, Addr: addr, N: cells,
-					CS:   it.curCS(),
-					Meta: &rt.AllocMeta{Kind: core.PSEHeap, Name: name, Pos: base.Pos.String()}})
+				r.EmitAlloc(addr, cells, it.curCS(),
+					&rt.AllocMeta{Kind: core.PSEHeap, Name: name, Pos: base.Pos.String()})
 				it.toolCycles += costAllocEvent
 			}
 
@@ -234,7 +232,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 			delete(it.liveHeap, addr)
 			it.addCost(base, costFree)
 			if r != nil && x.Track == ir.TrackOn {
-				r.Emit(rt.Event{Kind: rt.EvFree, Addr: addr})
+				r.EmitFree(addr)
 				it.toolCycles += costAllocEvent
 			}
 
@@ -295,8 +293,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				addr := it.eval(x.Base, fr)
 				count := int64(it.eval(x.Count, fr))
 				if count > 0 {
-					r.Emit(rt.Event{Kind: rt.EvRange, Write: x.IsWrite, ROI: int32(x.ROI.ID),
-						Addr: addr, N: count, Aux: uint64(x.Stride)})
+					r.EmitRange(int32(x.ROI.ID), x.IsWrite, addr, count, uint64(x.Stride))
 					it.toolCycles += costRangedEmit
 				}
 			}
@@ -304,8 +301,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 		case *ir.FixedClass:
 			if r != nil {
 				addr := it.eval(x.Base, fr)
-				r.Emit(rt.Event{Kind: rt.EvFixed, ROI: int32(x.ROI.ID),
-					Addr: addr, N: x.Cells, Sets: core.SetMask(x.Sets)})
+				r.EmitFixed(int32(x.ROI.ID), addr, x.Cells, core.SetMask(x.Sets))
 				it.toolCycles += costFixedEmit
 			}
 

@@ -256,10 +256,8 @@ func (it *Interp) Run() (res *Result, err error) {
 			if g.Sym.Type.IsScalar() {
 				kind = core.PSEVariable
 			}
-			r.Emit(rt.Event{
-				Kind: rt.EvAlloc, Addr: it.globalOff[g], N: int64(g.Cells),
-				Meta: &rt.AllocMeta{Kind: kind, Name: g.Sym.Name, Pos: g.Sym.Pos.String()},
-			})
+			r.EmitAlloc(it.globalOff[g], int64(g.Cells), 0,
+				&rt.AllocMeta{Kind: kind, Name: g.Sym.Name, Pos: g.Sym.Pos.String()})
 		}
 	}
 	exit, err := it.call(main, nil, lang.Pos{Line: 0})

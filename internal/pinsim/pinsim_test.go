@@ -27,10 +27,8 @@ func TestTracerReportsAccesses(t *testing.T) {
 		ROIs:    []rt.ROIMeta{{ID: 0, Name: "z"}},
 	})
 	inner := &memEnv{mem: map[uint64]uint64{100: 7, 101: 8}}
-	r.Emit(rt.Event{Kind: rt.EvAlloc, Addr: 100, N: 2,
-		Meta: &rt.AllocMeta{Kind: core.PSEHeap, Name: "src", Pos: "lib"}})
-	r.Emit(rt.Event{Kind: rt.EvAlloc, Addr: 200, N: 2,
-		Meta: &rt.AllocMeta{Kind: core.PSEHeap, Name: "dst", Pos: "lib"}})
+	r.EmitAlloc(100, 2, 0, &rt.AllocMeta{Kind: core.PSEHeap, Name: "src", Pos: "lib"})
+	r.EmitAlloc(200, 2, 0, &rt.AllocMeta{Kind: core.PSEHeap, Name: "dst", Pos: "lib"})
 	r.BeginROI(0)
 	tr := pinsim.NewTracer(inner, r, 0)
 	native.Lookup("memcpy_cells").Impl(tr, []uint64{200, 100, 2})

@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+
+	"carmot/internal/core"
+)
+
+// pipelineWorkload is the deterministic event schedule used by the
+// throughput benchmarks: a handful of arrays accessed across several ROI
+// invocations, with use sites and interned callstacks, plus a sprinkle
+// of structural churn (free/realloc) — roughly the shape of an
+// instrumented loop nest. The schedule is identical for every (workers,
+// shards) configuration so events/sec numbers are comparable.
+type pipelineWorkload struct {
+	nAllocs int
+	cells   uint64
+	invs    int
+	passes  int
+}
+
+var defaultWorkload = pipelineWorkload{nAllocs: 16, cells: 64, invs: 8, passes: 4}
+
+// events returns the number of events one replay emits.
+func (w pipelineWorkload) events() int {
+	perInv := w.nAllocs * int(w.cells) * w.passes
+	return w.nAllocs + w.invs*(perInv+2)
+}
+
+// replay drives one full profiling run through the pipeline.
+func (w pipelineWorkload) replay(r *Runtime, cs1, cs2 core.CallstackID) {
+	base := func(i int) uint64 { return 1 << 20 * uint64(i+1) }
+	for i := 0; i < w.nAllocs; i++ {
+		r.EmitAlloc(base(i), int64(w.cells), 0,
+			&AllocMeta{Kind: core.PSEHeap, Name: fmt.Sprintf("a%d", i), Pos: "b.mc:1:1"})
+	}
+	for inv := 0; inv < w.invs; inv++ {
+		r.BeginROI(0)
+		for pass := 0; pass < w.passes; pass++ {
+			for i := 0; i < w.nAllocs; i++ {
+				b := base(i)
+				for c := uint64(0); c < w.cells; c++ {
+					cs := cs1
+					if c%2 == 0 {
+						cs = cs2
+					}
+					r.EmitAccess(b+c, (int(c)+pass+inv)%3 == 0, int32(int(c)%2), cs)
+				}
+			}
+		}
+		r.EndROI(0)
+	}
+}
+
+func benchPipeline(b *testing.B, workers, shards int) {
+	w := defaultWorkload
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := New(Config{
+			BatchSize: 4096,
+			Workers:   workers,
+			Shards:    shards,
+			Profile:   ProfileFull,
+			Sites: []SiteInfo{
+				{Pos: "b.mc:5:3", Func: "f", Write: false},
+				{Pos: "b.mc:6:3", Func: "f", Write: true},
+			},
+			ROIs: []ROIMeta{{ID: 0, Name: "bench", Kind: "carmot", Pos: "b.mc:1:1"}},
+		})
+		cs1 := r.Callstacks().Intern([]core.Frame{{Func: "main", Pos: "b.mc:10:1"}})
+		cs2 := r.Callstacks().Intern([]core.Frame{{Func: "kern", Pos: "b.mc:20:1"}})
+		w.replay(r, cs1, cs2)
+		if p := r.Finish()[0]; p == nil {
+			b.Fatal("nil PSEC")
+		}
+	}
+	ev := float64(w.events()) * float64(b.N)
+	b.ReportMetric(ev/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/ev, "ns/event")
+}
+
+func BenchmarkPipeline(b *testing.B) {
+	for _, cfg := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 8}} {
+		b.Run(fmt.Sprintf("w%ds%d", cfg[0], cfg[1]), func(b *testing.B) {
+			benchPipeline(b, cfg[0], cfg[1])
+		})
+	}
+}
+
+// BenchmarkCondense isolates the worker condense stage.
+func BenchmarkCondense(b *testing.B) {
+	evs := make([]Event, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		evs = append(evs, Event{
+			Kind: EvAccess, Addr: uint64(100 + i%256), Write: i%3 == 0,
+			Phase: 1, Seq: uint64(i), Site: int32(i % 2), CS: core.CallstackID(i % 4),
+		})
+	}
+	c := newCondenser()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if items := c.condense(evs, nil, false); len(items) == 0 {
+			b.Fatal("no items")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*4096), "ns/event")
+}

@@ -1,0 +1,203 @@
+package rt
+
+// The condense stage folds runs of access events into per-cell summaries
+// while passing structural events through in order. Each worker owns one
+// condenser whose scratch state is reused across batches: open-addressed
+// index tables plus value slices, so the steady-state cost per condensed
+// block is two exact-size output copies and zero map traffic. Table
+// entries are epoch-stamped — advancing the epoch empties the table
+// without touching memory, which is what makes per-block reuse free.
+
+// tabEntry is one open-addressed slot: it maps key to an index into the
+// condenser's scratch slice, and is live only while its epoch matches.
+type tabEntry struct {
+	key   uint64
+	epoch uint32
+	idx   int32
+}
+
+type condenser struct {
+	epoch  uint32
+	sumTab []tabEntry // keyed by cell address
+	useTab []tabEntry // keyed by site<<32 | callstack
+	sums   []accSummary
+	uses   []useRec
+}
+
+func newCondenser() *condenser {
+	return &condenser{
+		epoch:  1, // 0 marks empty table slots
+		sumTab: make([]tabEntry, 1024),
+		useTab: make([]tabEntry, 256),
+	}
+}
+
+// hash64 is a 64-bit finalizer (splitmix64-style) — cheap and good
+// enough to keep linear probing short at <=50% load.
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// condense runs one batch through the condenser. Within a block (the
+// events between two structural events) every access shares one phase —
+// the program thread only advances the phase at ROI boundaries, which
+// are themselves structural events — so summaries key by address alone.
+func (c *condenser) condense(evs []Event, cold []EventCold, dropUses bool) []postItem {
+	if len(c.sums) > 0 || len(c.uses) > 0 {
+		// A contained panic in a previous batch left a dirty block.
+		c.reset()
+	}
+	var items []postItem
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Kind == EvAccess {
+			c.noteAccess(ev, dropUses)
+			continue
+		}
+		// Structural event: close the open summary block first so that
+		// alloc/free/ROI boundaries interleave correctly.
+		items = c.flushBlock(items)
+		items = append(items, postItem{ev: *ev, cold: coldOf(ev, cold), hasEv: true})
+	}
+	return c.flushBlock(items)
+}
+
+func (c *condenser) noteAccess(ev *Event, dropUses bool) {
+	idx, hit := c.findSum(ev.Addr)
+	if !hit {
+		idx = int32(len(c.sums))
+		c.sums = append(c.sums, accSummary{addr: ev.Addr, firstIsWrite: ev.Write, firstSeq: ev.Seq})
+		c.insertSum(ev.Addr, idx)
+	}
+	s := &c.sums[idx]
+	s.count++
+	s.lastSeq = ev.Seq
+	if ev.Write {
+		s.hasWrite = true
+	}
+	if ev.Site >= 0 && !dropUses {
+		key := uint64(uint32(ev.Site))<<32 | uint64(uint32(ev.CS))
+		uidx, hit := c.findUse(key)
+		if !hit {
+			uidx = int32(len(c.uses))
+			c.uses = append(c.uses, useRec{
+				site:    ev.Site,
+				cs:      ev.CS,
+				samples: append(make([]uint64, 0, maxUseSamples), ev.Addr),
+			})
+			c.insertUse(key, uidx)
+		}
+		u := &c.uses[uidx]
+		u.count++
+		if len(u.samples) < maxUseSamples && !containsU64(u.samples, ev.Addr) {
+			u.samples = append(u.samples, ev.Addr)
+		}
+	}
+}
+
+func (c *condenser) findSum(key uint64) (int32, bool) {
+	mask := uint64(len(c.sumTab) - 1)
+	for h := hash64(key) & mask; ; h = (h + 1) & mask {
+		e := &c.sumTab[h]
+		if e.epoch != c.epoch {
+			return 0, false
+		}
+		if e.key == key {
+			return e.idx, true
+		}
+	}
+}
+
+func (c *condenser) insertSum(key uint64, idx int32) {
+	if len(c.sums)*2 > len(c.sumTab) {
+		c.sumTab = growTab(c.sumTab, c.epoch)
+	}
+	insertTab(c.sumTab, c.epoch, key, idx)
+}
+
+func (c *condenser) findUse(key uint64) (int32, bool) {
+	mask := uint64(len(c.useTab) - 1)
+	for h := hash64(key) & mask; ; h = (h + 1) & mask {
+		e := &c.useTab[h]
+		if e.epoch != c.epoch {
+			return 0, false
+		}
+		if e.key == key {
+			return e.idx, true
+		}
+	}
+}
+
+func (c *condenser) insertUse(key uint64, idx int32) {
+	if len(c.uses)*2 > len(c.useTab) {
+		c.useTab = growTab(c.useTab, c.epoch)
+	}
+	insertTab(c.useTab, c.epoch, key, idx)
+}
+
+func insertTab(tab []tabEntry, epoch uint32, key uint64, idx int32) {
+	mask := uint64(len(tab) - 1)
+	h := hash64(key) & mask
+	for tab[h].epoch == epoch {
+		h = (h + 1) & mask
+	}
+	tab[h] = tabEntry{key: key, epoch: epoch, idx: idx}
+}
+
+func growTab(old []tabEntry, epoch uint32) []tabEntry {
+	tab := make([]tabEntry, len(old)*2)
+	for _, e := range old {
+		if e.epoch == epoch {
+			insertTab(tab, epoch, e.key, e.idx)
+		}
+	}
+	return tab
+}
+
+// flushBlock copies the accumulated block into exact-size output slices
+// and resets the scratch for the next block. The copied use records hand
+// off their sample slices — the scratch never retouches them because a
+// fresh record always assigns a fresh samples slice.
+func (c *condenser) flushBlock(items []postItem) []postItem {
+	if len(c.sums) == 0 && len(c.uses) == 0 {
+		return items
+	}
+	it := postItem{}
+	if len(c.sums) > 0 {
+		it.sums = make([]accSummary, len(c.sums))
+		copy(it.sums, c.sums)
+	}
+	if len(c.uses) > 0 {
+		it.uses = make([]useRec, len(c.uses))
+		copy(it.uses, c.uses)
+	}
+	c.reset()
+	return append(items, it)
+}
+
+func (c *condenser) reset() {
+	c.sums = c.sums[:0]
+	c.uses = c.uses[:0]
+	c.epoch++
+	if c.epoch == 0 { // epoch wrapped: physically clear the tables once
+		for i := range c.sumTab {
+			c.sumTab[i] = tabEntry{}
+		}
+		for i := range c.useTab {
+			c.useTab[i] = tabEntry{}
+		}
+		c.epoch = 1
+	}
+}
+
+func containsU64(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

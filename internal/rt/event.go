@@ -2,10 +2,10 @@
 // The instrumented program (the interpreter's main thread) pushes events
 // into fixed-size batches; filled batches flow through a parallel pipeline
 // of worker goroutines that condense them into per-cell access summaries;
-// an ordered post-processing stage then maintains the Active State Member
-// Table (ASMT), drives the Figure 3 FSA per (ROI, cell), collects
-// use-callstacks, and builds the reachability graph — producing one PSEC
-// per ROI.
+// an ordered sequencing stage then maintains the Active State Member
+// Table (ASMT) and fans work out to address-sharded shard goroutines that
+// drive the Figure 3 FSA per (ROI, cell), collect use-callstacks, and
+// feed the reachability graph — producing one PSEC per ROI.
 package rt
 
 import "carmot/internal/core"
@@ -52,20 +52,42 @@ type AllocMeta struct {
 }
 
 // Event is one runtime event. The main thread fills these into batches;
-// size matters more than elegance here.
+// size matters more than elegance here: accesses dominate every workload,
+// so the struct carries only what EvAccess needs (40 bytes). Fields used
+// by the rarer structural/aggregate kinds (cell counts, strides, set
+// masks, allocation metadata) live in a per-batch EventCold side table
+// reached through the unexported cold index; use the Emit* helpers to
+// attach them.
 type Event struct {
-	Kind  EventKind
-	Write bool
-	ROI   int32 // EvROIBegin/End, EvRange, EvFixed
-	Phase uint32
 	Addr  uint64
-	N     int64 // cells (EvAlloc, EvRange, EvFixed)
-	Aux   uint64
+	Seq   uint64
+	Phase uint32
+	ROI   int32 // EvROIBegin/End, EvRange, EvFixed
 	Site  int32
 	CS    core.CallstackID
-	Sets  core.SetMask
-	Seq   uint64
-	Meta  *AllocMeta
+	cold  int32 // 1-based index into the batch's cold table; 0 = none
+	Kind  EventKind
+	Write bool
+}
+
+// EventCold carries the event fields that only structural and aggregate
+// kinds use, keyed off Event.cold so the access fast path never touches
+// them.
+type EventCold struct {
+	N    int64  // cells (EvAlloc, EvRange, EvFixed)
+	Aux  uint64 // escape target (EvEscape), stride (EvRange)
+	Sets core.SetMask
+	Meta *AllocMeta
+}
+
+// coldOf resolves an event's cold record against its batch's side table;
+// events emitted without one (plain Emit of a structural kind) resolve to
+// the zero record.
+func coldOf(ev *Event, cold []EventCold) EventCold {
+	if ev.cold == 0 {
+		return EventCold{}
+	}
+	return cold[ev.cold-1]
 }
 
 // SiteInfo describes one static instrumented access site (an ROI use).

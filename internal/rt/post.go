@@ -3,38 +3,45 @@ package rt
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"carmot/internal/core"
 )
 
-// cellTrack is the per-(ROI, cell) FSA instance. lastInv==0 means the
-// cell has not been accessed in the ROI yet (invocations start at 1).
-type cellTrack struct {
-	state    core.FSAState
-	lastInv  uint64
-	firstSeq uint64
-	lastSeq  uint64
-}
+// maxShards bounds Config.Shards so shard routing can use a uint64
+// residue bitmask.
+const maxShards = 64
 
-// allocRec is one Active State Member Table entry: a live PSE allocation
-// with its source identity, extent, and per-ROI cell tracking.
-type allocRec struct {
+// shardOpFlush bounds a shard's pending op buffer between flushes.
+const shardOpFlush = 1024
+
+// allocInfo is the immutable identity of one allocation, shared between
+// the sequencer and the shards. Everything here is written before the
+// registering op is enqueued and never mutated afterwards.
+type allocInfo struct {
 	id      int32
 	desc    core.PSEDesc
 	base    uint64
 	cells   int64
 	roiMask uint64 // ROIs active when allocated ("allocated within")
-	live    bool
-	track   [][]cellTrack // indexed by ROI ID, allocated lazily
-	// trackCells is the per-ROI tracking granularity decided at the first
-	// allocation: cells normally, 1 when the governor coarsened this PSE.
-	trackCells int64
+}
+
+// allocRec is one Active State Member Table entry at the sequencer: the
+// shared identity plus sequencer-side liveness.
+type allocRec struct {
+	info *allocInfo
+	live bool
 }
 
 // elemAcc accumulates the report for one source-identified PSE within one
 // ROI (dynamic instances of the same static PSE fold together here).
 type elemAcc struct {
-	desc     core.PSEDesc
+	desc core.PSEDesc
+	// descID is the allocation id desc came from. When several dynamic
+	// instances share a Key (address reuse), the report carries the desc
+	// of the lowest id — a shard-count-independent choice, unlike
+	// "whichever instance a shard happened to touch first".
+	descID   int32
 	cellSets []core.SetMask
 	firstSeq uint64
 	lastSeq  uint64
@@ -56,26 +63,72 @@ func (e *elemAcc) fold(off int, sets core.SetMask, firstSeq, lastSeq uint64) {
 	e.seen = true
 }
 
-// postState is the ordered post-processing stage (Figure 5): it owns the
-// ASMT, the per-ROI FSA cells, use-callstacks, and reachability graphs.
+// merge folds another accumulator for the same PSE into e. Every
+// operation is commutative (set OR, min/max seq, set union), so the
+// merged result is independent of shard merge order.
+func (e *elemAcc) merge(o *elemAcc) {
+	if o.descID < e.descID {
+		e.desc, e.descID = o.desc, o.descID
+	}
+	for off, s := range o.cellSets {
+		if s == 0 {
+			continue
+		}
+		for off >= len(e.cellSets) {
+			e.cellSets = append(e.cellSets, 0)
+		}
+		e.cellSets[off] = core.MergeSets(e.cellSets[off], s)
+	}
+	if o.seen {
+		if !e.seen || o.firstSeq < e.firstSeq {
+			e.firstSeq = o.firstSeq
+		}
+		if o.lastSeq > e.lastSeq {
+			e.lastSeq = o.lastSeq
+		}
+		e.seen = true
+	}
+	for site, set := range o.useSites {
+		dst := e.useSites[site]
+		if dst == nil {
+			e.useSites[site] = set
+			continue
+		}
+		for cs := range set {
+			dst[cs] = struct{}{}
+		}
+	}
+}
+
+// postState is the ordered sequencing stage (Figure 5): it owns the
+// ASMT (cell ownership + liveness), applies structural events in global
+// order, and fans per-address work out to the shard goroutines. FSA cell
+// tracking, use-callstacks, and access stats live on the shards; the
+// reachability graphs stay here because escapes need both endpoints'
+// owners.
 type postState struct {
 	rt  *Runtime
 	cfg *Config
 	cs  *core.CallstackTable
 
-	cellOwner []int32 // addr -> allocID+1 (0 = untracked)
+	k      uint64 // number of shards
+	shards []*shardState
+	bufs   [][]shardOp // pending ops per shard, flushed in batches
+	wg     sync.WaitGroup
+
+	// live holds the live allocations sorted by base address. Live
+	// intervals never overlap (reuse retires the previous owner first),
+	// so ownership is a binary search — O(live allocations) space, where
+	// a dense addr-indexed table would be O(highest address) and spend
+	// the whole run in memclr for sparse address spaces.
+	live      []*allocRec
 	allocs    []*allocRec
 	baseIndex map[uint64]int32 // base addr -> allocID for EvFree
 
 	active []bool
 	roiInv []uint64
-	acc    []map[string]*elemAcc
 	reach  []*core.ReachGraph
 	stats  []core.Stats
-
-	// Cell budget accounting for the resource governor.
-	liveCells int64
-	peakCells int64
 }
 
 func newPostState(r *Runtime) *postState {
@@ -85,280 +138,290 @@ func newPostState(r *Runtime) *postState {
 		rt:        r,
 		cfg:       cfg,
 		cs:        r.cs,
+		k:         uint64(cfg.Shards),
 		baseIndex: map[uint64]int32{},
 		active:    make([]bool, n),
 		roiInv:    make([]uint64, n),
-		acc:       make([]map[string]*elemAcc, n),
 		reach:     make([]*core.ReachGraph, n),
 		stats:     make([]core.Stats, n),
 	}
-	for i := range p.acc {
-		p.acc[i] = map[string]*elemAcc{}
+	for i := range p.reach {
 		p.reach[i] = core.NewReachGraph()
+	}
+	p.shards = make([]*shardState, cfg.Shards)
+	p.bufs = make([][]shardOp, cfg.Shards)
+	for i := range p.shards {
+		p.shards[i] = newShardState(r, uint64(i), p.k)
 	}
 	return p
 }
 
+// liveAfter returns the index of the first live interval whose base is
+// > addr; the candidate owner of addr is the interval just before it.
+func (p *postState) liveAfter(addr uint64) int {
+	lo, hi := 0, len(p.live)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.live[mid].info.base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 func (p *postState) owner(addr uint64) *allocRec {
-	if addr >= uint64(len(p.cellOwner)) {
+	i := p.liveAfter(addr)
+	if i == 0 {
 		return nil
 	}
-	id := p.cellOwner[addr]
-	if id == 0 {
-		return nil
+	rec := p.live[i-1]
+	if addr-rec.info.base < uint64(rec.info.cells) {
+		return rec
 	}
-	return p.allocs[id-1]
+	return nil
 }
 
-func (p *postState) ensureOwnerLen(hi uint64) {
-	for uint64(len(p.cellOwner)) < hi {
-		p.cellOwner = append(p.cellOwner, make([]int32, hi-uint64(len(p.cellOwner)))...)
+// push queues op for shard sid, flushing the buffer when it fills.
+func (p *postState) push(sid uint64, op shardOp) {
+	p.bufs[sid] = append(p.bufs[sid], op)
+	if len(p.bufs[sid]) >= shardOpFlush {
+		p.flushShard(sid)
 	}
 }
 
-// trackFor returns the per-cell FSA slots for rec in roi, allocating
-// them under the governor's cell budget. On a cap breach it climbs the
-// degradation ladder: first use-callstack collection is dropped, then
-// new allocations are tracked as one coarse cell, and finally per-cell
-// tracking stops entirely (nil return; access counts still accumulate).
-func (p *postState) trackFor(rec *allocRec, roi int) []cellTrack {
-	if rec.track != nil && rec.track[roi] != nil {
-		return rec.track[roi]
+func (p *postState) flushShard(sid uint64) {
+	if len(p.bufs[sid]) == 0 {
+		return
 	}
-	if p.rt.gLevel.Load() >= degradeCountsOnly {
-		return nil
-	}
-	if rec.trackCells == 0 {
-		rec.trackCells = rec.cells
-		if p.rt.gLevel.Load() >= degradeCoarseCells {
-			rec.trackCells = 1
-		}
-	}
-	limit := p.cfg.Limits.MaxLiveCells
-	for limit > 0 && p.liveCells+rec.trackCells > limit {
-		if !p.rt.escalate(fmt.Sprintf("max-live-cells=%d", limit)) {
-			break
-		}
-		lvl := p.rt.gLevel.Load()
-		if lvl >= degradeCountsOnly {
-			return nil
-		}
-		if lvl >= degradeCoarseCells && rec.track == nil {
-			// This PSE is not yet tracked in any ROI: coarsen it.
-			rec.trackCells = 1
-		}
-	}
-	if limit > 0 && p.liveCells+rec.trackCells > limit {
-		// Still over budget below the counts-only rung (a grandfathered
-		// fine-grained PSE under a tiny cap): skip this ROI's tracking.
-		return nil
-	}
-	if rec.track == nil {
-		rec.track = make([][]cellTrack, len(p.cfg.ROIs))
-	}
-	rec.track[roi] = make([]cellTrack, rec.trackCells)
-	p.liveCells += rec.trackCells
-	if p.liveCells > p.peakCells {
-		p.peakCells = p.liveCells
-	}
-	return rec.track[roi]
+	p.shards[sid].in <- p.bufs[sid]
+	p.bufs[sid] = nil
 }
 
-// trackOff maps a cell address to its slot in a (possibly coarse)
-// tracking slice: coarse PSEs fold every cell into slot 0.
-func trackOff(cells []cellTrack, rec *allocRec, addr uint64) int {
-	off := int(addr - rec.base)
-	if off >= len(cells) {
+// flushShards sends every pending op buffer; the sequencer calls it after
+// each ordered batch so shard latency stays bounded.
+func (p *postState) flushShards() {
+	for sid := range p.bufs {
+		p.flushShard(uint64(sid))
+	}
+}
+
+// broadcast queues op for every shard (ROI boundaries).
+func (p *postState) broadcast(op shardOp) {
+	for sid := uint64(0); sid < p.k; sid++ {
+		p.push(sid, op)
+	}
+}
+
+// fanoutMask returns the residue bitmask of shards owning at least one
+// cell of the strided range. Ranges of >= k cells may over-approximate
+// to all shards — shards filter by residue themselves, so a superset is
+// always safe (and exact computation under uint64 wraparound is not
+// worth the cycles).
+func (p *postState) fanoutMask(base uint64, n, stride int64) uint64 {
+	if n <= 0 {
 		return 0
 	}
-	return off
+	full := uint64(1)<<p.k - 1
+	if p.k == 1 || uint64(n) >= p.k {
+		return full
+	}
+	if stride == 0 {
+		stride = 1
+	}
+	var mask uint64
+	for i := int64(0); i < n; i++ {
+		mask |= 1 << ((base + uint64(i*stride)) % p.k)
+		if mask == full {
+			break
+		}
+	}
+	return mask
 }
 
-func (p *postState) elemFor(roi int, desc core.PSEDesc) *elemAcc {
-	key := desc.Key()
-	e := p.acc[roi][key]
-	if e == nil {
-		e = &elemAcc{desc: desc, useSites: map[int32]map[core.CallstackID]struct{}{}}
-		p.acc[roi][key] = e
+// fanout queues op for every shard in mask.
+func (p *postState) fanout(mask uint64, op shardOp) {
+	for sid := uint64(0); mask != 0; sid++ {
+		if mask&(1<<sid) != 0 {
+			mask &^= 1 << sid
+			p.push(sid, op)
+		}
 	}
-	return e
 }
 
 func (p *postState) apply(item *postItem) {
-	if item.ev == nil {
-		p.applySummaries(item)
+	if !item.hasEv {
+		p.routeSummaries(item)
 		return
 	}
-	ev := item.ev
+	ev := &item.ev
 	switch ev.Kind {
 	case EvROIBegin:
 		roi := int(ev.ROI)
 		p.roiInv[roi]++
 		p.active[roi] = true
 		p.stats[roi].Invocations++
+		p.broadcast(shardOp{kind: opEvent, ev: item.ev})
 	case EvROIEnd:
 		p.active[int(ev.ROI)] = false
+		p.broadcast(shardOp{kind: opEvent, ev: item.ev})
 	case EvAlloc:
-		p.applyAlloc(ev)
+		p.applyAlloc(ev, &item.cold)
 	case EvFree:
 		if id, ok := p.baseIndex[ev.Addr]; ok {
 			p.finalizeAlloc(p.allocs[id])
 		}
 	case EvEscape:
-		p.applyEscape(ev)
+		p.applyEscape(ev, &item.cold)
 	case EvFixed:
-		p.applyFixed(ev)
+		p.fanout(p.fanoutMask(ev.Addr, item.cold.N, 1),
+			shardOp{kind: opEvent, ev: item.ev, cold: item.cold})
 	case EvRange:
-		p.applyRange(ev)
+		// The per-event Events count is charged once, here; per-cell
+		// access counts accrue on the owning shards.
+		p.stats[int(ev.ROI)].Events++
+		p.fanout(p.fanoutMask(ev.Addr, item.cold.N, int64(item.cold.Aux)),
+			shardOp{kind: opEvent, ev: item.ev, cold: item.cold})
 	}
 }
 
-func (p *postState) applyAlloc(ev *Event) {
-	rec := &allocRec{
-		id:    int32(len(p.allocs)),
-		base:  ev.Addr,
-		cells: ev.N,
-		live:  true,
-	}
-	rec.desc = core.PSEDesc{
-		Kind: ev.Meta.Kind, Name: ev.Meta.Name, AllocPos: ev.Meta.Pos,
-		AllocStack: ev.CS, Cells: int(ev.N),
-	}
-	for roi := range p.active {
-		if p.active[roi] {
-			rec.roiMask |= 1 << uint(roi)
-			if p.cfg.Profile.Reach {
-				p.reach[roi].Touch(rec.desc, ev.Seq)
+// routeSummaries partitions a condensed block by owning shard: summaries
+// by their cell's residue, use records to every shard holding at least
+// one sampled address (the samples slice is shared read-only).
+func (p *postState) routeSummaries(item *postItem) {
+	if len(item.sums) > 0 {
+		if p.k == 1 {
+			p.push(0, shardOp{kind: opSums, sums: item.sums})
+		} else {
+			var counts [maxShards]int32
+			for i := range item.sums {
+				counts[item.sums[i].addr%p.k]++
+			}
+			var parts [maxShards][]accSummary
+			for i := range item.sums {
+				sid := item.sums[i].addr % p.k
+				if parts[sid] == nil {
+					parts[sid] = make([]accSummary, 0, counts[sid])
+				}
+				parts[sid] = append(parts[sid], item.sums[i])
+			}
+			for sid := uint64(0); sid < p.k; sid++ {
+				if parts[sid] != nil {
+					p.push(sid, shardOp{kind: opSums, sums: parts[sid]})
+				}
 			}
 		}
 	}
-	// Reuse of an address range (stack frames, freed heap) retires the
-	// previous owner implicitly.
-	p.ensureOwnerLen(ev.Addr + uint64(ev.N))
-	for i := uint64(0); i < uint64(ev.N); i++ {
-		if prev := p.cellOwner[ev.Addr+i]; prev != 0 && p.allocs[prev-1].live {
-			p.finalizeAlloc(p.allocs[prev-1])
+	if len(item.uses) > 0 {
+		var mask uint64
+		full := uint64(1)<<p.k - 1
+		for i := range item.uses {
+			for _, a := range item.uses[i].samples {
+				mask |= 1 << (a % p.k)
+			}
+			if mask == full {
+				break
+			}
 		}
-		p.cellOwner[ev.Addr+i] = rec.id + 1
+		p.fanout(mask, shardOp{kind: opUses, uses: item.uses})
 	}
-	p.allocs = append(p.allocs, rec)
-	p.baseIndex[ev.Addr] = rec.id
 }
 
-// finalizeAlloc folds a dying allocation's per-ROI FSA states into the
-// per-source-PSE accumulators and releases its tracking storage.
+func (p *postState) applyAlloc(ev *Event, cold *EventCold) {
+	info := &allocInfo{
+		id:    int32(len(p.allocs)),
+		base:  ev.Addr,
+		cells: cold.N,
+	}
+	info.desc = core.PSEDesc{
+		Kind: cold.Meta.Kind, Name: cold.Meta.Name, AllocPos: cold.Meta.Pos,
+		AllocStack: ev.CS, Cells: int(cold.N),
+	}
+	for roi := range p.active {
+		if p.active[roi] {
+			info.roiMask |= 1 << uint(roi)
+			if p.cfg.Profile.Reach {
+				p.reach[roi].Touch(info.desc, ev.Seq)
+			}
+		}
+	}
+	rec := &allocRec{info: info, live: true}
+	// Reuse of an address range (stack frames, freed heap) retires the
+	// previous owners implicitly. Overlapping intervals are contiguous
+	// in the sorted order; collect them first since finalizeAlloc
+	// splices the slice.
+	limit := ev.Addr + uint64(cold.N)
+	start := p.liveAfter(ev.Addr)
+	if start > 0 {
+		prev := p.live[start-1]
+		if ev.Addr-prev.info.base < uint64(prev.info.cells) {
+			start--
+		}
+	}
+	end := start
+	for end < len(p.live) && p.live[end].info.base < limit {
+		end++
+	}
+	if end > start {
+		doomed := make([]*allocRec, end-start)
+		copy(doomed, p.live[start:end])
+		for _, d := range doomed {
+			p.finalizeAlloc(d)
+		}
+	}
+	at := p.liveAfter(ev.Addr)
+	p.live = append(p.live, nil)
+	copy(p.live[at+1:], p.live[at:])
+	p.live[at] = rec
+	p.allocs = append(p.allocs, rec)
+	p.baseIndex[ev.Addr] = info.id
+	p.fanout(p.fanoutMask(info.base, info.cells, 1),
+		shardOp{kind: opEvent, ev: *ev, info: info})
+}
+
+// finalizeAlloc retires an allocation at the sequencer and tells every
+// owning shard to fold its FSA state into the per-source accumulators.
 func (p *postState) finalizeAlloc(rec *allocRec) {
 	if !rec.live {
 		return
 	}
 	rec.live = false
-	delete(p.baseIndex, rec.base)
-	for i := uint64(0); i < uint64(rec.cells); i++ {
-		if p.cellOwner[rec.base+i] == rec.id+1 {
-			p.cellOwner[rec.base+i] = 0
-		}
+	info := rec.info
+	delete(p.baseIndex, info.base)
+	if i := p.liveAfter(info.base); i > 0 && p.live[i-1] == rec {
+		p.live = append(p.live[:i-1], p.live[i:]...)
 	}
-	if rec.track == nil {
-		return
-	}
-	for roi, cells := range rec.track {
-		if cells == nil {
-			continue
-		}
-		p.liveCells -= int64(len(cells))
-		var e *elemAcc
-		for off := range cells {
-			ct := &cells[off]
-			if ct.state == core.StateNone {
-				continue
-			}
-			if e == nil {
-				e = p.elemFor(roi, rec.desc)
-			}
-			e.fold(off, ct.state.Sets(), ct.firstSeq, ct.lastSeq)
-		}
-	}
-	rec.track = nil
+	p.fanout(p.fanoutMask(info.base, info.cells, 1),
+		shardOp{kind: opFinalize, alloc: info.id})
 }
 
-func (p *postState) applySummaries(item *postItem) {
-	numROIs := len(p.cfg.ROIs)
-	for si := range item.sums {
-		s := &item.sums[si]
-		rec := p.owner(s.addr)
-		if rec == nil {
-			continue
-		}
-		for roi := 0; roi < numROIs; roi++ {
-			if !p.active[roi] {
-				continue
-			}
-			st := &p.stats[roi]
-			st.TotalAccesses += s.count
-			st.Events++
-			if rec.desc.Kind == core.PSEVariable {
-				st.VarAccesses += s.count
-			} else {
-				st.MemAccesses += s.count
-			}
-			if !p.cfg.Profile.Sets && !p.cfg.Profile.Reach {
-				continue
-			}
-			cells := p.trackFor(rec, roi)
-			if cells == nil {
-				continue // governor: counts-only mode
-			}
-			ct := &cells[trackOff(cells, rec, s.addr)]
-			inv := p.roiInv[roi]
-			if ct.lastInv == 0 {
-				ct.firstSeq = s.firstSeq
-				if p.cfg.Profile.Reach && rec.roiMask&(1<<uint(roi)) != 0 {
-					p.reach[roi].Touch(rec.desc, s.firstSeq)
-				}
-			}
-			ct.lastSeq = s.lastSeq
-			if ct.lastInv != inv {
-				ct.state = ct.state.Next(true, s.firstIsWrite)
-				if s.hasWrite {
-					ct.state = ct.state.Next(false, true)
-				}
-				ct.lastInv = inv
-			} else if s.hasWrite {
-				ct.state = ct.state.Next(false, true)
-			}
-		}
-	}
-	if p.cfg.Profile.UseCallstacks && p.rt.gLevel.Load() < degradeNoUseCS {
-		for ui := range item.uses {
-			u := &item.uses[ui]
-			for _, addr := range u.samples {
-				rec := p.owner(addr)
-				if rec == nil {
-					continue
-				}
-				for roi := 0; roi < numROIs; roi++ {
-					if !p.active[roi] {
-						continue
-					}
-					e := p.elemFor(roi, rec.desc)
-					set := e.useSites[u.site]
-					if set == nil {
-						set = map[core.CallstackID]struct{}{}
-						e.useSites[u.site] = set
-					}
-					set[u.cs] = struct{}{}
-				}
-			}
+// finalizeLive retires every still-live allocation, in allocation order,
+// at end of run.
+func (p *postState) finalizeLive() {
+	for _, rec := range p.allocs {
+		if rec.live {
+			p.finalizeAlloc(rec)
 		}
 	}
 }
 
-func (p *postState) applyEscape(ev *Event) {
+// shutdownShards flushes the pending op buffers, closes the shard
+// channels, and waits for every shard goroutine to drain and exit.
+func (p *postState) shutdownShards() {
+	p.flushShards()
+	for _, s := range p.shards {
+		close(s.in)
+	}
+	p.wg.Wait()
+}
+
+func (p *postState) applyEscape(ev *Event, cold *EventCold) {
 	if !p.cfg.Profile.Reach {
 		return
 	}
 	from := p.owner(ev.Addr)
-	to := p.owner(ev.Aux)
+	to := p.owner(cold.Aux)
 	if from == nil || to == nil {
 		return
 	}
@@ -367,90 +430,71 @@ func (p *postState) applyEscape(ev *Event) {
 			continue
 		}
 		bit := uint64(1) << uint(roi)
-		if from.roiMask&bit == 0 || to.roiMask&bit == 0 {
+		if from.info.roiMask&bit == 0 || to.info.roiMask&bit == 0 {
 			continue
 		}
-		p.reach[roi].AddEdge(from.desc, to.desc, ev.Seq)
+		p.reach[roi].AddEdge(from.info.desc, to.info.desc, ev.Seq)
 	}
 }
 
-// applyFixed applies a compile-time classification (§4.4 opt 3).
-func (p *postState) applyFixed(ev *Event) {
-	roi := int(ev.ROI)
-	if !p.cfg.Profile.Sets {
-		return
-	}
-	for i := uint64(0); i < uint64(ev.N); i++ {
-		rec := p.owner(ev.Addr + i)
-		if rec == nil {
-			continue
-		}
-		e := p.elemFor(roi, rec.desc)
-		e.fold(int(ev.Addr+i-rec.base), ev.Sets, ev.Seq, ev.Seq)
-	}
-}
-
-// applyRange applies an aggregated access event (§4.4 opt 2): each
-// covered cell behaves as first-accessed in its own ROI invocation.
-func (p *postState) applyRange(ev *Event) {
-	roi := int(ev.ROI)
-	stride := int64(ev.Aux)
-	if stride == 0 {
-		stride = 1
-	}
-	st := &p.stats[roi]
-	st.Events++
-	for i := int64(0); i < ev.N; i++ {
-		addr := ev.Addr + uint64(i*stride)
-		rec := p.owner(addr)
-		if rec == nil {
-			continue
-		}
-		st.TotalAccesses++
-		if rec.desc.Kind == core.PSEVariable {
-			st.VarAccesses++
-		} else {
-			st.MemAccesses++
-		}
-		if !p.cfg.Profile.Sets {
-			continue
-		}
-		cells := p.trackFor(rec, roi)
-		if cells == nil {
-			continue // governor: counts-only mode
-		}
-		ct := &cells[trackOff(cells, rec, addr)]
-		if ct.lastInv == 0 {
-			ct.firstSeq = ev.Seq
-		}
-		ct.lastSeq = ev.Seq
-		ct.state = ct.state.Next(true, ev.Write)
-	}
-}
-
-// finish finalizes live allocations and builds the per-ROI PSECs.
+// finish merges the shard states (safe: every shard goroutine has
+// exited) and builds the per-ROI PSECs. Every merged quantity is
+// commutative — set ORs, min/max sequence numbers, set unions, counter
+// sums, min access times on already-interned reach nodes — so the result
+// is byte-identical to the sequential pipeline's.
 func (p *postState) finish() []*core.PSEC {
-	for _, rec := range p.allocs {
-		if rec.live {
-			p.finalizeAlloc(rec)
-		}
-	}
 	out := make([]*core.PSEC, len(p.cfg.ROIs))
 	for roi := range p.cfg.ROIs {
+		merged := map[string]*elemAcc{}
+		stats := p.stats[roi]
+		touched := map[int32]uint64{}
+		for _, s := range p.shards {
+			for key, e := range s.acc[roi] {
+				if dst, ok := merged[key]; ok {
+					dst.merge(e)
+				} else {
+					merged[key] = e
+				}
+			}
+			sh := s.stats[roi]
+			stats.TotalAccesses += sh.TotalAccesses
+			stats.VarAccesses += sh.VarAccesses
+			stats.MemAccesses += sh.MemAccesses
+			stats.Invocations += sh.Invocations
+			stats.Events += sh.Events
+			for id, seq := range s.touch[roi] {
+				if old, ok := touched[id]; !ok || seq < old {
+					touched[id] = seq
+				}
+			}
+		}
+		if p.cfg.Profile.Reach && len(touched) > 0 {
+			// Every touched desc was interned at alloc time (both guards
+			// check the same roiMask bit), so Touch only lowers min
+			// access times here; sort for determinism regardless.
+			ids := make([]int32, 0, len(touched))
+			for id := range touched {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				p.reach[roi].Touch(p.allocs[id].info.desc, touched[id])
+			}
+		}
 		meta := p.cfg.ROIs[roi]
 		psec := &core.PSEC{
 			ROI:        core.ROIInfo{ID: meta.ID, Name: meta.Name, Kind: meta.Kind, Pos: meta.Pos},
 			Reach:      p.reach[roi],
 			Callstacks: p.cs,
-			Stats:      p.stats[roi],
+			Stats:      stats,
 		}
-		keys := make([]string, 0, len(p.acc[roi]))
-		for k := range p.acc[roi] {
+		keys := make([]string, 0, len(merged))
+		for k := range merged {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			e := p.acc[roi][k]
+			e := merged[k]
 			elem := &core.Element{
 				PSE:         e.desc,
 				Ranges:      core.AggregateRanges(e.cellSets),
@@ -541,7 +585,8 @@ func (p *postState) DumpASMT() string {
 	s := ""
 	for _, a := range p.allocs {
 		if a.live {
-			s += fmt.Sprintf("alloc %d %s base=%d cells=%d\n", a.id, a.desc.Key(), a.base, a.cells)
+			s += fmt.Sprintf("alloc %d %s base=%d cells=%d\n",
+				a.info.id, a.info.desc.Key(), a.info.base, a.info.cells)
 		}
 	}
 	return s

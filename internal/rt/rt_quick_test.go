@@ -57,8 +57,7 @@ func replay(ops []streamOp, batchSize, workers int) string {
 	for _, op := range ops {
 		switch op.kind {
 		case EvAlloc:
-			r.Emit(Event{Kind: EvAlloc, Addr: op.addr, N: 8,
-				Meta: &AllocMeta{Kind: core.PSEHeap, Name: "arr", Pos: "p"}})
+			r.EmitAlloc(op.addr, 8, 0, &AllocMeta{Kind: core.PSEHeap, Name: "arr", Pos: "p"})
 		case EvROIBegin:
 			r.BeginROI(0)
 		case EvROIEnd:
@@ -115,8 +114,7 @@ func TestPipelinePropertyAgainstOracle(t *testing.T) {
 		// Pipeline.
 		rt0 := New(Config{BatchSize: 3, Workers: 2, Profile: ProfileFull,
 			ROIs: []ROIMeta{{ID: 0, Name: "z"}}})
-		rt0.Emit(Event{Kind: EvAlloc, Addr: 50, N: 1,
-			Meta: &AllocMeta{Kind: core.PSEVariable, Name: "x", Pos: "p"}})
+		rt0.EmitAlloc(50, 1, 0, &AllocMeta{Kind: core.PSEVariable, Name: "x", Pos: "p"})
 		cur := -1
 		for _, a := range trace {
 			for cur < a.inv {

@@ -21,8 +21,7 @@ func newFeeder(cfg Config) *feeder {
 }
 
 func (f *feeder) alloc(addr uint64, n int64, kind core.PSEKind, name string) {
-	f.r.Emit(Event{Kind: EvAlloc, Addr: addr, N: n,
-		Meta: &AllocMeta{Kind: kind, Name: name, Pos: "t.mc:9:9"}})
+	f.r.EmitAlloc(addr, n, 0, &AllocMeta{Kind: kind, Name: name, Pos: "t.mc:9:9"})
 }
 
 func (f *feeder) access(addr uint64, write bool) {
@@ -99,7 +98,7 @@ func TestFreeSplitsPSEInstances(t *testing.T) {
 	f.r.BeginROI(0)
 	f.alloc(200, 1, core.PSEHeap, "buf")
 	f.access(200, true)
-	f.r.Emit(Event{Kind: EvFree, Addr: 200})
+	f.r.EmitFree(200)
 	f.alloc(200, 1, core.PSEHeap, "buf")
 	f.access(200, true)
 	f.r.EndROI(0)
@@ -140,8 +139,8 @@ func TestRangedEvents(t *testing.T) {
 	f.alloc(1000, 10, core.PSEHeap, "vec")
 	// Two loop executions, each reporting a uniform write over the
 	// vector: cells become Cloneable+Output (overwritten, never read).
-	f.r.Emit(Event{Kind: EvRange, Write: true, ROI: 0, Addr: 1000, N: 10, Aux: 1})
-	f.r.Emit(Event{Kind: EvRange, Write: true, ROI: 0, Addr: 1000, N: 10, Aux: 1})
+	f.r.EmitRange(0, true, 1000, 10, 1)
+	f.r.EmitRange(0, true, 1000, 10, 1)
 	p := f.r.Finish()[0]
 	e := p.ElementByName("vec")
 	if e == nil || e.Sets != core.SetCloneable|core.SetOutput {
@@ -150,7 +149,7 @@ func TestRangedEvents(t *testing.T) {
 	// A single read-ranged event yields Input.
 	f2 := newFeeder(Config{Profile: ProfileOpenMP})
 	f2.alloc(1000, 10, core.PSEHeap, "vec")
-	f2.r.Emit(Event{Kind: EvRange, ROI: 0, Addr: 1000, N: 10, Aux: 1})
+	f2.r.EmitRange(0, false, 1000, 10, 1)
 	if e := f2.r.Finish()[0].ElementByName("vec"); e == nil || e.Sets != core.SetInput {
 		t.Errorf("read-ranged vec = %v", e)
 	}
@@ -160,7 +159,7 @@ func TestRangedEventStride(t *testing.T) {
 	f := newFeeder(Config{Profile: ProfileOpenMP})
 	f.alloc(0x800, 8, core.PSEHeap, "mat")
 	// Stride 2: only even cells accessed.
-	f.r.Emit(Event{Kind: EvRange, ROI: 0, Addr: 0x800, N: 4, Aux: 2})
+	f.r.EmitRange(0, false, 0x800, 4, 2)
 	p := f.r.Finish()[0]
 	e := p.ElementByName("mat")
 	if e == nil || len(e.Ranges) != 4 {
@@ -176,7 +175,7 @@ func TestRangedEventStride(t *testing.T) {
 func TestFixedClassification(t *testing.T) {
 	f := newFeeder(Config{Profile: ProfileOpenMP})
 	f.alloc(77, 1, core.PSEVariable, "alpha")
-	f.r.Emit(Event{Kind: EvFixed, ROI: 0, Addr: 77, N: 1, Sets: core.SetInput})
+	f.r.EmitFixed(0, 77, 1, core.SetInput)
 	p := f.r.Finish()[0]
 	if e := p.ElementByName("alpha"); e == nil || e.Sets != core.SetInput {
 		t.Errorf("alpha = %v", e)
@@ -188,8 +187,8 @@ func TestEscapesBuildReachGraph(t *testing.T) {
 	f.r.BeginROI(0)
 	f.alloc(10, 2, core.PSEHeap, "a")
 	f.alloc(20, 2, core.PSEHeap, "b")
-	f.r.Emit(Event{Kind: EvEscape, Addr: 10, Aux: 20}) // a -> b
-	f.r.Emit(Event{Kind: EvEscape, Addr: 21, Aux: 10}) // b -> a
+	f.r.EmitEscape(10, 20) // a -> b
+	f.r.EmitEscape(21, 10) // b -> a
 	f.r.EndROI(0)
 	p := f.r.Finish()[0]
 	cycles := p.Reach.Cycles()
@@ -207,7 +206,7 @@ func TestEscapeOutsideROINotRecorded(t *testing.T) {
 	f.alloc(10, 1, core.PSEHeap, "pre")
 	f.r.BeginROI(0)
 	f.alloc(20, 1, core.PSEHeap, "in")
-	f.r.Emit(Event{Kind: EvEscape, Addr: 10, Aux: 20})
+	f.r.EmitEscape(10, 20)
 	f.r.EndROI(0)
 	p := f.r.Finish()[0]
 	if n := len(p.Reach.Edges()); n != 0 {
@@ -255,8 +254,7 @@ func TestStaticUsesAndReducibleVars(t *testing.T) {
 		ReducibleVars: map[string]string{"t.mc:2:2": "+"},
 	}
 	f := newFeeder(cfg)
-	f.r.Emit(Event{Kind: EvAlloc, Addr: 60, N: 1,
-		Meta: &AllocMeta{Kind: core.PSEVariable, Name: "sum", Pos: "t.mc:2:2"}})
+	f.r.EmitAlloc(60, 1, 0, &AllocMeta{Kind: core.PSEVariable, Name: "sum", Pos: "t.mc:2:2"})
 	f.r.BeginROI(0)
 	f.r.EmitAccess(60, true, 0, 0)
 	f.r.EndROI(0)

@@ -17,9 +17,13 @@ import (
 type Config struct {
 	BatchSize int // events per batch (default 4096)
 	Workers   int // worker goroutines (default GOMAXPROCS)
-	Profile   TrackingProfile
-	Sites     []SiteInfo
-	ROIs      []ROIMeta
+	// Shards is the number of address-sharded postprocessing goroutines
+	// that own the FSA shadow state (default min(Workers, 8); hard cap
+	// maxShards). Shard s owns every cell address with addr%Shards == s.
+	Shards  int
+	Profile TrackingProfile
+	Sites   []SiteInfo
+	ROIs    []ROIMeta
 	// StaticVarUses supplies compiler-known use sites (accesses whose
 	// instrumentation optimization 1 removed), keyed by the variable's
 	// declaration position.
@@ -37,9 +41,17 @@ type Runtime struct {
 	cfg Config
 	cs  *core.CallstackTable
 
-	cur   []Event
-	seq   uint64
-	phase uint32
+	// Program-thread state. Emit is documented single-threaded, so the
+	// counters on its fast path are plain fields; acceptedLoc is synced
+	// to the atomic mirror at batch boundaries for cross-goroutine
+	// diagnostic reads.
+	cur         []Event
+	curCold     []EventCold
+	seq         uint64
+	phase       uint32
+	finished    bool
+	acceptedLoc uint64
+	eventCapHit bool
 
 	nextBatch int
 	filled    chan batchMsg
@@ -47,27 +59,37 @@ type Runtime struct {
 	workerWG  sync.WaitGroup
 	toPost    chan processedMsg
 	post      *postState
+	bufPool   sync.Pool
 
 	// Lifecycle guard: Finish is idempotent; Emit after Finish is a
 	// counted no-op instead of a send on a closed channel.
-	finished   atomic.Bool
 	finishOnce sync.Once
 	result     []*core.PSEC
 
 	// Governor state. gLevel is the degradation-ladder level, escalated
-	// by the postprocessor and read by every stage.
-	gLevel      atomic.Int32
-	accepted    atomic.Uint64
-	dropped     atomic.Uint64
-	eventCapHit bool // program thread only
+	// under diagMu by the sequencer and the shards and read atomically
+	// by every stage. liveCells/peakCells account FSA tracking slots
+	// across all shards.
+	gLevel    atomic.Int32
+	accepted  atomic.Uint64 // mirror of acceptedLoc, synced at flush/Finish
+	dropped   atomic.Uint64
+	liveCells atomic.Int64
+	peakCells atomic.Int64
 
 	diagMu sync.Mutex
 	diag   Diagnostics
 }
 
+// eventBuf is one recyclable event batch: the hot event array plus the
+// cold side table the Emit* helpers fill for structural kinds.
+type eventBuf struct {
+	evs  []Event
+	cold []EventCold
+}
+
 type batchMsg struct {
 	idx int
-	evs []Event
+	buf *eventBuf
 }
 
 type processedMsg struct {
@@ -77,10 +99,14 @@ type processedMsg struct {
 
 // postItem is either a passthrough event or a block of condensed access
 // summaries; items preserve intra-batch ordering across the two forms.
+// Events are carried by value so the batch buffers they came from can be
+// recycled as soon as condense returns.
 type postItem struct {
-	ev   *Event
-	sums []accSummary
-	uses []useRec
+	sums  []accSummary
+	uses  []useRec
+	ev    Event
+	cold  EventCold
+	hasEv bool
 }
 
 // accSummary condenses every access to one cell within one phase of one
@@ -113,29 +139,50 @@ func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Workers
+		if cfg.Shards > 8 {
+			cfg.Shards = 8
+		}
+	}
+	if cfg.Shards > maxShards {
+		cfg.Shards = maxShards
+	}
 	queue := 4 * cfg.Workers
 	if cfg.Limits.MaxBatchQueue > 0 && cfg.Limits.MaxBatchQueue < queue {
 		queue = cfg.Limits.MaxBatchQueue
 	}
 	r := &Runtime{
-		cfg:    cfg,
-		cs:     core.NewCallstackTable(),
-		cur:    make([]Event, 0, cfg.BatchSize),
-		filled: make(chan batchMsg, queue),
-		toPost: make(chan processedMsg, queue),
-		done:   make(chan []*core.PSEC, 1),
+		cfg:     cfg,
+		cs:      core.NewCallstackTable(),
+		cur:     make([]Event, 0, cfg.BatchSize),
+		curCold: make([]EventCold, 0, 8),
+		filled:  make(chan batchMsg, queue),
+		toPost:  make(chan processedMsg, queue),
+		done:    make(chan []*core.PSEC, 1),
+	}
+	r.bufPool.New = func() interface{} {
+		return &eventBuf{
+			evs:  make([]Event, 0, cfg.BatchSize),
+			cold: make([]EventCold, 0, 8),
+		}
 	}
 	if cfg.Limits.MaxCallstacks > 0 {
 		r.cs.SetCap(cfg.Limits.MaxCallstacks)
 	}
 	r.post = newPostState(r)
+	// Shard threads: per-address-range FSA shadow state.
+	for _, s := range r.post.shards {
+		r.post.wg.Add(1)
+		go s.run()
+	}
 	// Worker threads: condense batches (the "Process Batch" stage).
 	for i := 0; i < cfg.Workers; i++ {
 		r.workerWG.Add(1)
 		go r.worker()
 	}
-	// Post-processing stage: reorder and apply (the "Postprocess Batch"
-	// stage; ordering preserves FSA and ASMT semantics).
+	// Sequencing stage: reorder batches and fan items out to the shards
+	// (ordering preserves FSA and ASMT semantics).
 	go r.postprocessor()
 	go func() {
 		r.workerWG.Wait()
@@ -164,21 +211,28 @@ func droppable(k EventKind) bool {
 
 // Emit queues an event. The caller is the single program thread. It
 // reports whether the event was accepted: false after Finish, or when
-// the MaxEvents cap sheds it.
+// the MaxEvents cap sheds it. Kinds that carry cold payloads (alloc,
+// range, fixed, escape) should go through their Emit* helpers; a bare
+// Emit of those kinds sends a zero cold record.
 func (r *Runtime) Emit(ev Event) bool {
-	if r.finished.Load() {
+	ev.cold = 0
+	return r.emit(ev)
+}
+
+func (r *Runtime) emit(ev Event) bool {
+	if r.finished {
 		r.dropped.Add(1)
 		return false
 	}
-	if limit := r.cfg.Limits.MaxEvents; limit > 0 && r.accepted.Load() >= limit && droppable(ev.Kind) {
+	if limit := r.cfg.Limits.MaxEvents; limit > 0 && r.acceptedLoc >= limit && droppable(ev.Kind) {
 		if !r.eventCapHit {
 			r.eventCapHit = true
-			r.recordDowngrade(fmt.Sprintf("max-events=%d", limit), "drop-access-events")
+			r.recordDowngrade(fmt.Sprintf("max-events=%d", limit), "drop-access-events", r.acceptedLoc)
 		}
 		r.dropped.Add(1)
 		return false
 	}
-	r.accepted.Add(1)
+	r.acceptedLoc++
 	ev.Phase = r.phase
 	ev.Seq = r.seq
 	r.seq++
@@ -189,20 +243,61 @@ func (r *Runtime) Emit(ev Event) bool {
 	return true
 }
 
+// emitCold attaches a cold record to ev and queues it; the record is
+// detached again if the event is shed.
+func (r *Runtime) emitCold(ev Event, cold EventCold) bool {
+	r.curCold = append(r.curCold, cold)
+	ev.cold = int32(len(r.curCold))
+	if !r.emit(ev) {
+		r.curCold = r.curCold[:len(r.curCold)-1]
+		return false
+	}
+	return true
+}
+
 // EmitAccess is the hot-path helper for single-cell accesses.
 func (r *Runtime) EmitAccess(addr uint64, write bool, site int32, cs core.CallstackID) bool {
-	return r.Emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
+	return r.emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
+}
+
+// EmitAlloc announces a new PSE allocation of cells cells at addr.
+func (r *Runtime) EmitAlloc(addr uint64, cells int64, cs core.CallstackID, meta *AllocMeta) bool {
+	return r.emitCold(Event{Kind: EvAlloc, Addr: addr, CS: cs}, EventCold{N: cells, Meta: meta})
+}
+
+// EmitFree retires the allocation based at addr.
+func (r *Runtime) EmitFree(addr uint64) bool {
+	return r.emit(Event{Kind: EvFree, Addr: addr})
+}
+
+// EmitEscape records that a pointer to cell target was stored into addr.
+func (r *Runtime) EmitEscape(addr, target uint64) bool {
+	return r.emitCold(Event{Kind: EvEscape, Addr: addr}, EventCold{Aux: target})
+}
+
+// EmitRange reports a uniform access over n cells from addr with the
+// given stride (§4.4 opt 2).
+func (r *Runtime) EmitRange(roi int32, write bool, addr uint64, n int64, stride uint64) bool {
+	return r.emitCold(Event{Kind: EvRange, Write: write, ROI: roi, Addr: addr},
+		EventCold{N: n, Aux: stride})
+}
+
+// EmitFixed reports a compile-time classification of [addr, addr+n) as
+// sets for roi (§4.4 opt 3).
+func (r *Runtime) EmitFixed(roi int32, addr uint64, n int64, sets core.SetMask) bool {
+	return r.emitCold(Event{Kind: EvFixed, ROI: roi, Addr: addr},
+		EventCold{N: n, Sets: sets})
 }
 
 // BeginROI marks the start of a dynamic ROI invocation.
 func (r *Runtime) BeginROI(roi int) {
-	r.Emit(Event{Kind: EvROIBegin, ROI: int32(roi)})
+	r.emit(Event{Kind: EvROIBegin, ROI: int32(roi)})
 	r.phase++
 }
 
 // EndROI marks the end of a dynamic ROI invocation.
 func (r *Runtime) EndROI(roi int) {
-	r.Emit(Event{Kind: EvROIEnd, ROI: int32(roi)})
+	r.emit(Event{Kind: EvROIEnd, ROI: int32(roi)})
 	r.phase++
 }
 
@@ -210,9 +305,12 @@ func (r *Runtime) flush() {
 	if len(r.cur) == 0 {
 		return
 	}
-	r.filled <- batchMsg{idx: r.nextBatch, evs: r.cur}
+	r.accepted.Store(r.acceptedLoc)
+	buf := r.bufPool.Get().(*eventBuf)
+	buf.evs, r.cur = r.cur, buf.evs[:0]
+	buf.cold, r.curCold = r.curCold, buf.cold[:0]
+	r.filled <- batchMsg{idx: r.nextBatch, buf: buf}
 	r.nextBatch++
-	r.cur = make([]Event, 0, r.cfg.BatchSize)
 }
 
 // Finish flushes pending events, drains the pipeline, and returns the
@@ -220,7 +318,8 @@ func (r *Runtime) flush() {
 // calls return the cached result instead of re-closing channels.
 func (r *Runtime) Finish() []*core.PSEC {
 	r.finishOnce.Do(func() {
-		r.finished.Store(true)
+		r.finished = true
+		r.accepted.Store(r.acceptedLoc)
 		r.flush()
 		close(r.filled)
 		r.result = <-r.done
@@ -255,15 +354,15 @@ func (r *Runtime) Err() error {
 }
 
 // assembleDiagnostics snapshots counters once the pipeline has fully
-// drained (the postprocessor goroutine exited before done delivered, so
-// reading postState here is race-free).
+// drained (the sequencer and every shard goroutine exited before done
+// delivered, so reading their state here is race-free).
 func (r *Runtime) assembleDiagnostics() {
 	r.diagMu.Lock()
 	defer r.diagMu.Unlock()
 	r.diag.Events = r.accepted.Load()
 	r.diag.DroppedEvents = r.dropped.Load()
 	r.diag.Batches = r.nextBatch
-	r.diag.PeakLiveCells = r.post.peakCells
+	r.diag.PeakLiveCells = r.peakCells.Load()
 	r.diag.Callstacks = r.cs.Len()
 	if r.cs.Capped() {
 		r.diag.Downgrades = append(r.diag.Downgrades, Downgrade{
@@ -274,26 +373,59 @@ func (r *Runtime) assembleDiagnostics() {
 	}
 }
 
-func (r *Runtime) recordDowngrade(reason, action string) {
+func (r *Runtime) recordDowngrade(reason, action string, atEvent uint64) {
 	r.diagMu.Lock()
 	defer r.diagMu.Unlock()
 	r.diag.Downgrades = append(r.diag.Downgrades, Downgrade{
-		Reason: reason, Action: action, AtEvent: r.accepted.Load(),
+		Reason: reason, Action: action, AtEvent: atEvent,
 	})
 }
 
-// escalate climbs one degradation-ladder rung. Only the postprocessor
-// goroutine escalates, so a plain store after Load is safe; other stages
-// read gLevel atomically.
+// escalate climbs one degradation-ladder rung. The sequencer and any
+// shard may escalate concurrently, so the load/store/record triple holds
+// diagMu: recorded rungs stay strictly increasing and are never skipped.
 func (r *Runtime) escalate(reason string) bool {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
 	lvl := r.gLevel.Load()
 	if lvl >= degradeCountsOnly {
 		return false
 	}
 	lvl++
 	r.gLevel.Store(lvl)
-	r.recordDowngrade(reason, degradeName(lvl))
+	r.diag.Downgrades = append(r.diag.Downgrades, Downgrade{
+		Reason: reason, Action: degradeName(lvl), AtEvent: r.accepted.Load(),
+	})
 	return true
+}
+
+// reserveCells charges n FSA tracking slots against MaxLiveCells with a
+// CAS loop, so concurrent shards can never overshoot the cap together.
+// It reports false when the reservation does not fit.
+func (r *Runtime) reserveCells(n int64) bool {
+	limit := r.cfg.Limits.MaxLiveCells
+	for {
+		cur := r.liveCells.Load()
+		if limit > 0 && cur+n > limit {
+			return false
+		}
+		if r.liveCells.CompareAndSwap(cur, cur+n) {
+			r.notePeakCells()
+			return true
+		}
+	}
+}
+
+func (r *Runtime) releaseCells(n int64) { r.liveCells.Add(-n) }
+
+func (r *Runtime) notePeakCells() {
+	cur := r.liveCells.Load()
+	for {
+		peak := r.peakCells.Load()
+		if cur <= peak || r.peakCells.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
 }
 
 func (r *Runtime) recordPanic(stage string, v interface{}) {
@@ -310,110 +442,31 @@ func (r *Runtime) recordPanic(stage string, v interface{}) {
 
 func (r *Runtime) worker() {
 	defer r.workerWG.Done()
+	c := newCondenser()
 	for b := range r.filled {
 		// A panicking batch is contained and forwarded empty so the
-		// ordered postprocessor never stalls waiting for its index.
-		r.toPost <- processedMsg{idx: b.idx, items: r.condenseSafe(b)}
+		// ordered sequencer never stalls waiting for its index.
+		r.toPost <- processedMsg{idx: b.idx, items: r.condenseSafe(c, b)}
 	}
 }
 
-func (r *Runtime) condenseSafe(b batchMsg) (items []postItem) {
+func (r *Runtime) condenseSafe(c *condenser, b batchMsg) (items []postItem) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.recordPanic("worker", p)
 			items = nil
 		}
 	}()
+	// Condensed items never alias the batch buffer (events are copied by
+	// value, summaries are built fresh), so it can be recycled as soon
+	// as condense returns — even when a fault was contained.
+	defer func() {
+		b.buf.evs = b.buf.evs[:0]
+		b.buf.cold = b.buf.cold[:0]
+		r.bufPool.Put(b.buf)
+	}()
 	faultinject.Fire("rt.worker.batch")
-	return condense(b.evs, r.gLevel.Load() >= degradeNoUseCS)
-}
-
-// condense is the worker stage: it folds runs of access events into
-// per-cell summaries while passing structural events through in order.
-// With dropUses the per-site use-callstack aggregation is skipped (the
-// governor's first ladder rung).
-func condense(evs []Event, dropUses bool) []postItem {
-	var items []postItem
-	type key struct {
-		phase uint32
-		addr  uint64
-	}
-	var sums map[key]*accSummary
-	type useKey struct {
-		site int32
-		cs   core.CallstackID
-	}
-	var uses map[useKey]*useRec
-	var order []key
-	var useOrder []useKey
-
-	flushBlock := func() {
-		if len(sums) == 0 && len(uses) == 0 {
-			return
-		}
-		it := postItem{}
-		it.sums = make([]accSummary, 0, len(sums))
-		for _, k := range order {
-			it.sums = append(it.sums, *sums[k])
-		}
-		it.uses = make([]useRec, 0, len(uses))
-		for _, k := range useOrder {
-			it.uses = append(it.uses, *uses[k])
-		}
-		items = append(items, it)
-		sums, uses, order, useOrder = nil, nil, nil, nil
-	}
-
-	for i := range evs {
-		ev := &evs[i]
-		if ev.Kind == EvAccess {
-			if sums == nil {
-				sums = map[key]*accSummary{}
-				uses = map[useKey]*useRec{}
-			}
-			k := key{ev.Phase, ev.Addr}
-			s := sums[k]
-			if s == nil {
-				s = &accSummary{addr: ev.Addr, firstIsWrite: ev.Write, firstSeq: ev.Seq}
-				sums[k] = s
-				order = append(order, k)
-			}
-			s.count++
-			s.lastSeq = ev.Seq
-			if ev.Write {
-				s.hasWrite = true
-			}
-			if ev.Site >= 0 && !dropUses {
-				uk := useKey{ev.Site, ev.CS}
-				u := uses[uk]
-				if u == nil {
-					u = &useRec{site: ev.Site, cs: ev.CS}
-					uses[uk] = u
-					useOrder = append(useOrder, uk)
-				}
-				u.count++
-				if len(u.samples) < maxUseSamples && !containsU64(u.samples, ev.Addr) {
-					u.samples = append(u.samples, ev.Addr)
-				}
-			}
-			continue
-		}
-		// Structural event: close the open summary block first so that
-		// alloc/free/ROI boundaries interleave correctly.
-		flushBlock()
-		items = append(items, postItem{ev: ev})
-	}
-	flushBlock()
-	return items
-}
-
-func containsU64(s []uint64, v uint64) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
+	return c.condense(b.buf.evs, b.buf.cold, r.gLevel.Load() >= degradeNoUseCS)
 }
 
 func (r *Runtime) postprocessor() {
@@ -432,6 +485,7 @@ func (r *Runtime) postprocessor() {
 			}
 			next++
 		}
+		r.post.flushShards()
 	}
 	// Drain any stragglers deterministically (should be empty).
 	if len(pending) > 0 {
@@ -447,12 +501,16 @@ func (r *Runtime) postprocessor() {
 			}
 		}
 	}
+	r.finalizeLiveSafe()
+	// Shard shutdown happens outside any recover scope: even if final
+	// report building panics, the shard goroutines must not leak.
+	r.post.shutdownShards()
 	r.done <- r.finishSafe()
 }
 
 // applySafe contains a panic in one item's application: the item is
 // lost and recorded, the pipeline keeps draining (so Emit never blocks
-// on a full queue behind a dead postprocessor).
+// on a full queue behind a dead sequencer).
 func (r *Runtime) applySafe(item *postItem) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -463,9 +521,19 @@ func (r *Runtime) applySafe(item *postItem) {
 	r.post.apply(item)
 }
 
-// finishSafe builds the PSECs, substituting empty (but non-nil) PSECs if
-// report building itself faults, so Finish always returns len(ROIs)
-// usable entries.
+// finalizeLiveSafe retires every still-live allocation at end of run.
+func (r *Runtime) finalizeLiveSafe() {
+	defer func() {
+		if p := recover(); p != nil {
+			r.recordPanic("postprocessor", p)
+		}
+	}()
+	r.post.finalizeLive()
+}
+
+// finishSafe merges the shard states and builds the PSECs, substituting
+// empty (but non-nil) PSECs if report building itself faults, so Finish
+// always returns len(ROIs) usable entries.
 func (r *Runtime) finishSafe() (out []*core.PSEC) {
 	defer func() {
 		if p := recover(); p != nil {

@@ -1,0 +1,487 @@
+package rt
+
+import (
+	"fmt"
+
+	"carmot/internal/core"
+	"carmot/internal/faultinject"
+)
+
+// Shard op kinds, routed by the sequencer.
+const (
+	opEvent    uint8 = iota // structural event fan-out (ROI/alloc/range/fixed)
+	opSums                  // condensed access summaries owned by this shard
+	opUses                  // use-callstack block (filtered by sample residue)
+	opFinalize              // fold and retire one allocation's FSA state
+)
+
+// shardOp is one unit of work for a shard. All ops for one shard arrive
+// in the sequencer's global order, which is all the FSA needs: per-
+// (ROI, cell) transitions only require per-cell ordering, and every cell
+// maps to exactly one shard.
+type shardOp struct {
+	sums  []accSummary
+	uses  []useRec
+	ev    Event
+	cold  EventCold
+	info  *allocInfo // opEvent/EvAlloc
+	alloc int32      // opFinalize
+	kind  uint8
+}
+
+// cellTrack is the per-(ROI, cell) FSA instance. lastInv==0 means the
+// cell has not been accessed in the ROI yet (invocations start at 1).
+type cellTrack struct {
+	state    core.FSAState
+	lastInv  uint64
+	firstSeq uint64
+	lastSeq  uint64
+}
+
+// shardAlloc is a shard's view of one allocation: the shared identity
+// plus tracking state for the cells this shard owns (every cells-th
+// address starting at firstOwned).
+type shardAlloc struct {
+	info       *allocInfo
+	firstOwned uint64 // lowest owned address; meaningless when owned==0
+	owned      int64  // number of owned cells
+	trackCells int64  // owned normally, 1 when governor-coarsened
+	track      [][]cellTrack
+	live       bool
+}
+
+// shardState owns the FSA shadow state for every cell address with
+// addr%k == id: the strided owner view, per-(ROI, cell) tracking, the
+// per-ROI element accumulators, use-callstack sets, access stats, and
+// reach first-touch times. It consumes ops from its channel until the
+// sequencer closes it.
+type shardState struct {
+	rt  *Runtime
+	cfg *Config
+	id  uint64
+	k   uint64
+	in  chan []shardOp
+
+	// live mirrors the sequencer's interval index for the allocations
+	// this shard owns cells of: sorted by base, non-overlapping (the
+	// sequencer retires reused ranges before re-registering them). hit
+	// caches the last lookup — condensed blocks cluster accesses by
+	// allocation, so most lookups skip the binary search entirely.
+	live   []*shardAlloc
+	hit    *shardAlloc
+	allocs []*shardAlloc // by alloc id; nil where this shard owns no cells
+
+	active []bool
+	roiInv []uint64
+	acc    []map[string]*elemAcc
+	stats  []core.Stats
+	touch  []map[int32]uint64 // per-ROI first-touch seq per alloc id
+}
+
+func newShardState(r *Runtime, id, k uint64) *shardState {
+	n := len(r.cfg.ROIs)
+	s := &shardState{
+		rt:     r,
+		cfg:    &r.cfg,
+		id:     id,
+		k:      k,
+		in:     make(chan []shardOp, 4),
+		active: make([]bool, n),
+		roiInv: make([]uint64, n),
+		acc:    make([]map[string]*elemAcc, n),
+		stats:  make([]core.Stats, n),
+		touch:  make([]map[int32]uint64, n),
+	}
+	for i := range s.acc {
+		s.acc[i] = map[string]*elemAcc{}
+	}
+	return s
+}
+
+func (s *shardState) run() {
+	defer s.rt.post.wg.Done()
+	for ops := range s.in {
+		for i := range ops {
+			s.applySafe(&ops[i])
+		}
+	}
+}
+
+// applySafe contains a panic in one op's application, mirroring the
+// sequencer's containment: the op is lost and recorded, the shard keeps
+// draining so the sequencer never blocks on a dead shard.
+func (s *shardState) applySafe(op *shardOp) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.rt.recordPanic("shard", p)
+		}
+	}()
+	faultinject.Fire("rt.shard.apply")
+	s.apply(op)
+}
+
+func (s *shardState) apply(op *shardOp) {
+	switch op.kind {
+	case opSums:
+		s.applySums(op.sums)
+	case opUses:
+		s.applyUses(op.uses)
+	case opFinalize:
+		s.finalize(op.alloc)
+	case opEvent:
+		switch op.ev.Kind {
+		case EvROIBegin:
+			roi := int(op.ev.ROI)
+			s.roiInv[roi]++
+			s.active[roi] = true
+		case EvROIEnd:
+			s.active[int(op.ev.ROI)] = false
+		case EvAlloc:
+			s.register(op.info)
+		case EvRange:
+			s.applyRange(&op.ev, &op.cold)
+		case EvFixed:
+			s.applyFixed(&op.ev, &op.cold)
+		}
+	}
+}
+
+// ownedRange returns the lowest owned address in [base, base+cells) and
+// the number of owned cells (0 when the range misses this residue).
+func (s *shardState) ownedRange(base uint64, cells int64) (uint64, int64) {
+	if cells <= 0 {
+		return 0, 0
+	}
+	off := (s.id + s.k - base%s.k) % s.k
+	if off >= uint64(cells) {
+		return 0, 0
+	}
+	return base + off, int64((uint64(cells) - off + s.k - 1) / s.k)
+}
+
+// liveAfter returns the index of the first live interval with base >
+// addr; the candidate owner of addr is the interval just before it.
+func (s *shardState) liveAfter(addr uint64) int {
+	lo, hi := 0, len(s.live)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.live[mid].info.base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ownerOf resolves an owned address (addr%k == id) to its allocation.
+func (s *shardState) ownerOf(addr uint64) *shardAlloc {
+	if sa := s.hit; sa != nil && addr-sa.info.base < uint64(sa.info.cells) {
+		return sa
+	}
+	i := s.liveAfter(addr)
+	if i == 0 {
+		return nil
+	}
+	sa := s.live[i-1]
+	if addr-sa.info.base < uint64(sa.info.cells) {
+		s.hit = sa
+		return sa
+	}
+	return nil
+}
+
+// register installs a new allocation. Any previous owners of the range
+// were already retired by finalize ops the sequencer emitted first, so
+// the interval insert keeps the live set sorted and non-overlapping.
+// Allocations the fanout over-approximated onto this shard (owned == 0)
+// are recorded by id but never hold an interval: no address with our
+// residue can fall inside their range.
+func (s *shardState) register(info *allocInfo) {
+	for int(info.id) >= len(s.allocs) {
+		s.allocs = append(s.allocs, nil)
+	}
+	sa := &shardAlloc{info: info, live: true}
+	sa.firstOwned, sa.owned = s.ownedRange(info.base, info.cells)
+	s.allocs[info.id] = sa
+	if sa.owned > 0 {
+		at := s.liveAfter(info.base)
+		s.live = append(s.live, nil)
+		copy(s.live[at+1:], s.live[at:])
+		s.live[at] = sa
+	}
+}
+
+// finalize folds a dying allocation's per-ROI FSA states into the
+// per-source-PSE accumulators and releases its tracking storage.
+func (s *shardState) finalize(id int32) {
+	if int(id) >= len(s.allocs) {
+		return
+	}
+	sa := s.allocs[id]
+	if sa == nil || !sa.live {
+		return
+	}
+	sa.live = false
+	if s.hit == sa {
+		s.hit = nil
+	}
+	if sa.owned > 0 {
+		if i := s.liveAfter(sa.info.base); i > 0 && s.live[i-1] == sa {
+			s.live = append(s.live[:i-1], s.live[i:]...)
+		}
+	}
+	if sa.track == nil {
+		return
+	}
+	for roi, cells := range sa.track {
+		if cells == nil {
+			continue
+		}
+		s.rt.releaseCells(int64(len(cells)))
+		var e *elemAcc
+		for off := range cells {
+			ct := &cells[off]
+			if ct.state == core.StateNone {
+				continue
+			}
+			if e == nil {
+				e = s.elemFor(roi, sa.info)
+			}
+			e.fold(s.globalOff(sa, off), ct.state.Sets(), ct.firstSeq, ct.lastSeq)
+		}
+	}
+	sa.track = nil
+}
+
+// globalOff maps a local tracking slot back to the allocation-relative
+// cell offset the report uses; governor-coarsened PSEs fold to offset 0,
+// exactly like the sequential pipeline.
+func (s *shardState) globalOff(sa *shardAlloc, local int) int {
+	if sa.trackCells != sa.owned {
+		return 0
+	}
+	return int(sa.firstOwned-sa.info.base) + local*int(s.k)
+}
+
+// localOff maps an owned address to its slot in a (possibly coarse)
+// tracking slice.
+func (s *shardState) localOff(cells []cellTrack, sa *shardAlloc, addr uint64) int {
+	off := int((addr - sa.firstOwned) / s.k)
+	if off >= len(cells) {
+		return 0
+	}
+	return off
+}
+
+// trackFor returns the per-cell FSA slots for sa in roi, reserving them
+// against the shared governor cell budget. On a cap breach it climbs the
+// degradation ladder exactly like the sequential postprocessor did —
+// except the escalation and the budget are now shared across shards, so
+// reservations go through a CAS loop that can never overshoot the cap.
+func (s *shardState) trackFor(sa *shardAlloc, roi int) []cellTrack {
+	if sa.track != nil && sa.track[roi] != nil {
+		return sa.track[roi]
+	}
+	if s.rt.gLevel.Load() >= degradeCountsOnly {
+		return nil
+	}
+	if sa.trackCells == 0 {
+		sa.trackCells = sa.owned
+		if s.rt.gLevel.Load() >= degradeCoarseCells {
+			sa.trackCells = 1
+		}
+	}
+	for !s.rt.reserveCells(sa.trackCells) {
+		if !s.rt.escalate(fmt.Sprintf("max-live-cells=%d", s.cfg.Limits.MaxLiveCells)) {
+			// Ladder exhausted and still over budget (a grandfathered
+			// fine-grained PSE under a tiny cap): skip this ROI's tracking.
+			return nil
+		}
+		lvl := s.rt.gLevel.Load()
+		if lvl >= degradeCountsOnly {
+			return nil
+		}
+		if lvl >= degradeCoarseCells && sa.track == nil {
+			// This PSE is not yet tracked in any ROI: coarsen it.
+			sa.trackCells = 1
+		}
+	}
+	if sa.track == nil {
+		sa.track = make([][]cellTrack, len(s.cfg.ROIs))
+	}
+	sa.track[roi] = make([]cellTrack, sa.trackCells)
+	return sa.track[roi]
+}
+
+func (s *shardState) elemFor(roi int, info *allocInfo) *elemAcc {
+	key := info.desc.Key()
+	e := s.acc[roi][key]
+	if e == nil {
+		e = &elemAcc{desc: info.desc, descID: info.id,
+			useSites: map[int32]map[core.CallstackID]struct{}{}}
+		s.acc[roi][key] = e
+	} else if info.id < e.descID {
+		e.desc, e.descID = info.desc, info.id
+	}
+	return e
+}
+
+// touchReach records the first time this shard saw an access to alloc id
+// within roi; the sequencer merges the per-shard minima into the reach
+// graph at finish.
+func (s *shardState) touchReach(roi int, id int32, seq uint64) {
+	m := s.touch[roi]
+	if m == nil {
+		m = map[int32]uint64{}
+		s.touch[roi] = m
+	}
+	if old, ok := m[id]; !ok || seq < old {
+		m[id] = seq
+	}
+}
+
+func (s *shardState) applySums(sums []accSummary) {
+	numROIs := len(s.cfg.ROIs)
+	for si := range sums {
+		sum := &sums[si]
+		sa := s.ownerOf(sum.addr)
+		if sa == nil {
+			continue
+		}
+		for roi := 0; roi < numROIs; roi++ {
+			if !s.active[roi] {
+				continue
+			}
+			st := &s.stats[roi]
+			st.TotalAccesses += sum.count
+			// One runtime event per condensed access: counting summaries
+			// instead would make Events depend on batch boundaries.
+			st.Events += sum.count
+			if sa.info.desc.Kind == core.PSEVariable {
+				st.VarAccesses += sum.count
+			} else {
+				st.MemAccesses += sum.count
+			}
+			if !s.cfg.Profile.Sets && !s.cfg.Profile.Reach {
+				continue
+			}
+			cells := s.trackFor(sa, roi)
+			if cells == nil {
+				continue // governor: counts-only mode
+			}
+			ct := &cells[s.localOff(cells, sa, sum.addr)]
+			inv := s.roiInv[roi]
+			if ct.lastInv == 0 {
+				ct.firstSeq = sum.firstSeq
+				if s.cfg.Profile.Reach && sa.info.roiMask&(1<<uint(roi)) != 0 {
+					s.touchReach(roi, sa.info.id, sum.firstSeq)
+				}
+			}
+			ct.lastSeq = sum.lastSeq
+			if ct.lastInv != inv {
+				ct.state = ct.state.Next(true, sum.firstIsWrite)
+				if sum.hasWrite {
+					ct.state = ct.state.Next(false, true)
+				}
+				ct.lastInv = inv
+			} else if sum.hasWrite {
+				ct.state = ct.state.Next(false, true)
+			}
+		}
+	}
+}
+
+func (s *shardState) applyUses(uses []useRec) {
+	if !s.cfg.Profile.UseCallstacks || s.rt.gLevel.Load() >= degradeNoUseCS {
+		return
+	}
+	numROIs := len(s.cfg.ROIs)
+	for ui := range uses {
+		u := &uses[ui]
+		for _, addr := range u.samples {
+			if addr%s.k != s.id {
+				continue
+			}
+			sa := s.ownerOf(addr)
+			if sa == nil {
+				continue
+			}
+			for roi := 0; roi < numROIs; roi++ {
+				if !s.active[roi] {
+					continue
+				}
+				e := s.elemFor(roi, sa.info)
+				set := e.useSites[u.site]
+				if set == nil {
+					set = map[core.CallstackID]struct{}{}
+					e.useSites[u.site] = set
+				}
+				set[u.cs] = struct{}{}
+			}
+		}
+	}
+}
+
+// applyFixed applies a compile-time classification (§4.4 opt 3) to the
+// owned cells of the range.
+func (s *shardState) applyFixed(ev *Event, cold *EventCold) {
+	if !s.cfg.Profile.Sets {
+		return
+	}
+	roi := int(ev.ROI)
+	for i := uint64(0); i < uint64(cold.N); i++ {
+		addr := ev.Addr + i
+		if addr%s.k != s.id {
+			continue
+		}
+		sa := s.ownerOf(addr)
+		if sa == nil {
+			continue
+		}
+		e := s.elemFor(roi, sa.info)
+		e.fold(int(addr-sa.info.base), cold.Sets, ev.Seq, ev.Seq)
+	}
+}
+
+// applyRange applies an aggregated access event (§4.4 opt 2) to the
+// owned cells: each covered cell behaves as first-accessed in its own
+// ROI invocation. The per-event Events count was charged once at the
+// sequencer.
+func (s *shardState) applyRange(ev *Event, cold *EventCold) {
+	roi := int(ev.ROI)
+	stride := int64(cold.Aux)
+	if stride == 0 {
+		stride = 1
+	}
+	st := &s.stats[roi]
+	for i := int64(0); i < cold.N; i++ {
+		addr := ev.Addr + uint64(i*stride)
+		if addr%s.k != s.id {
+			continue
+		}
+		sa := s.ownerOf(addr)
+		if sa == nil {
+			continue
+		}
+		st.TotalAccesses++
+		if sa.info.desc.Kind == core.PSEVariable {
+			st.VarAccesses++
+		} else {
+			st.MemAccesses++
+		}
+		if !s.cfg.Profile.Sets {
+			continue
+		}
+		cells := s.trackFor(sa, roi)
+		if cells == nil {
+			continue // governor: counts-only mode
+		}
+		ct := &cells[s.localOff(cells, sa, addr)]
+		if ct.lastInv == 0 {
+			ct.firstSeq = ev.Seq
+		}
+		ct.lastSeq = ev.Seq
+		ct.state = ct.state.Next(true, ev.Write)
+	}
+}

@@ -1,0 +1,315 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"carmot/internal/core"
+	"carmot/internal/faultinject"
+)
+
+// diffOp is one step of a randomized differential workload. It covers
+// every event class the pipeline routes: allocations (with address-reuse
+// retires), frees, escapes, plain accesses with use sites and interned
+// callstacks, ranged events with strides, fixed classifications, and
+// nested ROI invocations.
+type diffOp struct {
+	kind   EventKind
+	roi    int32
+	addr   uint64
+	n      int64
+	stride uint64
+	target uint64
+	site   int32
+	cs     int // index into the per-replay interned callstacks
+	sets   core.SetMask
+	write  bool
+}
+
+// randomDiffWorkload builds a reproducible op stream over a pool of base
+// addresses chosen so allocations land on different shard residues and
+// occasionally collide (exercising the implicit-retire path).
+func randomDiffWorkload(r *rand.Rand) []diffOp {
+	bases := []uint64{1 << 10, 1<<12 + 3, 1<<16 + 7, 1 << 20, 3<<16 + 1, 5<<12 + 9}
+	type live struct {
+		base  uint64
+		cells int64
+	}
+	var allocs []live
+	open := [2]bool{}
+	var ops []diffOp
+
+	emitAlloc := func() {
+		b := bases[r.Intn(len(bases))] + uint64(r.Intn(3))*4096
+		n := int64(1 + r.Intn(24))
+		ops = append(ops, diffOp{kind: EvAlloc, addr: b, n: n})
+		allocs = append(allocs, live{b, n})
+	}
+	// Seed a few allocations and open the outer ROI so most accesses
+	// land inside an invocation.
+	for i := 0; i < 3; i++ {
+		emitAlloc()
+	}
+	ops = append(ops, diffOp{kind: EvROIBegin, roi: 0})
+	open[0] = true
+
+	nOps := 150 + r.Intn(250)
+	for i := 0; i < nOps; i++ {
+		switch r.Intn(24) {
+		case 0, 1:
+			emitAlloc()
+		case 2:
+			if len(allocs) > 0 {
+				j := r.Intn(len(allocs))
+				ops = append(ops, diffOp{kind: EvFree, addr: allocs[j].base})
+				allocs = append(allocs[:j], allocs[j+1:]...)
+			}
+		case 3:
+			if len(allocs) >= 2 {
+				a := allocs[r.Intn(len(allocs))]
+				b := allocs[r.Intn(len(allocs))]
+				ops = append(ops, diffOp{kind: EvEscape, addr: a.base, target: b.base})
+			}
+		case 4, 5:
+			ops = append(ops, diffOp{kind: EvROIBegin, roi: 0}) // toggled below
+			if open[0] {
+				ops[len(ops)-1].kind = EvROIEnd
+			}
+			open[0] = !open[0]
+		case 6:
+			ops = append(ops, diffOp{kind: EvROIBegin, roi: 1})
+			if open[1] {
+				ops[len(ops)-1].kind = EvROIEnd
+			}
+			open[1] = !open[1]
+		case 7, 8:
+			if len(allocs) > 0 {
+				a := allocs[r.Intn(len(allocs))]
+				ops = append(ops, diffOp{
+					kind: EvRange, roi: int32(r.Intn(2)), write: r.Intn(2) == 0,
+					addr: a.base + uint64(r.Intn(4)), n: int64(1 + r.Intn(40)),
+					stride: uint64(1 + r.Intn(5)),
+				})
+			}
+		case 9:
+			if len(allocs) > 0 {
+				a := allocs[r.Intn(len(allocs))]
+				ops = append(ops, diffOp{
+					kind: EvFixed, roi: int32(r.Intn(2)),
+					addr: a.base, n: 1 + int64(r.Intn(int(a.cells))),
+					sets: core.SetMask(1 << uint(r.Intn(4))),
+				})
+			}
+		default:
+			// Plain access: usually inside a live allocation, sometimes
+			// at a stale/untracked address. Half the accesses carry a
+			// use site + interned callstack.
+			addr := bases[r.Intn(len(bases))] + uint64(r.Intn(28))
+			if len(allocs) > 0 {
+				a := allocs[r.Intn(len(allocs))]
+				addr = a.base + uint64(r.Int63n(a.cells))
+			}
+			op := diffOp{kind: EvAccess, addr: addr, write: r.Intn(2) == 0, site: -1}
+			if r.Intn(2) == 0 {
+				op.site = int32(r.Intn(2))
+				op.cs = r.Intn(3)
+			}
+			ops = append(ops, op)
+		}
+	}
+	for roi := int32(1); roi >= 0; roi-- {
+		if open[roi] {
+			ops = append(ops, diffOp{kind: EvROIEnd, roi: roi})
+		}
+	}
+	return ops
+}
+
+// replayDiff runs one op stream through a fresh pipeline with the given
+// geometry and renders every ROI's PSEC as text + JSON. Byte-identical
+// output across geometries is the correctness contract of the sharded
+// postprocessor.
+func replayDiff(ops []diffOp, batch, workers, shards int) string {
+	r := New(Config{
+		BatchSize: batch, Workers: workers, Shards: shards, Profile: ProfileFull,
+		Sites: []SiteInfo{
+			{Pos: "d.mc:5:3", Func: "f", Write: false},
+			{Pos: "d.mc:6:3", Func: "g", Write: true},
+		},
+		ROIs: []ROIMeta{
+			{ID: 0, Name: "outer", Kind: "carmot", Pos: "d.mc:1:1"},
+			{ID: 1, Name: "inner", Kind: "carmot", Pos: "d.mc:2:2"},
+		},
+	})
+	cs := []core.CallstackID{
+		0,
+		r.Callstacks().Intern([]core.Frame{{Func: "main", Pos: "d.mc:10:1"}}),
+		r.Callstacks().Intern([]core.Frame{{Func: "kern", Pos: "d.mc:20:1"}}),
+	}
+	for i, op := range ops {
+		switch op.kind {
+		case EvAlloc:
+			r.EmitAlloc(op.addr, op.n, cs[1], &AllocMeta{
+				Kind: core.PSEHeap, Name: fmt.Sprintf("a%x", op.addr), Pos: "d.mc:3:3"})
+		case EvFree:
+			r.EmitFree(op.addr)
+		case EvEscape:
+			r.EmitEscape(op.addr, op.target)
+		case EvROIBegin:
+			r.BeginROI(int(op.roi))
+		case EvROIEnd:
+			r.EndROI(int(op.roi))
+		case EvRange:
+			r.EmitRange(op.roi, op.write, op.addr, op.n, op.stride)
+		case EvFixed:
+			r.EmitFixed(op.roi, op.addr, op.n, op.sets)
+		case EvAccess:
+			r.EmitAccess(op.addr, op.write, op.site, cs[op.cs])
+		default:
+			panic(fmt.Sprintf("op %d: unhandled kind %d", i, op.kind))
+		}
+	}
+	psecs := r.Finish()
+	var sb strings.Builder
+	for _, p := range psecs {
+		if p == nil {
+			sb.WriteString("<nil>\n")
+			continue
+		}
+		sb.WriteString(p.Summary())
+		data, err := json.Marshal(p)
+		if err != nil {
+			panic(err)
+		}
+		sb.Write(data)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestShardDifferentialRandomWorkloads is the differential property test
+// for the sharded postprocessor: the same event stream replayed through a
+// 1-shard/1-worker pipeline and through K-shard/N-worker pipelines (with
+// assorted batch sizes) must produce byte-identical PSEC reports. 24
+// randomized workloads cover allocs, frees, address reuse, escapes,
+// strided ranges, fixed classifications, nested ROIs, and use callstacks.
+func TestShardDifferentialRandomWorkloads(t *testing.T) {
+	geometries := [][3]int{ // {batch, workers, shards}
+		{3, 1, 2},
+		{16, 2, 4},
+		{64, 3, 3},
+		{257, 4, 7},
+		{4096, 4, 8},
+		{31, 2, 1}, // multi-worker, single shard
+		{1, 1, 8},  // single-event batches through many shards
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 24; trial++ {
+		ops := randomDiffWorkload(rng)
+		ref := replayDiff(ops, 1, 1, 1)
+		for _, g := range geometries {
+			if got := replayDiff(ops, g[0], g[1], g[2]); got != ref {
+				t.Fatalf("trial %d: batch=%d workers=%d shards=%d diverges from the sequential reference\n--- got ---\n%s\n--- want ---\n%s",
+					trial, g[0], g[1], g[2], got, ref)
+			}
+		}
+	}
+}
+
+// TestShardFanoutMaskCoversResidues checks the sequencer's routing
+// over-approximation: every address a ranged event touches must map to a
+// shard whose bit is set in the fanout mask. (Extra bits are harmless —
+// shards re-filter by residue — but a missing bit silently drops state.)
+func TestShardFanoutMaskCoversResidues(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, k := range []uint64{1, 2, 3, 5, 8, 16, 63, 64} {
+		p := &postState{k: k}
+		for trial := 0; trial < 200; trial++ {
+			base := rng.Uint64()
+			n := int64(rng.Intn(200))
+			stride := int64(1 + rng.Intn(9))
+			mask := p.fanoutMask(base, n, stride)
+			addr := base
+			for j := int64(0); j < n; j++ {
+				if mask&(1<<(addr%k)) == 0 {
+					t.Fatalf("k=%d base=%d n=%d stride=%d: addr %d (residue %d) not covered by mask %b",
+						k, base, n, stride, addr, addr%k, mask)
+				}
+				addr += uint64(stride)
+			}
+		}
+	}
+}
+
+// TestShardPanicContained injects a panic into a shard goroutine's apply
+// loop and checks the run still completes, the fault is counted, and no
+// goroutine leaks.
+func TestShardPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set("rt.shard.apply", faultinject.CountdownPanic(3, "injected shard fault"))
+	baseline := runtime.NumGoroutine()
+	f := newFeeder(Config{BatchSize: 4, Workers: 2, Shards: 4, Profile: ProfileFull})
+	f.alloc(100, 8, core.PSEHeap, "arr")
+	f.r.BeginROI(0)
+	for i := 0; i < 64; i++ {
+		f.access(100+uint64(i%8), i%2 == 0)
+	}
+	f.r.EndROI(0)
+	psecs := f.r.Finish()
+	if len(psecs) != 1 || psecs[0] == nil {
+		t.Fatalf("Finish under shard fault = %v", psecs)
+	}
+	if d := f.r.Diagnostics(); d.PostprocessorPanics == 0 {
+		t.Errorf("shard panic not counted: %+v", d)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestCellCapLadderUnderShards re-runs the degradation-ladder scenario
+// with a sharded postprocessor: the cell cap must hold globally (shards
+// reserve cells through a shared CAS budget), the ladder must stay
+// monotone, and access counts must survive to counts-only.
+func TestCellCapLadderUnderShards(t *testing.T) {
+	f := newFeeder(Config{Shards: 4, Workers: 2, Profile: ProfileFull,
+		Limits: Limits{MaxLiveCells: 8}})
+	f.r.BeginROI(0)
+	for i := 0; i < 6; i++ {
+		f.alloc(uint64(1000*(i+1)), 6, core.PSEHeap, fmt.Sprintf("a%d", i))
+		for c := 0; c < 6; c++ {
+			f.access(uint64(1000*(i+1)+c), true)
+		}
+	}
+	f.r.EndROI(0)
+	f.r.Finish()
+	d := f.r.Diagnostics()
+	if d.PeakLiveCells > 8 {
+		t.Errorf("PeakLiveCells = %d, cap 8", d.PeakLiveCells)
+	}
+	if len(d.Downgrades) == 0 {
+		t.Fatal("cell cap produced no downgrades under shards")
+	}
+	rank := map[string]int{
+		"drop-use-callstacks":  1,
+		"coarse-cell-tracking": 2,
+		"counts-only":          3,
+	}
+	last := 0
+	for _, dg := range d.Downgrades {
+		rk, ok := rank[dg.Action]
+		if !ok {
+			t.Errorf("unknown ladder action %q", dg.Action)
+			continue
+		}
+		if rk <= last {
+			t.Errorf("ladder out of order under shards: %v", d.Downgrades)
+		}
+		last = rk
+	}
+	if p := f.r.Finish()[0]; p.Stats.TotalAccesses == 0 {
+		t.Error("access counts lost under sharded degradation")
+	}
+}

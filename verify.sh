@@ -19,4 +19,11 @@ echo "== go test -race (concurrent packages) =="
 go test -race -count=1 ./internal/rt/ ./internal/parexec/
 go test -race -count=1 -run 'Infinite|Panic|Budget|Deadline|Cancel' .
 
+echo "== go test -race (sharded postprocessing) =="
+go test -race -count=1 -run 'Shard|CellCapLadderUnderShards' ./internal/rt/
+
+echo "== benchmark smoke =="
+go test -run NONE -bench 'BenchmarkProfiledRun' -benchtime 1x .
+go test -run NONE -bench 'BenchmarkPipeline|BenchmarkCondense' -benchtime 1x ./internal/rt/
+
 echo "verify: OK"
