@@ -180,6 +180,28 @@ func BenchmarkProfiledRun(b *testing.B) {
 	}
 }
 
+// BenchmarkProfiledRunRecover is BenchmarkProfiledRun with the
+// self-healing layer on: the delta against the plain benchmark is the
+// fault-free cost of the replay journal (batch retention + refcounting
+// + per-shard op logs + epoch acks).
+func BenchmarkProfiledRunRecover(b *testing.B) {
+	bm, err := bench.ByName("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bm.Source(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := carmot.Compile("cg.mc", src, carmot.CompileOptions{ProfileOmpRegions: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP, Recover: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFSATransition measures the Figure 3 automaton's hot path.
 func BenchmarkFSATransition(b *testing.B) {
 	s := core.StateNone

@@ -128,6 +128,10 @@ type Diagnostics = rt.Diagnostics
 // Downgrade is one recorded degradation-ladder step.
 type Downgrade = rt.Downgrade
 
+// Recovery is one recorded supervisor intervention (a successful
+// journal replay or a degraded fallback).
+type Recovery = rt.Recovery
+
 // ProfileOptions configures a profiling run.
 type ProfileOptions struct {
 	UseCase UseCase
@@ -160,6 +164,16 @@ type ProfileOptions struct {
 	MaxEvents     uint64
 	MaxCells      int64
 	MaxCallstacks int
+
+	// Recover enables the runtime's self-healing layer: a byte-budgeted
+	// replay journal plus supervisors that respawn a panicked pipeline
+	// stage and replay its journal partition, producing a byte-identical
+	// PSEC where the containment-only failure model would degrade.
+	// Interventions are recorded in Diagnostics.Recoveries either way.
+	Recover bool
+	// JournalBudgetBytes bounds the replay journal's retention when
+	// Recover is set (0 = 32 MiB default, negative = retain nothing).
+	JournalBudgetBytes int64
 }
 
 // ProfileResult carries the outcome of a profiling run.
@@ -210,6 +224,8 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 			MaxLiveCells:  opts.MaxCells,
 			MaxCallstacks: opts.MaxCallstacks,
 		},
+		Recover:            opts.Recover,
+		JournalBudgetBytes: opts.JournalBudgetBytes,
 	})
 	var deadline time.Time
 	if opts.Timeout > 0 {

@@ -43,25 +43,28 @@ const (
 
 // cliOptions collects every flag so the run function stays testable.
 type cliOptions struct {
-	use       string
-	naive     bool
-	ompROIs   bool
-	statsROIs bool
-	whole     bool
-	dumpIR    bool
-	dumpPSEC  bool
-	run       bool
-	verify    bool
-	annotate  bool
-	asJSON    bool
-	maxSteps  int64
-	timeout   time.Duration
-	maxEvents uint64
-	maxCells  int64
-	maxCS     int
-	diag      bool
-	workers   int
-	shards    int
+	use           string
+	naive         bool
+	ompROIs       bool
+	statsROIs     bool
+	whole         bool
+	dumpIR        bool
+	dumpPSEC      bool
+	run           bool
+	verify        bool
+	annotate      bool
+	asJSON        bool
+	maxSteps      int64
+	timeout       time.Duration
+	maxEvents     uint64
+	maxCells      int64
+	maxCS         int
+	diag          bool
+	diagJSON      string
+	workers       int
+	shards        int
+	recover       bool
+	journalBudget int64
 }
 
 func main() {
@@ -83,8 +86,11 @@ func main() {
 	flag.Int64Var(&o.maxCells, "max-cells", 0, "cap on live shadow cells (0 = unlimited); breaches climb the degradation ladder")
 	flag.IntVar(&o.maxCS, "max-callstacks", 0, "cap on interned callstacks (0 = unlimited)")
 	flag.BoolVar(&o.diag, "diag", false, "print run diagnostics (events, peak cells, downgrades) as JSON")
+	flag.StringVar(&o.diagJSON, "diag-json", "", "write {exit_code, error, diagnostics} JSON to this path on every exit path")
 	flag.IntVar(&o.workers, "workers", 0, "worker goroutines condensing event batches (0 = GOMAXPROCS)")
 	flag.IntVar(&o.shards, "shards", 0, "address-sharded postprocessing goroutines (0 = min(workers, 8))")
+	flag.BoolVar(&o.recover, "recover", true, "enable the self-healing pipeline (replay journal + stage supervisors)")
+	flag.Int64Var(&o.journalBudget, "journal-budget", 0, "replay-journal retention in bytes (0 = 32 MiB default, negative = retain nothing)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: carmot [flags] file.mc")
@@ -100,14 +106,56 @@ func main() {
 
 // runCLI executes one CLI invocation and returns the process exit code.
 // Budget/deadline breaches return exitBudget with the partial PSECs and
-// diagnostics already printed to out.
+// diagnostics already printed to out. When -diag-json is set, a machine-
+// readable {exit_code, error, diagnostics} summary is written to the
+// given path on every exit path — including usage and compile errors,
+// where the diagnostics object is null.
 func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
+	code, res, err := runProfile(out, path, o)
+	if o.diagJSON != "" {
+		if werr := writeDiagJSON(o.diagJSON, code, err, res); werr != nil {
+			if err == nil {
+				return exitError, werr
+			}
+			fmt.Fprintln(os.Stderr, "carmot: diag-json:", werr)
+		}
+	}
+	return code, err
+}
+
+// diagSummary is the -diag-json document: enough for a supervisor
+// process to triage a run without parsing human-oriented output.
+type diagSummary struct {
+	ExitCode    int                 `json:"exit_code"`
+	Error       string              `json:"error,omitempty"`
+	Diagnostics *carmot.Diagnostics `json:"diagnostics"`
+}
+
+func writeDiagJSON(path string, code int, err error, res *carmot.ProfileResult) error {
+	s := diagSummary{ExitCode: code}
+	if err != nil {
+		s.Error = err.Error()
+	}
+	if res != nil {
+		s.Diagnostics = &res.Diagnostics
+	}
+	data, merr := json.MarshalIndent(s, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runProfile is runCLI's body; it additionally returns the profiling
+// result (nil on paths that never profile) so runCLI can serialize the
+// diagnostics.
+func runProfile(out io.Writer, path string, o cliOptions) (int, *carmot.ProfileResult, error) {
 	if o.timeout < 0 {
-		return exitUsage, fmt.Errorf("negative -timeout %v", o.timeout)
+		return exitUsage, nil, fmt.Errorf("negative -timeout %v", o.timeout)
 	}
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return exitError, err
+		return exitError, nil, err
 	}
 	var useCase carmot.UseCase
 	switch o.use {
@@ -120,7 +168,7 @@ func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
 	case "stats":
 		useCase = carmot.UseSTATS
 	default:
-		return exitUsage, fmt.Errorf("unknown use case %q", o.use)
+		return exitUsage, nil, fmt.Errorf("unknown use case %q", o.use)
 	}
 	prog, err := carmot.Compile(path, string(src), carmot.CompileOptions{
 		ProfileOmpRegions:   o.ompROIs,
@@ -128,37 +176,38 @@ func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
 		WholeProgramROI:     o.whole,
 	})
 	if err != nil {
-		return exitError, err
+		return exitError, nil, err
 	}
 	if o.dumpIR {
 		for _, fn := range prog.IR.Funcs {
 			fmt.Fprint(out, fn.String())
 		}
-		return exitOK, nil
+		return exitOK, nil, nil
 	}
 	if o.run {
 		res, err := prog.Execute(out, o.maxSteps)
 		if err != nil {
-			return exitError, err
+			return exitError, nil, err
 		}
 		fmt.Fprintf(out, "exit=%d cycles=%d steps=%d heap=%d cells leaked=%d cells\n",
 			res.Exit, res.Cycles, res.Steps, res.HeapCells, res.LeakedCells)
-		return exitOK, nil
+		return exitOK, nil, nil
 	}
 	if len(prog.ROIs()) == 0 {
-		return exitError, fmt.Errorf("%s has no ROI; add '#pragma carmot roi' or use -whole", path)
+		return exitError, nil, fmt.Errorf("%s has no ROI; add '#pragma carmot roi' or use -whole", path)
 	}
 	res, err := prog.Profile(carmot.ProfileOptions{
 		UseCase: useCase, Naive: o.naive, Stdout: out,
 		MaxSteps: o.maxSteps, Timeout: o.timeout,
 		MaxEvents: o.maxEvents, MaxCells: o.maxCells, MaxCallstacks: o.maxCS,
 		Workers: o.workers, Shards: o.shards,
+		Recover: o.recover, JournalBudgetBytes: o.journalBudget,
 	})
 	if err != nil {
 		if res != nil {
 			printDiagnostics(out, res)
 		}
-		return exitError, err
+		return exitError, res, err
 	}
 	if res.Diagnostics.Truncated {
 		// Budget exceeded: print the partial PSECs with diagnostics so
@@ -166,12 +215,12 @@ func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
 		fmt.Fprintf(out, "carmot: run truncated: %s\n", res.Diagnostics.TruncatedReason)
 		printPSECs(out, prog, res, useCase, o)
 		printDiagnostics(out, res)
-		return exitBudget, nil
+		return exitBudget, res, nil
 	}
 	if o.verify {
 		results := prog.VerifyOmpPragmas(res)
 		if len(results) == 0 {
-			return exitError, fmt.Errorf("no omp parallel for pragmas to verify (compile with -omp-rois)")
+			return exitError, res, fmt.Errorf("no omp parallel for pragmas to verify (compile with -omp-rois)")
 		}
 		ok := true
 		for _, v := range results {
@@ -179,9 +228,9 @@ func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
 			ok = ok && v.OK()
 		}
 		if !ok {
-			return exitError, nil
+			return exitError, res, nil
 		}
-		return exitOK, nil
+		return exitOK, res, nil
 	}
 	if o.annotate {
 		text := string(src)
@@ -201,25 +250,25 @@ func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
 			break
 		}
 		fmt.Fprintln(out, text)
-		return exitOK, nil
+		return exitOK, res, nil
 	}
 	if o.asJSON {
 		data, err := carmot.MarshalPSECs(res.PSECs)
 		if err != nil {
-			return exitError, err
+			return exitError, res, err
 		}
 		fmt.Fprintln(out, string(data))
 		if o.diag {
 			printDiagnostics(out, res)
 		}
-		return exitOK, nil
+		return exitOK, res, nil
 	}
 	fmt.Fprintf(out, "%s\n", res.Plan)
 	printPSECs(out, prog, res, useCase, o)
 	if o.diag {
 		printDiagnostics(out, res)
 	}
-	return exitOK, nil
+	return exitOK, res, nil
 }
 
 // printPSECs renders each ROI's PSEC and recommendation.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -151,5 +152,80 @@ func TestCLINoROI(t *testing.T) {
 	var out bytes.Buffer
 	if code, err := runCLI(&out, path, defaultOpts()); code != exitError || err == nil {
 		t.Errorf("program without ROIs: code=%d err=%v", code, err)
+	}
+}
+
+// readDiagJSON decodes a -diag-json file written by runCLI.
+func readDiagJSON(t *testing.T, path string) diagSummary {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("diag-json not written: %v", err)
+	}
+	var s diagSummary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("diag-json is not valid JSON: %v\n%s", err, data)
+	}
+	return s
+}
+
+// TestCLIDiagJSON verifies the -diag-json summary on every exit path:
+// success (0), analysis error (1), usage error (2), and budget breach
+// (3). The file must be valid JSON whose exit_code matches the process
+// exit code, with diagnostics populated whenever a profile ran.
+func TestCLIDiagJSON(t *testing.T) {
+	demo := writeDemo(t)
+	noroi := writeSrc(t, "plain.mc", "int main() { return 0; }\n")
+	spin := writeSrc(t, "spin.mc", spinSrc)
+	cases := []struct {
+		name     string
+		path     string
+		mutate   func(*cliOptions)
+		wantCode int
+		wantDiag bool // diagnostics object non-null
+	}{
+		{"ok", demo, func(o *cliOptions) { o.recover = true }, exitOK, true},
+		{"error-no-roi", noroi, func(o *cliOptions) {}, exitError, false},
+		{"usage-bad-use", demo, func(o *cliOptions) { o.use = "frob" }, exitUsage, false},
+		{"budget-timeout", spin, func(o *cliOptions) {
+			o.maxSteps = 0
+			o.timeout = 150 * time.Millisecond
+		}, exitBudget, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := defaultOpts()
+			c.mutate(&o)
+			o.diagJSON = filepath.Join(t.TempDir(), "diag.json")
+			var out bytes.Buffer
+			code, err := runCLI(&out, c.path, o)
+			if code != c.wantCode {
+				t.Fatalf("exit code = %d (err=%v), want %d", code, err, c.wantCode)
+			}
+			s := readDiagJSON(t, o.diagJSON)
+			if s.ExitCode != c.wantCode {
+				t.Errorf("diag-json exit_code = %d, want %d", s.ExitCode, c.wantCode)
+			}
+			if (err != nil) != (s.Error != "") {
+				t.Errorf("diag-json error %q vs runCLI err %v", s.Error, err)
+			}
+			if (s.Diagnostics != nil) != c.wantDiag {
+				t.Errorf("diag-json diagnostics = %+v, want present=%v", s.Diagnostics, c.wantDiag)
+			}
+			if c.wantDiag && s.Diagnostics.Events == 0 {
+				t.Error("diag-json diagnostics recorded zero events for a run that profiled")
+			}
+		})
+	}
+}
+
+// TestCLIDiagJSONUnwritablePath: a bad -diag-json path on an otherwise
+// clean run must surface as an error, not vanish.
+func TestCLIDiagJSONUnwritablePath(t *testing.T) {
+	o := defaultOpts()
+	o.diagJSON = filepath.Join(t.TempDir(), "no", "such", "dir", "d.json")
+	var out bytes.Buffer
+	if code, err := runCLI(&out, writeDemo(t), o); code != exitError || err == nil {
+		t.Errorf("unwritable diag-json: code=%d err=%v", code, err)
 	}
 }

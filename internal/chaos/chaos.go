@@ -1,0 +1,258 @@
+// Package chaos is a deterministic fault-schedule harness for the
+// profiling pipeline. A Schedule is derived entirely from one seed: the
+// pipeline geometry, the randomized workload, and a set of injected
+// faults (panics, delays, capacity exhaustion) at named faultinject
+// points, each firing on specific shot numbers. Execute runs the
+// schedule against internal/rt and Check verifies the self-healing
+// invariants:
+//
+//	termination   — the run finishes within its deadline (no hangs)
+//	containment   — no goroutine outlives Finish
+//	equivalence   — the report is byte-identical to the fault-free
+//	                reference, OR the divergence is honestly accounted
+//	                for in Diagnostics (an error, a degraded recovery,
+//	                or a downgrade record)
+//	transparency  — delay-only schedules must be byte-identical with a
+//	                clean error state: latency alone may never change
+//	                a PSEC
+//
+// Everything is reproducible: rerunning a seed replays the same
+// workload against the same faults.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"carmot/internal/faultinject"
+	"carmot/internal/rt"
+	"carmot/internal/testutil"
+)
+
+// Fault kinds a schedule can inject.
+const (
+	KindPanic = "panic"
+	KindDelay = "delay"
+)
+
+// Points lists the pipeline fault points schedules draw from. Shot
+// counters are per-point and global, so a shot number selects the n-th
+// crossing of that point across all goroutines.
+var Points = []string{
+	"rt.worker.batch",
+	"rt.post.apply",
+	"rt.shard.apply",
+	"rt.shard.replay",
+	"rt.post.finish",
+}
+
+// Fault is one injected fault: Kind fired at Point on each shot number
+// in Shots.
+type Fault struct {
+	Point string
+	Kind  string
+	Shots []int64
+	Delay time.Duration // KindDelay only
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@%s%v", f.Kind, f.Point, f.Shots)
+}
+
+// Schedule is a fully derived chaos run: geometry, recovery knobs, and
+// the fault set. Build one with NewSchedule; every field is a pure
+// function of the seed.
+type Schedule struct {
+	Seed    int64
+	Batch   int
+	Workers int
+	Shards  int
+	Recover bool
+	// JournalBudget is the rt.Config journal budget (0 = default).
+	// Small budgets force eviction-degraded recoveries.
+	JournalBudget int64
+	// MaxLiveCells, when nonzero, is a capacity-exhaustion fault: the
+	// governor must climb its ladder rather than crash.
+	MaxLiveCells int64
+	Faults       []Fault
+}
+
+func (s Schedule) String() string {
+	fs := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		fs[i] = f.String()
+	}
+	return fmt.Sprintf("seed=%d b=%d w=%d k=%d recover=%v journal=%d cells=%d faults=[%s]",
+		s.Seed, s.Batch, s.Workers, s.Shards, s.Recover, s.JournalBudget,
+		s.MaxLiveCells, strings.Join(fs, " "))
+}
+
+// DelayOnly reports whether every injected fault is a delay and no
+// capacity cap is set — the schedules for which byte-identical output
+// is mandatory, not merely preferred.
+func (s Schedule) DelayOnly() bool {
+	if s.MaxLiveCells != 0 {
+		return false
+	}
+	for _, f := range s.Faults {
+		if f.Kind != KindDelay {
+			return false
+		}
+	}
+	return true
+}
+
+// NewSchedule derives a schedule from seed. The distribution leans
+// toward recovery-enabled runs with panic faults (the subsystem under
+// test) but keeps delay-only, containment-only (Recover off), starved
+// journal, and capacity-exhaustion schedules in the mix.
+func NewSchedule(seed int64) Schedule {
+	r := rand.New(rand.NewSource(seed))
+	geoms := [][3]int{{3, 1, 2}, {8, 2, 4}, {16, 2, 4}, {64, 3, 3}, {257, 4, 7}, {31, 2, 1}, {1, 1, 8}}
+	g := geoms[r.Intn(len(geoms))]
+	s := Schedule{
+		Seed:    seed,
+		Batch:   g[0],
+		Workers: g[1],
+		Shards:  g[2],
+		Recover: r.Intn(4) != 0, // 3/4 recovery on, 1/4 legacy containment
+	}
+	switch r.Intn(8) {
+	case 0:
+		s.JournalBudget = -1 // retain nothing: every recovery degrades
+	case 1:
+		s.JournalBudget = int64(1024 + r.Intn(4096)) // starved: evictions likely
+	}
+	if r.Intn(6) == 0 {
+		s.MaxLiveCells = int64(8 + r.Intn(56))
+	}
+	nf := 1 + r.Intn(3)
+	for i := 0; i < nf; i++ {
+		f := Fault{Point: Points[r.Intn(len(Points))]}
+		if r.Intn(4) == 0 {
+			f.Kind = KindDelay
+			f.Delay = time.Duration(50+r.Intn(450)) * time.Microsecond
+		} else {
+			f.Kind = KindPanic
+		}
+		ns := 1 + r.Intn(3)
+		for j := 0; j < ns; j++ {
+			f.Shots = append(f.Shots, int64(1+r.Intn(120)))
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}
+
+// Result is one executed schedule: the faulted run's report and
+// diagnostics next to the fault-free reference report.
+type Result struct {
+	Schedule Schedule
+	Report   string
+	Ref      string
+	Diag     rt.Diagnostics
+	Err      error
+	TimedOut bool
+	Leaked   bool
+}
+
+// Execute runs the schedule: first the fault-free reference (same seed,
+// same geometry, no faults, no caps), then the faulted run with the
+// schedule's hooks armed, under deadline with a goroutine-leak check.
+func Execute(s Schedule, deadline time.Duration) Result {
+	ops := genOps(rand.New(rand.NewSource(s.Seed)))
+	refCfg := s.config()
+	refCfg.Limits.MaxLiveCells = 0
+	ref, _, _ := run(refCfg, ops)
+
+	res := Result{Schedule: s, Ref: ref}
+	baseline := testutil.Goroutines()
+	defer faultinject.Reset()
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KindPanic:
+			faultinject.Set(f.Point, faultinject.PanicOnShots(
+				fmt.Sprintf("chaos %s seed %d", f.Point, s.Seed), f.Shots...))
+		case KindDelay:
+			faultinject.Set(f.Point, faultinject.SleepOnShots(f.Delay, f.Shots...))
+		}
+	}
+
+	type outcome struct {
+		report string
+		diag   rt.Diagnostics
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		report, diag, err := run(s.config(), ops)
+		ch <- outcome{report, diag, err}
+	}()
+	select {
+	case o := <-ch:
+		res.Report, res.Diag, res.Err = o.report, o.diag, o.err
+	case <-time.After(deadline):
+		res.TimedOut = true
+		return res
+	}
+	faultinject.Reset()
+	// Settle with a generous window: the faulted run may still be
+	// tearing down shard goroutines when run() returns, and delay
+	// faults stretch that tail.
+	res.Leaked = !testutil.SettleGoroutines(baseline, 5*time.Second)
+	return res
+}
+
+func (s Schedule) config() rt.Config {
+	return rt.Config{
+		BatchSize: s.Batch, Workers: s.Workers, Shards: s.Shards,
+		Profile: rt.ProfileFull,
+		Sites: []rt.SiteInfo{
+			{Pos: "c.mc:5:3", Func: "f", Write: false},
+			{Pos: "c.mc:6:3", Func: "g", Write: true},
+		},
+		ROIs: []rt.ROIMeta{
+			{ID: 0, Name: "outer", Kind: "carmot", Pos: "c.mc:1:1"},
+			{ID: 1, Name: "inner", Kind: "carmot", Pos: "c.mc:2:2"},
+		},
+		Limits:             rt.Limits{MaxLiveCells: s.MaxLiveCells},
+		Recover:            s.Recover,
+		JournalBudgetBytes: s.JournalBudget,
+	}
+}
+
+// Check verifies the invariants on an executed schedule. It returns nil
+// when the run is sound and a descriptive error otherwise; the error
+// always embeds the schedule (and thus the seed) for replay.
+func Check(res Result) error {
+	s := res.Schedule
+	if res.TimedOut {
+		return fmt.Errorf("%s: run did not terminate within deadline", s)
+	}
+	if res.Leaked {
+		return fmt.Errorf("%s: goroutines leaked past Finish", s)
+	}
+	d := res.Diag
+	honest := res.Err != nil || d.RecoveryFailed() || d.Degraded() ||
+		d.WorkerPanics > 0 || d.PostprocessorPanics > 0
+	if res.Report != res.Ref && !honest {
+		return fmt.Errorf("%s: report diverges from fault-free reference with clean diagnostics", s)
+	}
+	if s.DelayOnly() {
+		if res.Report != res.Ref {
+			return fmt.Errorf("%s: delay-only schedule changed the report", s)
+		}
+		if res.Err != nil {
+			return fmt.Errorf("%s: delay-only schedule reported error: %v", s, res.Err)
+		}
+	}
+	// A run that claims full recovery (replays only, no degradations,
+	// no caps) must actually be byte-identical.
+	if s.MaxLiveCells == 0 && res.Err == nil && !d.RecoveryFailed() && !d.Degraded() &&
+		res.Report != res.Ref {
+		return fmt.Errorf("%s: recovered run silently diverges", s)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"carmot/internal/core"
+	"carmot/internal/rt"
+)
+
+// op is one step of a chaos workload, mirroring the event classes the
+// pipeline routes (see internal/rt's differential tests): allocations
+// with address reuse, frees, escapes, sited accesses with interned
+// callstacks, strided ranges, fixed classifications, and nested ROIs.
+type op struct {
+	kind   rt.EventKind
+	roi    int32
+	addr   uint64
+	n      int64
+	stride uint64
+	target uint64
+	site   int32
+	cs     int
+	sets   core.SetMask
+	write  bool
+}
+
+// genOps builds the reproducible op stream for a seed. Both the
+// reference run and the faulted run replay the same stream, so report
+// divergence can only come from the faults.
+func genOps(r *rand.Rand) []op {
+	bases := []uint64{1 << 10, 1<<12 + 3, 1<<16 + 7, 1 << 20, 3<<16 + 1, 5<<12 + 9}
+	type live struct {
+		base  uint64
+		cells int64
+	}
+	var allocs []live
+	open := [2]bool{}
+	var ops []op
+
+	emitAlloc := func() {
+		b := bases[r.Intn(len(bases))] + uint64(r.Intn(3))*4096
+		n := int64(1 + r.Intn(24))
+		ops = append(ops, op{kind: rt.EvAlloc, addr: b, n: n})
+		allocs = append(allocs, live{b, n})
+	}
+	for i := 0; i < 3; i++ {
+		emitAlloc()
+	}
+	ops = append(ops, op{kind: rt.EvROIBegin, roi: 0})
+	open[0] = true
+
+	nOps := 200 + r.Intn(400)
+	for i := 0; i < nOps; i++ {
+		switch r.Intn(24) {
+		case 0, 1:
+			emitAlloc()
+		case 2:
+			if len(allocs) > 0 {
+				j := r.Intn(len(allocs))
+				ops = append(ops, op{kind: rt.EvFree, addr: allocs[j].base})
+				allocs = append(allocs[:j], allocs[j+1:]...)
+			}
+		case 3:
+			if len(allocs) >= 2 {
+				a := allocs[r.Intn(len(allocs))]
+				b := allocs[r.Intn(len(allocs))]
+				ops = append(ops, op{kind: rt.EvEscape, addr: a.base, target: b.base})
+			}
+		case 4, 5:
+			ops = append(ops, op{kind: rt.EvROIBegin, roi: 0})
+			if open[0] {
+				ops[len(ops)-1].kind = rt.EvROIEnd
+			}
+			open[0] = !open[0]
+		case 6:
+			ops = append(ops, op{kind: rt.EvROIBegin, roi: 1})
+			if open[1] {
+				ops[len(ops)-1].kind = rt.EvROIEnd
+			}
+			open[1] = !open[1]
+		case 7, 8:
+			if len(allocs) > 0 {
+				a := allocs[r.Intn(len(allocs))]
+				ops = append(ops, op{
+					kind: rt.EvRange, roi: int32(r.Intn(2)), write: r.Intn(2) == 0,
+					addr: a.base + uint64(r.Intn(4)), n: int64(1 + r.Intn(40)),
+					stride: uint64(1 + r.Intn(5)),
+				})
+			}
+		case 9:
+			if len(allocs) > 0 {
+				a := allocs[r.Intn(len(allocs))]
+				ops = append(ops, op{
+					kind: rt.EvFixed, roi: int32(r.Intn(2)),
+					addr: a.base, n: 1 + int64(r.Intn(int(a.cells))),
+					sets: core.SetMask(1 << uint(r.Intn(4))),
+				})
+			}
+		default:
+			addr := bases[r.Intn(len(bases))] + uint64(r.Intn(28))
+			if len(allocs) > 0 {
+				a := allocs[r.Intn(len(allocs))]
+				addr = a.base + uint64(r.Int63n(a.cells))
+			}
+			o := op{kind: rt.EvAccess, addr: addr, write: r.Intn(2) == 0, site: -1}
+			if r.Intn(2) == 0 {
+				o.site = int32(r.Intn(2))
+				o.cs = r.Intn(3)
+			}
+			ops = append(ops, o)
+		}
+	}
+	for roi := int32(1); roi >= 0; roi-- {
+		if open[roi] {
+			ops = append(ops, op{kind: rt.EvROIEnd, roi: roi})
+		}
+	}
+	return ops
+}
+
+// run replays an op stream through a fresh pipeline and renders every
+// ROI's PSEC as text + JSON — the byte-equivalence currency of the
+// harness.
+func run(cfg rt.Config, ops []op) (string, rt.Diagnostics, error) {
+	r := rt.New(cfg)
+	cs := []core.CallstackID{
+		0,
+		r.Callstacks().Intern([]core.Frame{{Func: "main", Pos: "c.mc:10:1"}}),
+		r.Callstacks().Intern([]core.Frame{{Func: "kern", Pos: "c.mc:20:1"}}),
+	}
+	for i, o := range ops {
+		switch o.kind {
+		case rt.EvAlloc:
+			r.EmitAlloc(o.addr, o.n, cs[1], &rt.AllocMeta{
+				Kind: core.PSEHeap, Name: fmt.Sprintf("a%x", o.addr), Pos: "c.mc:3:3"})
+		case rt.EvFree:
+			r.EmitFree(o.addr)
+		case rt.EvEscape:
+			r.EmitEscape(o.addr, o.target)
+		case rt.EvROIBegin:
+			r.BeginROI(int(o.roi))
+		case rt.EvROIEnd:
+			r.EndROI(int(o.roi))
+		case rt.EvRange:
+			r.EmitRange(o.roi, o.write, o.addr, o.n, o.stride)
+		case rt.EvFixed:
+			r.EmitFixed(o.roi, o.addr, o.n, o.sets)
+		case rt.EvAccess:
+			r.EmitAccess(o.addr, o.write, o.site, cs[o.cs])
+		default:
+			panic(fmt.Sprintf("op %d: unhandled kind %d", i, o.kind))
+		}
+	}
+	psecs := r.Finish()
+	var sb strings.Builder
+	for _, p := range psecs {
+		if p == nil {
+			sb.WriteString("<nil>\n")
+			continue
+		}
+		sb.WriteString(p.Summary())
+		data, err := json.Marshal(p)
+		if err != nil {
+			panic(err)
+		}
+		sb.Write(data)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), r.Diagnostics(), r.Err()
+}

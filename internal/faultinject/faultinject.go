@@ -3,15 +3,20 @@
 // Fire("name"); tests install hooks at those points to force worker
 // panics, slow batches, or cap exhaustion at exactly reproducible
 // moments. With no hooks installed, Fire is a single atomic load, so the
-// hooks cost nothing on hot paths in normal operation.
+// hooks cost nothing on hot paths in normal operation. With hooks
+// installed, Fire is two atomic loads and a map read of a frozen map —
+// chaos schedules arming many points never serialize the pipeline's hot
+// paths on a shared lock.
 //
 // Points currently wired:
 //
 //	rt.worker.batch  — before a worker condenses one batch
 //	rt.post.apply    — before the sequencer applies one ordered item
 //	rt.shard.apply   — before a shard goroutine applies one op
+//	rt.shard.replay  — before a respawned shard replays its journal
 //	rt.post.finish   — before the postprocessor builds the PSECs
 //	interp.step      — on the interpreter's periodic budget check
+//	pinsim.trace     — before the Pin-analog tracer forwards one access
 package faultinject
 
 import (
@@ -20,53 +25,83 @@ import (
 	"time"
 )
 
+// hook is the per-point handle. The registry maps a point name to its
+// handle once and never mutates the map afterwards (Set copies on
+// write), so Fire reads the handle's function pointer with a single
+// atomic load and no lock.
+type hook struct {
+	fn atomic.Pointer[func()]
+}
+
 var (
-	installed atomic.Int32
-	mu        sync.Mutex
-	hooks     = map[string]func(){}
+	armed    atomic.Int32 // number of points with a hook installed
+	mu       sync.Mutex   // serializes Set/Reset (registry mutation)
+	registry atomic.Pointer[map[string]*hook]
 )
+
+func init() {
+	registry.Store(&map[string]*hook{})
+}
 
 // Fire invokes the hook installed at point, if any. A hook that panics
 // does so on the caller's goroutine — exactly what the containment tests
 // need.
 func Fire(point string) {
-	if installed.Load() == 0 {
+	if armed.Load() == 0 {
 		return
 	}
-	mu.Lock()
-	fn := hooks[point]
-	mu.Unlock()
-	if fn != nil {
-		fn()
+	if h := (*registry.Load())[point]; h != nil {
+		if fn := h.fn.Load(); fn != nil {
+			(*fn)()
+		}
 	}
 }
 
 // Set installs fn as the hook at point; a nil fn removes the hook.
+// Replacing the hook of an already-registered point is a single atomic
+// store; only the first Set of a new point copies the registry map.
 func Set(point string, fn func()) {
 	mu.Lock()
 	defer mu.Unlock()
-	_, had := hooks[point]
+	reg := *registry.Load()
+	h := reg[point]
+	if h == nil {
+		if fn == nil {
+			return
+		}
+		h = &hook{}
+		next := make(map[string]*hook, len(reg)+1)
+		for k, v := range reg {
+			next[k] = v
+		}
+		next[point] = h
+		registry.Store(&next)
+	}
+	had := h.fn.Load() != nil
 	if fn == nil {
+		h.fn.Store(nil)
 		if had {
-			delete(hooks, point)
-			installed.Add(-1)
+			armed.Add(-1)
 		}
 		return
 	}
-	hooks[point] = fn
+	h.fn.Store(&fn)
 	if !had {
-		installed.Add(1)
+		armed.Add(1)
 	}
 }
 
-// Reset removes every installed hook. Tests defer this.
+// Reset removes every installed hook. Tests defer this. The handles stay
+// registered (the map only ever grows), only their functions are cleared.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
-	for k := range hooks {
-		delete(hooks, k)
+	for _, h := range *registry.Load() {
+		if h.fn.Load() != nil {
+			h.fn.Store(nil)
+			armed.Add(-1)
+		}
 	}
-	installed.Store(0)
 }
 
 // CountdownPanic returns a hook that panics with msg on its nth
@@ -76,6 +111,37 @@ func CountdownPanic(n int64, msg string) func() {
 	return func() {
 		if calls.Add(1) == n {
 			panic(msg)
+		}
+	}
+}
+
+// PanicOnShots returns a hook that panics with msg on each listed
+// invocation number (1-based). Multi-shot chaos schedules use it to hit
+// the same point several times in one run.
+func PanicOnShots(msg string, shots ...int64) func() {
+	set := make(map[int64]bool, len(shots))
+	for _, s := range shots {
+		set[s] = true
+	}
+	var calls atomic.Int64
+	return func() {
+		if set[calls.Add(1)] {
+			panic(msg)
+		}
+	}
+}
+
+// SleepOnShots returns a hook that sleeps d on each listed invocation
+// number (1-based) — a targeted slow-stage injection.
+func SleepOnShots(d time.Duration, shots ...int64) func() {
+	set := make(map[int64]bool, len(shots))
+	for _, s := range shots {
+		set[s] = true
+	}
+	var calls atomic.Int64
+	return func() {
+		if set[calls.Add(1)] {
+			time.Sleep(d)
 		}
 	}
 }

@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// pointsTableRE matches one entry of the package-doc points table, e.g.
+// "//	rt.worker.batch  — before a worker condenses one batch".
+var pointsTableRE = regexp.MustCompile(`(?m)^//\t([a-zA-Z0-9_.]+)\s+—`)
+
+// TestPointsTableMatchesFireSites walks every non-test Go file in the
+// module and checks set equality between the string-literal arguments of
+// faultinject.Fire(...) call sites and the package-doc points table: a
+// new Fire site must be documented, and a documented point must still
+// exist in the code. It also rejects non-literal Fire arguments, which
+// would make the table unverifiable.
+func TestPointsTableMatchesFireSites(t *testing.T) {
+	root := "../.."
+	sites := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && name != "." && name != ".." {
+				return fs.SkipDir
+			}
+			if name == "testdata" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Fire" {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "faultinject" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				t.Errorf("%s: faultinject.Fire with %d args", fset.Position(call.Pos()), len(call.Args))
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				t.Errorf("%s: faultinject.Fire argument is not a string literal", fset.Position(call.Pos()))
+				return true
+			}
+			point, uerr := strconv.Unquote(lit.Value)
+			if uerr != nil {
+				t.Errorf("%s: unquoting Fire argument %s: %v", fset.Position(call.Pos()), lit.Value, uerr)
+				return true
+			}
+			sites[point] = append(sites[point], fset.Position(call.Pos()).String())
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("found no faultinject.Fire call sites — is the walk rooted at the module?")
+	}
+
+	src, err := os.ReadFile("faultinject.go")
+	if err != nil {
+		t.Fatalf("reading faultinject.go: %v", err)
+	}
+	table := map[string]bool{}
+	for _, m := range pointsTableRE.FindAllStringSubmatch(string(src), -1) {
+		table[m[1]] = true
+	}
+	if len(table) == 0 {
+		t.Fatal("points table not found in the package doc comment")
+	}
+
+	for point, where := range sites {
+		if !table[point] {
+			t.Errorf("Fire(%q) at %s is missing from the package-doc points table", point, where[0])
+		}
+	}
+	for point := range table {
+		if _, ok := sites[point]; !ok {
+			t.Errorf("points table documents %q but no Fire(%q) call site exists", point, point)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package pinsim
 
 import (
 	"carmot/internal/core"
+	"carmot/internal/faultinject"
 	"carmot/internal/native"
 	"carmot/internal/rt"
 )
@@ -36,6 +37,7 @@ func NewTracer(inner native.Env, r *rt.Runtime, cs core.CallstackID) *Tracer {
 // LoadCell traces and forwards a read. Binary-level tracing has no source
 // mapping, so the site is -1 ("precompiled code").
 func (t *Tracer) LoadCell(addr uint64) uint64 {
+	faultinject.Fire("pinsim.trace")
 	t.reads++
 	t.rt.EmitAccess(addr, false, -1, t.cs)
 	return t.inner.LoadCell(addr)
@@ -43,6 +45,7 @@ func (t *Tracer) LoadCell(addr uint64) uint64 {
 
 // StoreCell traces and forwards a write.
 func (t *Tracer) StoreCell(addr uint64, val uint64) {
+	faultinject.Fire("pinsim.trace")
 	t.writes++
 	t.rt.EmitAccess(addr, true, -1, t.cs)
 	t.inner.StoreCell(addr, val)

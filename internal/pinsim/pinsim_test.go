@@ -1,12 +1,16 @@
 package pinsim_test
 
 import (
+	"strings"
 	"testing"
 
+	"carmot"
 	"carmot/internal/core"
+	"carmot/internal/faultinject"
 	"carmot/internal/native"
 	"carmot/internal/pinsim"
 	"carmot/internal/rt"
+	"carmot/internal/testutil"
 )
 
 type memEnv struct {
@@ -49,6 +53,52 @@ func TestTracerReportsAccesses(t *testing.T) {
 	if dst == nil || dst.Sets != core.SetOutput {
 		t.Errorf("dst = %v, want Output", dst)
 	}
+}
+
+// TestTracerFaultDegradesRun: a fault inside the native-code tracer
+// (the Pin analog) must degrade the profiling run — an error plus a
+// salvaged partial result and a cleanly drained pipeline — never crash
+// the process. The tracer runs on the program thread, so containment
+// here comes from the interpreter's top-level recovery, not the
+// pipeline supervisors.
+func TestTracerFaultDegradesRun(t *testing.T) {
+	const src = `
+extern int memcpy_cells(int* dst, int* src, int n);
+int* src_;
+int* dst_;
+int N = 8;
+int main() {
+	src_ = malloc(N);
+	dst_ = malloc(N);
+	for (int i = 0; i < N; i++) { src_[i] = i; }
+	#pragma carmot roi copy
+	{
+		memcpy_cells(dst_, src_, N);
+	}
+	return dst_[3];
+}
+`
+	prog, err := carmot.Compile("pinfault.mc", src, carmot.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := testutil.Goroutines()
+	defer faultinject.Reset()
+	faultinject.Set("pinsim.trace", faultinject.CountdownPanic(3, "injected tracer fault"))
+	res, err := prog.Profile(carmot.ProfileOptions{UseCase: carmot.UseOpenMP, Recover: true})
+	if err == nil {
+		t.Fatal("tracer fault produced no error")
+	}
+	if !strings.Contains(err.Error(), "interpreter internal fault") {
+		t.Errorf("err = %v, want an interpreter internal fault", err)
+	}
+	if res == nil || res.Run == nil {
+		t.Fatal("no partial result salvaged from the faulted run")
+	}
+	if len(res.PSECs) == 0 {
+		t.Error("faulted run returned no PSEC slots")
+	}
+	testutil.WaitGoroutines(t, baseline)
 }
 
 // TestTracerForwardsEnvServices: print and PRNG state pass through.

@@ -59,6 +59,40 @@ func (d Downgrade) String() string {
 	return fmt.Sprintf("%s: %s (at event %d)", d.Reason, d.Action, d.AtEvent)
 }
 
+// Recovery outcomes.
+const (
+	// RecoveryReplayed: the failed stage was respawned and its journal
+	// partition replayed; the report is unaffected by the fault.
+	RecoveryReplayed = "replayed"
+	// RecoveryDegraded: the journal was unavailable (budget refused or
+	// evicted the partition, or attempts ran out) and the supervisor fell
+	// back to the degradation rung; data was lost and the report says so.
+	RecoveryDegraded = "degraded"
+)
+
+// Recovery records one supervisor intervention after a contained
+// pipeline fault — the first rung of the recover → degrade → truncate
+// failure ladder.
+type Recovery struct {
+	// Stage is the pipeline stage that faulted: "worker", "sequencer",
+	// or "shard".
+	Stage string
+	// ID identifies the failed partition: the batch index for a worker,
+	// the shard id for a shard, 0 for the sequencer.
+	ID int
+	// Outcome is RecoveryReplayed or RecoveryDegraded.
+	Outcome string
+	// Reason carries the contained panic message.
+	Reason string
+	// Ops counts the replayed units: raw events for a worker batch,
+	// journaled ops for a shard replay.
+	Ops int
+}
+
+func (r Recovery) String() string {
+	return fmt.Sprintf("%s %d: %s (%s)", r.Stage, r.ID, r.Outcome, r.Reason)
+}
+
 // Diagnostics summarizes a profiling run's runtime behaviour: volume,
 // peak shadow state, every degradation taken, and every contained fault.
 // It is valid after Finish returns.
@@ -76,7 +110,12 @@ type Diagnostics struct {
 	Callstacks int
 	// Downgrades lists every degradation-ladder step, in order.
 	Downgrades []Downgrade
-	// WorkerPanics / PostprocessorPanics count contained pipeline panics.
+	// Recoveries lists every supervisor intervention (successful replays
+	// and degraded fallbacks), in order. Only populated when the runtime
+	// runs with Config.Recover.
+	Recoveries []Recovery
+	// WorkerPanics / PostprocessorPanics count contained pipeline panics,
+	// including ones the supervisor subsequently recovered.
 	WorkerPanics        int
 	PostprocessorPanics int
 	// Errors carries the messages of every contained fault.
@@ -90,3 +129,14 @@ type Diagnostics struct {
 
 // Degraded reports whether any cap forced a downgrade.
 func (d *Diagnostics) Degraded() bool { return len(d.Downgrades) > 0 }
+
+// RecoveryFailed reports whether any supervisor intervention fell back
+// to the degradation rung instead of replaying.
+func (d *Diagnostics) RecoveryFailed() bool {
+	for _, r := range d.Recoveries {
+		if r.Outcome == RecoveryDegraded {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+package rt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"carmot/internal/core"
+	"carmot/internal/faultinject"
+	"carmot/internal/testutil"
+)
+
+// healWorkload builds one fixed randomized workload for the recovery
+// tests; the seed pins the stream so failures reproduce.
+func healWorkload(seed int64) []diffOp {
+	return randomDiffWorkload(rand.New(rand.NewSource(seed)))
+}
+
+// recoverConfig is the geometry the single-fault equivalence tests use:
+// small batches so a single run crosses many batch/flush boundaries.
+func recoverConfig() Config {
+	cfg := diffConfig(8, 2, 4)
+	cfg.Recover = true
+	return cfg
+}
+
+// expectOneReplay asserts the run recorded exactly one successful
+// recovery at the given stage and no degraded ones, and that Err() is
+// nil — a fully recovered run is indistinguishable from a clean one
+// apart from the Recovery record and the panic counter.
+func expectOneReplay(t *testing.T, r *Runtime, stage string) {
+	t.Helper()
+	d := r.Diagnostics()
+	if len(d.Recoveries) != 1 {
+		t.Fatalf("Recoveries = %+v, want exactly one", d.Recoveries)
+	}
+	rec := d.Recoveries[0]
+	if rec.Stage != stage || rec.Outcome != RecoveryReplayed {
+		t.Errorf("Recovery = %+v, want stage %q outcome %q", rec, stage, RecoveryReplayed)
+	}
+	if d.RecoveryFailed() {
+		t.Errorf("RecoveryFailed() true: %+v", d.Recoveries)
+	}
+	if err := r.Err(); err != nil {
+		t.Errorf("Err() = %v after a fully recovered fault", err)
+	}
+}
+
+// TestWorkerPanicRecoveredByteIdentical: a single injected worker panic
+// with a sufficient journal budget must leave the text+JSON PSEC report
+// byte-identical to the fault-free run, with exactly one Recovery.
+func TestWorkerPanicRecoveredByteIdentical(t *testing.T) {
+	ops := healWorkload(7001)
+	ref, _ := replayDiffCfg(ops, recoverConfig())
+	baseline := testutil.Goroutines()
+	defer faultinject.Reset()
+	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(2, "injected worker fault"))
+	got, r := replayDiffCfg(ops, recoverConfig())
+	if got != ref {
+		t.Fatalf("recovered run diverges from fault-free reference\n--- got ---\n%s\n--- want ---\n%s", got, ref)
+	}
+	expectOneReplay(t, r, "worker")
+	if d := r.Diagnostics(); d.WorkerPanics != 1 {
+		t.Errorf("WorkerPanics = %d, want 1", d.WorkerPanics)
+	}
+	testutil.WaitGoroutines(t, baseline)
+}
+
+// TestShardPanicRecoveredByteIdentical: a single injected shard panic
+// must trigger a respawn-and-replay that reproduces the byte-identical
+// report, across several geometries.
+func TestShardPanicRecoveredByteIdentical(t *testing.T) {
+	ops := healWorkload(7002)
+	for _, g := range [][3]int{{8, 2, 4}, {3, 1, 2}, {64, 3, 7}} {
+		cfg := diffConfig(g[0], g[1], g[2])
+		cfg.Recover = true
+		ref, _ := replayDiffCfg(ops, cfg)
+		baseline := testutil.Goroutines()
+		faultinject.Set("rt.shard.apply", faultinject.CountdownPanic(5, "injected shard fault"))
+		got, r := replayDiffCfg(ops, cfg)
+		faultinject.Reset()
+		if got != ref {
+			t.Fatalf("geometry %v: recovered run diverges\n--- got ---\n%s\n--- want ---\n%s", g, got, ref)
+		}
+		expectOneReplay(t, r, "shard")
+		d := r.Diagnostics()
+		if d.PostprocessorPanics != 1 {
+			t.Errorf("geometry %v: PostprocessorPanics = %d, want 1", g, d.PostprocessorPanics)
+		}
+		if d.Recoveries[0].Ops == 0 {
+			t.Errorf("geometry %v: shard replay reported zero replayed ops", g)
+		}
+		testutil.WaitGoroutines(t, baseline)
+	}
+}
+
+// TestSequencerBoundaryFaultRecovered: a fault at the sequencer's stage
+// boundary (before any ASMT mutation) is absorbed and the item applied
+// afresh — byte-identical output, one Recovery.
+func TestSequencerBoundaryFaultRecovered(t *testing.T) {
+	ops := healWorkload(7003)
+	ref, _ := replayDiffCfg(ops, recoverConfig())
+	defer faultinject.Reset()
+	faultinject.Set("rt.post.apply", faultinject.CountdownPanic(3, "injected sequencer fault"))
+	got, r := replayDiffCfg(ops, recoverConfig())
+	if got != ref {
+		t.Fatalf("recovered run diverges\n--- got ---\n%s\n--- want ---\n%s", got, ref)
+	}
+	expectOneReplay(t, r, "sequencer")
+}
+
+// TestRecoveryWithoutJournalDegrades: with the journal budget forced to
+// zero retention, a worker fault must complete via the degradation path
+// with an honest Downgrade record (the PR 1 ladder rung), not crash and
+// not silently diverge.
+func TestRecoveryWithoutJournalDegrades(t *testing.T) {
+	ops := healWorkload(7004)
+	cfg := recoverConfig()
+	cfg.JournalBudgetBytes = -1 // retain nothing
+	defer faultinject.Reset()
+	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(2, "injected worker fault"))
+	got, r := replayDiffCfg(ops, cfg)
+	if !strings.Contains(got, "outer") {
+		t.Fatalf("degraded run lost the report: %q", got)
+	}
+	d := r.Diagnostics()
+	if !d.RecoveryFailed() {
+		t.Fatalf("no degraded Recovery recorded: %+v", d.Recoveries)
+	}
+	found := false
+	for _, dg := range d.Downgrades {
+		if dg.Action == "drop-batch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no drop-batch Downgrade recorded: %+v", d.Downgrades)
+	}
+	if r.Err() == nil {
+		t.Error("Err() nil after a degraded recovery")
+	}
+}
+
+// TestShardJournalEvictionDegrades: a journal budget small enough to
+// evict shard log entries makes a late shard fault unrecoverable; the
+// supervisor must fall back to the degrade rung with honest records.
+func TestShardJournalEvictionDegrades(t *testing.T) {
+	ops := healWorkload(7005)
+	cfg := recoverConfig()
+	cfg.JournalBudgetBytes = 2048 // shard share: 256 bytes across 4 shards
+	defer faultinject.Reset()
+	// Fire late so the shard logs have certainly evicted by then.
+	faultinject.Set("rt.shard.apply", faultinject.CountdownPanic(200, "late shard fault"))
+	got, r := replayDiffCfg(ops, cfg)
+	if !strings.Contains(got, "outer") {
+		t.Fatalf("degraded run lost the report: %q", got)
+	}
+	d := r.Diagnostics()
+	if len(d.Recoveries) == 0 {
+		t.Skip("workload too small to reach the 200th shard op") // defensive; seed is pinned
+	}
+	if !d.RecoveryFailed() {
+		t.Fatalf("eviction did not degrade: %+v", d.Recoveries)
+	}
+	if r.Err() == nil {
+		t.Error("Err() nil after an eviction-degraded fault")
+	}
+}
+
+// TestShardRespawnCapBoundsReplays: a persistent multi-shot fault on the
+// shard apply path must terminate — respawn attempts are bounded, after
+// which ops drop one at a time (honest degradation), never a hang.
+func TestShardRespawnCapBoundsReplays(t *testing.T) {
+	ops := healWorkload(7006)
+	baseline := testutil.Goroutines()
+	defer faultinject.Reset()
+	// Enough consecutive shots that at least one shard exhausts its
+	// respawn cap (panics spread round-robin-ish across 4 shards).
+	shots := make([]int64, 48)
+	for i := range shots {
+		shots[i] = int64(i + 1)
+	}
+	faultinject.Set("rt.shard.apply",
+		faultinject.PanicOnShots("persistent shard fault", shots...))
+	got, r := replayDiffCfg(ops, recoverConfig())
+	if !strings.Contains(got, "outer") {
+		t.Fatalf("run lost the report: %q", got)
+	}
+	d := r.Diagnostics()
+	replays, degrades := 0, 0
+	for _, rec := range d.Recoveries {
+		switch rec.Outcome {
+		case RecoveryReplayed:
+			replays++
+		case RecoveryDegraded:
+			degrades++
+		}
+	}
+	if degrades == 0 {
+		t.Errorf("persistent fault never degraded: %+v", d.Recoveries)
+	}
+	if r.Err() == nil {
+		t.Error("Err() nil after degraded ops")
+	}
+	testutil.WaitGoroutines(t, baseline)
+}
+
+// TestJournalDrainedAfterFinish: on the fault-free path every journaled
+// batch must be acked (and its buffer released) by the time Finish
+// returns — the journal must not turn the batch pool into a leak.
+func TestJournalDrainedAfterFinish(t *testing.T) {
+	ops := healWorkload(7007)
+	_, r := replayDiffCfg(ops, recoverConfig())
+	if r.journal == nil {
+		t.Fatal("Recover config built no journal")
+	}
+	r.journal.mu.Lock()
+	defer r.journal.mu.Unlock()
+	if len(r.journal.batches) != 0 || r.journal.batchUsed != 0 {
+		t.Errorf("journal retains %d batches (%d bytes) after Finish",
+			len(r.journal.batches), r.journal.batchUsed)
+	}
+}
+
+// TestRecoveredRunKeepsEventAccounting: a recovered worker batch is not
+// double-counted — Events in Diagnostics equals the accepted stream
+// length regardless of the replay.
+func TestRecoveredRunKeepsEventAccounting(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(1, "boom"))
+	cfg := Config{BatchSize: 4, Workers: 2, Shards: 2, Profile: ProfileFull,
+		ROIs: []ROIMeta{{ID: 0, Name: "z"}}, Recover: true}
+	r := New(cfg)
+	r.EmitAlloc(100, 8, 0, &AllocMeta{Kind: core.PSEHeap, Name: "arr", Pos: "h.mc"})
+	r.BeginROI(0)
+	for i := 0; i < 64; i++ {
+		r.EmitAccess(100+uint64(i%8), i%2 == 0, -1, 0)
+	}
+	r.EndROI(0)
+	psecs := r.Finish()
+	if psecs[0] == nil {
+		t.Fatal("nil PSEC")
+	}
+	d := r.Diagnostics()
+	if d.Events != 67 { // alloc + 64 accesses + ROI begin/end
+		t.Errorf("Events = %d, want 67", d.Events)
+	}
+	if psecs[0].Stats.TotalAccesses != 64 {
+		t.Errorf("TotalAccesses = %d, want 64 (replay must not double-count)", psecs[0].Stats.TotalAccesses)
+	}
+}

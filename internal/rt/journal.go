@@ -1,0 +1,165 @@
+package rt
+
+// The replay journal is the memory the self-healing layer trades for
+// recovery. It retains two kinds of pipeline input:
+//
+//   - each worker's raw event batch, until the sequencer has applied the
+//     batch's condensed items and the derived shard ops are journaled
+//     (the batch is then "acked" and its buffer recycled);
+//   - every op flush routed to each shard since the start of the run,
+//     stamped with a per-shard epoch.
+//
+// A worker panic re-condenses the retained raw batch with fresh scratch
+// state; a shard panic respawns the shard with fresh FSA/accumulator
+// state and replays its partition's journal from epoch one, then skips
+// channel batches the replay already covered by comparing epochs.
+//
+// Retention is byte-budgeted, split evenly between the two halves: the
+// batch half refuses batches beyond its share (a panic on an unretained
+// batch takes the degrade rung), and a shard log that must evict its
+// oldest entries to fit is marked incomplete — replay from a hole would
+// silently fabricate state, so recovery for that shard degrades instead.
+// The recover rung of the recover → degrade → truncate ladder only holds
+// while the journal does.
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// defaultJournalBudget is the retention budget when Config.Recover is
+// set and no explicit JournalBudgetBytes is given.
+const defaultJournalBudget = 32 << 20
+
+type journal struct {
+	mu          sync.Mutex
+	batchBudget int64 // budget for raw batches (half the total)
+	shardBudget int64 // budget per shard log (the other half, split k ways)
+	batchUsed   int64
+	batches     map[int]*batchEntry
+	shards      []shardLog
+}
+
+type batchEntry struct {
+	buf   *eventBuf
+	bytes int64
+}
+
+type shardLog struct {
+	entries []shardEntry
+	used    int64
+	evicted bool // the log no longer reaches back to the start of the run
+}
+
+// shardEntry is one journaled op flush. epoch is the per-shard flush
+// sequence number, also stamped on the channel batch, so a respawned
+// shard can tell which in-flight batches its replay already covered.
+type shardEntry struct {
+	epoch uint64
+	ops   []shardOp
+	bytes int64
+}
+
+func newJournal(budget int64, k int) *journal {
+	if k < 1 {
+		k = 1
+	}
+	return &journal{
+		batchBudget: budget / 2,
+		shardBudget: budget / 2 / int64(k),
+		batches:     map[int]*batchEntry{},
+		shards:      make([]shardLog, k),
+	}
+}
+
+// addBatch retains buf for batch idx if it fits the batch share; it
+// reports whether the batch is journaled. The caller owns the refcount:
+// a journaled buffer must carry one extra reference for the journal.
+func (j *journal) addBatch(idx int, buf *eventBuf) bool {
+	n := batchBytes(buf)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.batchUsed+n > j.batchBudget {
+		return false
+	}
+	j.batchUsed += n
+	j.batches[idx] = &batchEntry{buf: buf, bytes: n}
+	return true
+}
+
+// batchRetained reports whether batch idx is still journaled.
+func (j *journal) batchRetained(idx int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.batches[idx]
+	return ok
+}
+
+// ackBatch drops batch idx from the journal and returns its buffer so
+// the caller can release the journal's reference (nil when idx was never
+// retained).
+func (j *journal) ackBatch(idx int) *eventBuf {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := j.batches[idx]
+	if e == nil {
+		return nil
+	}
+	delete(j.batches, idx)
+	j.batchUsed -= e.bytes
+	return e.buf
+}
+
+// appendShard journals one op flush for shard sid at the given epoch,
+// evicting from the front of the log while it exceeds the per-shard
+// share. Eviction permanently marks the log incomplete.
+func (j *journal) appendShard(sid int, epoch uint64, ops []shardOp) {
+	n := opsBytes(ops)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	log := &j.shards[sid]
+	log.entries = append(log.entries, shardEntry{epoch: epoch, ops: ops, bytes: n})
+	log.used += n
+	for log.used > j.shardBudget && len(log.entries) > 0 {
+		log.used -= log.entries[0].bytes
+		log.entries[0] = shardEntry{} // release the evicted ops
+		log.entries = log.entries[1:]
+		log.evicted = true
+	}
+}
+
+// shardEntries snapshots shard sid's log. complete reports whether the
+// log still reaches back to the start of the run; an incomplete log must
+// not be replayed.
+func (j *journal) shardEntries(sid int) (entries []shardEntry, complete bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	log := &j.shards[sid]
+	if log.evicted {
+		return nil, false
+	}
+	entries = make([]shardEntry, len(log.entries))
+	copy(entries, log.entries)
+	return entries, true
+}
+
+// batchBytes and opsBytes approximate retained sizes from the struct
+// footprints plus the out-of-line slices that dominate (use samples).
+// Exact heap accounting is not worth the cycles on the fault-free path.
+func batchBytes(buf *eventBuf) int64 {
+	return int64(len(buf.evs))*int64(unsafe.Sizeof(Event{})) +
+		int64(len(buf.cold))*int64(unsafe.Sizeof(EventCold{}))
+}
+
+func opsBytes(ops []shardOp) int64 {
+	n := int64(len(ops)) * int64(unsafe.Sizeof(shardOp{}))
+	for i := range ops {
+		op := &ops[i]
+		n += int64(len(op.sums)) * int64(unsafe.Sizeof(accSummary{}))
+		n += int64(len(op.uses)) * int64(unsafe.Sizeof(useRec{}))
+		for ui := range op.uses {
+			n += int64(len(op.uses[ui].samples)) * 8
+		}
+	}
+	return n
+}

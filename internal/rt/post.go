@@ -114,6 +114,7 @@ type postState struct {
 	k      uint64 // number of shards
 	shards []*shardState
 	bufs   [][]shardOp // pending ops per shard, flushed in batches
+	epochs []uint64    // per-shard flush sequence numbers (journal/ack protocol)
 	wg     sync.WaitGroup
 
 	// live holds the live allocations sorted by base address. Live
@@ -150,6 +151,7 @@ func newPostState(r *Runtime) *postState {
 	}
 	p.shards = make([]*shardState, cfg.Shards)
 	p.bufs = make([][]shardOp, cfg.Shards)
+	p.epochs = make([]uint64, cfg.Shards)
 	for i := range p.shards {
 		p.shards[i] = newShardState(r, uint64(i), p.k)
 	}
@@ -191,11 +193,20 @@ func (p *postState) push(sid uint64, op shardOp) {
 	}
 }
 
+// flushShard stamps the pending buffer with the shard's next epoch,
+// journals it (when recovery is on), and sends it. Journal-before-send
+// is the replay protocol's one ordering requirement: once a batch is on
+// the channel, a respawned shard can rely on finding it in the journal
+// and skip the channel copy by epoch.
 func (p *postState) flushShard(sid uint64) {
 	if len(p.bufs[sid]) == 0 {
 		return
 	}
-	p.shards[sid].in <- p.bufs[sid]
+	p.epochs[sid]++
+	if p.rt.journal != nil {
+		p.rt.journal.appendShard(int(sid), p.epochs[sid], p.bufs[sid])
+	}
+	p.shards[sid].in <- shardBatch{epoch: p.epochs[sid], ops: p.bufs[sid]}
 	p.bufs[sid] = nil
 }
 

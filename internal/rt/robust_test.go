@@ -2,27 +2,13 @@ package rt
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
 	"carmot/internal/core"
 	"carmot/internal/faultinject"
+	"carmot/internal/testutil"
 )
-
-// waitGoroutines polls until the goroutine count drops back to at most
-// baseline (pipeline goroutines shut down asynchronously after Finish).
-func waitGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
-}
 
 func TestFinishIdempotent(t *testing.T) {
 	f := newFeeder(Config{Profile: ProfileFull})
@@ -49,7 +35,7 @@ func TestFinishIdempotent(t *testing.T) {
 func TestWorkerPanicContained(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(1, "injected worker fault"))
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.Goroutines()
 	f := newFeeder(Config{BatchSize: 4, Workers: 2, Profile: ProfileFull})
 	f.alloc(100, 4, core.PSEHeap, "arr")
 	f.r.BeginROI(0)
@@ -68,13 +54,13 @@ func TestWorkerPanicContained(t *testing.T) {
 	if err := f.r.Err(); err == nil {
 		t.Error("Err() nil after contained worker panic")
 	}
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline)
 }
 
 func TestPostprocessorPanicContained(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Set("rt.post.apply", faultinject.CountdownPanic(2, "injected post fault"))
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.Goroutines()
 	f := newFeeder(Config{BatchSize: 4, Workers: 2, Profile: ProfileFull})
 	f.alloc(100, 4, core.PSEHeap, "arr")
 	f.r.BeginROI(0)
@@ -93,7 +79,7 @@ func TestPostprocessorPanicContained(t *testing.T) {
 	if err := f.r.Err(); err == nil {
 		t.Error("Err() nil after contained postprocessor panic")
 	}
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline)
 }
 
 func TestFinishStagePanicYieldsEmptyPSECs(t *testing.T) {
@@ -122,7 +108,7 @@ func TestEveryInjectionPointUnderRace(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Set("rt.worker.batch", faultinject.CountdownPanic(2, "worker"))
 	faultinject.Set("rt.post.apply", faultinject.CountdownPanic(3, "post"))
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.Goroutines()
 	f := newFeeder(Config{BatchSize: 2, Workers: 4, Profile: ProfileFull})
 	f.alloc(100, 8, core.PSEHeap, "arr")
 	for inv := 0; inv < 8; inv++ {
@@ -146,7 +132,7 @@ func TestEveryInjectionPointUnderRace(t *testing.T) {
 	if d.WorkerPanics != 1 || d.PostprocessorPanics != 1 {
 		t.Errorf("panic counts = %d/%d, want 1/1", d.WorkerPanics, d.PostprocessorPanics)
 	}
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline)
 }
 
 func TestEventCapDegradation(t *testing.T) {

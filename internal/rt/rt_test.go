@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"carmot/internal/core"
+	"carmot/internal/testutil"
 )
 
 // feeder drives the runtime with synthetic events the way the
@@ -29,6 +30,8 @@ func (f *feeder) access(addr uint64, write bool) {
 }
 
 func TestPipelineBasicClassification(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
 	for _, batch := range []int{1, 2, 3, 4096} {
 		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
 			f := newFeeder(Config{BatchSize: batch, Workers: 2, Profile: ProfileFull})
@@ -317,6 +320,8 @@ func TestNestedROIs(t *testing.T) {
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
 	build := func() string {
 		f := newFeeder(Config{BatchSize: 3, Workers: 4, Profile: ProfileFull})
 		f.alloc(100, 8, core.PSEHeap, "arr")
@@ -337,6 +342,8 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestSummaryInvariantToBatchBoundaries(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
 	// The same event stream must classify identically whatever the batch
 	// size (an invocation may span batches).
 	results := map[int]string{}

@@ -33,6 +33,18 @@ type Config struct {
 	ReducibleVars map[string]string
 	// Limits bounds shadow state; zero values are unlimited.
 	Limits Limits
+	// Recover enables the self-healing layer: a byte-budgeted replay
+	// journal plus supervisors that respawn a panicked worker batch or
+	// shard goroutine and replay its journal partition, producing a
+	// byte-identical PSEC instead of a degraded one. Off by default: the
+	// historical containment behaviour (degrade and record) is the
+	// fallback rung either way.
+	Recover bool
+	// JournalBudgetBytes bounds the replay journal's retention when
+	// Recover is set: 0 means the default (32 MiB), a negative value
+	// retains nothing (every recovery falls back to degradation — useful
+	// for forcing the ladder in tests).
+	JournalBudgetBytes int64
 }
 
 // Runtime is the profiling runtime. The program thread calls the Emit*
@@ -60,6 +72,7 @@ type Runtime struct {
 	toPost    chan processedMsg
 	post      *postState
 	bufPool   sync.Pool
+	journal   *journal // nil unless Config.Recover with a usable budget
 
 	// Lifecycle guard: Finish is idempotent; Emit after Finish is a
 	// counted no-op instead of a send on a closed channel.
@@ -81,15 +94,19 @@ type Runtime struct {
 }
 
 // eventBuf is one recyclable event batch: the hot event array plus the
-// cold side table the Emit* helpers fill for structural kinds.
+// cold side table the Emit* helpers fill for structural kinds. refs
+// counts its owners — the condensing worker plus, for journaled batches,
+// the replay journal — so it only returns to the pool once both are done.
 type eventBuf struct {
 	evs  []Event
 	cold []EventCold
+	refs atomic.Int32
 }
 
 type batchMsg struct {
-	idx int
-	buf *eventBuf
+	idx       int
+	buf       *eventBuf
+	journaled bool // the journal retained buf; a worker panic may replay it
 }
 
 type processedMsg struct {
@@ -169,6 +186,13 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.Limits.MaxCallstacks > 0 {
 		r.cs.SetCap(cfg.Limits.MaxCallstacks)
+	}
+	if cfg.Recover && cfg.JournalBudgetBytes >= 0 {
+		budget := cfg.JournalBudgetBytes
+		if budget == 0 {
+			budget = defaultJournalBudget
+		}
+		r.journal = newJournal(budget, cfg.Shards)
 	}
 	r.post = newPostState(r)
 	// Shard threads: per-address-range FSA shadow state.
@@ -309,8 +333,25 @@ func (r *Runtime) flush() {
 	buf := r.bufPool.Get().(*eventBuf)
 	buf.evs, r.cur = r.cur, buf.evs[:0]
 	buf.cold, r.curCold = r.curCold, buf.cold[:0]
-	r.filled <- batchMsg{idx: r.nextBatch, buf: buf}
+	buf.refs.Store(1)
+	journaled := false
+	if r.journal != nil && r.journal.addBatch(r.nextBatch, buf) {
+		journaled = true
+		buf.refs.Store(2) // worker + journal; ack releases the second ref
+	}
+	r.filled <- batchMsg{idx: r.nextBatch, buf: buf, journaled: journaled}
 	r.nextBatch++
+}
+
+// releaseBuf drops one reference on buf and recycles it once the last
+// owner (worker or journal) lets go.
+func (r *Runtime) releaseBuf(buf *eventBuf) {
+	if buf.refs.Add(-1) > 0 {
+		return
+	}
+	buf.evs = buf.evs[:0]
+	buf.cold = buf.cold[:0]
+	r.bufPool.Put(buf)
 }
 
 // Finish flushes pending events, drains the pipeline, and returns the
@@ -335,6 +376,7 @@ func (r *Runtime) Diagnostics() Diagnostics {
 	defer r.diagMu.Unlock()
 	d := r.diag
 	d.Downgrades = append([]Downgrade(nil), r.diag.Downgrades...)
+	d.Recoveries = append([]Recovery(nil), r.diag.Recoveries...)
 	d.Errors = append([]string(nil), r.diag.Errors...)
 	// The drop counter keeps moving after Finish (post-Finish Emits are
 	// counted no-ops), so read it live rather than from the snapshot.
@@ -428,45 +470,91 @@ func (r *Runtime) notePeakCells() {
 	}
 }
 
-func (r *Runtime) recordPanic(stage string, v interface{}) {
+// countPanic bumps the contained-panic counter for a stage. Counting is
+// separate from recording an error: a panic the supervisor fully
+// recovers from is still counted, but leaves Err() nil — the report it
+// produced is byte-identical to a clean run's.
+func (r *Runtime) countPanic(stage string) {
 	r.diagMu.Lock()
 	defer r.diagMu.Unlock()
-	switch stage {
-	case "worker":
+	if stage == "worker" {
 		r.diag.WorkerPanics++
-	default:
+	} else {
 		r.diag.PostprocessorPanics++
 	}
-	r.diag.Errors = append(r.diag.Errors, fmt.Sprintf("%s panic: %v", stage, v))
+}
+
+func (r *Runtime) recordError(msg string) {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
+	r.diag.Errors = append(r.diag.Errors, msg)
+}
+
+func (r *Runtime) recordRecovery(rec Recovery) {
+	r.diagMu.Lock()
+	defer r.diagMu.Unlock()
+	r.diag.Recoveries = append(r.diag.Recoveries, rec)
+}
+
+// recordPanic is the historical degrade-rung bookkeeping: count the
+// panic and fold its message into Err().
+func (r *Runtime) recordPanic(stage string, v interface{}) {
+	r.countPanic(stage)
+	r.recordError(fmt.Sprintf("%s panic: %v", stage, v))
 }
 
 func (r *Runtime) worker() {
 	defer r.workerWG.Done()
 	c := newCondenser()
 	for b := range r.filled {
-		// A panicking batch is contained and forwarded empty so the
-		// ordered sequencer never stalls waiting for its index.
-		r.toPost <- processedMsg{idx: b.idx, items: r.condenseSafe(c, b)}
+		items, pan := r.condenseAttempt(c, b)
+		if pan != nil {
+			// The panic may have left a partial block in the scratch
+			// state; respawn the condense stage with a fresh condenser.
+			c = newCondenser()
+			items = r.recoverBatch(c, b, pan)
+		}
+		// Condensed items never alias the batch buffer (events are copied
+		// by value, summaries are built fresh), so the worker's reference
+		// can be released before forwarding — even after a contained fault.
+		r.releaseBuf(b.buf)
+		// A degraded batch is forwarded empty so the ordered sequencer
+		// never stalls waiting for its index.
+		r.toPost <- processedMsg{idx: b.idx, items: items}
 	}
 }
 
-func (r *Runtime) condenseSafe(c *condenser, b batchMsg) (items []postItem) {
-	defer func() {
-		if p := recover(); p != nil {
-			r.recordPanic("worker", p)
-			items = nil
-		}
-	}()
-	// Condensed items never alias the batch buffer (events are copied by
-	// value, summaries are built fresh), so it can be recycled as soon
-	// as condense returns — even when a fault was contained.
-	defer func() {
-		b.buf.evs = b.buf.evs[:0]
-		b.buf.cold = b.buf.cold[:0]
-		r.bufPool.Put(b.buf)
-	}()
+func (r *Runtime) condenseAttempt(c *condenser, b batchMsg) (items []postItem, pan interface{}) {
+	defer func() { pan = recover() }()
 	faultinject.Fire("rt.worker.batch")
-	return c.condense(b.buf.evs, b.buf.cold, r.gLevel.Load() >= degradeNoUseCS)
+	return c.condense(b.buf.evs, b.buf.cold, r.gLevel.Load() >= degradeNoUseCS), nil
+}
+
+// recoverBatch is the worker's supervisor. After a contained condense
+// panic it replays the batch from the journaled raw events against the
+// fresh condenser c; a second panic (persistent fault) or an unjournaled
+// batch falls back to the degrade rung: the batch's condensed output is
+// lost, recorded, and the empty result keeps the sequencer moving.
+func (r *Runtime) recoverBatch(c *condenser, b batchMsg, pan interface{}) []postItem {
+	r.countPanic("worker")
+	reason := fmt.Sprintf("worker panic: %v", pan)
+	if r.cfg.Recover && b.journaled && r.journal.batchRetained(b.idx) {
+		items, pan2 := r.condenseAttempt(c, b)
+		if pan2 == nil {
+			r.recordRecovery(Recovery{Stage: "worker", ID: b.idx,
+				Outcome: RecoveryReplayed, Reason: reason, Ops: len(b.buf.evs)})
+			return items
+		}
+		r.countPanic("worker")
+		reason = fmt.Sprintf("worker replay panic: %v", pan2)
+	}
+	r.recordError(reason)
+	if r.cfg.Recover {
+		r.recordRecovery(Recovery{Stage: "worker", ID: b.idx,
+			Outcome: RecoveryDegraded, Reason: reason})
+		r.recordDowngrade(reason, "drop-batch", r.accepted.Load())
+	}
+	return nil
 }
 
 func (r *Runtime) postprocessor() {
@@ -474,6 +562,7 @@ func (r *Runtime) postprocessor() {
 	next := 0
 	for msg := range r.toPost {
 		pending[msg.idx] = msg
+		first := next
 		for {
 			m, ok := pending[next]
 			if !ok {
@@ -486,6 +575,12 @@ func (r *Runtime) postprocessor() {
 			next++
 		}
 		r.post.flushShards()
+		// Ack raw batches only after their condensed ops were flushed
+		// (and journaled): from here on a shard replay no longer needs
+		// the raw events, so the journal's buffer references can go.
+		for idx := first; idx < next; idx++ {
+			r.ackBatch(idx)
+		}
 	}
 	// Drain any stragglers deterministically (should be empty).
 	if len(pending) > 0 {
@@ -500,6 +595,10 @@ func (r *Runtime) postprocessor() {
 				r.applySafe(&m.items[j])
 			}
 		}
+		r.post.flushShards()
+		for _, i := range idxs {
+			r.ackBatch(i)
+		}
 	}
 	r.finalizeLiveSafe()
 	// Shard shutdown happens outside any recover scope: even if final
@@ -508,10 +607,44 @@ func (r *Runtime) postprocessor() {
 	r.done <- r.finishSafe()
 }
 
-// applySafe contains a panic in one item's application: the item is
-// lost and recorded, the pipeline keeps draining (so Emit never blocks
-// on a full queue behind a dead sequencer).
+// ackBatch releases the journal's reference on batch idx (no-op without
+// a journal or for a batch the budget refused).
+func (r *Runtime) ackBatch(idx int) {
+	if r.journal == nil {
+		return
+	}
+	if buf := r.journal.ackBatch(idx); buf != nil {
+		r.releaseBuf(buf)
+	}
+}
+
+// applySafe contains a panic in one item's application. Without Recover,
+// the item is lost and recorded, and the pipeline keeps draining (so
+// Emit never blocks on a full queue behind a dead sequencer). With
+// Recover, the injection probe runs in its own recover scope before the
+// mutation: a fault at the stage boundary is absorbed and the item is
+// applied afresh — nothing was mutated yet, so resuming is exact. A
+// panic inside the mutation itself cannot be replayed (the ASMT may be
+// partially updated, and re-applying would double-count), so it takes
+// the degrade rung with an honest record.
 func (r *Runtime) applySafe(item *postItem) {
+	if r.cfg.Recover {
+		if pan := firePostApplyGuard(); pan != nil {
+			r.countPanic("postprocessor")
+			r.recordRecovery(Recovery{Stage: "sequencer",
+				Outcome: RecoveryReplayed, Reason: fmt.Sprintf("sequencer boundary panic: %v", pan)})
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				r.recordPanic("postprocessor", p)
+				r.recordRecovery(Recovery{Stage: "sequencer",
+					Outcome: RecoveryDegraded, Reason: fmt.Sprintf("postprocessor panic: %v", p)})
+				r.recordDowngrade(fmt.Sprintf("postprocessor panic: %v", p), "drop-item", r.accepted.Load())
+			}
+		}()
+		r.post.apply(item)
+		return
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			r.recordPanic("postprocessor", p)
@@ -519,6 +652,15 @@ func (r *Runtime) applySafe(item *postItem) {
 	}()
 	faultinject.Fire("rt.post.apply")
 	r.post.apply(item)
+}
+
+// firePostApplyGuard fires the sequencer's injection point inside its
+// own recover scope — before any mutation — and returns the contained
+// panic value, if any.
+func firePostApplyGuard() (pan interface{}) {
+	defer func() { pan = recover() }()
+	faultinject.Fire("rt.post.apply")
+	return nil
 }
 
 // finalizeLiveSafe retires every still-live allocation at end of run.

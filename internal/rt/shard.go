@@ -50,6 +50,20 @@ type shardAlloc struct {
 	live       bool
 }
 
+// shardBatch is one flushed op buffer on a shard's channel. epoch is the
+// per-shard flush sequence number the sequencer stamped (and journaled)
+// at flush time; a respawned shard compares it against the epochs its
+// journal replay covered to skip already-applied batches.
+type shardBatch struct {
+	epoch uint64
+	ops   []shardOp
+}
+
+// maxShardRespawns bounds how many times one shard's supervisor attempts
+// a respawn-and-replay before settling on the degrade rung for good — a
+// deterministic fault in the data would otherwise replay forever.
+const maxShardRespawns = 3
+
 // shardState owns the FSA shadow state for every cell address with
 // addr%k == id: the strided owner view, per-(ROI, cell) tracking, the
 // per-ROI element accumulators, use-callstack sets, access stats, and
@@ -60,7 +74,7 @@ type shardState struct {
 	cfg *Config
 	id  uint64
 	k   uint64
-	in  chan []shardOp
+	in  chan shardBatch
 
 	// live mirrors the sequencer's interval index for the allocations
 	// this shard owns cells of: sorted by base, non-overlapping (the
@@ -76,6 +90,18 @@ type shardState struct {
 	acc    []map[string]*elemAcc
 	stats  []core.Stats
 	touch  []map[int32]uint64 // per-ROI first-touch seq per alloc id
+
+	// Supervision state (single-goroutine; only the shard itself touches
+	// it). appliedEpoch is the newest epoch fully applied or replayed;
+	// cur/curOp/haveCur track the in-hand batch across a contained panic;
+	// reserved counts this shard's outstanding governor cell
+	// reservations so a respawn can return them before replaying.
+	appliedEpoch uint64
+	cur          shardBatch
+	curOp        int
+	haveCur      bool
+	reserved     int64
+	respawns     int
 }
 
 func newShardState(r *Runtime, id, k uint64) *shardState {
@@ -85,7 +111,7 @@ func newShardState(r *Runtime, id, k uint64) *shardState {
 		cfg:    &r.cfg,
 		id:     id,
 		k:      k,
-		in:     make(chan []shardOp, 4),
+		in:     make(chan shardBatch, 4),
 		active: make([]bool, n),
 		roiInv: make([]uint64, n),
 		acc:    make([]map[string]*elemAcc, n),
@@ -98,26 +124,128 @@ func newShardState(r *Runtime, id, k uint64) *shardState {
 	return s
 }
 
+// run is the shard's supervisor: consume() applies ops until the
+// sequencer closes the channel; a panic escaping one op climbs the
+// failure ladder. With Recover and a complete journal, the shard is
+// respawned logically — fresh FSA/accumulator state, journal replayed
+// from epoch one — and the run's report comes out byte-identical. When
+// the journal is unavailable (budget refused/evicted the partition) or
+// respawn attempts are exhausted, the faulted op is dropped and the
+// shard keeps draining with its surviving state — the historical degrade
+// rung — with the loss recorded honestly.
 func (s *shardState) run() {
 	defer s.rt.post.wg.Done()
-	for ops := range s.in {
-		for i := range ops {
-			s.applySafe(&ops[i])
+	for {
+		done, pan := s.consume()
+		if done {
+			return
 		}
+		s.rt.countPanic("shard")
+		reason := fmt.Sprintf("shard %d panic: %v", s.id, pan)
+		if s.rt.cfg.Recover && s.respawns < maxShardRespawns {
+			s.respawns++
+			if n, ok := s.rebuild(); ok {
+				s.rt.recordRecovery(Recovery{Stage: "shard", ID: int(s.id),
+					Outcome: RecoveryReplayed, Reason: reason, Ops: n})
+				continue
+			}
+		}
+		s.rt.recordError(reason)
+		if s.rt.cfg.Recover {
+			s.rt.recordRecovery(Recovery{Stage: "shard", ID: int(s.id),
+				Outcome: RecoveryDegraded, Reason: reason})
+			s.rt.recordDowngrade(reason, "drop-op", s.rt.accepted.Load())
+		}
+		// Skip the faulted op and resume with the surviving state.
+		s.curOp++
 	}
 }
 
-// applySafe contains a panic in one op's application, mirroring the
-// sequencer's containment: the op is lost and recorded, the shard keeps
-// draining so the sequencer never blocks on a dead shard.
-func (s *shardState) applySafe(op *shardOp) {
+// consume drains the shard's channel, applying every op in order. It
+// returns done=true when the channel closed, or the contained panic
+// value. Batches whose epoch a journal replay already covered are
+// skipped whole.
+func (s *shardState) consume() (done bool, pan interface{}) {
+	defer func() { pan = recover() }()
+	for {
+		if !s.haveCur {
+			b, ok := <-s.in
+			if !ok {
+				return true, nil
+			}
+			if b.epoch <= s.appliedEpoch {
+				continue
+			}
+			s.cur, s.curOp, s.haveCur = b, 0, true
+		}
+		for s.curOp < len(s.cur.ops) {
+			faultinject.Fire("rt.shard.apply")
+			s.apply(&s.cur.ops[s.curOp])
+			s.curOp++
+		}
+		s.appliedEpoch = s.cur.epoch
+		s.haveCur = false
+		s.cur = shardBatch{}
+	}
+}
+
+// rebuild respawns the shard's logical state: every accumulator built so
+// far is discarded and the partition's journal is replayed from the
+// first epoch. This is sound wherever the original panic struck — even
+// mid-mutation — because the replacement state derives from the journal
+// alone. The in-hand batch was journaled before it was sent, so replay
+// covers it too; the epoch check in consume() then skips whatever of it
+// (and of the channel backlog) was already replayed. Returns the number
+// of ops replayed, or ok=false when the journal is incomplete or the
+// replay itself faults (state is then partial and the caller degrades).
+func (s *shardState) rebuild() (n int, ok bool) {
+	if s.rt.journal == nil {
+		return 0, false
+	}
+	entries, complete := s.rt.journal.shardEntries(int(s.id))
+	if !complete {
+		return 0, false
+	}
 	defer func() {
 		if p := recover(); p != nil {
-			s.rt.recordPanic("shard", p)
+			s.rt.countPanic("shard")
+			s.rt.recordError(fmt.Sprintf("shard %d replay panic: %v", s.id, p))
+			ok = false
 		}
 	}()
-	faultinject.Fire("rt.shard.apply")
-	s.apply(op)
+	faultinject.Fire("rt.shard.replay")
+	s.resetState()
+	for _, e := range entries {
+		for i := range e.ops {
+			s.apply(&e.ops[i])
+		}
+		s.appliedEpoch = e.epoch
+		n += len(e.ops)
+	}
+	s.haveCur = false
+	s.cur = shardBatch{}
+	return n, true
+}
+
+// resetState discards every accumulator the shard built so a journal
+// replay can rebuild them from scratch. Outstanding governor cell
+// reservations are returned to the shared budget first — the replay will
+// re-reserve what it needs.
+func (s *shardState) resetState() {
+	if s.reserved > 0 {
+		s.rt.releaseCells(s.reserved)
+		s.reserved = 0
+	}
+	n := len(s.cfg.ROIs)
+	s.live, s.hit, s.allocs = nil, nil, nil
+	s.active = make([]bool, n)
+	s.roiInv = make([]uint64, n)
+	s.acc = make([]map[string]*elemAcc, n)
+	for i := range s.acc {
+		s.acc[i] = map[string]*elemAcc{}
+	}
+	s.stats = make([]core.Stats, n)
+	s.touch = make([]map[int32]uint64, n)
 }
 
 func (s *shardState) apply(op *shardOp) {
@@ -239,6 +367,7 @@ func (s *shardState) finalize(id int32) {
 			continue
 		}
 		s.rt.releaseCells(int64(len(cells)))
+		s.reserved -= int64(len(cells))
 		var e *elemAcc
 		for off := range cells {
 			ct := &cells[off]
@@ -311,6 +440,7 @@ func (s *shardState) trackFor(sa *shardAlloc, roi int) []cellTrack {
 		sa.track = make([][]cellTrack, len(s.cfg.ROIs))
 	}
 	sa.track[roi] = make([]cellTrack, sa.trackCells)
+	s.reserved += sa.trackCells
 	return sa.track[roi]
 }
 

@@ -4,12 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
 	"testing"
 
 	"carmot/internal/core"
 	"carmot/internal/faultinject"
+	"carmot/internal/testutil"
 )
 
 // diffOp is one step of a randomized differential workload. It covers
@@ -129,12 +129,10 @@ func randomDiffWorkload(r *rand.Rand) []diffOp {
 	return ops
 }
 
-// replayDiff runs one op stream through a fresh pipeline with the given
-// geometry and renders every ROI's PSEC as text + JSON. Byte-identical
-// output across geometries is the correctness contract of the sharded
-// postprocessor.
-func replayDiff(ops []diffOp, batch, workers, shards int) string {
-	r := New(Config{
+// diffConfig returns the shared pipeline configuration the differential
+// tests use; geometry and recovery knobs are layered on by the caller.
+func diffConfig(batch, workers, shards int) Config {
+	return Config{
 		BatchSize: batch, Workers: workers, Shards: shards, Profile: ProfileFull,
 		Sites: []SiteInfo{
 			{Pos: "d.mc:5:3", Func: "f", Write: false},
@@ -144,7 +142,23 @@ func replayDiff(ops []diffOp, batch, workers, shards int) string {
 			{ID: 0, Name: "outer", Kind: "carmot", Pos: "d.mc:1:1"},
 			{ID: 1, Name: "inner", Kind: "carmot", Pos: "d.mc:2:2"},
 		},
-	})
+	}
+}
+
+// replayDiff runs one op stream through a fresh pipeline with the given
+// geometry and renders every ROI's PSEC as text + JSON. Byte-identical
+// output across geometries is the correctness contract of the sharded
+// postprocessor.
+func replayDiff(ops []diffOp, batch, workers, shards int) string {
+	report, _ := replayDiffCfg(ops, diffConfig(batch, workers, shards))
+	return report
+}
+
+// replayDiffCfg is replayDiff with a caller-supplied Config; it also
+// returns the finished runtime so recovery tests can inspect
+// diagnostics.
+func replayDiffCfg(ops []diffOp, cfg Config) (string, *Runtime) {
+	r := New(cfg)
 	cs := []core.CallstackID{
 		0,
 		r.Callstacks().Intern([]core.Frame{{Func: "main", Pos: "d.mc:10:1"}}),
@@ -188,7 +202,7 @@ func replayDiff(ops []diffOp, batch, workers, shards int) string {
 		sb.Write(data)
 		sb.WriteByte('\n')
 	}
-	return sb.String()
+	return sb.String(), r
 }
 
 // TestShardDifferentialRandomWorkloads is the differential property test
@@ -208,6 +222,7 @@ func TestShardDifferentialRandomWorkloads(t *testing.T) {
 		{1, 1, 8},  // single-event batches through many shards
 	}
 	rng := rand.New(rand.NewSource(4242))
+	baseline := testutil.Goroutines()
 	for trial := 0; trial < 24; trial++ {
 		ops := randomDiffWorkload(rng)
 		ref := replayDiff(ops, 1, 1, 1)
@@ -216,8 +231,21 @@ func TestShardDifferentialRandomWorkloads(t *testing.T) {
 				t.Fatalf("trial %d: batch=%d workers=%d shards=%d diverges from the sequential reference\n--- got ---\n%s\n--- want ---\n%s",
 					trial, g[0], g[1], g[2], got, ref)
 			}
+			// The fault-free path with recovery enabled must be fully
+			// transparent: journaling and epoch stamping change no output.
+			cfg := diffConfig(g[0], g[1], g[2])
+			cfg.Recover = true
+			if got, rt := replayDiffCfg(ops, cfg); got != ref {
+				t.Fatalf("trial %d: geometry %v with Recover diverges\n--- got ---\n%s\n--- want ---\n%s",
+					trial, g, got, ref)
+			} else if err := rt.Err(); err != nil {
+				t.Fatalf("trial %d: fault-free Recover run reported %v", trial, err)
+			}
 		}
 	}
+	// Every pipeline above must have shut down cleanly across all
+	// {batch, workers, shards} geometries.
+	testutil.WaitGoroutines(t, baseline)
 }
 
 // TestShardFanoutMaskCoversResidues checks the sequencer's routing
@@ -251,7 +279,7 @@ func TestShardFanoutMaskCoversResidues(t *testing.T) {
 func TestShardPanicContained(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Set("rt.shard.apply", faultinject.CountdownPanic(3, "injected shard fault"))
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.Goroutines()
 	f := newFeeder(Config{BatchSize: 4, Workers: 2, Shards: 4, Profile: ProfileFull})
 	f.alloc(100, 8, core.PSEHeap, "arr")
 	f.r.BeginROI(0)
@@ -266,7 +294,7 @@ func TestShardPanicContained(t *testing.T) {
 	if d := f.r.Diagnostics(); d.PostprocessorPanics == 0 {
 		t.Errorf("shard panic not counted: %+v", d)
 	}
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline)
 }
 
 // TestCellCapLadderUnderShards re-runs the degradation-ladder scenario

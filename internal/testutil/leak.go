@@ -1,0 +1,40 @@
+// Package testutil holds small helpers shared by tests across packages.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Goroutines snapshots the current goroutine count. Pair with
+// WaitGoroutines around a pipeline lifecycle to prove shutdown leaks
+// nothing.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// SettleGoroutines reports whether the goroutine count returns to at
+// most baseline within timeout. Pipeline goroutines shut down
+// asynchronously after Finish, so a plain equality check would flake;
+// polling with a deadline is the portable alternative to parsing
+// goroutine dumps.
+func SettleGoroutines(baseline int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WaitGoroutines fails t when the goroutine count has not dropped back
+// to at most baseline within 5 seconds.
+func WaitGoroutines(t testing.TB, baseline int) {
+	t.Helper()
+	if !SettleGoroutines(baseline, 5*time.Second) {
+		t.Errorf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+	}
+}

@@ -22,6 +22,12 @@ go test -race -count=1 -run 'Infinite|Panic|Budget|Deadline|Cancel' .
 echo "== go test -race (sharded postprocessing) =="
 go test -race -count=1 -run 'Shard|CellCapLadderUnderShards' ./internal/rt/
 
+echo "== go test -race (recovery + seeded chaos smoke) =="
+# Deterministic: schedules derive from the fixed base seed, and any
+# failure prints the exact seed to replay.
+go test -race -count=1 -run 'Recovered|Recovery|Respawn|Eviction|Drained' ./internal/rt/
+go test -race -count=1 ./internal/chaos/
+
 echo "== benchmark smoke =="
 go test -run NONE -bench 'BenchmarkProfiledRun' -benchtime 1x .
 go test -run NONE -bench 'BenchmarkPipeline|BenchmarkCondense' -benchtime 1x ./internal/rt/
