@@ -64,6 +64,13 @@ const (
 	UseFull                         // track everything (the naive baseline does)
 )
 
+// Execution engines for ProfileOptions.Engine: the default bytecode
+// engine and the tree-walking differential oracle.
+const (
+	EngineBytecode = interp.EngineBytecode
+	EngineTree     = interp.EngineTree
+)
+
 func (u UseCase) trackingProfile() rt.TrackingProfile {
 	switch u {
 	case UseOpenMP:
@@ -144,6 +151,15 @@ type ProfileOptions struct {
 	// Stdin-like knobs for the run.
 	Stdout   io.Writer
 	MaxSteps int64
+	// Engine selects the execution engine: the default bytecode engine,
+	// or interp.EngineTree — the tree-walking oracle kept for
+	// differential testing. Both produce byte-identical PSECs.
+	Engine interp.Engine
+	// NoCoalesce disables producer-side access coalescing (the combining
+	// buffer that merges same-cell/constant-stride access runs before
+	// they reach the runtime). PSECs are identical either way; the knob
+	// exists for differential tests and emit-path benchmarks.
+	NoCoalesce bool
 	// Workers sizes the runtime's worker pool (default GOMAXPROCS).
 	Workers int
 	// Shards sizes the runtime's address-sharded postprocessing pool
@@ -233,6 +249,8 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 	}
 	it := interp.New(p.IR, interp.Options{
 		Runtime:         runtime,
+		Engine:          opts.Engine,
+		NoCoalesce:      opts.NoCoalesce,
 		Clustering:      io_.CallstackClustering,
 		NaiveEventCosts: opts.Naive,
 		Stdout:          opts.Stdout,

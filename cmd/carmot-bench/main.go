@@ -4,38 +4,82 @@
 //
 // Usage:
 //
-//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats|rt] [-threads N] [-scalediv D]
+//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats|rt|interp] [-threads N] [-scalediv D]
 //
 // The rt experiment benchmarks the event pipeline itself across
 // (workers, shards) geometries and, with -rt-out, writes the
-// machine-readable BENCH_rt.json regression report.
+// machine-readable BENCH_rt.json regression report. The interp
+// experiment benchmarks the execution engines (tree-walker vs bytecode,
+// coalescing off/on) end to end and, with -interp-out, writes
+// BENCH_interp.json. The -cpuprofile/-memprofile flags wrap any
+// experiment in a pprof capture ("profiling the profiler", see
+// README.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"carmot/internal/harness"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table1, accesses, fig6, fig7, fig8, fig9, fig10, fig11, stats, rt")
-		threads  = flag.Int("threads", 24, "simulated thread count for Figure 6")
-		scaleDiv = flag.Int("scalediv", 1, "divide benchmark input scales by this factor (faster runs)")
-		rtIters  = flag.Int("rt-iters", 20, "timed pipeline runs per geometry for -exp rt")
-		rtOut    = flag.String("rt-out", "", "write the -exp rt report as JSON to this file (e.g. BENCH_rt.json)")
+		exp        = flag.String("exp", "all", "experiment to run: all, table1, accesses, fig6, fig7, fig8, fig9, fig10, fig11, stats, rt, interp")
+		threads    = flag.Int("threads", 24, "simulated thread count for Figure 6")
+		scaleDiv   = flag.Int("scalediv", 1, "divide benchmark input scales by this factor (faster runs)")
+		rtIters    = flag.Int("rt-iters", 20, "timed pipeline runs per geometry for -exp rt")
+		rtOut      = flag.String("rt-out", "", "write the -exp rt report as JSON to this file (e.g. BENCH_rt.json)")
+		interpIt   = flag.Int("interp-iters", 20, "timed runs per engine configuration for -exp interp")
+		interpOut  = flag.String("interp-out", "", "write the -exp interp report as JSON to this file (e.g. BENCH_interp.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
 	cfg := harness.Config{Threads: *threads, ScaleDiv: *scaleDiv}
-	if err := run(*exp, cfg, *rtIters, *rtOut); err != nil {
+	err := profiled(*cpuProfile, *memProfile, func() error {
+		return run(*exp, cfg, *rtIters, *rtOut, *interpIt, *interpOut)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "carmot-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg harness.Config, rtIters int, rtOut string) error {
+// profiled runs fn wrapped in the requested pprof captures, making sure
+// the CPU profile is stopped and flushed before the process exits.
+func profiled(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := fn()
+	if memPath != "" {
+		f, merr := os.Create(memPath)
+		if merr != nil {
+			return merr
+		}
+		runtime.GC() // settle the heap so the profile shows live data
+		merr = pprof.WriteHeapProfile(f)
+		f.Close()
+		if merr != nil {
+			return merr
+		}
+	}
+	return err
+}
+
+func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters int, interpOut string) error {
 	all := exp == "all"
 	ran := false
 	if exp == "rt" { // pipeline microbenchmark; deliberately not part of "all"
@@ -53,6 +97,24 @@ func run(exp string, cfg harness.Config, rtIters int, rtOut string) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", rtOut)
+		}
+		return nil
+	}
+	if exp == "interp" { // engine microbenchmark; deliberately not part of "all"
+		rep, err := harness.InterpBench(interpIters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderInterpBench(rep))
+		if interpOut != "" {
+			data, err := harness.MarshalInterpBench(rep)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(interpOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", interpOut)
 		}
 		return nil
 	}

@@ -1,0 +1,161 @@
+package carmot
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"carmot/internal/bench"
+	"carmot/internal/interp"
+)
+
+// engineConfigs is every execution-engine configuration a profiling run
+// can select: both engines, with and without producer-side coalescing.
+// The first entry is the differential oracle — the tree-walker with the
+// combining buffer off, i.e. the simplest possible execution path.
+var engineConfigs = []struct {
+	name     string
+	engine   interp.Engine
+	coalesce bool
+}{
+	{"tree", EngineTree, false},
+	{"tree+coalesce", EngineTree, true},
+	{"bytecode", EngineBytecode, false},
+	{"bytecode+coalesce", EngineBytecode, true},
+}
+
+// profileWith runs one configuration and flattens the result into
+// comparable pieces: marshalled PSEC bytes, the run summary, the
+// diagnostics, and the error text ("" when nil).
+func profileWith(t *testing.T, prog *Program, opts ProfileOptions,
+	engine interp.Engine, coalesce bool) ([]byte, *interp.Result, Diagnostics, string) {
+	t.Helper()
+	opts.Engine = engine
+	opts.NoCoalesce = !coalesce
+	res, err := prog.Profile(opts)
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+	}
+	if res == nil {
+		return nil, nil, Diagnostics{}, errText
+	}
+	psecs, merr := MarshalPSECs(res.PSECs)
+	if merr != nil {
+		t.Fatalf("marshal: %v", merr)
+	}
+	return psecs, res.Run, res.Diagnostics, errText
+}
+
+// assertConfigsAgree profiles prog under every engine configuration and
+// requires byte-identical PSECs plus identical run summaries (cycles,
+// tool cycles, steps, accesses — the full Result), diagnostics, and
+// error text. This is the engine-equivalence contract: the bytecode
+// engine and the combining buffer are pure performance artifacts.
+func assertConfigsAgree(t *testing.T, prog *Program, opts ProfileOptions) {
+	t.Helper()
+	refPSEC, refRun, refDiag, refErr := profileWith(t, prog, opts, EngineTree, false)
+	for _, cfg := range engineConfigs[1:] {
+		psecs, run, diag, errText := profileWith(t, prog, opts, cfg.engine, cfg.coalesce)
+		if errText != refErr {
+			t.Fatalf("%s: error %q, oracle %q", cfg.name, errText, refErr)
+		}
+		if !bytes.Equal(psecs, refPSEC) {
+			t.Fatalf("%s: PSECs differ from tree-walking oracle\noracle:\n%s\ngot:\n%s",
+				cfg.name, refPSEC, psecs)
+		}
+		if (run == nil) != (refRun == nil) || (run != nil && !reflect.DeepEqual(*run, *refRun)) {
+			t.Fatalf("%s: run summary differs\noracle: %+v\ngot:    %+v", cfg.name, refRun, run)
+		}
+		if !reflect.DeepEqual(diag, refDiag) {
+			t.Fatalf("%s: diagnostics differ\noracle: %+v\ngot:    %+v", cfg.name, refDiag, diag)
+		}
+	}
+}
+
+// TestEngineDifferentialBenchCorpus runs every §5 benchmark program
+// through all four engine configurations under the OpenMP use case and
+// requires complete agreement with the tree-walking oracle.
+func TestEngineDifferentialBenchCorpus(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := Compile(b.Name+".mc", b.Source(b.DevScale/4+8), CompileOptions{ProfileOmpRegions: true})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP})
+		})
+	}
+}
+
+// TestEngineDifferentialUseCases pins engine equivalence across every
+// tracking profile (Table 1 decides what the runtime records, so each
+// use case exercises a different mix of emit paths), plus the naive
+// cost model.
+func TestEngineDifferentialUseCases(t *testing.T) {
+	b, err := bench.ByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile("cg.mc", b.Source(40), CompileOptions{ProfileOmpRegions: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, uc := range []UseCase{UseOpenMP, UseTask, UseSmartPointers, UseSTATS, UseFull} {
+		assertConfigsAgree(t, prog, ProfileOptions{UseCase: uc})
+	}
+	assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP, Naive: true})
+}
+
+// TestEngineDifferentialStatsWorkloads covers the #pragma stats corpus,
+// whose fixed/ranged event mix differs from the OpenMP benchmarks.
+func TestEngineDifferentialStatsWorkloads(t *testing.T) {
+	for _, b := range bench.StatsWorkloads() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := Compile(b.Name+".mc", b.Source(b.DevScale), CompileOptions{ProfileStatsRegions: true})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseSTATS})
+		})
+	}
+}
+
+// TestEngineDifferentialBudgets checks that truncation behaves
+// identically: a step budget must cut both engines at the same step with
+// the same partial PSECs and the same diagnostics.
+func TestEngineDifferentialBudgets(t *testing.T) {
+	b, err := bench.ByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile("cg.mc", b.Source(40), CompileOptions{ProfileOmpRegions: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP, MaxSteps: 20_000})
+	assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP, MaxEvents: 500})
+}
+
+// TestEngineDifferentialRuntimeFaults pins identical runtime-error text:
+// the bytecode engine must reproduce the tree-walker's diagnostics for
+// faulting programs, not just for clean ones.
+func TestEngineDifferentialRuntimeFaults(t *testing.T) {
+	srcs := map[string]string{
+		"null deref": `int main() { int* p; return p[0]; }`,
+		"bad store":  `int main() { int* p; p[3] = 1; return 0; }`,
+		"stack overflow": `int f(int n) { int buf[4096]; buf[0] = n; return f(n + 1); }
+int main() { return f(0); }`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Compile("fault.mc", src, CompileOptions{WholeProgramROI: true})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP})
+		})
+	}
+}

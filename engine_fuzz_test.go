@@ -1,0 +1,172 @@
+package carmot
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// engineFuzzSeeds mirrors the front end's fuzz corpus (the lang package's
+// grammar-surface seeds) plus engine-sensitive shapes: strided sweeps
+// that coalesce, alternating-site accesses that don't, float arithmetic,
+// and indirect calls through function pointers.
+var engineFuzzSeeds = []string{
+	"int main() { return 0; }\n",
+	`int N = 16;
+float* a;
+void init() {
+	a = malloc(N);
+	for (int j = 0; j < N; j++) { a[j] = j; }
+}
+int main() {
+	init();
+	float total = 0.0;
+	#pragma carmot roi hot
+	for (int i = 0; i < N; i++) {
+		total = total + a[i] * 2.0;
+	}
+	return total;
+}
+`,
+	`struct node { int val; struct node* next; };
+int main() {
+	struct node* head = malloc(1);
+	head->val = 3;
+	head->next = head;
+	#pragma carmot roi walk
+	while (head->val > 0) { head->val = head->val - 1; }
+	free(head);
+	return 0;
+}
+`,
+	`int hits = 0;
+int main() {
+	int data = 7;
+	#pragma stats input(data) output(hits) state(data)
+	{
+		if (data > 3) { hits = hits + 1; }
+	}
+	return hits;
+}
+`,
+	`int main() {
+	int s = 0;
+	#pragma omp parallel for
+	for (int i = 0; i < 8; i++) { s = s + i; }
+	return s;
+}
+`,
+	"int main() { if (1) { return 1; } else { return 2; } }\n",
+	"int main() { int x = (((((1))))); return x; }\n",
+	"int f(int a, float b) { return a; } int main() { return f(1, 2.0); }\n",
+	"int main() { int a[4]; a[0] = 1; return a[0]; }\n",
+	`int* a;
+int* b;
+int main() {
+	a = malloc(32);
+	b = malloc(32);
+	int s = 0;
+	#pragma carmot roi mix
+	for (int i = 0; i < 32; i++) { a[i] = b[31 - i]; s = s + a[i]; }
+	return s;
+}
+`,
+	`float g(float x) { return x / 3.0; }
+int main() {
+	float acc = 1.0;
+	#pragma carmot roi fl
+	for (int i = 1; i < 20; i++) { acc = acc * 1.5 - g(acc); }
+	return acc;
+}
+`,
+	"int main() { int* p; return p[0]; }\n",
+	"int main() { int x = 5; int y = 0; return x / y; }\n",
+}
+
+// FuzzEngineDifferential feeds arbitrary sources through the whole
+// profiling pipeline under both execution engines (coalescing on for the
+// bytecode engine, since that is the shipping default) and requires
+// agreement on everything observable: PSEC bytes, the run summary, the
+// diagnostics, and error text. Compile failures are skipped — the front
+// end has its own fuzzers — and MaxSteps bounds runaway programs, which
+// also fuzzes identical budget truncation.
+func FuzzEngineDifferential(f *testing.F) {
+	for _, seed := range engineFuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound interpreter work, not front-end robustness
+		}
+		prog, err := Compile("fuzz.mc", src, CompileOptions{WholeProgramROI: true})
+		if err != nil {
+			return
+		}
+		opts := ProfileOptions{UseCase: UseFull, MaxSteps: 200_000}
+
+		opts.Engine = EngineTree
+		opts.NoCoalesce = true
+		refRes, refErr := prog.Profile(opts)
+
+		opts.Engine = EngineBytecode
+		opts.NoCoalesce = false
+		bcRes, bcErr := prog.Profile(opts)
+
+		if (refErr == nil) != (bcErr == nil) ||
+			(refErr != nil && refErr.Error() != bcErr.Error()) {
+			t.Fatalf("error mismatch\ntree:     %v\nbytecode: %v\nsource:\n%s", refErr, bcErr, src)
+		}
+		if (refRes == nil) != (bcRes == nil) {
+			t.Fatalf("result presence mismatch (tree %v, bytecode %v)\nsource:\n%s",
+				refRes != nil, bcRes != nil, src)
+		}
+		if refRes == nil {
+			return
+		}
+		refPSEC, err := MarshalPSECs(refRes.PSECs)
+		if err != nil {
+			t.Fatalf("marshal tree PSECs: %v", err)
+		}
+		bcPSEC, err := MarshalPSECs(bcRes.PSECs)
+		if err != nil {
+			t.Fatalf("marshal bytecode PSECs: %v", err)
+		}
+		if !bytes.Equal(refPSEC, bcPSEC) {
+			t.Fatalf("PSECs differ\ntree:\n%s\nbytecode:\n%s\nsource:\n%s", refPSEC, bcPSEC, src)
+		}
+		if (refRes.Run == nil) != (bcRes.Run == nil) ||
+			(refRes.Run != nil && !reflect.DeepEqual(*refRes.Run, *bcRes.Run)) {
+			t.Fatalf("run summary differs\ntree:     %+v\nbytecode: %+v\nsource:\n%s",
+				refRes.Run, bcRes.Run, src)
+		}
+		if !reflect.DeepEqual(refRes.Diagnostics, bcRes.Diagnostics) {
+			t.Fatalf("diagnostics differ\ntree:     %+v\nbytecode: %+v\nsource:\n%s",
+				refRes.Diagnostics, bcRes.Diagnostics, src)
+		}
+	})
+}
+
+// TestEngineFuzzSeedCorpus keeps the seed corpus honest: at
+// least one seed must compile and profile cleanly, and at least one must
+// produce a runtime fault, so both fuzz branches stay exercised.
+func TestEngineFuzzSeedCorpus(t *testing.T) {
+	clean, faulted := 0, 0
+	for _, src := range engineFuzzSeeds {
+		prog, err := Compile("seed.mc", src, CompileOptions{WholeProgramROI: true})
+		if err != nil {
+			continue
+		}
+		if _, perr := prog.Profile(ProfileOptions{UseCase: UseFull, MaxSteps: 200_000}); perr != nil {
+			faulted++
+		} else {
+			clean++
+		}
+	}
+	if clean == 0 || faulted == 0 {
+		t.Fatalf("seed corpus lost its balance: %d clean, %d faulted profiles", clean, faulted)
+	}
+	if strings.TrimSpace(engineFuzzSeeds[0]) == "" {
+		t.Fatal("first seed must be a program")
+	}
+}

@@ -99,6 +99,23 @@ func genOps(r *rand.Rand) []op {
 					sets: core.SetMask(1 << uint(r.Intn(4))),
 				})
 			}
+		case 10, 11:
+			// Producer-coalesced access runs: same-cell (stride 0) and
+			// strided, with and without use-site attribution, so faults and
+			// journal replays cover the EvAccessRun wire format too.
+			if len(allocs) > 0 {
+				a := allocs[r.Intn(len(allocs))]
+				o := op{
+					kind: rt.EvAccessRun, addr: a.base + uint64(r.Intn(4)),
+					n: int64(2 + r.Intn(16)), stride: uint64(r.Intn(3)),
+					write: r.Intn(2) == 0, site: -1,
+				}
+				if r.Intn(2) == 0 {
+					o.site = int32(r.Intn(2))
+					o.cs = r.Intn(3)
+				}
+				ops = append(ops, o)
+			}
 		default:
 			addr := bases[r.Intn(len(bases))] + uint64(r.Intn(28))
 			if len(allocs) > 0 {
@@ -150,6 +167,8 @@ func run(cfg rt.Config, ops []op) (string, rt.Diagnostics, error) {
 			r.EmitFixed(o.roi, o.addr, o.n, o.sets)
 		case rt.EvAccess:
 			r.EmitAccess(o.addr, o.write, o.site, cs[o.cs])
+		case rt.EvAccessRun:
+			r.EmitAccessRun(o.addr, o.stride, o.n, o.write, o.site, cs[o.cs])
 		default:
 			panic(fmt.Sprintf("op %d: unhandled kind %d", i, o.kind))
 		}

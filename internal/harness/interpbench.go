@@ -1,0 +1,162 @@
+// Interpreter microbenchmark (the BENCH_interp.json experiment): profiles
+// one full benchmark program under every engine x coalescing combination
+// and reports end-to-end throughput. The bytecode engine plus the
+// producer-side combining buffer is the shipping default; the tree-walker
+// with coalescing off is the differential oracle and the speedup
+// baseline. Every timed run's PSECs are checked byte-identical against
+// the oracle's, so the experiment doubles as an engine-equivalence test.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"carmot"
+	"carmot/internal/bench"
+	"carmot/internal/interp"
+)
+
+// InterpBenchRow is one measured engine configuration.
+type InterpBenchRow struct {
+	Engine       string  `json:"engine"`
+	Coalesce     bool    `json:"coalesce"`
+	Iterations   int     `json:"iterations"`
+	InstrsPerOp  int64   `json:"instrs_per_op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	NsPerInstr   float64 `json:"ns_per_instr"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+	// Speedup is this row's throughput relative to the tree-walker
+	// without coalescing (the pre-bytecode behavior).
+	Speedup float64 `json:"speedup_vs_tree"`
+}
+
+// InterpBenchReport is the full machine-readable experiment output.
+type InterpBenchReport struct {
+	Workload   string           `json:"workload"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Rows       []InterpBenchRow `json:"rows"`
+}
+
+type interpBenchCfg struct {
+	name     string
+	engine   interp.Engine
+	coalesce bool
+}
+
+var interpBenchCfgs = []interpBenchCfg{
+	{"tree", carmot.EngineTree, false},
+	{"tree", carmot.EngineTree, true},
+	{"bytecode", carmot.EngineBytecode, false},
+	{"bytecode", carmot.EngineBytecode, true},
+}
+
+// InterpBench profiles the cg benchmark (scale 500, the
+// BenchmarkProfiledRun workload) under all four engine x coalescing
+// combinations, iters timed runs each after one warm-up, verifying every
+// run's PSECs byte-identical against the tree-walking oracle.
+func InterpBench(iters int) (InterpBenchReport, error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	bm, err := bench.ByName("cg")
+	if err != nil {
+		return InterpBenchReport{}, err
+	}
+	src := bm.Source(500)
+	rep := InterpBenchReport{
+		Workload:   "cg scale 500, UseOpenMP, ProfileOmpRegions (the BenchmarkProfiledRun workload)",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	oracle, _, err := interpBenchRun(src, interpBenchCfgs[0])
+	if err != nil {
+		return rep, err
+	}
+	var baseline float64
+	for _, cfg := range interpBenchCfgs {
+		// Warm-up doubles as the equivalence check for this configuration.
+		psecs, _, err := interpBenchRun(src, cfg)
+		if err != nil {
+			return rep, err
+		}
+		if !bytes.Equal(psecs, oracle) {
+			return rep, fmt.Errorf("%s coalesce=%v: PSECs differ from the tree-walking oracle", cfg.name, cfg.coalesce)
+		}
+		start := time.Now()
+		var instrs int64
+		for i := 0; i < iters; i++ {
+			_, steps, err := interpBenchRun(src, cfg)
+			if err != nil {
+				return rep, err
+			}
+			instrs = steps
+		}
+		elapsed := time.Since(start)
+		nsOp := float64(elapsed.Nanoseconds()) / float64(iters)
+		row := InterpBenchRow{
+			Engine:       cfg.name,
+			Coalesce:     cfg.coalesce,
+			Iterations:   iters,
+			InstrsPerOp:  instrs,
+			NsPerOp:      nsOp,
+			NsPerInstr:   nsOp / float64(instrs),
+			InstrsPerSec: float64(instrs) / (nsOp / 1e9),
+		}
+		if baseline == 0 {
+			baseline = nsOp
+		}
+		row.Speedup = baseline / nsOp
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// interpBenchRun compiles and profiles the source once under the given
+// configuration, returning the marshalled PSECs and the step count.
+func interpBenchRun(src string, cfg interpBenchCfg) ([]byte, int64, error) {
+	prog, err := carmot.Compile("cg.mc", src, carmot.CompileOptions{ProfileOmpRegions: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := prog.Profile(carmot.ProfileOptions{
+		UseCase: carmot.UseOpenMP, Engine: cfg.engine, NoCoalesce: !cfg.coalesce,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	psecs, err := carmot.MarshalPSECs(res.PSECs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return psecs, res.Run.Steps, nil
+}
+
+// RenderInterpBench formats the report as a text table.
+func RenderInterpBench(rep InterpBenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Interpreter throughput (%s)\n", rep.Workload)
+	fmt.Fprintf(&sb, "%-20s %12s %12s %14s %10s\n",
+		"configuration", "ms/op", "ns/instr", "instrs/sec", "speedup")
+	for _, r := range rep.Rows {
+		name := r.Engine
+		if r.Coalesce {
+			name += "+coalesce"
+		}
+		fmt.Fprintf(&sb, "%-20s %12.2f %12.2f %14.0f %9.2fx\n",
+			name, r.NsPerOp/1e6, r.NsPerInstr, r.InstrsPerSec, r.Speedup)
+	}
+	return sb.String()
+}
+
+// MarshalInterpBench encodes the report as indented JSON
+// (BENCH_interp.json).
+func MarshalInterpBench(rep InterpBenchReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -3,6 +3,14 @@
 // PSEC-specific optimizations of §4.4 as independent toggles so that the
 // naive baseline (all off) and the per-optimization ablation of Figure 8
 // come from the same planner.
+//
+// Static aggregation (opt 2) is complemented at run time by the
+// producer-side combining buffer (rt.Coalescer): what the planner cannot
+// prove affine here, the interpreter's emit path still merges dynamically
+// into ranged EvAccessRun events when consecutive accesses happen to
+// share a site and a constant stride. The two layers are independent —
+// the planner shrinks the set of instrumented instructions, the coalescer
+// shrinks the wire traffic the survivors generate.
 package instrument
 
 import (

@@ -1,0 +1,381 @@
+package interp
+
+// The bytecode engine's execution loop: a flat program counter over the
+// compiled instruction stream, dispatched by a switch on a dense uint8
+// opcode. It must stay observationally identical to exec.go's tree-walker
+// — same counters, same events in the same order, same error text — so
+// every case mirrors its tree-walker counterpart statement for statement;
+// the only differences are pre-resolved operands and the absence of
+// per-instruction interface dispatch.
+
+import (
+	"fmt"
+	"math"
+
+	"carmot/internal/core"
+)
+
+// fetch resolves a pre-compiled operand against the frame.
+func fetch(fr *frame, mode uint8, payload uint64) uint64 {
+	switch mode {
+	case opdImm:
+		return payload
+	case opdTemp:
+		return fr.temps[payload]
+	case opdArg:
+		return fr.args[payload]
+	default: // opdFrame
+		return fr.base + payload
+	}
+}
+
+// costBC mirrors addCost for a pre-costed bytecode word.
+func (it *Interp) costBC(in *bcInstr) {
+	c := int64(in.cost)
+	it.cycles += c
+	if in.flags&bfSerial != 0 {
+		it.serialCycles += c
+	}
+}
+
+func (it *Interp) execBC(fr *frame) (uint64, error) {
+	cf := fr.cf
+	code := cf.code
+	r := it.opts.Runtime
+	maxSteps := it.opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = math.MaxInt64 // no limit: one compare instead of two
+	}
+	pc := 0
+	for {
+		in := &code[pc]
+		cur := pc
+		pc++
+		it.steps++
+		if it.steps > maxSteps {
+			return 0, &BudgetError{Reason: fmt.Sprintf("step limit exceeded (%d)", it.opts.MaxSteps)}
+		}
+		if it.steps&budgetCheckMask == 0 {
+			if berr := it.checkBudget(); berr != nil {
+				return 0, berr
+			}
+		}
+
+		switch in.op {
+		case opAlloca:
+			addr := fr.base + in.a
+			fr.temps[in.dst] = addr
+			it.costBC(in)
+			if r != nil && in.flags&bfTrack != 0 {
+				it.flushCoalesced()
+				r.EmitAlloc(addr, in.imm, it.curCS(), cf.allocas[in.ext])
+				it.toolCycles += costAllocEvent
+			}
+
+		case opLoad:
+			addr := fetch(fr, in.amode, in.a)
+			if addr == 0 || addr >= uint64(len(it.mem)) {
+				return 0, it.errf(cf.poss[cur], "invalid load address %d", addr)
+			}
+			fr.temps[in.dst] = it.mem[addr]
+			it.costBC(in)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			if r != nil && in.flags&bfTrack != 0 {
+				it.emitAccess(addr, false, in.site, it.frameCS(fr))
+				it.toolCycles += it.eventCost
+			}
+
+		case opStore:
+			addr := fetch(fr, in.amode, in.a)
+			if addr == 0 || addr >= uint64(len(it.mem)) {
+				return 0, it.errf(cf.poss[cur], "invalid store address %d", addr)
+			}
+			val := fetch(fr, in.bmode, in.b)
+			it.mem[addr] = val
+			it.costBC(in)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			if r != nil && in.flags&bfTrack != 0 {
+				if it.prof.Sets {
+					it.emitAccess(addr, true, in.site, it.frameCS(fr))
+					it.toolCycles += it.eventCost
+				}
+				if it.prof.Reach && in.flags&bfPtrStore != 0 && val != 0 && val < uint64(len(it.mem)) {
+					it.flushCoalesced()
+					r.EmitEscape(addr, val)
+					it.toolCycles += costEscapeEvent
+				}
+			}
+
+		case opAddI:
+			fr.temps[in.dst] = fetch(fr, in.amode, in.a) + fetch(fr, in.bmode, in.b)
+			it.costBC(in)
+		case opSubI:
+			fr.temps[in.dst] = fetch(fr, in.amode, in.a) - fetch(fr, in.bmode, in.b)
+			it.costBC(in)
+		case opMulI:
+			fr.temps[in.dst] = fetch(fr, in.amode, in.a) * fetch(fr, in.bmode, in.b)
+			it.costBC(in)
+		case opDivI:
+			b := int64(fetch(fr, in.bmode, in.b))
+			if b == 0 {
+				return 0, it.errf(cf.poss[cur], "integer division by zero")
+			}
+			fr.temps[in.dst] = uint64(int64(fetch(fr, in.amode, in.a)) / b)
+			it.costBC(in)
+		case opRemI:
+			b := int64(fetch(fr, in.bmode, in.b))
+			if b == 0 {
+				return 0, it.errf(cf.poss[cur], "integer remainder by zero")
+			}
+			fr.temps[in.dst] = uint64(int64(fetch(fr, in.amode, in.a)) % b)
+			it.costBC(in)
+		case opEqI:
+			fr.temps[in.dst] = b2i(fetch(fr, in.amode, in.a) == fetch(fr, in.bmode, in.b))
+			it.costBC(in)
+		case opNeI:
+			fr.temps[in.dst] = b2i(fetch(fr, in.amode, in.a) != fetch(fr, in.bmode, in.b))
+			it.costBC(in)
+		case opLtI:
+			fr.temps[in.dst] = b2i(int64(fetch(fr, in.amode, in.a)) < int64(fetch(fr, in.bmode, in.b)))
+			it.costBC(in)
+		case opLeI:
+			fr.temps[in.dst] = b2i(int64(fetch(fr, in.amode, in.a)) <= int64(fetch(fr, in.bmode, in.b)))
+			it.costBC(in)
+		case opGtI:
+			fr.temps[in.dst] = b2i(int64(fetch(fr, in.amode, in.a)) > int64(fetch(fr, in.bmode, in.b)))
+			it.costBC(in)
+		case opGeI:
+			fr.temps[in.dst] = b2i(int64(fetch(fr, in.amode, in.a)) >= int64(fetch(fr, in.bmode, in.b)))
+			it.costBC(in)
+
+		case opAddF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = math.Float64bits(a + b)
+			it.costBC(in)
+		case opSubF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = math.Float64bits(a - b)
+			it.costBC(in)
+		case opMulF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = math.Float64bits(a * b)
+			it.costBC(in)
+		case opDivF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = math.Float64bits(a / b)
+			it.costBC(in)
+		case opEqF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = b2i(a == b)
+			it.costBC(in)
+		case opNeF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = b2i(a != b)
+			it.costBC(in)
+		case opLtF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = b2i(a < b)
+			it.costBC(in)
+		case opLeF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = b2i(a <= b)
+			it.costBC(in)
+		case opGtF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = b2i(a > b)
+			it.costBC(in)
+		case opGeF:
+			a, b := f2(fr, in)
+			fr.temps[in.dst] = b2i(a >= b)
+			it.costBC(in)
+
+		case opConvItoF:
+			fr.temps[in.dst] = math.Float64bits(float64(int64(fetch(fr, in.amode, in.a))))
+			it.costBC(in)
+		case opConvFtoI:
+			fr.temps[in.dst] = uint64(int64(math.Float64frombits(fetch(fr, in.amode, in.a))))
+			it.costBC(in)
+
+		case opGEP:
+			b := int64(fetch(fr, in.amode, in.a))
+			if in.flags&bfHasB != 0 {
+				b += int64(fetch(fr, in.bmode, in.b)) * in.imm
+			}
+			b += in.imm2
+			fr.temps[in.dst] = uint64(b)
+			it.costBC(in)
+
+		case opMalloc:
+			count := int64(fetch(fr, in.amode, in.a))
+			if count < 0 {
+				return 0, it.errf(cf.poss[cur], "malloc with negative count %d", count)
+			}
+			cells := count * in.imm
+			if cells == 0 {
+				cells = 1
+			}
+			ms := &cf.mallocs[in.ext]
+			addr := it.heapTop
+			it.heapTop += uint64(cells)
+			it.ensure(it.heapTop)
+			it.liveHeap[addr] = heapRec{cells: cells, pos: ms.pos}
+			fr.temps[in.dst] = addr
+			it.costBC(in)
+			if r != nil && in.flags&bfTrack != 0 {
+				it.flushCoalesced()
+				r.EmitAlloc(addr, cells, it.curCS(), ms.meta)
+				it.toolCycles += costAllocEvent
+			}
+
+		case opFree:
+			addr := fetch(fr, in.amode, in.a)
+			if _, ok := it.liveHeap[addr]; !ok {
+				return 0, it.errf(cf.poss[cur], "free of invalid pointer %d", addr)
+			}
+			delete(it.liveHeap, addr)
+			it.costBC(in)
+			if r != nil && in.flags&bfTrack != 0 {
+				it.flushCoalesced()
+				r.EmitFree(addr)
+				it.toolCycles += costAllocEvent
+			}
+
+		case opCall:
+			res, err := it.bcCall(&cf.calls[in.ext], fr)
+			if err != nil {
+				return 0, err
+			}
+			spec := &cf.calls[in.ext]
+			if !spec.void {
+				fr.temps[in.dst] = res
+			}
+			it.costBC(in)
+
+		case opRet:
+			it.costBC(in)
+			if in.flags&bfHasB != 0 {
+				return fetch(fr, in.amode, in.a), nil
+			}
+			return 0, nil
+
+		case opJmp:
+			it.costBC(in)
+			pc = int(in.imm)
+
+		case opCondJmp:
+			it.costBC(in)
+			if fetch(fr, in.amode, in.a) != 0 {
+				pc = int(in.imm)
+			} else {
+				pc = int(in.imm2)
+			}
+
+		case opROIBegin:
+			roi := cf.rois[in.ext]
+			if r != nil {
+				it.flushCoalesced()
+				r.BeginROI(roi.ID)
+			}
+			if it.opts.Sink != nil {
+				it.opts.Sink.ROIBoundary(true, roi, it.cycles, it.serialCycles)
+			}
+
+		case opROIEnd:
+			roi := cf.rois[in.ext]
+			if r != nil {
+				it.flushCoalesced()
+				r.EndROI(roi.ID)
+			}
+			if it.opts.Sink != nil {
+				it.opts.Sink.ROIBoundary(false, roi, it.cycles, it.serialCycles)
+			}
+
+		case opMark:
+			if it.opts.Sink != nil {
+				m := cf.marks[in.ext]
+				it.opts.Sink.Mark(m.Kind, m.Region, m.Task, it.cycles, it.serialCycles)
+			}
+
+		case opRanged:
+			if r != nil {
+				addr := fetch(fr, in.amode, in.a)
+				count := int64(fetch(fr, in.bmode, in.b))
+				if count > 0 {
+					it.flushCoalesced()
+					r.EmitRange(in.dst, in.flags&bfWrite != 0, addr, count, uint64(in.imm))
+					it.toolCycles += costRangedEmit
+				}
+			}
+
+		case opFixed:
+			if r != nil {
+				addr := fetch(fr, in.amode, in.a)
+				it.flushCoalesced()
+				r.EmitFixed(in.dst, addr, in.imm, core.SetMask(in.imm2))
+				it.toolCycles += costFixedEmit
+			}
+
+		default: // opBadOp
+			return 0, it.errf(cf.poss[cur], "%s", cf.msgs[in.ext])
+		}
+	}
+}
+
+// f2 fetches both operands as floats.
+func f2(fr *frame, in *bcInstr) (float64, float64) {
+	return math.Float64frombits(fetch(fr, in.amode, in.a)),
+		math.Float64frombits(fetch(fr, in.bmode, in.b))
+}
+
+// bcCall evaluates a pre-bound call site's arguments into the shared
+// scratch and dispatches, mirroring execCall.
+func (it *Interp) bcCall(spec *callSpec, fr *frame) (uint64, error) {
+	mark := len(it.argScratch)
+	for i := range spec.args {
+		it.argScratch = append(it.argScratch, fetch(fr, spec.args[i].mode, spec.args[i].val))
+	}
+	args := it.argScratch[mark:]
+
+	fn, ext := spec.target, spec.extern
+	if spec.indirect {
+		id := fetch(fr, spec.callee.mode, spec.callee.val)
+		switch {
+		case id == 0:
+			it.argScratch = it.argScratch[:mark]
+			return 0, it.errf(spec.pos, "call through null function pointer")
+		case id <= uint64(len(it.funcIDs)):
+			fn = it.funcIDs[id-1]
+		case id <= uint64(len(it.funcIDs)+len(it.externIDs)):
+			ext = it.externIDs[id-uint64(len(it.funcIDs))-1]
+		default:
+			it.argScratch = it.argScratch[:mark]
+			return 0, it.errf(spec.pos, "call through invalid function pointer %d", id)
+		}
+	}
+	var res uint64
+	var err error
+	if fn != nil {
+		if len(args) != len(fn.Params) {
+			it.argScratch = it.argScratch[:mark]
+			return 0, it.errf(spec.pos, "call to %s with %d args, want %d", fn.Name, len(args), len(fn.Params))
+		}
+		if spec.pinGated && it.opts.Runtime != nil {
+			// The Pintool probes this site because it cannot rule out a
+			// jump into precompiled code.
+			it.toolCycles += costPinCall
+		}
+		res, err = it.call(fn, args, spec.pos)
+	} else {
+		res, err = it.callExtern(spec.x, ext, args, spec.pos)
+	}
+	it.argScratch = it.argScratch[:mark]
+	return res, err
+}

@@ -1,0 +1,410 @@
+package interp
+
+// The bytecode compiler. Each ir.Func is translated once, on first call,
+// into a flat []bcInstr stream the switch-dispatch loop in bc.go executes
+// with no interface dispatch and no per-instruction ir.Base calls. The
+// translation is strictly 1:1 — one bytecode word per IR instruction, in
+// block order, with branch targets patched to instruction indexes — so
+// every observable counter (steps, cycles, serial cycles, tool cycles,
+// access tallies) advances exactly as it does in the tree-walker, which
+// is what makes the two engines differentiable bit-for-bit.
+//
+// Everything the tree-walker resolves per execution is resolved here per
+// compilation: operand kinds become (mode, payload) pairs, constants and
+// global/function addresses fold to immediates, alloca frame offsets and
+// allocation metadata are precomputed, and call sites pre-bind their
+// callee (or pre-classify as indirect).
+
+import (
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/rt"
+
+	"carmot/internal/core"
+)
+
+type bcOp uint8
+
+const (
+	opAlloca bcOp = iota
+	opLoad
+	opStore
+	opAddI
+	opSubI
+	opMulI
+	opDivI
+	opRemI
+	opEqI
+	opNeI
+	opLtI
+	opLeI
+	opGtI
+	opGeI
+	opAddF
+	opSubF
+	opMulF
+	opDivF
+	opEqF
+	opNeF
+	opLtF
+	opLeF
+	opGtF
+	opGeF
+	opConvItoF
+	opConvFtoI
+	opGEP
+	opMalloc
+	opFree
+	opCall
+	opRet
+	opJmp
+	opCondJmp
+	opROIBegin
+	opROIEnd
+	opMark
+	opRanged
+	opFixed
+	// opBadOp reproduces the tree-walker's runtime error for an
+	// instruction it cannot execute ("bad float op", unhandled kinds);
+	// the error fires only if the instruction is actually reached.
+	opBadOp
+)
+
+// bcInstr flag bits.
+const (
+	bfSerial   = 1 << iota // cost also accrues to serialCycles
+	bfTrack                // instrumentation fires (Track == TrackOn)
+	bfSym                  // load/store names a variable (access tallies)
+	bfPtrStore             // store may create a reachability edge
+	bfHasB                 // optional second operand present (GEP index, Ret value)
+	bfWrite                // ranged event is a write
+)
+
+// Operand addressing modes: how a bcInstr's a/b payload resolves.
+const (
+	opdImm   uint8 = iota // payload is the value (consts, globals, fnptrs)
+	opdTemp               // payload indexes the frame's temps
+	opdArg                // payload indexes the frame's args
+	opdFrame              // payload is an offset from the frame's alloca base
+)
+
+// bcInstr is one fixed-width bytecode word. Operands a and b carry their
+// addressing mode beside them; imm/imm2 are pre-folded immediates whose
+// meaning is per-opcode (branch targets, scales, cell counts); ext indexes
+// the side tables on compiledFunc for the cold payloads (allocation
+// metadata, call specs, ROIs, markers).
+type bcInstr struct {
+	a     uint64
+	b     uint64
+	imm   int64
+	imm2  int64
+	dst   int32
+	site  int32
+	ext   int32
+	cost  int32
+	op    bcOp
+	amode uint8
+	bmode uint8
+	flags uint8
+}
+
+// opdSpec is a pre-resolved operand in a side table (call arguments).
+type opdSpec struct {
+	mode uint8
+	val  uint64
+}
+
+// callSpec is one pre-bound call site.
+type callSpec struct {
+	x        *ir.Call
+	args     []opdSpec
+	target   *ir.Func   // direct MiniC callee
+	extern   *ir.Extern // direct native callee
+	callee   opdSpec    // evaluated when indirect
+	indirect bool
+	pinGated bool
+	void     bool
+	pos      lang.Pos
+}
+
+// mallocSpec carries a malloc site's precomputed identity.
+type mallocSpec struct {
+	pos  string
+	meta *rt.AllocMeta // nil when the site is untracked
+}
+
+// compiledFunc is one function's bytecode plus its cold side tables.
+type compiledFunc struct {
+	fn      *ir.Func
+	code    []bcInstr
+	poss    []lang.Pos      // source position per pc (runtime errors)
+	allocas []*rt.AllocMeta // opAlloca ext (nil when untracked)
+	mallocs []mallocSpec    // opMalloc ext
+	calls   []callSpec      // opCall ext
+	rois    []*ir.ROI       // opROIBegin/opROIEnd ext
+	marks   []*ir.Mark      // opMark ext
+	msgs    []string        // opBadOp ext
+}
+
+func (it *Interp) compiledOf(fn *ir.Func) *compiledFunc {
+	if cf, ok := it.compiled[fn]; ok {
+		return cf
+	}
+	cf := it.compile(fn)
+	it.compiled[fn] = cf
+	return cf
+}
+
+// operand lowers an ir.Value exactly as eval resolves it at runtime.
+func (it *Interp) operand(lay *funcLayout, v ir.Value) opdSpec {
+	switch x := v.(type) {
+	case *ir.Const:
+		return opdSpec{opdImm, constBits(x)}
+	case *ir.Alloca:
+		return opdSpec{opdFrame, lay.offsets[x.Index]}
+	case *ir.GlobalAddr:
+		return opdSpec{opdImm, it.globalOff[x.Global]}
+	case *ir.Param:
+		return opdSpec{opdArg, uint64(x.Index)}
+	case *ir.FuncRef:
+		return opdSpec{opdImm, it.fnptrOf(x)}
+	}
+	if in, ok := v.(ir.Instr); ok {
+		return opdSpec{opdTemp, uint64(ir.Base(in).Temp)}
+	}
+	panic("interp: unknown value kind")
+}
+
+var intOps = map[ir.BinOp]bcOp{
+	ir.OpAdd: opAddI, ir.OpSub: opSubI, ir.OpMul: opMulI,
+	ir.OpDiv: opDivI, ir.OpRem: opRemI,
+	ir.OpEq: opEqI, ir.OpNe: opNeI, ir.OpLt: opLtI,
+	ir.OpLe: opLeI, ir.OpGt: opGtI, ir.OpGe: opGeI,
+}
+
+var floatOps = map[ir.BinOp]bcOp{
+	ir.OpAdd: opAddF, ir.OpSub: opSubF, ir.OpMul: opMulF,
+	ir.OpDiv: opDivF,
+	ir.OpEq: opEqF, ir.OpNe: opNeF, ir.OpLt: opLtF,
+	ir.OpLe: opLeF, ir.OpGt: opGtF, ir.OpGe: opGeF,
+}
+
+func (it *Interp) compile(fn *ir.Func) *compiledFunc {
+	lay := it.layouts[fn]
+	cf := &compiledFunc{fn: fn}
+	blockPC := map[*ir.Block]int{}
+	type patch struct {
+		pc   int
+		a, b *ir.Block // Br target, or CondBr true/false
+	}
+	var patches []patch
+
+	setA := func(bi *bcInstr, v ir.Value) {
+		o := it.operand(lay, v)
+		bi.amode, bi.a = o.mode, o.val
+	}
+	setB := func(bi *bcInstr, v ir.Value) {
+		o := it.operand(lay, v)
+		bi.bmode, bi.b = o.mode, o.val
+	}
+
+	for _, blk := range fn.Blocks {
+		blockPC[blk] = len(cf.code)
+		for _, in := range blk.Instrs {
+			base := ir.Base(in)
+			bi := bcInstr{dst: int32(base.Temp), site: base.Site, ext: -1}
+			if base.Serial {
+				bi.flags |= bfSerial
+			}
+			if base.Track == ir.TrackOn {
+				bi.flags |= bfTrack
+			}
+
+			switch x := in.(type) {
+			case *ir.Alloca:
+				bi.op = opAlloca
+				bi.cost = costAlloca
+				bi.a = lay.offsets[x.Index]
+				bi.imm = int64(x.Cells)
+				if base.Track == ir.TrackOn {
+					kind := core.PSEStackMem
+					if x.Sym != nil && x.Sym.Type.IsScalar() {
+						kind = core.PSEVariable
+					}
+					name := "<tmp>"
+					pos := base.Pos
+					if x.Sym != nil {
+						name = x.Sym.Name
+						pos = x.Sym.Pos
+					}
+					bi.ext = int32(len(cf.allocas))
+					cf.allocas = append(cf.allocas, &rt.AllocMeta{Kind: kind, Name: name, Pos: pos.String()})
+				}
+
+			case *ir.Load:
+				bi.op = opLoad
+				bi.cost = costLoad
+				setA(&bi, x.Addr)
+				if x.Sym != nil {
+					bi.flags |= bfSym
+				}
+
+			case *ir.Store:
+				bi.op = opStore
+				bi.cost = costStore
+				setA(&bi, x.Addr)
+				setB(&bi, x.Val)
+				if x.Sym != nil {
+					bi.flags |= bfSym
+				}
+				if x.PtrStore {
+					bi.flags |= bfPtrStore
+				}
+
+			case *ir.Bin:
+				ops, bad := intOps, "bad int op"
+				bi.cost = costBin
+				if x.Float {
+					ops, bad = floatOps, "bad float op"
+				}
+				if x.Op == ir.OpDiv || x.Op == ir.OpRem {
+					bi.cost = costDivBin
+				}
+				op, ok := ops[x.Op]
+				if !ok {
+					bi.op = opBadOp
+					bi.ext = int32(len(cf.msgs))
+					cf.msgs = append(cf.msgs, bad)
+					break
+				}
+				bi.op = op
+				setA(&bi, x.L)
+				setB(&bi, x.R)
+
+			case *ir.Convert:
+				if x.ToFloat {
+					bi.op = opConvItoF
+				} else {
+					bi.op = opConvFtoI
+				}
+				bi.cost = costConvert
+				setA(&bi, x.X)
+
+			case *ir.GEP:
+				bi.op = opGEP
+				bi.cost = costGEP
+				setA(&bi, x.Base)
+				if x.Index != nil {
+					bi.flags |= bfHasB
+					setB(&bi, x.Index)
+				}
+				bi.imm = x.Scale
+				bi.imm2 = x.Offset
+
+			case *ir.Malloc:
+				bi.op = opMalloc
+				bi.cost = costMalloc
+				setA(&bi, x.Count)
+				bi.imm = x.ElemCells
+				ms := mallocSpec{pos: base.Pos.String()}
+				if base.Track == ir.TrackOn {
+					name := x.Hint
+					if name == "" {
+						name = "heap<" + x.TypeName + ">"
+					}
+					ms.meta = &rt.AllocMeta{Kind: core.PSEHeap, Name: name, Pos: ms.pos}
+				}
+				bi.ext = int32(len(cf.mallocs))
+				cf.mallocs = append(cf.mallocs, ms)
+
+			case *ir.Free:
+				bi.op = opFree
+				bi.cost = costFree
+				setA(&bi, x.Ptr)
+
+			case *ir.Call:
+				bi.op = opCall
+				bi.cost = costCall
+				spec := callSpec{x: x, pinGated: x.PinGated, void: x.Cls == ir.ClassVoid, pos: base.Pos}
+				for _, a := range x.Args {
+					spec.args = append(spec.args, it.operand(lay, a))
+				}
+				if fref := x.DirectTarget(); fref != nil {
+					spec.target, spec.extern = fref.Func, fref.Extern
+				} else {
+					spec.indirect = true
+					spec.callee = it.operand(lay, x.Callee)
+				}
+				bi.ext = int32(len(cf.calls))
+				cf.calls = append(cf.calls, spec)
+
+			case *ir.Ret:
+				bi.op = opRet
+				bi.cost = costRet
+				if x.Val != nil {
+					bi.flags |= bfHasB
+					setA(&bi, x.Val)
+				}
+
+			case *ir.Br:
+				bi.op = opJmp
+				bi.cost = costBr
+				patches = append(patches, patch{pc: len(cf.code), a: x.Target})
+
+			case *ir.CondBr:
+				bi.op = opCondJmp
+				bi.cost = costBr
+				setA(&bi, x.Cond)
+				patches = append(patches, patch{pc: len(cf.code), a: x.True, b: x.False})
+
+			case *ir.ROIBegin:
+				bi.op = opROIBegin
+				bi.ext = int32(len(cf.rois))
+				cf.rois = append(cf.rois, x.ROI)
+
+			case *ir.ROIEnd:
+				bi.op = opROIEnd
+				bi.ext = int32(len(cf.rois))
+				cf.rois = append(cf.rois, x.ROI)
+
+			case *ir.Mark:
+				bi.op = opMark
+				bi.ext = int32(len(cf.marks))
+				cf.marks = append(cf.marks, x)
+
+			case *ir.RangedEvent:
+				bi.op = opRanged
+				setA(&bi, x.Base)
+				setB(&bi, x.Count)
+				bi.imm = x.Stride
+				bi.dst = int32(x.ROI.ID)
+				if x.IsWrite {
+					bi.flags |= bfWrite
+				}
+
+			case *ir.FixedClass:
+				bi.op = opFixed
+				setA(&bi, x.Base)
+				bi.imm = x.Cells
+				bi.imm2 = int64(x.Sets)
+				bi.dst = int32(x.ROI.ID)
+
+			default:
+				bi.op = opBadOp
+				bi.ext = int32(len(cf.msgs))
+				cf.msgs = append(cf.msgs, "interp: unhandled instruction "+in.Mnemonic())
+			}
+
+			cf.poss = append(cf.poss, base.Pos)
+			cf.code = append(cf.code, bi)
+		}
+	}
+
+	for _, p := range patches {
+		cf.code[p.pc].imm = int64(blockPC[p.a])
+		if p.b != nil {
+			cf.code[p.pc].imm2 = int64(blockPC[p.b])
+		}
+	}
+	return cf
+}

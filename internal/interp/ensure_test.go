@@ -1,0 +1,88 @@
+package interp
+
+import "testing"
+
+// TestEnsureResliceZeroes covers the in-place growth path: when the
+// requested length fits the existing capacity, ensure must reslice and
+// explicitly zero the newly exposed cells — append never guarantees the
+// grown tail is clean, and interpreter memory is defined to read zero
+// until written.
+func TestEnsureResliceZeroes(t *testing.T) {
+	backing := make([]uint64, 8192)
+	for i := range backing {
+		backing[i] = 0xdeadbeef
+	}
+	it := &Interp{mem: backing[:100]}
+	it.ensure(200)
+	if want := uint64(200 + 4096); uint64(len(it.mem)) != want {
+		t.Fatalf("len = %d, want %d (n+4096 schedule)", len(it.mem), want)
+	}
+	if &it.mem[0] != &backing[0] {
+		t.Fatalf("ensure copied despite sufficient capacity")
+	}
+	for i := 100; i < len(it.mem); i++ {
+		if it.mem[i] != 0 {
+			t.Fatalf("mem[%d] = %#x after reslice, want 0", i, it.mem[i])
+		}
+	}
+}
+
+// TestEnsureCopyDoublesCapacity covers the reallocation path: capacity at
+// least doubles, content is preserved, and the exposed tail reads zero.
+func TestEnsureCopyDoublesCapacity(t *testing.T) {
+	it := &Interp{mem: make([]uint64, 100, 128)}
+	for i := range it.mem {
+		it.mem[i] = uint64(i)
+	}
+	it.ensure(200)
+	if want := uint64(200 + 4096); uint64(len(it.mem)) != want {
+		t.Fatalf("len = %d, want %d", len(it.mem), want)
+	}
+	if cap(it.mem) < 2*128 {
+		t.Fatalf("cap = %d, want at least doubled (>= 256)", cap(it.mem))
+	}
+	for i := 0; i < 100; i++ {
+		if it.mem[i] != uint64(i) {
+			t.Fatalf("mem[%d] = %d after copy, want %d", i, it.mem[i], i)
+		}
+	}
+	for i := 100; i < len(it.mem); i++ {
+		if it.mem[i] != 0 {
+			t.Fatalf("mem[%d] = %d after copy, want 0", i, it.mem[i])
+		}
+	}
+}
+
+// TestEnsureNoopWithinLength verifies ensure leaves memory alone when the
+// requested length is already covered.
+func TestEnsureNoopWithinLength(t *testing.T) {
+	it := &Interp{mem: make([]uint64, 500)}
+	p := &it.mem[0]
+	it.ensure(400)
+	if len(it.mem) != 500 || &it.mem[0] != p {
+		t.Fatalf("ensure(400) changed a 500-cell memory (len=%d)", len(it.mem))
+	}
+}
+
+// TestEnsureSparseStoreCellSweep drives ensure through native.Env's
+// StoreCell with widely spaced addresses, the pattern that made the old
+// fixed-step growth loop quadratic: each store must land in one grow,
+// values must persist across growths, and untouched cells must read zero.
+func TestEnsureSparseStoreCellSweep(t *testing.T) {
+	it := &Interp{mem: make([]uint64, 1024, 1024+(1<<16))}
+	addrs := []uint64{5_000, 40_000, 300_000, 1_000_000, 2_500_000}
+	for i, a := range addrs {
+		it.StoreCell(a, uint64(i)+1)
+		if want := a + 1 + 4096; uint64(len(it.mem)) != want {
+			t.Fatalf("after StoreCell(%d): len = %d, want %d", a, len(it.mem), want)
+		}
+	}
+	for i, a := range addrs {
+		if got := it.LoadCell(a); got != uint64(i)+1 {
+			t.Fatalf("LoadCell(%d) = %d, want %d", a, got, i+1)
+		}
+		if got := it.LoadCell(a + 1); got != 0 {
+			t.Fatalf("LoadCell(%d) = %d, want 0 (untouched neighbor)", a+1, got)
+		}
+	}
+}

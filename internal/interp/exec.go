@@ -57,7 +57,8 @@ const (
 	costPerCell = 2 // native memory functions, per cell touched
 )
 
-// call pushes a frame, executes fn, and returns its result bits.
+// call pushes a frame, executes fn on the selected engine, and returns
+// its result bits.
 func (it *Interp) call(fn *ir.Func, args []uint64, callPos lang.Pos) (uint64, error) {
 	lay := it.layouts[fn]
 	if it.stackTop+lay.cells > it.stackLimit {
@@ -66,18 +67,25 @@ func (it *Interp) call(fn *ir.Func, args []uint64, callPos lang.Pos) (uint64, er
 	if len(it.frames) > 4096 {
 		return 0, it.errf(callPos, "call depth limit exceeded in %s", fn.Name)
 	}
-	fr := &frame{fn: fn, args: args, temps: make([]uint64, fn.NumTemps()), base: it.stackTop, callPos: callPos}
+	fr := it.pushFrame(fn, args, callPos)
 	it.stackTop += lay.cells
 	// Fresh stack storage is zeroed (frames recycle cells).
 	for i := fr.base; i < it.stackTop; i++ {
 		it.mem[i] = 0
 	}
-	it.frames = append(it.frames, fr)
 
-	ret, err := it.exec(fr)
+	var ret uint64
+	var err error
+	if it.opts.Engine == EngineBytecode {
+		fr.cf = it.compiledOf(fn)
+		ret, err = it.execBC(fr)
+	} else {
+		ret, err = it.exec(fr)
+	}
 
 	// Retire this frame's tracked stack PSEs.
-	if r := it.opts.Runtime; r != nil && err == nil {
+	if r := it.opts.Runtime; r != nil && err == nil && len(lay.tracked) > 0 {
+		it.flushCoalesced()
 		for _, a := range lay.tracked {
 			r.EmitFree(fr.base + lay.offsets[a.Index])
 			it.toolCycles += costAllocEvent
@@ -122,6 +130,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 					name = x.Sym.Name
 					pos = x.Sym.Pos
 				}
+				it.flushCoalesced()
 				r.EmitAlloc(addr, int64(x.Cells), it.curCS(),
 					&rt.AllocMeta{Kind: kind, Name: name, Pos: pos.String()})
 				it.toolCycles += costAllocEvent
@@ -140,7 +149,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				it.memAccesses++
 			}
 			if r != nil && x.Track == ir.TrackOn {
-				r.EmitAccess(addr, false, base.Site, it.useCS())
+				it.emitAccess(addr, false, base.Site, it.frameCS(fr))
 				it.toolCycles += it.eventCost
 			}
 
@@ -158,12 +167,12 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				it.memAccesses++
 			}
 			if r != nil && x.Track == ir.TrackOn {
-				prof := r.Profile()
-				if prof.Sets {
-					r.EmitAccess(addr, true, base.Site, it.useCS())
+				if it.prof.Sets {
+					it.emitAccess(addr, true, base.Site, it.frameCS(fr))
 					it.toolCycles += it.eventCost
 				}
-				if prof.Reach && x.PtrStore && val != 0 && val < uint64(len(it.mem)) {
+				if it.prof.Reach && x.PtrStore && val != 0 && val < uint64(len(it.mem)) {
+					it.flushCoalesced()
 					r.EmitEscape(addr, val)
 					it.toolCycles += costEscapeEvent
 				}
@@ -219,6 +228,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				if name == "" {
 					name = "heap<" + x.TypeName + ">"
 				}
+				it.flushCoalesced()
 				r.EmitAlloc(addr, cells, it.curCS(),
 					&rt.AllocMeta{Kind: core.PSEHeap, Name: name, Pos: base.Pos.String()})
 				it.toolCycles += costAllocEvent
@@ -232,6 +242,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 			delete(it.liveHeap, addr)
 			it.addCost(base, costFree)
 			if r != nil && x.Track == ir.TrackOn {
+				it.flushCoalesced()
 				r.EmitFree(addr)
 				it.toolCycles += costAllocEvent
 			}
@@ -269,6 +280,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 
 		case *ir.ROIBegin:
 			if r != nil {
+				it.flushCoalesced()
 				r.BeginROI(x.ROI.ID)
 			}
 			if it.opts.Sink != nil {
@@ -277,6 +289,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 
 		case *ir.ROIEnd:
 			if r != nil {
+				it.flushCoalesced()
 				r.EndROI(x.ROI.ID)
 			}
 			if it.opts.Sink != nil {
@@ -293,6 +306,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				addr := it.eval(x.Base, fr)
 				count := int64(it.eval(x.Count, fr))
 				if count > 0 {
+					it.flushCoalesced()
 					r.EmitRange(int32(x.ROI.ID), x.IsWrite, addr, count, uint64(x.Stride))
 					it.toolCycles += costRangedEmit
 				}
@@ -301,6 +315,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 		case *ir.FixedClass:
 			if r != nil {
 				addr := it.eval(x.Base, fr)
+				it.flushCoalesced()
 				r.EmitFixed(int32(x.ROI.ID), addr, x.Cells, core.SetMask(x.Sets))
 				it.toolCycles += costFixedEmit
 			}
@@ -389,10 +404,20 @@ func b2i(b bool) uint64 {
 }
 
 func (it *Interp) execCall(x *ir.Call, fr *frame) (uint64, error) {
-	args := make([]uint64, len(x.Args))
-	for i, a := range x.Args {
-		args[i] = it.eval(a, fr)
+	// Arguments are evaluated into a LIFO window of the shared scratch;
+	// the window stays readable for the callee's lifetime even if a nested
+	// call regrows the scratch (the old array backs it until then).
+	mark := len(it.argScratch)
+	for _, a := range x.Args {
+		it.argScratch = append(it.argScratch, it.eval(a, fr))
 	}
+	args := it.argScratch[mark:]
+	res, err := it.dispatchCall(x, fr, args)
+	it.argScratch = it.argScratch[:mark]
+	return res, err
+}
+
+func (it *Interp) dispatchCall(x *ir.Call, fr *frame, args []uint64) (uint64, error) {
 	pos := ir.Base(x).Pos
 
 	var fn *ir.Func
@@ -443,6 +468,9 @@ func (it *Interp) callExtern(x *ir.Call, ext *ir.Extern, args []uint64, pos lang
 	if x.PinGated && it.opts.Runtime != nil {
 		it.toolCycles += costPinCall
 		if spec.AccessesMemory {
+			// The tracer emits to the runtime directly, so the pending
+			// coalesced run must be sequenced ahead of it.
+			it.flushCoalesced()
 			tracer = pinsim.NewTracer(it, it.opts.Runtime, it.useCS())
 			env = tracer
 		}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"carmot/internal/core"
@@ -20,10 +21,30 @@ import (
 	"carmot/internal/rt"
 )
 
+// Engine selects the execution engine.
+type Engine uint8
+
+// Engines. The bytecode engine is the default: each function is compiled
+// once into a flat instruction stream dispatched by a switch-on-opcode
+// loop. The tree-walker executes the IR directly and survives as the
+// differential oracle — simple enough to audit, and every run through it
+// must produce byte-identical PSECs and identical cycle accounting.
+const (
+	EngineBytecode Engine = iota
+	EngineTree
+)
+
 // Options configures a run.
 type Options struct {
 	// Runtime receives profiling events; nil runs uninstrumented.
 	Runtime *rt.Runtime
+	// Engine selects the execution engine (default bytecode).
+	Engine Engine
+	// NoCoalesce disables producer-side access coalescing (the combining
+	// buffer in front of the runtime's emit path). Coalescing is on by
+	// default whenever a Runtime is attached; it changes only the wire
+	// format, never the PSECs.
+	NoCoalesce bool
 	// Ctx cancels the run when done; nil means never.
 	Ctx context.Context
 	// Deadline aborts the run at the given wall-clock time (zero = none).
@@ -42,7 +63,7 @@ type Options struct {
 	Stdout io.Writer
 	// MaxSteps aborts runaway programs (0 = no limit).
 	MaxSteps int64
-	// StackCells sizes the stack region (default 1<<20 cells).
+	// StackCells sizes the stack region (default 1<<18 cells).
 	StackCells uint64
 }
 
@@ -105,6 +126,7 @@ type heapRec struct {
 
 type frame struct {
 	fn     *ir.Func
+	cf     *compiledFunc // bytecode engine only
 	args   []uint64
 	temps  []uint64
 	base   uint64 // first cell of the frame's alloca area
@@ -136,9 +158,23 @@ type Interp struct {
 	layouts   map[*ir.Func]*funcLayout
 	funcIDs   []*ir.Func
 	externIDs []*ir.Extern
+	compiled  map[*ir.Func]*compiledFunc // bytecode cache, built on demand
 
 	frames []*frame
-	rng    uint64
+	// framePool recycles frame records by depth: calls are strictly LIFO,
+	// so the frame (and its temps buffer, grown to a power-of-two size
+	// class) at each depth is reused across the run and the steady-state
+	// call path allocates nothing.
+	framePool []*frame
+	// argScratch backs call-argument evaluation: each call borrows a LIFO
+	// window, so one grown array serves every call in the run.
+	argScratch []uint64
+	// co is the producer-side combining buffer; nil when uninstrumented
+	// or when Options.NoCoalesce is set. Every emit helper that bypasses
+	// it must flush it first so sequence numbers stay stream-identical.
+	co   *rt.Coalescer
+	prof rt.TrackingProfile
+	rng  uint64
 
 	cycles       int64
 	serialCycles int64
@@ -157,7 +193,9 @@ type Interp struct {
 // New prepares an interpreter for the program.
 func New(prog *ir.Program, opts Options) *Interp {
 	if opts.StackCells == 0 {
-		opts.StackCells = 1 << 20
+		// 256Ki cells (2 MiB): ample under the 4096-frame depth limit, and
+		// small enough that zeroing the initial memory image stays cheap.
+		opts.StackCells = 1 << 18
 	}
 	if opts.Stdout == nil {
 		opts.Stdout = io.Discard
@@ -175,6 +213,15 @@ func New(prog *ir.Program, opts Options) *Interp {
 	if opts.NaiveEventCosts {
 		it.eventCost = costEventNaive
 	}
+	if opts.Engine == EngineBytecode {
+		it.compiled = map[*ir.Func]*compiledFunc{}
+	}
+	if r := opts.Runtime; r != nil {
+		it.prof = r.Profile()
+		if !opts.NoCoalesce {
+			it.co = rt.NewCoalescer(r)
+		}
+	}
 	// Memory layout: cell 0 is the null cell; globals; stack; heap.
 	it.globalBase = 1
 	off := it.globalBase
@@ -186,7 +233,12 @@ func New(prog *ir.Program, opts Options) *Interp {
 	it.stackTop = off
 	it.stackLimit = off + opts.StackCells
 	it.heapTop = it.stackLimit
-	it.mem = make([]uint64, it.heapTop+1024)
+	// Length is semantic (address validity checks compare against it);
+	// capacity is not, so reserve heap headroom up front: ensure() then
+	// extends in place and zeroes only the newly exposed cells instead of
+	// copying the whole memory image on the first heap growth.
+	memLen := it.heapTop + 1024
+	it.mem = newMemImage(memLen, memLen+(1<<16))
 
 	for _, g := range prog.Globals {
 		if g.Init != nil {
@@ -235,14 +287,45 @@ func (it *Interp) fnptrOf(fr *ir.FuncRef) uint64 {
 	return 0
 }
 
+// memPool recycles memory-image slabs across interpreter runs. A reused
+// slab is cleared to its semantic length before use, which is
+// observationally identical to a fresh allocation: cells beyond the
+// length are never exposed without ensure() zeroing them first.
+var memPool sync.Pool
+
+// newMemImage returns a zeroed slab of the given length with at least
+// the given capacity, reusing a pooled slab when one fits. Slabs more
+// than 4x oversized are left for the collector — clearing them would
+// cost more than the allocation they save.
+func newMemImage(memLen, memCap uint64) []uint64 {
+	if v := memPool.Get(); v != nil {
+		slab := v.([]uint64)
+		if c := uint64(cap(slab)); c >= memCap && c <= 4*memCap {
+			slab = slab[:memLen]
+			clear(slab)
+			return slab
+		}
+	}
+	return make([]uint64, memLen, memCap)
+}
+
 // Run registers globals with the runtime and executes main. On failure —
 // program fault, budget exhaustion (*BudgetError), or a contained
 // internal panic — the returned Result still summarizes the partial
 // execution, so callers can salvage a truncated profile.
 func (it *Interp) Run() (res *Result, err error) {
 	defer func() {
+		// The memory image dies with the run; recycle its slab. Results
+		// only carry counters and interned state, never cell storage.
+		if it.mem != nil {
+			memPool.Put(it.mem)
+			it.mem = nil
+		}
+	}()
+	defer func() {
 		if p := recover(); p != nil {
 			err = &RuntimeError{Msg: fmt.Sprintf("interpreter internal fault: %v", p)}
+			it.flushCoalesced()
 			res = it.summary(0)
 		}
 	}()
@@ -261,6 +344,9 @@ func (it *Interp) Run() (res *Result, err error) {
 		}
 	}
 	exit, err := it.call(main, nil, lang.Pos{Line: 0})
+	// A budget stop or program fault can leave a pending coalesced run;
+	// emit it so the salvaged partial profile matches the uncoalesced one.
+	it.flushCoalesced()
 	if err != nil {
 		return it.summary(0), err
 	}
@@ -321,10 +407,32 @@ func (it *Interp) StoreCell(addr uint64, val uint64) {
 	it.mem[addr] = val
 }
 
+// ensure grows memory so that len(it.mem) >= n, in one step. The length
+// schedule is load-bearing — address validity checks compare against
+// len(it.mem) — and matches the historical behavior exactly: a grow sets
+// len to n+4096. Capacity at least doubles, so a sparse StoreCell sweep
+// costs O(final size) total instead of one copy per 4KiB step.
 func (it *Interp) ensure(n uint64) {
-	for uint64(len(it.mem)) < n {
-		it.mem = append(it.mem, make([]uint64, n-uint64(len(it.mem))+4096)...)
+	old := uint64(len(it.mem))
+	if old >= n {
+		return
 	}
+	newLen := n + 4096
+	if newLen <= uint64(cap(it.mem)) {
+		// Reslicing within capacity exposes cells append never zeroed.
+		it.mem = it.mem[:newLen]
+		for i := old; i < newLen; i++ {
+			it.mem[i] = 0
+		}
+		return
+	}
+	newCap := 2 * uint64(cap(it.mem))
+	if newCap < newLen {
+		newCap = newLen
+	}
+	grown := make([]uint64, newLen, newCap)
+	copy(grown, it.mem)
+	it.mem = grown
 }
 
 // callstack builds the current call stack (outermost first) and interns
@@ -361,13 +469,83 @@ func (it *Interp) curCS() core.CallstackID {
 // useCS returns the callstack for use events; captured lazily per frame
 // in every mode (the clustering optimization concerns allocations).
 func (it *Interp) useCS() core.CallstackID {
-	fr := it.frames[len(it.frames)-1]
+	return it.frameCS(it.frames[len(it.frames)-1])
+}
+
+// frameCS is useCS for a caller that already holds the executing frame,
+// sparing the hot access path the top-of-stack load.
+func (it *Interp) frameCS(fr *frame) core.CallstackID {
 	if !fr.csDone {
 		fr.cs = it.callstack()
 		fr.csDone = true
 		it.toolCycles += costStackBase + costStackFrame*int64(len(it.frames))
 	}
 	return fr.cs
+}
+
+// emitAccess routes a hot-path access through the combining buffer when
+// coalescing is on, and straight to the runtime otherwise.
+func (it *Interp) emitAccess(addr uint64, write bool, site int32, cs core.CallstackID) {
+	if it.co != nil {
+		it.co.Access(addr, write, site, cs)
+		return
+	}
+	it.opts.Runtime.EmitAccess(addr, write, site, cs)
+}
+
+// flushCoalesced drains the pending access run. Every non-access emit
+// path must call it first: the run then takes exactly the sequence
+// numbers its accesses held in the uncoalesced stream, which is what
+// keeps the PSECs byte-identical.
+func (it *Interp) flushCoalesced() {
+	if it.co != nil {
+		it.co.Flush()
+	}
+}
+
+// pushFrame activates the pooled frame for the next call depth, sizing
+// and zeroing its temps for fn; the caller owns stack-cell zeroing.
+func (it *Interp) pushFrame(fn *ir.Func, args []uint64, callPos lang.Pos) *frame {
+	depth := len(it.frames)
+	var fr *frame
+	if depth < len(it.framePool) {
+		fr = it.framePool[depth]
+	} else {
+		fr = &frame{}
+		it.framePool = append(it.framePool, fr)
+	}
+	nt := fn.NumTemps()
+	if cap(fr.temps) < nt {
+		fr.temps = make([]uint64, nt, tempsSizeClass(nt))
+	} else {
+		fr.temps = fr.temps[:nt]
+		// Fresh temps read as zero, exactly like the per-call allocation
+		// they replace (a branch-dependent read of a never-written temp
+		// must not see a previous call's value).
+		for i := range fr.temps {
+			fr.temps[i] = 0
+		}
+	}
+	fr.fn = fn
+	fr.cf = nil
+	fr.args = args
+	fr.base = it.stackTop
+	fr.cs = 0
+	fr.csDone = false
+	fr.callPos = callPos
+	it.frames = append(it.frames, fr)
+	return fr
+}
+
+// tempsSizeClass rounds a temps length up to a power of two, so frames at
+// the same depth are reused across callees of different sizes without
+// reallocating for every alternation.
+func tempsSizeClass(n int) int {
+	c := 16
+	for c < n {
+		c *= 2
+	}
+	return c
 }
 
 func (it *Interp) errf(pos lang.Pos, format string, args ...interface{}) error {

@@ -1,0 +1,90 @@
+package rt
+
+import "carmot/internal/core"
+
+// Coalescer is the producer-side combining buffer (the dynamic complement
+// to the instrumenter's static aggregation, §4.4 opt 2): the interpreter
+// routes hot-path accesses through it, and consecutive accesses that share
+// a site, callstack, and access kind and fall on the same cell or on a
+// constant stride are merged into one EvAccessRun before they ever reach
+// the runtime's emit path. Because EmitAccessRun reserves one sequence
+// number per covered access and splits at batch boundaries, the condensed
+// stream downstream is byte-identical to the uncoalesced one — coalescing
+// only compresses the wire format.
+//
+// The producer must call Flush before emitting anything else (alloc, free,
+// escape, ROI boundary, range/fixed events, Pin-traced native calls), so
+// the pending run takes exactly the sequence numbers its accesses would
+// have taken; the interpreter's emit helpers enforce this discipline.
+type Coalescer struct {
+	rt *Runtime
+
+	active     bool
+	haveStride bool
+	write      bool
+	addr       uint64 // first covered cell
+	lastAddr   uint64 // most recent covered cell
+	stride     uint64 // constant stride (two's-complement; 0 = same cell)
+	count      int64
+	site       int32
+	cs         core.CallstackID
+
+	// Stats for diagnostics and tests.
+	runs     uint64 // flushed pending runs (coalesced or single)
+	accesses uint64 // accesses routed through the coalescer
+}
+
+// NewCoalescer returns a combining buffer in front of r.
+func NewCoalescer(r *Runtime) *Coalescer { return &Coalescer{rt: r} }
+
+// Access records one single-cell access, extending the pending run when
+// the access continues it and flushing + restarting otherwise.
+func (c *Coalescer) Access(addr uint64, write bool, site int32, cs core.CallstackID) {
+	c.accesses++
+	if c.active && write == c.write && site == c.site && cs == c.cs {
+		if !c.haveStride {
+			// Second access of the run fixes the stride (wraparound
+			// arithmetic, so descending sweeps coalesce too).
+			c.stride = addr - c.lastAddr
+			c.haveStride = true
+			c.lastAddr = addr
+			c.count++
+			return
+		}
+		if addr == c.lastAddr+c.stride {
+			c.lastAddr = addr
+			c.count++
+			return
+		}
+	}
+	c.Flush()
+	c.active = true
+	c.haveStride = false
+	c.addr = addr
+	c.lastAddr = addr
+	c.count = 1
+	c.write = write
+	c.site = site
+	c.cs = cs
+}
+
+// Flush emits the pending run, if any. Idempotent. A one-access run — the
+// common case for access patterns that alternate sites and never merge —
+// skips EmitAccessRun and goes straight to the plain emit path it would
+// reduce to anyway.
+func (c *Coalescer) Flush() {
+	if !c.active {
+		return
+	}
+	c.active = false
+	c.runs++
+	if c.count == 1 {
+		c.rt.EmitAccess(c.addr, c.write, c.site, c.cs)
+		return
+	}
+	c.rt.EmitAccessRun(c.addr, c.stride, c.count, c.write, c.site, c.cs)
+}
+
+// Stats reports how many accesses the coalescer has seen and how many
+// emit-path calls they became.
+func (c *Coalescer) Stats() (accesses, runs uint64) { return c.accesses, c.runs }

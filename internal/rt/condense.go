@@ -1,5 +1,7 @@
 package rt
 
+import "carmot/internal/core"
+
 // The condense stage folds runs of access events into per-cell summaries
 // while passing structural events through in order. Each worker owns one
 // condenser whose scratch state is reused across batches: open-addressed
@@ -22,6 +24,14 @@ type condenser struct {
 	useTab []tabEntry // keyed by site<<32 | callstack
 	sums   []accSummary
 	uses   []useRec
+	// Slab remainders for flushBlock's output copies: blocks are often
+	// tiny (any structural event closes one), so carving exact-size
+	// output slices out of chunked slabs replaces two mallocs per block
+	// with two per few thousand summaries. Downstream stages only read
+	// the handed-off slices, and the full-slice expressions below keep
+	// neighboring carves unreachable even via append.
+	sumSlab []accSummary
+	useSlab []useRec
 }
 
 func newCondenser() *condenser {
@@ -53,8 +63,12 @@ func (c *condenser) condense(evs []Event, cold []EventCold, dropUses bool) []pos
 	var items []postItem
 	for i := range evs {
 		ev := &evs[i]
-		if ev.Kind == EvAccess {
-			c.noteAccess(ev, dropUses)
+		switch ev.Kind {
+		case EvAccess:
+			c.noteAccess(ev.Addr, ev.Seq, ev.Write, ev.Site, ev.CS, dropUses)
+			continue
+		case EvAccessRun:
+			c.noteAccessRun(ev, coldOf(ev, cold), dropUses)
 			continue
 		}
 		// Structural event: close the open summary block first so that
@@ -65,36 +79,108 @@ func (c *condenser) condense(evs []Event, cold []EventCold, dropUses bool) []pos
 	return c.flushBlock(items)
 }
 
-func (c *condenser) noteAccess(ev *Event, dropUses bool) {
-	idx, hit := c.findSum(ev.Addr)
+func (c *condenser) noteAccess(addr, seq uint64, write bool, site int32, cs core.CallstackID, dropUses bool) {
+	idx, hit := c.findSum(addr)
 	if !hit {
 		idx = int32(len(c.sums))
-		c.sums = append(c.sums, accSummary{addr: ev.Addr, firstIsWrite: ev.Write, firstSeq: ev.Seq})
-		c.insertSum(ev.Addr, idx)
+		c.sums = append(c.sums, accSummary{addr: addr, firstIsWrite: write, firstSeq: seq})
+		c.insertSum(addr, idx)
 	}
 	s := &c.sums[idx]
 	s.count++
-	s.lastSeq = ev.Seq
-	if ev.Write {
+	s.lastSeq = seq
+	if write {
 		s.hasWrite = true
 	}
-	if ev.Site >= 0 && !dropUses {
-		key := uint64(uint32(ev.Site))<<32 | uint64(uint32(ev.CS))
-		uidx, hit := c.findUse(key)
+	if site >= 0 && !dropUses {
+		c.noteUse(site, cs, addr, 1)
+	}
+}
+
+// noteAccessRun expands a producer-coalesced run into the summaries its
+// per-access stream would have produced. A same-cell run (stride 0) folds
+// in O(1): the per-access update is associative over count/lastSeq/
+// hasWrite, and a same-address use sample can only be added once.
+func (c *condenser) noteAccessRun(ev *Event, cr EventCold, dropUses bool) {
+	if cr.Aux == 0 {
+		idx, hit := c.findSum(ev.Addr)
 		if !hit {
-			uidx = int32(len(c.uses))
-			c.uses = append(c.uses, useRec{
-				site:    ev.Site,
-				cs:      ev.CS,
-				samples: append(make([]uint64, 0, maxUseSamples), ev.Addr),
-			})
-			c.insertUse(key, uidx)
+			idx = int32(len(c.sums))
+			c.sums = append(c.sums, accSummary{addr: ev.Addr, firstIsWrite: ev.Write, firstSeq: ev.Seq})
+			c.insertSum(ev.Addr, idx)
 		}
-		u := &c.uses[uidx]
-		u.count++
-		if len(u.samples) < maxUseSamples && !containsU64(u.samples, ev.Addr) {
-			u.samples = append(u.samples, ev.Addr)
+		s := &c.sums[idx]
+		s.count += uint64(cr.N)
+		s.lastSeq = ev.Seq + uint64(cr.N) - 1
+		if ev.Write {
+			s.hasWrite = true
 		}
+		if ev.Site >= 0 && !dropUses {
+			c.noteUse(ev.Site, ev.CS, ev.Addr, uint64(cr.N))
+		}
+		return
+	}
+	addr, seq := ev.Addr, ev.Seq
+	for i := int64(0); i < cr.N; i++ {
+		idx, hit := c.findSum(addr)
+		if !hit {
+			idx = int32(len(c.sums))
+			c.sums = append(c.sums, accSummary{addr: addr, firstIsWrite: ev.Write, firstSeq: seq})
+			c.insertSum(addr, idx)
+		}
+		s := &c.sums[idx]
+		s.count++
+		s.lastSeq = seq
+		if ev.Write {
+			s.hasWrite = true
+		}
+		addr += cr.Aux
+		seq++
+	}
+	if ev.Site < 0 || dropUses {
+		return
+	}
+	// One use record covers the whole run — every access shares (site, cs),
+	// so a single lookup plus a count bump and in-order sample appends
+	// produce exactly the bytes the per-access path would have.
+	key := uint64(uint32(ev.Site))<<32 | uint64(uint32(ev.CS))
+	uidx, hit := c.findUse(key)
+	if !hit {
+		uidx = int32(len(c.uses))
+		c.uses = append(c.uses, useRec{
+			site:    ev.Site,
+			cs:      ev.CS,
+			samples: make([]uint64, 0, maxUseSamples),
+		})
+		c.insertUse(key, uidx)
+	}
+	u := &c.uses[uidx]
+	u.count += uint64(cr.N)
+	addr = ev.Addr
+	for i := int64(0); i < cr.N && len(u.samples) < maxUseSamples; i++ {
+		if !containsU64(u.samples, addr) {
+			u.samples = append(u.samples, addr)
+		}
+		addr += cr.Aux
+	}
+}
+
+func (c *condenser) noteUse(site int32, cs core.CallstackID, addr uint64, n uint64) {
+	key := uint64(uint32(site))<<32 | uint64(uint32(cs))
+	uidx, hit := c.findUse(key)
+	if !hit {
+		uidx = int32(len(c.uses))
+		c.uses = append(c.uses, useRec{
+			site:    site,
+			cs:      cs,
+			samples: append(make([]uint64, 0, maxUseSamples), addr),
+		})
+		c.insertUse(key, uidx)
+	}
+	u := &c.uses[uidx]
+	u.count += n
+	if len(u.samples) < maxUseSamples && !containsU64(u.samples, addr) {
+		u.samples = append(u.samples, addr)
 	}
 }
 
@@ -166,12 +252,20 @@ func (c *condenser) flushBlock(items []postItem) []postItem {
 		return items
 	}
 	it := postItem{}
-	if len(c.sums) > 0 {
-		it.sums = make([]accSummary, len(c.sums))
+	if n := len(c.sums); n > 0 {
+		if len(c.sumSlab) < n {
+			c.sumSlab = make([]accSummary, max(4096, n))
+		}
+		it.sums = c.sumSlab[:n:n]
+		c.sumSlab = c.sumSlab[n:]
 		copy(it.sums, c.sums)
 	}
-	if len(c.uses) > 0 {
-		it.uses = make([]useRec, len(c.uses))
+	if n := len(c.uses); n > 0 {
+		if len(c.useSlab) < n {
+			c.useSlab = make([]useRec, max(512, n))
+		}
+		it.uses = c.useSlab[:n:n]
+		c.useSlab = c.useSlab[n:]
 		copy(it.uses, c.uses)
 	}
 	c.reset()

@@ -34,10 +34,17 @@ const (
 	// EvEscape records that a pointer to cell Aux was stored into cell
 	// Addr (a reachability-graph reference, §3.1).
 	EvEscape
+	// EvAccessRun is N single-cell accesses sharing one site and
+	// callstack at Addr, Addr+stride, ... (producer-side coalescing).
+	// It is pure wire compression: the condense stage expands it into
+	// exactly the per-access summaries the equivalent EvAccess stream
+	// would have produced, with one sequence number per covered access.
+	EvAccessRun
 )
 
 var eventKindNames = [...]string{
 	"access", "range", "fixed", "roi.begin", "roi.end", "alloc", "free", "escape",
+	"access.run",
 }
 
 // String returns the event kind name.
@@ -74,8 +81,8 @@ type Event struct {
 // kinds use, keyed off Event.cold so the access fast path never touches
 // them.
 type EventCold struct {
-	N    int64  // cells (EvAlloc, EvRange, EvFixed)
-	Aux  uint64 // escape target (EvEscape), stride (EvRange)
+	N    int64  // cells (EvAlloc, EvRange, EvFixed) or run length (EvAccessRun)
+	Aux  uint64 // escape target (EvEscape), stride (EvRange, EvAccessRun)
 	Sets core.SetMask
 	Meta *AllocMeta
 }

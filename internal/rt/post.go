@@ -21,6 +21,7 @@ const shardOpFlush = 1024
 type allocInfo struct {
 	id      int32
 	desc    core.PSEDesc
+	key     string // desc.Key(), computed once at allocation
 	base    uint64
 	cells   int64
 	roiMask uint64 // ROIs active when allocated ("allocated within")
@@ -185,8 +186,14 @@ func (p *postState) owner(addr uint64) *allocRec {
 	return nil
 }
 
-// push queues op for shard sid, flushing the buffer when it fills.
+// push queues op for shard sid, flushing the buffer when it fills. The
+// buffer is sized for a full flush up front: it is handed off at flush
+// time (the journal and the shard both keep it), so growing it
+// incrementally would just re-pay the append doubling chain every epoch.
 func (p *postState) push(sid uint64, op shardOp) {
+	if cap(p.bufs[sid]) == 0 {
+		p.bufs[sid] = make([]shardOp, 0, shardOpFlush)
+	}
 	p.bufs[sid] = append(p.bufs[sid], op)
 	if len(p.bufs[sid]) >= shardOpFlush {
 		p.flushShard(sid)
@@ -349,6 +356,7 @@ func (p *postState) applyAlloc(ev *Event, cold *EventCold) {
 		Kind: cold.Meta.Kind, Name: cold.Meta.Name, AllocPos: cold.Meta.Pos,
 		AllocStack: ev.CS, Cells: int(cold.N),
 	}
+	info.key = info.desc.Key()
 	for roi := range p.active {
 		if p.active[roi] {
 			info.roiMask |= 1 << uint(roi)

@@ -57,9 +57,15 @@ type Runtime struct {
 	// counters on its fast path are plain fields; acceptedLoc is synced
 	// to the atomic mirror at batch boundaries for cross-goroutine
 	// diagnostic reads.
-	cur         []Event
-	curCold     []EventCold
-	seq         uint64
+	cur     []Event
+	curCold []EventCold
+	seq     uint64
+	// flushSeq is the sequence number at which the current batch closes.
+	// Batches are delimited in logical-event space, not slot space: a
+	// coalesced run occupies one slot but spans many sequence numbers, and
+	// cutting batches by seq keeps the condensed block structure (and the
+	// per-block use-sample caps) byte-identical to the uncoalesced stream.
+	flushSeq    uint64
 	phase       uint32
 	finished    bool
 	acceptedLoc uint64
@@ -170,13 +176,14 @@ func New(cfg Config) *Runtime {
 		queue = cfg.Limits.MaxBatchQueue
 	}
 	r := &Runtime{
-		cfg:     cfg,
-		cs:      core.NewCallstackTable(),
-		cur:     make([]Event, 0, cfg.BatchSize),
-		curCold: make([]EventCold, 0, 8),
-		filled:  make(chan batchMsg, queue),
-		toPost:  make(chan processedMsg, queue),
-		done:    make(chan []*core.PSEC, 1),
+		cfg:      cfg,
+		cs:       core.NewCallstackTable(),
+		cur:      make([]Event, 0, cfg.BatchSize),
+		curCold:  make([]EventCold, 0, 8),
+		flushSeq: uint64(cfg.BatchSize),
+		filled:   make(chan batchMsg, queue),
+		toPost:   make(chan processedMsg, queue),
+		done:     make(chan []*core.PSEC, 1),
 	}
 	r.bufPool.New = func() interface{} {
 		return &eventBuf{
@@ -227,7 +234,7 @@ func (r *Runtime) Profile() TrackingProfile { return r.cfg.Profile }
 // ROI boundary would corrupt the ASMT and phase accounting.
 func droppable(k EventKind) bool {
 	switch k {
-	case EvAccess, EvRange, EvEscape, EvFixed:
+	case EvAccess, EvAccessRun, EvRange, EvEscape, EvFixed:
 		return true
 	}
 	return false
@@ -261,7 +268,7 @@ func (r *Runtime) emit(ev Event) bool {
 	ev.Seq = r.seq
 	r.seq++
 	r.cur = append(r.cur, ev)
-	if len(r.cur) == cap(r.cur) {
+	if r.seq >= r.flushSeq {
 		r.flush()
 	}
 	return true
@@ -282,6 +289,71 @@ func (r *Runtime) emitCold(ev Event, cold EventCold) bool {
 // EmitAccess is the hot-path helper for single-cell accesses.
 func (r *Runtime) EmitAccess(addr uint64, write bool, site int32, cs core.CallstackID) bool {
 	return r.emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
+}
+
+// EmitAccessRun reports count accesses sharing one site/callstack/kind at
+// addr, addr+stride, addr+2*stride, ... (producer-side coalescing). It is
+// semantically exactly count EmitAccess calls: each covered access gets
+// its own sequence number, counts against the MaxEvents cap, and lands in
+// the batch it would have landed in uncoalesced — the run is split at
+// batch (and cap) boundaries so the condensed block structure downstream
+// is byte-identical. Reports whether any prefix was accepted.
+func (r *Runtime) EmitAccessRun(addr, stride uint64, count int64, write bool, site int32, cs core.CallstackID) bool {
+	if count <= 0 {
+		return false
+	}
+	if count == 1 {
+		return r.EmitAccess(addr, write, site, cs)
+	}
+	if r.finished {
+		r.dropped.Add(uint64(count))
+		return false
+	}
+	accepted := false
+	for count > 0 {
+		if limit := r.cfg.Limits.MaxEvents; limit > 0 {
+			if r.acceptedLoc >= limit {
+				if !r.eventCapHit {
+					r.eventCapHit = true
+					r.recordDowngrade(fmt.Sprintf("max-events=%d", limit), "drop-access-events", r.acceptedLoc)
+				}
+				r.dropped.Add(uint64(count))
+				return accepted
+			}
+			if room := limit - r.acceptedLoc; uint64(count) > room {
+				// Accept the in-budget prefix; the loop drops the rest.
+				count, addr = r.emitRunChunk(addr, stride, int64(room), count, write, site, cs)
+				accepted = true
+				continue
+			}
+		}
+		count, addr = r.emitRunChunk(addr, stride, count, count, write, site, cs)
+		accepted = true
+	}
+	return accepted
+}
+
+// emitRunChunk emits up to want accesses of the run as one slot, clipped
+// to the current batch window, and returns the remaining count and the
+// next uncovered address.
+func (r *Runtime) emitRunChunk(addr, stride uint64, want, count int64, write bool, site int32, cs core.CallstackID) (int64, uint64) {
+	n := want
+	if room := r.flushSeq - r.seq; uint64(n) > room {
+		n = int64(room)
+	}
+	ev := Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs, Phase: r.phase, Seq: r.seq}
+	if n > 1 {
+		r.curCold = append(r.curCold, EventCold{N: n, Aux: stride})
+		ev.Kind = EvAccessRun
+		ev.cold = int32(len(r.curCold))
+	}
+	r.cur = append(r.cur, ev)
+	r.acceptedLoc += uint64(n)
+	r.seq += uint64(n)
+	if r.seq >= r.flushSeq {
+		r.flush()
+	}
+	return count - n, addr + uint64(n)*stride
 }
 
 // EmitAlloc announces a new PSE allocation of cells cells at addr.
@@ -326,6 +398,7 @@ func (r *Runtime) EndROI(roi int) {
 }
 
 func (r *Runtime) flush() {
+	r.flushSeq = r.seq + uint64(r.cfg.BatchSize)
 	if len(r.cur) == 0 {
 		return
 	}

@@ -445,12 +445,11 @@ func (s *shardState) trackFor(sa *shardAlloc, roi int) []cellTrack {
 }
 
 func (s *shardState) elemFor(roi int, info *allocInfo) *elemAcc {
-	key := info.desc.Key()
-	e := s.acc[roi][key]
+	e := s.acc[roi][info.key]
 	if e == nil {
 		e = &elemAcc{desc: info.desc, descID: info.id,
 			useSites: map[int32]map[core.CallstackID]struct{}{}}
-		s.acc[roi][key] = e
+		s.acc[roi][info.key] = e
 	} else if info.id < e.descID {
 		e.desc, e.descID = info.desc, info.id
 	}

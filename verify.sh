@@ -28,8 +28,18 @@ echo "== go test -race (recovery + seeded chaos smoke) =="
 go test -race -count=1 -run 'Recovered|Recovery|Respawn|Eviction|Drained' ./internal/rt/
 go test -race -count=1 ./internal/chaos/
 
+echo "== go test -race (engine differential) =="
+# Tree-walker vs bytecode engine, coalescing off/on: byte-identical
+# PSECs, identical run summaries and diagnostics, on the benchmark
+# corpus and on faulting/budget-truncated programs.
+go test -race -count=1 -run 'EngineDifferential|EngineFuzzSeed' .
+
+echo "== differential fuzz (engines, short) =="
+go test -run NONE -fuzz FuzzEngineDifferential -fuzztime 10s .
+
 echo "== benchmark smoke =="
 go test -run NONE -bench 'BenchmarkProfiledRun' -benchtime 1x .
 go test -run NONE -bench 'BenchmarkPipeline|BenchmarkCondense' -benchtime 1x ./internal/rt/
+go run ./cmd/carmot-bench -exp interp -interp-iters 1
 
 echo "verify: OK"
