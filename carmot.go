@@ -156,10 +156,16 @@ type ProfileOptions struct {
 	// differential testing. Both produce byte-identical PSECs.
 	Engine interp.Engine
 	// NoCoalesce disables producer-side access coalescing (the combining
-	// buffer that merges same-cell/constant-stride access runs before
-	// they reach the runtime). PSECs are identical either way; the knob
-	// exists for differential tests and emit-path benchmarks.
+	// buffer inside the runtime's emit path that merges same-cell and
+	// constant-stride access runs into one batch slot). PSECs are
+	// identical either way; the knob exists for differential tests and
+	// emit-path benchmarks.
 	NoCoalesce bool
+	// ForceCoalesce pins the combining buffer on, skipping the adaptive
+	// gate that normally switches it off on non-merging access streams.
+	// An overloaded serving layer sets it to trade producer CPU for
+	// pipeline volume when many sessions share one worker pool.
+	ForceCoalesce bool
 	// Workers sizes the runtime's worker pool (default GOMAXPROCS).
 	Workers int
 	// Shards sizes the runtime's address-sharded postprocessing pool
@@ -192,6 +198,28 @@ type ProfileOptions struct {
 	JournalBudgetBytes int64
 }
 
+// DegradedError reports a run whose program executed but whose profile
+// lost data to contained pipeline faults (the runtime's recover → degrade
+// ladder bottomed out). It is the retryable failure class: the program
+// itself is fine, so re-running the session — from a cached Program —
+// can produce a clean profile. Program faults (RuntimeError) and budget
+// stops are NOT wrapped in it.
+type DegradedError struct {
+	Err error
+}
+
+func (e *DegradedError) Error() string { return "carmot: profile degraded: " + e.Err.Error() }
+
+// Unwrap exposes the underlying pipeline fault summary.
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// IsDegraded reports whether err (anywhere in its chain) is a
+// DegradedError — the class of failures a serving layer should retry.
+func IsDegraded(err error) bool {
+	var de *DegradedError
+	return errors.As(err, &de)
+}
+
 // ProfileResult carries the outcome of a profiling run.
 type ProfileResult struct {
 	// PSECs holds one characterization per ROI, indexed by ROI ID.
@@ -207,6 +235,12 @@ type ProfileResult struct {
 
 // Profile instruments the program per the options, executes it, and
 // returns the PSEC of every ROI.
+//
+// Profile rewrites the program's IR in place (instrumentation is
+// applied, and stripped on the next call), so concurrent Profile calls
+// on one Program must be externally serialized; callers that want
+// concurrent sessions of the same source compile separate Program
+// values.
 //
 // Failure model: a budget stop (MaxSteps, Timeout, or Context) is not an
 // error — the partial PSECs come back marked Truncated, with the reason
@@ -242,6 +276,8 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 		},
 		Recover:            opts.Recover,
 		JournalBudgetBytes: opts.JournalBudgetBytes,
+		Coalesce:           !opts.NoCoalesce,
+		CoalesceForce:      opts.ForceCoalesce,
 	})
 	var deadline time.Time
 	if opts.Timeout > 0 {
@@ -250,7 +286,6 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 	it := interp.New(p.IR, interp.Options{
 		Runtime:         runtime,
 		Engine:          opts.Engine,
-		NoCoalesce:      opts.NoCoalesce,
 		Clustering:      io_.CallstackClustering,
 		NaiveEventCosts: opts.Naive,
 		Stdout:          opts.Stdout,
@@ -280,7 +315,7 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 		return res, rerr
 	}
 	if perr := runtime.Err(); perr != nil {
-		return res, fmt.Errorf("carmot: profile degraded: %w", perr)
+		return res, &DegradedError{Err: perr}
 	}
 	return res, nil
 }

@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats|rt|interp] [-threads N] [-scalediv D]
+//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats|rt|interp|serve] [-threads N] [-scalediv D]
 //
 // The rt experiment benchmarks the event pipeline itself across
 // (workers, shards) geometries and, with -rt-out, writes the
 // machine-readable BENCH_rt.json regression report. The interp
 // experiment benchmarks the execution engines (tree-walker vs bytecode,
 // coalescing off/on) end to end and, with -interp-out, writes
-// BENCH_interp.json. The -cpuprofile/-memprofile flags wrap any
-// experiment in a pprof capture ("profiling the profiler", see
-// README.md).
+// BENCH_interp.json. The serve experiment drives a concurrent request
+// burst through the carmotd serving layer and, with -serve-out, writes
+// the latency-percentile report BENCH_serve.json. The
+// -cpuprofile/-memprofile flags wrap any experiment in a pprof capture
+// ("profiling the profiler", see README.md).
 package main
 
 import (
@@ -28,20 +30,23 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, table1, accesses, fig6, fig7, fig8, fig9, fig10, fig11, stats, rt, interp")
+		exp        = flag.String("exp", "all", "experiment to run: all, table1, accesses, fig6, fig7, fig8, fig9, fig10, fig11, stats, rt, interp, serve")
 		threads    = flag.Int("threads", 24, "simulated thread count for Figure 6")
 		scaleDiv   = flag.Int("scalediv", 1, "divide benchmark input scales by this factor (faster runs)")
 		rtIters    = flag.Int("rt-iters", 20, "timed pipeline runs per geometry for -exp rt")
 		rtOut      = flag.String("rt-out", "", "write the -exp rt report as JSON to this file (e.g. BENCH_rt.json)")
 		interpIt   = flag.Int("interp-iters", 20, "timed runs per engine configuration for -exp interp")
 		interpOut  = flag.String("interp-out", "", "write the -exp interp report as JSON to this file (e.g. BENCH_interp.json)")
+		serveReqs  = flag.Int("serve-requests", 1000, "request count for -exp serve")
+		serveCli   = flag.Int("serve-clients", 32, "concurrent clients for -exp serve")
+		serveOut   = flag.String("serve-out", "", "write the -exp serve report as JSON to this file (e.g. BENCH_serve.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
 	cfg := harness.Config{Threads: *threads, ScaleDiv: *scaleDiv}
 	err := profiled(*cpuProfile, *memProfile, func() error {
-		return run(*exp, cfg, *rtIters, *rtOut, *interpIt, *interpOut)
+		return run(*exp, cfg, *rtIters, *rtOut, *interpIt, *interpOut, *serveCli, *serveReqs, *serveOut)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carmot-bench:", err)
@@ -79,7 +84,7 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return err
 }
 
-func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters int, interpOut string) error {
+func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters int, interpOut string, serveClients, serveReqs int, serveOut string) error {
 	all := exp == "all"
 	ran := false
 	if exp == "rt" { // pipeline microbenchmark; deliberately not part of "all"
@@ -115,6 +120,24 @@ func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters 
 				return err
 			}
 			fmt.Printf("wrote %s\n", interpOut)
+		}
+		return nil
+	}
+	if exp == "serve" { // serving-layer latency burst; deliberately not part of "all"
+		rep, err := harness.ServeBench(serveClients, serveReqs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderServeBench(rep))
+		if serveOut != "" {
+			data, err := harness.MarshalServeBench(rep)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(serveOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", serveOut)
 		}
 		return nil
 	}

@@ -31,6 +31,7 @@ import (
 
 	"carmot"
 	"carmot/internal/recommend"
+	"carmot/internal/wire"
 )
 
 // Exit codes.
@@ -123,27 +124,23 @@ func runCLI(out io.Writer, path string, o cliOptions) (int, error) {
 	return code, err
 }
 
-// diagSummary is the -diag-json document: enough for a supervisor
-// process to triage a run without parsing human-oriented output.
-type diagSummary struct {
-	ExitCode    int                 `json:"exit_code"`
-	Error       string              `json:"error,omitempty"`
-	Diagnostics *carmot.Diagnostics `json:"diagnostics"`
-}
-
+// writeDiagJSON writes the -diag-json document — the wire.Summary shared
+// with carmotd, so a supervisor process can triage a run without parsing
+// human-oriented output or caring how it was launched.
 func writeDiagJSON(path string, code int, err error, res *carmot.ProfileResult) error {
-	s := diagSummary{ExitCode: code}
+	s := wire.Summary{ExitCode: code, Kind: wire.KindForExit(code)}
 	if err != nil {
 		s.Error = err.Error()
 	}
 	if res != nil {
 		s.Diagnostics = &res.Diagnostics
+		s.Attempts = 1
 	}
-	data, merr := json.MarshalIndent(s, "", "  ")
+	data, merr := s.Encode()
 	if merr != nil {
 		return merr
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, data, 0o644)
 }
 
 // runProfile is runCLI's body; it additionally returns the profiling

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"carmot/internal/wire"
 )
 
 const demoSrc = `int N = 16;
@@ -156,13 +158,13 @@ func TestCLINoROI(t *testing.T) {
 }
 
 // readDiagJSON decodes a -diag-json file written by runCLI.
-func readDiagJSON(t *testing.T, path string) diagSummary {
+func readDiagJSON(t *testing.T, path string) wire.Summary {
 	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("diag-json not written: %v", err)
 	}
-	var s diagSummary
+	var s wire.Summary
 	if err := json.Unmarshal(data, &s); err != nil {
 		t.Fatalf("diag-json is not valid JSON: %v\n%s", err, data)
 	}
@@ -205,6 +207,9 @@ func TestCLIDiagJSON(t *testing.T) {
 			s := readDiagJSON(t, o.diagJSON)
 			if s.ExitCode != c.wantCode {
 				t.Errorf("diag-json exit_code = %d, want %d", s.ExitCode, c.wantCode)
+			}
+			if s.Kind != wire.KindForExit(c.wantCode) {
+				t.Errorf("diag-json kind = %q, want %q", s.Kind, wire.KindForExit(c.wantCode))
 			}
 			if (err != nil) != (s.Error != "") {
 				t.Errorf("diag-json error %q vs runCLI err %v", s.Error, err)

@@ -1,0 +1,119 @@
+// Command carmotd is the CARMOT profiling daemon: a long-lived HTTP
+// service that accepts MiniC sources, compiles them through a
+// content-addressed program cache, and multiplexes concurrent profile
+// sessions over one shared worker pool with per-tenant admission
+// control, request deadlines, retry-from-journal, and load-shed
+// degradation.
+//
+// Usage:
+//
+//	carmotd [flags]
+//
+// Endpoints:
+//
+//	POST /v1/profile — profile a source; see internal/serve for the
+//	                   request/response schema
+//	GET  /v1/healthz — liveness (503 while draining)
+//	GET  /v1/statz   — serving-layer counters as JSON
+//
+// Example:
+//
+//	carmotd -addr :8458 &
+//	curl -s -X POST -H 'X-Carmot-Tenant: alice' \
+//	  -d '{"source":"int main(){int a[8]; #pragma carmot roi r\nfor(int i=0;i<8;i++){a[i]=i;} return 0;}","reports":true}' \
+//	  http://localhost:8458/v1/profile
+//
+// SIGTERM/SIGINT drains gracefully: the listener closes, in-flight
+// sessions run to completion (bounded by -drain-timeout), and new
+// requests on kept-alive connections get structured 503s.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"carmot/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8458", "listen address")
+		poolSlots    = flag.Int("pool-slots", 0, "machine-wide pipeline slot budget shared by all sessions (0 = 4×GOMAXPROCS)")
+		sessWorkers  = flag.Int("session-workers", 0, "worker slots each session asks for (0 = default 2)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant admission rate, requests/second (0 = default 50)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = default 100)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "cap on per-request deadlines (0 = default 60s)")
+		defTimeout   = flag.Duration("default-timeout", 0, "deadline when a request carries none (0 = default 10s)")
+		maxRetries   = flag.Int("max-retries", 0, "re-runs of sessions that came back degraded (0 = default 2)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight sessions")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: carmotd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, serve.Config{
+		PoolSlots:      *poolSlots,
+		SessionWorkers: *sessWorkers,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		MaxTimeout:     *maxTimeout,
+		DefaultTimeout: *defTimeout,
+		MaxRetries:     *maxRetries,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "carmotd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGTERM/SIGINT, then drains.
+func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+	srv := serve.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("carmotd: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("carmotd: draining")
+
+	// Stop admissions first so kept-alive connections get structured
+	// 503s, then close the listener and wait for in-flight requests.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(drainCtx) }()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-drainDone; err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("carmotd: drained, bye")
+	return nil
+}

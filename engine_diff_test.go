@@ -139,6 +139,55 @@ func TestEngineDifferentialBudgets(t *testing.T) {
 	assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP, MaxEvents: 500})
 }
 
+// TestEngineDifferentialCoalesceGate crosses the combining buffer's
+// adaptive gate in both directions: a site-alternating program whose
+// tracked accesses never merge (the gate switches the buffer off
+// mid-run) and a sweep-heavy program that merges throughout (the gate
+// stays on). Both must agree with the oracle byte for byte — the gate
+// decision may change the wire format, never the PSECs.
+func TestEngineDifferentialCoalesceGate(t *testing.T) {
+	srcs := map[string]string{
+		// Three distinct tracked array sites per iteration, so no run ever
+		// extends; > 8192 tracked accesses, so the probe window closes and
+		// the gate fires while the run is still going.
+		"alternating": `int a[64];
+int b[64];
+int main() {
+	int s = 0;
+	#pragma carmot roi alt
+	for (int i = 0; i < 4000; i++) {
+		a[i % 64] = a[i % 64] + b[(i * 7) % 64];
+		s = s + a[(i * 3) % 64];
+	}
+	return s % 256;
+}`,
+		// One store site sweeping stride-1 through a large array, repeated
+		// past the probe window: runs merge for the whole execution.
+		"sweeping": `int a[4096];
+int main() {
+	int s = 0;
+	#pragma carmot roi sweep
+	for (int pass = 0; pass < 5; pass++) {
+		for (int i = 0; i < 4096; i++) {
+			a[i] = pass + i;
+		}
+		s = s + a[pass];
+	}
+	return s % 256;
+}`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Compile("gate.mc", src, CompileOptions{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP})
+			assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseFull})
+		})
+	}
+}
+
 // TestEngineDifferentialRuntimeFaults pins identical runtime-error text:
 // the bytecode engine must reproduce the tree-walker's diagnostics for
 // faulting programs, not just for clean ones.

@@ -1,0 +1,280 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"carmot/internal/faultinject"
+	"carmot/internal/serve"
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+// DaemonSchedule is a seed-derived chaos run against the serving layer:
+// a fleet of concurrent clients posts profile requests at carmotd while
+// pipeline faults fire underneath, one tenant deliberately exceeds its
+// admission budget, and the server drains at the end. The invariants
+// extend the pipeline set one level up:
+//
+//	termination  — every request gets a response; the drain completes
+//	containment  — no goroutine outlives the drain
+//	equivalence  — every 200/exit-0 response carries PSECs
+//	               byte-identical to the fault-free reference for its
+//	               source
+//	honesty      — every non-OK response is structured: a known wire
+//	               kind, an error message, and a retry hint on sheds
+type DaemonSchedule struct {
+	Seed    int64
+	Clients int // concurrent clients
+	PerClie int // requests per client
+	Slots   int // server pool slots
+	Faults  []Fault
+}
+
+func (s DaemonSchedule) String() string {
+	return fmt.Sprintf("daemon seed=%d clients=%d per=%d slots=%d faults=%v",
+		s.Seed, s.Clients, s.PerClie, s.Slots, s.Faults)
+}
+
+// daemonCorpus is the source mix clients draw from; every entry must
+// profile cleanly so equivalence has a reference.
+var daemonCorpus = []string{
+	`int a[32];
+int main() {
+	int s = 0;
+	#pragma carmot roi sum
+	for (int i = 0; i < 32; i++) { a[i] = i; s = s + a[i]; }
+	return s % 101;
+}`,
+	`int n = 24;
+int fib[24];
+int main() {
+	fib[0] = 0; fib[1] = 1;
+	#pragma carmot roi fib
+	for (int i = 2; i < n; i++) { fib[i] = fib[i-1] + fib[i-2]; }
+	return fib[n-1] % 97;
+}`,
+	`int m[16];
+int out[16];
+int main() {
+	for (int i = 0; i < 16; i++) { m[i] = i * 3; }
+	#pragma carmot roi scale
+	for (int i = 0; i < 16; i++) { out[i] = m[i] * 2 + 1; }
+	return out[7];
+}`,
+}
+
+// NewDaemonSchedule derives a daemon schedule from seed. Faults stay on
+// the panic/replay points — delays would only slow the (deadline-free)
+// test — and shot numbers spread across the whole burst so some
+// sessions fault mid-flight and others run clean.
+func NewDaemonSchedule(seed int64) DaemonSchedule {
+	r := rand.New(rand.NewSource(seed))
+	s := DaemonSchedule{
+		Seed:    seed,
+		Clients: 4 + r.Intn(5),
+		PerClie: 2 + r.Intn(3),
+		Slots:   2 + r.Intn(6),
+	}
+	points := []string{"rt.worker.batch", "rt.post.apply", "rt.shard.apply", "rt.shard.replay"}
+	nf := 1 + r.Intn(3)
+	for i := 0; i < nf; i++ {
+		f := Fault{Point: points[r.Intn(len(points))], Kind: KindPanic}
+		ns := 1 + r.Intn(4)
+		for j := 0; j < ns; j++ {
+			f.Shots = append(f.Shots, int64(1+r.Intn(200)))
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}
+
+// DaemonOutcome is one request's classified response.
+type DaemonOutcome struct {
+	Source int // corpus index
+	Status int
+	Resp   wire.Summary
+	PSECs  json.RawMessage
+}
+
+// DaemonResult is one executed daemon schedule.
+type DaemonResult struct {
+	Schedule DaemonSchedule
+	Outcomes []DaemonOutcome
+	Refs     [][]byte // fault-free PSECs per corpus entry
+	Stats    serve.Stats
+	DrainErr error
+	Leaked   bool
+}
+
+// ExecuteDaemon runs the schedule: fault-free references first, then
+// the concurrent burst with hooks armed, then a drain with the leak
+// check.
+func ExecuteDaemon(s DaemonSchedule) DaemonResult {
+	baseline := testutil.Goroutines()
+	srv := serve.New(serve.Config{
+		PoolSlots:  s.Slots,
+		RetryBase:  time.Millisecond,
+		TenantRate: 1000, TenantBurst: 10000, // per-tenant shed tested separately
+	})
+	h := srv.Handler()
+	res := DaemonResult{Schedule: s}
+
+	// Fault-free references (also warm the program cache, so the burst
+	// exercises the hit path).
+	for i, src := range daemonCorpus {
+		o := postJSON(h, src, true)
+		res.Refs = append(res.Refs, o.PSECs)
+		if o.Status != http.StatusOK || o.Resp.ExitCode != 0 {
+			res.Outcomes = append(res.Outcomes, o)
+			res.Outcomes[len(res.Outcomes)-1].Source = i
+			return res // corpus must be clean; Check will flag it
+		}
+	}
+
+	defer faultinject.Reset()
+	for _, f := range s.Faults {
+		faultinject.Set(f.Point, faultinject.PanicOnShots(
+			fmt.Sprintf("daemon chaos %s seed %d", f.Point, s.Seed), f.Shots...))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	for c := 0; c < s.Clients; c++ {
+		picks := make([]int, s.PerClie)
+		for i := range picks {
+			picks[i] = rng.Intn(len(daemonCorpus))
+		}
+		wg.Add(1)
+		go func(picks []int) {
+			defer wg.Done()
+			for _, idx := range picks {
+				o := postJSON(h, daemonCorpus[idx], true)
+				o.Source = idx
+				mu.Lock()
+				res.Outcomes = append(res.Outcomes, o)
+				mu.Unlock()
+			}
+		}(picks)
+	}
+	wg.Wait()
+	faultinject.Reset()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res.DrainErr = srv.Drain(ctx)
+	res.Stats = srv.Snapshot()
+	res.Leaked = !testutil.SettleGoroutines(baseline, 5*time.Second)
+	return res
+}
+
+// postJSON posts one profile request directly at the handler.
+func postJSON(h http.Handler, src string, wantPSECs bool) DaemonOutcome {
+	body, _ := json.Marshal(map[string]any{"source": src, "psecs": wantPSECs})
+	req, _ := http.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	w := &memResponse{header: make(http.Header)}
+	h.ServeHTTP(w, req)
+	var parsed struct {
+		wire.Summary
+		PSECs json.RawMessage `json:"psecs"`
+	}
+	o := DaemonOutcome{Status: w.status}
+	if err := json.Unmarshal(w.body.Bytes(), &parsed); err == nil {
+		o.Resp = parsed.Summary
+		o.PSECs = parsed.PSECs
+	}
+	return o
+}
+
+// memResponse is a minimal concurrent-safe ResponseWriter (httptest's
+// recorder is fine too, but this avoids importing httptest outside
+// _test files).
+type memResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+func (m *memResponse) Write(p []byte) (int, error) {
+	if m.status == 0 {
+		m.status = http.StatusOK
+	}
+	return m.body.Write(p)
+}
+func (m *memResponse) WriteHeader(code int) {
+	if m.status == 0 {
+		m.status = code
+	}
+}
+
+// knownKinds is the closed set of response kinds a daemon may emit.
+var knownKinds = map[string]bool{
+	wire.KindOK: true, wire.KindError: true, wire.KindUsage: true,
+	wire.KindBudget: true, wire.KindShed: true, wire.KindDraining: true,
+	wire.KindInternal: true,
+}
+
+// CheckDaemon verifies the daemon invariants on an executed schedule.
+func CheckDaemon(res DaemonResult) error {
+	s := res.Schedule
+	if res.DrainErr != nil {
+		return fmt.Errorf("%s: drain failed: %v", s, res.DrainErr)
+	}
+	if res.Leaked {
+		return fmt.Errorf("%s: goroutines leaked past drain", s)
+	}
+	if len(res.Refs) != len(daemonCorpus) {
+		return fmt.Errorf("%s: corpus reference run failed: %+v", s, res.Outcomes)
+	}
+	want := s.Clients * s.PerClie
+	if len(res.Outcomes) != want {
+		return fmt.Errorf("%s: %d responses for %d requests", s, len(res.Outcomes), want)
+	}
+	for i, o := range res.Outcomes {
+		if !knownKinds[o.Resp.Kind] {
+			return fmt.Errorf("%s: request %d: unknown kind %q (status %d)", s, i, o.Resp.Kind, o.Status)
+		}
+		switch o.Status {
+		case http.StatusOK:
+			switch o.Resp.ExitCode {
+			case 0:
+				if !bytes.Equal(o.PSECs, res.Refs[o.Source]) {
+					return fmt.Errorf("%s: request %d: 200/exit-0 PSECs diverge from fault-free reference", s, i)
+				}
+			case 3:
+				if o.Resp.Kind != wire.KindBudget {
+					return fmt.Errorf("%s: request %d: exit 3 with kind %q", s, i, o.Resp.Kind)
+				}
+			default:
+				return fmt.Errorf("%s: request %d: 200 with exit %d on a clean corpus", s, i, o.Resp.ExitCode)
+			}
+			if o.Resp.Attempts < 1 {
+				return fmt.Errorf("%s: request %d: completed with %d attempts", s, i, o.Resp.Attempts)
+			}
+		case http.StatusInternalServerError:
+			// Retries exhausted: must say so and carry the trail.
+			if o.Resp.Kind != wire.KindInternal || o.Resp.Error == "" {
+				return fmt.Errorf("%s: request %d: 500 without internal kind/error", s, i)
+			}
+		case http.StatusTooManyRequests:
+			if o.Resp.Kind != wire.KindShed || o.Resp.RetryAfterMs <= 0 {
+				return fmt.Errorf("%s: request %d: shed without structured hint", s, i)
+			}
+		default:
+			return fmt.Errorf("%s: request %d: unexpected status %d (kind %q: %s)",
+				s, i, o.Status, o.Resp.Kind, o.Resp.Error)
+		}
+	}
+	if res.Stats.Sessions != 0 {
+		return fmt.Errorf("%s: %d sessions still registered after drain", s, res.Stats.Sessions)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"flag"
+	"net/http"
+	"testing"
+
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+var daemonRuns = flag.Int("chaos.daemon-runs", 8, "number of seeded daemon schedules to execute")
+
+// TestDaemonSchedules executes seeded daemon-level chaos runs: fleets
+// of concurrent clients against a live serving layer while pipeline
+// faults fire underneath, each followed by a drain. Replay a failure
+// with:
+//
+//	go test ./internal/chaos -run TestDaemonSchedules -chaos.seed <seed> -chaos.daemon-runs 1
+func TestDaemonSchedules(t *testing.T) {
+	baseline := testutil.Goroutines()
+	faulted, retried := 0, 0
+	for i := 0; i < *daemonRuns; i++ {
+		seed := *chaosSeed + 7000 + int64(i)
+		s := NewDaemonSchedule(seed)
+		res := ExecuteDaemon(s)
+		if err := CheckDaemon(res); err != nil {
+			t.Errorf("daemon schedule %d: %v", i, err)
+			continue
+		}
+		for _, o := range res.Outcomes {
+			if o.Resp.Diagnostics != nil &&
+				o.Resp.Diagnostics.WorkerPanics+o.Resp.Diagnostics.PostprocessorPanics > 0 {
+				faulted++
+			}
+			if o.Resp.Attempts > 1 {
+				retried++
+			}
+		}
+	}
+	t.Logf("%d daemon schedules: %d responses crossed a fault, %d sessions were retried",
+		*daemonRuns, faulted, retried)
+	if faulted == 0 {
+		t.Error("no daemon response crossed a fault — schedule distribution is broken")
+	}
+	testutil.WaitGoroutines(t, baseline)
+}
+
+// TestDaemonScheduleDeterministic pins seed → schedule derivation.
+func TestDaemonScheduleDeterministic(t *testing.T) {
+	for i := int64(0); i < 20; i++ {
+		a, b := NewDaemonSchedule(*chaosSeed+i), NewDaemonSchedule(*chaosSeed+i)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: daemon schedules differ:\n%s\n%s", *chaosSeed+i, a, b)
+		}
+	}
+}
+
+// TestDaemonRetryHealsFault scans daemon seeds for a run where a
+// session crossed a fault and was retried to a clean, reference-equal
+// answer — the end-to-end proof that retry-from-journal works through
+// the whole serving stack, not just in the rt unit tests.
+func TestDaemonRetryHealsFault(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	for i := 0; i < 24; i++ {
+		seed := *chaosSeed + 9000 + int64(i)
+		res := ExecuteDaemon(NewDaemonSchedule(seed))
+		if err := CheckDaemon(res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, o := range res.Outcomes {
+			if o.Status == http.StatusOK && o.Resp.ExitCode == 0 &&
+				o.Resp.Kind == wire.KindOK && o.Resp.Attempts > 1 {
+				// CheckDaemon already proved its PSECs match the
+				// fault-free reference.
+				return
+			}
+		}
+	}
+	t.Fatal("no scanned daemon seed produced a retried-then-clean session")
+}

@@ -1,0 +1,196 @@
+// Serving-layer benchmark (the BENCH_serve.json experiment): drives a
+// burst of concurrent profile requests through a live serve.Server —
+// full HTTP handler path, admission control, program cache, shared
+// worker pool — and reports end-to-end request latency percentiles
+// next to throughput and the serving counters. This is the experiment
+// behind carmotd's headline claim: N tenants multiplexed over one
+// machine's worth of pipeline goroutines with bounded, observable
+// latency.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"carmot/internal/serve"
+)
+
+// serveBenchSources is the request mix: three small programs with
+// distinct PSEC shapes, so the burst exercises cache hits and private
+// compiles rather than one degenerate key.
+var serveBenchSources = []string{
+	`int a[64];
+int main() { int s = 0; #pragma carmot roi sum
+for (int i = 0; i < 64; i++) { a[i] = i; s = s + a[i]; } return s % 251; }`,
+	`int fib[32];
+int main() { fib[0] = 0; fib[1] = 1; #pragma carmot roi fib
+for (int i = 2; i < 32; i++) { fib[i] = fib[i-1] + fib[i-2]; } return fib[31] % 97; }`,
+	`int m[48]; int o[48];
+int main() { for (int i = 0; i < 48; i++) { m[i] = i * 3; }
+#pragma carmot roi scale
+for (int i = 0; i < 48; i++) { o[i] = m[i] * 2 + 1; } return o[7]; }`,
+}
+
+// ServeBenchReport is the machine-readable experiment output.
+type ServeBenchReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	PoolSlots  int    `json:"pool_slots"`
+	Clients    int    `json:"clients"`
+	Requests   int    `json:"requests"`
+	// Outcomes.
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+	// Latency percentiles over successful requests, in milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// Throughput over the whole burst.
+	WallMs        float64 `json:"wall_ms"`
+	RequestsPerSs float64 `json:"requests_per_sec"`
+	// Serving counters after the burst.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Retries     uint64 `json:"retries"`
+}
+
+// ServeBench runs the burst: clients concurrent workers issue requests
+// round-robin over the source mix until total requests have been sent,
+// then the server drains. Latencies are measured around the whole
+// handler (admission, cache, pool wait, profile, marshalling).
+func ServeBench(clients, total int) (ServeBenchReport, error) {
+	if clients <= 0 {
+		clients = 32
+	}
+	if total <= 0 {
+		total = 1000
+	}
+	srv := serve.New(serve.Config{
+		TenantBurst:    total * 2,
+		TenantRate:     float64(total), // admission never the bottleneck here
+		DefaultTimeout: 2 * time.Minute,
+	})
+	h := srv.Handler()
+	rep := ServeBenchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		PoolSlots:  srv.Pool().Total(),
+		Clients:    clients,
+		Requests:   total,
+	}
+
+	bodies := make([][]byte, len(serveBenchSources))
+	for i, src := range serveBenchSources {
+		b, err := json.Marshal(map[string]any{"source": src})
+		if err != nil {
+			return rep, err
+		}
+		bodies[i] = b
+	}
+	// Warm the cache so the measured burst reflects steady-state serving.
+	for i := range bodies {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(bodies[i])))
+		if w.Code != http.StatusOK {
+			return rep, fmt.Errorf("warm-up request %d: status %d: %s", i, w.Code, w.Body.Bytes())
+		}
+	}
+
+	latencies := make([]time.Duration, total)
+	outcomes := make([]int, total)
+	var wg sync.WaitGroup
+	next := make(chan int, total)
+	for i := 0; i < total; i++ {
+		next <- i
+	}
+	close(next)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := httptest.NewRequest(http.MethodPost, "/v1/profile",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				req.Header.Set(serve.TenantHeader, fmt.Sprintf("bench-%d", i%8))
+				w := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(w, req)
+				latencies[i] = time.Since(t0)
+				outcomes[i] = w.Code
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var okLat []time.Duration
+	for i, code := range outcomes {
+		switch code {
+		case http.StatusOK:
+			rep.OK++
+			okLat = append(okLat, latencies[i])
+		case http.StatusTooManyRequests:
+			rep.Shed++
+		default:
+			rep.Errors++
+		}
+	}
+	if len(okLat) == 0 {
+		return rep, fmt.Errorf("no request succeeded (%d shed, %d errors)", rep.Shed, rep.Errors)
+	}
+	sort.Slice(okLat, func(a, b int) bool { return okLat[a] < okLat[b] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(okLat)-1))
+		return float64(okLat[idx].Nanoseconds()) / 1e6
+	}
+	rep.P50Ms, rep.P95Ms, rep.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	rep.MaxMs = float64(okLat[len(okLat)-1].Nanoseconds()) / 1e6
+	var sum time.Duration
+	for _, l := range okLat {
+		sum += l
+	}
+	rep.MeanMs = float64(sum.Nanoseconds()) / 1e6 / float64(len(okLat))
+	rep.WallMs = float64(wall.Nanoseconds()) / 1e6
+	rep.RequestsPerSs = float64(total) / wall.Seconds()
+
+	st := srv.Snapshot()
+	rep.CacheHits, rep.CacheMisses, rep.Retries = st.CacheHits, st.CacheMisses, st.Retries
+	return rep, nil
+}
+
+// RenderServeBench formats the report as a text table.
+func RenderServeBench(rep ServeBenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serving-layer latency (%d requests, %d clients, %d pool slots)\n",
+		rep.Requests, rep.Clients, rep.PoolSlots)
+	fmt.Fprintf(&sb, "%-12s %10s\n", "metric", "value")
+	fmt.Fprintf(&sb, "%-12s %10.2f ms\n", "p50", rep.P50Ms)
+	fmt.Fprintf(&sb, "%-12s %10.2f ms\n", "p95", rep.P95Ms)
+	fmt.Fprintf(&sb, "%-12s %10.2f ms\n", "p99", rep.P99Ms)
+	fmt.Fprintf(&sb, "%-12s %10.2f ms\n", "max", rep.MaxMs)
+	fmt.Fprintf(&sb, "%-12s %10.2f ms\n", "mean", rep.MeanMs)
+	fmt.Fprintf(&sb, "%-12s %10.0f req/s\n", "throughput", rep.RequestsPerSs)
+	fmt.Fprintf(&sb, "ok=%d shed=%d errors=%d cache=%d/%d retries=%d\n",
+		rep.OK, rep.Shed, rep.Errors, rep.CacheHits, rep.CacheHits+rep.CacheMisses, rep.Retries)
+	return sb.String()
+}
+
+// MarshalServeBench encodes the report as indented JSON
+// (BENCH_serve.json).
+func MarshalServeBench(rep ServeBenchReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -5,12 +5,13 @@
 // come from the same planner.
 //
 // Static aggregation (opt 2) is complemented at run time by the
-// producer-side combining buffer (rt.Coalescer): what the planner cannot
-// prove affine here, the interpreter's emit path still merges dynamically
-// into ranged EvAccessRun events when consecutive accesses happen to
-// share a site and a constant stride. The two layers are independent —
-// the planner shrinks the set of instrumented instructions, the coalescer
-// shrinks the wire traffic the survivors generate.
+// producer-side combining buffer in the runtime's emit path
+// (internal/rt/coalesce.go): what the planner cannot prove affine here,
+// EmitAccess still merges dynamically into ranged EvAccessRun events
+// when consecutive accesses happen to share a site and a constant
+// stride. The two layers are independent — the planner shrinks the set
+// of instrumented instructions, the combining buffer shrinks the wire
+// traffic the survivors generate.
 package instrument
 
 import (

@@ -67,7 +67,6 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 			fr.temps[in.dst] = addr
 			it.costBC(in)
 			if r != nil && in.flags&bfTrack != 0 {
-				it.flushCoalesced()
 				r.EmitAlloc(addr, in.imm, it.curCS(), cf.allocas[in.ext])
 				it.toolCycles += costAllocEvent
 			}
@@ -85,7 +84,7 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 				it.memAccesses++
 			}
 			if r != nil && in.flags&bfTrack != 0 {
-				it.emitAccess(addr, false, in.site, it.frameCS(fr))
+				r.EmitAccess(addr, false, in.site, it.frameCS(fr))
 				it.toolCycles += it.eventCost
 			}
 
@@ -104,11 +103,10 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 			}
 			if r != nil && in.flags&bfTrack != 0 {
 				if it.prof.Sets {
-					it.emitAccess(addr, true, in.site, it.frameCS(fr))
+					r.EmitAccess(addr, true, in.site, it.frameCS(fr))
 					it.toolCycles += it.eventCost
 				}
 				if it.prof.Reach && in.flags&bfPtrStore != 0 && val != 0 && val < uint64(len(it.mem)) {
-					it.flushCoalesced()
 					r.EmitEscape(addr, val)
 					it.toolCycles += costEscapeEvent
 				}
@@ -230,7 +228,6 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 			fr.temps[in.dst] = addr
 			it.costBC(in)
 			if r != nil && in.flags&bfTrack != 0 {
-				it.flushCoalesced()
 				r.EmitAlloc(addr, cells, it.curCS(), ms.meta)
 				it.toolCycles += costAllocEvent
 			}
@@ -243,7 +240,6 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 			delete(it.liveHeap, addr)
 			it.costBC(in)
 			if r != nil && in.flags&bfTrack != 0 {
-				it.flushCoalesced()
 				r.EmitFree(addr)
 				it.toolCycles += costAllocEvent
 			}
@@ -281,7 +277,6 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 		case opROIBegin:
 			roi := cf.rois[in.ext]
 			if r != nil {
-				it.flushCoalesced()
 				r.BeginROI(roi.ID)
 			}
 			if it.opts.Sink != nil {
@@ -291,7 +286,6 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 		case opROIEnd:
 			roi := cf.rois[in.ext]
 			if r != nil {
-				it.flushCoalesced()
 				r.EndROI(roi.ID)
 			}
 			if it.opts.Sink != nil {
@@ -309,7 +303,6 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 				addr := fetch(fr, in.amode, in.a)
 				count := int64(fetch(fr, in.bmode, in.b))
 				if count > 0 {
-					it.flushCoalesced()
 					r.EmitRange(in.dst, in.flags&bfWrite != 0, addr, count, uint64(in.imm))
 					it.toolCycles += costRangedEmit
 				}
@@ -318,7 +311,6 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 		case opFixed:
 			if r != nil {
 				addr := fetch(fr, in.amode, in.a)
-				it.flushCoalesced()
 				r.EmitFixed(in.dst, addr, in.imm, core.SetMask(in.imm2))
 				it.toolCycles += costFixedEmit
 			}

@@ -85,7 +85,6 @@ func (it *Interp) call(fn *ir.Func, args []uint64, callPos lang.Pos) (uint64, er
 
 	// Retire this frame's tracked stack PSEs.
 	if r := it.opts.Runtime; r != nil && err == nil && len(lay.tracked) > 0 {
-		it.flushCoalesced()
 		for _, a := range lay.tracked {
 			r.EmitFree(fr.base + lay.offsets[a.Index])
 			it.toolCycles += costAllocEvent
@@ -130,7 +129,6 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 					name = x.Sym.Name
 					pos = x.Sym.Pos
 				}
-				it.flushCoalesced()
 				r.EmitAlloc(addr, int64(x.Cells), it.curCS(),
 					&rt.AllocMeta{Kind: kind, Name: name, Pos: pos.String()})
 				it.toolCycles += costAllocEvent
@@ -149,7 +147,7 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				it.memAccesses++
 			}
 			if r != nil && x.Track == ir.TrackOn {
-				it.emitAccess(addr, false, base.Site, it.frameCS(fr))
+				r.EmitAccess(addr, false, base.Site, it.frameCS(fr))
 				it.toolCycles += it.eventCost
 			}
 
@@ -168,11 +166,10 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 			}
 			if r != nil && x.Track == ir.TrackOn {
 				if it.prof.Sets {
-					it.emitAccess(addr, true, base.Site, it.frameCS(fr))
+					r.EmitAccess(addr, true, base.Site, it.frameCS(fr))
 					it.toolCycles += it.eventCost
 				}
 				if it.prof.Reach && x.PtrStore && val != 0 && val < uint64(len(it.mem)) {
-					it.flushCoalesced()
 					r.EmitEscape(addr, val)
 					it.toolCycles += costEscapeEvent
 				}
@@ -228,7 +225,6 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				if name == "" {
 					name = "heap<" + x.TypeName + ">"
 				}
-				it.flushCoalesced()
 				r.EmitAlloc(addr, cells, it.curCS(),
 					&rt.AllocMeta{Kind: core.PSEHeap, Name: name, Pos: base.Pos.String()})
 				it.toolCycles += costAllocEvent
@@ -242,7 +238,6 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 			delete(it.liveHeap, addr)
 			it.addCost(base, costFree)
 			if r != nil && x.Track == ir.TrackOn {
-				it.flushCoalesced()
 				r.EmitFree(addr)
 				it.toolCycles += costAllocEvent
 			}
@@ -280,7 +275,6 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 
 		case *ir.ROIBegin:
 			if r != nil {
-				it.flushCoalesced()
 				r.BeginROI(x.ROI.ID)
 			}
 			if it.opts.Sink != nil {
@@ -289,7 +283,6 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 
 		case *ir.ROIEnd:
 			if r != nil {
-				it.flushCoalesced()
 				r.EndROI(x.ROI.ID)
 			}
 			if it.opts.Sink != nil {
@@ -306,7 +299,6 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 				addr := it.eval(x.Base, fr)
 				count := int64(it.eval(x.Count, fr))
 				if count > 0 {
-					it.flushCoalesced()
 					r.EmitRange(int32(x.ROI.ID), x.IsWrite, addr, count, uint64(x.Stride))
 					it.toolCycles += costRangedEmit
 				}
@@ -315,7 +307,6 @@ func (it *Interp) exec(fr *frame) (uint64, error) {
 		case *ir.FixedClass:
 			if r != nil {
 				addr := it.eval(x.Base, fr)
-				it.flushCoalesced()
 				r.EmitFixed(int32(x.ROI.ID), addr, x.Cells, core.SetMask(x.Sets))
 				it.toolCycles += costFixedEmit
 			}
@@ -468,9 +459,6 @@ func (it *Interp) callExtern(x *ir.Call, ext *ir.Extern, args []uint64, pos lang
 	if x.PinGated && it.opts.Runtime != nil {
 		it.toolCycles += costPinCall
 		if spec.AccessesMemory {
-			// The tracer emits to the runtime directly, so the pending
-			// coalesced run must be sequenced ahead of it.
-			it.flushCoalesced()
 			tracer = pinsim.NewTracer(it, it.opts.Runtime, it.useCS())
 			env = tracer
 		}

@@ -40,11 +40,6 @@ type Options struct {
 	Runtime *rt.Runtime
 	// Engine selects the execution engine (default bytecode).
 	Engine Engine
-	// NoCoalesce disables producer-side access coalescing (the combining
-	// buffer in front of the runtime's emit path). Coalescing is on by
-	// default whenever a Runtime is attached; it changes only the wire
-	// format, never the PSECs.
-	NoCoalesce bool
 	// Ctx cancels the run when done; nil means never.
 	Ctx context.Context
 	// Deadline aborts the run at the given wall-clock time (zero = none).
@@ -169,10 +164,6 @@ type Interp struct {
 	// argScratch backs call-argument evaluation: each call borrows a LIFO
 	// window, so one grown array serves every call in the run.
 	argScratch []uint64
-	// co is the producer-side combining buffer; nil when uninstrumented
-	// or when Options.NoCoalesce is set. Every emit helper that bypasses
-	// it must flush it first so sequence numbers stay stream-identical.
-	co   *rt.Coalescer
 	prof rt.TrackingProfile
 	rng  uint64
 
@@ -218,9 +209,6 @@ func New(prog *ir.Program, opts Options) *Interp {
 	}
 	if r := opts.Runtime; r != nil {
 		it.prof = r.Profile()
-		if !opts.NoCoalesce {
-			it.co = rt.NewCoalescer(r)
-		}
 	}
 	// Memory layout: cell 0 is the null cell; globals; stack; heap.
 	it.globalBase = 1
@@ -325,7 +313,6 @@ func (it *Interp) Run() (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &RuntimeError{Msg: fmt.Sprintf("interpreter internal fault: %v", p)}
-			it.flushCoalesced()
 			res = it.summary(0)
 		}
 	}()
@@ -344,9 +331,6 @@ func (it *Interp) Run() (res *Result, err error) {
 		}
 	}
 	exit, err := it.call(main, nil, lang.Pos{Line: 0})
-	// A budget stop or program fault can leave a pending coalesced run;
-	// emit it so the salvaged partial profile matches the uncoalesced one.
-	it.flushCoalesced()
 	if err != nil {
 		return it.summary(0), err
 	}
@@ -481,26 +465,6 @@ func (it *Interp) frameCS(fr *frame) core.CallstackID {
 		it.toolCycles += costStackBase + costStackFrame*int64(len(it.frames))
 	}
 	return fr.cs
-}
-
-// emitAccess routes a hot-path access through the combining buffer when
-// coalescing is on, and straight to the runtime otherwise.
-func (it *Interp) emitAccess(addr uint64, write bool, site int32, cs core.CallstackID) {
-	if it.co != nil {
-		it.co.Access(addr, write, site, cs)
-		return
-	}
-	it.opts.Runtime.EmitAccess(addr, write, site, cs)
-}
-
-// flushCoalesced drains the pending access run. Every non-access emit
-// path must call it first: the run then takes exactly the sequence
-// numbers its accesses held in the uncoalesced stream, which is what
-// keeps the PSECs byte-identical.
-func (it *Interp) flushCoalesced() {
-	if it.co != nil {
-		it.co.Flush()
-	}
 }
 
 // pushFrame activates the pooled frame for the next call depth, sizing

@@ -2,89 +2,98 @@ package rt
 
 import "carmot/internal/core"
 
-// Coalescer is the producer-side combining buffer (the dynamic complement
-// to the instrumenter's static aggregation, §4.4 opt 2): the interpreter
-// routes hot-path accesses through it, and consecutive accesses that share
+// Producer-side access coalescing (the dynamic complement to the
+// instrumenter's static aggregation, §4.4 opt 2), implemented directly
+// inside the runtime's emit path: consecutive EmitAccess calls that share
 // a site, callstack, and access kind and fall on the same cell or on a
-// constant stride are merged into one EvAccessRun before they ever reach
-// the runtime's emit path. Because EmitAccessRun reserves one sequence
-// number per covered access and splits at batch boundaries, the condensed
-// stream downstream is byte-identical to the uncoalesced one — coalescing
-// only compresses the wire format.
+// constant stride are merged into one pending run, which reaches the
+// batch as a single EvAccessRun slot. Because the flush path reserves one
+// sequence number per covered access and splits runs at batch boundaries,
+// the condensed stream downstream is byte-identical to the uncoalesced
+// one — coalescing only compresses the in-memory batch format.
 //
-// The producer must call Flush before emitting anything else (alloc, free,
-// escape, ROI boundary, range/fixed events, Pin-traced native calls), so
-// the pending run takes exactly the sequence numbers its accesses would
-// have taken; the interpreter's emit helpers enforce this discipline.
-type Coalescer struct {
-	rt *Runtime
-
+// Earlier the combining buffer was a separate rt.Coalescer the
+// interpreter held in front of the runtime, which cost every access an
+// extra call level and forced every non-access emit helper in both
+// execution engines to remember a flush call. Folding it into the emit
+// path deleted that discipline (the Emit* helpers flush internally) and
+// recovered the bytecode engine's coalescing regression: the run-extend
+// check now runs where the access is already in registers.
+//
+// The Emit* methods are documented single-threaded (one program thread),
+// so the pending-run state lives in plain fields.
+type pendingRun struct {
 	active     bool
 	haveStride bool
 	write      bool
+	site       int32
+	cs         core.CallstackID
 	addr       uint64 // first covered cell
 	lastAddr   uint64 // most recent covered cell
 	stride     uint64 // constant stride (two's-complement; 0 = same cell)
 	count      int64
-	site       int32
-	cs         core.CallstackID
-
-	// Stats for diagnostics and tests.
-	runs     uint64 // flushed pending runs (coalesced or single)
-	accesses uint64 // accesses routed through the coalescer
 }
 
-// NewCoalescer returns a combining buffer in front of r.
-func NewCoalescer(r *Runtime) *Coalescer { return &Coalescer{rt: r} }
+// The combining buffer carries its own cost (a run-extend check plus a
+// flush/restart on every access that doesn't merge), which is pure loss
+// on workloads whose accesses alternate sites and never form runs. The
+// gate measures the merge ratio over the first window of accesses and
+// switches the buffer off for the rest of the run when it saves less
+// than 1/16 of the emits. The decision is a pure function of the access
+// stream, so gated runs stay deterministic — and byte-identical to
+// ungated ones, since coalescing never changes the condensed stream.
+const (
+	coalesceProbeWindow = 8192
+	coalesceMinSavings  = 16 // keep the buffer only if ≥ 1/16 of emits merge away
+)
 
-// Access records one single-cell access, extending the pending run when
-// the access continues it and flushing + restarting otherwise.
-func (c *Coalescer) Access(addr uint64, write bool, site int32, cs core.CallstackID) {
-	c.accesses++
-	if c.active && write == c.write && site == c.site && cs == c.cs {
-		if !c.haveStride {
-			// Second access of the run fixes the stride (wraparound
-			// arithmetic, so descending sweeps coalesce too).
-			c.stride = addr - c.lastAddr
-			c.haveStride = true
-			c.lastAddr = addr
-			c.count++
-			return
-		}
-		if addr == c.lastAddr+c.stride {
-			c.lastAddr = addr
-			c.count++
-			return
+// coalesceStart begins a new pending run after flushPending sequenced the
+// previous one; it also hosts the adaptive gate, which sits off the
+// run-extend fast path so merging streams never pay for it.
+func (r *Runtime) coalesceStart(addr uint64, write bool, site int32, cs core.CallstackID) bool {
+	r.flushPending()
+	if !r.coForce && !r.coProbed && r.coAccesses >= coalesceProbeWindow {
+		r.coProbed = true
+		if (r.coAccesses-r.coRuns)*coalesceMinSavings < r.coAccesses {
+			r.coOn = false
+			return r.emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
 		}
 	}
-	c.Flush()
-	c.active = true
-	c.haveStride = false
-	c.addr = addr
-	c.lastAddr = addr
-	c.count = 1
-	c.write = write
-	c.site = site
-	c.cs = cs
+	p := &r.pend
+	p.active = true
+	p.haveStride = false
+	p.addr = addr
+	p.lastAddr = addr
+	p.count = 1
+	p.write = write
+	p.site = site
+	p.cs = cs
+	r.coAccesses++
+	return true
 }
 
-// Flush emits the pending run, if any. Idempotent. A one-access run — the
-// common case for access patterns that alternate sites and never merge —
-// skips EmitAccessRun and goes straight to the plain emit path it would
-// reduce to anyway.
-func (c *Coalescer) Flush() {
-	if !c.active {
+// flushPending sequences the pending run, if any, ahead of whatever the
+// caller is about to emit. Idempotent; every emit helper that appends a
+// non-access event calls it first, so the run takes exactly the sequence
+// numbers its accesses would have taken uncoalesced. A one-access run —
+// the common case for access patterns that alternate sites and never
+// merge — skips the run encoding and goes straight to the plain emit
+// path it would reduce to anyway.
+func (r *Runtime) flushPending() {
+	p := &r.pend
+	if !p.active {
 		return
 	}
-	c.active = false
-	c.runs++
-	if c.count == 1 {
-		c.rt.EmitAccess(c.addr, c.write, c.site, c.cs)
+	p.active = false
+	r.coRuns++
+	if p.count == 1 {
+		r.emit(Event{Kind: EvAccess, Write: p.write, Addr: p.addr, Site: p.site, CS: p.cs})
 		return
 	}
-	c.rt.EmitAccessRun(c.addr, c.stride, c.count, c.write, c.site, c.cs)
+	r.emitRun(p.addr, p.stride, p.count, p.write, p.site, p.cs)
 }
 
-// Stats reports how many accesses the coalescer has seen and how many
-// emit-path calls they became.
-func (c *Coalescer) Stats() (accesses, runs uint64) { return c.accesses, c.runs }
+// CoalesceStats reports how many accesses the combining buffer has seen
+// and how many emit-path runs they became (equal when nothing merged).
+// Zero/zero when Config.Coalesce is off.
+func (r *Runtime) CoalesceStats() (accesses, runs uint64) { return r.coAccesses, r.coRuns }

@@ -1,0 +1,157 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"carmot/internal/core"
+	"carmot/internal/testutil"
+)
+
+// coalesceReport renders the PSECs of a run for byte-comparison.
+func coalesceReport(psecs []*core.PSEC) string {
+	var sb strings.Builder
+	for _, p := range psecs {
+		if p != nil {
+			sb.WriteString(p.Summary())
+		}
+	}
+	return sb.String()
+}
+
+// driveStream replays ops ({addr, write, site}) through EmitAccess with
+// periodic structural events, under the given config, and returns the
+// rendered report plus the runtime for stats inspection.
+type coalesceOp struct {
+	addr  uint64
+	write bool
+	site  int32
+}
+
+func driveStream(cfg Config, ops []coalesceOp) (string, *Runtime) {
+	if len(cfg.ROIs) == 0 {
+		cfg.ROIs = []ROIMeta{{ID: 0, Name: "z", Kind: "carmot", Pos: "t.mc:1:1"}}
+	}
+	r := New(cfg)
+	r.EmitAlloc(1, 1<<16, 0, &AllocMeta{Kind: core.PSEHeap, Name: "arr", Pos: "t.mc:2:2"})
+	r.BeginROI(0)
+	for i, op := range ops {
+		r.EmitAccess(op.addr, op.write, op.site, 0)
+		if i%1000 == 999 {
+			// Structural events interleave with the access stream the way
+			// allocs do in real runs; each must sequence the pending run
+			// ahead of itself.
+			r.EmitEscape(op.addr, 1+uint64(i)%100)
+		}
+	}
+	r.EndROI(0)
+	return coalesceReport(r.Finish()), r
+}
+
+// mergingOps is a stride-1 sweep on one site: maximal coalescing.
+func mergingOps(n int) []coalesceOp {
+	ops := make([]coalesceOp, n)
+	for i := range ops {
+		ops[i] = coalesceOp{addr: 1 + uint64(i%(1<<15)), write: i%(1<<15) == 0, site: 0}
+	}
+	return ops
+}
+
+// alternatingOps switches site (and kind) on every access: nothing ever
+// merges, which is the pattern the adaptive gate exists for.
+func alternatingOps(n int) []coalesceOp {
+	ops := make([]coalesceOp, n)
+	for i := range ops {
+		ops[i] = coalesceOp{addr: 1 + uint64((i*7)%(1<<12)), write: i%2 == 0, site: int32(i % 3)}
+	}
+	return ops
+}
+
+// TestCoalesceByteIdentical pins the coalescing invariant at the runtime
+// layer: for merging, alternating, and gate-crossing streams, the report
+// with Config.Coalesce on is byte-identical to the one with it off, with
+// identical accepted-event counts.
+func TestCoalesceByteIdentical(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	streams := map[string][]coalesceOp{
+		"merging":     mergingOps(3 * coalesceProbeWindow),
+		"alternating": alternatingOps(3 * coalesceProbeWindow),
+		"short":       mergingOps(17),
+	}
+	for name, ops := range streams {
+		for _, batch := range []int{3, 64, 4096} {
+			ref, rOff := driveStream(Config{BatchSize: batch, Workers: 2, Profile: ProfileFull}, ops)
+			got, rOn := driveStream(Config{BatchSize: batch, Workers: 2, Profile: ProfileFull, Coalesce: true}, ops)
+			if got != ref {
+				t.Fatalf("%s batch=%d: coalesced report diverges\nref:\n%s\ngot:\n%s", name, batch, ref, got)
+			}
+			dOff, dOn := rOff.Diagnostics(), rOn.Diagnostics()
+			if dOff.Events != dOn.Events {
+				t.Fatalf("%s batch=%d: accepted events %d (coalesce) != %d (plain)",
+					name, batch, dOn.Events, dOff.Events)
+			}
+		}
+	}
+}
+
+// TestCoalesceAdaptiveGate checks both gate outcomes: an alternating
+// stream must switch the combining buffer off at the probe window, and a
+// merging stream must keep it on to the end.
+func TestCoalesceAdaptiveGate(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	n := 4 * coalesceProbeWindow
+
+	_, r := driveStream(Config{BatchSize: 512, Profile: ProfileFull, Coalesce: true}, alternatingOps(n))
+	acc, runs := r.CoalesceStats()
+	if acc >= uint64(n) {
+		t.Fatalf("alternating stream: gate never fired (%d of %d accesses went through the buffer)", acc, n)
+	}
+	if acc < coalesceProbeWindow {
+		t.Fatalf("alternating stream: gate fired before the probe window (%d accesses)", acc)
+	}
+	if acc-runs != 0 {
+		t.Fatalf("alternating stream unexpectedly merged %d accesses", acc-runs)
+	}
+
+	_, r = driveStream(Config{BatchSize: 512, Profile: ProfileFull, Coalesce: true}, mergingOps(n))
+	acc, runs = r.CoalesceStats()
+	if acc != uint64(n) {
+		t.Fatalf("merging stream: gate fired despite merging (%d of %d accesses buffered)", acc, n)
+	}
+	if saved := acc - runs; saved*2 < acc {
+		t.Fatalf("merging stream merged too little: %d of %d", saved, acc)
+	}
+
+	// CoalesceForce pins the buffer on: the alternating stream that made
+	// the gate fire above must now stay buffered to the end, with the
+	// same report bytes as the plain path.
+	ref, _ := driveStream(Config{BatchSize: 512, Profile: ProfileFull}, alternatingOps(n))
+	got, r := driveStream(Config{BatchSize: 512, Profile: ProfileFull, CoalesceForce: true}, alternatingOps(n))
+	if got != ref {
+		t.Fatalf("forced-coalesce report diverges\nref:\n%s\ngot:\n%s", ref, got)
+	}
+	if acc, _ := r.CoalesceStats(); acc != uint64(n) {
+		t.Fatalf("forced buffer still gated: %d of %d accesses buffered", acc, n)
+	}
+}
+
+// TestCoalesceCapIdentical pins cap accounting: the MaxEvents governor
+// must shed the same events at the same points with coalescing on.
+func TestCoalesceCapIdentical(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	ops := mergingOps(5000)
+	limits := Limits{MaxEvents: 1200}
+	ref, rOff := driveStream(Config{BatchSize: 256, Profile: ProfileFull, Limits: limits}, ops)
+	got, rOn := driveStream(Config{BatchSize: 256, Profile: ProfileFull, Limits: limits, Coalesce: true}, ops)
+	if got != ref {
+		t.Fatalf("capped coalesced report diverges\nref:\n%s\ngot:\n%s", ref, got)
+	}
+	dOff, dOn := rOff.Diagnostics(), rOn.Diagnostics()
+	if dOff.Events != dOn.Events || dOff.DroppedEvents != dOn.DroppedEvents {
+		t.Fatalf("cap accounting differs: events %d/%d dropped %d/%d",
+			dOff.Events, dOn.Events, dOff.DroppedEvents, dOn.DroppedEvents)
+	}
+}

@@ -1,0 +1,132 @@
+package rt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool is a machine-wide budget of pipeline slots shared by concurrent
+// profiling sessions. One slot stands for one condensing worker
+// goroutine's worth of capacity; a session leases slots before
+// constructing its Runtime and sizes Config.Workers/Config.Shards from
+// the grant, so N concurrent sessions multiplex over one machine's
+// worth of goroutines instead of each spawning its own full pipeline.
+//
+// Acquire hands out partial grants under contention: a session that
+// asked for 8 workers may be granted 2 and run with degraded geometry
+// rather than queue behind the peak. Only when not even the caller's
+// minimum is free does Acquire block, and then it respects the caller's
+// context — the admission deadline bounds the wait.
+type Pool struct {
+	slots chan struct{} // buffered; len(slots) = free capacity
+	total int
+
+	mu       sync.Mutex
+	sessions int
+}
+
+// NewPool creates a pool with the given slot budget (minimum 1).
+func NewPool(total int) *Pool {
+	if total < 1 {
+		total = 1
+	}
+	p := &Pool{slots: make(chan struct{}, total), total: total}
+	for i := 0; i < total; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+// Grant is a leased pipeline geometry. Workers/Shards are ready to drop
+// into a Config; Release returns the slots to the pool (idempotent).
+type Grant struct {
+	Workers int
+	Shards  int
+
+	pool    *Pool
+	release sync.Once
+}
+
+// Release returns the grant's slots to the pool. Safe to call more than
+// once; call it after Runtime.Finish so the slots stay leased for the
+// session's whole lifetime.
+func (g *Grant) Release() {
+	g.release.Do(func() {
+		if g.pool == nil {
+			return
+		}
+		for i := 0; i < g.Workers; i++ {
+			g.pool.slots <- struct{}{}
+		}
+		g.pool.mu.Lock()
+		g.pool.sessions--
+		g.pool.mu.Unlock()
+	})
+}
+
+// Acquire leases between min and want slots. It first takes whatever is
+// immediately free; if that covers min, the (possibly partial) grant is
+// returned without blocking. Otherwise it blocks until the remainder of
+// min frees up or ctx is done — on cancellation every slot taken so far
+// is returned and ctx.Err() is reported. want and min are clamped to
+// [1, total], and min to want.
+func (p *Pool) Acquire(ctx context.Context, want, min int) (*Grant, error) {
+	want = clamp(want, 1, p.total)
+	min = clamp(min, 1, want)
+
+	got := 0
+	for got < want {
+		select {
+		case <-p.slots:
+			got++
+		default:
+			want = got // nothing free; stop topping up
+		}
+	}
+	for got < min {
+		select {
+		case <-p.slots:
+			got++
+		case <-ctx.Done():
+			for i := 0; i < got; i++ {
+				p.slots <- struct{}{}
+			}
+			return nil, fmt.Errorf("rt: pool acquire: %w", ctx.Err())
+		}
+	}
+	p.mu.Lock()
+	p.sessions++
+	p.mu.Unlock()
+	shards := got
+	if shards > 8 {
+		shards = 8
+	}
+	return &Grant{Workers: got, Shards: shards, pool: p}, nil
+}
+
+// Load reports the fraction of the slot budget currently leased, in
+// [0, 1]. The serving layer's degradation ladder keys off this.
+func (p *Pool) Load() float64 {
+	return float64(p.total-len(p.slots)) / float64(p.total)
+}
+
+// Sessions reports how many grants are outstanding.
+func (p *Pool) Sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sessions
+}
+
+// Total reports the pool's slot budget.
+func (p *Pool) Total() int { return p.total }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,161 @@
+package rt
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"carmot/internal/testutil"
+)
+
+// TestPoolAcquireRelease: an uncontended acquire gets the full ask, the
+// accounting tracks it, and Release is idempotent.
+func TestPoolAcquireRelease(t *testing.T) {
+	p := NewPool(8)
+	g, err := p.Acquire(context.Background(), 4, 1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if g.Workers != 4 || g.Shards != 4 {
+		t.Fatalf("grant = %d workers / %d shards, want 4/4", g.Workers, g.Shards)
+	}
+	if load := p.Load(); load != 0.5 {
+		t.Errorf("load = %v, want 0.5", load)
+	}
+	if p.Sessions() != 1 {
+		t.Errorf("sessions = %d, want 1", p.Sessions())
+	}
+	g.Release()
+	g.Release() // idempotent
+	if load := p.Load(); load != 0 {
+		t.Errorf("load after release = %v, want 0", load)
+	}
+	if p.Sessions() != 0 {
+		t.Errorf("sessions after release = %d, want 0", p.Sessions())
+	}
+}
+
+// TestPoolShardCap: grants never exceed the runtime's 8-shard default
+// even when the worker ask is larger.
+func TestPoolShardCap(t *testing.T) {
+	p := NewPool(32)
+	g, err := p.Acquire(context.Background(), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	if g.Workers != 16 || g.Shards != 8 {
+		t.Fatalf("grant = %d/%d, want 16 workers / 8 shards", g.Workers, g.Shards)
+	}
+}
+
+// TestPoolPartialGrant: under contention a session takes what is free
+// instead of blocking, as long as its minimum is covered.
+func TestPoolPartialGrant(t *testing.T) {
+	p := NewPool(8)
+	hog, err := p.Acquire(context.Background(), 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Release()
+	start := time.Now()
+	g, err := p.Acquire(context.Background(), 8, 1)
+	if err != nil {
+		t.Fatalf("partial acquire: %v", err)
+	}
+	defer g.Release()
+	if g.Workers != 2 {
+		t.Fatalf("partial grant = %d workers, want the 2 free slots", g.Workers)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("partial acquire blocked despite free capacity")
+	}
+}
+
+// TestPoolBlocksUntilRelease: when not even the minimum is free, Acquire
+// waits for a release rather than failing.
+func TestPoolBlocksUntilRelease(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	p := NewPool(2)
+	hog, err := p.Acquire(context.Background(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(released)
+		hog.Release()
+	}()
+	g, err := p.Acquire(context.Background(), 1, 1)
+	if err != nil {
+		t.Fatalf("blocked acquire: %v", err)
+	}
+	select {
+	case <-released:
+	default:
+		t.Error("acquire returned before the hog released")
+	}
+	g.Release()
+}
+
+// TestPoolAcquireCancelled: a blocked acquire must honor its context and
+// return every slot it had provisionally taken.
+func TestPoolAcquireCancelled(t *testing.T) {
+	p := NewPool(4)
+	hog, err := p.Acquire(context.Background(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	// min=2 can't be met (1 free): takes the free slot, then blocks.
+	if _, err := p.Acquire(ctx, 2, 2); err == nil {
+		t.Fatal("acquire succeeded past its deadline")
+	}
+	if load := p.Load(); load != 0.75 {
+		t.Errorf("load after cancelled acquire = %v, want 0.75 (provisional slot returned)", load)
+	}
+	if p.Sessions() != 1 {
+		t.Errorf("sessions = %d, want 1", p.Sessions())
+	}
+}
+
+// TestPoolConcurrentStress hammers the pool from many goroutines and
+// checks conservation: every slot comes back and no session leaks.
+func TestPoolConcurrentStress(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	p := NewPool(6)
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 25; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(3))*time.Millisecond)
+				g, err := p.Acquire(ctx, 1+rng.Intn(8), 1+rng.Intn(2))
+				if err == nil {
+					if g.Workers < 1 || g.Workers > p.Total() {
+						t.Errorf("grant of %d workers out of range", g.Workers)
+					}
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+					g.Release()
+				}
+				cancel()
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if load := p.Load(); load != 0 {
+		t.Errorf("load after stress = %v, want 0 (slots leaked)", load)
+	}
+	if p.Sessions() != 0 {
+		t.Errorf("sessions after stress = %d, want 0", p.Sessions())
+	}
+}

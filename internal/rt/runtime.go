@@ -45,6 +45,19 @@ type Config struct {
 	// retains nothing (every recovery falls back to degradation — useful
 	// for forcing the ladder in tests).
 	JournalBudgetBytes int64
+	// Coalesce enables producer-side access coalescing in the emit path
+	// (see coalesce.go): consecutive same-site/same-kind accesses on a
+	// constant stride collapse into one EvAccessRun batch slot. The
+	// condensed stream — and therefore every PSEC — is byte-identical
+	// either way. Off by default so direct Emit* users keep the exact
+	// historical wire format; carmot.Profile turns it on.
+	Coalesce bool
+	// CoalesceForce pins the combining buffer on, skipping the adaptive
+	// gate that would switch it off on non-merging streams. An overloaded
+	// serving layer sets it to trade producer CPU for pipeline volume:
+	// merged runs occupy fewer batch slots, which is what matters when N
+	// sessions contend for the shared worker pool. Implies Coalesce.
+	CoalesceForce bool
 }
 
 // Runtime is the profiling runtime. The program thread calls the Emit*
@@ -70,6 +83,16 @@ type Runtime struct {
 	finished    bool
 	acceptedLoc uint64
 	eventCapHit bool
+	// pend is the producer-side combining buffer (coalesce.go); only used
+	// when cfg.Coalesce is set. coOn starts as cfg.Coalesce and is cleared
+	// by the adaptive gate when merging isn't paying for itself (unless
+	// coForce pins it on); coAccesses/coRuns are the buffer's statistics.
+	pend       pendingRun
+	coOn       bool
+	coForce    bool
+	coProbed   bool
+	coAccesses uint64
+	coRuns     uint64
 
 	nextBatch int
 	filled    chan batchMsg
@@ -185,6 +208,8 @@ func New(cfg Config) *Runtime {
 		toPost:   make(chan processedMsg, queue),
 		done:     make(chan []*core.PSEC, 1),
 	}
+	r.coOn = cfg.Coalesce || cfg.CoalesceForce
+	r.coForce = cfg.CoalesceForce
 	r.bufPool.New = func() interface{} {
 		return &eventBuf{
 			evs:  make([]Event, 0, cfg.BatchSize),
@@ -246,6 +271,7 @@ func droppable(k EventKind) bool {
 // range, fixed, escape) should go through their Emit* helpers; a bare
 // Emit of those kinds sends a zero cold record.
 func (r *Runtime) Emit(ev Event) bool {
+	r.flushPending()
 	ev.cold = 0
 	return r.emit(ev)
 }
@@ -275,8 +301,11 @@ func (r *Runtime) emit(ev Event) bool {
 }
 
 // emitCold attaches a cold record to ev and queues it; the record is
-// detached again if the event is shed.
+// detached again if the event is shed. The pending run must flush before
+// the cold record is appended: flushing may rotate the batch (and its
+// cold table), and ev's cold index has to land in the same batch as ev.
 func (r *Runtime) emitCold(ev Event, cold EventCold) bool {
+	r.flushPending()
 	r.curCold = append(r.curCold, cold)
 	ev.cold = int32(len(r.curCold))
 	if !r.emit(ev) {
@@ -286,8 +315,34 @@ func (r *Runtime) emitCold(ev Event, cold EventCold) bool {
 	return true
 }
 
-// EmitAccess is the hot-path helper for single-cell accesses.
+// EmitAccess is the hot-path helper for single-cell accesses. With
+// Config.Coalesce the access may be absorbed into the pending run instead
+// of reaching a batch immediately; an absorbed access reports accepted,
+// with any MaxEvents shedding accounted when the run flushes.
 func (r *Runtime) EmitAccess(addr uint64, write bool, site int32, cs core.CallstackID) bool {
+	p := &r.pend
+	if p.active && write == p.write && site == p.site && cs == p.cs {
+		// Run-extend fast path: the second access of a run fixes the
+		// stride (wraparound arithmetic, so descending sweeps coalesce
+		// too); later accesses must continue it exactly.
+		if !p.haveStride {
+			p.stride = addr - p.lastAddr
+			p.haveStride = true
+			p.lastAddr = addr
+			p.count++
+			r.coAccesses++
+			return true
+		}
+		if addr == p.lastAddr+p.stride {
+			p.lastAddr = addr
+			p.count++
+			r.coAccesses++
+			return true
+		}
+	}
+	if r.coOn && !r.finished {
+		return r.coalesceStart(addr, write, site, cs)
+	}
 	return r.emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
 }
 
@@ -299,11 +354,18 @@ func (r *Runtime) EmitAccess(addr uint64, write bool, site int32, cs core.Callst
 // batch (and cap) boundaries so the condensed block structure downstream
 // is byte-identical. Reports whether any prefix was accepted.
 func (r *Runtime) EmitAccessRun(addr, stride uint64, count int64, write bool, site int32, cs core.CallstackID) bool {
+	r.flushPending()
+	return r.emitRun(addr, stride, count, write, site, cs)
+}
+
+// emitRun is EmitAccessRun's body; it must be entered with no pending run
+// buffered (flushPending itself lands here for merged runs).
+func (r *Runtime) emitRun(addr, stride uint64, count int64, write bool, site int32, cs core.CallstackID) bool {
 	if count <= 0 {
 		return false
 	}
 	if count == 1 {
-		return r.EmitAccess(addr, write, site, cs)
+		return r.emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
 	}
 	if r.finished {
 		r.dropped.Add(uint64(count))
@@ -363,6 +425,7 @@ func (r *Runtime) EmitAlloc(addr uint64, cells int64, cs core.CallstackID, meta 
 
 // EmitFree retires the allocation based at addr.
 func (r *Runtime) EmitFree(addr uint64) bool {
+	r.flushPending()
 	return r.emit(Event{Kind: EvFree, Addr: addr})
 }
 
@@ -387,12 +450,14 @@ func (r *Runtime) EmitFixed(roi int32, addr uint64, n int64, sets core.SetMask) 
 
 // BeginROI marks the start of a dynamic ROI invocation.
 func (r *Runtime) BeginROI(roi int) {
+	r.flushPending()
 	r.emit(Event{Kind: EvROIBegin, ROI: int32(roi)})
 	r.phase++
 }
 
 // EndROI marks the end of a dynamic ROI invocation.
 func (r *Runtime) EndROI(roi int) {
+	r.flushPending()
 	r.emit(Event{Kind: EvROIEnd, ROI: int32(roi)})
 	r.phase++
 }
@@ -432,6 +497,7 @@ func (r *Runtime) releaseBuf(buf *eventBuf) {
 // calls return the cached result instead of re-closing channels.
 func (r *Runtime) Finish() []*core.PSEC {
 	r.finishOnce.Do(func() {
+		r.flushPending()
 		r.finished = true
 		r.accepted.Store(r.acceptedLoc)
 		r.flush()

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// admission is per-tenant token-bucket admission control, sitting above
+// the runtime's per-session rt.Limits: Limits bound what one session
+// may consume, the bucket bounds how many sessions one tenant may start.
+// Each tenant owns an independent bucket of Burst tokens refilled at
+// Rate tokens/second; a request costs one token, and an empty bucket is
+// a shed decision with a retry hint — never a queued request, so one
+// hot tenant cannot build a backlog that starves the rest.
+type admission struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(rate float64, burst int, now func() time.Time) *admission {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{rate: rate, burst: float64(burst), now: now, tenants: make(map[string]*bucket)}
+}
+
+// admit spends one token from the tenant's bucket. On refusal it
+// reports how long until a full token accrues — the Retry-After hint.
+func (a *admission) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.now()
+	b, found := a.tenants[tenant]
+	if !found {
+		b = &bucket{tokens: a.burst, last: t}
+		a.tenants[tenant] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * a.rate
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"carmot"
+)
+
+// cacheKey derives the program-cache key: the hash of the source text
+// and every compile option that changes the lowered program. Requests
+// for the same source under different ROI selections are distinct
+// programs and must not share a cache slot.
+func cacheKey(filename, source string, opts carmot.CompileOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%t%t%t%t\x00", filename,
+		opts.ProfileOmpRegions, opts.ProfileStatsRegions, opts.WholeProgramROI, opts.IgnoreCarmotPragmas)
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is one compiled program, or one compile in flight. Waiters
+// block on ready; prog/err are immutable once ready is closed.
+//
+// run is a capacity-1 token granting the exclusive right to Profile the
+// shared program: carmot.Profile instruments the program's IR in place,
+// so two sessions may never run one Program concurrently. A session
+// that loses the token race compiles a private copy instead of queueing
+// (see Server.leaseProgram) — the cache trades compile work for
+// concurrency, never correctness.
+type cacheEntry struct {
+	ready chan struct{}
+	prog  *carmot.Program
+	err   error
+	run   chan struct{}
+}
+
+// tryRun claims the entry's exclusive run token without blocking.
+func (e *cacheEntry) tryRun() (release func(), ok bool) {
+	select {
+	case e.run <- struct{}{}:
+		return func() { <-e.run }, true
+	default:
+		return nil, false
+	}
+}
+
+// programCache is an LRU of compiled programs with singleflight
+// semantics: concurrent requests for the same key share one compile
+// instead of racing N frontend passes. Compile failures are not
+// retained — the next request retries, so a transient failure (or a
+// corrected source under the same key, which cannot happen with content
+// hashing but costs nothing to handle) does not stick.
+type programCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // key → *cacheSlot element
+	order   *list.List               // front = most recent
+
+	hits, misses uint64
+}
+
+type cacheSlot struct {
+	key   string
+	entry *cacheEntry
+}
+
+func newProgramCache(capacity int) *programCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &programCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the (settled) cache entry for key, compiling at most once
+// per key across concurrent callers. hit reports whether a previous
+// compile was reused (in-flight compiles joined by this caller count as
+// hits). The returned entry's prog/err are ready to read.
+func (c *programCache) get(key string, compile func() (*carmot.Program, error)) (_ *cacheEntry, hit bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		entry := el.Value.(*cacheSlot).entry
+		c.hits++
+		c.mu.Unlock()
+		<-entry.ready
+		return entry, true
+	}
+	entry := &cacheEntry{ready: make(chan struct{}), run: make(chan struct{}, 1)}
+	el := c.order.PushFront(&cacheSlot{key: key, entry: entry})
+	c.entries[key] = el
+	c.misses++
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheSlot).key)
+	}
+	c.mu.Unlock()
+
+	entry.prog, entry.err = compile()
+	close(entry.ready)
+	if entry.err != nil {
+		// Do not retain failures; evict our own slot if still present.
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return entry, false
+}
+
+// stats returns hit/miss counts and the current resident size.
+func (c *programCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

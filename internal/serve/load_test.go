@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+// loadSources is a small mix of fast programs so the load test
+// exercises cache hits, private compiles, and distinct PSEC shapes.
+var loadSources = []string{
+	`int a[8];
+int main() { int s = 0; #pragma carmot roi r
+for (int i = 0; i < 8; i++) { a[i] = i; s = s + a[i]; } return s; }`,
+	`int b[16];
+int main() { #pragma carmot roi w
+for (int i = 0; i < 16; i++) { b[i] = i * 3; } return b[5]; }`,
+	`int x = 0;
+int main() { #pragma carmot roi acc
+for (int i = 0; i < 12; i++) { x = x + i; } return x; }`,
+	`int m[4]; int o[4];
+int main() { m[0]=1; m[1]=2; m[2]=3; m[3]=4; #pragma carmot roi cp
+for (int i = 0; i < 4; i++) { o[i] = m[i]; } return o[3]; }`,
+}
+
+// TestServeLoad1000 drives ≥1000 concurrent profile requests through
+// the serving layer — every one launched before any is awaited — plus a
+// deliberately over-admitted tenant, and requires: every well-admitted
+// request completes cleanly, every shed is structured, and no goroutine
+// survives the final drain. Run it under -race to make the concurrency
+// claims meaningful (verify.sh does).
+func TestServeLoad1000(t *testing.T) {
+	baseline := testutil.Goroutines()
+	const good = 1000 // well-admitted requests
+	const noisy = 50  // over-budget tenant requests
+	s := New(Config{
+		PoolSlots:      8,
+		TenantRate:     100000, // the load tenant is never rate-shed
+		TenantBurst:    good * 2,
+		MaxTimeout:     2 * time.Minute,
+		DefaultTimeout: 2 * time.Minute,
+	})
+	// The noisy tenant gets its own tight bucket by going through the
+	// same admission map: burst 10 at ~0 refill means ~40 of its 50
+	// requests must shed.
+	s.adm.tenants["noisy"] = &bucket{tokens: 10, last: time.Now()}
+	s.adm.rate = 0.0001 // refill is negligible across the test
+	h := s.Handler()
+
+	var ok200, shed429, other atomic.Uint64
+	var firstOther atomic.Value
+	var wg sync.WaitGroup
+	post := func(tenant string, src string) {
+		defer wg.Done()
+		body, _ := json.Marshal(profileRequest{Source: src, TimeoutMs: 110_000})
+		r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+		r.Header.Set(TenantHeader, tenant)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		var resp profileResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			other.Add(1)
+			firstOther.CompareAndSwap(nil, fmt.Sprintf("non-JSON response: %s", w.Body.Bytes()))
+			return
+		}
+		switch {
+		case w.Code == http.StatusOK && resp.ExitCode == 0:
+			ok200.Add(1)
+		case w.Code == http.StatusTooManyRequests && resp.Kind == wire.KindShed && resp.RetryAfterMs > 0:
+			shed429.Add(1)
+		default:
+			other.Add(1)
+			firstOther.CompareAndSwap(nil, fmt.Sprintf("status %d kind %q exit %d: %s",
+				w.Code, resp.Kind, resp.ExitCode, resp.Error))
+		}
+	}
+
+	wg.Add(good + noisy)
+	for i := 0; i < good; i++ {
+		go post("load", loadSources[i%len(loadSources)])
+	}
+	for i := 0; i < noisy; i++ {
+		go post("noisy", loadSources[0])
+	}
+	wg.Wait()
+
+	if n := ok200.Load(); n < good {
+		t.Errorf("clean completions = %d, want ≥ %d", n, good)
+	}
+	if n := shed429.Load(); n < noisy/2 {
+		t.Errorf("structured sheds = %d, want ≥ %d (noisy tenant barely throttled)", n, noisy/2)
+	}
+	if n := other.Load(); n != 0 {
+		t.Errorf("%d unexpected responses; first: %v", n, firstOther.Load())
+	}
+	st := s.Snapshot()
+	if st.Requests != good+noisy {
+		t.Errorf("requests counter = %d, want %d", st.Requests, good+noisy)
+	}
+	if st.Sessions != 0 {
+		t.Errorf("%d sessions still registered after the burst", st.Sessions)
+	}
+	t.Logf("load: %d ok, %d shed, cache hits=%d misses=%d, retries=%d",
+		ok200.Load(), shed429.Load(), st.CacheHits, st.CacheMisses, st.Retries)
+
+	// The fleet must leave nothing behind.
+	testutil.WaitGoroutines(t, baseline)
+}

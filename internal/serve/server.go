@@ -1,0 +1,652 @@
+// Package serve is carmotd's serving layer: a multi-tenant
+// profiling-as-a-service front end over the carmot library. It
+// multiplexes N concurrent profile sessions over one shared rt.Pool,
+// reuses compiled programs through a content-addressed cache, bounds
+// every request with a deadline propagated into the interpreter and
+// runtime, sheds excess per-tenant load with token buckets, retries
+// sessions that lost data to pipeline faults, and degrades fidelity —
+// coalesce harder, shrink the replay journal, then truncate — as pool
+// load climbs.
+//
+// Failure model, mirroring the CLI's exit codes on the wire:
+//
+//	200 — the profile completed; body exit_code 0 (clean), 1 (program
+//	      fault), or 3 (budget/deadline truncation, partial PSECs)
+//	400 — malformed request (bad JSON, unknown use case)
+//	422 — the source does not compile, or has no ROI
+//	429 — admission control shed the request (token bucket or pool
+//	      deadline); retry_after_ms hints the backoff
+//	503 — the server is draining
+//	500 — the profile lost data and retries ran out
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"carmot"
+	"carmot/internal/rt"
+	"carmot/internal/wire"
+)
+
+// TenantHeader names the header carrying the tenant identity; absent
+// means the shared "anonymous" bucket.
+const TenantHeader = "X-Carmot-Tenant"
+
+// Config tunes the serving layer. Zero values mean the documented
+// defaults.
+type Config struct {
+	// PoolSlots is the machine-wide pipeline slot budget shared by all
+	// sessions (default 4×GOMAXPROCS).
+	PoolSlots int
+	// SessionWorkers is how many workers each session asks the pool for
+	// (default 2); under contention a session may be granted as little
+	// as one.
+	SessionWorkers int
+	// TenantRate / TenantBurst shape each tenant's token bucket
+	// (default 50 requests/second, burst 100).
+	TenantRate  float64
+	TenantBurst int
+	// MaxBodyBytes caps the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// MaxTimeout caps what a request may ask for (defaults 10s / 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRetries bounds re-runs of sessions that came back degraded
+	// (default 2, i.e. up to 3 attempts). RetryBase/RetryCap shape the
+	// exponential backoff between attempts (defaults 25ms / 500ms).
+	MaxRetries int
+	RetryBase  time.Duration
+	RetryCap   time.Duration
+	// LoadSoft / LoadHard are the pool-load thresholds of the
+	// degradation ladder (defaults 0.5 / 0.85): at soft, sessions run
+	// with forced coalescing and a shrunken replay journal; at hard,
+	// journal retention stops and an event cap truncates runaway runs.
+	LoadSoft float64
+	LoadHard float64
+	// JournalSoft is the shrunken replay-journal budget at the soft
+	// rung (default 4 MiB). HardMaxEvents is the event cap imposed at
+	// the hard rung (default 2M).
+	JournalSoft   int64
+	HardMaxEvents uint64
+	// CacheCapacity bounds the compiled-program cache (default 64).
+	CacheCapacity int
+	// Now overrides the clock for admission-control tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSlots <= 0 {
+		c.PoolSlots = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.SessionWorkers <= 0 {
+		c.SessionWorkers = 2
+	}
+	if c.TenantRate <= 0 {
+		c.TenantRate = 50
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 100
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Minute
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 500 * time.Millisecond
+	}
+	if c.LoadSoft <= 0 {
+		c.LoadSoft = 0.5
+	}
+	if c.LoadHard <= 0 {
+		c.LoadHard = 0.85
+	}
+	if c.JournalSoft == 0 {
+		c.JournalSoft = 4 << 20
+	}
+	if c.HardMaxEvents == 0 {
+		c.HardMaxEvents = 2_000_000
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 64
+	}
+	return c
+}
+
+// Server is one carmotd instance.
+type Server struct {
+	cfg   Config
+	pool  *rt.Pool
+	cache *programCache
+	adm   *admission
+
+	// drainMu guards the draining flag against racing session starts:
+	// request paths hold it shared while registering with inflight, so
+	// Drain's exclusive section is a clean cut — every session is either
+	// registered (and will be waited for) or sees draining set.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	requests  atomic.Uint64
+	completed atomic.Uint64
+	shed      atomic.Uint64
+	retries   atomic.Uint64
+	degraded  atomic.Uint64 // responses that exhausted retries
+}
+
+// New creates a server; callers own the http.Server wrapping Handler.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		pool:  rt.NewPool(cfg.PoolSlots),
+		cache: newProgramCache(cfg.CacheCapacity),
+		adm:   newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
+	}
+}
+
+// Pool exposes the shared slot pool (load tests and stats).
+func (s *Server) Pool() *rt.Pool { return s.pool }
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/profile", s.handleProfile)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/statz", s.handleStatz)
+	return mux
+}
+
+// Drain stops admitting new sessions and waits for in-flight ones.
+// Safe to call once; pair with http.Server.Shutdown for a full
+// graceful stop (Shutdown stops the listener, Drain stops admissions
+// for connections that are already established).
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// beginSession registers one in-flight session unless the server is
+// draining. The returned release must be called exactly once.
+func (s *Server) beginSession() (release func(), ok bool) {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Done() }, true
+}
+
+// profileRequest is the /v1/profile body.
+type profileRequest struct {
+	Filename string `json:"filename"`
+	Source   string `json:"source"`
+	// Use selects the recommendation target: openmp (default), task,
+	// smartptr, stats.
+	Use string `json:"use"`
+	// ROI selection, mirroring the CLI flags. omp_rois defaults true.
+	OmpROIs   *bool `json:"omp_rois"`
+	StatsROIs bool  `json:"stats_rois"`
+	Whole     bool  `json:"whole"`
+	Naive     bool  `json:"naive"`
+	// TimeoutMs bounds the session (0 = server default, capped at the
+	// server max). The deadline propagates into the interpreter and
+	// runtime; breaching it truncates the profile (exit_code 3).
+	TimeoutMs int64 `json:"timeout_ms"`
+	// Budgets, 0 = unlimited (the load-shed ladder may tighten them).
+	MaxSteps  int64  `json:"max_steps"`
+	MaxEvents uint64 `json:"max_events"`
+	MaxCells  int64  `json:"max_cells"`
+	// PSECs includes the per-ROI characterizations in the response;
+	// Reports includes the human-readable recommendation per ROI.
+	PSECs   bool `json:"psecs"`
+	Reports bool `json:"reports"`
+}
+
+// profileResponse is the /v1/profile body: the shared wire.Summary
+// triage document plus serving-layer context.
+type profileResponse struct {
+	wire.Summary
+	// CacheHit reports whether the compiled program was reused.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Workers is the granted session geometry (may be below the ask
+	// under load). DegradeLevel is the ladder rung the session ran at.
+	Workers      int `json:"workers,omitempty"`
+	DegradeLevel int `json:"degrade_level,omitempty"`
+	// Stdout is the program's output, capped at 64 KiB.
+	Stdout  string          `json:"stdout,omitempty"`
+	PSECs   json.RawMessage `json:"psecs,omitempty"`
+	Reports []string        `json:"reports,omitempty"`
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.reply(w, http.StatusMethodNotAllowed, &profileResponse{Summary: wire.Summary{
+			ExitCode: 2, Kind: wire.KindUsage, Error: "POST required"}})
+		return
+	}
+	release, ok := s.beginSession()
+	if !ok {
+		s.reply(w, http.StatusServiceUnavailable, &profileResponse{Summary: wire.Summary{
+			ExitCode: 2, Kind: wire.KindDraining, Error: "server is draining",
+			RetryAfterMs: 1000}})
+		return
+	}
+	defer release()
+
+	var req profileRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.reply(w, http.StatusBadRequest, &profileResponse{Summary: wire.Summary{
+			ExitCode: 2, Kind: wire.KindUsage, Error: "bad request body: " + err.Error()}})
+		return
+	}
+	useCase, err := parseUseCase(req.Use)
+	if err != nil {
+		s.reply(w, http.StatusBadRequest, &profileResponse{Summary: wire.Summary{
+			ExitCode: 2, Kind: wire.KindUsage, Error: err.Error()}})
+		return
+	}
+	if req.Source == "" {
+		s.reply(w, http.StatusBadRequest, &profileResponse{Summary: wire.Summary{
+			ExitCode: 2, Kind: wire.KindUsage, Error: "empty source"}})
+		return
+	}
+
+	// Per-tenant admission: one token per request, shed on empty.
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	if ok, retryAfter := s.adm.admit(tenant); !ok {
+		s.shed.Add(1)
+		s.shedReply(w, retryAfter, fmt.Sprintf("tenant %q over admission rate", tenant))
+		return
+	}
+
+	// Compile through the content-addressed cache.
+	filename := req.Filename
+	if filename == "" {
+		filename = "request.mc"
+	}
+	copts := carmot.CompileOptions{
+		ProfileOmpRegions:   req.OmpROIs == nil || *req.OmpROIs,
+		ProfileStatsRegions: req.StatsROIs,
+		WholeProgramROI:     req.Whole,
+	}
+	entry, hit := s.cache.get(cacheKey(filename, req.Source, copts), func() (*carmot.Program, error) {
+		return carmot.Compile(filename, req.Source, copts)
+	})
+	if entry.err != nil {
+		s.reply(w, http.StatusUnprocessableEntity, &profileResponse{Summary: wire.Summary{
+			ExitCode: 1, Kind: wire.KindError, Error: entry.err.Error()}, CacheHit: hit})
+		return
+	}
+	// Profiling instruments the program's IR in place, so the shared
+	// cached program admits one session at a time. Take its run token if
+	// free; otherwise compile a private copy — compile cost is small
+	// next to a profile run, and sessions must not queue behind an
+	// unrelated tenant's deadline.
+	prog := entry.prog
+	release, exclusive := entry.tryRun()
+	if !exclusive {
+		private, cerr := carmot.Compile(filename, req.Source, copts)
+		if cerr != nil {
+			s.reply(w, http.StatusUnprocessableEntity, &profileResponse{Summary: wire.Summary{
+				ExitCode: 1, Kind: wire.KindError, Error: cerr.Error()}, CacheHit: hit})
+			return
+		}
+		prog = private
+		release = func() {}
+	}
+	defer release()
+	if len(prog.ROIs()) == 0 {
+		s.reply(w, http.StatusUnprocessableEntity, &profileResponse{Summary: wire.Summary{
+			ExitCode: 1, Kind: wire.KindError,
+			Error: "program has no ROI; add '#pragma carmot roi' or set whole=true"}, CacheHit: hit})
+		return
+	}
+
+	// Deadline: the whole session — pool wait, every attempt, backoff —
+	// runs under one context derived from the client connection.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Snapshot the ladder rung before taking our own slots: degradation
+	// reacts to load from *other* sessions, not to the grant this
+	// session is about to hold.
+	level := s.degradeLevel()
+
+	// Lease session geometry from the shared pool; a partial grant
+	// shrinks the pipeline rather than queueing, and an exhausted pool
+	// sheds when the deadline expires first.
+	grant, err := s.pool.Acquire(ctx, s.cfg.SessionWorkers, 1)
+	if err != nil {
+		s.shed.Add(1)
+		s.shedReply(w, s.cfg.RetryBase, "worker pool exhausted: "+err.Error())
+		return
+	}
+	defer grant.Release()
+
+	resp := s.runSession(ctx, prog, &req, useCase, grant, level)
+	resp.CacheHit = hit
+	status := http.StatusOK
+	if resp.Kind == wire.KindInternal {
+		status = http.StatusInternalServerError
+	}
+	s.reply(w, status, resp)
+}
+
+// degradeLevel maps current pool load onto the ladder rung new sessions
+// run at: 0 full fidelity, 1 forced coalescing + shrunken journal, 2 no
+// journal retention + event cap.
+func (s *Server) degradeLevel() int {
+	load := s.pool.Load()
+	switch {
+	case load >= s.cfg.LoadHard:
+		return 2
+	case load >= s.cfg.LoadSoft:
+		return 1
+	}
+	return 0
+}
+
+// runSession executes the profile with retry-on-degraded: a session
+// whose pipeline lost data (journal evicted, replay failed) is re-run
+// from the cached program with capped exponential backoff, as long as
+// the deadline allows. The runtime's own journal replay handles faults
+// in-process; this loop is the outer rung for the runs replay could not
+// make whole.
+func (s *Server) runSession(ctx context.Context, prog *carmot.Program, req *profileRequest,
+	useCase carmot.UseCase, grant *rt.Grant, level int) *profileResponse {
+
+	opts := carmot.ProfileOptions{
+		UseCase:   useCase,
+		Naive:     req.Naive,
+		Workers:   grant.Workers,
+		Shards:    grant.Shards,
+		Context:   ctx,
+		MaxSteps:  req.MaxSteps,
+		MaxEvents: req.MaxEvents,
+		MaxCells:  req.MaxCells,
+		Recover:   true,
+	}
+	switch {
+	case level >= 2:
+		opts.ForceCoalesce = true
+		opts.JournalBudgetBytes = -1 // retain nothing; degrade instead of replay
+		if opts.MaxEvents == 0 || opts.MaxEvents > s.cfg.HardMaxEvents {
+			opts.MaxEvents = s.cfg.HardMaxEvents
+		}
+	case level == 1:
+		opts.ForceCoalesce = true
+		opts.JournalBudgetBytes = s.cfg.JournalSoft
+	}
+
+	var stdout capWriter
+	opts.Stdout = &stdout
+
+	resp := &profileResponse{Workers: grant.Workers, DegradeLevel: level}
+	var res *carmot.ProfileResult
+	var rerr error
+	for attempt := 0; ; attempt++ {
+		stdout.Reset()
+		res, rerr = prog.Profile(opts)
+		resp.Attempts = attempt + 1
+		if rerr == nil || !carmot.IsDegraded(rerr) || attempt >= s.cfg.MaxRetries {
+			break
+		}
+		// Degraded: the pipeline dropped data but the program is fine —
+		// the retryable class. Back off and re-run from the cached
+		// program, unless the deadline will expire first.
+		backoff := s.cfg.RetryBase << attempt
+		if backoff > s.cfg.RetryCap {
+			backoff = s.cfg.RetryCap
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+			s.retries.Add(1)
+		case <-ctx.Done():
+			timer.Stop()
+			attempt = s.cfg.MaxRetries // deadline first; keep this result
+		}
+	}
+	resp.Stdout = stdout.String()
+	if res != nil {
+		resp.Diagnostics = &res.Diagnostics
+	}
+
+	switch {
+	case rerr == nil && res.Diagnostics.Truncated:
+		resp.ExitCode = 3
+		resp.Kind = wire.KindBudget
+		resp.Error = "run truncated: " + res.Diagnostics.TruncatedReason
+	case rerr == nil:
+		resp.ExitCode = 0
+		resp.Kind = wire.KindOK
+		s.completed.Add(1)
+	case carmot.IsDegraded(rerr):
+		s.degraded.Add(1)
+		resp.ExitCode = 1
+		resp.Kind = wire.KindInternal
+		resp.Error = rerr.Error()
+		return resp
+	default:
+		// Program fault: the session completed, the program is broken.
+		resp.ExitCode = 1
+		resp.Kind = wire.KindError
+		resp.Error = rerr.Error()
+	}
+
+	if req.PSECs && res != nil && res.PSECs != nil {
+		if data, err := carmot.MarshalPSECs(res.PSECs); err == nil {
+			resp.PSECs = data
+		}
+	}
+	if req.Reports && res != nil {
+		resp.Reports = renderReports(prog, res, useCase)
+	}
+	return resp
+}
+
+// renderReports produces one recommendation report per profiled ROI.
+func renderReports(prog *carmot.Program, res *carmot.ProfileResult, useCase carmot.UseCase) []string {
+	var out []string
+	for _, roi := range prog.ROIs() {
+		if roi.ID >= len(res.PSECs) || res.PSECs[roi.ID] == nil {
+			continue
+		}
+		psec := res.PSECs[roi.ID]
+		switch useCase {
+		case carmot.UseOpenMP:
+			out = append(out, carmot.RecommendParallelFor(psec, roi).Report())
+		case carmot.UseTask:
+			out = append(out, carmot.RecommendTask(psec).Pragma())
+		case carmot.UseSmartPointers:
+			out = append(out, carmot.RecommendSmartPointers(psec).Report())
+		case carmot.UseSTATS:
+			out = append(out, carmot.RecommendSTATS(psec).Pragma())
+		}
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats is the /v1/statz document.
+type Stats struct {
+	Requests     uint64  `json:"requests"`
+	Completed    uint64  `json:"completed"`
+	Shed         uint64  `json:"shed"`
+	Retries      uint64  `json:"retries"`
+	Degraded     uint64  `json:"degraded"`
+	Sessions     int     `json:"sessions"`
+	PoolSlots    int     `json:"pool_slots"`
+	Load         float64 `json:"load"`
+	DegradeLevel int     `json:"degrade_level"`
+	Draining     bool    `json:"draining"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheSize    int     `json:"cache_size"`
+}
+
+// Snapshot returns the server's current stats.
+func (s *Server) Snapshot() Stats {
+	hits, misses, size := s.cache.stats()
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	return Stats{
+		Requests:     s.requests.Load(),
+		Completed:    s.completed.Load(),
+		Shed:         s.shed.Load(),
+		Retries:      s.retries.Load(),
+		Degraded:     s.degraded.Load(),
+		Sessions:     s.pool.Sessions(),
+		PoolSlots:    s.pool.Total(),
+		Load:         s.pool.Load(),
+		DegradeLevel: s.degradeLevel(),
+		Draining:     draining,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheSize:    size,
+	}
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// shedReply writes a structured 429 with the Retry-After hint in both
+// the header (whole seconds, rounded up) and the body (milliseconds).
+func (s *Server) shedReply(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	s.reply(w, http.StatusTooManyRequests, &profileResponse{Summary: wire.Summary{
+		ExitCode: 2, Kind: wire.KindShed, Error: msg,
+		RetryAfterMs: retryAfter.Milliseconds()}})
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, resp *profileResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"exit_code":1,"kind":%q,"error":%q}`, wire.KindInternal, err.Error())
+		return
+	}
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func parseUseCase(use string) (carmot.UseCase, error) {
+	switch use {
+	case "", "openmp":
+		return carmot.UseOpenMP, nil
+	case "task":
+		return carmot.UseTask, nil
+	case "smartptr":
+		return carmot.UseSmartPointers, nil
+	case "stats":
+		return carmot.UseSTATS, nil
+	}
+	return 0, fmt.Errorf("unknown use case %q", use)
+}
+
+// capWriter buffers program stdout up to a fixed cap; overflow is
+// dropped with a marker so responses stay bounded.
+type capWriter struct {
+	buf       []byte
+	truncated bool
+}
+
+const stdoutCap = 64 << 10
+
+func (c *capWriter) Write(p []byte) (int, error) {
+	if room := stdoutCap - len(c.buf); room > 0 {
+		if len(p) <= room {
+			c.buf = append(c.buf, p...)
+		} else {
+			c.buf = append(c.buf, p[:room]...)
+			c.truncated = true
+		}
+	} else if len(p) > 0 {
+		c.truncated = true
+	}
+	return len(p), nil
+}
+
+func (c *capWriter) Reset() { c.buf = c.buf[:0]; c.truncated = false }
+
+func (c *capWriter) String() string {
+	if c.truncated {
+		return string(c.buf) + "\n[stdout truncated]\n"
+	}
+	return string(c.buf)
+}
+
+var _ io.Writer = (*capWriter)(nil)

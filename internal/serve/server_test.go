@@ -1,0 +1,537 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"carmot"
+	"carmot/internal/faultinject"
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+const demoSrc = `int N = 64;
+int a[64];
+int main() {
+	int s = 0;
+	#pragma carmot roi hot
+	for (int i = 0; i < N; i++) {
+		a[i] = i * 2;
+		s = s + a[i];
+	}
+	return s % 251;
+}
+`
+
+// spinSrc runs long enough for deadline/cancellation tests to hit it
+// mid-flight on any machine.
+const spinSrc = `int main() {
+	int s = 0;
+	#pragma carmot roi spin
+	for (int i = 0; i < 200000000; i++) { s = s + i; }
+	return s;
+}
+`
+
+func postProfile(t *testing.T, h http.Handler, req profileRequest, hdr map[string]string) (*httptest.ResponseRecorder, profileResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	var resp profileResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, w.Body.Bytes())
+	}
+	return w, resp
+}
+
+// TestServeProfile is the happy path: compile, profile, respond 200
+// with exit_code 0, diagnostics, PSECs, and a recommendation report;
+// the second request for the same source must hit the program cache.
+func TestServeProfile(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	h := s.Handler()
+
+	w, resp := postProfile(t, h, profileRequest{Source: demoSrc, PSECs: true, Reports: true}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.Bytes())
+	}
+	if resp.ExitCode != 0 || resp.Kind != wire.KindOK {
+		t.Fatalf("exit=%d kind=%q err=%q, want clean run", resp.ExitCode, resp.Kind, resp.Error)
+	}
+	if resp.Diagnostics == nil || resp.Diagnostics.Events == 0 {
+		t.Errorf("diagnostics missing or empty: %+v", resp.Diagnostics)
+	}
+	if resp.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", resp.Attempts)
+	}
+	if resp.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if len(resp.PSECs) == 0 {
+		t.Error("psecs requested but absent")
+	}
+	if len(resp.Reports) == 0 || !strings.Contains(resp.Reports[0], "pragma") {
+		t.Errorf("reports requested but absent/empty: %q", resp.Reports)
+	}
+	if resp.Workers < 1 {
+		t.Errorf("granted workers = %d", resp.Workers)
+	}
+
+	_, resp2 := postProfile(t, h, profileRequest{Source: demoSrc}, nil)
+	if !resp2.CacheHit {
+		t.Error("second request missed the program cache")
+	}
+	st := s.Snapshot()
+	if st.Requests != 2 || st.Completed != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestServeRequestErrors covers the 4xx ladder: malformed body, unknown
+// use case, empty source, compile error, ROI-less program, bad method.
+func TestServeRequestErrors(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	h := s.Handler()
+
+	cases := []struct {
+		name     string
+		body     string
+		method   string
+		wantCode int
+		wantKind string
+	}{
+		{"bad json", "{", http.MethodPost, http.StatusBadRequest, wire.KindUsage},
+		{"unknown use", `{"source":"int main(){return 0;}","use":"mpi"}`, http.MethodPost, http.StatusBadRequest, wire.KindUsage},
+		{"empty source", `{}`, http.MethodPost, http.StatusBadRequest, wire.KindUsage},
+		{"compile error", `{"source":"int main() { return x; }"}`, http.MethodPost, http.StatusUnprocessableEntity, wire.KindError},
+		{"no roi", `{"source":"int main() { return 0; }"}`, http.MethodPost, http.StatusUnprocessableEntity, wire.KindError},
+		{"bad method", "", http.MethodGet, http.StatusMethodNotAllowed, wire.KindUsage},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := httptest.NewRequest(c.method, "/v1/profile", strings.NewReader(c.body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			if w.Code != c.wantCode {
+				t.Fatalf("status = %d, want %d; body %s", w.Code, c.wantCode, w.Body.Bytes())
+			}
+			var resp profileResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("error response is not JSON: %v", err)
+			}
+			if resp.Kind != c.wantKind || resp.Error == "" {
+				t.Errorf("kind=%q error=%q, want kind %q with message", resp.Kind, resp.Error, c.wantKind)
+			}
+		})
+	}
+}
+
+// TestServeProgramFault: a program that crashes still completes the
+// session — 200 with exit_code 1 and the fault text, mirroring the CLI.
+func TestServeProgramFault(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	w, resp := postProfile(t, s.Handler(), profileRequest{
+		Source: "int main() { int* p; #pragma carmot roi r\nfor (int i = 0; i < 2; i++) { p[i] = 1; }\nreturn 0; }",
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (completed session)", w.Code)
+	}
+	if resp.ExitCode != 1 || resp.Kind != wire.KindError || resp.Error == "" {
+		t.Fatalf("exit=%d kind=%q err=%q, want program-fault error", resp.ExitCode, resp.Kind, resp.Error)
+	}
+}
+
+// TestServeDeadline: a request deadline must truncate the session, not
+// hang it — 200 with exit_code 3 and the truncation reason.
+func TestServeDeadline(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	start := time.Now()
+	w, resp := postProfile(t, s.Handler(), profileRequest{Source: spinSrc, TimeoutMs: 150}, nil)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline did not cut the run: took %v", elapsed)
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.Bytes())
+	}
+	if resp.ExitCode != 3 || resp.Kind != wire.KindBudget {
+		t.Fatalf("exit=%d kind=%q err=%q, want budget truncation", resp.ExitCode, resp.Kind, resp.Error)
+	}
+	if resp.Diagnostics == nil || !resp.Diagnostics.Truncated {
+		t.Errorf("diagnostics not marked truncated: %+v", resp.Diagnostics)
+	}
+}
+
+// TestServeCancelMidSession: the client going away cancels the session
+// through the request context; the session must wind down without
+// leaking pipeline goroutines.
+func TestServeCancelMidSession(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	body, _ := json.Marshal(profileRequest{Source: spinSrc, TimeoutMs: 30_000})
+	ctx, cancel := context.WithCancel(context.Background())
+	r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	s.Handler().ServeHTTP(w, r)
+	var resp profileResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not JSON: %v", err)
+	}
+	if resp.ExitCode != 3 || resp.Kind != wire.KindBudget {
+		t.Fatalf("exit=%d kind=%q, want truncation from cancellation", resp.ExitCode, resp.Kind)
+	}
+}
+
+// TestServeAdmissionShed: a tenant over its token bucket gets a
+// structured 429 with a Retry-After hint, and does not consume a
+// session; other tenants are unaffected.
+func TestServeAdmissionShed(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{TenantRate: 0.001, TenantBurst: 1})
+	h := s.Handler()
+
+	if w, _ := postProfile(t, h, profileRequest{Source: demoSrc}, map[string]string{TenantHeader: "alice"}); w.Code != http.StatusOK {
+		t.Fatalf("first request: status %d", w.Code)
+	}
+	w, resp := postProfile(t, h, profileRequest{Source: demoSrc}, map[string]string{TenantHeader: "alice"})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429", w.Code)
+	}
+	if resp.Kind != wire.KindShed || resp.RetryAfterMs <= 0 {
+		t.Fatalf("shed response = kind %q retry_after_ms %d", resp.Kind, resp.RetryAfterMs)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+	if w, _ := postProfile(t, h, profileRequest{Source: demoSrc}, map[string]string{TenantHeader: "bob"}); w.Code != http.StatusOK {
+		t.Errorf("other tenant was shed too: status %d", w.Code)
+	}
+	if st := s.Snapshot(); st.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", st.Shed)
+	}
+}
+
+// TestServeRetryFromJournal is the recovery contract end to end: a
+// pipeline fault that defeats the in-process journal replay surfaces as
+// a degraded first attempt; the serving layer re-runs the session from
+// the cached program and the final response must be clean — with PSECs
+// byte-identical to a fault-free run.
+func TestServeRetryFromJournal(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	h := s.Handler()
+
+	// Fault-free reference first (also warms the program cache).
+	_, ref := postProfile(t, h, profileRequest{Source: demoSrc, PSECs: true}, nil)
+	if ref.ExitCode != 0 {
+		t.Fatalf("reference run failed: %+v", ref)
+	}
+
+	// Shot 1 panics the first shard op; the replay shot panics the
+	// rebuild, so the in-process supervisor has to degrade — the class
+	// of failure only a session re-run can heal.
+	defer faultinject.Reset()
+	faultinject.Set("rt.shard.apply", faultinject.PanicOnShots("injected shard fault", 1))
+	faultinject.Set("rt.shard.replay", faultinject.PanicOnShots("injected replay fault", 1))
+
+	w, resp := postProfile(t, h, profileRequest{Source: demoSrc, PSECs: true}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.Bytes())
+	}
+	if resp.ExitCode != 0 || resp.Kind != wire.KindOK {
+		t.Fatalf("exit=%d kind=%q err=%q, want retried clean run", resp.ExitCode, resp.Kind, resp.Error)
+	}
+	if resp.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one degraded, one clean)", resp.Attempts)
+	}
+	if !resp.CacheHit {
+		t.Error("retry path should run from the cached program")
+	}
+	if !bytes.Equal(resp.PSECs, ref.PSECs) {
+		t.Fatalf("retried PSECs differ from fault-free reference\nref:\n%s\ngot:\n%s", ref.PSECs, resp.PSECs)
+	}
+	if st := s.Snapshot(); st.Retries != 1 || st.Degraded != 0 {
+		t.Errorf("stats = %+v, want retries=1 degraded=0", st)
+	}
+}
+
+// TestServeRetriesExhausted: when every attempt comes back degraded the
+// daemon stops retrying and answers 500 with the internal kind — the
+// honest signal that the profile, not the program, is at fault.
+func TestServeRetriesExhausted(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{MaxRetries: 1, RetryBase: time.Millisecond})
+	defer faultinject.Reset()
+	// Panic on every shard op and every replay: no attempt can finish
+	// clean, whatever the op count — the deterministic-fault worst case
+	// the respawn cap exists for.
+	faultinject.Set("rt.shard.apply", func() { panic("injected") })
+	faultinject.Set("rt.shard.replay", func() { panic("injected replay") })
+
+	w, resp := postProfile(t, s.Handler(), profileRequest{Source: demoSrc}, nil)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %s", w.Code, w.Body.Bytes())
+	}
+	if resp.Kind != wire.KindInternal || resp.Attempts != 2 {
+		t.Fatalf("kind=%q attempts=%d, want internal after 2 attempts", resp.Kind, resp.Attempts)
+	}
+	if resp.Diagnostics == nil || len(resp.Diagnostics.Recoveries) == 0 {
+		t.Errorf("degraded response carries no recovery trail: %+v", resp.Diagnostics)
+	}
+	if st := s.Snapshot(); st.Degraded != 1 {
+		t.Errorf("degraded counter = %d, want 1", st.Degraded)
+	}
+}
+
+// TestServeDrain: draining refuses new sessions with structured 503s,
+// healthz flips, and in-flight sessions complete first.
+func TestServeDrain(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	h := s.Handler()
+
+	// An in-flight session started before the drain...
+	started := make(chan struct{})
+	finished := make(chan profileResponse, 1)
+	go func() {
+		close(started)
+		_, resp := postProfile(t, h, profileRequest{Source: demoSrc}, nil)
+		finished <- resp
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// ...must have completed by the time Drain returns.
+	select {
+	case resp := <-finished:
+		if resp.ExitCode != 0 {
+			t.Errorf("in-flight session during drain: %+v", resp)
+		}
+	default:
+		t.Error("Drain returned with a session still in flight")
+	}
+
+	w, resp := postProfile(t, h, profileRequest{Source: demoSrc}, nil)
+	if w.Code != http.StatusServiceUnavailable || resp.Kind != wire.KindDraining {
+		t.Fatalf("post-drain request: status %d kind %q, want 503 draining", w.Code, resp.Kind)
+	}
+	hw := httptest.NewRecorder()
+	h.ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if hw.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", hw.Code)
+	}
+}
+
+// TestServeDegradeLadder pins the load → fidelity mapping without
+// standing up real load: levels derive from pool occupancy.
+func TestServeDegradeLadder(t *testing.T) {
+	s := New(Config{PoolSlots: 4})
+	if lvl := s.degradeLevel(); lvl != 0 {
+		t.Fatalf("idle level = %d", lvl)
+	}
+	g1, err := s.pool.Acquire(context.Background(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := s.degradeLevel(); lvl != 1 {
+		t.Fatalf("level at load 0.5 = %d, want 1 (soft)", lvl)
+	}
+	g2, err := s.pool.Acquire(context.Background(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := s.degradeLevel(); lvl != 2 {
+		t.Fatalf("level at load 1.0 = %d, want 2 (hard)", lvl)
+	}
+	g2.Release()
+	g1.Release()
+
+	// A session admitted at the hard rung runs truncation-capped but
+	// still completes with valid PSECs. The rung is snapshotted before
+	// the session takes its own slots, so the pre-existing load alone
+	// must cross the hard threshold: 7 of 8 slots out is 0.875 ≥ 0.85.
+	s = New(Config{PoolSlots: 8})
+	hogs := make([]interface{ Release() }, 0, 7)
+	for i := 0; i < 7; i++ {
+		g, err := s.pool.Acquire(context.Background(), 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hogs = append(hogs, g)
+	}
+	defer func() {
+		for _, g := range hogs {
+			g.Release()
+		}
+	}()
+	w, resp := postProfile(t, s.Handler(), profileRequest{Source: demoSrc}, nil)
+	if w.Code != http.StatusOK || resp.ExitCode != 0 {
+		t.Fatalf("hard-rung session: status %d exit %d err %q", w.Code, resp.ExitCode, resp.Error)
+	}
+	if resp.DegradeLevel != 2 {
+		t.Errorf("degrade_level = %d, want 2", resp.DegradeLevel)
+	}
+	if resp.Workers != 1 {
+		t.Errorf("workers = %d, want the single remaining slot", resp.Workers)
+	}
+}
+
+// TestServeStatz exercises the endpoint shape.
+func TestServeStatz(t *testing.T) {
+	s := New(Config{})
+	postProfile(t, s.Handler(), profileRequest{Source: demoSrc}, nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/statz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("statz = %d", w.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("statz not JSON: %v", err)
+	}
+	if st.Requests != 1 || st.PoolSlots < 1 {
+		t.Errorf("statz = %+v", st)
+	}
+}
+
+// TestServeCacheSingleflight: concurrent requests for one uncached
+// source must share a single compile.
+func TestServeCacheSingleflight(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	c := newProgramCache(8)
+	key := cacheKey("x.mc", demoSrc, carmot.CompileOptions{ProfileOmpRegions: true})
+	compiles := make(chan struct{}, 16)
+	done := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		go func() {
+			entry, _ := c.get(key, func() (*carmot.Program, error) {
+				compiles <- struct{}{}
+				time.Sleep(10 * time.Millisecond)
+				return carmot.Compile("x.mc", demoSrc, carmot.CompileOptions{ProfileOmpRegions: true})
+			})
+			done <- entry.err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("cached compile: %v", err)
+		}
+	}
+	if n := len(compiles); n != 1 {
+		t.Fatalf("%d compiles for one key, want 1", n)
+	}
+}
+
+// TestServeCacheEviction: the LRU must bound residency and keep the
+// hottest entries.
+func TestServeCacheEviction(t *testing.T) {
+	c := newProgramCache(2)
+	compile := func(src string) func() (*carmot.Program, error) {
+		return func() (*carmot.Program, error) {
+			return carmot.Compile("x.mc", src, carmot.CompileOptions{WholeProgramROI: true})
+		}
+	}
+	srcs := make([]string, 3)
+	keys := make([]string, 3)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("int main() { return %d; }", i)
+		keys[i] = cacheKey("x.mc", srcs[i], carmot.CompileOptions{WholeProgramROI: true})
+	}
+	for i, src := range srcs {
+		if entry, _ := c.get(keys[i], compile(src)); entry.err != nil {
+			t.Fatal(entry.err)
+		}
+	}
+	// 0 is the LRU victim; 1 and 2 resident.
+	if _, hit := c.get(keys[2], compile(srcs[2])); !hit {
+		t.Error("hottest entry was evicted")
+	}
+	if _, hit := c.get(keys[0], compile(srcs[0])); hit {
+		t.Error("oldest entry survived past capacity")
+	}
+	if _, _, size := c.stats(); size != 2 {
+		t.Errorf("cache size = %d, want 2", size)
+	}
+}
+
+// TestServeCacheErrorNotRetained: compile failures must not poison the
+// cache.
+func TestServeCacheErrorNotRetained(t *testing.T) {
+	c := newProgramCache(4)
+	key := cacheKey("x.mc", "int main() { return y; }", carmot.CompileOptions{})
+	if entry, _ := c.get(key, func() (*carmot.Program, error) {
+		return carmot.Compile("x.mc", "int main() { return y; }", carmot.CompileOptions{})
+	}); entry.err == nil {
+		t.Fatal("bad program compiled")
+	}
+	// The follow-up must re-run the compile (miss, not a cached error).
+	ran := false
+	if entry, hit := c.get(key, func() (*carmot.Program, error) {
+		ran = true
+		return carmot.Compile("x.mc", demoSrc, carmot.CompileOptions{})
+	}); entry.err != nil || hit || !ran {
+		t.Fatalf("error was retained: err=%v hit=%v ran=%v", entry.err, hit, ran)
+	}
+}
+
+// TestServeAdmissionRefill pins the token-bucket arithmetic with a fake
+// clock.
+func TestServeAdmissionRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	a := newAdmission(2, 2, func() time.Time { return now })
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.admit("t"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := a.admit("t")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint = %v, want (0, 500ms]-ish", retry)
+	}
+	now = now.Add(600 * time.Millisecond) // refills 1.2 tokens
+	if ok, _ := a.admit("t"); !ok {
+		t.Fatal("refilled bucket refused")
+	}
+	if ok, _ := a.admit("t"); ok {
+		t.Fatal("bucket over-refilled")
+	}
+}

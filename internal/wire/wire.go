@@ -1,0 +1,70 @@
+// Package wire defines the machine-readable run summary shared by every
+// carmot entry point. The CLI's -diag-json file and carmotd's JSON
+// responses carry the same document, so one supervisor-side parser can
+// triage a run regardless of how it was launched.
+package wire
+
+import (
+	"encoding/json"
+
+	"carmot/internal/rt"
+)
+
+// Outcome kinds. The CLI derives its kind from the process exit code;
+// the daemon additionally distinguishes admission and lifecycle
+// failures that a one-shot process cannot hit.
+const (
+	KindOK       = "ok"       // profile completed, recommendations valid
+	KindError    = "error"    // compile/runtime/analysis failure
+	KindUsage    = "usage"    // malformed invocation or request
+	KindBudget   = "budget"   // budget or deadline breached; partial PSECs
+	KindShed     = "shed"     // admission control rejected the request
+	KindDraining = "draining" // server is shutting down; retry elsewhere
+	KindInternal = "internal" // serving-layer fault, not the profile's
+)
+
+// Summary is the triage document: enough for a supervisor process (or a
+// carmotd client) to classify a run without parsing human output.
+type Summary struct {
+	// ExitCode mirrors the CLI exit codes: 0 success, 1 analysis or
+	// runtime error, 2 usage error, 3 budget/deadline exceeded. Daemon
+	// responses reuse the same numbering for completed profiles.
+	ExitCode int `json:"exit_code"`
+	// Kind classifies the outcome (one of the Kind* constants).
+	Kind string `json:"kind"`
+	// Error is the failure text, empty on success.
+	Error string `json:"error,omitempty"`
+	// RetryAfterMs is a client backoff hint, set only on shed and
+	// draining responses.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// Attempts is how many profile attempts the serving layer made
+	// (journal-replay retries included); zero when no profile started.
+	Attempts int `json:"attempts,omitempty"`
+	// Diagnostics is the runtime's account of the run; nil on paths
+	// that never profiled (usage/compile errors, shed requests).
+	Diagnostics *rt.Diagnostics `json:"diagnostics"`
+}
+
+// KindForExit maps a CLI exit code onto its outcome kind.
+func KindForExit(code int) string {
+	switch code {
+	case 0:
+		return KindOK
+	case 2:
+		return KindUsage
+	case 3:
+		return KindBudget
+	default:
+		return KindError
+	}
+}
+
+// Encode renders the summary as indented JSON with a trailing newline,
+// the format both the -diag-json file and the daemon body use.
+func (s *Summary) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

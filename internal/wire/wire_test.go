@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"carmot/internal/rt"
+)
+
+// TestSummaryRoundTrip pins the schema both entry points share: a fully
+// populated summary must survive Encode → Unmarshal unchanged, including
+// the nested runtime diagnostics.
+func TestSummaryRoundTrip(t *testing.T) {
+	in := Summary{
+		ExitCode:     3,
+		Kind:         KindBudget,
+		Error:        "deadline exceeded",
+		RetryAfterMs: 250,
+		Attempts:     2,
+		Diagnostics: &rt.Diagnostics{
+			Events:        12345,
+			DroppedEvents: 7,
+			Batches:       11,
+			PeakLiveCells: 999,
+			Callstacks:    3,
+			Downgrades:    []rt.Downgrade{{Reason: "max cells"}},
+			Recoveries:    []rt.Recovery{{Stage: "shard", ID: 2, Outcome: rt.RecoveryReplayed, Reason: "fault", Ops: 40}},
+			WorkerPanics:  1,
+			Errors:        []string{"contained: fault"},
+			Truncated:     true,
+		},
+	}
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("encoded summary must end in a newline")
+	}
+	var out Summary
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the summary\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+// TestSummaryWireNames pins the JSON field names — they are the contract
+// between carmot/carmotd and external supervisors, so renames must be
+// deliberate.
+func TestSummaryWireNames(t *testing.T) {
+	s := Summary{ExitCode: 1, Kind: KindError, Error: "x", RetryAfterMs: 5, Attempts: 1}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"exit_code", "kind", "error", "retry_after_ms", "attempts", "diagnostics"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("marshalled summary is missing %q: %s", key, data)
+		}
+	}
+	if len(m) != 6 {
+		t.Errorf("marshalled summary has unexpected fields: %s", data)
+	}
+}
+
+// TestKindForExit covers the CLI exit-code mapping.
+func TestKindForExit(t *testing.T) {
+	want := map[int]string{0: KindOK, 1: KindError, 2: KindUsage, 3: KindBudget, 7: KindError}
+	for code, kind := range want {
+		if got := KindForExit(code); got != kind {
+			t.Errorf("KindForExit(%d) = %q, want %q", code, got, kind)
+		}
+	}
+}

@@ -24,9 +24,18 @@ go test -race -count=1 -run 'Shard|CellCapLadderUnderShards' ./internal/rt/
 
 echo "== go test -race (recovery + seeded chaos smoke) =="
 # Deterministic: schedules derive from the fixed base seed, and any
-# failure prints the exact seed to replay.
+# failure prints the exact seed to replay. The chaos package includes
+# the daemon schedules (concurrent faulted clients against a live
+# serve.Server, checked for retry-healed byte-identical PSECs).
 go test -race -count=1 -run 'Recovered|Recovery|Respawn|Eviction|Drained' ./internal/rt/
 go test -race -count=1 ./internal/chaos/
+
+echo "== go test -race (daemon smoke) =="
+# The serving layer under contention: ≥1000 concurrent requests plus an
+# over-budget tenant (sheds must be structured 429s), fault-injected
+# sessions healed by retry-from-journal, and a drain that leaves no
+# goroutine behind.
+go test -race -count=1 -run 'ServeLoad1000|ServeRetry|ServeDrain|ServeAdmission|ServeDegrade' ./internal/serve/
 
 echo "== go test -race (engine differential) =="
 # Tree-walker vs bytecode engine, coalescing off/on: byte-identical
@@ -41,5 +50,6 @@ echo "== benchmark smoke =="
 go test -run NONE -bench 'BenchmarkProfiledRun' -benchtime 1x .
 go test -run NONE -bench 'BenchmarkPipeline|BenchmarkCondense' -benchtime 1x ./internal/rt/
 go run ./cmd/carmot-bench -exp interp -interp-iters 1
+go run ./cmd/carmot-bench -exp serve -serve-clients 4 -serve-requests 24
 
 echo "verify: OK"
