@@ -196,7 +196,19 @@ type ProfileOptions struct {
 	// JournalBudgetBytes bounds the replay journal's retention when
 	// Recover is set (0 = 32 MiB default, negative = retain nothing).
 	JournalBudgetBytes int64
+
+	// Progress, when non-nil, receives pipeline-volume snapshots from the
+	// program thread at batch boundaries and once more when the pipeline
+	// drains (Final set). It is how long sessions become observable
+	// mid-flight — carmotd's streaming responses are fed by it. The hook
+	// runs on the event hot path between batches: keep it fast, and do
+	// not call back into the profiling run.
+	Progress func(ProgressUpdate)
 }
+
+// ProgressUpdate re-exports the runtime's mid-run volume snapshot (see
+// ProfileOptions.Progress).
+type ProgressUpdate = rt.ProgressUpdate
 
 // DegradedError reports a run whose program executed but whose profile
 // lost data to contained pipeline faults (the runtime's recover → degrade
@@ -278,6 +290,7 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 		JournalBudgetBytes: opts.JournalBudgetBytes,
 		Coalesce:           !opts.NoCoalesce,
 		CoalesceForce:      opts.ForceCoalesce,
+		Progress:           opts.Progress,
 	})
 	var deadline time.Time
 	if opts.Timeout > 0 {

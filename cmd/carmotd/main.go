@@ -12,7 +12,11 @@
 // Endpoints:
 //
 //	POST /v1/profile — profile a source; see internal/serve for the
-//	                   request/response schema
+//	                   request/response schema. Identical repeated
+//	                   requests replay from the PSEC result cache
+//	                   (X-Carmot-Result-Cache header reports the
+//	                   outcome); ?stream=1 switches the response to
+//	                   NDJSON progress events
 //	GET  /v1/healthz — liveness (503 while draining)
 //	GET  /v1/statz   — serving-layer counters as JSON
 //
@@ -53,6 +57,8 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 0, "cap on per-request deadlines (0 = default 60s)")
 		defTimeout   = flag.Duration("default-timeout", 0, "deadline when a request carries none (0 = default 10s)")
 		maxRetries   = flag.Int("max-retries", 0, "re-runs of sessions that came back degraded (0 = default 2)")
+		resultBytes  = flag.Int64("result-cache-bytes", 0, "byte budget of the PSEC result cache (0 = default 64 MiB)")
+		noResults    = flag.Bool("no-result-cache", false, "disable the PSEC result cache; every request runs a session")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight sessions")
 	)
 	flag.Parse()
@@ -61,14 +67,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	resultCacheBytes := *resultBytes
+	if *noResults {
+		resultCacheBytes = -1
+	}
 	if err := run(*addr, serve.Config{
-		PoolSlots:      *poolSlots,
-		SessionWorkers: *sessWorkers,
-		TenantRate:     *tenantRate,
-		TenantBurst:    *tenantBurst,
-		MaxTimeout:     *maxTimeout,
-		DefaultTimeout: *defTimeout,
-		MaxRetries:     *maxRetries,
+		PoolSlots:        *poolSlots,
+		SessionWorkers:   *sessWorkers,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
+		MaxTimeout:       *maxTimeout,
+		DefaultTimeout:   *defTimeout,
+		MaxRetries:       *maxRetries,
+		ResultCacheBytes: resultCacheBytes,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "carmotd:", err)
 		os.Exit(1)

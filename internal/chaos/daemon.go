@@ -122,6 +122,10 @@ func ExecuteDaemon(s DaemonSchedule) DaemonResult {
 		PoolSlots:  s.Slots,
 		RetryBase:  time.Millisecond,
 		TenantRate: 1000, TenantBurst: 10000, // per-tenant shed tested separately
+		// The reference pass would warm the result cache and the burst
+		// would replay bodies without running — the faults would never
+		// fire. Chaos wants every request to execute.
+		ResultCacheBytes: -1,
 	})
 	h := srv.Handler()
 	res := DaemonResult{Schedule: s}

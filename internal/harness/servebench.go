@@ -6,6 +6,16 @@
 // behind carmotd's headline claim: N tenants multiplexed over one
 // machine's worth of pipeline goroutines with bounded, observable
 // latency.
+//
+// Three sections:
+//
+//   - burst: the steady-state mixed-key burst (result cache disabled so
+//     every request runs a real session — comparable across revisions)
+//   - hot_key: one key requested repeatedly with the result cache on,
+//     against the same requests forced to re-run; the gap is the cache's
+//     headline win
+//   - saturation: offered load stepped past the shed point on a small
+//     fixed pool, latency and shed rate per step
 package harness
 
 import (
@@ -39,6 +49,28 @@ int main() { for (int i = 0; i < 48; i++) { m[i] = i * 3; }
 for (int i = 0; i < 48; i++) { o[i] = m[i] * 2 + 1; } return o[7]; }`,
 }
 
+// ServeHotKeyReport is the hot-key repeat section: the same request
+// served from the result cache vs forced to re-run.
+type ServeHotKeyReport struct {
+	Repeats    int     `json:"repeats"`
+	ColdP50Ms  float64 `json:"cold_p50_ms"` // forced re-runs (no_result_cache)
+	HotP50Ms   float64 `json:"hot_p50_ms"`  // result-cache hits
+	Speedup    float64 `json:"speedup"`     // cold p50 / hot p50
+	ResultHits uint64  `json:"result_hits"`
+}
+
+// ServeSaturationPoint is one offered-load step of the saturation sweep.
+type ServeSaturationPoint struct {
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	OK             int     `json:"ok"`
+	Shed           int     `json:"shed"`
+	Errors         int     `json:"errors"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
 // ServeBenchReport is the machine-readable experiment output.
 type ServeBenchReport struct {
 	GOOS       string `json:"goos"`
@@ -64,12 +96,38 @@ type ServeBenchReport struct {
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 	Retries     uint64 `json:"retries"`
+
+	HotKey     *ServeHotKeyReport     `json:"hot_key,omitempty"`
+	Saturation []ServeSaturationPoint `json:"saturation,omitempty"`
+}
+
+// fire posts one request body at the handler and reports status and
+// latency.
+func fire(h http.Handler, body []byte, tenant string) (int, time.Duration) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	if tenant != "" {
+		req.Header.Set(serve.TenantHeader, tenant)
+	}
+	w := httptest.NewRecorder()
+	t0 := time.Now()
+	h.ServeHTTP(w, req)
+	return w.Code, time.Since(t0)
+}
+
+// percentile reads the p-th percentile (0..1) off a sorted slice, in ms.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e6
 }
 
 // ServeBench runs the burst: clients concurrent workers issue requests
 // round-robin over the source mix until total requests have been sent,
-// then the server drains. Latencies are measured around the whole
-// handler (admission, cache, pool wait, profile, marshalling).
+// then the hot-key and saturation sections run on fresh servers.
+// Latencies are measured around the whole handler (admission, cache,
+// pool wait, profile, marshalling).
 func ServeBench(clients, total int) (ServeBenchReport, error) {
 	if clients <= 0 {
 		clients = 32
@@ -81,6 +139,10 @@ func ServeBench(clients, total int) (ServeBenchReport, error) {
 		TenantBurst:    total * 2,
 		TenantRate:     float64(total), // admission never the bottleneck here
 		DefaultTimeout: 2 * time.Minute,
+		// Every burst request must run a real session; with the result
+		// cache on, everything after warm-up would be a replay and the
+		// numbers would stop being comparable across revisions.
+		ResultCacheBytes: -1,
 	})
 	h := srv.Handler()
 	rep := ServeBenchReport{
@@ -102,10 +164,8 @@ func ServeBench(clients, total int) (ServeBenchReport, error) {
 	}
 	// Warm the cache so the measured burst reflects steady-state serving.
 	for i := range bodies {
-		w := httptest.NewRecorder()
-		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(bodies[i])))
-		if w.Code != http.StatusOK {
-			return rep, fmt.Errorf("warm-up request %d: status %d: %s", i, w.Code, w.Body.Bytes())
+		if code, _ := fire(h, bodies[i], ""); code != http.StatusOK {
+			return rep, fmt.Errorf("warm-up request %d: status %d", i, code)
 		}
 	}
 
@@ -123,14 +183,7 @@ func ServeBench(clients, total int) (ServeBenchReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				req := httptest.NewRequest(http.MethodPost, "/v1/profile",
-					bytes.NewReader(bodies[i%len(bodies)]))
-				req.Header.Set(serve.TenantHeader, fmt.Sprintf("bench-%d", i%8))
-				w := httptest.NewRecorder()
-				t0 := time.Now()
-				h.ServeHTTP(w, req)
-				latencies[i] = time.Since(t0)
-				outcomes[i] = w.Code
+				outcomes[i], latencies[i] = fire(h, bodies[i%len(bodies)], fmt.Sprintf("bench-%d", i%8))
 			}
 		}()
 	}
@@ -153,11 +206,7 @@ func ServeBench(clients, total int) (ServeBenchReport, error) {
 		return rep, fmt.Errorf("no request succeeded (%d shed, %d errors)", rep.Shed, rep.Errors)
 	}
 	sort.Slice(okLat, func(a, b int) bool { return okLat[a] < okLat[b] })
-	pct := func(p float64) float64 {
-		idx := int(p * float64(len(okLat)-1))
-		return float64(okLat[idx].Nanoseconds()) / 1e6
-	}
-	rep.P50Ms, rep.P95Ms, rep.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	rep.P50Ms, rep.P95Ms, rep.P99Ms = percentile(okLat, 0.50), percentile(okLat, 0.95), percentile(okLat, 0.99)
 	rep.MaxMs = float64(okLat[len(okLat)-1].Nanoseconds()) / 1e6
 	var sum time.Duration
 	for _, l := range okLat {
@@ -169,7 +218,150 @@ func ServeBench(clients, total int) (ServeBenchReport, error) {
 
 	st := srv.Snapshot()
 	rep.CacheHits, rep.CacheMisses, rep.Retries = st.CacheHits, st.CacheMisses, st.Retries
+
+	hot, err := serveHotKey(total / 4)
+	if err != nil {
+		return rep, err
+	}
+	rep.HotKey = hot
+	rep.Saturation, err = serveSaturation()
+	return rep, err
+}
+
+// serveHotKey measures the result cache's repeat-request win: the same
+// request issued sequentially, once forced to re-run every time
+// (no_result_cache) and once served from the cache after a single warm
+// run. Sequential issue keeps contention out of the comparison.
+func serveHotKey(repeats int) (*ServeHotKeyReport, error) {
+	if repeats < 50 {
+		repeats = 50
+	}
+	srv := serve.New(serve.Config{
+		TenantBurst:    repeats * 4,
+		TenantRate:     float64(repeats * 4),
+		DefaultTimeout: 2 * time.Minute,
+	})
+	h := srv.Handler()
+	cold, err := json.Marshal(map[string]any{"source": serveBenchSources[0], "psecs": true, "no_result_cache": true})
+	if err != nil {
+		return nil, err
+	}
+	hot, err := json.Marshal(map[string]any{"source": serveBenchSources[0], "psecs": true})
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(body []byte) ([]time.Duration, error) {
+		lat := make([]time.Duration, repeats)
+		for i := range lat {
+			code, d := fire(h, body, "hot")
+			if code != http.StatusOK {
+				return nil, fmt.Errorf("hot-key request: status %d", code)
+			}
+			lat[i] = d
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		return lat, nil
+	}
+
+	coldLat, err := measure(cold)
+	if err != nil {
+		return nil, err
+	}
+	// One warm run stores the result; the hot loop then replays it.
+	if code, _ := fire(h, hot, "hot"); code != http.StatusOK {
+		return nil, fmt.Errorf("hot-key warm run failed")
+	}
+	hotLat, err := measure(hot)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ServeHotKeyReport{
+		Repeats:    repeats,
+		ColdP50Ms:  percentile(coldLat, 0.50),
+		HotP50Ms:   percentile(hotLat, 0.50),
+		ResultHits: srv.Snapshot().ResultHits,
+	}
+	if rep.HotP50Ms > 0 {
+		rep.Speedup = rep.ColdP50Ms / rep.HotP50Ms
+	}
 	return rep, nil
+}
+
+// saturationSteps are the offered-load levels of the sweep.
+var saturationSteps = []int{1, 2, 4, 8, 16, 32, 64}
+
+// saturationDeadline bounds each sweep request. Sessions themselves run
+// ~1ms, so the deadline is effectively a cap on pool queueing: once
+// offered load drives the expected wait past it, requests shed instead
+// of queueing — the behavior the sweep exists to show.
+const saturationDeadline = 25 * time.Millisecond
+
+// serveSaturation steps concurrent offered load past the shed point of
+// a deliberately small fixed pool: a short request deadline turns pool
+// queueing into sheds, so the sweep shows where latency degrades and
+// admission starts refusing instead of queueing without bound.
+func serveSaturation() ([]ServeSaturationPoint, error) {
+	var points []ServeSaturationPoint
+	body, err := json.Marshal(map[string]any{"source": serveBenchSources[0]})
+	if err != nil {
+		return nil, err
+	}
+	for _, clients := range saturationSteps {
+		srv := serve.New(serve.Config{
+			PoolSlots:        4,
+			DefaultTimeout:   saturationDeadline,
+			TenantBurst:      1 << 20,
+			TenantRate:       1 << 20,
+			ResultCacheBytes: -1, // every request must contend for the pool
+		})
+		h := srv.Handler()
+		if code, _ := fire(h, body, ""); code != http.StatusOK {
+			return nil, fmt.Errorf("saturation warm-up: status %d", code)
+		}
+
+		total := 40 * clients
+		latencies := make([]time.Duration, total)
+		outcomes := make([]int, total)
+		next := make(chan int, total)
+		for i := 0; i < total; i++ {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					outcomes[i], latencies[i] = fire(h, body, fmt.Sprintf("sat-%d", i%8))
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+
+		pt := ServeSaturationPoint{Clients: clients, Requests: total}
+		var okLat []time.Duration
+		for i, code := range outcomes {
+			switch code {
+			case http.StatusOK:
+				pt.OK++
+				okLat = append(okLat, latencies[i])
+			case http.StatusTooManyRequests:
+				pt.Shed++
+			default:
+				pt.Errors++
+			}
+		}
+		sort.Slice(okLat, func(a, b int) bool { return okLat[a] < okLat[b] })
+		pt.P50Ms, pt.P95Ms = percentile(okLat, 0.50), percentile(okLat, 0.95)
+		pt.RequestsPerSec = float64(total) / wall.Seconds()
+		points = append(points, pt)
+	}
+	return points, nil
 }
 
 // RenderServeBench formats the report as a text table.
@@ -186,6 +378,22 @@ func RenderServeBench(rep ServeBenchReport) string {
 	fmt.Fprintf(&sb, "%-12s %10.0f req/s\n", "throughput", rep.RequestsPerSs)
 	fmt.Fprintf(&sb, "ok=%d shed=%d errors=%d cache=%d/%d retries=%d\n",
 		rep.OK, rep.Shed, rep.Errors, rep.CacheHits, rep.CacheHits+rep.CacheMisses, rep.Retries)
+	if rep.HotKey != nil {
+		hk := rep.HotKey
+		fmt.Fprintf(&sb, "\nHot-key repeats (result cache, %d repeats)\n", hk.Repeats)
+		fmt.Fprintf(&sb, "%-12s %10.3f ms\n", "cold p50", hk.ColdP50Ms)
+		fmt.Fprintf(&sb, "%-12s %10.3f ms\n", "hot p50", hk.HotP50Ms)
+		fmt.Fprintf(&sb, "%-12s %9.1fx (result hits %d)\n", "speedup", hk.Speedup, hk.ResultHits)
+	}
+	if len(rep.Saturation) > 0 {
+		fmt.Fprintf(&sb, "\nSaturation sweep (4 pool slots, %v deadline)\n", saturationDeadline)
+		fmt.Fprintf(&sb, "%8s %8s %6s %6s %10s %10s %10s\n",
+			"clients", "requests", "ok", "shed", "p50 ms", "p95 ms", "req/s")
+		for _, pt := range rep.Saturation {
+			fmt.Fprintf(&sb, "%8d %8d %6d %6d %10.2f %10.2f %10.0f\n",
+				pt.Clients, pt.Requests, pt.OK, pt.Shed, pt.P50Ms, pt.P95Ms, pt.RequestsPerSec)
+		}
+	}
 	return sb.String()
 }
 

@@ -366,3 +366,53 @@ func TestSummaryInvariantToBatchBoundaries(t *testing.T) {
 		}
 	}
 }
+
+// TestProgressHook pins the Config.Progress contract: snapshots arrive
+// on the program thread at batch boundaries, counts are monotonic, the
+// last snapshot is Final with the full event count, and a MaxEvents
+// downgrade becomes visible through the Downgrades counter.
+func TestProgressHook(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	var ups []ProgressUpdate
+	f := newFeeder(Config{
+		BatchSize: 8,
+		Workers:   2,
+		Profile:   ProfileFull,
+		Limits:    Limits{MaxEvents: 40},
+		Progress:  func(u ProgressUpdate) { ups = append(ups, u) },
+	})
+	f.alloc(100, 4, core.PSEHeap, "arr")
+	f.r.BeginROI(0)
+	for i := 0; i < 64; i++ {
+		f.access(100+uint64(i%4), i%2 == 0)
+	}
+	f.r.EndROI(0)
+	f.r.Finish()
+
+	if len(ups) < 3 {
+		t.Fatalf("progress snapshots = %d, want several (batch=8, 64 accesses)", len(ups))
+	}
+	var prev ProgressUpdate
+	for i, u := range ups {
+		if u.Events < prev.Events || u.Batches < prev.Batches ||
+			u.Downgrades < prev.Downgrades || u.Recoveries < prev.Recoveries {
+			t.Fatalf("snapshot %d went backwards: %+v after %+v", i, u, prev)
+		}
+		if u.Final && i != len(ups)-1 {
+			t.Fatalf("snapshot %d marked Final before the end", i)
+		}
+		prev = u
+	}
+	last := ups[len(ups)-1]
+	if !last.Final {
+		t.Fatalf("last snapshot not Final: %+v", last)
+	}
+	diag := f.r.Diagnostics()
+	if last.Events != diag.Events {
+		t.Errorf("final Events = %d, diagnostics say %d", last.Events, diag.Events)
+	}
+	if last.Downgrades == 0 || last.Dropped == 0 {
+		t.Errorf("MaxEvents cap invisible to progress: %+v (diag %+v)", last, diag)
+	}
+}

@@ -58,6 +58,32 @@ type Config struct {
 	// merged runs occupy fewer batch slots, which is what matters when N
 	// sessions contend for the shared worker pool. Implies Coalesce.
 	CoalesceForce bool
+	// Progress, when non-nil, is invoked from the program thread at every
+	// batch boundary (and once more inside Finish) with a monotonic
+	// snapshot of pipeline volume. The callback runs on the Emit hot path
+	// between batches, so it must be fast and must not call back into the
+	// runtime; downgrade/recovery counts may lag the pipeline goroutines
+	// that record them by a batch.
+	Progress func(ProgressUpdate)
+}
+
+// ProgressUpdate is one pipeline-volume snapshot handed to the
+// Config.Progress hook: how far the run has come, and whether the
+// degradation ladder or the supervisors have intervened so far.
+type ProgressUpdate struct {
+	// Events is the number of events accepted so far; Dropped counts
+	// events shed by the MaxEvents cap.
+	Events  uint64
+	Dropped uint64
+	// Batches is the number of batches pushed into the pipeline.
+	Batches int
+	// Downgrades / Recoveries count degradation-ladder steps and
+	// supervisor interventions recorded so far; a consumer that sees
+	// either grow mid-run is watching a fidelity transition happen.
+	Downgrades int
+	Recoveries int
+	// Final marks the snapshot Finish fires after the pipeline drained.
+	Final bool
 }
 
 // Runtime is the profiling runtime. The program thread calls the Emit*
@@ -117,6 +143,11 @@ type Runtime struct {
 	dropped   atomic.Uint64
 	liveCells atomic.Int64
 	peakCells atomic.Int64
+	// Atomic mirrors of len(diag.Downgrades)/len(diag.Recoveries) so the
+	// Progress hook can read them from the program thread without taking
+	// diagMu on the emit path.
+	nDowngrades atomic.Int32
+	nRecoveries atomic.Int32
 
 	diagMu sync.Mutex
 	diag   Diagnostics
@@ -479,6 +510,24 @@ func (r *Runtime) flush() {
 	}
 	r.filled <- batchMsg{idx: r.nextBatch, buf: buf, journaled: journaled}
 	r.nextBatch++
+	r.fireProgress(false)
+}
+
+// fireProgress hands the Progress hook a volume snapshot. Called only
+// from the program thread (flush and Finish), so consumers see a
+// single-threaded, monotonic stream.
+func (r *Runtime) fireProgress(final bool) {
+	if r.cfg.Progress == nil {
+		return
+	}
+	r.cfg.Progress(ProgressUpdate{
+		Events:     r.acceptedLoc,
+		Dropped:    r.dropped.Load(),
+		Batches:    r.nextBatch,
+		Downgrades: int(r.nDowngrades.Load()),
+		Recoveries: int(r.nRecoveries.Load()),
+		Final:      final,
+	})
 }
 
 // releaseBuf drops one reference on buf and recycles it once the last
@@ -504,6 +553,7 @@ func (r *Runtime) Finish() []*core.PSEC {
 		close(r.filled)
 		r.result = <-r.done
 		r.assembleDiagnostics()
+		r.fireProgress(true)
 	})
 	return r.result
 }
@@ -560,6 +610,7 @@ func (r *Runtime) recordDowngrade(reason, action string, atEvent uint64) {
 	r.diag.Downgrades = append(r.diag.Downgrades, Downgrade{
 		Reason: reason, Action: action, AtEvent: atEvent,
 	})
+	r.nDowngrades.Store(int32(len(r.diag.Downgrades)))
 }
 
 // escalate climbs one degradation-ladder rung. The sequencer and any
@@ -577,6 +628,7 @@ func (r *Runtime) escalate(reason string) bool {
 	r.diag.Downgrades = append(r.diag.Downgrades, Downgrade{
 		Reason: reason, Action: degradeName(lvl), AtEvent: r.accepted.Load(),
 	})
+	r.nDowngrades.Store(int32(len(r.diag.Downgrades)))
 	return true
 }
 
@@ -633,6 +685,7 @@ func (r *Runtime) recordRecovery(rec Recovery) {
 	r.diagMu.Lock()
 	defer r.diagMu.Unlock()
 	r.diag.Recoveries = append(r.diag.Recoveries, rec)
+	r.nRecoveries.Store(int32(len(r.diag.Recoveries)))
 }
 
 // recordPanic is the historical degrade-rung bookkeeping: count the

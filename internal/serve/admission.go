@@ -12,14 +12,27 @@ import (
 // Rate tokens/second; a request costs one token, and an empty bucket is
 // a shed decision with a retry hint — never a queued request, so one
 // hot tenant cannot build a backlog that starves the rest.
+//
+// Buckets are created on a tenant's first request and expired by a lazy
+// sweep once they have been idle long enough to be full again (refill
+// time ≥ burst/rate): a full bucket is indistinguishable from a fresh
+// one, so expiry is lossless, and a client cycling through fabricated
+// tenant IDs can only grow the map to the number of IDs seen within one
+// refill window instead of without bound.
 type admission struct {
 	rate  float64 // tokens per second
 	burst float64
 	now   func() time.Time
 
-	mu      sync.Mutex
-	tenants map[string]*bucket
+	mu         sync.Mutex
+	tenants    map[string]*bucket
+	sinceSweep int // admits since the last idle-bucket sweep
 }
+
+// sweepEvery is how many admits may pass between idle-bucket sweeps.
+// Each sweep is O(tenants), so the amortized cost per admit is O(1)
+// once the map is larger than sweepEvery.
+const sweepEvery = 256
 
 type bucket struct {
 	tokens float64
@@ -45,6 +58,9 @@ func (a *admission) admit(tenant string) (ok bool, retryAfter time.Duration) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	t := a.now()
+	if a.sinceSweep++; a.sinceSweep >= sweepEvery {
+		a.sweep(t)
+	}
 	b, found := a.tenants[tenant]
 	if !found {
 		b = &bucket{tokens: a.burst, last: t}
@@ -64,4 +80,24 @@ func (a *admission) admit(tenant string) (ok bool, retryAfter time.Duration) {
 		wait = time.Millisecond
 	}
 	return false, wait
+}
+
+// sweep drops every bucket whose lazy refill has already returned it to
+// full: tokens + idle·rate ≥ burst means the tenant's next request
+// would find the bucket exactly as a fresh one, so nothing is lost.
+// Caller holds mu.
+func (a *admission) sweep(t time.Time) {
+	a.sinceSweep = 0
+	for id, b := range a.tenants {
+		if b.tokens+t.Sub(b.last).Seconds()*a.rate >= a.burst {
+			delete(a.tenants, id)
+		}
+	}
+}
+
+// size reports the resident bucket count (tests).
+func (a *admission) size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.tenants)
 }

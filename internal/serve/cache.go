@@ -2,25 +2,10 @@ package serve
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"sync"
 
 	"carmot"
 )
-
-// cacheKey derives the program-cache key: the hash of the source text
-// and every compile option that changes the lowered program. Requests
-// for the same source under different ROI selections are distinct
-// programs and must not share a cache slot.
-func cacheKey(filename, source string, opts carmot.CompileOptions) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%t%t%t%t\x00", filename,
-		opts.ProfileOmpRegions, opts.ProfileStatsRegions, opts.WholeProgramROI, opts.IgnoreCarmotPragmas)
-	h.Write([]byte(source))
-	return hex.EncodeToString(h.Sum(nil))
-}
 
 // cacheEntry is one compiled program, or one compile in flight. Waiters
 // block on ready; prog/err are immutable once ready is closed.
@@ -66,6 +51,12 @@ type programCache struct {
 type cacheSlot struct {
 	key   string
 	entry *cacheEntry
+	// settled flips once the slot's compile finished. Unsettled slots are
+	// pinned: evicting one would drop the key from the map while its
+	// compile is still in flight, so a concurrent getter for the same hot
+	// key would start a duplicate compile instead of joining — the LRU may
+	// temporarily exceed cap rather than unpin them.
+	settled bool
 }
 
 func newProgramCache(capacity int) *programCache {
@@ -94,28 +85,49 @@ func (c *programCache) get(key string, compile func() (*carmot.Program, error)) 
 		return entry, true
 	}
 	entry := &cacheEntry{ready: make(chan struct{}), run: make(chan struct{}, 1)}
-	el := c.order.PushFront(&cacheSlot{key: key, entry: entry})
+	slot := &cacheSlot{key: key, entry: entry}
+	el := c.order.PushFront(slot)
 	c.entries[key] = el
 	c.misses++
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheSlot).key)
-	}
+	c.trimLocked()
 	c.mu.Unlock()
 
 	entry.prog, entry.err = compile()
 	close(entry.ready)
-	if entry.err != nil {
-		// Do not retain failures; evict our own slot if still present.
-		c.mu.Lock()
-		if cur, ok := c.entries[key]; ok && cur == el {
+	// Settle the slot: it becomes evictable, failures are dropped, and
+	// any residency deferred while compiles were pinned is trimmed now.
+	c.mu.Lock()
+	slot.settled = true
+	if cur, ok := c.entries[key]; ok && cur == el {
+		if entry.err != nil {
+			// Do not retain failures; the next request retries.
 			c.order.Remove(el)
 			delete(c.entries, key)
 		}
-		c.mu.Unlock()
 	}
+	c.trimLocked()
+	c.mu.Unlock()
 	return entry, false
+}
+
+// trimLocked evicts settled LRU victims until residency is back under
+// cap, skipping pinned (in-flight) slots. When every over-cap slot is
+// in flight the cache rides above cap until those compiles settle.
+func (c *programCache) trimLocked() {
+	for c.order.Len() > c.cap {
+		var victim *list.Element
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*cacheSlot).settled {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.order.Remove(victim)
+		delete(c.entries, victim.Value.(*cacheSlot).key)
+	}
 }
 
 // stats returns hit/miss counts and the current resident size.

@@ -1,0 +1,114 @@
+// Cache keys. Both serving-layer caches are content-addressed, and both
+// keys are built from exhaustive reflection-based fingerprints instead
+// of hand-listed fields: a hand-written list silently excludes any field
+// the fingerprinted struct gains later, which makes distinct programs
+// (or distinct profile configurations) share a cache slot. The
+// reflection walk covers every exported field and panics on kinds it
+// cannot canonicalize, and key_test.go fails the build the moment a
+// fingerprinted struct grows a field the walk (or the serving layer's
+// covered/exempt classification) does not account for.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"reflect"
+
+	"carmot"
+)
+
+// cacheKey derives the program-cache key: the hash of the filename, the
+// full CompileOptions fingerprint, and the source text. Requests for
+// the same source under different compile options are distinct programs
+// and must not share a cache slot.
+func cacheKey(filename, source string, opts carmot.CompileOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "prog\x00%s\x00", filename)
+	fingerprint(h, reflect.ValueOf(opts))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, source)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultKeyParts is the exhaustive set of profile-shaping request
+// fields folded into the result-cache key on top of the program key
+// (which already covers filename, source, and every compile option).
+// Every field here changes the wire-encoded result; request fields that
+// cannot change a *cacheable* result are exempted — and enumerated — in
+// key_test.go, so adding a profileRequest field without classifying it
+// breaks the test.
+type resultKeyParts struct {
+	Use       carmot.UseCase
+	Naive     bool
+	MaxSteps  int64
+	MaxEvents uint64
+	MaxCells  int64
+	PSECs     bool
+	Reports   bool
+}
+
+// resultKey derives the result-cache key: program key (program hash,
+// compile-option fingerprint) + profile-option fingerprint. The input
+// fingerprint is the source text itself — MiniC programs take no
+// external input — which the program key already covers.
+func resultKey(progKey string, use carmot.UseCase, req *profileRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "result\x00%s\x00", progKey)
+	fingerprint(h, reflect.ValueOf(resultKeyParts{
+		Use:       use,
+		Naive:     req.Naive,
+		MaxSteps:  req.MaxSteps,
+		MaxEvents: req.MaxEvents,
+		MaxCells:  req.MaxCells,
+		PSECs:     req.PSECs,
+		Reports:   req.Reports,
+	}))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fingerprint writes a canonical encoding of v — field names, kinds,
+// and values, recursively for nested structs — to h. It panics on field
+// kinds it cannot canonicalize (funcs, channels, maps, interfaces):
+// failing loudly at first use beats silently excluding a field from a
+// cache key.
+func fingerprint(h io.Writer, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		fmt.Fprintf(h, "struct %s{", t.Name())
+		for i := 0; i < t.NumField(); i++ {
+			fmt.Fprintf(h, "%s=", t.Field(i).Name)
+			fingerprint(h, v.Field(i))
+			io.WriteString(h, ";")
+		}
+		io.WriteString(h, "}")
+	case reflect.Pointer:
+		if v.IsNil() {
+			io.WriteString(h, "nil")
+			return
+		}
+		io.WriteString(h, "&")
+		fingerprint(h, v.Elem())
+	case reflect.Bool:
+		fmt.Fprintf(h, "%t", v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(h, "%d", v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(h, "%d", v.Uint())
+	case reflect.Float32, reflect.Float64:
+		fmt.Fprintf(h, "%g", v.Float())
+	case reflect.String:
+		fmt.Fprintf(h, "%q", v.String())
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(h, "[%d:", v.Len())
+		for i := 0; i < v.Len(); i++ {
+			fingerprint(h, v.Index(i))
+			io.WriteString(h, ",")
+		}
+		io.WriteString(h, "]")
+	default:
+		panic(fmt.Sprintf("serve: fingerprint: unsupported kind %s (field of %s)", v.Kind(), v.Type()))
+	}
+}

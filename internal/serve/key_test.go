@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"carmot"
+)
+
+// TestCacheKeyCoversCompileOptions is the guard the old hand-listed key
+// lacked: every exported CompileOptions field must perturb the program
+// key. The loop is reflection-driven, so a field added to CompileOptions
+// later is covered automatically — or, if perturb cannot synthesize a
+// distinct value for its kind, fails here instead of silently sharing
+// cache slots between distinct programs.
+func TestCacheKeyCoversCompileOptions(t *testing.T) {
+	base := cacheKey("x.mc", "int main() { return 0; }", carmot.CompileOptions{})
+	typ := reflect.TypeOf(carmot.CompileOptions{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		var opts carmot.CompileOptions
+		v := reflect.ValueOf(&opts).Elem().Field(i)
+		perturb(t, f.Name, v)
+		if got := cacheKey("x.mc", "int main() { return 0; }", opts); got == base {
+			t.Errorf("CompileOptions.%s does not affect the program cache key", f.Name)
+		}
+	}
+}
+
+// perturb sets v to a value distinct from its zero value, failing the
+// test on kinds it cannot synthesize — the signal to extend it (and the
+// fingerprint walk) when a fingerprinted struct grows a new field shape.
+func perturb(t *testing.T, name string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(1)
+	case reflect.String:
+		v.SetString("perturbed")
+	default:
+		t.Fatalf("field %s has kind %s; teach perturb (and fingerprint) about it", name, v.Kind())
+	}
+}
+
+// requestKey computes the full result-cache key a request would get,
+// program key included.
+func requestKey(t *testing.T, req profileRequest) string {
+	t.Helper()
+	use, err := parseUseCase(req.Use)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filename := req.Filename
+	if filename == "" {
+		filename = "request.mc"
+	}
+	copts := carmot.CompileOptions{
+		ProfileOmpRegions:   req.OmpROIs == nil || *req.OmpROIs,
+		ProfileStatsRegions: req.StatsROIs,
+		WholeProgramROI:     req.Whole,
+	}
+	return resultKey(cacheKey(filename, req.Source, copts), use, &req)
+}
+
+// TestResultKeyCoversProfileRequest classifies every profileRequest
+// field as either covered (its value perturbs the result-cache key) or
+// exempt (it cannot change a cacheable response body, with the reason
+// pinned below). A field missing from both sets fails the test: adding
+// a request field without deciding its cache semantics is exactly the
+// bug class the old hand-listed key shipped.
+func TestResultKeyCoversProfileRequest(t *testing.T) {
+	no := false
+	covered := map[string]func(*profileRequest){
+		"Filename":  func(r *profileRequest) { r.Filename = "other.mc" },
+		"Source":    func(r *profileRequest) { r.Source = r.Source + "\n" },
+		"Use":       func(r *profileRequest) { r.Use = "task" },
+		"OmpROIs":   func(r *profileRequest) { r.OmpROIs = &no },
+		"StatsROIs": func(r *profileRequest) { r.StatsROIs = true },
+		"Whole":     func(r *profileRequest) { r.Whole = true },
+		"Naive":     func(r *profileRequest) { r.Naive = true },
+		"MaxSteps":  func(r *profileRequest) { r.MaxSteps = 1 << 40 },
+		"MaxEvents": func(r *profileRequest) { r.MaxEvents = 1 << 40 },
+		"MaxCells":  func(r *profileRequest) { r.MaxCells = 1 << 40 },
+		"PSECs":     func(r *profileRequest) { r.PSECs = true },
+		"Reports":   func(r *profileRequest) { r.Reports = true },
+	}
+	exempt := map[string]string{
+		// A deadline can only truncate, and truncated results are never
+		// cached — two requests differing only in timeout that both
+		// complete cleanly produce identical bodies.
+		"TimeoutMs": "deadlines truncate; truncated results are never cached",
+		// Transport shape, not profile shape: a streamed result event
+		// carries the same body a plain response would.
+		"Stream": "response framing only",
+		// The bypass knob selects whether to consult the cache, not what
+		// the answer is.
+		"NoResultCache": "cache-control, not profile-shaping",
+	}
+
+	base := profileRequest{Source: demoSrc}
+	baseKey := requestKey(t, base)
+	typ := reflect.TypeOf(profileRequest{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		mut, isCovered := covered[name]
+		_, isExempt := exempt[name]
+		switch {
+		case isCovered && isExempt:
+			t.Errorf("profileRequest.%s classified both covered and exempt", name)
+		case isCovered:
+			req := base
+			mut(&req)
+			if requestKey(t, req) == baseKey {
+				t.Errorf("profileRequest.%s is classified covered but does not perturb the result key", name)
+			}
+		case isExempt:
+			// pinned above; nothing to perturb
+		default:
+			t.Errorf("profileRequest gained field %s: classify it covered (fold into resultKey) or exempt (document why it cannot change a cacheable body)", name)
+		}
+	}
+}
+
+// TestResultKeyCoversProfileOptions does the same classification one
+// layer down, over carmot.ProfileOptions — the struct the session is
+// actually configured from. Covered fields must have a request-side
+// counterpart already folded into resultKeyParts; exempt fields must be
+// unreachable from a request or provably unable to change a *cacheable*
+// body.
+func TestResultKeyCoversProfileOptions(t *testing.T) {
+	// Fields whose value flows from the request; resultKeyParts must
+	// carry each one.
+	covered := map[string]string{
+		"UseCase":   "Use",
+		"Naive":     "Naive",
+		"MaxSteps":  "MaxSteps",
+		"MaxEvents": "MaxEvents",
+		"MaxCells":  "MaxCells",
+	}
+	exempt := map[string]string{
+		"Optimizations":      "not settable via the request; always nil in serve",
+		"Stdout":             "server-owned capture buffer",
+		"Engine":             "engines produce byte-identical PSECs by contract",
+		"NoCoalesce":         "PSEC-invariant; not settable via the request",
+		"ForceCoalesce":      "set only on degrade rungs, whose results are never cached",
+		"Workers":            "PSECs are geometry-invariant; grant size is not request-controlled",
+		"Shards":             "PSECs are geometry-invariant",
+		"BatchSize":          "PSECs are batch-size-invariant; not settable via the request",
+		"Context":            "can only truncate; truncated results are never cached",
+		"Timeout":            "can only truncate; truncated results are never cached",
+		"MaxCallstacks":      "not settable via the request",
+		"Recover":            "always true in serve",
+		"JournalBudgetBytes": "set only on degrade rungs, whose results are never cached",
+		"Progress":           "observability hook; does not shape the result",
+	}
+
+	partsType := reflect.TypeOf(resultKeyParts{})
+	typ := reflect.TypeOf(carmot.ProfileOptions{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		part, isCovered := covered[name]
+		_, isExempt := exempt[name]
+		switch {
+		case isCovered && isExempt:
+			t.Errorf("ProfileOptions.%s classified both covered and exempt", name)
+		case isCovered:
+			if _, ok := partsType.FieldByName(part); !ok {
+				t.Errorf("ProfileOptions.%s is covered via resultKeyParts.%s, which does not exist", name, part)
+			}
+		case isExempt:
+			// pinned above
+		default:
+			t.Errorf("carmot.ProfileOptions gained field %s: classify it in the serve result-key test (covered via resultKeyParts, or exempt with a reason)", name)
+		}
+	}
+}
+
+// TestFingerprintPanicsOnUnsupported pins the fail-loud contract: a
+// fingerprinted struct growing a field the walk cannot canonicalize must
+// panic at first use, not silently drop the field from the key.
+func TestFingerprintPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("fingerprint accepted a func field")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "unsupported kind") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	type bad struct {
+		F func()
+	}
+	fingerprint(discard{}, reflect.ValueOf(bad{}))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

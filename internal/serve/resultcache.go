@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the PSEC result cache: a byte-budgeted LRU from
+// (program hash, compile-option fingerprint, profile-option
+// fingerprint) — see resultKey — to the wire-encoded profile response
+// body. A hit replays the stored bytes verbatim, so a cached response
+// is byte-identical to the one the original computation produced, and
+// an identical repeated request costs a map lookup instead of a full
+// compile + profile session.
+//
+// Two rules keep it honest:
+//
+//   - Only clean results are stored. A result produced under any form
+//     of degradation — truncated by a budget or deadline, healed by a
+//     supervisor replay, downgraded by the resource governor, or run on
+//     a shed-ladder rung — reflects that run's pressure, not the
+//     program, and is never cached (see cacheableResult).
+//   - Concurrent identical requests run once. The first becomes the
+//     flight leader; the rest wait on the flight and replay its body.
+//     A leader whose result turns out uncacheable settles the flight
+//     with nil and the waiters fall back to running their own sessions.
+type resultCache struct {
+	mu      sync.Mutex
+	budget  int64 // byte budget over stored bodies
+	size    int64
+	entries map[string]*list.Element // key → *resultSlot element
+	order   *list.List               // front = most recent
+	flights map[string]*resultFlight
+
+	hits, misses, joins, stores, evictions uint64
+}
+
+type resultSlot struct {
+	key  string
+	body []byte
+}
+
+// resultFlight is one in-flight computation of a result-cache key.
+// body is immutable once done is closed; nil means the leader's result
+// was not cacheable.
+type resultFlight struct {
+	done chan struct{}
+	body []byte
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget:  budget,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		flights: make(map[string]*resultFlight),
+	}
+}
+
+// lookup returns the cached wire body for key, counting the outcome.
+func (c *resultCache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*resultSlot).body, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// flight makes the caller the leader for key, or hands back the
+// existing flight to join. A leader must settle exactly once, on every
+// exit path.
+func (c *resultCache) flight(key string) (fl *resultFlight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fl, ok := c.flights[key]; ok {
+		c.joins++
+		return fl, false
+	}
+	fl = &resultFlight{done: make(chan struct{})}
+	c.flights[key] = fl
+	return fl, true
+}
+
+// settle publishes the leader's outcome: a non-nil body is stored and
+// replayed to every waiter; nil releases the waiters to run their own
+// sessions.
+func (c *resultCache) settle(key string, fl *resultFlight, body []byte) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	fl.body = body
+	if body != nil {
+		c.storeLocked(key, body)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// storeLocked inserts (or refreshes) key and evicts LRU victims until
+// the byte budget holds again. A body larger than the whole budget is
+// not retained.
+func (c *resultCache) storeLocked(key string, body []byte) {
+	if int64(len(body)) > c.budget {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		slot := el.Value.(*resultSlot)
+		c.size += int64(len(body)) - int64(len(slot.body))
+		slot.body = body
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&resultSlot{key: key, body: body})
+		c.size += int64(len(body))
+	}
+	c.stores++
+	for c.size > c.budget {
+		oldest := c.order.Back()
+		slot := oldest.Value.(*resultSlot)
+		c.order.Remove(oldest)
+		delete(c.entries, slot.key)
+		c.size -= int64(len(slot.body))
+		c.evictions++
+	}
+}
+
+// resultCacheStats is the /v1/statz slice of the result cache.
+type resultCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Joins     uint64
+	Stores    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+func (c *resultCache) stats() resultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return resultCacheStats{
+		Hits: c.hits, Misses: c.misses, Joins: c.joins,
+		Stores: c.stores, Evictions: c.evictions,
+		Entries: c.order.Len(), Bytes: c.size,
+	}
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"carmot"
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+// TestServeResultCacheByteIdentical is the cache's core contract: a hit
+// replays the originally computed response body byte for byte, and the
+// outcome lives in the X-Carmot-Result-Cache header — never in the body.
+func TestServeResultCacheByteIdentical(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	h := s.Handler()
+	req := profileRequest{Source: demoSrc, PSECs: true, Reports: true}
+
+	w1, resp1 := postProfile(t, h, req, nil)
+	if w1.Code != http.StatusOK || resp1.ExitCode != 0 {
+		t.Fatalf("warm run: status %d exit %d", w1.Code, resp1.ExitCode)
+	}
+	if got := w1.Header().Get(ResultCacheHeader); got != "miss" {
+		t.Fatalf("warm run outcome = %q, want miss", got)
+	}
+
+	// Opting out must run a fresh session, not consult the store.
+	bypass := req
+	bypass.NoResultCache = true
+	w2, resp2 := postProfile(t, h, bypass, nil)
+	if got := w2.Header().Get(ResultCacheHeader); got != "bypass" {
+		t.Fatalf("bypass outcome = %q", got)
+	}
+	if !resp2.CacheHit {
+		t.Error("bypass run should still reuse the compiled program")
+	}
+
+	w3, _ := postProfile(t, h, req, nil)
+	if got := w3.Header().Get(ResultCacheHeader); got != "hit" {
+		t.Fatalf("repeat outcome = %q, want hit", got)
+	}
+	if !bytes.Equal(w3.Body.Bytes(), w1.Body.Bytes()) {
+		t.Fatalf("cached response is not byte-identical to the original\noriginal:\n%s\ncached:\n%s",
+			w1.Body.Bytes(), w3.Body.Bytes())
+	}
+
+	st := s.Snapshot()
+	if st.ResultStores != 1 || st.ResultHits != 1 || st.ResultBypass != 1 {
+		t.Errorf("stats = stores %d hits %d bypass %d, want 1/1/1",
+			st.ResultStores, st.ResultHits, st.ResultBypass)
+	}
+	if st.ResultEntries != 1 || st.ResultBytes != int64(w1.Body.Len()) {
+		t.Errorf("residency = %d entries / %d bytes, want 1 / %d",
+			st.ResultEntries, st.ResultBytes, w1.Body.Len())
+	}
+}
+
+// TestServeResultCacheDegradedNotCached: a truncated run must never
+// enter the cache — the identical repeat runs again (and is again not
+// stored).
+func TestServeResultCacheDegradedNotCached(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	h := s.Handler()
+	req := profileRequest{Source: spinSrc, TimeoutMs: 150}
+
+	for i := 0; i < 2; i++ {
+		w, resp := postProfile(t, h, req, nil)
+		if w.Code != http.StatusOK || resp.ExitCode != 3 || resp.Kind != wire.KindBudget {
+			t.Fatalf("run %d: status %d exit %d kind %q, want truncation", i, w.Code, resp.ExitCode, resp.Kind)
+		}
+		if got := w.Header().Get(ResultCacheHeader); got != "miss" {
+			t.Fatalf("run %d outcome = %q: a degraded result was served from cache", i, got)
+		}
+	}
+	st := s.Snapshot()
+	if st.ResultStores != 0 || st.ResultHits != 0 || st.ResultUncacheable != 2 {
+		t.Errorf("stats = stores %d hits %d uncacheable %d, want 0/0/2",
+			st.ResultStores, st.ResultHits, st.ResultUncacheable)
+	}
+}
+
+// TestServeResultCacheSingleflight: N identical concurrent requests run
+// one session; the rest replay the leader's bytes (joining the flight
+// or hitting the store, depending on arrival time).
+func TestServeResultCacheSingleflight(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{})
+	h := s.Handler()
+	// Long enough that the followers arrive while the leader's session
+	// is still in flight.
+	src := `int a[64];
+int main() {
+	int s = 0;
+	#pragma carmot roi hot
+	for (int i = 0; i < 30000; i++) { a[0] = a[0] + 1; s = s + a[0]; }
+	return s % 251;
+}
+`
+	const n = 4
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, resp := postProfile(t, h, profileRequest{Source: src, PSECs: true}, nil)
+			if w.Code != http.StatusOK || resp.ExitCode != 0 {
+				t.Errorf("request %d: status %d exit %d err %q", i, w.Code, resp.ExitCode, resp.Error)
+			}
+			bodies[i] = w.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d body diverges from request 0", i)
+		}
+	}
+	st := s.Snapshot()
+	if st.Completed != 1 {
+		t.Fatalf("%d sessions ran for %d identical concurrent requests, want 1 (joins %d, hits %d)",
+			st.Completed, n, st.ResultJoins, st.ResultHits)
+	}
+	if st.ResultJoins+st.ResultHits != n-1 {
+		t.Errorf("joins %d + hits %d != %d followers", st.ResultJoins, st.ResultHits, n-1)
+	}
+}
+
+// TestResultCacheEviction unit-tests the byte-budgeted LRU: residency
+// never exceeds the budget, victims leave in LRU order, and a body
+// larger than the whole budget is not retained.
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(100)
+	store := func(key string, n int) {
+		fl, leader := c.flight(key)
+		if !leader {
+			t.Fatalf("flight %q unexpectedly contended", key)
+		}
+		c.settle(key, fl, bytes.Repeat([]byte{'x'}, n))
+	}
+	store("a", 40)
+	store("b", 40)
+	if _, ok := c.lookup("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing before budget pressure")
+	}
+	store("c", 40) // 120 > 100: evict b
+	if _, ok := c.lookup("b"); ok {
+		t.Error("LRU victim b survived")
+	}
+	if _, ok := c.lookup("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	st := c.stats()
+	if st.Bytes > 100 || st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want ≤100 bytes, 2 entries, 1 eviction", st)
+	}
+	store("huge", 200) // over the whole budget: dropped, evicts nothing
+	if _, ok := c.lookup("huge"); ok {
+		t.Error("over-budget body was retained")
+	}
+	if st := c.stats(); st.Entries != 2 {
+		t.Errorf("over-budget store disturbed residency: %+v", st)
+	}
+}
+
+// TestServeCacheInflightPinned: with cap=1, a second key landing while
+// the first key's compile is in flight must not evict it — a concurrent
+// getter for the in-flight key joins the one compile instead of starting
+// a duplicate.
+func TestServeCacheInflightPinned(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	c := newProgramCache(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var compilesA atomic.Int32
+
+	leaderDone := make(chan *cacheEntry, 1)
+	go func() {
+		entry, _ := c.get("A", func() (*carmot.Program, error) {
+			compilesA.Add(1)
+			close(started)
+			<-release
+			return nil, nil
+		})
+		leaderDone <- entry
+	}()
+	<-started
+
+	// B lands mid-compile; before pinning, the cap-1 trim evicted A here
+	// and the joiner below re-compiled it.
+	if entry, _ := c.get("B", func() (*carmot.Program, error) { return nil, nil }); entry.err != nil {
+		t.Fatal(entry.err)
+	}
+
+	type joinResult struct {
+		entry *cacheEntry
+		hit   bool
+	}
+	joined := make(chan joinResult, 1)
+	go func() {
+		entry, hit := c.get("A", func() (*carmot.Program, error) {
+			compilesA.Add(1)
+			return nil, nil
+		})
+		joined <- joinResult{entry, hit}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the joiner block on the flight
+	close(release)
+
+	leader := <-leaderDone
+	follower := <-joined
+	if n := compilesA.Load(); n != 1 {
+		t.Fatalf("key A compiled %d times, want 1 (in-flight entry was evicted)", n)
+	}
+	if !follower.hit || follower.entry != leader {
+		t.Errorf("joiner hit=%v entry==leader=%v, want a join of the in-flight compile",
+			follower.hit, follower.entry == leader)
+	}
+	if _, _, size := c.stats(); size > 1 {
+		t.Errorf("cache settled at %d entries, cap 1", size)
+	}
+}
+
+// TestServeAdmissionBounded: a client cycling fabricated tenant IDs must
+// not grow the bucket map without bound — the lazy sweep expires buckets
+// once their refill makes them indistinguishable from fresh, and expiry
+// loses nothing.
+func TestServeAdmissionBounded(t *testing.T) {
+	now := time.Unix(1000, 0)
+	a := newAdmission(50, 100, func() time.Time { return now })
+	for i := 0; i < 10_000; i++ {
+		if ok, _ := a.admit(fmt.Sprintf("tenant-%d", i)); !ok {
+			t.Fatalf("fresh tenant %d refused", i)
+		}
+		now = now.Add(time.Millisecond)
+	}
+	// One spent token refills in 20ms at rate 50, so at each sweep all
+	// but the most recent tenants are already full again and expire.
+	if sz := a.size(); sz > 2*sweepEvery {
+		t.Fatalf("bucket map grew to %d under 10k one-shot tenants, want ≤ %d", sz, 2*sweepEvery)
+	}
+
+	// Quiesce past everyone's refill, drive one steady tenant through a
+	// sweep interval: the map must collapse to that tenant alone.
+	now = now.Add(3 * time.Second)
+	for i := 0; i <= sweepEvery; i++ {
+		a.admit("steady")
+		now = now.Add(time.Millisecond)
+	}
+	if sz := a.size(); sz > 2 {
+		t.Fatalf("idle buckets survived the sweep: %d resident", sz)
+	}
+
+	// Losslessness: a swept bucket must behave exactly like a fresh one —
+	// the full burst, then refusal.
+	for i := 0; i < 100; i++ {
+		if ok, _ := a.admit("tenant-0"); !ok {
+			t.Fatalf("swept tenant lost burst capacity at request %d", i)
+		}
+	}
+	if ok, _ := a.admit("tenant-0"); ok {
+		t.Fatal("swept tenant admitted past its burst")
+	}
+}

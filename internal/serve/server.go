@@ -80,6 +80,17 @@ type Config struct {
 	HardMaxEvents uint64
 	// CacheCapacity bounds the compiled-program cache (default 64).
 	CacheCapacity int
+	// ResultCacheBytes is the byte budget of the PSEC result cache —
+	// wire-encoded response bodies keyed by (program hash, compile- and
+	// profile-option fingerprints) — replayed verbatim for identical
+	// repeated requests. 0 means the 64 MiB default; negative disables
+	// the cache entirely (every request runs, as does the per-request
+	// no_result_cache knob).
+	ResultCacheBytes int64
+	// StreamInterval is the minimum gap between progress events on a
+	// streaming response (0 = 100ms default; negative emits every batch
+	// boundary — tests). Degradation transitions bypass the throttle.
+	StreamInterval time.Duration
 	// Now overrides the clock for admission-control tests.
 	Now func() time.Time
 }
@@ -132,15 +143,19 @@ func (c Config) withDefaults() Config {
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = 64
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
 	return c
 }
 
 // Server is one carmotd instance.
 type Server struct {
-	cfg   Config
-	pool  *rt.Pool
-	cache *programCache
-	adm   *admission
+	cfg     Config
+	pool    *rt.Pool
+	cache   *programCache
+	results *resultCache // nil when ResultCacheBytes < 0
+	adm     *admission
 
 	// drainMu guards the draining flag against racing session starts:
 	// request paths hold it shared while registering with inflight, so
@@ -150,22 +165,28 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	requests  atomic.Uint64
-	completed atomic.Uint64
-	shed      atomic.Uint64
-	retries   atomic.Uint64
-	degraded  atomic.Uint64 // responses that exhausted retries
+	requests     atomic.Uint64
+	completed    atomic.Uint64
+	shed         atomic.Uint64
+	retries      atomic.Uint64
+	degraded     atomic.Uint64 // responses that exhausted retries
+	resultBypass atomic.Uint64 // requests that opted out of the result cache
+	uncacheable  atomic.Uint64 // completed sessions whose result could not be cached
 }
 
 // New creates a server; callers own the http.Server wrapping Handler.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		pool:  rt.NewPool(cfg.PoolSlots),
 		cache: newProgramCache(cfg.CacheCapacity),
 		adm:   newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
 	}
+	if cfg.ResultCacheBytes > 0 {
+		s.results = newResultCache(cfg.ResultCacheBytes)
+	}
+	return s
 }
 
 // Pool exposes the shared slot pool (load tests and stats).
@@ -237,6 +258,14 @@ type profileRequest struct {
 	// Reports includes the human-readable recommendation per ROI.
 	PSECs   bool `json:"psecs"`
 	Reports bool `json:"reports"`
+	// Stream switches the response to chunked NDJSON progress events
+	// (equivalent to the ?stream=1 query parameter): compile done,
+	// periodic pipeline volume, degradation transitions, retry attempts,
+	// then one terminal result event. See wire.StreamEvent.
+	Stream bool `json:"stream"`
+	// NoResultCache bypasses the PSEC result cache for this request:
+	// the session always runs, and its result is not stored.
+	NoResultCache bool `json:"no_result_cache"`
 }
 
 // profileResponse is the /v1/profile body: the shared wire.Summary
@@ -301,7 +330,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Compile through the content-addressed cache.
+	streaming := req.Stream || r.URL.Query().Get("stream") == "1"
 	filename := req.Filename
 	if filename == "" {
 		filename = "request.mc"
@@ -311,7 +340,63 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		ProfileStatsRegions: req.StatsROIs,
 		WholeProgramROI:     req.Whole,
 	}
-	entry, hit := s.cache.get(cacheKey(filename, req.Source, copts), func() (*carmot.Program, error) {
+	progKey := cacheKey(filename, req.Source, copts)
+
+	// Deadline: the whole session — result-flight wait, compile, pool
+	// wait, every attempt, backoff — runs under one context derived from
+	// the client connection.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// PSEC result cache: an identical completed request replays the
+	// stored wire bytes instead of running anything, and N identical
+	// concurrent requests run once (singleflight). Responses carry the
+	// lookup outcome in the X-Carmot-Result-Cache header — never in the
+	// body, which stays byte-identical to the originally computed one.
+	var flight *resultFlight
+	var rkey string
+	var cachedBody []byte // settled into the flight on every exit path
+	switch {
+	case s.results == nil || req.NoResultCache:
+		s.resultBypass.Add(1)
+		w.Header().Set(ResultCacheHeader, "bypass")
+	default:
+		rkey = resultKey(progKey, useCase, &req)
+		if body, ok := s.results.lookup(rkey); ok {
+			s.replyCached(w, body, streaming, "hit")
+			return
+		}
+		fl, leader := s.results.flight(rkey)
+		if !leader {
+			select {
+			case <-fl.done:
+				if fl.body != nil {
+					s.replyCached(w, fl.body, streaming, "join")
+					return
+				}
+				// The leader's result was not cacheable (degraded, faulted,
+				// or truncated); run our own session.
+			case <-ctx.Done():
+				s.shed.Add(1)
+				s.shedReply(w, s.cfg.RetryBase, "deadline expired joining an identical in-flight request")
+				return
+			}
+		} else {
+			flight = fl
+			defer func() { s.results.settle(rkey, flight, cachedBody) }()
+		}
+		w.Header().Set(ResultCacheHeader, "miss")
+	}
+
+	// Compile through the content-addressed cache.
+	entry, hit := s.cache.get(progKey, func() (*carmot.Program, error) {
 		return carmot.Compile(filename, req.Source, copts)
 	})
 	if entry.err != nil {
@@ -344,18 +429,6 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Deadline: the whole session — pool wait, every attempt, backoff —
-	// runs under one context derived from the client connection.
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
 	// Snapshot the ladder rung before taking our own slots: degradation
 	// reacts to load from *other* sessions, not to the grant this
 	// session is about to hold.
@@ -372,13 +445,81 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	}
 	defer grant.Release()
 
-	resp := s.runSession(ctx, prog, &req, useCase, grant, level)
+	// Everything that can refuse the request has passed; from here a
+	// streaming response may commit its 200 and start emitting events.
+	var sw *streamWriter
+	if streaming {
+		sw = newStreamWriter(w, s.cfg.StreamInterval)
+		sw.compile(hit, len(prog.ROIs()))
+	}
+
+	resp := s.runSession(ctx, prog, &req, useCase, grant, level, sw)
 	resp.CacheHit = hit
 	status := http.StatusOK
 	if resp.Kind == wire.KindInternal {
 		status = http.StatusInternalServerError
 	}
-	s.reply(w, status, resp)
+	respBody, merr := json.MarshalIndent(resp, "", "  ")
+	if merr != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"exit_code":1,"kind":%q,"error":%q}`, wire.KindInternal, merr.Error())
+		return
+	}
+	respBody = append(respBody, '\n')
+	// Store only clean results: anything degraded, truncated, or run on
+	// a shed-ladder rung reflects this run's pressure, not the program.
+	if flight != nil {
+		if cacheableResult(status, resp) {
+			cachedBody = respBody
+		} else {
+			s.uncacheable.Add(1)
+		}
+	}
+	if sw != nil {
+		sw.result(status, respBody)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(respBody)
+}
+
+// ResultCacheHeader names the response header reporting the result-cache
+// outcome for a profile request: "hit" (stored body replayed), "join"
+// (identical in-flight request's body replayed), "miss" (ran, eligible
+// to be stored), or "bypass" (cache disabled or opted out). It is a
+// header, not a body field, so cached responses stay byte-identical to
+// the originally computed ones.
+const ResultCacheHeader = "X-Carmot-Result-Cache"
+
+// cacheableResult decides whether a completed session's response may
+// enter the result cache: only a clean, full-fidelity run qualifies. A
+// truncated run (budget/deadline), a run the governor downgraded, a run
+// a supervisor had to touch (even successfully), or a run on any
+// load-shed ladder rung is never cached — re-running such a request may
+// well produce a better result, and a cache must not pin degradation.
+// Retried-then-clean sessions qualify: the cached attempt itself ran
+// clean, and Diagnostics reflect only that attempt.
+func cacheableResult(status int, resp *profileResponse) bool {
+	if status != http.StatusOK || resp.ExitCode != 0 || resp.Kind != wire.KindOK || resp.DegradeLevel != 0 {
+		return false
+	}
+	d := resp.Diagnostics
+	return d != nil && !d.Truncated && len(d.Downgrades) == 0 && len(d.Recoveries) == 0
+}
+
+// replyCached replays a stored response body verbatim (or, on a
+// streaming request, as the terminal result event).
+func (s *Server) replyCached(w http.ResponseWriter, body []byte, streaming bool, outcome string) {
+	w.Header().Set(ResultCacheHeader, outcome)
+	if streaming {
+		sw := newStreamWriter(w, s.cfg.StreamInterval)
+		sw.result(http.StatusOK, body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }
 
 // degradeLevel maps current pool load onto the ladder rung new sessions
@@ -402,7 +543,7 @@ func (s *Server) degradeLevel() int {
 // in-process; this loop is the outer rung for the runs replay could not
 // make whole.
 func (s *Server) runSession(ctx context.Context, prog *carmot.Program, req *profileRequest,
-	useCase carmot.UseCase, grant *rt.Grant, level int) *profileResponse {
+	useCase carmot.UseCase, grant *rt.Grant, level int, sw *streamWriter) *profileResponse {
 
 	opts := carmot.ProfileOptions{
 		UseCase:   useCase,
@@ -414,6 +555,11 @@ func (s *Server) runSession(ctx context.Context, prog *carmot.Program, req *prof
 		MaxEvents: req.MaxEvents,
 		MaxCells:  req.MaxCells,
 		Recover:   true,
+	}
+	if sw != nil {
+		// Profile runs on this goroutine, so the hook writes the response
+		// stream without crossing a thread boundary.
+		opts.Progress = sw.progress
 	}
 	switch {
 	case level >= 2:
@@ -434,6 +580,9 @@ func (s *Server) runSession(ctx context.Context, prog *carmot.Program, req *prof
 	var res *carmot.ProfileResult
 	var rerr error
 	for attempt := 0; ; attempt++ {
+		if sw != nil && attempt > 0 {
+			sw.attempt(attempt + 1)
+		}
 		stdout.Reset()
 		res, rerr = prog.Profile(opts)
 		resp.Attempts = attempt + 1
@@ -543,11 +692,26 @@ type Stats struct {
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheSize    int     `json:"cache_size"`
+	// Result-cache counters; all zero when the cache is disabled except
+	// ResultBypass, which also counts per-request opt-outs.
+	ResultHits        uint64 `json:"result_hits"`
+	ResultMisses      uint64 `json:"result_misses"`
+	ResultJoins       uint64 `json:"result_joins"`
+	ResultStores      uint64 `json:"result_stores"`
+	ResultEvictions   uint64 `json:"result_evictions"`
+	ResultEntries     int    `json:"result_entries"`
+	ResultBytes       int64  `json:"result_bytes"`
+	ResultBypass      uint64 `json:"result_bypass"`
+	ResultUncacheable uint64 `json:"result_uncacheable"`
 }
 
 // Snapshot returns the server's current stats.
 func (s *Server) Snapshot() Stats {
 	hits, misses, size := s.cache.stats()
+	var rs resultCacheStats
+	if s.results != nil {
+		rs = s.results.stats()
+	}
 	s.drainMu.RLock()
 	draining := s.draining
 	s.drainMu.RUnlock()
@@ -565,6 +729,16 @@ func (s *Server) Snapshot() Stats {
 		CacheHits:    hits,
 		CacheMisses:  misses,
 		CacheSize:    size,
+
+		ResultHits:        rs.Hits,
+		ResultMisses:      rs.Misses,
+		ResultJoins:       rs.Joins,
+		ResultStores:      rs.Stores,
+		ResultEvictions:   rs.Evictions,
+		ResultEntries:     rs.Entries,
+		ResultBytes:       rs.Bytes,
+		ResultBypass:      s.resultBypass.Load(),
+		ResultUncacheable: s.uncacheable.Load(),
 	}
 }
 

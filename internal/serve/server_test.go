@@ -263,7 +263,9 @@ func TestServeRetryFromJournal(t *testing.T) {
 	faultinject.Set("rt.shard.apply", faultinject.PanicOnShots("injected shard fault", 1))
 	faultinject.Set("rt.shard.replay", faultinject.PanicOnShots("injected replay fault", 1))
 
-	w, resp := postProfile(t, h, profileRequest{Source: demoSrc, PSECs: true}, nil)
+	// The reference run stored its result; bypass the result cache so
+	// this request actually runs into the injected faults.
+	w, resp := postProfile(t, h, profileRequest{Source: demoSrc, PSECs: true, NoResultCache: true}, nil)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d, body %s", w.Code, w.Body.Bytes())
 	}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"carmot"
+	"carmot/internal/wire"
+)
+
+// streamWriter turns one profile session into a chunked NDJSON event
+// stream (POST /v1/profile?stream=1): compile done, periodic progress,
+// immediate degradation transitions, retry attempts, and the terminal
+// result document. It is driven from the handler goroutine only — the
+// runtime's Progress hook fires on the program thread, which *is* the
+// handler goroutine for a synchronous profile call — so no locking is
+// needed, and a write failure (client gone) simply stops the output
+// while the session winds down under its request context.
+type streamWriter struct {
+	w        http.ResponseWriter
+	flusher  http.Flusher
+	interval time.Duration // min gap between progress events; <0 = every snapshot
+	started  bool
+
+	last     time.Time
+	lastDown int
+	lastRec  int
+}
+
+// defaultStreamInterval throttles progress events so a hot emit loop
+// does not turn the response into a firehose.
+const defaultStreamInterval = 100 * time.Millisecond
+
+func newStreamWriter(w http.ResponseWriter, interval time.Duration) *streamWriter {
+	if interval == 0 {
+		interval = defaultStreamInterval
+	}
+	sw := &streamWriter{w: w, interval: interval}
+	sw.flusher, _ = w.(http.Flusher)
+	return sw
+}
+
+// emit writes one event line, flushing the chunk so the client sees it
+// now rather than at the end of the body. The first emit commits the
+// 200 header: every pre-session refusal must happen before it.
+func (sw *streamWriter) emit(ev *wire.StreamEvent) {
+	if !sw.started {
+		sw.started = true
+		sw.w.Header().Set("Content-Type", "application/x-ndjson")
+		sw.w.WriteHeader(http.StatusOK)
+	}
+	line, err := ev.EncodeLine()
+	if err != nil {
+		return
+	}
+	sw.w.Write(line)
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+// progress is the carmot.ProfileOptions.Progress hook: degradation
+// transitions go out immediately, plain volume snapshots are throttled
+// to the configured interval, and the Final snapshot is skipped — the
+// result event carries the totals.
+func (sw *streamWriter) progress(u carmot.ProgressUpdate) {
+	event := wire.EventProgress
+	switch {
+	case u.Downgrades > sw.lastDown || u.Recoveries > sw.lastRec:
+		event = wire.EventDegrade
+		sw.lastDown, sw.lastRec = u.Downgrades, u.Recoveries
+	case u.Final:
+		return
+	case sw.interval >= 0 && time.Since(sw.last) < sw.interval:
+		return
+	}
+	sw.last = time.Now()
+	sw.emit(&wire.StreamEvent{
+		Event:      event,
+		Events:     u.Events,
+		Dropped:    u.Dropped,
+		Batches:    u.Batches,
+		Downgrades: u.Downgrades,
+		Recoveries: u.Recoveries,
+	})
+}
+
+// compile announces the compiled program.
+func (sw *streamWriter) compile(cacheHit bool, rois int) {
+	sw.emit(&wire.StreamEvent{Event: wire.EventCompile, CacheHit: cacheHit, ROIs: rois})
+}
+
+// attempt announces a retry of a degraded session.
+func (sw *streamWriter) attempt(n int) {
+	sw.emit(&wire.StreamEvent{Event: wire.EventAttempt, Attempt: n})
+}
+
+// result terminates the stream with the full response document. body is
+// the indented non-streaming response body; it is compacted so the
+// NDJSON line framing holds.
+func (sw *streamWriter) result(status int, body []byte) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, body); err != nil {
+		return
+	}
+	sw.emit(&wire.StreamEvent{Event: wire.EventResult, Status: status, Result: compact.Bytes()})
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+// streamLines parses an NDJSON response body into events.
+func streamLines(t *testing.T, body []byte) []wire.StreamEvent {
+	t.Helper()
+	var events []wire.StreamEvent
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("stream line is not a StreamEvent: %v\n%s", err, sc.Bytes())
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestServeStreamEvents: ?stream=1 turns the response into ordered
+// NDJSON — one compile event, at least one progress snapshot, one
+// terminal result carrying the full response document.
+func TestServeStreamEvents(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{StreamInterval: -1}) // every batch boundary
+	body, _ := json.Marshal(profileRequest{Source: demoSrc, PSECs: true})
+	r := httptest.NewRequest(http.MethodPost, "/v1/profile?stream=1", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.Bytes())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	events := streamLines(t, w.Body.Bytes())
+	if len(events) < 3 {
+		t.Fatalf("got %d events, want compile + ≥1 progress + result:\n%s", len(events), w.Body.Bytes())
+	}
+	if events[0].Event != wire.EventCompile || events[0].ROIs != 1 {
+		t.Errorf("first event = %+v, want compile with 1 ROI", events[0])
+	}
+	progress := 0
+	for _, ev := range events[1 : len(events)-1] {
+		if ev.Event == wire.EventProgress {
+			progress++
+		}
+	}
+	if progress == 0 {
+		t.Error("no progress events between compile and result")
+	}
+	last := events[len(events)-1]
+	if last.Event != wire.EventResult || last.Status != http.StatusOK {
+		t.Fatalf("terminal event = %+v, want result/200", last)
+	}
+	var resp profileResponse
+	if err := json.Unmarshal(last.Result, &resp); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if resp.ExitCode != 0 || resp.Kind != wire.KindOK || len(resp.PSECs) == 0 {
+		t.Errorf("streamed result = exit %d kind %q psecs %d bytes", resp.ExitCode, resp.Kind, len(resp.PSECs))
+	}
+}
+
+// TestServeStreamCachedResult: a result-cache hit on a streaming request
+// replays the stored body as a single result event, byte-identical
+// (modulo NDJSON compaction) to the plain response that produced it.
+func TestServeStreamCachedResult(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{StreamInterval: -1})
+	h := s.Handler()
+
+	warm, resp := postProfile(t, h, profileRequest{Source: demoSrc, PSECs: true}, nil)
+	if warm.Code != http.StatusOK || resp.ExitCode != 0 {
+		t.Fatalf("warm run: status %d exit %d", warm.Code, resp.ExitCode)
+	}
+
+	body, _ := json.Marshal(profileRequest{Source: demoSrc, PSECs: true, Stream: true})
+	r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if got := w.Header().Get(ResultCacheHeader); got != "hit" {
+		t.Fatalf("stream repeat outcome = %q, want hit", got)
+	}
+	events := streamLines(t, w.Body.Bytes())
+	if len(events) != 1 || events[0].Event != wire.EventResult {
+		t.Fatalf("cached stream = %d events (%+v), want exactly one result", len(events), events)
+	}
+	var compactWarm bytes.Buffer
+	if err := json.Compact(&compactWarm, warm.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(events[0].Result), compactWarm.Bytes()) {
+		t.Fatalf("streamed cached result diverges from the plain body\nplain (compacted):\n%s\nstreamed:\n%s",
+			compactWarm.Bytes(), events[0].Result)
+	}
+}
+
+// TestServeStreamClientDisconnect: a streaming client dropping the
+// connection mid-run cancels the session through the request context;
+// the server winds down without leaking pipeline goroutines.
+func TestServeStreamClientDisconnect(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{StreamInterval: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(profileRequest{Source: spinSrc, TimeoutMs: 30_000, Stream: true})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/profile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := ts.Client()
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first event to prove the stream is live, then hang up.
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first stream event: %v", err)
+	}
+	var ev wire.StreamEvent
+	if err := json.Unmarshal(line, &ev); err != nil || ev.Event != wire.EventCompile {
+		t.Fatalf("first event = %q (err %v), want compile", line, err)
+	}
+	resp.Body.Close()
+	client.CloseIdleConnections()
+
+	// The session must notice the cancellation well before its own 30s
+	// deadline: ts.Close blocks until the handler returns.
+	done := make(chan struct{})
+	go func() {
+		ts.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("session did not wind down after client disconnect")
+	}
+}

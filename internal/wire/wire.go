@@ -45,6 +45,54 @@ type Summary struct {
 	Diagnostics *rt.Diagnostics `json:"diagnostics"`
 }
 
+// Streaming event names: the `event` discriminator of each NDJSON line
+// a streaming profile request (POST /v1/profile?stream=1) receives.
+// Events arrive in order: one compile, interleaved progress/degrade
+// (and attempt, when the serving layer retries a degraded session),
+// and exactly one terminal result.
+const (
+	EventCompile  = "compile"  // the program is compiled; the session is about to run
+	EventProgress = "progress" // periodic pipeline-volume snapshot
+	EventDegrade  = "degrade"  // a degradation-ladder step or supervisor intervention happened
+	EventAttempt  = "attempt"  // a degraded attempt is being retried
+	EventResult   = "result"   // terminal: the full response document
+)
+
+// StreamEvent is one line of a streaming profile response. Fields are a
+// union over the event kinds; unused fields are omitted on the wire.
+type StreamEvent struct {
+	// Event is one of the Event* constants.
+	Event string `json:"event"`
+	// Compile: whether the compiled program came from the program cache,
+	// and how many ROIs it carries.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	ROIs     int  `json:"rois,omitempty"`
+	// Progress / degrade: the pipeline-volume snapshot (events accepted,
+	// events shed by caps, batches pushed, degradation-ladder steps,
+	// supervisor interventions so far).
+	Events     uint64 `json:"events,omitempty"`
+	Dropped    uint64 `json:"dropped,omitempty"`
+	Batches    int    `json:"batches,omitempty"`
+	Downgrades int    `json:"downgrades,omitempty"`
+	Recoveries int    `json:"recoveries,omitempty"`
+	// Attempt: the 1-based attempt number about to run.
+	Attempt int `json:"attempt,omitempty"`
+	// Result: the HTTP status the non-streaming path would have used,
+	// and the full response document (compact-encoded so the line
+	// framing holds).
+	Status int             `json:"status,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// EncodeLine renders the event as one compact NDJSON line.
+func (e *StreamEvent) EncodeLine() ([]byte, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // KindForExit maps a CLI exit code onto its outcome kind.
 func KindForExit(code int) string {
 	switch code {

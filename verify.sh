@@ -37,6 +37,12 @@ echo "== go test -race (daemon smoke) =="
 # goroutine behind.
 go test -race -count=1 -run 'ServeLoad1000|ServeRetry|ServeDrain|ServeAdmission|ServeDegrade' ./internal/serve/
 
+echo "== go test -race (result cache + streaming smoke) =="
+# The PSEC result cache (byte-identical replays, singleflight, the
+# never-cache-degraded rule, in-flight compile pinning) and the NDJSON
+# streaming path, including the client-disconnect goroutine-leak check.
+go test -race -count=1 -run 'ServeResultCache|ResultCacheEviction|ServeCacheInflight|ServeStream|ResultKey|CacheKeyCovers' ./internal/serve/
+
 echo "== go test -race (engine differential) =="
 # Tree-walker vs bytecode engine, coalescing off/on: byte-identical
 # PSECs, identical run summaries and diagnostics, on the benchmark
