@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats|rt|interp|serve] [-threads N] [-scalediv D]
+//	carmot-bench [-exp all|table1|accesses|fig6|fig7|fig8|fig9|fig10|fig11|stats|rt|interp|serve|fleet] [-threads N] [-scalediv D]
 //
 // The rt experiment benchmarks the event pipeline itself across
 // (workers, shards) geometries and, with -rt-out, writes the
@@ -13,7 +13,10 @@
 // coalescing off/on) end to end and, with -interp-out, writes
 // BENCH_interp.json. The serve experiment drives a concurrent request
 // burst through the carmotd serving layer and, with -serve-out, writes
-// the latency-percentile report BENCH_serve.json. The
+// the latency-percentile report BENCH_serve.json. The fleet experiment
+// drives the same kind of burst through carmot-router fronting three
+// live replicas — healthy, one dead, and one flapping — and merges a
+// "fleet" section into the same BENCH_serve.json. The
 // -cpuprofile/-memprofile flags wrap any experiment in a pprof capture
 // ("profiling the profiler", see README.md).
 package main
@@ -40,13 +43,15 @@ func main() {
 		serveReqs  = flag.Int("serve-requests", 1000, "request count for -exp serve")
 		serveCli   = flag.Int("serve-clients", 32, "concurrent clients for -exp serve")
 		serveOut   = flag.String("serve-out", "", "write the -exp serve report as JSON to this file (e.g. BENCH_serve.json)")
+		fleetReqs  = flag.Int("fleet-requests", 400, "requests per scenario for -exp fleet")
+		fleetCli   = flag.Int("fleet-clients", 16, "concurrent clients for -exp fleet")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
 	cfg := harness.Config{Threads: *threads, ScaleDiv: *scaleDiv}
 	err := profiled(*cpuProfile, *memProfile, func() error {
-		return run(*exp, cfg, *rtIters, *rtOut, *interpIt, *interpOut, *serveCli, *serveReqs, *serveOut)
+		return run(*exp, cfg, *rtIters, *rtOut, *interpIt, *interpOut, *serveCli, *serveReqs, *serveOut, *fleetCli, *fleetReqs)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carmot-bench:", err)
@@ -84,7 +89,7 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return err
 }
 
-func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters int, interpOut string, serveClients, serveReqs int, serveOut string) error {
+func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters int, interpOut string, serveClients, serveReqs int, serveOut string, fleetClients, fleetReqs int) error {
 	all := exp == "all"
 	ran := false
 	if exp == "rt" { // pipeline microbenchmark; deliberately not part of "all"
@@ -138,6 +143,25 @@ func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters 
 				return err
 			}
 			fmt.Printf("wrote %s\n", serveOut)
+		}
+		return nil
+	}
+	if exp == "fleet" { // routed-fleet failure latency; deliberately not part of "all"
+		rep, err := harness.FleetBench(fleetClients, fleetReqs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFleetBench(rep))
+		if serveOut != "" {
+			prev, _ := os.ReadFile(serveOut) // absent file = fresh report
+			data, err := harness.MergeFleetSection(prev, rep)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(serveOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (fleet section)\n", serveOut)
 		}
 		return nil
 	}

@@ -1,0 +1,135 @@
+// Command carmot-router is the fault-tolerant front door of a carmotd
+// fleet: it consistent-hashes each profile request's (tenant, program)
+// onto one of N replicas — so every replica's program and PSEC result
+// caches stay hot for their slice of the keyspace — and survives
+// replica crashes, hangs, and restarts with health probing, per-replica
+// circuit breakers, failover retries, and optional request hedging.
+//
+// Usage:
+//
+//	carmot-router -replicas http://host:8458,http://host:8459[,...] [flags]
+//
+// Endpoints:
+//
+//	POST /v1/profile — routed to a replica; the response body is the
+//	                   replica's, byte for byte. The X-Carmot-Route
+//	                   header carries the routing trail (replica id,
+//	                   attempts, failover reason). ?stream=1 NDJSON
+//	                   responses are relayed live.
+//	GET  /v1/healthz — 200 while ≥1 replica is routable; the body is
+//	                   the per-replica fleet state
+//	GET  /v1/statz   — router counters (failovers, hedges, breaker
+//	                   trips) as JSON
+//
+// Example (3-replica fleet on one machine):
+//
+//	carmotd -addr 127.0.0.1:8461 & carmotd -addr 127.0.0.1:8462 &
+//	carmotd -addr 127.0.0.1:8463 &
+//	carmot-router -addr 127.0.0.1:8460 \
+//	  -replicas http://127.0.0.1:8461,http://127.0.0.1:8462,http://127.0.0.1:8463
+//	curl -s -X POST -H 'X-Carmot-Tenant: alice' -d '{"source":"..."}' \
+//	  http://127.0.0.1:8460/v1/profile
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"carmot/internal/router"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8460", "listen address")
+		replicas      = flag.String("replicas", "", "comma-separated carmotd base URLs (required)")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 64)")
+		probeInterval = flag.Duration("probe-interval", 0, "health-probe period (0 = default 250ms)")
+		downAfter     = flag.Int("down-after", 0, "consecutive probe failures before a replica is down (0 = default 2)")
+		upAfter       = flag.Int("up-after", 0, "consecutive probe successes before a down replica is up (0 = default 2)")
+		breakerN      = flag.Int("breaker-threshold", 0, "consecutive failures that open a replica's breaker (0 = default 3)")
+		breakerCool   = flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before a half-open trial (0 = default 1s)")
+		maxAttempts   = flag.Int("max-attempts", 0, "per-request attempt budget across failover and hedging (0 = replicas+1)")
+		hedge         = flag.Duration("hedge", 0, "race a second replica when a buffered request is slower than this (0 = hedging off)")
+		attemptTO     = flag.Duration("attempt-timeout", 0, "per-attempt timeout; the hung-replica detector (0 = default 15s)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || *replicas == "" {
+		fmt.Fprintln(os.Stderr, "usage: carmot-router -replicas url[,url...] [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var bases []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			if !strings.Contains(r, "://") {
+				r = "http://" + r // bare host:port is fine
+			}
+			bases = append(bases, strings.TrimRight(r, "/"))
+		}
+	}
+	if err := run(*addr, router.Config{
+		Replicas:         bases,
+		VNodes:           *vnodes,
+		ProbeInterval:    *probeInterval,
+		DownAfter:        *downAfter,
+		UpAfter:          *upAfter,
+		BreakerThreshold: *breakerN,
+		BreakerCooldown:  *breakerCool,
+		MaxAttempts:      *maxAttempts,
+		Hedge:            *hedge,
+		AttemptTimeout:   *attemptTO,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "carmot-router:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGTERM/SIGINT, then shuts down. The router holds no
+// session state, so shutdown only needs to stop the listener and let
+// in-flight relays finish.
+func run(addr string, cfg router.Config) error {
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("carmot-router: listening on http://%s, fronting %d replicas\n", ln.Addr(), len(cfg.Replicas))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("carmot-router: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("carmot-router: bye")
+	return nil
+}

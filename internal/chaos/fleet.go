@@ -1,0 +1,660 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"carmot/internal/router"
+	"carmot/internal/serve"
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+// FleetReplica is one carmotd-equivalent member of a chaos fleet: a
+// real serve.Server behind a real TCP listener, wrapped in a gate so a
+// schedule can hang it, kill it (listener and every established
+// connection cut, streams included), drain it like SIGTERM, and bring
+// it back on the same address.
+type FleetReplica struct {
+	Addr string // fixed for the replica's lifetime, across restarts
+
+	scfg    serve.Config
+	mu      sync.Mutex
+	srv     *serve.Server
+	httpSrv *http.Server
+	hung    chan struct{} // non-nil while hanging; closed on release
+	down    bool
+	drained bool
+	drainWG sync.WaitGroup
+}
+
+func newFleetReplica(scfg serve.Config) (*FleetReplica, error) {
+	fr := &FleetReplica{scfg: scfg}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fr.Addr = ln.Addr().String()
+	fr.mu.Lock()
+	fr.boot(ln)
+	fr.mu.Unlock()
+	return fr, nil
+}
+
+// boot (re)creates the replica process state: a fresh serve.Server —
+// a restarted process loses its caches, which is exactly what the
+// router's affinity story must survive. Callers hold fr.mu.
+func (fr *FleetReplica) boot(ln net.Listener) {
+	fr.srv = serve.New(fr.scfg)
+	fr.httpSrv = &http.Server{Handler: fr.gate(fr.srv.Handler())}
+	fr.down, fr.drained, fr.hung = false, false, nil
+	go fr.httpSrv.Serve(ln)
+}
+
+// gate is the hang injection point: while hung, every request — healthz
+// probes included — blocks until released or the connection dies, which
+// is what a wedged process looks like from the network.
+func (fr *FleetReplica) gate(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fr.mu.Lock()
+		gate := fr.hung
+		fr.mu.Unlock()
+		if gate != nil {
+			select {
+			case <-gate:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Kill severs the replica like a crash: no drain, no goodbye — the
+// listener closes and every established connection is cut mid-byte.
+// The in-flight sessions see their request contexts cancel; Kill waits
+// them out so a later Restart starts from a quiet process.
+func (fr *FleetReplica) Kill() {
+	fr.mu.Lock()
+	if fr.down {
+		fr.mu.Unlock()
+		return
+	}
+	fr.down = true
+	if fr.hung != nil {
+		close(fr.hung)
+		fr.hung = nil
+	}
+	hs, srv := fr.httpSrv, fr.srv
+	fr.mu.Unlock()
+	hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Drain(ctx)
+}
+
+// Restart brings the replica back on its original address with empty
+// caches. A drained-but-alive replica restarts through a stop first.
+func (fr *FleetReplica) Restart() error {
+	fr.mu.Lock()
+	down := fr.down
+	fr.mu.Unlock()
+	if !down {
+		fr.Kill()
+	}
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", fr.Addr)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("restart %s: %w", fr.Addr, err)
+	}
+	fr.mu.Lock()
+	fr.boot(ln)
+	fr.mu.Unlock()
+	return nil
+}
+
+// Hang wedges the replica: established connections stay open, new
+// requests block, probes time out. Unhang releases it.
+func (fr *FleetReplica) Hang() {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.down || fr.hung != nil {
+		return
+	}
+	fr.hung = make(chan struct{})
+}
+
+func (fr *FleetReplica) Unhang() {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.hung != nil {
+		close(fr.hung)
+		fr.hung = nil
+	}
+}
+
+// BeginDrain mimics the SIGTERM path: the replica stops admitting
+// sessions, finishes in-flight ones (streams complete their terminal
+// result), and keeps answering — 503 draining — until killed or
+// restarted.
+func (fr *FleetReplica) BeginDrain() {
+	fr.mu.Lock()
+	if fr.down || fr.drained {
+		fr.mu.Unlock()
+		return
+	}
+	fr.drained = true
+	srv := fr.srv
+	fr.drainWG.Add(1)
+	fr.mu.Unlock()
+	go func() {
+		defer fr.drainWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	// Don't return until the flag is externally visible: a SIGTERM'd
+	// process refuses admissions before the signal handler returns, and
+	// schedules rely on the next request seeing the drain.
+	deadline := time.Now().Add(time.Second)
+	for !srv.Snapshot().Draining && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Fleet is N chaos replicas behind a carmot-router, all on real
+// listeners, plus the client to reach them.
+type Fleet struct {
+	Replicas []*FleetReplica
+	Router   *router.Router
+	URL      string
+
+	httpSrv *http.Server
+	client  *http.Client
+}
+
+// fleetServeConfig is the replica-side tuning every fleet member runs
+// with: admission wide open (fleet chaos is not about sheds), fast
+// degraded-retry backoff, progress events at every batch boundary so
+// streams spend real time mid-flight.
+func fleetServeConfig() serve.Config {
+	return serve.Config{
+		RetryBase:      time.Millisecond,
+		TenantRate:     1000,
+		TenantBurst:    100000,
+		StreamInterval: -1,
+	}
+}
+
+// StartFleet stands up n replicas and a router fronting them. rcfg's
+// Replicas list is filled in by StartFleet.
+func StartFleet(n int, rcfg router.Config) (*Fleet, error) {
+	return StartFleetWith(n, rcfg, fleetServeConfig())
+}
+
+// StartFleetWith is StartFleet with explicit replica-side serve
+// tuning (benchmarks disable the result cache so every request runs).
+func StartFleetWith(n int, rcfg router.Config, scfg serve.Config) (*Fleet, error) {
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		fr, err := newFleetReplica(scfg)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Replicas = append(f.Replicas, fr)
+		rcfg.Replicas = append(rcfg.Replicas, "http://"+fr.Addr)
+	}
+	rt, err := router.New(rcfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Router = rt
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.httpSrv = &http.Server{Handler: rt.Handler()}
+	go f.httpSrv.Serve(ln)
+	f.URL = "http://" + ln.Addr().String()
+	f.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 32}}
+	return f, nil
+}
+
+// Close tears the whole fleet down: router first (stops probers), then
+// every replica, hung or not.
+func (f *Fleet) Close() {
+	if f.httpSrv != nil {
+		f.httpSrv.Close()
+	}
+	if f.Router != nil {
+		f.Router.Close()
+	}
+	for _, fr := range f.Replicas {
+		fr.Unhang()
+		fr.Kill()
+		fr.drainWG.Wait()
+	}
+	if f.client != nil {
+		f.client.CloseIdleConnections()
+	}
+}
+
+// Fleet schedule actions.
+const (
+	ActKill    = "kill"
+	ActRestart = "restart"
+	ActHang    = "hang"
+	ActUnhang  = "unhang"
+	ActDrain   = "drain"
+)
+
+// FleetEvent is one scheduled disruption: once AfterDone client
+// requests have completed, Action fires on Replica.
+type FleetEvent struct {
+	AfterDone int64
+	Replica   int
+	Action    string
+}
+
+// FleetSchedule is a seed-derived chaos run against a 3-replica fleet
+// behind the router: concurrent clients (a seeded mix of buffered and
+// streaming requests) while replicas are killed, hung, drained, and
+// restarted mid-load. The invariants are the serving set, promoted to
+// fleet level:
+//
+//	termination  — every admitted request ultimately completes; clients
+//	               retry structured refusals, never raw failures
+//	equivalence  — every completed request's PSECs are byte-identical
+//	               to the fault-free reference: failover is invisible
+//	               in the body and degraded results never slip through
+//	visibility   — the X-Carmot-Route trail is present and well-formed
+//	               on every completed request
+//	honesty      — every intermediate non-answer is structured (a known
+//	               wire kind with a retry hint, or a terminal stream
+//	               event); a truncated NDJSON stream is a violation
+//	containment  — no goroutine outlives the fleet teardown
+type FleetSchedule struct {
+	Seed      int64
+	Clients   int
+	PerClient int
+	StreamPct int // percentage of requests sent with ?stream=1
+	Events    []FleetEvent
+}
+
+func (s FleetSchedule) String() string {
+	return fmt.Sprintf("fleet seed=%d clients=%d per=%d stream%%=%d events=%v",
+		s.Seed, s.Clients, s.PerClient, s.StreamPct, s.Events)
+}
+
+// NewFleetSchedule derives a fleet schedule from seed. Disruptions are
+// sequential windows — disrupt one replica, recover it, move on — so
+// at most one replica is deliberately unavailable at a time and the
+// flapping pattern still exercises every breaker transition. Windows
+// whose thresholds fall past the end of the load simply never fire;
+// teardown cleans up whatever state the run ended in.
+func NewFleetSchedule(seed int64) FleetSchedule {
+	r := rand.New(rand.NewSource(seed))
+	s := FleetSchedule{
+		Seed:      seed,
+		Clients:   3 + r.Intn(3),
+		PerClient: 3 + r.Intn(3),
+		StreamPct: 30 + r.Intn(41),
+	}
+	total := int64(s.Clients * s.PerClient)
+	recovery := map[string]string{ActKill: ActRestart, ActHang: ActUnhang, ActDrain: ActRestart}
+	at := int64(0)
+	for {
+		at += 1 + r.Int63n(3)
+		if at >= total {
+			break
+		}
+		act := []string{ActKill, ActHang, ActDrain}[r.Intn(3)]
+		rp := r.Intn(3)
+		s.Events = append(s.Events, FleetEvent{AfterDone: at, Replica: rp, Action: act})
+		at += 1 + r.Int63n(3)
+		s.Events = append(s.Events, FleetEvent{AfterDone: at, Replica: rp, Action: recovery[act]})
+	}
+	return s
+}
+
+// FleetOutcome is one client request's final state after retries.
+type FleetOutcome struct {
+	Source    int
+	Stream    bool
+	Tries     int
+	Route     wire.RouteInfo
+	PSECs     json.RawMessage
+	Violation string // non-empty: an invariant broke mid-request
+}
+
+// FleetResult is one executed fleet schedule.
+type FleetResult struct {
+	Schedule    FleetSchedule
+	Outcomes    []FleetOutcome
+	Refs        [][]byte // fault-free PSECs per corpus entry
+	Stats       router.Stats
+	EventsFired int
+	Leaked      bool
+	Err         error // harness-level failure (fleet did not start)
+}
+
+// fleetRouterConfig is the router tuning chaos runs use: tight probe
+// and breaker timings so a multi-second test still walks the full
+// state machine several times, and a 1s attempt timeout as the
+// hung-replica detector.
+func fleetRouterConfig() router.Config {
+	return router.Config{
+		ProbeInterval:    25 * time.Millisecond,
+		ProbeTimeout:     250 * time.Millisecond,
+		DownAfter:        1,
+		UpAfter:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		RetryBase:        5 * time.Millisecond,
+		RetryCap:         50 * time.Millisecond,
+		AttemptTimeout:   time.Second,
+	}
+}
+
+// ExecuteFleet runs the schedule: fault-free references first (direct,
+// no fleet), then the fleet comes up and the clients run while a
+// driver goroutine steps through the disruption events.
+func ExecuteFleet(s FleetSchedule) FleetResult {
+	baseline := testutil.Goroutines()
+	res := FleetResult{Schedule: s}
+
+	ref := serve.New(fleetServeConfig())
+	h := ref.Handler()
+	for i, src := range daemonCorpus {
+		o := postJSON(h, src, true)
+		if o.Status != http.StatusOK || o.Resp.ExitCode != 0 {
+			res.Err = fmt.Errorf("corpus entry %d reference run: status %d exit %d", i, o.Status, o.Resp.ExitCode)
+			return res
+		}
+		canon, cerr := compactJSON(o.PSECs)
+		if cerr != nil {
+			res.Err = fmt.Errorf("corpus entry %d reference PSECs: %v", i, cerr)
+			return res
+		}
+		res.Refs = append(res.Refs, canon)
+	}
+	refCtx, refCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ref.Drain(refCtx)
+	refCancel()
+
+	fleet, err := StartFleet(3, fleetRouterConfig())
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	var done atomic.Int64
+	allDone := make(chan struct{})
+	var driverWG sync.WaitGroup
+	var fired atomic.Int64
+	driverWG.Add(1)
+	go func() {
+		defer driverWG.Done()
+		for _, ev := range s.Events {
+			for done.Load() < ev.AfterDone {
+				select {
+				case <-allDone:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			fr := fleet.Replicas[ev.Replica]
+			switch ev.Action {
+			case ActKill:
+				fr.Kill()
+			case ActRestart:
+				fr.Restart()
+			case ActHang:
+				fr.Hang()
+			case ActUnhang:
+				fr.Unhang()
+			case ActDrain:
+				fr.BeginDrain()
+			}
+			fired.Add(1)
+		}
+	}()
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xf1ee7))
+	for c := 0; c < s.Clients; c++ {
+		tenant := fmt.Sprintf("tenant-%d", c)
+		picks := make([]int, s.PerClient)
+		streams := make([]bool, s.PerClient)
+		for i := range picks {
+			picks[i] = rng.Intn(len(daemonCorpus))
+			streams[i] = rng.Intn(100) < s.StreamPct
+		}
+		wg.Add(1)
+		go func(tenant string, picks []int, streams []bool) {
+			defer wg.Done()
+			for i := range picks {
+				o := fleetRequest(fleet, tenant, picks[i], streams[i])
+				done.Add(1)
+				mu.Lock()
+				res.Outcomes = append(res.Outcomes, o)
+				mu.Unlock()
+			}
+		}(tenant, picks, streams)
+	}
+	wg.Wait()
+	close(allDone)
+	driverWG.Wait()
+
+	res.EventsFired = int(fired.Load())
+	res.Stats = fleet.Router.Snapshot()
+	fleet.Close()
+	res.Leaked = !testutil.SettleGoroutines(baseline, 5*time.Second)
+	return res
+}
+
+// fleetRequest posts one profile request at the router and retries
+// structured refusals until a clean result lands or patience runs out.
+// Any unstructured non-answer is recorded as a violation and ends the
+// request immediately — chaos may delay an answer, never mangle one.
+func fleetRequest(f *Fleet, tenant string, srcIdx int, stream bool) FleetOutcome {
+	o := FleetOutcome{Source: srcIdx, Stream: stream}
+	deadline := time.Now().Add(30 * time.Second)
+	backoff := 5 * time.Millisecond
+	for {
+		if time.Now().After(deadline) {
+			o.Violation = "request did not complete within the retry budget"
+			return o
+		}
+		o.Tries++
+		route, psecs, viol := f.tryOnce(tenant, srcIdx, stream)
+		if viol != "" {
+			o.Violation = viol
+			return o
+		}
+		if psecs != nil {
+			o.Route = route
+			o.PSECs = psecs
+			return o
+		}
+		time.Sleep(jitteredBackoff(backoff))
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func jitteredBackoff(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}
+
+// profileDoc is the replica response document the fleet client cares
+// about: the summary plus the raw PSEC payload for byte comparison.
+type profileDoc struct {
+	wire.Summary
+	PSECs json.RawMessage `json:"psecs"`
+}
+
+// tryOnce issues one request. Returns non-nil psecs on success, empty
+// psecs on a retryable refusal, and a violation string when the
+// response breaks an invariant.
+func (f *Fleet) tryOnce(tenant string, srcIdx int, stream bool) (route wire.RouteInfo, psecs json.RawMessage, violation string) {
+	body, _ := json.Marshal(map[string]any{"source": daemonCorpus[srcIdx], "psecs": true})
+	url := f.URL + "/v1/profile"
+	if stream {
+		url += "?stream=1"
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return route, nil, "building request: " + err.Error()
+	}
+	req.Header.Set("X-Carmot-Tenant", tenant)
+	res, err := f.client.Do(req)
+	if err != nil {
+		// The router itself is never killed; a transport error here is
+		// connection churn under chaos — retryable, not a violation.
+		return route, nil, ""
+	}
+	defer res.Body.Close()
+
+	if stream && res.StatusCode == http.StatusOK {
+		return f.readStream(res)
+	}
+	payload, rerr := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if rerr != nil {
+		return route, nil, ""
+	}
+	return classifyFinal(res.StatusCode, res.Header.Get(wire.RouteHeader), payload)
+}
+
+// readStream consumes a committed NDJSON stream. The terminal event
+// decides: result/200 is the answer, result/!200 is a structured
+// retryable, anything else — a truncated stream most of all — is a
+// violation: the router promised an honest terminal event.
+func (f *Fleet) readStream(res *http.Response) (route wire.RouteInfo, psecs json.RawMessage, violation string) {
+	var last *wire.StreamEvent
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return route, nil, fmt.Sprintf("stream line is not an event: %v: %.200s", err, sc.Bytes())
+		}
+		last = &ev
+	}
+	if err := sc.Err(); err != nil {
+		// The connection died under the scanner — with the router alive
+		// that means our own client machinery, not the fleet; retry.
+		return route, nil, ""
+	}
+	if last == nil || last.Event != wire.EventResult {
+		return route, nil, "stream ended without a terminal result event"
+	}
+	if last.Status != http.StatusOK {
+		var sum wire.Summary
+		if err := json.Unmarshal(last.Result, &sum); err != nil || !knownKinds[sum.Kind] || sum.RetryAfterMs <= 0 {
+			return route, nil, fmt.Sprintf("terminal %d event is not a structured retryable: %.200s", last.Status, last.Result)
+		}
+		return route, nil, "" // honest mid-stream failure; retry
+	}
+	return classifyFinal(http.StatusOK, res.Header.Get(wire.RouteHeader), last.Result)
+}
+
+// classifyFinal sorts a complete response document into answer /
+// retryable / violation.
+func classifyFinal(status int, routeHeader string, payload []byte) (route wire.RouteInfo, psecs json.RawMessage, violation string) {
+	var doc profileDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return route, nil, fmt.Sprintf("status %d with unparseable body: %.200s", status, payload)
+	}
+	switch status {
+	case http.StatusOK:
+		if doc.ExitCode != 0 || doc.Kind != wire.KindOK {
+			return route, nil, fmt.Sprintf("degraded result relayed: 200 with exit %d kind %q", doc.ExitCode, doc.Kind)
+		}
+		if len(doc.PSECs) == 0 {
+			return route, nil, "200/exit-0 without PSECs"
+		}
+		ri, err := wire.ParseRouteInfo(routeHeader)
+		if err != nil {
+			return route, nil, fmt.Sprintf("completed request carries no route trail: %v", err)
+		}
+		// Canonical (compact) form: plain bodies are indented, streamed
+		// terminal results are compacted, and equivalence must hold
+		// across both paths.
+		canon, cerr := compactJSON(doc.PSECs)
+		if cerr != nil {
+			return route, nil, "PSEC payload is not valid JSON: " + cerr.Error()
+		}
+		return ri, canon, ""
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		if !knownKinds[doc.Kind] || doc.RetryAfterMs <= 0 {
+			return route, nil, fmt.Sprintf("status %d without a structured retry hint: %.200s", status, payload)
+		}
+		return route, nil, "" // retryable
+	}
+	return route, nil, fmt.Sprintf("unexpected status %d (kind %q: %s)", status, doc.Kind, doc.Error)
+}
+
+// compactJSON canonicalizes a JSON document for cross-path byte
+// comparison.
+func compactJSON(raw json.RawMessage) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// CheckFleet verifies the fleet invariants on an executed schedule.
+func CheckFleet(res FleetResult) error {
+	s := res.Schedule
+	if res.Err != nil {
+		return fmt.Errorf("%s: %v", s, res.Err)
+	}
+	if res.Leaked {
+		return fmt.Errorf("%s: goroutines leaked past fleet teardown", s)
+	}
+	want := s.Clients * s.PerClient
+	if len(res.Outcomes) != want {
+		return fmt.Errorf("%s: %d outcomes for %d requests", s, len(res.Outcomes), want)
+	}
+	for i, o := range res.Outcomes {
+		if o.Violation != "" {
+			return fmt.Errorf("%s: request %d (source %d, stream %v, try %d): %s",
+				s, i, o.Source, o.Stream, o.Tries, o.Violation)
+		}
+		if !bytes.Equal(o.PSECs, res.Refs[o.Source]) {
+			return fmt.Errorf("%s: request %d: PSECs diverge from the fault-free reference — failover leaked into the body", s, i)
+		}
+		if o.Route.Replica == "" || o.Route.Attempts < 1 {
+			return fmt.Errorf("%s: request %d: route trail missing or empty: %+v", s, i, o.Route)
+		}
+	}
+	if res.Stats.Requests == 0 {
+		return fmt.Errorf("%s: router saw no requests", s)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"carmot/internal/router"
+	"carmot/internal/testutil"
+)
+
+// TestFleetChaosSeeds runs seeded kill/hang/drain/restart schedules
+// against a live 3-replica fleet behind the router. Every invariant —
+// termination, byte-identical non-degraded PSECs, route-trail
+// visibility, structured intermediate failures, containment — is
+// enforced by CheckFleet. Sequential on purpose: each run compares the
+// goroutine count against its own baseline.
+func TestFleetChaosSeeds(t *testing.T) {
+	for _, seed := range []int64{7, 23, 1009} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := NewFleetSchedule(seed)
+			res := ExecuteFleet(s)
+			if err := CheckFleet(res); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: events fired=%d routed_ok=%d failovers=%d exhausted=%d mid_stream=%d",
+				s, res.EventsFired, res.Stats.RoutedOK, res.Stats.Failovers,
+				res.Stats.Exhausted, res.Stats.MidStreamErrors)
+		})
+	}
+}
+
+// replicaIndex extracts N from "replica-N".
+func replicaIndex(t *testing.T, id string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "replica-"))
+	if err != nil {
+		t.Fatalf("route replica id %q: %v", id, err)
+	}
+	return n
+}
+
+// scriptedFleet starts a probe-less fleet so tests control fault
+// observation deterministically through in-band errors.
+func scriptedFleet(t *testing.T) *Fleet {
+	t.Helper()
+	baseline := testutil.Goroutines()
+	t.Cleanup(func() {
+		if !testutil.SettleGoroutines(baseline, 5*time.Second) {
+			t.Error("goroutines leaked past fleet teardown")
+		}
+	})
+	f, err := StartFleet(3, router.Config{
+		ProbeInterval:    -1,
+		DownAfter:        1,
+		UpAfter:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+		RetryBase:        time.Millisecond,
+		RetryCap:         10 * time.Millisecond,
+		AttemptTimeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// TestFleetScriptedKillFailover pins the acceptance story end to end:
+// learn a key's home replica from the route trail, crash that exact
+// replica, and re-issue the request. The answer must come back
+// byte-identical — failover invisible in the body — with the detour
+// recorded in X-Carmot-Route. The same holds for the streaming path.
+func TestFleetScriptedKillFailover(t *testing.T) {
+	f := scriptedFleet(t)
+
+	warm := fleetRequest(f, "alice", 0, false)
+	if warm.Violation != "" {
+		t.Fatal(warm.Violation)
+	}
+	home := replicaIndex(t, warm.Route.Replica)
+
+	f.Replicas[home].Kill()
+
+	over := fleetRequest(f, "alice", 0, false)
+	if over.Violation != "" {
+		t.Fatal(over.Violation)
+	}
+	if !bytes.Equal(over.PSECs, warm.PSECs) {
+		t.Fatalf("failover leaked into the body:\nbefore: %.120s\nafter:  %.120s", warm.PSECs, over.PSECs)
+	}
+	if got := replicaIndex(t, over.Route.Replica); got == home {
+		t.Fatalf("request routed to the killed replica-%d", home)
+	}
+	if over.Route.Attempts < 2 || over.Route.Failover == "" {
+		t.Fatalf("failover not visible in the route trail: %+v", over.Route)
+	}
+
+	stream := fleetRequest(f, "alice", 0, true)
+	if stream.Violation != "" {
+		t.Fatal(stream.Violation)
+	}
+	if !bytes.Equal(stream.PSECs, warm.PSECs) {
+		t.Fatal("streamed failover answer diverges from the buffered one")
+	}
+	if got := replicaIndex(t, stream.Route.Replica); got == home {
+		t.Fatalf("stream routed to the killed replica-%d", home)
+	}
+}
+
+// TestFleetHangFailoverAndRecovery: a wedged replica must not wedge its
+// keys — the attempt timeout fires and the request lands elsewhere.
+// Releasing the hang (plus the breaker cooldown) brings the replica
+// back for its keyspace.
+func TestFleetHangFailoverAndRecovery(t *testing.T) {
+	f := scriptedFleet(t)
+
+	warm := fleetRequest(f, "bob", 1, false)
+	if warm.Violation != "" {
+		t.Fatal(warm.Violation)
+	}
+	home := replicaIndex(t, warm.Route.Replica)
+
+	f.Replicas[home].Hang()
+	start := time.Now()
+	over := fleetRequest(f, "bob", 1, false)
+	if over.Violation != "" {
+		t.Fatal(over.Violation)
+	}
+	if got := replicaIndex(t, over.Route.Replica); got == home {
+		t.Fatalf("request landed on the hung replica-%d", home)
+	}
+	if !bytes.Equal(over.PSECs, warm.PSECs) {
+		t.Fatal("hang failover leaked into the body")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hang failover took %v — attempt timeout not bounding hung replicas", elapsed)
+	}
+
+	f.Replicas[home].Unhang()
+	// One strike is on the breaker; after cooldown the home replica must
+	// win its keys back (half-open trial succeeds on the next request).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		back := fleetRequest(f, "bob", 1, false)
+		if back.Violation != "" {
+			t.Fatal(back.Violation)
+		}
+		if replicaIndex(t, back.Route.Replica) == home {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home replica-%d never recovered its keyspace after unhang", home)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetDrainHandoff: a draining replica hands its keyspace over
+// without a single failed answer and without tripping its breaker —
+// drain is cooperative, not a fault.
+func TestFleetDrainHandoff(t *testing.T) {
+	f := scriptedFleet(t)
+
+	warm := fleetRequest(f, "carol", 2, false)
+	if warm.Violation != "" {
+		t.Fatal(warm.Violation)
+	}
+	home := replicaIndex(t, warm.Route.Replica)
+
+	f.Replicas[home].BeginDrain()
+
+	over := fleetRequest(f, "carol", 2, false)
+	if over.Violation != "" {
+		t.Fatal(over.Violation)
+	}
+	if got := replicaIndex(t, over.Route.Replica); got == home {
+		t.Fatalf("request routed to the draining replica-%d", home)
+	}
+	if !bytes.Equal(over.PSECs, warm.PSECs) {
+		t.Fatal("drain handoff leaked into the body")
+	}
+	st := f.Router.Snapshot()
+	if st.Replicas[home].BreakerTrips != 0 {
+		t.Fatalf("drain tripped the breaker: %+v", st.Replicas[home])
+	}
+	// A restart un-drains: the replica returns with fresh caches and the
+	// keyspace comes home.
+	if err := f.Replicas[home].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Probing is manual in scripted fleets, and only a probe can
+		// clear the router's drain flag for the restarted replica.
+		f.Router.ProbeNow()
+		back := fleetRequest(f, "carol", 2, false)
+		if back.Violation != "" {
+			t.Fatal(back.Violation)
+		}
+		if replicaIndex(t, back.Route.Replica) == home {
+			if !bytes.Equal(back.PSECs, warm.PSECs) {
+				t.Fatal("restarted replica answers differently")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home replica-%d never recovered its keyspace after restart", home)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

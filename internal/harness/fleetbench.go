@@ -1,0 +1,321 @@
+// Fleet benchmark (the BENCH_serve.json "fleet" section): drives a
+// concurrent request burst through carmot-router fronting three live
+// carmotd replicas — real TCP, real failover — under three fleet
+// conditions: everything healthy, one replica dead, and one replica
+// flapping (killed and restarted on a timer) for the whole burst. The
+// headline number is the degradation ratio: one-dead p99 over healthy
+// p99, which the fault-tolerance work keeps within 2x.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"carmot/internal/chaos"
+	"carmot/internal/router"
+	"carmot/internal/serve"
+)
+
+// FleetScenarioReport is one fleet condition's burst result.
+type FleetScenarioReport struct {
+	Scenario string `json:"scenario"`
+	Requests int    `json:"requests"`
+	OK       int    `json:"ok"`
+	Errors   int    `json:"errors"`  // requests that never completed
+	Retried  int    `json:"retried"` // requests that needed client retries
+	// Latency percentiles over completed requests, including client
+	// retry time, in milliseconds.
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// Router counters for the scenario.
+	Failovers uint64 `json:"failovers"`
+	Exhausted uint64 `json:"exhausted"`
+	Flaps     int    `json:"flaps,omitempty"` // kill+restart cycles (flapping only)
+}
+
+// FleetBenchReport is the machine-readable fleet section of
+// BENCH_serve.json.
+type FleetBenchReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Replicas   int    `json:"replicas"`
+	Clients    int    `json:"clients"`
+
+	Healthy  FleetScenarioReport `json:"healthy"`
+	OneDead  FleetScenarioReport `json:"one_dead"`
+	Flapping FleetScenarioReport `json:"flapping"`
+
+	// DegradedP99Ratio is one-dead p99 / healthy p99 — the cost of a
+	// dead replica once routing has settled.
+	DegradedP99Ratio float64 `json:"degraded_p99_ratio"`
+}
+
+// fleetBenchRouterConfig is the router tuning under test: probing fast
+// enough to notice a kill within tens of milliseconds, breaker and
+// backoff at production-shaped (small) values.
+func fleetBenchRouterConfig() router.Config {
+	return router.Config{
+		ProbeInterval:    25 * time.Millisecond,
+		ProbeTimeout:     250 * time.Millisecond,
+		DownAfter:        1,
+		UpAfter:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		RetryBase:        2 * time.Millisecond,
+		RetryCap:         20 * time.Millisecond,
+		AttemptTimeout:   5 * time.Second,
+	}
+}
+
+// fleetBenchScenario runs one burst against a fresh fleet. disrupt is
+// called after warm-up and before the burst; during, if non-nil, runs
+// concurrently with the burst and is stopped (and waited for) when the
+// burst ends.
+func fleetBenchScenario(name string, clients, total int, disrupt func(*chaos.Fleet), during func(*chaos.Fleet, <-chan struct{})) (FleetScenarioReport, error) {
+	rep := FleetScenarioReport{Scenario: name, Requests: total}
+	fleet, err := chaos.StartFleetWith(3, fleetBenchRouterConfig(), serve.Config{
+		RetryBase:      time.Millisecond,
+		TenantRate:     float64(total * 4),
+		TenantBurst:    total * 4,
+		DefaultTimeout: 2 * time.Minute,
+		// Every request must run a real session, as in the serve burst —
+		// cached replays would make dead-replica failover look free.
+		ResultCacheBytes: -1,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer fleet.Close()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	defer client.CloseIdleConnections()
+	bodies := make([][]byte, len(serveBenchSources))
+	for i, src := range serveBenchSources {
+		if bodies[i], err = json.Marshal(map[string]any{"source": src}); err != nil {
+			return rep, err
+		}
+	}
+	// Warm every replica's program cache through the router: one request
+	// per (source, tenant-spread) pair, so the burst measures steady
+	// state rather than first-compile latency.
+	for t := 0; t < 8; t++ {
+		for i := range bodies {
+			if ok, _, _ := fleetFire(client, fleet.URL, bodies[i], fmt.Sprintf("fleet-%d", t)); !ok {
+				return rep, fmt.Errorf("%s warm-up (tenant %d source %d) failed", name, t, i)
+			}
+		}
+	}
+
+	if disrupt != nil {
+		disrupt(fleet)
+		fleet.Router.ProbeNow() // scenario measures steady state, not discovery
+	}
+	stop := make(chan struct{})
+	var duringWG sync.WaitGroup
+	if during != nil {
+		duringWG.Add(1)
+		go func() {
+			defer duringWG.Done()
+			during(fleet, stop)
+		}()
+	}
+
+	latencies := make([]time.Duration, total)
+	outcomes := make([]bool, total)
+	var retried atomic.Int64
+	next := make(chan int, total)
+	for i := 0; i < total; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				ok, tries := fleetComplete(client, fleet.URL, bodies[i%len(bodies)], fmt.Sprintf("fleet-%d", i%8))
+				latencies[i] = time.Since(t0)
+				outcomes[i] = ok
+				if tries > 1 {
+					retried.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(stop)
+	duringWG.Wait()
+
+	var okLat []time.Duration
+	for i, ok := range outcomes {
+		if ok {
+			rep.OK++
+			okLat = append(okLat, latencies[i])
+		} else {
+			rep.Errors++
+		}
+	}
+	if len(okLat) == 0 {
+		return rep, fmt.Errorf("%s: no request completed", name)
+	}
+	sort.Slice(okLat, func(a, b int) bool { return okLat[a] < okLat[b] })
+	rep.Retried = int(retried.Load())
+	rep.P50Ms = percentile(okLat, 0.50)
+	rep.P99Ms = percentile(okLat, 0.99)
+	rep.MaxMs = float64(okLat[len(okLat)-1].Nanoseconds()) / 1e6
+	rep.RequestsPerSec = float64(total) / wall.Seconds()
+	st := fleet.Router.Snapshot()
+	rep.Failovers = st.Failovers
+	rep.Exhausted = st.Exhausted
+	return rep, nil
+}
+
+// fleetFire posts one request at the router. ok means 200.
+func fleetFire(client *http.Client, base string, body []byte, tenant string) (ok bool, status int, err error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/profile", bytes.NewReader(body))
+	if err != nil {
+		return false, 0, err
+	}
+	req.Header.Set(serve.TenantHeader, tenant)
+	res, err := client.Do(req)
+	if err != nil {
+		return false, 0, err
+	}
+	defer res.Body.Close()
+	var sink [4096]byte
+	for {
+		if _, rerr := res.Body.Read(sink[:]); rerr != nil {
+			break
+		}
+	}
+	return res.StatusCode == http.StatusOK, res.StatusCode, nil
+}
+
+// fleetComplete drives one request to completion the way a well-behaved
+// client does: structured refusals (router exhaustion mid-flap) are
+// retried with a short backoff; the recorded latency covers the whole
+// thing.
+func fleetComplete(client *http.Client, base string, body []byte, tenant string) (ok bool, tries int) {
+	deadline := time.Now().Add(15 * time.Second)
+	backoff := 2 * time.Millisecond
+	for {
+		tries++
+		ok, status, err := fleetFire(client, base, body, tenant)
+		if ok {
+			return true, tries
+		}
+		if err == nil && status != http.StatusBadGateway &&
+			status != http.StatusServiceUnavailable && status != http.StatusTooManyRequests {
+			return false, tries // not retryable
+		}
+		if time.Now().After(deadline) {
+			return false, tries
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// flapPeriod is the flapping scenario's half-cycle: the victim replica
+// is dead for flapPeriod, back for flapPeriod, repeatedly.
+const flapPeriod = 150 * time.Millisecond
+
+// FleetBench runs the three fleet scenarios and computes the
+// degradation ratio.
+func FleetBench(clients, total int) (FleetBenchReport, error) {
+	if clients <= 0 {
+		clients = 16
+	}
+	if total <= 0 {
+		total = 400
+	}
+	rep := FleetBenchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Replicas:   3,
+		Clients:    clients,
+	}
+	var err error
+	if rep.Healthy, err = fleetBenchScenario("healthy", clients, total, nil, nil); err != nil {
+		return rep, err
+	}
+	if rep.OneDead, err = fleetBenchScenario("one_dead", clients, total, func(f *chaos.Fleet) {
+		f.Replicas[0].Kill()
+	}, nil); err != nil {
+		return rep, err
+	}
+	flaps := 0
+	if rep.Flapping, err = fleetBenchScenario("flapping", clients, total, nil, func(f *chaos.Fleet, stop <-chan struct{}) {
+		for {
+			f.Replicas[1].Kill()
+			select {
+			case <-stop:
+				return
+			case <-time.After(flapPeriod):
+			}
+			f.Replicas[1].Restart()
+			flaps++
+			select {
+			case <-stop:
+				return
+			case <-time.After(flapPeriod):
+			}
+		}
+	}); err != nil {
+		return rep, err
+	}
+	rep.Flapping.Flaps = flaps
+	if rep.Healthy.P99Ms > 0 {
+		rep.DegradedP99Ratio = rep.OneDead.P99Ms / rep.Healthy.P99Ms
+	}
+	return rep, nil
+}
+
+// MergeFleetSection grafts a fleet report onto an existing
+// BENCH_serve.json document (or a fresh one when prev is empty or
+// unreadable), so -exp serve and -exp fleet can regenerate their
+// sections independently.
+func MergeFleetSection(prev []byte, fleet FleetBenchReport) ([]byte, error) {
+	var rep ServeBenchReport
+	if len(prev) > 0 {
+		if err := json.Unmarshal(prev, &rep); err != nil {
+			rep = ServeBenchReport{}
+		}
+	}
+	rep.Fleet = &fleet
+	return MarshalServeBench(rep)
+}
+
+// RenderFleetBench formats the report as a text table.
+func RenderFleetBench(rep FleetBenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fleet latency under failure (%d replicas, %d clients)\n", rep.Replicas, rep.Clients)
+	fmt.Fprintf(&sb, "%-10s %8s %6s %6s %8s %10s %10s %10s %10s\n",
+		"scenario", "requests", "ok", "err", "retried", "p50 ms", "p99 ms", "req/s", "failovers")
+	for _, sc := range []FleetScenarioReport{rep.Healthy, rep.OneDead, rep.Flapping} {
+		fmt.Fprintf(&sb, "%-10s %8d %6d %6d %8d %10.2f %10.2f %10.0f %10d\n",
+			sc.Scenario, sc.Requests, sc.OK, sc.Errors, sc.Retried,
+			sc.P50Ms, sc.P99Ms, sc.RequestsPerSec, sc.Failovers)
+	}
+	fmt.Fprintf(&sb, "one-dead p99 / healthy p99 = %.2fx (flapping cycles: %d)\n",
+		rep.DegradedP99Ratio, rep.Flapping.Flaps)
+	return sb.String()
+}

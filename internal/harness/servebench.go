@@ -99,6 +99,10 @@ type ServeBenchReport struct {
 
 	HotKey     *ServeHotKeyReport     `json:"hot_key,omitempty"`
 	Saturation []ServeSaturationPoint `json:"saturation,omitempty"`
+	// Fleet is filled in by the separate -exp fleet experiment (three
+	// routed replicas under failure); MergeFleetSection grafts it onto
+	// an existing report so both experiments share BENCH_serve.json.
+	Fleet *FleetBenchReport `json:"fleet,omitempty"`
 }
 
 // fire posts one request body at the handler and reports status and

@@ -1,0 +1,199 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"carmot/internal/wire"
+)
+
+// breaker states. The transitions:
+//
+//	closed    --(threshold consecutive failures)--> open
+//	open      --(cooldown elapsed)-->                half-open
+//	half-open --(one trial succeeds)-->              closed
+//	half-open --(the trial fails)-->                 open (fresh cooldown)
+//
+// Failures are fed from both sides: in-band request errors (transport
+// failures, 5xx) and active-probe failures count the same, so a replica
+// that dies between requests is already open by the time traffic
+// arrives, and a probe success can close a half-open breaker without
+// risking a live request on the trial.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var breakerNames = map[int]string{
+	breakerClosed: "closed", breakerOpen: "open", breakerHalfOpen: "half-open",
+}
+
+// replica is the router's view of one carmotd instance: its breaker,
+// the prober's up/down hysteresis, the drain flag, the last readiness
+// document, and counters.
+type replica struct {
+	id   string // stable short id, e.g. "replica-0"
+	base string // http://host:port
+
+	mu        sync.Mutex
+	state     int
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // when an open breaker may half-open
+	trialOut  bool      // a half-open trial is in flight
+
+	healthy   bool // prober hysteresis; starts true (innocent until probed)
+	draining  bool
+	probeUp   int // consecutive probe successes while down
+	probeDown int // consecutive probe failures while up
+	readiness wire.Health
+
+	// Counters for /v1/statz (guarded by mu; the handler path takes the
+	// lock anyway for the breaker).
+	requests     uint64
+	failures     uint64
+	breakerTrips uint64
+}
+
+// allow reports whether a request may be sent to this replica right
+// now. trial is set when the grant is a half-open probe: its outcome
+// must be reported via done(trial, ok) so the breaker can settle.
+func (rp *replica) allow(now time.Time) (ok, trial bool) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	switch rp.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Before(rp.openUntil) {
+			return false, false
+		}
+		rp.state = breakerHalfOpen
+		rp.trialOut = true
+		return true, true
+	default: // half-open: one trial at a time
+		if rp.trialOut {
+			return false, false
+		}
+		rp.trialOut = true
+		return true, true
+	}
+}
+
+// available reports whether the replica is a routing candidate at all:
+// breaker not open (or due for a trial), prober says up, not draining.
+func (rp *replica) available(now time.Time) bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if !rp.healthy || rp.draining {
+		return false
+	}
+	return rp.state != breakerOpen || !now.Before(rp.openUntil)
+}
+
+// done settles one request or probe outcome into the breaker.
+func (rp *replica) done(trial, ok bool, now time.Time, threshold int, cooldown time.Duration) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if trial {
+		rp.trialOut = false
+	}
+	if ok {
+		rp.fails = 0
+		if rp.state != breakerClosed {
+			rp.state = breakerClosed
+		}
+		return
+	}
+	rp.failures++
+	switch rp.state {
+	case breakerClosed:
+		if rp.fails++; rp.fails >= threshold {
+			rp.trip(now, cooldown)
+		}
+	case breakerHalfOpen:
+		rp.trip(now, cooldown) // the trial failed; back to open
+	case breakerOpen:
+		rp.openUntil = now.Add(cooldown) // still failing; extend
+	}
+}
+
+// trip opens the breaker. Caller holds mu.
+func (rp *replica) trip(now time.Time, cooldown time.Duration) {
+	rp.state = breakerOpen
+	rp.openUntil = now.Add(cooldown)
+	rp.fails = 0
+	rp.trialOut = false
+	rp.breakerTrips++
+}
+
+// probeResult folds one health-probe outcome into the up/down
+// hysteresis and the drain flag. A draining replica is *not* a failed
+// replica: it answers probes, finishes its in-flight sessions, and must
+// leave the rotation without tripping the breaker — err is nil there.
+func (rp *replica) probeResult(h *wire.Health, err error, downAfter, upAfter int) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if err != nil {
+		rp.probeUp = 0
+		if rp.probeDown++; rp.probeDown >= downAfter {
+			rp.healthy = false
+		}
+		return
+	}
+	rp.readiness = *h
+	rp.draining = h.Draining
+	rp.probeDown = 0
+	if rp.probeUp++; rp.probeUp >= upAfter || rp.healthy {
+		rp.healthy = true
+	}
+}
+
+// markDraining records an in-band draining signal (a 503 KindDraining
+// response) without waiting for the next probe round.
+func (rp *replica) markDraining() {
+	rp.mu.Lock()
+	rp.draining = true
+	rp.readiness.Draining = true
+	rp.mu.Unlock()
+}
+
+// weight returns the last-known readiness for failover ordering: lower
+// degrade level first, then more free slots. Unprobed replicas report
+// neutral (level 0, slots 0) and keep their ring position.
+func (rp *replica) weight() (degradeLevel, freeSlots int) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.readiness.DegradeLevel, rp.readiness.FreeSlots
+}
+
+// ReplicaStats is one replica's row in the router's /v1/statz document.
+type ReplicaStats struct {
+	ID           string `json:"id"`
+	Base         string `json:"base"`
+	Breaker      string `json:"breaker"`
+	Healthy      bool   `json:"healthy"`
+	Draining     bool   `json:"draining"`
+	DegradeLevel int    `json:"degrade_level"`
+	FreeSlots    int    `json:"free_slots"`
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+}
+
+func (rp *replica) stats() ReplicaStats {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return ReplicaStats{
+		ID:           rp.id,
+		Base:         rp.base,
+		Breaker:      breakerNames[rp.state],
+		Healthy:      rp.healthy,
+		Draining:     rp.draining,
+		DegradeLevel: rp.readiness.DegradeLevel,
+		FreeSlots:    rp.readiness.FreeSlots,
+		Requests:     rp.requests,
+		Failures:     rp.failures,
+		BreakerTrips: rp.breakerTrips,
+	}
+}

@@ -1,0 +1,68 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica indexes. Each replica
+// owns vnodesPer virtual nodes so keys spread evenly even with three
+// replicas, and a key's failover order is the clockwise walk from its
+// position — stable under any subset of replicas being down, so the
+// same key always prefers the same replica (program and result caches
+// stay hot) and always fails over to the same second choice (the
+// second-choice cache warms exactly when it is needed).
+//
+// The ring is immutable after construction: liveness is not a ring
+// property here. Removing a dead replica from the ring would reshuffle
+// a slice of the keyspace onto every survivor; skipping it during the
+// walk moves only its own keys, one hop, and they snap back the moment
+// it returns.
+type ring struct {
+	vnodes []vnode // sorted by hash
+	n      int     // distinct replicas
+}
+
+type vnode struct {
+	hash uint64
+	idx  int
+}
+
+func newRing(n, vnodesPer int) *ring {
+	if vnodesPer < 1 {
+		vnodesPer = 1
+	}
+	r := &ring{n: n, vnodes: make([]vnode, 0, n*vnodesPer)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodesPer; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("replica-%d#%d", i, v)), idx: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+	return r
+}
+
+// order returns every replica index exactly once, in the clockwise walk
+// order from key's ring position: order[0] is the key's home replica,
+// order[1] the first failover target, and so on.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	h := hash64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	for i := 0; len(out) < r.n; i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.idx] {
+			seen[v.idx] = true
+			out = append(out, v.idx)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

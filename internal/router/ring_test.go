@@ -1,0 +1,55 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOrderCoversAllReplicas: every key's walk visits each replica
+// exactly once, starting from the key's home.
+func TestRingOrderCoversAllReplicas(t *testing.T) {
+	r := newRing(5, 64)
+	for i := 0; i < 100; i++ {
+		order := r.order(fmt.Sprintf("tenant\x00key-%d", i))
+		if len(order) != 5 {
+			t.Fatalf("key %d: order %v has %d entries, want 5", i, order, len(order))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if seen[idx] {
+				t.Fatalf("key %d: order %v repeats replica %d", i, order, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingOrderStable: the walk is a pure function of the key.
+func TestRingOrderStable(t *testing.T) {
+	a, b := newRing(4, 64), newRing(4, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		oa, ob := a.order(key), b.order(key)
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("key %q: orders differ: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with enough vnodes, no replica of three owns a
+// wildly disproportionate share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	r := newRing(3, 64)
+	counts := make([]int, 3)
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.order(fmt.Sprintf("tenant-%d\x00source-%d", i%7, i))[0]]++
+	}
+	for idx, c := range counts {
+		if c < keys/6 || c > keys/2+keys/10 {
+			t.Errorf("replica %d owns %d/%d keys — ring badly unbalanced (%v)", idx, c, keys, counts)
+		}
+	}
+}

@@ -1,0 +1,793 @@
+// Package router is the carmot fleet's front door: an HTTP proxy that
+// consistent-hashes each profile request onto a fleet of carmotd
+// replicas and survives the fleet being hostile. Routing is by
+// (tenant, program identity) so a program's compiled form and cached
+// PSEC result stay hot on one replica; robustness is layered on top:
+//
+//   - active health probing of every replica's /v1/healthz with up/down
+//     hysteresis, so flapping probes do not flap routing
+//   - a per-replica circuit breaker (closed → open → half-open) fed by
+//     both probe failures and in-band request errors, so a dead replica
+//     stops eating requests after a bounded number of failures and is
+//     re-admitted through a single trial
+//   - failover along the key's ring walk under a per-request attempt
+//     budget with jittered exponential backoff between attempts
+//   - optional hedging: a buffered request that has not answered within
+//     the hedge delay races a second replica, first response wins —
+//     profile requests are pure functions of their body, so duplicated
+//     execution is waste, never corruption
+//   - drain awareness: a replica announcing draining (via the readiness
+//     body or an in-band 503) leaves the rotation without tripping its
+//     breaker; its in-flight work finishes
+//
+// Failover is invisible in the response body — the bytes are whatever
+// the winning replica produced — and visible only in the X-Carmot-Route
+// header (wire.RouteInfo) and /v1/statz counters. A degraded result
+// (500, retries exhausted on the replica) is failed over like a dead
+// connection rather than returned: another replica gets the chance to
+// produce the full-fidelity answer, and the trail says so.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"carmot/internal/wire"
+)
+
+// Config tunes the router. Zero values mean the documented defaults.
+type Config struct {
+	// Replicas are the carmotd base URLs ("http://host:port"), in a
+	// fixed order: replica ids are derived from the position.
+	Replicas []string
+	// VNodes is the virtual nodes per replica on the hash ring
+	// (default 64).
+	VNodes int
+	// ProbeInterval is the health-probe period (default 250ms; negative
+	// disables the background prober — tests drive ProbeNow directly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 1s).
+	ProbeTimeout time.Duration
+	// DownAfter / UpAfter are the probe hysteresis: consecutive probe
+	// failures before a replica is down, consecutive successes before a
+	// down replica is up again (defaults 2 / 2).
+	DownAfter int
+	UpAfter   int
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// replica's breaker (default 3); BreakerCooldown is how long it
+	// stays open before a half-open trial (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxAttempts is the per-request attempt budget across failover and
+	// hedging (default: number of replicas + 1, so a hedge never eats
+	// the last failover).
+	MaxAttempts int
+	// RetryBase / RetryCap shape the jittered exponential backoff
+	// between sequential failover attempts (defaults 10ms / 250ms).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Hedge, when positive, races a second replica for buffered
+	// (non-streaming) requests that have not answered within this
+	// delay. Zero disables hedging.
+	Hedge time.Duration
+	// AttemptTimeout bounds one buffered attempt end to end, and the
+	// time to response headers on a streaming attempt (default 15s) —
+	// the hung-replica detector.
+	AttemptTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 1 MiB, matching the
+	// replica's own cap).
+	MaxBodyBytes int64
+	// Transport overrides the upstream round tripper (tests). When nil
+	// the router builds its own with ResponseHeaderTimeout set to
+	// AttemptTimeout.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = len(c.Replicas) + 1
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 250 * time.Millisecond
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Router fronts a fleet of carmotd replicas.
+type Router struct {
+	cfg      Config
+	ring     *ring
+	replicas []*replica
+	client   *http.Client
+
+	stop    chan struct{}
+	probeWG sync.WaitGroup
+	closed  sync.Once
+
+	requests  atomic.Uint64
+	routedOK  atomic.Uint64
+	failovers atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	exhausted atomic.Uint64
+	midStream atomic.Uint64 // streams that died after commit
+}
+
+// New builds a router over the given replica fleet and starts the
+// health probers. Callers own the http.Server wrapping Handler and must
+// Close the router on shutdown.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       30 * time.Second,
+			ResponseHeaderTimeout: cfg.AttemptTimeout,
+		}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   newRing(len(cfg.Replicas), cfg.VNodes),
+		client: &http.Client{Transport: transport},
+		stop:   make(chan struct{}),
+	}
+	for i, base := range cfg.Replicas {
+		rt.replicas = append(rt.replicas, &replica{
+			id: fmt.Sprintf("replica-%d", i), base: base, healthy: true,
+		})
+	}
+	if cfg.ProbeInterval > 0 {
+		for _, rp := range rt.replicas {
+			rt.probeWG.Add(1)
+			go rt.probeLoop(rp)
+		}
+	}
+	return rt, nil
+}
+
+// Close stops the health probers and tears down idle upstream
+// connections. In-flight requests are unaffected.
+func (rt *Router) Close() {
+	rt.closed.Do(func() { close(rt.stop) })
+	rt.probeWG.Wait()
+	if t, ok := rt.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// Handler returns the router's HTTP mux.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/profile", rt.handleProfile)
+	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("/v1/statz", rt.handleStatz)
+	return mux
+}
+
+// ---- health probing ----
+
+func (rt *Router) probeLoop(rp *replica) {
+	defer rt.probeWG.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeReplica(rp)
+		}
+	}
+}
+
+// ProbeNow runs one synchronous probe round over every replica — the
+// deterministic alternative to waiting out ProbeInterval in tests and
+// chaos schedules.
+func (rt *Router) ProbeNow() {
+	for _, rp := range rt.replicas {
+		rt.probeReplica(rp)
+	}
+}
+
+// probeReplica fetches one replica's readiness document and folds the
+// outcome into both the health hysteresis and the breaker. A 503 with a
+// draining body is a *successful* probe of a draining replica; any
+// other failure counts against the breaker, so a replica that dies
+// between requests is already open when traffic arrives.
+func (rt *Router) probeReplica(rp *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	h, err := rt.fetchHealth(ctx, rp)
+	rp.probeResult(h, err, rt.cfg.DownAfter, rt.cfg.UpAfter)
+	now := time.Now()
+	if err != nil {
+		rp.done(false, false, now, rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+		return
+	}
+	rp.probeOK(now)
+}
+
+// probeOK lets a successful probe close a breaker that has served its
+// cooldown (open-and-expired, or half-open with no trial in flight). It
+// never cuts an active cooldown short: a replica that answers probes
+// while failing requests must still sit out the full cooldown.
+func (rp *replica) probeOK(now time.Time) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	switch rp.state {
+	case breakerOpen:
+		if !now.Before(rp.openUntil) {
+			rp.state = breakerClosed
+			rp.fails = 0
+		}
+	case breakerHalfOpen:
+		if !rp.trialOut {
+			rp.state = breakerClosed
+			rp.fails = 0
+		}
+	}
+}
+
+func (rt *Router) fetchHealth(ctx context.Context, rp *replica) (*wire.Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rp.base+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	var h wire.Health
+	if derr := json.NewDecoder(io.LimitReader(res.Body, 1<<16)).Decode(&h); derr != nil {
+		// Pre-readiness replicas serve a bare text body; fall back to
+		// the status code alone.
+		h = wire.Health{Status: "ok", Draining: res.StatusCode == http.StatusServiceUnavailable}
+	}
+	io.Copy(io.Discard, res.Body)
+	if res.StatusCode == http.StatusOK {
+		return &h, nil
+	}
+	if res.StatusCode == http.StatusServiceUnavailable && h.Draining {
+		return &h, nil // draining is a successful probe, not a failure
+	}
+	return nil, fmt.Errorf("probe: status %d", res.StatusCode)
+}
+
+// ---- request routing ----
+
+// routeKeyFields is the minimal body parse the router needs: program
+// identity. Anything else (options, budgets) deliberately stays out of
+// the key so one program's variants share a replica's program cache.
+type routeKeyFields struct {
+	Filename string `json:"filename"`
+	Source   string `json:"source"`
+}
+
+func routeKey(tenant string, body []byte) string {
+	var f routeKeyFields
+	if err := json.Unmarshal(body, &f); err != nil || f.Source == "" {
+		// Unparseable bodies still get a stable key; the replica will
+		// reject them with a structured 400.
+		return tenant + "\x00" + string(body)
+	}
+	return tenant + "\x00" + f.Filename + "\x00" + f.Source
+}
+
+// candidates returns the failover ladder for key: the home replica
+// first (ring position — cache affinity beats load), then the remaining
+// available replicas weighted by last-known readiness (lower shed
+// level, then more free slots, ring order as the tiebreak). When
+// nothing is available the ladder falls back to non-draining replicas,
+// then to everything — a fully-open fleet still gets its half-open
+// trials rather than an instant refusal.
+func (rt *Router) candidates(key string) []*replica {
+	order := rt.ring.order(key)
+	now := time.Now()
+	var avail, nonDraining, all []*replica
+	for _, idx := range order {
+		rp := rt.replicas[idx]
+		all = append(all, rp)
+		if rp.available(now) {
+			avail = append(avail, rp)
+		}
+		rp.mu.Lock()
+		draining := rp.draining
+		rp.mu.Unlock()
+		if !draining {
+			nonDraining = append(nonDraining, rp)
+		}
+	}
+	if len(avail) > 0 {
+		if len(avail) > 2 {
+			tail := avail[1:]
+			sort.SliceStable(tail, func(a, b int) bool {
+				da, fa := tail[a].weight()
+				db, fb := tail[b].weight()
+				if da != db {
+					return da < db
+				}
+				return fa > fb
+			})
+		}
+		return avail
+	}
+	if len(nonDraining) > 0 {
+		return nonDraining
+	}
+	return all
+}
+
+func (rt *Router) handleProfile(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	if r.Method != http.MethodPost {
+		rt.replySummary(w, http.StatusMethodNotAllowed, &wire.Summary{
+			ExitCode: 2, Kind: wire.KindUsage, Error: "POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.replySummary(w, http.StatusBadRequest, &wire.Summary{
+			ExitCode: 2, Kind: wire.KindUsage, Error: "reading request body: " + err.Error()})
+		return
+	}
+	tenant := r.Header.Get("X-Carmot-Tenant")
+	key := routeKey(tenant, body)
+	streaming := r.URL.Query().Get("stream") == "1" || bytes.Contains(body, []byte(`"stream"`)) && wantsStream(body)
+
+	if streaming {
+		rt.routeStreaming(w, r, body, key)
+		return
+	}
+	rt.routeBuffered(w, r, body, key)
+}
+
+// wantsStream decides whether the body itself asks for streaming (the
+// query parameter is handled separately).
+func wantsStream(body []byte) bool {
+	var f struct {
+		Stream bool `json:"stream"`
+	}
+	return json.Unmarshal(body, &f) == nil && f.Stream
+}
+
+// attemptOutcome is one finished replica attempt on the buffered path.
+type attemptOutcome struct {
+	rp     *replica
+	hedged bool
+	status int
+	header http.Header
+	body   []byte
+	reason string // non-empty: failover (the relay fields are invalid)
+}
+
+// routeBuffered serves a non-streaming request: each attempt buffers
+// the replica's entire response before anything reaches the client, so
+// a replica dying mid-body fails over invisibly. Hedging races a
+// second replica when the first is slow.
+func (rt *Router) routeBuffered(w http.ResponseWriter, r *http.Request, body []byte, key string) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel() // reap losers once a winner is relayed
+
+	cands := rt.candidates(key)
+	budget := rt.cfg.MaxAttempts
+	results := make(chan attemptOutcome, budget+1)
+	next, inflight, attempts := 0, 0, 0
+	var lastReason string
+
+	launch := func(hedge bool) bool {
+		now := time.Now()
+		for next < len(cands) && attempts < budget {
+			rp := cands[next]
+			next++
+			ok, trial := rp.allow(now)
+			if !ok {
+				continue
+			}
+			attempts++
+			if attempts > 1 && !hedge {
+				rt.failovers.Add(1)
+			}
+			inflight++
+			go rt.attemptBuffered(ctx, rp, r, body, trial, hedge, results)
+			return true
+		}
+		return false
+	}
+
+	if !launch(false) {
+		rt.refuse(w, attempts, "no replica available")
+		return
+	}
+	var hedgeTimer <-chan time.Time
+	if rt.cfg.Hedge > 0 {
+		hedgeTimer = time.After(rt.cfg.Hedge)
+	}
+	for inflight > 0 {
+		select {
+		case out := <-results:
+			inflight--
+			if out.reason == "" {
+				rt.relayBuffered(w, &out, attempts, lastReason)
+				return
+			}
+			lastReason = out.reason
+			if inflight == 0 {
+				if !rt.backoff(ctx, attempts) || !launch(false) {
+					rt.refuse(w, attempts, lastReason)
+					return
+				}
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if launch(true) {
+				rt.hedges.Add(1)
+			}
+		case <-ctx.Done():
+			// Client gone; nothing to write. Losers unwind on ctx.
+			return
+		}
+	}
+	rt.refuse(w, attempts, lastReason)
+}
+
+// backoff sleeps the jittered exponential failover delay; false means
+// the client context expired first.
+func (rt *Router) backoff(ctx context.Context, attempts int) bool {
+	d := rt.cfg.RetryBase << (attempts - 1)
+	if d > rt.cfg.RetryCap {
+		d = rt.cfg.RetryCap
+	}
+	t := time.NewTimer(jitterDur(d))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// jitterDur spreads d uniformly across ±20%.
+func jitterDur(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}
+
+// attemptBuffered runs one full request against one replica and
+// reports the outcome. The breaker is settled here, win or lose.
+func (rt *Router) attemptBuffered(ctx context.Context, rp *replica, r *http.Request, body []byte, trial, hedged bool, results chan<- attemptOutcome) {
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	rp.mu.Lock()
+	rp.requests++
+	rp.mu.Unlock()
+
+	out := attemptOutcome{rp: rp, hedged: hedged}
+	res, err := rt.forward(actx, rp, r, body)
+	if err != nil {
+		out.reason = err.Error()
+		rp.done(trial, false, time.Now(), rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+		results <- out
+		return
+	}
+	defer res.Body.Close()
+	payload, rerr := io.ReadAll(res.Body)
+	verdict, reason := rt.classify(rp, res.StatusCode, payload, rerr)
+	rp.done(trial, verdict != verdictFailure, time.Now(), rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+	if verdict != verdictRelay {
+		out.reason = reason
+		results <- out
+		return
+	}
+	out.status = res.StatusCode
+	out.header = res.Header
+	out.body = payload
+	results <- out
+}
+
+// Attempt verdicts: relay hands the response to the client; failure
+// fails over and counts against the breaker; drain fails over without
+// a breaker strike.
+const (
+	verdictRelay = iota
+	verdictFailure
+	verdictDrain
+)
+
+// classify sorts one upstream response into relay / failover. Sheds
+// (429) and client errors relay as-is — failing a tenant's shed over to
+// another replica would multiply the tenant's admission budget by the
+// fleet size. Draining 503s and degraded 500s fail over: another
+// replica can serve the full-fidelity answer, and the route header
+// records that it had to.
+func (rt *Router) classify(rp *replica, status int, payload []byte, readErr error) (int, string) {
+	if readErr != nil {
+		return verdictFailure, "reading upstream body: " + readErr.Error()
+	}
+	switch status {
+	case http.StatusServiceUnavailable:
+		var s wire.Summary
+		if json.Unmarshal(payload, &s) == nil && s.Kind == wire.KindDraining {
+			rp.markDraining()
+			return verdictDrain, rp.id + " is draining"
+		}
+		return verdictFailure, fmt.Sprintf("%s: status 503", rp.id)
+	case http.StatusInternalServerError:
+		// The replica's session lost data and its retries ran out — a
+		// degraded result. Never relay it while other replicas might
+		// produce the clean answer; the failover is recorded, not silent.
+		return verdictFailure, fmt.Sprintf("%s: degraded result (status 500)", rp.id)
+	}
+	return verdictRelay, ""
+}
+
+// forward issues the upstream request, preserving method, query,
+// headers, and body.
+func (rt *Router) forward(ctx context.Context, rp *replica, r *http.Request, body []byte) (*http.Response, error) {
+	url := rp.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	req.ContentLength = int64(len(body))
+	return rt.client.Do(req)
+}
+
+// relayBuffered writes a winning attempt to the client, trailed by the
+// route header. The body bytes are exactly what the replica produced.
+func (rt *Router) relayBuffered(w http.ResponseWriter, out *attemptOutcome, attempts int, lastReason string) {
+	rt.routedOK.Add(1)
+	if out.hedged {
+		rt.hedgeWins.Add(1)
+	}
+	ri := wire.RouteInfo{Replica: out.rp.id, Attempts: attempts, Hedged: out.hedged}
+	if attempts > 1 {
+		ri.Failover = lastReason
+	}
+	copyHeaders(w.Header(), out.header)
+	w.Header().Set(wire.RouteHeader, ri.EncodeHeader())
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+// routeStreaming serves a ?stream=1 request: attempts are sequential
+// (a hedge would interleave two NDJSON streams), and failover is
+// possible until the winning replica's response headers are accepted —
+// after the stream commits, an upstream death surfaces as a terminal
+// retryable result event rather than a silent retry, because the
+// client has already seen partial events.
+func (rt *Router) routeStreaming(w http.ResponseWriter, r *http.Request, body []byte, key string) {
+	cands := rt.candidates(key)
+	attempts := 0
+	var lastReason string
+	for _, rp := range cands {
+		if attempts >= rt.cfg.MaxAttempts {
+			break
+		}
+		ok, trial := rp.allow(time.Now())
+		if !ok {
+			continue
+		}
+		if attempts > 0 {
+			rt.failovers.Add(1)
+			if !rt.backoff(r.Context(), attempts) {
+				return
+			}
+		}
+		attempts++
+		rp.mu.Lock()
+		rp.requests++
+		rp.mu.Unlock()
+		res, err := rt.forward(r.Context(), rp, r, body)
+		if err != nil {
+			lastReason = err.Error()
+			rp.done(trial, false, time.Now(), rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+			continue
+		}
+		if res.StatusCode == http.StatusServiceUnavailable || res.StatusCode == http.StatusInternalServerError {
+			payload, rerr := io.ReadAll(res.Body)
+			res.Body.Close()
+			verdict, reason := rt.classify(rp, res.StatusCode, payload, rerr)
+			rp.done(trial, verdict != verdictFailure, time.Now(), rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+			lastReason = reason
+			continue
+		}
+		// Commit: headers first (the route trail must precede the body),
+		// then relay with per-chunk flushes so events arrive live.
+		ri := wire.RouteInfo{Replica: rp.id, Attempts: attempts}
+		if attempts > 1 {
+			ri.Failover = lastReason
+		}
+		copyHeaders(w.Header(), res.Header)
+		w.Header().Set(wire.RouteHeader, ri.EncodeHeader())
+		w.WriteHeader(res.StatusCode)
+		fw := flushWriter{w: w}
+		fw.f, _ = w.(http.Flusher)
+		_, cerr := io.Copy(fw, res.Body)
+		res.Body.Close()
+		rp.done(trial, cerr == nil, time.Now(), rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+		if cerr != nil {
+			// The replica died mid-stream. The client has partial events;
+			// close the stream honestly with a retryable terminal result.
+			rt.midStream.Add(1)
+			sum := wire.Summary{ExitCode: 2, Kind: wire.KindInternal,
+				Error:        fmt.Sprintf("%s failed mid-stream: %v; retry", rp.id, cerr),
+				RetryAfterMs: jitterDur(rt.cfg.RetryBase).Milliseconds() + 1}
+			if data, merr := json.Marshal(&sum); merr == nil {
+				ev := wire.StreamEvent{Event: wire.EventResult, Status: http.StatusBadGateway, Result: data}
+				if line, lerr := ev.EncodeLine(); lerr == nil {
+					fw.Write(line)
+				}
+			}
+			return
+		}
+		rt.routedOK.Add(1)
+		return
+	}
+	rt.refuse(w, attempts, lastReason)
+}
+
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// refuse answers for the router itself when every attempt failed: a
+// structured, retryable 502 carrying the attempt trail.
+func (rt *Router) refuse(w http.ResponseWriter, attempts int, reason string) {
+	rt.exhausted.Add(1)
+	if reason == "" {
+		reason = "no replica available"
+	}
+	ri := wire.RouteInfo{Attempts: attempts, Failover: reason}
+	w.Header().Set(wire.RouteHeader, ri.EncodeHeader())
+	rt.replySummary(w, http.StatusBadGateway, &wire.Summary{
+		ExitCode: 2, Kind: wire.KindInternal,
+		Error:        "no replica could serve the request: " + reason,
+		RetryAfterMs: jitterDur(100 * time.Millisecond).Milliseconds()})
+}
+
+func (rt *Router) replySummary(w http.ResponseWriter, status int, s *wire.Summary) {
+	data, err := s.Encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// ---- router health and stats ----
+
+// handleHealthz reports the router's own readiness: 200 while at least
+// one replica is routable, 503 otherwise. The body is the per-replica
+// state, so one probe of the router reads the whole fleet.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := rt.Snapshot()
+	status := http.StatusServiceUnavailable
+	now := time.Now()
+	for _, rp := range rt.replicas {
+		if rp.available(now) {
+			status = http.StatusOK
+			break
+		}
+	}
+	data, err := json.MarshalIndent(st.Replicas, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// Stats is the router's /v1/statz document.
+type Stats struct {
+	Requests        uint64         `json:"requests"`
+	RoutedOK        uint64         `json:"routed_ok"`
+	Failovers       uint64         `json:"failovers"`
+	Hedges          uint64         `json:"hedges"`
+	HedgeWins       uint64         `json:"hedge_wins"`
+	Exhausted       uint64         `json:"exhausted"`
+	MidStreamErrors uint64         `json:"mid_stream_errors"`
+	Replicas        []ReplicaStats `json:"replicas"`
+}
+
+// Snapshot returns the router's current stats.
+func (rt *Router) Snapshot() Stats {
+	st := Stats{
+		Requests:        rt.requests.Load(),
+		RoutedOK:        rt.routedOK.Load(),
+		Failovers:       rt.failovers.Load(),
+		Hedges:          rt.hedges.Load(),
+		HedgeWins:       rt.hedgeWins.Load(),
+		Exhausted:       rt.exhausted.Load(),
+		MidStreamErrors: rt.midStream.Load(),
+	}
+	for _, rp := range rt.replicas {
+		st.Replicas = append(st.Replicas, rp.stats())
+	}
+	return st
+}
+
+func (rt *Router) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	data, err := json.MarshalIndent(rt.Snapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,596 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"carmot/internal/serve"
+	"carmot/internal/testutil"
+	"carmot/internal/wire"
+)
+
+const demoSrc = `int N = 64;
+int a[64];
+int main() {
+	int s = 0;
+	#pragma carmot roi hot
+	for (int i = 0; i < N; i++) {
+		a[i] = i * 2;
+		s = s + a[i];
+	}
+	return s % 251;
+}
+`
+
+// fleet is a test fleet: n real serve.Servers behind httptest
+// listeners plus a router with probing disabled (tests drive ProbeNow).
+type fleet struct {
+	servers []*serve.Server
+	tss     []*httptest.Server
+	rt      *Router
+}
+
+func newFleet(t *testing.T, n int, rcfg Config) *fleet {
+	t.Helper()
+	// Registered before the teardown cleanup below, so it runs last —
+	// after the router and every replica are gone.
+	baseline := testutil.Goroutines()
+	t.Cleanup(func() { testutil.WaitGoroutines(t, baseline) })
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		s := serve.New(serve.Config{TenantRate: 10000, TenantBurst: 10000})
+		ts := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.tss = append(f.tss, ts)
+		rcfg.Replicas = append(rcfg.Replicas, ts.URL)
+	}
+	if rcfg.ProbeInterval == 0 {
+		rcfg.ProbeInterval = -1
+	}
+	rt, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rt = rt
+	t.Cleanup(func() {
+		rt.Close()
+		for i, ts := range f.tss {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			f.servers[i].Drain(ctx)
+			cancel()
+		}
+	})
+	return f
+}
+
+// post sends one profile request through the router handler.
+func (f *fleet) post(t *testing.T, src, tenant string, query string) (*httptest.ResponseRecorder, wire.RouteInfo) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"source": src, "psecs": true})
+	r := httptest.NewRequest(http.MethodPost, "/v1/profile"+query, bytes.NewReader(body))
+	if tenant != "" {
+		r.Header.Set("X-Carmot-Tenant", tenant)
+	}
+	w := httptest.NewRecorder()
+	f.rt.Handler().ServeHTTP(w, r)
+	ri, err := wire.ParseRouteInfo(w.Header().Get(wire.RouteHeader))
+	if err != nil {
+		t.Fatalf("bad %s header %q: %v", wire.RouteHeader, w.Header().Get(wire.RouteHeader), err)
+	}
+	return w, ri
+}
+
+// TestRouterAffinity: the same (tenant, program) lands on the same
+// replica every time, first try, and the body is exactly what a direct
+// replica request produces.
+func TestRouterAffinity(t *testing.T) {
+	f := newFleet(t, 3, Config{})
+
+	w0, ri0 := f.post(t, demoSrc, "alice", "")
+	if w0.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w0.Code, w0.Body.Bytes())
+	}
+	if ri0.Attempts != 1 || ri0.Replica == "" || ri0.Failover != "" {
+		t.Fatalf("first route = %+v, want 1 clean attempt", ri0)
+	}
+	for i := 0; i < 5; i++ {
+		w, ri := f.post(t, demoSrc, "alice", "")
+		if w.Code != http.StatusOK || ri.Replica != ri0.Replica || ri.Attempts != 1 {
+			t.Fatalf("repeat %d: status %d route %+v, want same replica %s first-try", i, w.Code, ri, ri0.Replica)
+		}
+	}
+	// The home replica served all 6 requests; the others saw none.
+	st := f.rt.Snapshot()
+	var total uint64
+	for _, rs := range st.Replicas {
+		total += rs.Requests
+		if rs.ID != ri0.Replica && rs.Requests != 0 {
+			t.Errorf("replica %s saw %d requests for a single hot key", rs.ID, rs.Requests)
+		}
+	}
+	if total != 6 || st.Failovers != 0 {
+		t.Errorf("stats = %+v, want 6 requests all on the home replica", st)
+	}
+}
+
+// TestRouterFailover: with the home replica dead, the request fails
+// over along the ring and the response body is byte-identical to one
+// computed by the surviving replica directly — failover is visible
+// only in the route header.
+func TestRouterFailover(t *testing.T) {
+	f := newFleet(t, 3, Config{RetryBase: time.Millisecond, BreakerThreshold: 2})
+
+	_, ri0 := f.post(t, demoSrc, "alice", "")
+	home := ri0.Replica
+	// Kill the home replica's listener.
+	for i, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == home {
+			f.tss[i].Close()
+		}
+	}
+	w, ri := f.post(t, demoSrc, "alice", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("failover request: status %d body %s", w.Code, w.Body.Bytes())
+	}
+	if ri.Replica == home || ri.Attempts < 2 || ri.Failover == "" {
+		t.Fatalf("route = %+v, want a recorded failover off %s", ri, home)
+	}
+	// Byte-identity: the routed body equals a direct request to the
+	// winning replica (program cache makes the rerun deterministic).
+	var direct *httptest.ResponseRecorder
+	for i, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == ri.Replica {
+			body, _ := json.Marshal(map[string]any{"source": demoSrc, "psecs": true})
+			r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+			r.Header.Set("X-Carmot-Tenant", "alice")
+			direct = httptest.NewRecorder()
+			f.servers[i].Handler().ServeHTTP(direct, r)
+		}
+	}
+	if direct == nil || !bytes.Equal(w.Body.Bytes(), direct.Body.Bytes()) {
+		t.Error("routed body diverges from the winning replica's direct body")
+	}
+
+	// Repeats trip the dead replica's breaker; once open, requests skip
+	// it without an attempt (first-try routing to the new home).
+	for i := 0; i < 3; i++ {
+		f.post(t, demoSrc, "alice", "")
+	}
+	w2, ri2 := f.post(t, demoSrc, "alice", "")
+	if w2.Code != http.StatusOK || ri2.Attempts != 1 {
+		t.Errorf("post-breaker route = %+v (status %d), want first-try on the failover target", ri2, w2.Code)
+	}
+	var sawTrip bool
+	for _, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == home && rs.BreakerTrips > 0 {
+			sawTrip = true
+		}
+	}
+	if !sawTrip {
+		t.Error("dead home replica never tripped its breaker")
+	}
+}
+
+// TestRouterDrainAwareness: a draining replica leaves the rotation on
+// the next probe without a breaker strike, and comes back when the
+// probe sees it healthy again.
+func TestRouterDrainAwareness(t *testing.T) {
+	f := newFleet(t, 3, Config{})
+
+	_, ri0 := f.post(t, demoSrc, "bob", "")
+	home := ri0.Replica
+	var homeIdx int
+	for i, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == home {
+			homeIdx = i
+		}
+	}
+	// Drain the home replica and let the prober notice.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.servers[homeIdx].Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	f.rt.ProbeNow()
+
+	w, ri := f.post(t, demoSrc, "bob", "")
+	if w.Code != http.StatusOK || ri.Replica == home {
+		t.Fatalf("drain route = %+v (status %d), want a different replica", ri, w.Code)
+	}
+	if ri.Attempts != 1 {
+		t.Errorf("draining replica was attempted (route %+v); probes should have removed it", ri)
+	}
+	for _, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == home {
+			if !rs.Draining {
+				t.Error("home replica not marked draining")
+			}
+			if rs.BreakerTrips != 0 || rs.Breaker != "closed" {
+				t.Errorf("draining tripped the breaker: %+v", rs)
+			}
+		}
+	}
+}
+
+// TestRouterInBandDrainFailover: without any probe round, a 503
+// draining response fails over in-band, marks the replica draining,
+// and leaves its breaker alone.
+func TestRouterInBandDrainFailover(t *testing.T) {
+	f := newFleet(t, 3, Config{RetryBase: time.Millisecond})
+
+	_, ri0 := f.post(t, demoSrc, "carol", "")
+	home := ri0.Replica
+	for i, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == home {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := f.servers[i].Drain(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w, ri := f.post(t, demoSrc, "carol", "")
+	if w.Code != http.StatusOK || ri.Replica == home || ri.Attempts < 2 {
+		t.Fatalf("in-band drain route = %+v (status %d), want failover off %s", ri, w.Code, home)
+	}
+	if !strings.Contains(ri.Failover, "draining") {
+		t.Errorf("failover reason %q does not mention draining", ri.Failover)
+	}
+	for _, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == home && (rs.BreakerTrips != 0 || !rs.Draining) {
+			t.Errorf("in-band drain mishandled: %+v", rs)
+		}
+	}
+}
+
+// TestRouterShedPassthrough: a tenant's 429 from its home replica is
+// relayed, not failed over — otherwise a fleet of N replicas would
+// multiply every tenant's admission budget by N.
+func TestRouterShedPassthrough(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	// Tiny admission budget: 1 req/s, burst 1.
+	f := &fleet{}
+	var cfg Config
+	for i := 0; i < 2; i++ {
+		s := serve.New(serve.Config{TenantRate: 1, TenantBurst: 1})
+		ts := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.tss = append(f.tss, ts)
+		cfg.Replicas = append(cfg.Replicas, ts.URL)
+	}
+	cfg.ProbeInterval = -1
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rt = rt
+	defer func() {
+		rt.Close()
+		for i, ts := range f.tss {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			f.servers[i].Drain(ctx)
+			cancel()
+		}
+	}()
+
+	w0, _ := f.post(t, demoSrc, "dave", "")
+	if w0.Code != http.StatusOK {
+		t.Fatalf("first request: status %d", w0.Code)
+	}
+	w1, ri := f.post(t, demoSrc, "dave", "")
+	if w1.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429", w1.Code)
+	}
+	if ri.Attempts != 1 {
+		t.Errorf("shed was failed over: route %+v", ri)
+	}
+	var resp wire.Summary
+	if err := json.Unmarshal(w1.Body.Bytes(), &resp); err != nil || resp.Kind != wire.KindShed || resp.RetryAfterMs <= 0 {
+		t.Errorf("shed body lost structure through the router: %s", w1.Body.Bytes())
+	}
+}
+
+// TestRouterHedge: when the home replica sits on a request past the
+// hedge delay, a second replica races it and wins; the route header
+// says so.
+func TestRouterHedge(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+
+	release := make(chan struct{})
+	var slowHits atomic.Int32
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slowHits.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer slow.Close()
+	defer close(release)
+	fast := serve.New(serve.Config{TenantRate: 10000, TenantBurst: 10000})
+	fastTS := httptest.NewServer(fast.Handler())
+	defer func() {
+		fastTS.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fast.Drain(ctx)
+		cancel()
+	}()
+
+	// Try tenant keys until one homes on the slow replica, so the hedge
+	// is what saves the request.
+	rt, err := New(Config{
+		Replicas:      []string{slow.URL, fastTS.URL},
+		ProbeInterval: -1,
+		Hedge:         20 * time.Millisecond,
+		RetryBase:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var hedgedRoute *wire.RouteInfo
+	for i := 0; i < 16 && hedgedRoute == nil; i++ {
+		tenant := fmt.Sprintf("hedge-%d", i)
+		before := slowHits.Load()
+		body, _ := json.Marshal(map[string]any{"source": demoSrc})
+		r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+		r.Header.Set("X-Carmot-Tenant", tenant)
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, r)
+		if slowHits.Load() == before {
+			continue // this key homed on the fast replica; not a hedge case
+		}
+		if w.Code != http.StatusOK {
+			t.Fatalf("hedged request: status %d body %s", w.Code, w.Body.Bytes())
+		}
+		ri, err := wire.ParseRouteInfo(w.Header().Get(wire.RouteHeader))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hedgedRoute = &ri
+	}
+	if hedgedRoute == nil {
+		t.Fatal("no tenant key homed on the slow replica in 16 tries")
+	}
+	if !hedgedRoute.Hedged || hedgedRoute.Replica != "replica-1" {
+		t.Errorf("route = %+v, want a hedged win on replica-1", hedgedRoute)
+	}
+	if st := rt.Snapshot(); st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Errorf("hedge counters not advanced: %+v", st)
+	}
+}
+
+// TestRouterStreamingFailover: a streaming request whose home replica
+// is dead fails over before the stream commits; the relayed NDJSON is
+// a complete well-formed event sequence.
+func TestRouterStreamingFailover(t *testing.T) {
+	f := newFleet(t, 3, Config{RetryBase: time.Millisecond})
+
+	_, ri0 := f.post(t, demoSrc, "eve", "")
+	home := ri0.Replica
+	for i, rs := range f.rt.Snapshot().Replicas {
+		if rs.ID == home {
+			f.tss[i].Close()
+		}
+	}
+	w, ri := f.post(t, demoSrc, "eve", "?stream=1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("streaming failover: status %d body %s", w.Code, w.Body.Bytes())
+	}
+	if ri.Replica == home || ri.Attempts < 2 {
+		t.Fatalf("streaming route = %+v, want failover off %s", ri, home)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last wire.StreamEvent
+	lines := 0
+	for sc.Scan() {
+		lines++
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("stream line %d is not an event: %v\n%s", lines, err, sc.Bytes())
+		}
+	}
+	if lines == 0 || last.Event != wire.EventResult || last.Status != http.StatusOK {
+		t.Fatalf("relayed stream malformed: %d lines, last %+v", lines, last)
+	}
+}
+
+// TestRouterMidStreamDeath: a replica that dies after committing its
+// NDJSON stream cannot be retried silently (the client saw events);
+// the router must close the stream with a retryable terminal result.
+func TestRouterMidStreamDeath(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		line, _ := (&wire.StreamEvent{Event: wire.EventCompile, ROIs: 1}).EncodeLine()
+		w.Write(line)
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler) // die mid-stream
+	}))
+	defer evil.Close()
+	rt, err := New(Config{Replicas: []string{evil.URL}, ProbeInterval: -1, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	body, _ := json.Marshal(map[string]any{"source": demoSrc, "stream": true})
+	r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, r)
+
+	sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
+	var events []wire.StreamEvent
+	for sc.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line not an event: %v\n%s", err, sc.Bytes())
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want compile + terminal error result:\n%s", len(events), w.Body.Bytes())
+	}
+	last := events[1]
+	if last.Event != wire.EventResult || last.Status != http.StatusBadGateway {
+		t.Fatalf("terminal event = %+v, want a 502 result", last)
+	}
+	var sum wire.Summary
+	if err := json.Unmarshal(last.Result, &sum); err != nil || sum.Kind != wire.KindInternal || sum.RetryAfterMs <= 0 {
+		t.Errorf("terminal result not structured/retryable: %s", last.Result)
+	}
+	if rt.Snapshot().MidStreamErrors == 0 {
+		t.Error("mid-stream error counter not advanced")
+	}
+}
+
+// TestRouterExhausted: with every replica dead, the router answers
+// itself — a structured retryable 502 with the attempt trail.
+func TestRouterExhausted(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // immediately: connection refused
+	rt, err := New(Config{Replicas: []string{dead.URL}, ProbeInterval: -1, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	body, _ := json.Marshal(map[string]any{"source": demoSrc})
+	r := httptest.NewRequest(http.MethodPost, "/v1/profile", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", w.Code)
+	}
+	var sum wire.Summary
+	if err := json.Unmarshal(w.Body.Bytes(), &sum); err != nil || sum.Kind != wire.KindInternal || sum.RetryAfterMs <= 0 {
+		t.Fatalf("refusal not structured/retryable: %s", w.Body.Bytes())
+	}
+	ri, err := wire.ParseRouteInfo(w.Header().Get(wire.RouteHeader))
+	if err != nil || ri.Attempts == 0 || ri.Failover == "" {
+		t.Errorf("refusal route trail missing: %+v (err %v)", ri, err)
+	}
+	if rt.Snapshot().Exhausted == 0 {
+		t.Error("exhausted counter not advanced")
+	}
+}
+
+// TestRouterHealthz: 200 with at least one routable replica, 503 once
+// the whole fleet is gone (after probes notice).
+func TestRouterHealthz(t *testing.T) {
+	f := newFleet(t, 2, Config{DownAfter: 1})
+
+	get := func() int {
+		w := httptest.NewRecorder()
+		f.rt.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+		return w.Code
+	}
+	f.rt.ProbeNow()
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("healthy fleet: router healthz = %d", code)
+	}
+	for _, ts := range f.tss {
+		ts.Close()
+	}
+	f.rt.ProbeNow()
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("dead fleet: router healthz = %d, want 503", code)
+	}
+}
+
+// TestRouterProbeRecovery: a replica that dies and comes back is
+// re-admitted by probe hysteresis and the breaker's half-open trial,
+// and its keys snap back home.
+func TestRouterProbeRecovery(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+
+	var down atomic.Bool
+	inner := serve.New(serve.Config{TenantRate: 10000, TenantBurst: 10000})
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		inner.Handler().ServeHTTP(w, r)
+	}))
+	defer func() {
+		gate.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		inner.Drain(ctx)
+		cancel()
+	}()
+	other := serve.New(serve.Config{TenantRate: 10000, TenantBurst: 10000})
+	otherTS := httptest.NewServer(other.Handler())
+	defer func() {
+		otherTS.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		other.Drain(ctx)
+		cancel()
+	}()
+
+	rt, err := New(Config{
+		Replicas:         []string{gate.URL, otherTS.URL},
+		ProbeInterval:    -1,
+		DownAfter:        1,
+		UpAfter:          1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Millisecond,
+		RetryBase:        time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	f := &fleet{rt: rt}
+
+	// Find a tenant whose home is the gated replica.
+	var tenant string
+	for i := 0; i < 16; i++ {
+		cand := fmt.Sprintf("rec-%d", i)
+		w, ri := f.post(t, demoSrc, cand, "")
+		if w.Code == http.StatusOK && ri.Replica == "replica-0" {
+			tenant = cand
+			break
+		}
+	}
+	if tenant == "" {
+		t.Fatal("no tenant homed on replica-0")
+	}
+
+	down.Store(true)
+	rt.ProbeNow() // DownAfter=1: replica-0 is now down
+	w, ri := f.post(t, demoSrc, tenant, "")
+	if w.Code != http.StatusOK || ri.Replica != "replica-1" {
+		t.Fatalf("down route = %+v (status %d), want replica-1", ri, w.Code)
+	}
+
+	down.Store(false)
+	time.Sleep(2 * time.Millisecond) // let the breaker cooldown lapse
+	rt.ProbeNow()                    // UpAfter=1: healthy again, breaker closes
+	w2, ri2 := f.post(t, demoSrc, tenant, "")
+	if w2.Code != http.StatusOK || ri2.Replica != "replica-0" || ri2.Attempts != 1 {
+		t.Fatalf("recovered route = %+v (status %d), want keys snapped back to replica-0", ri2, w2.Code)
+	}
+}

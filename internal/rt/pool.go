@@ -111,6 +111,11 @@ func (p *Pool) Load() float64 {
 	return float64(p.total-len(p.slots)) / float64(p.total)
 }
 
+// Free reports how many slots are unleased right now. The serving
+// layer's readiness document exposes this so a router can weight
+// replicas by spare capacity.
+func (p *Pool) Free() int { return len(p.slots) }
+
 // Sessions reports how many grants are outstanding.
 func (p *Pool) Sessions() int {
 	p.mu.Lock()

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -591,12 +592,14 @@ func (s *Server) runSession(ctx context.Context, prog *carmot.Program, req *prof
 		}
 		// Degraded: the pipeline dropped data but the program is fine —
 		// the retryable class. Back off and re-run from the cached
-		// program, unless the deadline will expire first.
+		// program, unless the deadline will expire first. The backoff is
+		// jittered ±20%: sessions degraded by the same load spike would
+		// otherwise re-arrive at the pool in lockstep and spike it again.
 		backoff := s.cfg.RetryBase << attempt
 		if backoff > s.cfg.RetryCap {
 			backoff = s.cfg.RetryCap
 		}
-		timer := time.NewTimer(backoff)
+		timer := time.NewTimer(jitter(backoff))
 		select {
 		case <-timer.C:
 			s.retries.Add(1)
@@ -665,16 +668,35 @@ func renderReports(prog *carmot.Program, res *carmot.ProfileResult, useCase carm
 	return out
 }
 
+// handleHealthz serves the readiness document. The status code keeps
+// the original bare contract — 200 ready, 503 draining — for clients
+// that only probe liveness; the JSON body (wire.Health) adds the
+// shed-ladder level, free pool slots, and the draining flag so a router
+// can weight replicas instead of treating health as binary.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.drainMu.RLock()
 	draining := s.draining
 	s.drainMu.RUnlock()
+	h := wire.Health{
+		Status:       "ok",
+		Draining:     draining,
+		DegradeLevel: s.degradeLevel(),
+		FreeSlots:    s.pool.Free(),
+		PoolSlots:    s.pool.Total(),
+	}
+	status := http.StatusOK
 	if draining {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
 }
 
 // Stats is the /v1/statz document.
@@ -752,17 +774,35 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	w.Write(append(data, '\n'))
 }
 
+// jitter spreads d uniformly across ±20% so a cohort of synchronized
+// clients (or a retry loop re-arming on the same hint) fans out instead
+// of re-arriving in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}
+
 // shedReply writes a structured 429 with the Retry-After hint in both
 // the header (whole seconds, rounded up) and the body (milliseconds).
+// The hint is jittered ±20% once, and the body carries that jittered
+// value exactly: the coarse header rounding alone would re-synchronize
+// every shed client onto the same second.
 func (s *Server) shedReply(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	retryAfter = jitter(retryAfter)
 	secs := int64((retryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
+	ms := retryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	s.reply(w, http.StatusTooManyRequests, &profileResponse{Summary: wire.Summary{
 		ExitCode: 2, Kind: wire.KindShed, Error: msg,
-		RetryAfterMs: retryAfter.Milliseconds()}})
+		RetryAfterMs: ms}})
 }
 
 func (s *Server) reply(w http.ResponseWriter, status int, resp *profileResponse) {

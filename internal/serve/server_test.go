@@ -315,6 +315,51 @@ func TestServeRetriesExhausted(t *testing.T) {
 	}
 }
 
+// TestServeHealthzReadiness: /v1/healthz keeps the bare 200/503 status
+// contract but now carries a wire.Health readiness body — shed-ladder
+// level, pool occupancy, draining flag — so a router can weight
+// replicas instead of treating health as binary.
+func TestServeHealthzReadiness(t *testing.T) {
+	s := New(Config{PoolSlots: 4})
+	h := s.Handler()
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("healthz content-type = %q", ct)
+	}
+	var hb wire.Health
+	if err := json.Unmarshal(w.Body.Bytes(), &hb); err != nil {
+		t.Fatalf("healthz body is not wire.Health: %v\n%s", err, w.Body.Bytes())
+	}
+	if hb.Status != "ok" || hb.Draining || hb.DegradeLevel != 0 {
+		t.Errorf("idle readiness = %+v, want ok/not-draining/level 0", hb)
+	}
+	if hb.PoolSlots != 4 || hb.FreeSlots != 4 {
+		t.Errorf("idle pool = %d free of %d, want 4 of 4", hb.FreeSlots, hb.PoolSlots)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Status != "draining" || !hb.Draining {
+		t.Errorf("draining readiness = %+v, want status=draining + flag", hb)
+	}
+}
+
 // TestServeDrain: draining refuses new sessions with structured 503s,
 // healthz flips, and in-flight sessions complete first.
 func TestServeDrain(t *testing.T) {

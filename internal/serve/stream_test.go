@@ -3,7 +3,9 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -111,6 +113,86 @@ func TestServeStreamCachedResult(t *testing.T) {
 	if !bytes.Equal([]byte(events[0].Result), compactWarm.Bytes()) {
 		t.Fatalf("streamed cached result diverges from the plain body\nplain (compacted):\n%s\nstreamed:\n%s",
 			compactWarm.Bytes(), events[0].Result)
+	}
+}
+
+// TestServeStreamDrainMidStream: a replica that begins draining (the
+// SIGTERM path in carmotd calls Drain) while a ?stream=1 session is in
+// flight must not cut the stream off — the session registered with
+// inflight before the drain, so Drain waits for it and the client
+// receives its complete NDJSON terminal result. A request arriving
+// after the drain started gets a structured, retryable 503 instead, so
+// a router can fail it over.
+func TestServeStreamDrainMidStream(t *testing.T) {
+	baseline := testutil.Goroutines()
+	defer testutil.WaitGoroutines(t, baseline)
+	s := New(Config{StreamInterval: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(profileRequest{Source: demoSrc, PSECs: true, Stream: true})
+	resp, err := ts.Client().Post(ts.URL+"/v1/profile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	// Wait for the first event so the session is provably committed,
+	// then start the drain while the stream is (at latest) mid-flight.
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first stream event: %v", err)
+	}
+	var ev wire.StreamEvent
+	if err := json.Unmarshal(first, &ev); err != nil || ev.Event != wire.EventCompile {
+		t.Fatalf("first event = %q (err %v), want compile", first, err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("stream truncated after drain began: %v", err)
+	}
+	events := streamLines(t, rest)
+	if len(events) == 0 {
+		t.Fatal("no events after compile")
+	}
+	last := events[len(events)-1]
+	if last.Event != wire.EventResult || last.Status != http.StatusOK {
+		t.Fatalf("terminal event = %+v, want result/200 despite the drain", last)
+	}
+	var pr profileResponse
+	if err := json.Unmarshal(last.Result, &pr); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if pr.ExitCode != 0 || pr.Kind != wire.KindOK || len(pr.PSECs) == 0 {
+		t.Errorf("drained stream degraded: exit %d kind %q psecs %d", pr.ExitCode, pr.Kind, len(pr.PSECs))
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Streams that arrive after the cut get a retryable refusal, not a
+	// hang and not a silent empty body.
+	late, err := ts.Client().Post(ts.URL+"/v1/profile?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Body.Close()
+	if late.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain stream status = %d, want 503", late.StatusCode)
+	}
+	var refusal profileResponse
+	if err := json.NewDecoder(late.Body).Decode(&refusal); err != nil {
+		t.Fatalf("post-drain refusal body: %v", err)
+	}
+	if refusal.Kind != wire.KindDraining || refusal.RetryAfterMs <= 0 {
+		t.Errorf("post-drain refusal = kind %q retry_after_ms %d, want draining + positive backoff",
+			refusal.Kind, refusal.RetryAfterMs)
 	}
 }
 

@@ -93,6 +93,69 @@ func (e *StreamEvent) EncodeLine() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// Health is the /v1/healthz readiness document a carmotd replica
+// serves. The status code keeps the original bare contract — 200 ready,
+// 503 draining — so old clients that only look at the code still work;
+// the body lets a router weight replicas instead of treating health as
+// binary: a replica at shed-ladder level 2 with no free slots is alive
+// but a poor failover target.
+type Health struct {
+	// Status is "ok" or "draining", mirroring the status code.
+	Status string `json:"status"`
+	// Draining is set once SIGTERM drain began: the replica finishes
+	// in-flight sessions but admits nothing new. A router must remove a
+	// draining replica from rotation without counting it as failed.
+	Draining bool `json:"draining"`
+	// DegradeLevel is the load-shed ladder rung new sessions would run
+	// at (0 full fidelity, 1 soft, 2 hard).
+	DegradeLevel int `json:"degrade_level"`
+	// FreeSlots / PoolSlots describe the shared worker pool: how many
+	// pipeline slots are unleased right now out of the machine budget.
+	FreeSlots int `json:"free_slots"`
+	PoolSlots int `json:"pool_slots"`
+}
+
+// RouteHeader names the response header carrying the RouteInfo document
+// on requests that passed through carmot-router. It is a header, not a
+// body field, so routed response bodies stay byte-identical to the ones
+// the replica produced — failover is visible here and nowhere else.
+const RouteHeader = "X-Carmot-Route"
+
+// RouteInfo is the routing trail carmot-router attaches to every
+// response: which replica ultimately answered, how many attempts that
+// took, and why earlier attempts failed over.
+type RouteInfo struct {
+	// Replica is the id of the replica whose response this is (empty
+	// when every attempt failed and the router answered itself).
+	Replica string `json:"replica,omitempty"`
+	// Attempts is the number of replica attempts made, hedges included.
+	Attempts int `json:"attempts"`
+	// Failover is the reason the previous attempt was abandoned, empty
+	// on a first-try success. With several failovers it reports the
+	// last one; the full ladder is in the router's /v1/statz counters.
+	Failover string `json:"failover,omitempty"`
+	// Hedged is set when this response was won by a hedge request
+	// racing a slow primary.
+	Hedged bool `json:"hedged,omitempty"`
+}
+
+// EncodeHeader renders the route info as the compact single-line JSON
+// the X-Carmot-Route header carries.
+func (ri *RouteInfo) EncodeHeader() string {
+	data, err := json.Marshal(ri)
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// ParseRouteInfo decodes an X-Carmot-Route header value.
+func ParseRouteInfo(h string) (RouteInfo, error) {
+	var ri RouteInfo
+	err := json.Unmarshal([]byte(h), &ri)
+	return ri, err
+}
+
 // KindForExit maps a CLI exit code onto its outcome kind.
 func KindForExit(code int) string {
 	switch code {

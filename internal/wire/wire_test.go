@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"carmot/internal/rt"
@@ -67,6 +68,73 @@ func TestSummaryWireNames(t *testing.T) {
 	}
 	if len(m) != 6 {
 		t.Errorf("marshalled summary has unexpected fields: %s", data)
+	}
+}
+
+// TestRouteInfoRoundTrip pins the X-Carmot-Route header codec: a fully
+// populated route trail must survive EncodeHeader → ParseRouteInfo
+// unchanged, and the encoding must be a single line (header values may
+// not contain newlines).
+func TestRouteInfoRoundTrip(t *testing.T) {
+	in := RouteInfo{Replica: "replica-2", Attempts: 3, Failover: "connect: connection refused", Hedged: true}
+	h := in.EncodeHeader()
+	if h == "" || strings.ContainsAny(h, "\r\n") {
+		t.Fatalf("EncodeHeader produced an invalid header value: %q", h)
+	}
+	out, err := ParseRouteInfo(h)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the route info\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+// TestRouteInfoWireNames pins the header document's field names — the
+// contract between carmot-router and anything reading its trail.
+func TestRouteInfoWireNames(t *testing.T) {
+	ri := RouteInfo{Replica: "r", Attempts: 2, Failover: "x", Hedged: true}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(ri.EncodeHeader()), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"replica", "attempts", "failover", "hedged"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("encoded route info is missing %q: %s", key, ri.EncodeHeader())
+		}
+	}
+	if len(m) != 4 {
+		t.Errorf("encoded route info has unexpected fields: %s", ri.EncodeHeader())
+	}
+	// A clean first-try route omits everything but the attempt count.
+	lean := RouteInfo{Replica: "r", Attempts: 1}
+	var lm map[string]any
+	if err := json.Unmarshal([]byte(lean.EncodeHeader()), &lm); err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != 2 {
+		t.Errorf("lean route info should carry replica+attempts only: %s", lean.EncodeHeader())
+	}
+}
+
+// TestHealthWireNames pins the /v1/healthz readiness document.
+func TestHealthWireNames(t *testing.T) {
+	h := Health{Status: "ok", DegradeLevel: 1, FreeSlots: 3, PoolSlots: 8}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"status", "draining", "degrade_level", "free_slots", "pool_slots"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("marshalled health is missing %q: %s", key, data)
+		}
+	}
+	if len(m) != 5 {
+		t.Errorf("marshalled health has unexpected fields: %s", data)
 	}
 }
 

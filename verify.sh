@@ -35,7 +35,15 @@ echo "== go test -race (daemon smoke) =="
 # over-budget tenant (sheds must be structured 429s), fault-injected
 # sessions healed by retry-from-journal, and a drain that leaves no
 # goroutine behind.
-go test -race -count=1 -run 'ServeLoad1000|ServeRetry|ServeDrain|ServeAdmission|ServeDegrade' ./internal/serve/
+go test -race -count=1 -run 'ServeLoad1000|ServeRetry|ServeDrain|ServeAdmission|ServeDegrade|ServeHealthz' ./internal/serve/
+
+echo "== go test -race (router + fleet failover smoke) =="
+# The fleet front door: consistent-hash routing, breaker transitions,
+# drain awareness, hedging, mid-stream death honesty — then the seeded
+# fleet chaos schedules (3 live replicas killed/hung/drained/restarted
+# under concurrent load, byte-identical PSECs, zero goroutine leaks).
+go test -race -count=1 ./internal/router/
+go test -race -count=1 -run 'Fleet' ./internal/chaos/
 
 echo "== go test -race (result cache + streaming smoke) =="
 # The PSEC result cache (byte-identical replays, singleflight, the
@@ -57,5 +65,6 @@ go test -run NONE -bench 'BenchmarkProfiledRun' -benchtime 1x .
 go test -run NONE -bench 'BenchmarkPipeline|BenchmarkCondense' -benchtime 1x ./internal/rt/
 go run ./cmd/carmot-bench -exp interp -interp-iters 1
 go run ./cmd/carmot-bench -exp serve -serve-clients 4 -serve-requests 24
+go run ./cmd/carmot-bench -exp fleet -fleet-clients 4 -fleet-requests 24
 
 echo "verify: OK"
