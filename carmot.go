@@ -166,6 +166,16 @@ type ProfileOptions struct {
 	// An overloaded serving layer sets it to trade producer CPU for
 	// pipeline volume when many sessions share one worker pool.
 	ForceCoalesce bool
+	// NoFuse disables the bytecode compiler's superinstruction peephole.
+	// PSECs are identical either way; the knob exists so benchmarks can
+	// attribute the fusion win and differential tests can compare fused
+	// vs unfused streams.
+	NoFuse bool
+	// CountDispatch tallies per-opcode dispatch and fall-through-pair
+	// frequencies in the bytecode engine; the report lands on
+	// ProfileResult.Dispatch. The counters ride the dispatch loop, so
+	// leave this off when measuring throughput.
+	CountDispatch bool
 	// Workers sizes the runtime's worker pool (default GOMAXPROCS).
 	Workers int
 	// Shards sizes the runtime's address-sharded postprocessing pool
@@ -243,6 +253,9 @@ type ProfileResult struct {
 	// Diagnostics reports the runtime's resource/fault summary; check
 	// Truncated to see whether a budget cut the run short.
 	Diagnostics Diagnostics
+	// Dispatch is the bytecode engine's opcode-frequency report, non-nil
+	// only when ProfileOptions.CountDispatch was set.
+	Dispatch *interp.DispatchStats
 }
 
 // Profile instruments the program per the options, executes it, and
@@ -305,6 +318,8 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 		MaxSteps:        opts.MaxSteps,
 		Ctx:             opts.Context,
 		Deadline:        deadline,
+		NoFuse:          opts.NoFuse,
+		CountDispatch:   opts.CountDispatch,
 	})
 	run, rerr := it.Run()
 	// Always drain the pipeline, whatever the run's outcome: Finish is
@@ -323,7 +338,7 @@ func (p *Program) Profile(opts ProfileOptions) (*ProfileResult, error) {
 			}
 		}
 	}
-	res := &ProfileResult{PSECs: psecs, Run: run, Plan: plan, Diagnostics: diag}
+	res := &ProfileResult{PSECs: psecs, Run: run, Plan: plan, Diagnostics: diag, Dispatch: it.DispatchStats()}
 	if rerr != nil {
 		return res, rerr
 	}

@@ -40,6 +40,9 @@ func main() {
 		rtOut      = flag.String("rt-out", "", "write the -exp rt report as JSON to this file (e.g. BENCH_rt.json)")
 		interpIt   = flag.Int("interp-iters", 20, "timed runs per engine configuration for -exp interp")
 		interpOut  = flag.String("interp-out", "", "write the -exp interp report as JSON to this file (e.g. BENCH_interp.json)")
+		interpAst  = flag.Bool("interp-assert", false, "fail -exp interp if coalescing regresses >5% or the bytecode engine drops below 2.0x vs tree (the verify.sh perf smoke)")
+		interpCnt  = flag.Bool("interp-counters", false, "with -exp interp, also print per-opcode dispatch and fall-through-pair tables (superinstruction candidates)")
+		interpNoF  = flag.Bool("interp-nofuse", false, "with -interp-counters, count the unfused stream (shows the raw pair population)")
 		serveReqs  = flag.Int("serve-requests", 1000, "request count for -exp serve")
 		serveCli   = flag.Int("serve-clients", 32, "concurrent clients for -exp serve")
 		serveOut   = flag.String("serve-out", "", "write the -exp serve report as JSON to this file (e.g. BENCH_serve.json)")
@@ -50,8 +53,9 @@ func main() {
 	)
 	flag.Parse()
 	cfg := harness.Config{Threads: *threads, ScaleDiv: *scaleDiv}
+	iopts := interpOpts{iters: *interpIt, out: *interpOut, assert: *interpAst, counters: *interpCnt, nofuse: *interpNoF}
 	err := profiled(*cpuProfile, *memProfile, func() error {
-		return run(*exp, cfg, *rtIters, *rtOut, *interpIt, *interpOut, *serveCli, *serveReqs, *serveOut, *fleetCli, *fleetReqs)
+		return run(*exp, cfg, *rtIters, *rtOut, iopts, *serveCli, *serveReqs, *serveOut, *fleetCli, *fleetReqs)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carmot-bench:", err)
@@ -89,7 +93,16 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return err
 }
 
-func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters int, interpOut string, serveClients, serveReqs int, serveOut string, fleetClients, fleetReqs int) error {
+// interpOpts bundles the -exp interp flags.
+type interpOpts struct {
+	iters    int
+	out      string
+	assert   bool
+	counters bool
+	nofuse   bool
+}
+
+func run(exp string, cfg harness.Config, rtIters int, rtOut string, iopts interpOpts, serveClients, serveReqs int, serveOut string, fleetClients, fleetReqs int) error {
 	all := exp == "all"
 	ran := false
 	if exp == "rt" { // pipeline microbenchmark; deliberately not part of "all"
@@ -111,20 +124,33 @@ func run(exp string, cfg harness.Config, rtIters int, rtOut string, interpIters 
 		return nil
 	}
 	if exp == "interp" { // engine microbenchmark; deliberately not part of "all"
-		rep, err := harness.InterpBench(interpIters)
+		if iopts.counters {
+			tables, err := harness.InterpCounters(iopts.nofuse)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tables)
+		}
+		rep, err := harness.InterpBench(iopts.iters)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.RenderInterpBench(rep))
-		if interpOut != "" {
+		if iopts.out != "" {
 			data, err := harness.MarshalInterpBench(rep)
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(interpOut, append(data, '\n'), 0o644); err != nil {
+			if err := os.WriteFile(iopts.out, append(data, '\n'), 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", interpOut)
+			fmt.Printf("wrote %s\n", iopts.out)
+		}
+		if iopts.assert {
+			if err := harness.AssertInterpBench(rep); err != nil {
+				return err
+			}
+			fmt.Println("interp bench assertions passed (coalesce ≤5% of base, bytecode ≥2.0x)")
 		}
 		return nil
 	}

@@ -11,38 +11,38 @@ var quick = harness.Config{Threads: 8, ScaleDiv: 32}
 
 func TestRunFastExperiments(t *testing.T) {
 	for _, exp := range []string{"table1", "fig9", "stats", "verify"} {
-		if err := run(exp, quick, 1, "", 1, "", 1, 1, "", 1, 1); err != nil {
+		if err := run(exp, quick, 1, "", interpOpts{iters: 1}, 1, 1, "", 1, 1); err != nil {
 			t.Errorf("run(%q): %v", exp, err)
 		}
 	}
 }
 
 func TestRunRTExperiment(t *testing.T) {
-	if err := run("rt", quick, 1, "", 1, "", 1, 1, "", 1, 1); err != nil {
+	if err := run("rt", quick, 1, "", interpOpts{iters: 1}, 1, 1, "", 1, 1); err != nil {
 		t.Errorf("run(rt): %v", err)
 	}
 }
 
 func TestRunInterpExperiment(t *testing.T) {
-	if err := run("interp", quick, 1, "", 1, "", 1, 1, "", 1, 1); err != nil {
+	if err := run("interp", quick, 1, "", interpOpts{iters: 1}, 1, 1, "", 1, 1); err != nil {
 		t.Errorf("run(interp): %v", err)
 	}
 }
 
 func TestRunServeExperiment(t *testing.T) {
-	if err := run("serve", quick, 1, "", 1, "", 4, 24, "", 1, 1); err != nil {
+	if err := run("serve", quick, 1, "", interpOpts{iters: 1}, 4, 24, "", 1, 1); err != nil {
 		t.Errorf("run(serve): %v", err)
 	}
 }
 
 func TestRunFleetExperiment(t *testing.T) {
-	if err := run("fleet", quick, 1, "", 1, "", 1, 1, "", 4, 24); err != nil {
+	if err := run("fleet", quick, 1, "", interpOpts{iters: 1}, 1, 1, "", 4, 24); err != nil {
 		t.Errorf("run(fleet): %v", err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("frobnicate", quick, 1, "", 1, "", 1, 1, "", 1, 1); err == nil {
+	if err := run("frobnicate", quick, 1, "", interpOpts{iters: 1}, 1, 1, "", 1, 1); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }

@@ -17,21 +17,24 @@ var engineConfigs = []struct {
 	name     string
 	engine   interp.Engine
 	coalesce bool
+	nofuse   bool
 }{
-	{"tree", EngineTree, false},
-	{"tree+coalesce", EngineTree, true},
-	{"bytecode", EngineBytecode, false},
-	{"bytecode+coalesce", EngineBytecode, true},
+	{"tree", EngineTree, false, false},
+	{"tree+coalesce", EngineTree, true, false},
+	{"bytecode", EngineBytecode, false, false},
+	{"bytecode-nofuse", EngineBytecode, false, true},
+	{"bytecode+coalesce", EngineBytecode, true, false},
 }
 
 // profileWith runs one configuration and flattens the result into
 // comparable pieces: marshalled PSEC bytes, the run summary, the
 // diagnostics, and the error text ("" when nil).
 func profileWith(t *testing.T, prog *Program, opts ProfileOptions,
-	engine interp.Engine, coalesce bool) ([]byte, *interp.Result, Diagnostics, string) {
+	engine interp.Engine, coalesce, nofuse bool) ([]byte, *interp.Result, Diagnostics, string) {
 	t.Helper()
 	opts.Engine = engine
 	opts.NoCoalesce = !coalesce
+	opts.NoFuse = nofuse
 	res, err := prog.Profile(opts)
 	errText := ""
 	if err != nil {
@@ -54,9 +57,9 @@ func profileWith(t *testing.T, prog *Program, opts ProfileOptions,
 // engine and the combining buffer are pure performance artifacts.
 func assertConfigsAgree(t *testing.T, prog *Program, opts ProfileOptions) {
 	t.Helper()
-	refPSEC, refRun, refDiag, refErr := profileWith(t, prog, opts, EngineTree, false)
+	refPSEC, refRun, refDiag, refErr := profileWith(t, prog, opts, EngineTree, false, false)
 	for _, cfg := range engineConfigs[1:] {
-		psecs, run, diag, errText := profileWith(t, prog, opts, cfg.engine, cfg.coalesce)
+		psecs, run, diag, errText := profileWith(t, prog, opts, cfg.engine, cfg.coalesce, cfg.nofuse)
 		if errText != refErr {
 			t.Fatalf("%s: error %q, oracle %q", cfg.name, errText, refErr)
 		}
@@ -201,6 +204,107 @@ int main() { return f(0); }`,
 	for name, src := range srcs {
 		t.Run(name, func(t *testing.T) {
 			prog, err := Compile("fault.mc", src, CompileOptions{WholeProgramROI: true})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP})
+		})
+	}
+}
+
+// TestEngineDifferentialInlineCacheFlips drives an indirect call site
+// through alternating callees — the worst case for the monomorphic
+// inline cache, which must invalidate and re-resolve on every flip — and
+// through a long monomorphic stretch followed by a late flip. Both must
+// agree with the oracle exactly; a stale cache would call the wrong
+// function and diverge immediately.
+func TestEngineDifferentialInlineCacheFlips(t *testing.T) {
+	srcs := map[string]string{
+		"alternating callees": `int inc(int x) { return x + 1; }
+int dbl(int x) { return x + x; }
+int main() {
+	fnptr f = inc;
+	int s = 0;
+	for (int i = 0; i < 32; i++) {
+		if (i - (i / 2) * 2 == 0) { f = inc; } else { f = dbl; }
+		s = s + f(i);
+	}
+	return s;
+}`,
+		"late flip after monomorphic stretch": `int inc(int x) { return x + 1; }
+int dbl(int x) { return x + x; }
+int main() {
+	fnptr f = inc;
+	int s = 0;
+	for (int i = 0; i < 64; i++) {
+		if (i == 60) { f = dbl; }
+		s = s + f(i);
+	}
+	return s;
+}`,
+		"flip to faulting null": `int inc(int x) { return x + 1; }
+int main() {
+	fnptr f = inc;
+	int s = 0;
+	for (int i = 0; i < 8; i++) {
+		if (i == 5) { f = 0; }
+		s = s + f(i);
+	}
+	return s;
+}`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Compile("ic.mc", src, CompileOptions{WholeProgramROI: true})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			assertConfigsAgree(t, prog, ProfileOptions{UseCase: UseOpenMP})
+		})
+	}
+}
+
+// TestEngineDifferentialSuperinstructionShapes covers the program shapes
+// the peephole pass rewrites most aggressively — compare+branch chains,
+// dense index+load loops, untracked-region loop bodies with store+jmp
+// bottoms — across every engine configuration including the unfused
+// bytecode stream.
+func TestEngineDifferentialSuperinstructionShapes(t *testing.T) {
+	srcs := map[string]string{
+		"compare chains": `int main() {
+	int a = 3; int b = 7; int n = 0;
+	while (a < b) {
+		if (a == n) { n = n + 2; }
+		if (a != b) { a = a + 1; }
+		if (n <= a) { n = n + 1; }
+	}
+	return n;
+}`,
+		"dense index loads": `int N = 64;
+int* idx;
+int* data;
+int main() {
+	idx = malloc(N);
+	data = malloc(N);
+	for (int i = 0; i < N; i++) { idx[i] = (i * 7) % 64; data[i] = i; }
+	int s = 0;
+	#pragma carmot roi gather
+	for (int i = 0; i < N; i++) { s = s + data[idx[i]]; }
+	return s;
+}`,
+		"untracked loop body": `int main() {
+	int acc = 0;
+	int i = 0;
+	while (i < 500) {
+		acc = acc + i * 3;
+		i = i + 1;
+	}
+	return acc;
+}`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Compile("fuse.mc", src, CompileOptions{WholeProgramROI: true})
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}

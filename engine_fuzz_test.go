@@ -82,6 +82,54 @@ int main() {
 `,
 	"int main() { int* p; return p[0]; }\n",
 	"int main() { int x = 5; int y = 0; return x / y; }\n",
+	// Superinstruction-sensitive shapes: each exercises one family of
+	// fused or specialized opcodes, so the differential fuzzer covers the
+	// compiler's peephole rewrites, not just generic dispatch.
+	`int main() {
+	int a = 3; int b = 7; int n = 0;
+	while (a < b) {
+		if (a == n) { n = n + 2; }
+		if (a != b) { a = a + 1; }
+		if (n <= a) { n = n + 1; }
+	}
+	return n;
+}
+`,
+	`int N = 64;
+int* idx;
+int* data;
+int main() {
+	idx = malloc(N);
+	data = malloc(N);
+	for (int i = 0; i < N; i++) { idx[i] = (i * 7) % 64; data[i] = i; }
+	int s = 0;
+	#pragma carmot roi gather
+	for (int i = 0; i < N; i++) { s = s + data[idx[i]]; }
+	return s;
+}
+`,
+	`int main() {
+	int acc = 0;
+	int i = 0;
+	while (i < 50) {
+		acc = acc + i * 3;
+		i = i + 1;
+	}
+	return acc;
+}
+`,
+	`int add1(int x) { return x + 1; }
+int dbl(int x) { return x + x; }
+int main() {
+	fnptr f = add1;
+	int s = 0;
+	for (int i = 0; i < 12; i++) {
+		if (i - (i / 2) * 2 == 0) { f = add1; } else { f = dbl; }
+		s = s + f(i);
+	}
+	return s;
+}
+`,
 }
 
 // FuzzEngineDifferential feeds arbitrary sources through the whole

@@ -5,14 +5,23 @@ package interp
 // opcode. It must stay observationally identical to exec.go's tree-walker
 // — same counters, same events in the same order, same error text — so
 // every case mirrors its tree-walker counterpart statement for statement;
-// the only differences are pre-resolved operands and the absence of
-// per-instruction interface dispatch.
+// the only differences are pre-resolved operands, the absence of
+// per-instruction interface dispatch, compile-time trackability (the
+// opLoadU/opStoreU cases contain no emit branch, no coalescer check, and
+// no event construction; the T cases emit unconditionally), and
+// superinstructions, whose cases execute both halves of a fused pair
+// with the exact step/budget/cost bookkeeping the unfused pair would
+// have performed.
 
 import (
 	"fmt"
 	"math"
 
 	"carmot/internal/core"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/native"
+	"carmot/internal/pinsim"
 )
 
 // fetch resolves a pre-compiled operand against the frame.
@@ -38,6 +47,126 @@ func (it *Interp) costBC(in *bcInstr) {
 	}
 }
 
+// costA/costB accrue one half of a fused word's cost; the halves carry
+// independent serial flags because the instrumentation planner may mark
+// them differently.
+func (it *Interp) costA(in *bcInstr, c int64) {
+	it.cycles += c
+	if in.flags&bfSerial != 0 {
+		it.serialCycles += c
+	}
+}
+
+func (it *Interp) costB(in *bcInstr, c int64) {
+	it.cycles += c
+	if in.flags&bfSerialB != 0 {
+		it.serialCycles += c
+	}
+}
+
+// stepSlow is the dispatch loop's cold path: the step-limit error and the
+// periodic budget probe, reached once per 8192 steps (or at the limit).
+// It also advances stepStop, the single precomputed threshold the hot
+// path compares against — the next mask-aligned probe boundary, clamped
+// to the step limit so the limit error still fires at exactly
+// maxSteps+1. Folding the limit check and the probe alignment test into
+// one comparison saves a branch per dispatched step, which is measurable
+// at interpreter dispatch rates.
+func (it *Interp) stepSlow(maxSteps int64) error {
+	if it.steps > maxSteps {
+		return &BudgetError{Reason: fmt.Sprintf("step limit exceeded (%d)", it.opts.MaxSteps)}
+	}
+	next := (it.steps | budgetCheckMask) + 1
+	if next > maxSteps {
+		next = maxSteps // re-enters at the limit; the check above errors past it
+	}
+	it.stepStop = next
+	if it.steps&budgetCheckMask == 0 {
+		return it.checkBudget()
+	}
+	return nil
+}
+
+// binFast evaluates the bin opcodes that dominate fused words (integer
+// index math, float multiply-accumulate, loop-bound compares). It stays
+// under the inlining budget, so the hot fused cases skip the call into
+// binEval's full switch; anything else (notably the faulting div/rem
+// pair) falls back with ok=false.
+func binFast(op bcOp, av, bv uint64) (v uint64, ok bool) {
+	switch op {
+	case opAddI:
+		return av + bv, true
+	case opMulF:
+		return math.Float64bits(math.Float64frombits(av) * math.Float64frombits(bv)), true
+	case opAddF:
+		return math.Float64bits(math.Float64frombits(av) + math.Float64frombits(bv)), true
+	case opLtI:
+		if int64(av) < int64(bv) {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// binEval computes one binary opcode over operand bits, returning a
+// non-empty message for the tree-walker's arithmetic faults.
+func binEval(op bcOp, av, bv uint64) (uint64, string) {
+	switch op {
+	case opAddI:
+		return av + bv, ""
+	case opSubI:
+		return av - bv, ""
+	case opMulI:
+		return av * bv, ""
+	case opDivI:
+		if int64(bv) == 0 {
+			return 0, "integer division by zero"
+		}
+		return uint64(int64(av) / int64(bv)), ""
+	case opRemI:
+		if int64(bv) == 0 {
+			return 0, "integer remainder by zero"
+		}
+		return uint64(int64(av) % int64(bv)), ""
+	case opEqI:
+		return b2i(av == bv), ""
+	case opNeI:
+		return b2i(av != bv), ""
+	case opLtI:
+		return b2i(int64(av) < int64(bv)), ""
+	case opLeI:
+		return b2i(int64(av) <= int64(bv)), ""
+	case opGtI:
+		return b2i(int64(av) > int64(bv)), ""
+	case opGeI:
+		return b2i(int64(av) >= int64(bv)), ""
+	}
+	a, b := math.Float64frombits(av), math.Float64frombits(bv)
+	switch op {
+	case opAddF:
+		return math.Float64bits(a + b), ""
+	case opSubF:
+		return math.Float64bits(a - b), ""
+	case opMulF:
+		return math.Float64bits(a * b), ""
+	case opDivF:
+		return math.Float64bits(a / b), ""
+	case opEqF:
+		return b2i(a == b), ""
+	case opNeF:
+		return b2i(a != b), ""
+	case opLtF:
+		return b2i(a < b), ""
+	case opLeF:
+		return b2i(a <= b), ""
+	case opGtF:
+		return b2i(a > b), ""
+	default: // opGeF
+		return b2i(a >= b), ""
+	}
+}
+
 func (it *Interp) execBC(fr *frame) (uint64, error) {
 	cf := fr.cf
 	code := cf.code
@@ -46,19 +175,37 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 	if maxSteps <= 0 {
 		maxSteps = math.MaxInt64 // no limit: one compare instead of two
 	}
+	// The memory image is loop-local; every op that can grow it (malloc's
+	// ensure, callees, natives) refreshes the local below.
+	mem := it.mem
+	hits := cf.hits
+	// The step counter lives in a local so the hot loop's increment and
+	// stepStop compare touch a register instead of the interpreter struct.
+	// The cold paths that read it.steps (stepSlow's probe alignment, the
+	// callee's own loop, Result construction) see a synced value: the loop
+	// writes it back before stepSlow and before bcCall, and the monotonic
+	// guard below covers every other exit — including panics unwinding out
+	// of runtime emits — without clobbering a callee's newer count.
+	steps := it.steps
+	defer func() {
+		if steps > it.steps {
+			it.steps = steps
+		}
+	}()
 	pc := 0
 	for {
 		in := &code[pc]
 		cur := pc
 		pc++
-		it.steps++
-		if it.steps > maxSteps {
-			return 0, &BudgetError{Reason: fmt.Sprintf("step limit exceeded (%d)", it.opts.MaxSteps)}
-		}
-		if it.steps&budgetCheckMask == 0 {
-			if berr := it.checkBudget(); berr != nil {
+		steps++
+		if steps >= it.stepStop {
+			it.steps = steps
+			if berr := it.stepSlow(maxSteps); berr != nil {
 				return 0, berr
 			}
+		}
+		if hits != nil {
+			hits[cur]++
 		}
 
 		switch in.op {
@@ -71,45 +218,69 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 				it.toolCycles += costAllocEvent
 			}
 
-		case opLoad:
+		case opLoadU:
+			// Untracked load: no emit branch, no runtime check, no event.
 			addr := fetch(fr, in.amode, in.a)
-			if addr == 0 || addr >= uint64(len(it.mem)) {
+			if addr == 0 || addr >= uint64(len(mem)) {
 				return 0, it.errf(cf.poss[cur], "invalid load address %d", addr)
 			}
-			fr.temps[in.dst] = it.mem[addr]
+			fr.temps[in.dst] = mem[addr]
 			it.costBC(in)
 			if in.flags&bfSym != 0 {
 				it.varAccesses++
 			} else {
 				it.memAccesses++
 			}
-			if r != nil && in.flags&bfTrack != 0 {
-				r.EmitAccess(addr, false, in.site, it.frameCS(fr))
-				it.toolCycles += it.eventCost
+
+		case opLoadT:
+			// Tracked load: the emit is unconditional by construction.
+			addr := fetch(fr, in.amode, in.a)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(cf.poss[cur], "invalid load address %d", addr)
+			}
+			fr.temps[in.dst] = mem[addr]
+			it.costBC(in)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			r.EmitAccess(addr, false, in.site, it.frameCS(fr))
+			it.toolCycles += it.eventCost
+
+		case opStoreU:
+			addr := fetch(fr, in.amode, in.a)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(cf.poss[cur], "invalid store address %d", addr)
+			}
+			mem[addr] = fetch(fr, in.bmode, in.b)
+			it.costBC(in)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
 			}
 
-		case opStore:
+		case opStoreT:
 			addr := fetch(fr, in.amode, in.a)
-			if addr == 0 || addr >= uint64(len(it.mem)) {
+			if addr == 0 || addr >= uint64(len(mem)) {
 				return 0, it.errf(cf.poss[cur], "invalid store address %d", addr)
 			}
 			val := fetch(fr, in.bmode, in.b)
-			it.mem[addr] = val
+			mem[addr] = val
 			it.costBC(in)
 			if in.flags&bfSym != 0 {
 				it.varAccesses++
 			} else {
 				it.memAccesses++
 			}
-			if r != nil && in.flags&bfTrack != 0 {
-				if it.prof.Sets {
-					r.EmitAccess(addr, true, in.site, it.frameCS(fr))
-					it.toolCycles += it.eventCost
-				}
-				if it.prof.Reach && in.flags&bfPtrStore != 0 && val != 0 && val < uint64(len(it.mem)) {
-					r.EmitEscape(addr, val)
-					it.toolCycles += costEscapeEvent
-				}
+			if in.flags&bfSets != 0 {
+				r.EmitAccess(addr, true, in.site, it.frameCS(fr))
+				it.toolCycles += it.eventCost
+			}
+			if in.flags&bfEscape != 0 && val != 0 && val < uint64(len(mem)) {
+				r.EmitEscape(addr, val)
+				it.toolCycles += costEscapeEvent
 			}
 
 		case opAddI:
@@ -224,6 +395,7 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 			addr := it.heapTop
 			it.heapTop += uint64(cells)
 			it.ensure(it.heapTop)
+			mem = it.mem
 			it.liveHeap[addr] = heapRec{cells: cells, pos: ms.pos}
 			fr.temps[in.dst] = addr
 			it.costBC(in)
@@ -245,11 +417,14 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 			}
 
 		case opCall:
-			res, err := it.bcCall(&cf.calls[in.ext], fr)
+			spec := &cf.calls[in.ext]
+			it.steps = steps // the callee's loop continues the count
+			res, err := it.bcCall(spec, fr)
+			steps = it.steps // reload: the callee advanced it
 			if err != nil {
 				return 0, err
 			}
-			spec := &cf.calls[in.ext]
+			mem = it.mem // callees and natives may have grown the image
 			if !spec.void {
 				fr.temps[in.dst] = res
 			}
@@ -315,8 +490,267 @@ func (it *Interp) execBC(fr *frame) (uint64, error) {
 				it.toolCycles += costFixedEmit
 			}
 
-		default: // opBadOp
+		case opBadOp:
 			return 0, it.errf(cf.poss[cur], "%s", cf.msgs[in.ext])
+
+		case opFJmpEqI, opFJmpNeI, opFJmpLtI, opFJmpLeI, opFJmpGtI, opFJmpGeI:
+			a := int64(fetch(fr, in.amode, in.a))
+			b := int64(fetch(fr, in.bmode, in.b))
+			var cond uint64
+			switch in.op {
+			case opFJmpEqI:
+				cond = b2i(a == b)
+			case opFJmpNeI:
+				cond = b2i(a != b)
+			case opFJmpLtI:
+				cond = b2i(a < b)
+			case opFJmpLeI:
+				cond = b2i(a <= b)
+			case opFJmpGtI:
+				cond = b2i(a > b)
+			default:
+				cond = b2i(a >= b)
+			}
+			fr.temps[in.dst] = cond
+			it.costA(in, costBin)
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			it.costB(in, costBr)
+			if cond != 0 {
+				pc = int(in.imm)
+			} else {
+				pc = int(in.imm2)
+			}
+
+		case opFJmpEqF, opFJmpNeF, opFJmpLtF, opFJmpLeF, opFJmpGtF, opFJmpGeF:
+			a, b := f2(fr, in)
+			var cond uint64
+			switch in.op {
+			case opFJmpEqF:
+				cond = b2i(a == b)
+			case opFJmpNeF:
+				cond = b2i(a != b)
+			case opFJmpLtF:
+				cond = b2i(a < b)
+			case opFJmpLeF:
+				cond = b2i(a <= b)
+			case opFJmpGtF:
+				cond = b2i(a > b)
+			default:
+				cond = b2i(a >= b)
+			}
+			fr.temps[in.dst] = cond
+			it.costA(in, costBin)
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			it.costB(in, costBr)
+			if cond != 0 {
+				pc = int(in.imm)
+			} else {
+				pc = int(in.imm2)
+			}
+
+		case opFGEPLoadU, opFGEPLoadT:
+			b := int64(fetch(fr, in.amode, in.a))
+			if in.flags&bfHasB != 0 {
+				b += int64(fetch(fr, in.bmode, in.b)) * in.imm
+			}
+			b += in.imm2
+			addr := uint64(b)
+			fi := &cf.fused[in.ext]
+			fr.temps[fi.dstA] = addr
+			it.costA(in, costGEP)
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(fi.posB, "invalid load address %d", addr)
+			}
+			fr.temps[in.dst] = mem[addr]
+			it.costB(in, costLoad)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			if in.op == opFGEPLoadT {
+				r.EmitAccess(addr, false, in.site, it.frameCS(fr))
+				it.toolCycles += it.eventCost
+			}
+
+		case opFGEPStoreU, opFGEPStoreT:
+			b := int64(fetch(fr, in.amode, in.a))
+			if in.flags&bfHasB != 0 {
+				b += int64(fetch(fr, in.bmode, in.b)) * in.imm
+			}
+			b += in.imm2
+			addr := uint64(b)
+			fi := &cf.fused[in.ext]
+			fr.temps[fi.dstA] = addr
+			it.costA(in, costGEP)
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(fi.posB, "invalid store address %d", addr)
+			}
+			val := fetch(fr, in.cmode, in.c)
+			mem[addr] = val
+			it.costB(in, costStore)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			if in.op == opFGEPStoreT {
+				if in.flags&bfSets != 0 {
+					r.EmitAccess(addr, true, in.site, it.frameCS(fr))
+					it.toolCycles += it.eventCost
+				}
+				if in.flags&bfEscape != 0 && val != 0 && val < uint64(len(mem)) {
+					r.EmitEscape(addr, val)
+					it.toolCycles += costEscapeEvent
+				}
+			}
+
+		case opFLoadLoadU:
+			addr := fetch(fr, in.amode, in.a)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(cf.poss[cur], "invalid load address %d", addr)
+			}
+			fr.temps[in.dst] = mem[addr]
+			it.costA(in, costLoad)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			// The second address is fetched after the first load lands, so
+			// a dependent pair behaves exactly like the unfused stream.
+			addr = fetch(fr, in.bmode, in.b)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(cf.fused[in.ext].posB, "invalid load address %d", addr)
+			}
+			fr.temps[in.imm] = mem[addr]
+			it.costB(in, costLoad)
+			if in.flags&bfSymB != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+
+		case opFLoadBin:
+			addr := fetch(fr, in.amode, in.a)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(cf.poss[cur], "invalid load address %d", addr)
+			}
+			fi := &cf.fused[in.ext]
+			fr.temps[fi.dstA] = mem[addr]
+			it.costA(in, costLoad)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			av, bv := fetch(fr, in.bmode, in.b), fetch(fr, in.cmode, in.c)
+			v, ok := binFast(bcOp(in.imm&0xff), av, bv)
+			if !ok {
+				var msg string
+				v, msg = binEval(bcOp(in.imm&0xff), av, bv)
+				if msg != "" {
+					return 0, it.errf(fi.posB, "%s", msg)
+				}
+			}
+			fr.temps[in.dst] = v
+			it.costB(in, in.imm>>8)
+
+		case opFBinStoreU:
+			av, bv := fetch(fr, in.amode, in.a), fetch(fr, in.bmode, in.b)
+			v, ok := binFast(bcOp(in.imm&0xff), av, bv)
+			if !ok {
+				var msg string
+				v, msg = binEval(bcOp(in.imm&0xff), av, bv)
+				if msg != "" {
+					return 0, it.errf(cf.poss[cur], "%s", msg)
+				}
+			}
+			fr.temps[in.dst] = v
+			it.costA(in, in.imm>>8)
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			addr := fetch(fr, in.cmode, in.c)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(cf.fused[in.ext].posB, "invalid store address %d", addr)
+			}
+			mem[addr] = v
+			it.costB(in, costStore)
+			if in.flags&bfSymB != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+
+		case opFStoreUJmp:
+			addr := fetch(fr, in.amode, in.a)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				return 0, it.errf(cf.poss[cur], "invalid store address %d", addr)
+			}
+			mem[addr] = fetch(fr, in.bmode, in.b)
+			it.costA(in, costStore)
+			if in.flags&bfSym != 0 {
+				it.varAccesses++
+			} else {
+				it.memAccesses++
+			}
+			steps++
+			if steps >= it.stepStop {
+				it.steps = steps
+				if err := it.stepSlow(maxSteps); err != nil {
+					return 0, err
+				}
+			}
+			it.costB(in, costBr)
+			pc = int(in.imm)
+
+		default:
+			return 0, it.errf(cf.poss[cur], "interp: bad opcode %d", in.op)
 		}
 	}
 }
@@ -328,7 +762,11 @@ func f2(fr *frame, in *bcInstr) (float64, float64) {
 }
 
 // bcCall evaluates a pre-bound call site's arguments into the shared
-// scratch and dispatches, mirroring execCall.
+// scratch and dispatches, mirroring execCall. Each site carries a
+// monomorphic inline cache: direct sites resolve the callee's layout,
+// compiled code, and native spec once; indirect sites cache the last
+// function-pointer value they decoded and fall back to the generic
+// decode on mismatch.
 func (it *Interp) bcCall(spec *callSpec, fr *frame) (uint64, error) {
 	mark := len(it.argScratch)
 	for i := range spec.args {
@@ -337,19 +775,32 @@ func (it *Interp) bcCall(spec *callSpec, fr *frame) (uint64, error) {
 	args := it.argScratch[mark:]
 
 	fn, ext := spec.target, spec.extern
+	var lay *funcLayout
+	var ccf *compiledFunc
+	var nspec *native.Spec
 	if spec.indirect {
-		id := fetch(fr, spec.callee.mode, spec.callee.val)
-		switch {
-		case id == 0:
-			it.argScratch = it.argScratch[:mark]
-			return 0, it.errf(spec.pos, "call through null function pointer")
-		case id <= uint64(len(it.funcIDs)):
-			fn = it.funcIDs[id-1]
-		case id <= uint64(len(it.funcIDs)+len(it.externIDs)):
-			ext = it.externIDs[id-uint64(len(it.funcIDs))-1]
-		default:
-			it.argScratch = it.argScratch[:mark]
-			return 0, it.errf(spec.pos, "call through invalid function pointer %d", id)
+		if id := fetch(fr, spec.callee.mode, spec.callee.val); id == spec.icID && id != 0 {
+			fn, ext = spec.icFn, spec.icExt
+			lay, ccf, nspec = spec.icLay, spec.icCF, spec.icNspec
+		} else {
+			switch {
+			case id == 0:
+				it.argScratch = it.argScratch[:mark]
+				return 0, it.errf(spec.pos, "call through null function pointer")
+			case id <= uint64(len(it.funcIDs)):
+				fn = it.funcIDs[id-1]
+				lay, ccf = it.layouts[fn], it.compiledOf(fn)
+				spec.icID, spec.icFn, spec.icExt = id, fn, nil
+				spec.icLay, spec.icCF, spec.icNspec = lay, ccf, nil
+			case id <= uint64(len(it.funcIDs)+len(it.externIDs)):
+				ext = it.externIDs[id-uint64(len(it.funcIDs))-1]
+				nspec = native.Lookup(ext.Name)
+				spec.icID, spec.icFn, spec.icExt = id, nil, ext
+				spec.icLay, spec.icCF, spec.icNspec = nil, nil, nspec
+			default:
+				it.argScratch = it.argScratch[:mark]
+				return 0, it.errf(spec.pos, "call through invalid function pointer %d", id)
+			}
 		}
 	}
 	var res uint64
@@ -364,10 +815,95 @@ func (it *Interp) bcCall(spec *callSpec, fr *frame) (uint64, error) {
 			// jump into precompiled code.
 			it.toolCycles += costPinCall
 		}
-		res, err = it.call(fn, args, spec.pos)
+		if ccf == nil {
+			// Direct site: fill the cache on first execution.
+			if spec.dCF == nil {
+				spec.dLay, spec.dCF = it.layouts[fn], it.compiledOf(fn)
+			}
+			lay, ccf = spec.dLay, spec.dCF
+		}
+		res, err = it.callFast(fn, lay, ccf, args, spec.pos)
 	} else {
-		res, err = it.callExtern(spec.x, ext, args, spec.pos)
+		if nspec == nil && !spec.indirect {
+			// Direct extern site: one registry lookup, ever.
+			if spec.dNspec == nil {
+				spec.dNspec = native.Lookup(ext.Name)
+			}
+			nspec = spec.dNspec
+		}
+		res, err = it.callExternSpec(spec.x, ext, nspec, args, spec.pos)
 	}
 	it.argScratch = it.argScratch[:mark]
 	return res, err
+}
+
+// callFast is the bytecode engine's call path: identical to call() but
+// with the callee's layout and compiled code supplied by the call site's
+// inline cache instead of per-call map lookups.
+func (it *Interp) callFast(fn *ir.Func, lay *funcLayout, ccf *compiledFunc, args []uint64, callPos lang.Pos) (uint64, error) {
+	if it.stackTop+lay.cells > it.stackLimit {
+		return 0, it.errf(callPos, "stack overflow calling %s", fn.Name)
+	}
+	if len(it.frames) > 4096 {
+		return 0, it.errf(callPos, "call depth limit exceeded in %s", fn.Name)
+	}
+	fr := it.pushFrame(fn, args, callPos)
+	it.stackTop += lay.cells
+	// Fresh stack storage is zeroed (frames recycle cells).
+	clear(it.mem[fr.base:it.stackTop])
+
+	fr.cf = ccf
+	ret, err := it.execBC(fr)
+
+	// Retire this frame's tracked stack PSEs.
+	if r := it.opts.Runtime; r != nil && err == nil && len(lay.tracked) > 0 {
+		for _, a := range lay.tracked {
+			r.EmitFree(fr.base + lay.offsets[a.Index])
+			it.toolCycles += costAllocEvent
+		}
+	}
+	it.frames = it.frames[:len(it.frames)-1]
+	it.stackTop = fr.base
+	return ret, err
+}
+
+// callExternSpec is callExtern with the native registry lookup hoisted to
+// the call site's inline cache; a nil spec still reports the missing
+// native with the tree-walker's exact error text.
+func (it *Interp) callExternSpec(x *ir.Call, ext *ir.Extern, spec *native.Spec, args []uint64, pos lang.Pos) (uint64, error) {
+	if spec == nil {
+		return 0, it.errf(pos, "extern %s has no native implementation", ext.Name)
+	}
+	if spec.ArgCount >= 0 && spec.ArgCount != len(args) {
+		return 0, it.errf(pos, "extern %s called with %d args, want %d", ext.Name, len(args), spec.ArgCount)
+	}
+	var env native.Env = it
+	// The Pin-analog tracer shadows this call when the planner could not
+	// prove the site never reaches precompiled code; the probe itself
+	// costs even when the callee turns out not to touch memory (§4.4
+	// opt 6 exists to avoid exactly this).
+	var tracer *pinsim.Tracer
+	if x.PinGated && it.opts.Runtime != nil {
+		it.toolCycles += costPinCall
+		if spec.AccessesMemory {
+			tracer = pinsim.NewTracer(it, it.opts.Runtime, it.useCS())
+			env = tracer
+		}
+	}
+	res := spec.Impl(env, args)
+	if tracer != nil {
+		reads, writes := tracer.Counts()
+		it.toolCycles += int64(reads+writes) * costPinAccess
+	}
+	cost := spec.Cost
+	if spec.AccessesMemory && len(args) > 0 {
+		// Charge per-cell work using the count argument by convention
+		// (the last integer argument of the memory natives).
+		n := int64(args[len(args)-1])
+		if n > 0 {
+			cost += n * costPerCell
+		}
+	}
+	it.addCost(ir.Base(x), cost)
+	return res, nil
 }

@@ -3,21 +3,41 @@ package interp
 // The bytecode compiler. Each ir.Func is translated once, on first call,
 // into a flat []bcInstr stream the switch-dispatch loop in bc.go executes
 // with no interface dispatch and no per-instruction ir.Base calls. The
-// translation is strictly 1:1 — one bytecode word per IR instruction, in
-// block order, with branch targets patched to instruction indexes — so
-// every observable counter (steps, cycles, serial cycles, tool cycles,
-// access tallies) advances exactly as it does in the tree-walker, which
-// is what makes the two engines differentiable bit-for-bit.
+// translation runs in three passes:
 //
-// Everything the tree-walker resolves per execution is resolved here per
-// compilation: operand kinds become (mode, payload) pairs, constants and
-// global/function addresses fold to immediates, alloca frame offsets and
-// allocation metadata are precomputed, and call sites pre-bind their
-// callee (or pre-classify as indirect).
+//  1. Generation: one bytecode word per IR instruction, in block order.
+//     Everything the tree-walker resolves per execution is resolved here
+//     per compilation: operand kinds become (mode, payload) pairs,
+//     constants and global/function addresses fold to immediates, alloca
+//     frame offsets and allocation metadata are precomputed, and call
+//     sites pre-bind their callee (or pre-classify as indirect). The
+//     planner's per-instruction trackability decision (ir.TrackMode) is
+//     compiled into the opcode itself: a load inside an ROI becomes
+//     opLoadT (unconditional event emission), everything else becomes
+//     opLoadU, which carries no emit branch, no runtime check, and no
+//     event construction at all. The §4.4 TrackAggregated/TrackFixed
+//     decisions already lower to their own opcodes (opRanged/opFixed), so
+//     after this pass no opcode ever consults a track flag on the access
+//     path.
+//
+//  2. Fusion: a peephole pass (see fuse.go) rewrites the dominant
+//     adjacent pairs — compare+branch, index+load, index+store — into
+//     single superinstruction words with pre-resolved operands. Branch
+//     targets only ever name block starts, so any adjacent pair within a
+//     block is safe to fuse; the pass remaps branch targets afterwards.
+//
+//  3. Patching: branch targets resolve to post-fusion instruction
+//     indexes.
+//
+// Every observable counter (steps, cycles, serial cycles, tool cycles,
+// access tallies) advances exactly as it does in the tree-walker — fused
+// words perform the step/budget bookkeeping of both halves — which is
+// what makes the two engines differentiable bit-for-bit.
 
 import (
 	"carmot/internal/ir"
 	"carmot/internal/lang"
+	"carmot/internal/native"
 	"carmot/internal/rt"
 
 	"carmot/internal/core"
@@ -27,8 +47,14 @@ type bcOp uint8
 
 const (
 	opAlloca bcOp = iota
-	opLoad
-	opStore
+	// Trackability-specialized memory accesses: the U variants execute
+	// zero instrumentation instructions, the T variants emit
+	// unconditionally (the runtime's presence and the planner's TrackOn
+	// are both compile-time facts for a given Interp).
+	opLoadU
+	opLoadT
+	opStoreU
+	opStoreT
 	opAddI
 	opSubI
 	opMulI
@@ -68,19 +94,81 @@ const (
 	// instruction it cannot execute ("bad float op", unhandled kinds);
 	// the error fires only if the instruction is actually reached.
 	opBadOp
+	// Superinstructions (fuse.go). Each fused word executes both halves
+	// with the exact step/cost/budget bookkeeping of the unfused pair.
+	// opFJmp<Cmp><I|F>: integer/float compare + conditional branch.
+	opFJmpEqI
+	opFJmpNeI
+	opFJmpLtI
+	opFJmpLeI
+	opFJmpGtI
+	opFJmpGeI
+	opFJmpEqF
+	opFJmpNeF
+	opFJmpLtF
+	opFJmpLeF
+	opFJmpGtF
+	opFJmpGeF
+	// opFGEPLoad/Store<U|T>: address computation + the memory access it
+	// feeds, in both trackability variants.
+	opFGEPLoadU
+	opFGEPLoadT
+	opFGEPStoreU
+	opFGEPStoreT
+	// opFLoadLoadU: two adjacent untracked loads (the second may consume
+	// the first's temp — it is fetched after the first lands).
+	opFLoadLoadU
+	// opFLoadBin: untracked load + any binary op; the bin opcode and its
+	// cost ride in imm.
+	opFLoadBin
+	// opFBinStoreU: binary op + untracked store of its result.
+	opFBinStoreU
+	// opFStoreUJmp: untracked store followed by an unconditional jump —
+	// the classic loop-bottom shape (write the result, branch back).
+	opFStoreUJmp
+
+	nOps // sentinel: number of opcodes
 )
+
+// opNames mirrors the opcode constants for the dispatch-counter report.
+var opNames = [nOps]string{
+	opAlloca: "alloca",
+	opLoadU:  "load.u", opLoadT: "load.t",
+	opStoreU: "store.u", opStoreT: "store.t",
+	opAddI: "add.i", opSubI: "sub.i", opMulI: "mul.i", opDivI: "div.i", opRemI: "rem.i",
+	opEqI: "eq.i", opNeI: "ne.i", opLtI: "lt.i", opLeI: "le.i", opGtI: "gt.i", opGeI: "ge.i",
+	opAddF: "add.f", opSubF: "sub.f", opMulF: "mul.f", opDivF: "div.f",
+	opEqF: "eq.f", opNeF: "ne.f", opLtF: "lt.f", opLeF: "le.f", opGtF: "gt.f", opGeF: "ge.f",
+	opConvItoF: "itof", opConvFtoI: "ftoi",
+	opGEP: "gep", opMalloc: "malloc", opFree: "free",
+	opCall: "call", opRet: "ret", opJmp: "jmp", opCondJmp: "condjmp",
+	opROIBegin: "roi.begin", opROIEnd: "roi.end", opMark: "mark",
+	opRanged: "ranged", opFixed: "fixed", opBadOp: "badop",
+	opFJmpEqI: "jmp.eq.i", opFJmpNeI: "jmp.ne.i", opFJmpLtI: "jmp.lt.i",
+	opFJmpLeI: "jmp.le.i", opFJmpGtI: "jmp.gt.i", opFJmpGeI: "jmp.ge.i",
+	opFJmpEqF: "jmp.eq.f", opFJmpNeF: "jmp.ne.f", opFJmpLtF: "jmp.lt.f",
+	opFJmpLeF: "jmp.le.f", opFJmpGtF: "jmp.gt.f", opFJmpGeF: "jmp.ge.f",
+	opFGEPLoadU: "gep+load.u", opFGEPLoadT: "gep+load.t",
+	opFGEPStoreU: "gep+store.u", opFGEPStoreT: "gep+store.t",
+	opFLoadLoadU: "load+load.u", opFLoadBin: "load+bin",
+	opFBinStoreU: "bin+store.u", opFStoreUJmp: "store.u+jmp",
+}
 
 // bcInstr flag bits.
 const (
-	bfSerial   = 1 << iota // cost also accrues to serialCycles
-	bfTrack                // instrumentation fires (Track == TrackOn)
-	bfSym                  // load/store names a variable (access tallies)
-	bfPtrStore             // store may create a reachability edge
-	bfHasB                 // optional second operand present (GEP index, Ret value)
-	bfWrite                // ranged event is a write
+	bfSerial   uint16 = 1 << iota // cost also accrues to serialCycles
+	bfTrack                       // instrumentation fires (alloca/malloc/free only)
+	bfSym                         // load/store names a variable (access tallies)
+	bfPtrStore                    // store may create a reachability edge
+	bfHasB                        // optional second operand present (GEP index, Ret value)
+	bfWrite                       // ranged event is a write
+	bfSerialB                     // fused word: second half's cost is serial
+	bfSets                        // tracked store emits an access event (profile.Sets)
+	bfEscape                      // tracked ptr-store emits an escape (profile.Reach)
+	bfSymB                        // fused word: second half's access names a variable
 )
 
-// Operand addressing modes: how a bcInstr's a/b payload resolves.
+// Operand addressing modes: how a bcInstr's a/b/c payload resolves.
 const (
 	opdImm   uint8 = iota // payload is the value (consts, globals, fnptrs)
 	opdTemp               // payload indexes the frame's temps
@@ -88,14 +176,16 @@ const (
 	opdFrame              // payload is an offset from the frame's alloca base
 )
 
-// bcInstr is one fixed-width bytecode word. Operands a and b carry their
-// addressing mode beside them; imm/imm2 are pre-folded immediates whose
-// meaning is per-opcode (branch targets, scales, cell counts); ext indexes
-// the side tables on compiledFunc for the cold payloads (allocation
-// metadata, call specs, ROIs, markers).
+// bcInstr is one fixed-width bytecode word. Operands a, b, and c carry
+// their addressing mode beside them (c exists for three-operand
+// superinstructions like gep+store); imm/imm2 are pre-folded immediates
+// whose meaning is per-opcode (branch targets, scales, cell counts); ext
+// indexes the side tables on compiledFunc for the cold payloads
+// (allocation metadata, call specs, ROIs, markers, fusion records).
 type bcInstr struct {
 	a     uint64
 	b     uint64
+	c     uint64
 	imm   int64
 	imm2  int64
 	dst   int32
@@ -105,7 +195,8 @@ type bcInstr struct {
 	op    bcOp
 	amode uint8
 	bmode uint8
-	flags uint8
+	cmode uint8
+	flags uint16
 }
 
 // opdSpec is a pre-resolved operand in a side table (call arguments).
@@ -114,7 +205,10 @@ type opdSpec struct {
 	val  uint64
 }
 
-// callSpec is one pre-bound call site.
+// callSpec is one pre-bound call site, including its monomorphic inline
+// caches: direct sites cache the callee's layout, compiled code, and
+// native spec on first execution; indirect sites cache the last resolved
+// function-pointer value and fall back to the generic decode on mismatch.
 type callSpec struct {
 	x        *ir.Call
 	args     []opdSpec
@@ -125,12 +219,34 @@ type callSpec struct {
 	pinGated bool
 	void     bool
 	pos      lang.Pos
+
+	// Direct-site caches (filled on first execution, stable after).
+	dLay   *funcLayout
+	dCF    *compiledFunc
+	dNspec *native.Spec
+	// Indirect-site monomorphic cache, keyed by the raw pointer value.
+	icID    uint64
+	icFn    *ir.Func
+	icExt   *ir.Extern
+	icLay   *funcLayout
+	icCF    *compiledFunc
+	icNspec *native.Spec
 }
 
 // mallocSpec carries a malloc site's precomputed identity.
 type mallocSpec struct {
 	pos  string
 	meta *rt.AllocMeta // nil when the site is untracked
+}
+
+// fuseInfo is the cold half of a superinstruction: the second
+// instruction's source position (runtime errors must report it, not the
+// first's) and the first instruction's destination temp, which the fused
+// word still writes so later readers observe the same frame state as in
+// the unfused stream.
+type fuseInfo struct {
+	posB lang.Pos
+	dstA int32
 }
 
 // compiledFunc is one function's bytecode plus its cold side tables.
@@ -144,6 +260,8 @@ type compiledFunc struct {
 	rois    []*ir.ROI       // opROIBegin/opROIEnd ext
 	marks   []*ir.Mark      // opMark ext
 	msgs    []string        // opBadOp ext
+	fused   []fuseInfo      // superinstruction ext
+	hits    []uint64        // per-pc dispatch tally (Options.CountDispatch)
 }
 
 func (it *Interp) compiledOf(fn *ir.Func) *compiledFunc {
@@ -192,6 +310,7 @@ var floatOps = map[ir.BinOp]bcOp{
 func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 	lay := it.layouts[fn]
 	cf := &compiledFunc{fn: fn}
+	tracked := it.opts.Runtime != nil // instrumentation can fire at all
 	blockPC := map[*ir.Block]int{}
 	type patch struct {
 		pc   int
@@ -216,9 +335,7 @@ func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 			if base.Serial {
 				bi.flags |= bfSerial
 			}
-			if base.Track == ir.TrackOn {
-				bi.flags |= bfTrack
-			}
+			emit := tracked && base.Track == ir.TrackOn
 
 			switch x := in.(type) {
 			case *ir.Alloca:
@@ -226,7 +343,8 @@ func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 				bi.cost = costAlloca
 				bi.a = lay.offsets[x.Index]
 				bi.imm = int64(x.Cells)
-				if base.Track == ir.TrackOn {
+				if emit {
+					bi.flags |= bfTrack
 					kind := core.PSEStackMem
 					if x.Sym != nil && x.Sym.Type.IsScalar() {
 						kind = core.PSEVariable
@@ -242,7 +360,10 @@ func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 				}
 
 			case *ir.Load:
-				bi.op = opLoad
+				bi.op = opLoadU
+				if emit {
+					bi.op = opLoadT
+				}
 				bi.cost = costLoad
 				setA(&bi, x.Addr)
 				if x.Sym != nil {
@@ -250,7 +371,20 @@ func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 				}
 
 			case *ir.Store:
-				bi.op = opStore
+				// A tracked store only performs work when the profile
+				// records Sets (access events) or Reach through a pointer
+				// store (escape events); both are compile-time facts, so a
+				// store that would emit nothing compiles untracked.
+				if emit && it.prof.Sets {
+					bi.flags |= bfSets
+				}
+				if emit && it.prof.Reach && x.PtrStore {
+					bi.flags |= bfEscape
+				}
+				bi.op = opStoreU
+				if bi.flags&(bfSets|bfEscape) != 0 {
+					bi.op = opStoreT
+				}
 				bi.cost = costStore
 				setA(&bi, x.Addr)
 				setB(&bi, x.Val)
@@ -307,7 +441,8 @@ func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 				setA(&bi, x.Count)
 				bi.imm = x.ElemCells
 				ms := mallocSpec{pos: base.Pos.String()}
-				if base.Track == ir.TrackOn {
+				if emit {
+					bi.flags |= bfTrack
 					name := x.Hint
 					if name == "" {
 						name = "heap<" + x.TypeName + ">"
@@ -321,6 +456,9 @@ func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 				bi.op = opFree
 				bi.cost = costFree
 				setA(&bi, x.Ptr)
+				if emit {
+					bi.flags |= bfTrack
+				}
 
 			case *ir.Call:
 				bi.op = opCall
@@ -400,11 +538,19 @@ func (it *Interp) compile(fn *ir.Func) *compiledFunc {
 		}
 	}
 
+	// Fusion rewrites the stream and remaps every old pc; branch patches
+	// and block starts are expressed in old pcs until then.
+	oldToNew := it.fuse(cf, blockPC)
+
 	for _, p := range patches {
-		cf.code[p.pc].imm = int64(blockPC[p.a])
+		w := &cf.code[oldToNew[p.pc]]
+		w.imm = int64(oldToNew[blockPC[p.a]])
 		if p.b != nil {
-			cf.code[p.pc].imm2 = int64(blockPC[p.b])
+			w.imm2 = int64(oldToNew[blockPC[p.b]])
 		}
+	}
+	if it.opts.CountDispatch {
+		cf.hits = make([]uint64, len(cf.code))
 	}
 	return cf
 }

@@ -1,0 +1,103 @@
+package interp
+
+import "sort"
+
+// Dispatch counting. The hot loop keeps only a per-pc hit counter on each
+// compiled function (one predictable increment, no opcode indexing); the
+// per-opcode and pair tables below are derived after the run by walking
+// the compiled streams. Pair counts are static derivations: the pc at
+// offset n executed hits[n] times, and whenever its opcode falls through
+// (everything except jumps, returns, and bad-op traps) the word at n+1
+// executed immediately after it — exactly the adjacency population the
+// superinstruction pass draws from.
+
+// OpCount is one opcode's dispatch tally.
+type OpCount struct {
+	Name  string
+	Count uint64
+}
+
+// PairCount is one fall-through opcode pair's tally.
+type PairCount struct {
+	First, Second string
+	Count         uint64
+}
+
+// DispatchStats is the dispatch-counter report: per-opcode and
+// fall-through-pair frequencies, each sorted by descending count.
+type DispatchStats struct {
+	Total int64
+	Ops   []OpCount
+	Pairs []PairCount
+}
+
+// fallsThrough reports whether a word at pc transfers control to pc+1.
+// Conditional jumps may fall through dynamically, but their targets are
+// always explicit block starts, never the next word implicitly — so for
+// pair derivation they are terminators.
+func fallsThrough(op bcOp) bool {
+	switch op {
+	case opJmp, opCondJmp, opRet, opBadOp, opFStoreUJmp:
+		return false
+	}
+	if op >= opFJmpEqI && op <= opFJmpGeF {
+		return false
+	}
+	return true
+}
+
+// DispatchStats returns the dispatch-counter report, or nil when the run
+// was not counting (Options.CountDispatch off or tree engine).
+func (it *Interp) DispatchStats() *DispatchStats {
+	if !it.opts.CountDispatch || len(it.compiled) == 0 {
+		return nil
+	}
+	var ops [nOps]uint64
+	pairs := map[[2]bcOp]uint64{}
+	for _, cf := range it.compiled {
+		if cf.hits == nil {
+			continue
+		}
+		for pc, n := range cf.hits {
+			if n == 0 {
+				continue
+			}
+			op := cf.code[pc].op
+			ops[op] += n
+			if pc+1 < len(cf.code) && fallsThrough(op) {
+				pairs[[2]bcOp{op, cf.code[pc+1].op}] += n
+			}
+		}
+	}
+	st := &DispatchStats{}
+	for op, n := range ops {
+		if n == 0 {
+			continue
+		}
+		st.Total += int64(n)
+		st.Ops = append(st.Ops, OpCount{Name: opNames[op], Count: n})
+	}
+	for pair, n := range pairs {
+		st.Pairs = append(st.Pairs, PairCount{
+			First:  opNames[pair[0]],
+			Second: opNames[pair[1]],
+			Count:  n,
+		})
+	}
+	sort.Slice(st.Ops, func(i, j int) bool {
+		if st.Ops[i].Count != st.Ops[j].Count {
+			return st.Ops[i].Count > st.Ops[j].Count
+		}
+		return st.Ops[i].Name < st.Ops[j].Name
+	})
+	sort.Slice(st.Pairs, func(i, j int) bool {
+		if st.Pairs[i].Count != st.Pairs[j].Count {
+			return st.Pairs[i].Count > st.Pairs[j].Count
+		}
+		if st.Pairs[i].First != st.Pairs[j].First {
+			return st.Pairs[i].First < st.Pairs[j].First
+		}
+		return st.Pairs[i].Second < st.Pairs[j].Second
+	})
+	return st
+}

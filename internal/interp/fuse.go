@@ -1,0 +1,214 @@
+package interp
+
+// Superinstruction fusion: a peephole pass over the freshly generated
+// bytecode that rewrites the dominant adjacent pairs into single fused
+// words with pre-resolved operands. The pair table is data-driven — it
+// was chosen from the dispatch-counter profile of the compiled benchmark
+// corpus (carmot-bench -exp interp -interp-counters), where
+// compare+branch and gep+load/gep+store dominate dynamic fall-through
+// pairs by an order of magnitude. Const+arith pairs need no fusion at
+// all: constants fold into immediate operands during generation, so they
+// never exist as separate words.
+//
+// Legality is purely structural, decided per adjacent word pair:
+//
+//   - The second word must not start a basic block. Branch targets only
+//     ever name block starts (blockPC), so fusing a pair that straddles
+//     a block boundary would hide a jump target; everything strictly
+//     inside a block is unreachable except by fall-through.
+//   - The second word must consume the first word's destination temp via
+//     a temp-mode operand (the def-use edge the superinstruction
+//     collapses).
+//
+// Any shape the pass cannot prove stays as generic opcodes — the
+// fallback is never wrong code, just the unfused pair. Fusion is greedy
+// left-to-right, so a word absorbed as a second half never heads another
+// pair, which keeps the rewrite deterministic.
+//
+// Observational identity: a fused word still performs the second half's
+// step increment, budget probe, cost accrual, and (for gep pairs) the
+// first half's temp write, so steps, cycles, serial cycles, truncation
+// points, and frame state match the unfused stream exactly.
+
+import "carmot/internal/ir"
+
+// isBin reports whether op is a two-operand arithmetic/compare opcode
+// (the contiguous opAddI..opGeF block).
+func isBin(op bcOp) bool { return op >= opAddI && op <= opGeF }
+
+// isCmp reports whether op is a comparison (fusable into a condjmp).
+func isCmp(op bcOp) bool {
+	return (op >= opEqI && op <= opGeI) || (op >= opEqF && op <= opGeF)
+}
+
+// fuseOf returns the superinstruction opcode for the adjacent pair
+// (a, b), or opBadOp when the pair does not fuse.
+func fuseOf(a, b *bcInstr) bcOp {
+	switch {
+	case b.op == opCondJmp && isCmp(a.op) &&
+		b.amode == opdTemp && b.a == uint64(a.dst):
+		if a.op >= opEqF {
+			return opFJmpEqF + bcOp(a.op-opEqF)
+		}
+		return opFJmpEqI + bcOp(a.op-opEqI)
+	case a.op == opGEP && (b.op == opLoadU || b.op == opLoadT) &&
+		b.amode == opdTemp && b.a == uint64(a.dst):
+		if b.op == opLoadT {
+			return opFGEPLoadT
+		}
+		return opFGEPLoadU
+	case a.op == opGEP && (b.op == opStoreU || b.op == opStoreT) &&
+		b.amode == opdTemp && b.a == uint64(a.dst):
+		if b.op == opStoreT {
+			return opFGEPStoreT
+		}
+		return opFGEPStoreU
+	case a.op == opLoadU && b.op == opLoadU:
+		// No operand constraint: the fused word performs the first load
+		// before fetching the second's address, so a dependent second
+		// load reads the just-written temp exactly as the unfused pair.
+		return opFLoadLoadU
+	case a.op == opLoadU && isBin(b.op):
+		return opFLoadBin
+	case isBin(a.op) && b.op == opStoreU &&
+		b.bmode == opdTemp && b.b == uint64(a.dst):
+		// Only when the stored value is the bin result: the store's value
+		// operand becomes implicit, freeing the word's third operand slot
+		// for the store address.
+		return opFBinStoreU
+	case a.op == opStoreU && b.op == opJmp:
+		// No operand constraint (jumps take none); the branch target
+		// patches into imm after the rewrite like any other jump.
+		return opFStoreUJmp
+	}
+	return opBadOp
+}
+
+// fuse rewrites cf.code in place, returning the old-pc → new-pc map the
+// caller uses to resolve branch patches and block starts. With
+// Options.NoFuse the stream is left untouched and the map is the
+// identity.
+func (it *Interp) fuse(cf *compiledFunc, blockPC map[*ir.Block]int) []int {
+	oldToNew := make([]int, len(cf.code))
+	if it.opts.NoFuse {
+		for i := range oldToNew {
+			oldToNew[i] = i
+		}
+		return oldToNew
+	}
+	isBlockStart := make([]bool, len(cf.code)+1)
+	for _, pc := range blockPC {
+		isBlockStart[pc] = true
+	}
+
+	newCode := cf.code[:0]
+	newPoss := cf.poss[:0]
+	for pc := 0; pc < len(cf.code); pc++ {
+		a := cf.code[pc]
+		posA := cf.poss[pc]
+		oldToNew[pc] = len(newCode)
+		if pc+1 < len(cf.code) && !isBlockStart[pc+1] {
+			b := &cf.code[pc+1]
+			if fop := fuseOf(&a, b); fop != opBadOp {
+				w := fuseWords(&a, b, fop)
+				w.ext = int32(len(cf.fused))
+				cf.fused = append(cf.fused, fuseInfo{posB: cf.poss[pc+1], dstA: a.dst})
+				oldToNew[pc+1] = len(newCode)
+				newCode = append(newCode, w)
+				newPoss = append(newPoss, posA)
+				pc++
+				continue
+			}
+		}
+		newCode = append(newCode, a)
+		newPoss = append(newPoss, posA)
+	}
+	cf.code = newCode
+	cf.poss = newPoss
+	return oldToNew
+}
+
+// fuseWords builds the fused word for pair (a, b) under opcode fop.
+func fuseWords(a, b *bcInstr, fop bcOp) bcInstr {
+	w := bcInstr{op: fop, ext: -1}
+	if a.flags&bfSerial != 0 {
+		w.flags |= bfSerial
+	}
+	if b.flags&bfSerial != 0 {
+		w.flags |= bfSerialB
+	}
+	switch {
+	case fop >= opFJmpEqI && fop <= opFJmpGeF:
+		// Compare operands from a; branch targets patch into imm/imm2
+		// later (the patch records the condjmp's old pc, which remaps to
+		// this word). The compare's temp is still written.
+		w.a, w.amode = a.a, a.amode
+		w.b, w.bmode = a.b, a.bmode
+		w.dst = a.dst
+	case fop == opFGEPLoadU || fop == opFGEPLoadT:
+		// Address computation from a (base, index, scale, offset); the
+		// load's destination, site, and tallies from b.
+		w.a, w.amode = a.a, a.amode
+		w.b, w.bmode = a.b, a.bmode
+		w.imm, w.imm2 = a.imm, a.imm2
+		w.flags |= a.flags & bfHasB
+		w.dst = b.dst
+		w.site = b.site
+		w.flags |= b.flags & bfSym
+	case fop == opFGEPStoreU || fop == opFGEPStoreT:
+		// Address computation from a; the store's value operand moves to
+		// the third operand slot, its emit profile rides the flags.
+		w.a, w.amode = a.a, a.amode
+		w.b, w.bmode = a.b, a.bmode
+		w.imm, w.imm2 = a.imm, a.imm2
+		w.flags |= a.flags & bfHasB
+		w.c, w.cmode = b.b, b.bmode
+		w.dst = a.dst // the gep temp; stores produce no value
+		w.site = b.site
+		w.flags |= b.flags & (bfSym | bfPtrStore | bfSets | bfEscape)
+	case fop == opFLoadLoadU:
+		// Two untracked loads back to back; the second destination rides
+		// in imm (both dst slots are taken by the operand encodings).
+		w.a, w.amode = a.a, a.amode
+		w.dst = a.dst
+		w.b, w.bmode = b.a, b.amode
+		w.imm = int64(b.dst)
+		w.flags |= a.flags & bfSym
+		if b.flags&bfSym != 0 {
+			w.flags |= bfSymB
+		}
+	case fop == opFLoadBin:
+		// Untracked load feeding (usually) a binary op. The load's
+		// destination temp is still written (later words may re-read it);
+		// it rides in the fuseInfo. The bin opcode and its cost pack into
+		// imm: op in the low byte, cost above.
+		w.a, w.amode = a.a, a.amode
+		w.b, w.bmode = b.a, b.amode
+		w.c, w.cmode = b.b, b.bmode
+		w.dst = b.dst
+		w.imm = int64(b.op) | int64(b.cost)<<8
+		w.flags |= a.flags & bfSym
+	case fop == opFBinStoreU:
+		// Binary op whose result is immediately stored untracked. The
+		// store's value operand is implicit (the bin result), so the third
+		// operand slot carries the store address. The bin temp is still
+		// written.
+		w.a, w.amode = a.a, a.amode
+		w.b, w.bmode = a.b, a.bmode
+		w.c, w.cmode = b.a, b.amode
+		w.dst = a.dst
+		w.imm = int64(a.op) | int64(a.cost)<<8
+		if b.flags&bfSym != 0 {
+			w.flags |= bfSymB
+		}
+	case fop == opFStoreUJmp:
+		// Store operands from a (addr, value); the jump target lands in imm
+		// via the branch-patch pass, which remaps the jmp's old pc to this
+		// word.
+		w.a, w.amode = a.a, a.amode
+		w.b, w.bmode = a.b, a.bmode
+		w.site = a.site
+		w.flags |= a.flags & bfSym
+	}
+	return w
+}

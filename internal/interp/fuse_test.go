@@ -1,0 +1,256 @@
+package interp
+
+// Fallback parity for the superinstruction pass: every fused opcode has
+// an almost-matching adjacent pair here that violates exactly one
+// legality constraint, and the pass must leave such shapes as generic
+// opcodes. The end-to-end tests then prove the bail on real programs by
+// scanning the compiled streams, and that execution results are
+// identical with the peephole on and off.
+
+import (
+	"reflect"
+	"testing"
+
+	"carmot/internal/instrument"
+	"carmot/internal/ir"
+	"carmot/internal/lang"
+	"carmot/internal/lower"
+	"carmot/internal/rt"
+)
+
+func TestFuseOfAcceptsCanonicalShapes(t *testing.T) {
+	// Sanity anchors: the canonical shape for each family must fuse, so
+	// the rejection cases below fail for the right reason.
+	cases := []struct {
+		name string
+		a, b bcInstr
+		want bcOp
+	}{
+		{"cmp+condjmp", bcInstr{op: opLtI, dst: 3}, bcInstr{op: opCondJmp, amode: opdTemp, a: 3}, opFJmpLtI},
+		{"gep+load.u", bcInstr{op: opGEP, dst: 3}, bcInstr{op: opLoadU, amode: opdTemp, a: 3}, opFGEPLoadU},
+		{"gep+load.t", bcInstr{op: opGEP, dst: 3}, bcInstr{op: opLoadT, amode: opdTemp, a: 3}, opFGEPLoadT},
+		{"gep+store.u", bcInstr{op: opGEP, dst: 3}, bcInstr{op: opStoreU, amode: opdTemp, a: 3}, opFGEPStoreU},
+		{"gep+store.t", bcInstr{op: opGEP, dst: 3}, bcInstr{op: opStoreT, amode: opdTemp, a: 3}, opFGEPStoreT},
+		{"load+load.u", bcInstr{op: opLoadU, dst: 3}, bcInstr{op: opLoadU, dst: 4}, opFLoadLoadU},
+		{"load+bin", bcInstr{op: opLoadU, dst: 3}, bcInstr{op: opAddI, amode: opdTemp, a: 3}, opFLoadBin},
+		{"bin+store.u", bcInstr{op: opAddI, dst: 3}, bcInstr{op: opStoreU, bmode: opdTemp, b: 3}, opFBinStoreU},
+		{"store.u+jmp", bcInstr{op: opStoreU}, bcInstr{op: opJmp}, opFStoreUJmp},
+	}
+	for _, c := range cases {
+		if got := fuseOf(&c.a, &c.b); got != c.want {
+			t.Errorf("%s: fuseOf = %s, want %s", c.name, opNames[got], opNames[c.want])
+		}
+	}
+}
+
+func TestFuseOfRejectsUntranslatableShapes(t *testing.T) {
+	// One violated constraint per case; every family must bail to the
+	// generic pair (fuseOf returns opBadOp, meaning "do not fuse").
+	cases := []struct {
+		name string
+		a, b bcInstr
+	}{
+		{"condjmp reads a different temp", bcInstr{op: opLtI, dst: 3}, bcInstr{op: opCondJmp, amode: opdTemp, a: 4}},
+		{"condjmp reads a frame slot", bcInstr{op: opLtI, dst: 3}, bcInstr{op: opCondJmp, amode: opdFrame, a: 3}},
+		{"non-compare bin before condjmp", bcInstr{op: opAddI, dst: 3}, bcInstr{op: opCondJmp, amode: opdTemp, a: 3}},
+		{"gep+load through a different temp", bcInstr{op: opGEP, dst: 3}, bcInstr{op: opLoadU, amode: opdTemp, a: 4}},
+		{"gep+load through an immediate", bcInstr{op: opGEP, dst: 3}, bcInstr{op: opLoadU, amode: opdImm, a: 3}},
+		{"gep+store addressed off a different temp", bcInstr{op: opGEP, dst: 3}, bcInstr{op: opStoreT, amode: opdTemp, a: 4}},
+		{"tracked load heading a load pair", bcInstr{op: opLoadT, dst: 3}, bcInstr{op: opLoadU, dst: 4}},
+		{"tracked load trailing a load pair", bcInstr{op: opLoadU, dst: 3}, bcInstr{op: opLoadT, amode: opdTemp, a: 3}},
+		{"tracked load before bin", bcInstr{op: opLoadT, dst: 3}, bcInstr{op: opAddI, amode: opdTemp, a: 3}},
+		{"bin result is not the stored value", bcInstr{op: opAddI, dst: 3}, bcInstr{op: opStoreU, bmode: opdTemp, b: 4}},
+		{"bin result stored tracked", bcInstr{op: opAddI, dst: 3}, bcInstr{op: opStoreT, bmode: opdTemp, b: 3}},
+		{"tracked store before jmp", bcInstr{op: opStoreT}, bcInstr{op: opJmp}},
+		{"store before condjmp", bcInstr{op: opStoreU}, bcInstr{op: opCondJmp, amode: opdTemp, a: 3}},
+	}
+	for _, c := range cases {
+		if got := fuseOf(&c.a, &c.b); got != opBadOp {
+			t.Errorf("%s: fused as %s, want generic fallback", c.name, opNames[got])
+		}
+	}
+}
+
+func TestFuseStopsAtBlockBoundaries(t *testing.T) {
+	// A fusable pair straddling a block boundary must stay unfused: the
+	// second word is a branch target, and fusing it away would hide the
+	// target pc.
+	mkCF := func() *compiledFunc {
+		return &compiledFunc{
+			code: []bcInstr{
+				{op: opLtI, dst: 3},
+				{op: opCondJmp, amode: opdTemp, a: 3},
+				{op: opRet},
+			},
+			poss: make([]lang.Pos, 3),
+		}
+	}
+	it := &Interp{}
+
+	cf := mkCF()
+	boundary := map[*ir.Block]int{new(ir.Block): 0, new(ir.Block): 1}
+	it.fuse(cf, boundary)
+	if len(cf.code) != 3 || cf.code[0].op != opLtI || cf.code[1].op != opCondJmp {
+		t.Fatalf("pair across a block boundary was rewritten: %v", opsOf(cf))
+	}
+
+	// Control: the same stream with no boundary at pc 1 fuses.
+	cf = mkCF()
+	it.fuse(cf, map[*ir.Block]int{new(ir.Block): 0})
+	if len(cf.code) != 2 || cf.code[0].op != opFJmpLtI {
+		t.Fatalf("control pair did not fuse: %v", opsOf(cf))
+	}
+}
+
+func opsOf(cf *compiledFunc) []string {
+	names := make([]string, len(cf.code))
+	for i, in := range cf.code {
+		names[i] = opNames[in.op]
+	}
+	return names
+}
+
+// compileSrc lowers and instruments src, returning a fresh interpreter
+// (no execution yet). A nil runtime compiles the untracked specialization
+// of every access; a live one enables the tracked variants.
+func compileSrc(t *testing.T, src string, o Options) *Interp {
+	t.Helper()
+	f, err := lang.ParseAndCheck("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := lower.Lower(f, lower.Options{})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	io_ := instrument.Options{}
+	if o.Runtime != nil {
+		io_.Profile = o.Runtime.Profile()
+	}
+	if _, err := instrument.Apply(prog, io_); err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	o.Engine = EngineBytecode
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1_000_000
+	}
+	return New(prog, o)
+}
+
+// streams compiles every function and returns the opcode-name streams.
+func streams(it *Interp) map[string][]string {
+	out := map[string][]string{}
+	for _, fn := range it.prog.Funcs {
+		out[fn.Name] = opsOf(it.compiledOf(fn))
+	}
+	return out
+}
+
+func hasOp(streams map[string][]string, name string) bool {
+	for _, ops := range streams {
+		for _, op := range ops {
+			if op == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestUntranslatableCompareBailsToGeneric(t *testing.T) {
+	// The compare's operands are call results and its consumer is a call
+	// argument, so neither load+bin nor cmp+branch fusion can grab it:
+	// the generic compare must survive in the stream, and execution must
+	// agree exactly with the unfused stream.
+	src := `int one() { return 1; }
+int two() { return 2; }
+int use(int c) { return c; }
+int main() {
+	int s = 0;
+	for (int i = 0; i < 4; i++) { s = s + use(one() < two()); }
+	return s;
+}`
+	it := compileSrc(t, src, Options{})
+	st := streams(it)
+	// The loop counter's own compare may fuse (that shape is legal); the
+	// call-fed compare cannot, so a generic lt.i must survive somewhere.
+	if !hasOp(st, "lt.i") {
+		t.Errorf("generic lt.i missing from compiled stream: %v", st)
+	}
+	fusedRes, err := it.Run()
+	if err != nil {
+		t.Fatalf("fused run: %v", err)
+	}
+	plainRes, err := compileSrc(t, src, Options{NoFuse: true}).Run()
+	if err != nil {
+		t.Fatalf("unfused run: %v", err)
+	}
+	if !reflect.DeepEqual(fusedRes, plainRes) {
+		t.Errorf("fused and unfused results differ:\nfused:   %+v\nunfused: %+v", fusedRes, plainRes)
+	}
+}
+
+func TestTrackedShapesBailToGenericOpcodes(t *testing.T) {
+	// Under full tracking every access in this program is tracked, and no
+	// untracked-specialized fusion may fire: the loop body's load, add,
+	// and store plus the loop-bottom jump must all stay generic (only the
+	// legal gep+load.t / gep+store.t tracked fusions are allowed).
+	src := `int* p;
+int main() {
+	p = malloc(1);
+	#pragma carmot roi w
+	for (int i = 0; i < 8; i++) { p[0] = p[0] + 1; }
+	return p[0];
+}`
+	r := rt.New(rt.Config{Profile: rt.ProfileFull})
+	defer r.Finish()
+	st := streams(compileSrc(t, src, Options{Runtime: r}))
+	for _, want := range []string{"store.t", "load.t", "add.i"} {
+		if !hasOp(st, want) {
+			t.Errorf("generic opcode %q missing from tracked stream: %v", want, st)
+		}
+	}
+	for _, banned := range []string{
+		"store.u+jmp", "bin+store.u", "load+bin", "load+load.u",
+		"gep+load.u", "gep+store.u", "store.u",
+	} {
+		if hasOp(st, banned) {
+			t.Errorf("untracked-specialized opcode %q appeared under full tracking: %v", banned, st)
+		}
+	}
+}
+
+func TestFusedAndUnfusedResultsAgree(t *testing.T) {
+	// The positive complement: a program whose stream exercises the fused
+	// families must produce a byte-for-byte identical Result with the
+	// peephole disabled.
+	src := `int N = 32;
+int* a;
+int main() {
+	a = malloc(N);
+	int s = 0;
+	for (int i = 0; i < N; i++) { a[i] = i * 3; }
+	for (int i = 0; i < N; i++) { s = s + a[i]; }
+	int lo = 0;
+	while (lo < s) { lo = lo + 7; }
+	return lo - s;
+}`
+	it := compileSrc(t, src, Options{})
+	st := streams(it)
+	for _, want := range []string{"jmp.lt.i", "gep+load.u", "bin+store.u", "store.u+jmp", "load+bin"} {
+		if !hasOp(st, want) {
+			t.Errorf("expected fused opcode %q in stream: %v", want, st)
+		}
+	}
+	fusedRes, err := it.Run()
+	if err != nil {
+		t.Fatalf("fused run: %v", err)
+	}
+	plainRes, err := compileSrc(t, src, Options{NoFuse: true}).Run()
+	if err != nil {
+		t.Fatalf("unfused run: %v", err)
+	}
+	if !reflect.DeepEqual(fusedRes, plainRes) {
+		t.Errorf("fused and unfused results differ:\nfused:   %+v\nunfused: %+v", fusedRes, plainRes)
+	}
+}

@@ -60,6 +60,14 @@ type Options struct {
 	MaxSteps int64
 	// StackCells sizes the stack region (default 1<<18 cells).
 	StackCells uint64
+	// NoFuse disables the superinstruction peephole (bytecode engine
+	// only); used by the benchmark harness to attribute the fusion win
+	// and by differential tests to compare fused vs unfused streams.
+	NoFuse bool
+	// CountDispatch tallies per-opcode dispatch and fall-through pair
+	// frequencies (bytecode engine only); read via DispatchStats. The
+	// counters ride the dispatch loop, so leave this off when measuring.
+	CountDispatch bool
 }
 
 // TimelineSink observes execution markers with the current cycle counts;
@@ -172,6 +180,11 @@ type Interp struct {
 	toolCycles   int64
 	eventCost    int64
 	steps        int64
+	// stepStop is the next steps value at which the bytecode dispatch
+	// loop must take its cold path (budget probe boundary or step limit);
+	// see stepSlow. The zero value forces initialization on the first
+	// step.
+	stepStop int64
 	liveHeap     map[uint64]heapRec
 	leaked       uint64
 	varAccesses  int64

@@ -101,7 +101,7 @@ func BenchmarkCondense(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if items := c.condense(evs, nil, false); len(items) == 0 {
+		if items := c.condense(evs, nil, false, nil); len(items) == 0 {
 			b.Fatal("no items")
 		}
 	}

@@ -45,6 +45,11 @@ type pendingRun struct {
 const (
 	coalesceProbeWindow = 8192
 	coalesceMinSavings  = 16 // keep the buffer only if ≥ 1/16 of emits merge away
+	// coalesceEarlyWindow is the zero-merge early exit: a stream whose
+	// first window produced not one merged run cannot possibly clear the
+	// savings threshold by the full probe window, so the gate decides
+	// after an eighth of it and stops taxing the non-merging stream.
+	coalesceEarlyWindow = 1024
 )
 
 // coalesceStart begins a new pending run after flushPending sequenced the
@@ -52,11 +57,14 @@ const (
 // run-extend fast path so merging streams never pay for it.
 func (r *Runtime) coalesceStart(addr uint64, write bool, site int32, cs core.CallstackID) bool {
 	r.flushPending()
-	if !r.coForce && !r.coProbed && r.coAccesses >= coalesceProbeWindow {
-		r.coProbed = true
-		if (r.coAccesses-r.coRuns)*coalesceMinSavings < r.coAccesses {
-			r.coOn = false
-			return r.emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
+	if !r.coForce && !r.coProbed {
+		if r.coAccesses >= coalesceProbeWindow ||
+			(r.coAccesses >= coalesceEarlyWindow && r.coAccesses == r.coRuns) {
+			r.coProbed = true
+			if (r.coAccesses-r.coRuns)*coalesceMinSavings < r.coAccesses {
+				r.coOn = false
+				return r.emit(Event{Kind: EvAccess, Write: write, Addr: addr, Site: site, CS: cs})
+			}
 		}
 	}
 	p := &r.pend

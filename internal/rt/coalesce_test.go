@@ -96,8 +96,8 @@ func TestCoalesceByteIdentical(t *testing.T) {
 }
 
 // TestCoalesceAdaptiveGate checks both gate outcomes: an alternating
-// stream must switch the combining buffer off at the probe window, and a
-// merging stream must keep it on to the end.
+// stream (zero merges) must switch the combining buffer off at the
+// early-exit window, and a merging stream must keep it on to the end.
 func TestCoalesceAdaptiveGate(t *testing.T) {
 	baseline := testutil.Goroutines()
 	defer testutil.WaitGoroutines(t, baseline)
@@ -108,8 +108,11 @@ func TestCoalesceAdaptiveGate(t *testing.T) {
 	if acc >= uint64(n) {
 		t.Fatalf("alternating stream: gate never fired (%d of %d accesses went through the buffer)", acc, n)
 	}
-	if acc < coalesceProbeWindow {
-		t.Fatalf("alternating stream: gate fired before the probe window (%d accesses)", acc)
+	if acc < coalesceEarlyWindow {
+		t.Fatalf("alternating stream: gate fired before the early-exit window (%d accesses)", acc)
+	}
+	if acc > coalesceProbeWindow {
+		t.Fatalf("alternating stream: zero-merge early exit never fired (%d accesses buffered)", acc)
 	}
 	if acc-runs != 0 {
 		t.Fatalf("alternating stream unexpectedly merged %d accesses", acc-runs)

@@ -32,6 +32,22 @@ type condenser struct {
 	// neighboring carves unreachable even via append.
 	sumSlab []accSummary
 	useSlab []useRec
+	// useCache short-circuits the use-table hash probe: loop bodies cycle
+	// a handful of (site, callstack) keys, so a direct-mapped cache
+	// indexed by site bits absorbs most lookups. Entries are epoch-
+	// stamped like the tables, so reset() invalidates them for free.
+	useCache [useCacheSize]useCacheSlot
+}
+
+const (
+	useCacheSize = 16
+	useCacheMask = useCacheSize - 1
+)
+
+type useCacheSlot struct {
+	key   uint64
+	epoch uint32
+	idx   int32
 }
 
 func newCondenser() *condenser {
@@ -55,12 +71,12 @@ func hash64(x uint64) uint64 {
 // events between two structural events) every access shares one phase —
 // the program thread only advances the phase at ROI boundaries, which
 // are themselves structural events — so summaries key by address alone.
-func (c *condenser) condense(evs []Event, cold []EventCold, dropUses bool) []postItem {
+// items is an optional recycled output slice (len 0) to append into.
+func (c *condenser) condense(evs []Event, cold []EventCold, dropUses bool, items []postItem) []postItem {
 	if len(c.sums) > 0 || len(c.uses) > 0 {
 		// A contained panic in a previous batch left a dirty block.
 		c.reset()
 	}
-	var items []postItem
 	for i := range evs {
 		ev := &evs[i]
 		switch ev.Kind {
@@ -143,45 +159,39 @@ func (c *condenser) noteAccessRun(ev *Event, cr EventCold, dropUses bool) {
 	// One use record covers the whole run — every access shares (site, cs),
 	// so a single lookup plus a count bump and in-order sample appends
 	// produce exactly the bytes the per-access path would have.
-	key := uint64(uint32(ev.Site))<<32 | uint64(uint32(ev.CS))
-	uidx, hit := c.findUse(key)
-	if !hit {
-		uidx = int32(len(c.uses))
-		c.uses = append(c.uses, useRec{
-			site:    ev.Site,
-			cs:      ev.CS,
-			samples: make([]uint64, 0, maxUseSamples),
-		})
-		c.insertUse(key, uidx)
-	}
-	u := &c.uses[uidx]
+	u := &c.uses[c.lookupUse(ev.Site, ev.CS)]
 	u.count += uint64(cr.N)
 	addr = ev.Addr
-	for i := int64(0); i < cr.N && len(u.samples) < maxUseSamples; i++ {
-		if !containsU64(u.samples, addr) {
-			u.samples = append(u.samples, addr)
-		}
+	for i := int64(0); i < cr.N && int(u.nsamp) < maxUseSamples; i++ {
+		u.addSample(addr)
 		addr += cr.Aux
 	}
 }
 
 func (c *condenser) noteUse(site int32, cs core.CallstackID, addr uint64, n uint64) {
+	u := &c.uses[c.lookupUse(site, cs)]
+	u.count += n
+	u.addSample(addr)
+}
+
+// lookupUse resolves (site, cs) to a use-record index, creating the
+// record on first sight. The direct-mapped cache in front of the hash
+// table is indexed by site bits — within a loop body sites differ while
+// the callstack repeats, so distinct keys land in distinct slots.
+func (c *condenser) lookupUse(site int32, cs core.CallstackID) int32 {
 	key := uint64(uint32(site))<<32 | uint64(uint32(cs))
+	sl := &c.useCache[uint32(site)&useCacheMask]
+	if sl.epoch == c.epoch && sl.key == key {
+		return sl.idx
+	}
 	uidx, hit := c.findUse(key)
 	if !hit {
 		uidx = int32(len(c.uses))
-		c.uses = append(c.uses, useRec{
-			site:    site,
-			cs:      cs,
-			samples: append(make([]uint64, 0, maxUseSamples), addr),
-		})
+		c.uses = append(c.uses, useRec{site: site, cs: cs})
 		c.insertUse(key, uidx)
 	}
-	u := &c.uses[uidx]
-	u.count += n
-	if len(u.samples) < maxUseSamples && !containsU64(u.samples, addr) {
-		u.samples = append(u.samples, addr)
-	}
+	*sl = useCacheSlot{key: key, epoch: c.epoch, idx: uidx}
+	return uidx
 }
 
 func (c *condenser) findSum(key uint64) (int32, bool) {
@@ -244,9 +254,9 @@ func growTab(old []tabEntry, epoch uint32) []tabEntry {
 }
 
 // flushBlock copies the accumulated block into exact-size output slices
-// and resets the scratch for the next block. The copied use records hand
-// off their sample slices — the scratch never retouches them because a
-// fresh record always assigns a fresh samples slice.
+// and resets the scratch for the next block. Records copy by plain value
+// (samples are inline), so the handed-off slices share nothing with the
+// scratch.
 func (c *condenser) flushBlock(items []postItem) []postItem {
 	if len(c.sums) == 0 && len(c.uses) == 0 {
 		return items
@@ -283,6 +293,7 @@ func (c *condenser) reset() {
 		for i := range c.useTab {
 			c.useTab[i] = tabEntry{}
 		}
+		c.useCache = [useCacheSize]useCacheSlot{}
 		c.epoch = 1
 	}
 }

@@ -144,8 +144,8 @@ func (j *journal) shardEntries(sid int) (entries []shardEntry, complete bool) {
 }
 
 // batchBytes and opsBytes approximate retained sizes from the struct
-// footprints plus the out-of-line slices that dominate (use samples).
-// Exact heap accounting is not worth the cycles on the fault-free path.
+// footprints plus the out-of-line summary slices that dominate. Exact
+// heap accounting is not worth the cycles on the fault-free path.
 func batchBytes(buf *eventBuf) int64 {
 	return int64(len(buf.evs))*int64(unsafe.Sizeof(Event{})) +
 		int64(len(buf.cold))*int64(unsafe.Sizeof(EventCold{}))
@@ -157,9 +157,6 @@ func opsBytes(ops []shardOp) int64 {
 		op := &ops[i]
 		n += int64(len(op.sums)) * int64(unsafe.Sizeof(accSummary{}))
 		n += int64(len(op.uses)) * int64(unsafe.Sizeof(useRec{}))
-		for ui := range op.uses {
-			n += int64(len(op.uses[ui].samples)) * 8
-		}
 	}
 	return n
 }

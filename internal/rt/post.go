@@ -116,6 +116,12 @@ type postState struct {
 	shards []*shardState
 	bufs   [][]shardOp // pending ops per shard, flushed in batches
 	epochs []uint64    // per-shard flush sequence numbers (journal/ack protocol)
+	// opFree recycles flushed op buffers: shards return fully applied
+	// batches here (journal-off runs only — a journaled buffer is retained
+	// for replay) and push draws from it before allocating. The channel is
+	// the synchronization: the send happens after the shard's last read,
+	// the receive before the sequencer's first write.
+	opFree chan []shardOp
 	wg     sync.WaitGroup
 
 	// live holds the live allocations sorted by base address. Live
@@ -153,6 +159,7 @@ func newPostState(r *Runtime) *postState {
 	p.shards = make([]*shardState, cfg.Shards)
 	p.bufs = make([][]shardOp, cfg.Shards)
 	p.epochs = make([]uint64, cfg.Shards)
+	p.opFree = make(chan []shardOp, 4*cfg.Shards+4)
 	for i := range p.shards {
 		p.shards[i] = newShardState(r, uint64(i), p.k)
 	}
@@ -192,7 +199,11 @@ func (p *postState) owner(addr uint64) *allocRec {
 // incrementally would just re-pay the append doubling chain every epoch.
 func (p *postState) push(sid uint64, op shardOp) {
 	if cap(p.bufs[sid]) == 0 {
-		p.bufs[sid] = make([]shardOp, 0, shardOpFlush)
+		select {
+		case p.bufs[sid] = <-p.opFree:
+		default:
+			p.bufs[sid] = make([]shardOp, 0, shardOpFlush)
+		}
 	}
 	p.bufs[sid] = append(p.bufs[sid], op)
 	if len(p.bufs[sid]) >= shardOpFlush {
@@ -306,7 +317,7 @@ func (p *postState) apply(item *postItem) {
 
 // routeSummaries partitions a condensed block by owning shard: summaries
 // by their cell's residue, use records to every shard holding at least
-// one sampled address (the samples slice is shared read-only).
+// one sampled address (the uses slice is shared read-only).
 func (p *postState) routeSummaries(item *postItem) {
 	if len(item.sums) > 0 {
 		if p.k == 1 {
@@ -335,7 +346,7 @@ func (p *postState) routeSummaries(item *postItem) {
 		var mask uint64
 		full := uint64(1)<<p.k - 1
 		for i := range item.uses {
-			for _, a := range item.uses[i].samples {
+			for _, a := range item.uses[i].sampleSet() {
 				mask |= 1 << (a % p.k)
 			}
 			if mask == full {

@@ -126,7 +126,14 @@ type Runtime struct {
 	workerWG  sync.WaitGroup
 	toPost    chan processedMsg
 	post      *postState
-	bufPool   sync.Pool
+	// bufFree and itemsFree recycle the pipeline's two per-batch buffers
+	// (raw event batches; condensed item slices). Bounded free-list
+	// channels instead of sync.Pool: the pipeline allocates several MB per
+	// profiled millisecond, so pool contents rarely survive to the next
+	// GC cycle — a deterministic free list keeps the steady state at zero
+	// allocations regardless of GC timing.
+	bufFree   chan *eventBuf
+	itemsFree chan []postItem
 	journal   *journal // nil unless Config.Recover with a usable budget
 
 	// Lifecycle guard: Finish is idempotent; Emit after Finish is a
@@ -198,12 +205,26 @@ type accSummary struct {
 	lastSeq      uint64
 }
 
-// useRec aggregates use-callstack samples per (site, callstack).
+// useRec aggregates use-callstack samples per (site, callstack). The
+// sample cap is small, so the samples live inline: records copy by value
+// with no per-record heap slice, and the condenser's use slabs stay
+// pointer-free (the GC never scans their contents).
 type useRec struct {
 	site    int32
 	cs      core.CallstackID
 	count   uint64
-	samples []uint64 // representative accessed addresses (capped)
+	nsamp   int32
+	samples [maxUseSamples]uint64 // representative accessed addresses
+}
+
+func (u *useRec) sampleSet() []uint64 { return u.samples[:u.nsamp] }
+
+// addSample records addr unless it is already sampled or the cap is hit.
+func (u *useRec) addSample(addr uint64) {
+	if int(u.nsamp) < maxUseSamples && !containsU64(u.samples[:u.nsamp], addr) {
+		u.samples[u.nsamp] = addr
+		u.nsamp++
+	}
 }
 
 const maxUseSamples = 8
@@ -230,23 +251,19 @@ func New(cfg Config) *Runtime {
 		queue = cfg.Limits.MaxBatchQueue
 	}
 	r := &Runtime{
-		cfg:      cfg,
-		cs:       core.NewCallstackTable(),
-		cur:      make([]Event, 0, cfg.BatchSize),
-		curCold:  make([]EventCold, 0, 8),
-		flushSeq: uint64(cfg.BatchSize),
-		filled:   make(chan batchMsg, queue),
-		toPost:   make(chan processedMsg, queue),
-		done:     make(chan []*core.PSEC, 1),
+		cfg:       cfg,
+		cs:        core.NewCallstackTable(),
+		cur:       make([]Event, 0, cfg.BatchSize),
+		curCold:   make([]EventCold, 0, 8),
+		flushSeq:  uint64(cfg.BatchSize),
+		filled:    make(chan batchMsg, queue),
+		toPost:    make(chan processedMsg, queue),
+		done:      make(chan []*core.PSEC, 1),
+		bufFree:   make(chan *eventBuf, queue+2),
+		itemsFree: make(chan []postItem, queue+2),
 	}
 	r.coOn = cfg.Coalesce || cfg.CoalesceForce
 	r.coForce = cfg.CoalesceForce
-	r.bufPool.New = func() interface{} {
-		return &eventBuf{
-			evs:  make([]Event, 0, cfg.BatchSize),
-			cold: make([]EventCold, 0, 8),
-		}
-	}
 	if cfg.Limits.MaxCallstacks > 0 {
 		r.cs.SetCap(cfg.Limits.MaxCallstacks)
 	}
@@ -499,7 +516,15 @@ func (r *Runtime) flush() {
 		return
 	}
 	r.accepted.Store(r.acceptedLoc)
-	buf := r.bufPool.Get().(*eventBuf)
+	var buf *eventBuf
+	select {
+	case buf = <-r.bufFree:
+	default:
+		buf = &eventBuf{
+			evs:  make([]Event, 0, r.cfg.BatchSize),
+			cold: make([]EventCold, 0, 8),
+		}
+	}
 	buf.evs, r.cur = r.cur, buf.evs[:0]
 	buf.cold, r.curCold = r.curCold, buf.cold[:0]
 	buf.refs.Store(1)
@@ -538,7 +563,10 @@ func (r *Runtime) releaseBuf(buf *eventBuf) {
 	}
 	buf.evs = buf.evs[:0]
 	buf.cold = buf.cold[:0]
-	r.bufPool.Put(buf)
+	select {
+	case r.bufFree <- buf:
+	default:
+	}
 }
 
 // Finish flushes pending events, drains the pipeline, and returns the
@@ -699,7 +727,12 @@ func (r *Runtime) worker() {
 	defer r.workerWG.Done()
 	c := newCondenser()
 	for b := range r.filled {
-		items, pan := r.condenseAttempt(c, b)
+		var scratch []postItem
+		select {
+		case scratch = <-r.itemsFree:
+		default:
+		}
+		items, pan := r.condenseAttempt(c, b, scratch)
 		if pan != nil {
 			// The panic may have left a partial block in the scratch
 			// state; respawn the condense stage with a fresh condenser.
@@ -716,10 +749,10 @@ func (r *Runtime) worker() {
 	}
 }
 
-func (r *Runtime) condenseAttempt(c *condenser, b batchMsg) (items []postItem, pan interface{}) {
+func (r *Runtime) condenseAttempt(c *condenser, b batchMsg, scratch []postItem) (items []postItem, pan interface{}) {
 	defer func() { pan = recover() }()
 	faultinject.Fire("rt.worker.batch")
-	return c.condense(b.buf.evs, b.buf.cold, r.gLevel.Load() >= degradeNoUseCS), nil
+	return c.condense(b.buf.evs, b.buf.cold, r.gLevel.Load() >= degradeNoUseCS, scratch), nil
 }
 
 // recoverBatch is the worker's supervisor. After a contained condense
@@ -731,7 +764,7 @@ func (r *Runtime) recoverBatch(c *condenser, b batchMsg, pan interface{}) []post
 	r.countPanic("worker")
 	reason := fmt.Sprintf("worker panic: %v", pan)
 	if r.cfg.Recover && b.journaled && r.journal.batchRetained(b.idx) {
-		items, pan2 := r.condenseAttempt(c, b)
+		items, pan2 := r.condenseAttempt(c, b, nil)
 		if pan2 == nil {
 			r.recordRecovery(Recovery{Stage: "worker", ID: b.idx,
 				Outcome: RecoveryReplayed, Reason: reason, Ops: len(b.buf.evs)})
@@ -764,6 +797,7 @@ func (r *Runtime) postprocessor() {
 			for i := range m.items {
 				r.applySafe(&m.items[i])
 			}
+			r.recycleItems(m.items)
 			next++
 		}
 		r.post.flushShards()
@@ -786,6 +820,7 @@ func (r *Runtime) postprocessor() {
 			for j := range m.items {
 				r.applySafe(&m.items[j])
 			}
+			r.recycleItems(m.items)
 		}
 		r.post.flushShards()
 		for _, i := range idxs {
@@ -797,6 +832,20 @@ func (r *Runtime) postprocessor() {
 	// report building panics, the shard goroutines must not leak.
 	r.post.shutdownShards()
 	r.done <- r.finishSafe()
+}
+
+// recycleItems hands a fully applied item slice back to the workers.
+// Cleared first: the headers reference condensed summary blocks that the
+// shards are still consuming, and the free list must not pin them.
+func (r *Runtime) recycleItems(items []postItem) {
+	if cap(items) == 0 {
+		return
+	}
+	clear(items)
+	select {
+	case r.itemsFree <- items[:0]:
+	default:
+	}
 }
 
 // ackBatch releases the journal's reference on batch idx (no-op without

@@ -184,8 +184,23 @@ func (s *shardState) consume() (done bool, pan interface{}) {
 			s.curOp++
 		}
 		s.appliedEpoch = s.cur.epoch
+		if s.rt.journal == nil {
+			s.recycleOps(s.cur.ops)
+		}
 		s.haveCur = false
 		s.cur = shardBatch{}
+	}
+}
+
+// recycleOps returns a fully applied op buffer to the sequencer's free
+// list. Only called on journal-off runs: a journaled buffer is retained
+// for replay and must never be rewritten. Cleared first so the pool does
+// not pin the summary/use blocks the ops referenced.
+func (s *shardState) recycleOps(ops []shardOp) {
+	clear(ops)
+	select {
+	case s.rt.post.opFree <- ops[:0]:
+	default:
 	}
 }
 
@@ -528,7 +543,7 @@ func (s *shardState) applyUses(uses []useRec) {
 	numROIs := len(s.cfg.ROIs)
 	for ui := range uses {
 		u := &uses[ui]
-		for _, addr := range u.samples {
+		for _, addr := range u.sampleSet() {
 			if addr%s.k != s.id {
 				continue
 			}

@@ -159,6 +159,8 @@ func TestResultKeyCoversProfileOptions(t *testing.T) {
 		"Recover":            "always true in serve",
 		"JournalBudgetBytes": "set only on degrade rungs, whose results are never cached",
 		"Progress":           "observability hook; does not shape the result",
+		"NoFuse":             "superinstructions are observationally identical by contract; not settable via the request",
+		"CountDispatch":      "diagnostic counters; does not shape the result",
 	}
 
 	partsType := reflect.TypeOf(resultKeyParts{})
